@@ -1,0 +1,32 @@
+//! Ablation benches A1–A5 (see `DESIGN.md` for the experiment index).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use fap_bench::experiments;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+
+    group.bench_function("a1_alpha_bound", |b| {
+        b.iter(|| experiments::a1_alpha_bound().empirical_max_alpha);
+    });
+    group.bench_function("a2_second_derivative_x10", |b| {
+        b.iter(|| experiments::a2_second_derivative(black_box(10.0)));
+    });
+    group.bench_function("a3_price_vs_resource", |b| {
+        b.iter(|| experiments::a3_price_vs_resource().optimum_gap);
+    });
+    group.bench_function("a4_messages_ring8", |b| {
+        b.iter(|| experiments::a4_messages(black_box(8)));
+    });
+    group.bench_function("a5_des_validation_short", |b| {
+        b.iter(|| experiments::a5_des_validation(black_box(5_000.0), 42));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Figure 5: the α sweep — how long the solver takes across the step-size
+//! range, including the slow-convergence regime at tiny α.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use fap_bench::experiments;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_stepsize");
+    group.sample_size(20);
+    for alpha in [0.05, 0.2, 0.5] {
+        group.bench_function(format!("single_alpha_{alpha}"), |b| {
+            b.iter(|| experiments::fig5(black_box(&[alpha]), 100_000));
+        });
+    }
+    group.bench_function("sweep_coarse_grid", |b| {
+        let grid: Vec<f64> = (1..=9).map(|i| i as f64 * 0.1).collect();
+        b.iter(|| experiments::fig5(black_box(&grid), 20_000));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,143 @@
+//! Regenerates every figure of the paper plus the ablations, printing the
+//! series and writing CSVs under `experiments/`.
+//!
+//! ```text
+//! cargo run --release -p fap-bench --bin repro [out_dir]
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use fap_bench::experiments;
+use fap_bench::series::{to_csv, Series};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out_dir = std::env::args().nth(1).map_or_else(|| PathBuf::from("experiments"), PathBuf::from);
+    fs::create_dir_all(&out_dir)?;
+    let write = |name: &str, series: &[Series]| -> std::io::Result<()> {
+        fs::write(out_dir.join(name), to_csv(series))
+    };
+
+    println!("== Figure 3: convergence profiles (4-node ring, mu=1.5, k=1, lambda=1, eps=1e-3) ==");
+    let fig3 = experiments::fig3();
+    for c in &fig3 {
+        println!(
+            "  alpha={:<5} iterations={:<4} (paper: {:<3}) converged={} monotone={} final cost={:.6}",
+            c.alpha,
+            c.iterations,
+            c.paper_iterations,
+            c.converged,
+            c.monotone,
+            c.profile.last_y().unwrap_or(f64::NAN),
+        );
+    }
+    write("fig3_convergence.csv", &fig3.iter().map(|c| c.profile.clone()).collect::<Vec<_>>())?;
+
+    println!("\n== Figure 4: starting with the entire file at one node ==");
+    let fig4 = experiments::fig4();
+    println!(
+        "  integral cost={:.4}  fractional optimum={:.4}  reduction={:.1}% (paper: \"significant (25%)\")",
+        fig4.integral_cost, fig4.optimal_cost, fig4.reduction_percent
+    );
+    write("fig4_fragmentation.csv", &[fig4.profile.clone()])?;
+
+    println!("\n== Figure 5: iterations to convergence vs alpha ==");
+    let grid = experiments::fig5_default_grid();
+    let fig5 = experiments::fig5(&grid, 100_000);
+    let fig5_series = Series::new(
+        "iterations",
+        fig5.iter()
+            .filter_map(|&(a, it)| it.map(|it| (a, it as f64)))
+            .collect::<Vec<_>>(),
+    );
+    let sample: Vec<String> = fig5
+        .iter()
+        .step_by(5)
+        .map(|&(a, it)| format!("{a:.2}:{}", it.map_or("-".into(), |v| v.to_string())))
+        .collect();
+    println!("  alpha:iterations  {}", sample.join("  "));
+    write("fig5_stepsize.csv", &[fig5_series])?;
+
+    println!("\n== Figure 6: iterations (best alpha) vs network size N ==");
+    let fig6 = experiments::fig6(4..=20);
+    for p in &fig6 {
+        println!(
+            "  N={:<3} best_alpha={:.2}  iterations={:<4} max|x - 1/N|={:.2e}",
+            p.n, p.best_alpha, p.iterations, p.deviation_from_even
+        );
+    }
+    let fig6_series =
+        Series::new("iterations", fig6.iter().map(|p| (p.n as f64, p.iterations as f64)).collect());
+    write("fig6_scaling.csv", &[fig6_series])?;
+
+    println!("\n== Figure 8: multi-copy virtual ring (m=2) convergence profiles ==");
+    let (comm, delay) = experiments::fig8();
+    println!(
+        "  {}: amplitude={:.4} best={:.4}   {}: amplitude={:.4} best={:.4}",
+        comm.label, comm.amplitude, comm.best_cost, delay.label, delay.amplitude, delay.best_cost
+    );
+    write("fig8_multicopy.csv", &[comm.profile.clone(), delay.profile.clone()])?;
+
+    println!("\n== Figure 9: decreasing alpha shrinks the oscillations ==");
+    let (big, small) = experiments::fig9();
+    println!(
+        "  {}: amplitude={:.4}   {}: amplitude={:.4}",
+        big.label, big.amplitude, small.label, small.amplitude
+    );
+    write("fig9_oscillation.csv", &[big.profile.clone(), small.profile.clone()])?;
+
+    println!("\n== A1: Theorem-2 step bound vs practice ==");
+    let a1 = experiments::a1_alpha_bound();
+    println!(
+        "  paper bound={:.3e}  exact bound={:.3e}  empirical max alpha={:.3}  conservatism={:.1e}x",
+        a1.paper_bound, a1.exact_bound, a1.empirical_max_alpha, a1.conservatism_factor
+    );
+
+    println!("\n== A2: second-derivative scale resilience (cost scale x10) ==");
+    let a2 = experiments::a2_second_derivative(10.0);
+    let show = |v: Option<usize>| v.map_or("diverged".to_string(), |x| x.to_string());
+    println!(
+        "  first-order:  base={}  scaled={}\n  second-order: base={}  scaled={}",
+        show(a2.first_base),
+        show(a2.first_scaled),
+        show(a2.second_base),
+        show(a2.second_scaled)
+    );
+
+    println!("\n== A3: price-directed vs resource-directed ==");
+    let a3 = experiments::a3_price_vs_resource();
+    println!(
+        "  resource: iters={} max infeasibility={:.2e}\n  price:    iters={} max infeasibility={:.3}\n  optimum gap={:.2e}",
+        a3.resource_iterations,
+        a3.resource_max_infeasibility,
+        a3.price_iterations,
+        a3.price_max_infeasibility,
+        a3.optimum_gap
+    );
+
+    println!("\n== A4: message complexity (8-node ring) ==");
+    for row in experiments::a4_messages(8) {
+        println!(
+            "  {:<16} rounds={:<6} msgs/round={:<4} total={}",
+            row.scheme, row.iterations, row.messages_per_round, row.total_messages
+        );
+    }
+
+    println!("\n== A6: optimal copy count vs per-copy storage cost ==");
+    for sigma in [0.5, 2.0, 25.0] {
+        let a6 = experiments::a6_copy_count(sigma);
+        let detail: Vec<String> =
+            a6.points.iter().map(|(m, _, t)| format!("m={m}:{t:.2}")).collect();
+        println!("  per-copy cost {sigma}: best m = {}   ({})", a6.best_copies, detail.join("  "));
+    }
+
+    println!("\n== A5: analytic vs discrete-event measurement ==");
+    let a5 = experiments::a5_des_validation(200_000.0, 42);
+    println!(
+        "  optimal:  analytic={:.4} empirical={:.4}\n  integral: analytic={:.4} empirical={:.4}",
+        a5.analytic_optimal, a5.empirical_optimal, a5.analytic_integral, a5.empirical_integral
+    );
+
+    println!("\nCSV series written to {}", out_dir.display());
+    Ok(())
+}

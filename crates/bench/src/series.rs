@@ -1,0 +1,105 @@
+//! Result series and CSV output.
+
+use std::fmt::Write as _;
+
+use serde::{Deserialize, Serialize};
+
+/// A named series of `(x, y)` points — one curve of a figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Curve label (e.g. `"alpha=0.3"`).
+    pub name: String,
+    /// The points, in plot order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series from a label and points.
+    pub fn new(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series { name: name.into(), points }
+    }
+
+    /// Creates a series from y-values indexed 0, 1, 2, … (iteration
+    /// profiles).
+    pub fn from_values(name: impl Into<String>, values: &[f64]) -> Self {
+        Series::new(name, values.iter().enumerate().map(|(i, &v)| (i as f64, v)).collect())
+    }
+
+    /// The final y-value, if any.
+    pub fn last_y(&self) -> Option<f64> {
+        self.points.last().map(|&(_, y)| y)
+    }
+}
+
+/// Renders a set of series as a long-format CSV (`series,x,y`).
+pub fn to_csv(series: &[Series]) -> String {
+    let mut out = String::from("series,x,y\n");
+    for s in series {
+        for &(x, y) in &s.points {
+            let _ = writeln!(out, "{},{},{}", s.name, x, y);
+        }
+    }
+    out
+}
+
+/// Renders a compact fixed-width table of one series per column, padded
+/// with blanks where series lengths differ — for terminal inspection.
+pub fn to_table(series: &[Series]) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{:>6}", "x");
+    for s in series {
+        let _ = write!(out, " {:>18}", s.name);
+    }
+    out.push('\n');
+    let rows = series.iter().map(|s| s.points.len()).max().unwrap_or(0);
+    for row in 0..rows {
+        let x = series
+            .iter()
+            .find_map(|s| s.points.get(row).map(|&(x, _)| x))
+            .unwrap_or(row as f64);
+        let _ = write!(out, "{x:>6.1}");
+        for s in series {
+            match s.points.get(row) {
+                Some(&(_, y)) => {
+                    let _ = write!(out, " {y:>18.6}");
+                }
+                None => {
+                    let _ = write!(out, " {:>18}", "");
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_values_indexes_by_iteration() {
+        let s = Series::from_values("c", &[3.0, 2.0, 1.5]);
+        assert_eq!(s.points, vec![(0.0, 3.0), (1.0, 2.0), (2.0, 1.5)]);
+        assert_eq!(s.last_y(), Some(1.5));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let s = vec![Series::new("a", vec![(0.0, 1.0)]), Series::new("b", vec![(0.0, 2.0)])];
+        let csv = to_csv(&s);
+        assert!(csv.starts_with("series,x,y\n"));
+        assert!(csv.contains("a,0,1"));
+        assert!(csv.contains("b,0,2"));
+    }
+
+    #[test]
+    fn table_pads_ragged_series() {
+        let s = vec![
+            Series::from_values("long", &[1.0, 2.0, 3.0]),
+            Series::from_values("short", &[9.0]),
+        ];
+        let table = to_table(&s);
+        assert_eq!(table.lines().count(), 4); // header + 3 rows
+    }
+}

@@ -1,0 +1,94 @@
+//! The `fap` command-line tool.
+//!
+//! ```text
+//! fap solve <scenario.json>              solve and print the allocation
+//! fap simulate <scenario.json>           solve, then measure with the DES
+//! fap sweep-k <scenario.json> <k,k,...>  the §8.2 k trade-off
+//! fap example                            print a template scenario
+//! ```
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use fap_cli::{simulate, solve, sweep_k, Scenario};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  fap solve <scenario.json>
+  fap simulate <scenario.json>
+  fap sweep-k <scenario.json> <k1,k2,...>
+  fap example";
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args {
+        [] => Err("no command given".into()),
+        [cmd, rest @ ..] => match (cmd.as_str(), rest) {
+            ("example", []) => {
+                println!("{}", Scenario::example().to_json());
+                Ok(())
+            }
+            ("solve", [path]) => {
+                let scenario = Scenario::load(Path::new(path)).map_err(|e| e.to_string())?;
+                let output = solve(&scenario).map_err(|e| e.to_string())?;
+                println!("converged:  {} ({} iterations)", output.converged, output.iterations);
+                println!("cost:       {:.6}", output.cost);
+                println!("reference:  {:.6} (gap {:.2e})", output.reference_cost, output.reference_gap);
+                println!("allocation:");
+                for (i, x) in output.allocation.iter().enumerate() {
+                    println!("  node {i:>3}: {x:.6}");
+                }
+                Ok(())
+            }
+            ("simulate", [path]) => {
+                let scenario = Scenario::load(Path::new(path)).map_err(|e| e.to_string())?;
+                let (output, report) = simulate(&scenario).map_err(|e| e.to_string())?;
+                println!("model cost:     {:.6}", output.cost);
+                println!(
+                    "measured cost:  {:.6} over {} accesses",
+                    report.mean_total_cost(scenario.k),
+                    report.accesses_measured
+                );
+                println!(
+                    "mean response:  {:.6} ± {:.6}",
+                    report.response.mean(),
+                    report.response.ci95_half_width()
+                );
+                println!("mean comm cost: {:.6}", report.comm_cost.mean());
+                println!("utilization per node:");
+                for (i, rho) in report.per_node_utilization.iter().enumerate() {
+                    println!("  node {i:>3}: {rho:.4}");
+                }
+                Ok(())
+            }
+            ("sweep-k", [path, list]) => {
+                let scenario = Scenario::load(Path::new(path)).map_err(|e| e.to_string())?;
+                let candidates: Vec<f64> = list
+                    .split(',')
+                    .map(|s| s.trim().parse::<f64>().map_err(|e| format!("bad k '{s}': {e}")))
+                    .collect::<Result<_, _>>()?;
+                let sweep = sweep_k(&scenario, &candidates).map_err(|e| e.to_string())?;
+                println!("{:>10} {:>14} {:>12} {:>10}", "k", "communication", "mean delay", "spread");
+                for point in sweep {
+                    println!(
+                        "{:>10.4} {:>14.6} {:>12.6} {:>10.6}",
+                        point.k, point.communication, point.mean_delay, point.allocation_spread
+                    );
+                }
+                Ok(())
+            }
+            (cmd, _) => Err(format!("unknown or malformed command '{cmd}'")),
+        },
+    }
+}

@@ -1,0 +1,27 @@
+//! Scenario-driven command-line interface for the file-allocation system.
+//!
+//! A *scenario* is a JSON description of a network, a workload and the
+//! model parameters; this crate loads scenarios, solves them with the
+//! decentralized algorithm, cross-checks against the closed-form reference,
+//! measures them with the discrete-event simulator, and sweeps the delay
+//! weight `k`. The `fap` binary is a thin shell over these functions:
+//!
+//! ```text
+//! fap solve scenario.json            # optimal allocation + cost
+//! fap simulate scenario.json        # measure the optimum empirically
+//! fap sweep-k scenario.json 0.1,1,10  # the §8.2 k trade-off
+//! fap example                        # print a template scenario
+//! ```
+//!
+//! `serde_json` is a dependency of this crate only (justification in
+//! DESIGN.md: the CLI needs a concrete config format; the libraries stay
+//! format-agnostic behind serde).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod run;
+pub mod scenario;
+
+pub use run::{simulate, solve, sweep_k, SolveOutput};
+pub use scenario::{Scenario, ScenarioError, Topology};

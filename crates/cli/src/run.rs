@@ -1,0 +1,169 @@
+//! Executing scenarios: solve, simulate, sweep.
+
+use serde::{Deserialize, Serialize};
+
+use fap_core::{reference, tuning, SingleFileProblem};
+use fap_econ::{ResourceDirectedOptimizer, StepSize};
+use fap_queue::{NetworkSimulation, ServiceDistribution, SimReport};
+
+use crate::scenario::{Scenario, ScenarioError};
+
+/// The result of `fap solve`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SolveOutput {
+    /// The allocation the decentralized algorithm found.
+    pub allocation: Vec<f64>,
+    /// Its cost.
+    pub cost: f64,
+    /// Iterations used.
+    pub iterations: usize,
+    /// Whether the ε-criterion fired.
+    pub converged: bool,
+    /// The closed-form reference cost (sanity check).
+    pub reference_cost: f64,
+    /// `|cost − reference_cost|`.
+    pub reference_gap: f64,
+}
+
+/// Builds the single-file problem a scenario describes.
+fn problem_of(scenario: &Scenario) -> Result<SingleFileProblem, ScenarioError> {
+    let graph = scenario.topology.build()?;
+    let pattern = scenario.pattern()?;
+    SingleFileProblem::mm1_heterogeneous(&graph, &pattern, &scenario.service_rates(), scenario.k)
+        .map_err(|e| ScenarioError::Invalid(e.to_string()))
+}
+
+/// Solves a scenario with the decentralized algorithm and cross-checks the
+/// closed-form reference.
+///
+/// # Errors
+///
+/// Returns [`ScenarioError::Invalid`] if the scenario cannot be built or
+/// the solve fails.
+pub fn solve(scenario: &Scenario) -> Result<SolveOutput, ScenarioError> {
+    let problem = problem_of(scenario)?;
+    let n = scenario.topology.node_count();
+    let initial = scenario.initial.clone().unwrap_or_else(|| vec![1.0 / n as f64; n]);
+    let solution = ResourceDirectedOptimizer::new(StepSize::Fixed(scenario.alpha))
+        .with_epsilon(scenario.epsilon)
+        .with_max_iterations(1_000_000)
+        .run(&problem, &initial)
+        .map_err(|e| ScenarioError::Invalid(e.to_string()))?;
+    let exact = reference::solve(&problem).map_err(|e| ScenarioError::Invalid(e.to_string()))?;
+    Ok(SolveOutput {
+        cost: solution.final_cost(),
+        iterations: solution.iterations,
+        converged: solution.converged,
+        reference_cost: exact.cost,
+        reference_gap: (solution.final_cost() - exact.cost).abs(),
+        allocation: solution.allocation,
+    })
+}
+
+/// Solves a scenario and measures the resulting allocation with the
+/// discrete-event simulator.
+///
+/// # Errors
+///
+/// Returns [`ScenarioError::Invalid`] if the scenario cannot be built or
+/// simulated.
+pub fn simulate(scenario: &Scenario) -> Result<(SolveOutput, SimReport), ScenarioError> {
+    let output = solve(scenario)?;
+    let graph = scenario.topology.build()?;
+    let costs = graph.shortest_path_matrix().map_err(|e| ScenarioError::Invalid(e.to_string()))?;
+    let services: Vec<ServiceDistribution> = scenario
+        .service_rates()
+        .iter()
+        .map(|&mu| ServiceDistribution::exponential(mu))
+        .collect::<Result<_, _>>()
+        .map_err(|e| ScenarioError::Invalid(e.to_string()))?;
+    let report = NetworkSimulation::with_service_per_node(
+        output.allocation.clone(),
+        scenario.pattern()?,
+        costs,
+        services,
+    )
+    .map_err(|e| ScenarioError::Invalid(e.to_string()))?
+    .with_duration(scenario.sim_duration)
+    .with_seed(scenario.sim_seed)
+    .run()
+    .map_err(|e| ScenarioError::Invalid(e.to_string()))?;
+    Ok((output, report))
+}
+
+/// Sweeps the delay weight `k` over `candidates` (the §8.2 trade-off),
+/// using the scenario's network and workload. Requires a uniform service
+/// rate.
+///
+/// # Errors
+///
+/// Returns [`ScenarioError::Invalid`] for heterogeneous service rates or a
+/// bad candidate list.
+pub fn sweep_k(
+    scenario: &Scenario,
+    candidates: &[f64],
+) -> Result<Vec<tuning::KSweepPoint>, ScenarioError> {
+    let rates = scenario.service_rates();
+    let mu = rates[0];
+    if rates.iter().any(|m| (m - mu).abs() > 1e-12) {
+        return Err(ScenarioError::Invalid(
+            "sweep-k requires a uniform service rate".into(),
+        ));
+    }
+    let graph = scenario.topology.build()?;
+    let costs = graph.shortest_path_matrix().map_err(|e| ScenarioError::Invalid(e.to_string()))?;
+    tuning::k_sweep(&costs, &scenario.pattern()?, mu, candidates)
+        .map_err(|e| ScenarioError::Invalid(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solving_the_example_reproduces_the_paper() {
+        let output = solve(&Scenario::example()).unwrap();
+        assert!(output.converged);
+        assert!((output.cost - 1.8).abs() < 1e-4);
+        assert!(output.reference_gap < 1e-4);
+        for x in &output.allocation {
+            assert!((x - 0.25).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn simulation_tracks_the_model() {
+        let mut scenario = Scenario::example();
+        scenario.sim_duration = 50_000.0;
+        let (output, report) = simulate(&scenario).unwrap();
+        let measured = report.mean_total_cost(scenario.k);
+        assert!((measured - output.cost).abs() / output.cost < 0.05);
+    }
+
+    #[test]
+    fn sweep_k_runs_on_uniform_rates_only() {
+        let scenario = Scenario::example();
+        let sweep = sweep_k(&scenario, &[0.5, 2.0]).unwrap();
+        assert_eq!(sweep.len(), 2);
+        assert!(sweep[1].mean_delay <= sweep[0].mean_delay + 1e-9);
+
+        let mut het = Scenario::example();
+        het.mus = vec![1.5, 1.5, 1.5, 2.0];
+        assert!(sweep_k(&het, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn heterogeneous_scenarios_solve() {
+        let json = r#"{
+            "topology": {"type": "star", "n": 4, "link_cost": 1.0},
+            "lambdas": [0.4, 0.2, 0.2, 0.2],
+            "mus": [3.0, 1.2, 1.2, 1.2],
+            "k": 1.0,
+            "alpha": 0.05
+        }"#;
+        let scenario = Scenario::from_json(json).unwrap();
+        let output = solve(&scenario).unwrap();
+        assert!(output.converged);
+        assert!(output.allocation[0] > output.allocation[1], "fast hub should hold more");
+    }
+}

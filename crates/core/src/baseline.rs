@@ -1,0 +1,220 @@
+//! Integral (whole-file) baselines from the classical FAP literature.
+//!
+//! Most pre-1986 formulations require a file to reside wholly at one node
+//! (Chu's 0/1 programming formulation and its successors, paper §3). For a
+//! single copy of a single file the optimal integral placement is simply the
+//! node minimizing `C_i + k·T_i(λ)` — enumerable in `O(N)`. Figure 4
+//! compares the decentralized fractional optimum against exactly this
+//! baseline; [`greedy_fragmentation`] adds a classical discrete heuristic
+//! that allocates the file chunk by chunk.
+
+use fap_queue::DelayModel;
+use serde::{Deserialize, Serialize};
+
+use crate::error::CoreError;
+use crate::single::SingleFileProblem;
+
+/// An integral placement decision.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IntegralPlacement {
+    /// The node holding the whole file.
+    pub node: usize,
+    /// The resulting system-wide cost.
+    pub cost: f64,
+}
+
+/// The cost of placing the whole file at `node`, if that node can carry the
+/// entire access stream.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Econ`] if node capacity is insufficient
+/// (`λ ≥ μ_node`) or the node index is out of range.
+pub fn single_node_cost<D: DelayModel>(
+    problem: &SingleFileProblem<D>,
+    node: usize,
+) -> Result<f64, CoreError> {
+    let n = problem.node_count();
+    let mut x = vec![0.0; n];
+    *x.get_mut(node).ok_or_else(|| {
+        CoreError::InvalidParameter(format!("node {node} out of range for {n} nodes"))
+    })? = 1.0;
+    Ok(problem.cost_of(&x)?)
+}
+
+/// The optimal integral placement: the node minimizing `C_i + k·T_i(λ)`
+/// among nodes that can carry the whole stream.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InsufficientCapacity`] if *no* single node can
+/// carry the whole access stream (in which case only fragmented allocations
+/// are feasible — itself an argument for fragmentation).
+pub fn best_single_node<D: DelayModel>(
+    problem: &SingleFileProblem<D>,
+) -> Result<IntegralPlacement, CoreError> {
+    let mut best: Option<IntegralPlacement> = None;
+    for node in 0..problem.node_count() {
+        if let Ok(cost) = single_node_cost(problem, node) {
+            if best.as_ref().is_none_or(|b| cost < b.cost) {
+                best = Some(IntegralPlacement { node, cost });
+            }
+        }
+    }
+    best.ok_or(CoreError::InsufficientCapacity {
+        total_capacity: problem.delays().iter().map(DelayModel::capacity).fold(0.0, f64::max),
+        offered_load: problem.total_rate(),
+    })
+}
+
+/// All per-node whole-file costs; `None` marks nodes that cannot carry the
+/// stream alone.
+pub fn all_single_node_costs<D: DelayModel>(problem: &SingleFileProblem<D>) -> Vec<Option<f64>> {
+    (0..problem.node_count()).map(|i| single_node_cost(problem, i).ok()).collect()
+}
+
+/// A classical greedy heuristic: split the file into `chunks` equal pieces
+/// and repeatedly give the next piece to the node where it increases total
+/// cost the least. Finer granularity approaches the fractional optimum —
+/// the discrete bridge between the integral world of §3 and the fractional
+/// world of §4.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] for `chunks = 0`, or
+/// [`CoreError::Econ`] if no feasible assignment of some chunk exists.
+pub fn greedy_fragmentation<D: DelayModel>(
+    problem: &SingleFileProblem<D>,
+    chunks: usize,
+) -> Result<(Vec<f64>, f64), CoreError> {
+    if chunks == 0 {
+        return Err(CoreError::InvalidParameter("chunks must be positive".into()));
+    }
+    let n = problem.node_count();
+    let piece = 1.0 / chunks as f64;
+    let mut x = vec![0.0; n];
+    for _ in 0..chunks {
+        let mut best: Option<(usize, f64)> = None;
+        for i in 0..n {
+            x[i] += piece;
+            if let Ok(cost) = problem.cost_of(&x) {
+                if best.as_ref().is_none_or(|&(_, c)| cost < c) {
+                    best = Some((i, cost));
+                }
+            }
+            x[i] -= piece;
+        }
+        let (i, _) = best.ok_or_else(|| {
+            CoreError::Econ(fap_econ::EconError::Model(
+                "no node can accept the next file chunk".into(),
+            ))
+        })?;
+        x[i] += piece;
+    }
+    let cost = problem.cost_of(&x)?;
+    Ok((x, cost))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use fap_net::{topology, AccessPattern};
+
+    fn paper_problem() -> SingleFileProblem {
+        let graph = topology::ring(4, 1.0).unwrap();
+        let pattern = AccessPattern::uniform(4, 1.0).unwrap();
+        SingleFileProblem::mm1(&graph, &pattern, 1.5, 1.0).unwrap()
+    }
+
+    #[test]
+    fn symmetric_ring_single_node_cost_is_three() {
+        let p = paper_problem();
+        for i in 0..4 {
+            assert!((single_node_cost(&p, i).unwrap() - 3.0).abs() < 1e-12);
+        }
+        let best = best_single_node(&p).unwrap();
+        assert!((best.cost - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_range_node_is_an_error() {
+        let p = paper_problem();
+        assert!(single_node_cost(&p, 10).is_err());
+    }
+
+    #[test]
+    fn asymmetric_network_picks_the_cheap_node() {
+        // Star: hub (node 0) has average distance 3/4; leaves have
+        // (1 + 0 + 2 + 2)/4 = 5/4.
+        let graph = topology::star(4, 1.0).unwrap();
+        let pattern = AccessPattern::uniform(4, 1.0).unwrap();
+        let p = SingleFileProblem::mm1(&graph, &pattern, 1.5, 1.0).unwrap();
+        let best = best_single_node(&p).unwrap();
+        assert_eq!(best.node, 0);
+    }
+
+    #[test]
+    fn overloaded_node_is_skipped() {
+        // Node 0 fast enough to hold the file, node 1 too slow.
+        let p = SingleFileProblem::from_parts(
+            vec![2.0, 0.0],
+            1.0,
+            vec![fap_queue::Mm1Delay::new(1.5).unwrap(), fap_queue::Mm1Delay::new(0.9).unwrap()],
+            1.0,
+        )
+        .unwrap();
+        let costs = all_single_node_costs(&p);
+        assert!(costs[0].is_some());
+        assert!(costs[1].is_none());
+        assert_eq!(best_single_node(&p).unwrap().node, 0);
+    }
+
+    #[test]
+    fn no_single_node_feasible_is_reported() {
+        // Each node μ = 0.8 < λ = 1, but jointly 1.6 > 1.
+        let p = SingleFileProblem::from_parts(
+            vec![0.0, 0.0],
+            1.0,
+            vec![fap_queue::Mm1Delay::new(0.8).unwrap(); 2],
+            1.0,
+        )
+        .unwrap();
+        assert!(matches!(best_single_node(&p), Err(CoreError::InsufficientCapacity { .. })));
+    }
+
+    #[test]
+    fn fragmentation_beats_integral_placement() {
+        // The Figure-4 claim.
+        let p = paper_problem();
+        let integral = best_single_node(&p).unwrap();
+        let fractional = reference::solve(&p).unwrap();
+        assert!(fractional.cost < integral.cost);
+        let reduction = (integral.cost - fractional.cost) / integral.cost;
+        assert!(reduction > 0.2, "reduction {reduction}");
+    }
+
+    #[test]
+    fn greedy_converges_to_fractional_optimum_with_fine_chunks() {
+        let p = paper_problem();
+        let optimum = reference::solve(&p).unwrap().cost;
+        let (_, coarse) = greedy_fragmentation(&p, 2).unwrap();
+        let (_, fine) = greedy_fragmentation(&p, 64).unwrap();
+        assert!(fine <= coarse + 1e-12);
+        assert!((fine - optimum) / optimum < 0.01, "fine {fine} vs optimum {optimum}");
+    }
+
+    #[test]
+    fn greedy_allocation_is_feasible() {
+        let p = paper_problem();
+        let (x, _) = greedy_fragmentation(&p, 10).unwrap();
+        assert!((x.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(x.iter().all(|v| *v >= 0.0));
+    }
+
+    #[test]
+    fn greedy_rejects_zero_chunks() {
+        let p = paper_problem();
+        assert!(greedy_fragmentation(&p, 0).is_err());
+    }
+}

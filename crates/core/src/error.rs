@@ -1,0 +1,107 @@
+//! Error type for file-allocation model construction and solving.
+
+use std::fmt;
+
+use fap_econ::EconError;
+use fap_net::NetError;
+use fap_queue::QueueError;
+
+/// Errors produced when building or solving file-allocation problems.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A network-substrate operation failed.
+    Net(NetError),
+    /// A queueing-model operation failed.
+    Queue(QueueError),
+    /// An optimization operation failed.
+    Econ(EconError),
+    /// A model parameter was invalid.
+    InvalidParameter(String),
+    /// The system cannot possibly serve the offered load
+    /// (`Σ μ_i ≤ λ · copies`), so no feasible allocation is stable.
+    InsufficientCapacity {
+        /// Total service capacity `Σ μ_i`.
+        total_capacity: f64,
+        /// Offered load `λ` times the number of file copies.
+        offered_load: f64,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Net(e) => write!(f, "network error: {e}"),
+            CoreError::Queue(e) => write!(f, "queueing error: {e}"),
+            CoreError::Econ(e) => write!(f, "optimization error: {e}"),
+            CoreError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            CoreError::InsufficientCapacity { total_capacity, offered_load } => write!(
+                f,
+                "insufficient capacity: total service rate {total_capacity} cannot carry offered load {offered_load}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Net(e) => Some(e),
+            CoreError::Queue(e) => Some(e),
+            CoreError::Econ(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetError> for CoreError {
+    fn from(e: NetError) -> Self {
+        CoreError::Net(e)
+    }
+}
+
+impl From<QueueError> for CoreError {
+    fn from(e: QueueError) -> Self {
+        CoreError::Queue(e)
+    }
+}
+
+impl From<EconError> for CoreError {
+    fn from(e: EconError) -> Self {
+        CoreError::Econ(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn wraps_substrate_errors_with_sources() {
+        let e = CoreError::from(NetError::SelfLoop { node: 2 });
+        assert!(e.to_string().contains("self-loop"));
+        assert!(e.source().is_some());
+
+        let e = CoreError::from(QueueError::Unstable { arrival_rate: 2.0, service_rate: 1.0 });
+        assert!(e.source().is_some());
+
+        let e = CoreError::from(EconError::Infeasible("sum".into()));
+        assert!(e.source().is_some());
+
+        let e = CoreError::InvalidParameter("k".into());
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn capacity_error_is_informative() {
+        let e = CoreError::InsufficientCapacity { total_capacity: 1.0, offered_load: 2.0 };
+        assert!(e.to_string().contains("insufficient capacity"));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<CoreError>();
+    }
+}

@@ -1,0 +1,185 @@
+//! The price-directed view of file allocation (paper §2).
+//!
+//! In the price-directed (tâtonnement) alternative the paper surveys, each
+//! node is a selfish agent and a market price coordinates them. For file
+//! *hosting*, the natural market pays each node a price `p` per unit of file
+//! it hosts; node `i` offers to host the amount at which its private
+//! marginal hosting cost `C_i + k μ_i/(μ_i − λx)²` equals `p`. The price
+//! adjusts until offers sum to exactly one file. At equilibrium the common
+//! marginal cost equals the water-filling multiplier of
+//! [`crate::reference::solve`], so both approaches agree on the optimum —
+//! but the price-directed path there is infeasible in the interim, which
+//! ablation A3 measures.
+
+use fap_econ::price_directed::DemandSlope;
+use fap_econ::DemandFunction;
+use fap_queue::Mm1Delay;
+
+use crate::error::CoreError;
+use crate::single::SingleFileProblem;
+
+/// The hosting market of a single-file M/M/1 problem.
+///
+/// # Example
+///
+/// ```
+/// use fap_core::{HostingMarket, SingleFileProblem};
+/// use fap_econ::{DemandFunction, PriceDirectedOptimizer};
+/// use fap_net::{topology, AccessPattern};
+///
+/// let graph = topology::ring(4, 1.0)?;
+/// let pattern = AccessPattern::uniform(4, 1.0)?;
+/// let problem = SingleFileProblem::mm1(&graph, &pattern, 1.5, 1.0)?;
+/// let market = HostingMarket::new(&problem)?;
+/// let s = PriceDirectedOptimizer::new(0.3).run(&market)?;
+/// assert!(s.converged);
+/// // Symmetric ring: each node ends up hosting a quarter of the file.
+/// for x in &s.allocation {
+///     assert!((x - 0.25).abs() < 1e-3);
+/// }
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct HostingMarket<'a> {
+    problem: &'a SingleFileProblem<Mm1Delay>,
+    price_hi: f64,
+}
+
+impl<'a> HostingMarket<'a> {
+    /// Wraps a problem as a hosting market.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] when `k = 0` (offers become
+    /// step functions and the tâtonnement is degenerate).
+    pub fn new(problem: &'a SingleFileProblem<Mm1Delay>) -> Result<Self, CoreError> {
+        if problem.k() <= 0.0 {
+            return Err(CoreError::InvalidParameter(
+                "the hosting market requires k > 0".into(),
+            ));
+        }
+        // Find a price at which total offers exceed the supply of one file.
+        let mut market = HostingMarket { problem, price_hi: 0.0 };
+        let mut hi = problem
+            .access_costs()
+            .iter()
+            .zip(problem.delays())
+            .map(|(c, d)| c + problem.k() / d.service_rate())
+            .fold(f64::MIN, f64::max)
+            .max(1.0)
+            * 2.0;
+        let mut guard = 0;
+        loop {
+            market.price_hi = hi;
+            if market.total_demand(hi) > 1.0 {
+                break;
+            }
+            hi *= 2.0;
+            guard += 1;
+            if guard > 200 {
+                return Err(CoreError::InvalidParameter(
+                    "failed to bracket the clearing price".into(),
+                ));
+            }
+        }
+        Ok(market)
+    }
+}
+
+impl DemandFunction for HostingMarket<'_> {
+    fn dimension(&self) -> usize {
+        self.problem.node_count()
+    }
+
+    fn supply(&self) -> f64 {
+        1.0 // one file to host
+    }
+
+    fn demand(&self, agent: usize, price: f64) -> f64 {
+        let c = self.problem.access_costs()[agent];
+        let mu = self.problem.delays()[agent].service_rate();
+        let k = self.problem.k();
+        let lambda = self.problem.total_rate();
+        let floor = c + k / mu; // marginal hosting cost at x = 0
+        if price <= floor {
+            0.0
+        } else {
+            (mu - (k * mu / (price - c)).sqrt()) / lambda
+        }
+    }
+
+    fn slope(&self) -> DemandSlope {
+        DemandSlope::Increasing
+    }
+
+    fn price_bracket(&self) -> (f64, f64) {
+        let lo = self
+            .problem
+            .access_costs()
+            .iter()
+            .zip(self.problem.delays())
+            .map(|(c, d)| c + self.problem.k() / d.service_rate())
+            .fold(f64::MAX, f64::min);
+        (lo, self.price_hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use fap_econ::price_directed::clearing_price_bisection;
+    use fap_econ::PriceDirectedOptimizer;
+    use fap_net::{topology, AccessPattern};
+
+    fn paper_problem() -> SingleFileProblem<Mm1Delay> {
+        let graph = topology::ring(4, 1.0).unwrap();
+        let pattern = AccessPattern::uniform(4, 1.0).unwrap();
+        SingleFileProblem::mm1(&graph, &pattern, 1.5, 1.0).unwrap()
+    }
+
+    #[test]
+    fn offers_increase_with_price() {
+        let p = paper_problem();
+        let m = HostingMarket::new(&p).unwrap();
+        let (lo, hi) = m.price_bracket();
+        assert!(m.total_demand(lo) < 1e-12);
+        assert!(m.total_demand(hi) > 1.0);
+        let mid = (lo + hi) / 2.0;
+        assert!(m.total_demand(mid) <= m.total_demand(hi));
+        assert!(m.demand(0, lo - 1.0) == 0.0, "below-floor price yields no offer");
+    }
+
+    #[test]
+    fn equilibrium_price_equals_waterfilling_multiplier() {
+        let p = paper_problem();
+        let m = HostingMarket::new(&p).unwrap();
+        let price = clearing_price_bisection(&m, 1e-12).unwrap();
+        let r = reference::solve(&p).unwrap();
+        assert!((price - r.multiplier).abs() < 1e-6, "{price} vs {}", r.multiplier);
+    }
+
+    #[test]
+    fn tatonnement_reaches_the_decentralized_optimum_but_infeasibly() {
+        let graph = topology::random_connected(5, 0.5, 1.0..3.0, 3).unwrap();
+        let pattern = AccessPattern::random(5, 0.1..0.4, 3).unwrap();
+        let p = SingleFileProblem::mm1(&graph, &pattern, pattern.total_rate() * 1.8, 1.0).unwrap();
+        let m = HostingMarket::new(&p).unwrap();
+        let s = PriceDirectedOptimizer::new(0.3).with_tolerance(1e-8).run(&m).unwrap();
+        assert!(s.converged);
+        let r = reference::solve(&p).unwrap();
+        for (a, b) in s.allocation.iter().zip(&r.allocation) {
+            assert!((a - b).abs() < 1e-3, "{:?} vs {:?}", s.allocation, r.allocation);
+        }
+        // The §2 criticism: before clearing, Σ offers ≠ 1.
+        assert!(s.max_infeasibility() > 0.01);
+    }
+
+    #[test]
+    fn rejects_zero_k() {
+        let graph = topology::ring(4, 1.0).unwrap();
+        let pattern = AccessPattern::uniform(4, 1.0).unwrap();
+        let p = SingleFileProblem::mm1(&graph, &pattern, 1.5, 0.0).unwrap();
+        assert!(HostingMarket::new(&p).is_err());
+    }
+}

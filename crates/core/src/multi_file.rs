@@ -1,0 +1,475 @@
+//! The multi-file extension (paper §5.4).
+//!
+//! With `M` distinct files (one copy each), `x_i^j` is the fraction of file
+//! `j` at node `i` and the cost couples the files through each node's shared
+//! queue:
+//!
+//! ```text
+//! C = Σ_i Σ_j ( C_i^j + k · T_i(Λ_i) ) · x_i^j,    Λ_i = Σ_j λ^j x_i^j
+//! ```
+//!
+//! — "the 'cost' incurred due to time delay includes the effects of
+//! simultaneous accesses to different files stored at the same location, a
+//! real-world resource contention phenomenon which is typically not
+//! considered in most FAP formulations". The feasible set is the product of
+//! `M` simplices (`Σ_i x_i^j = 1` per file), so the decentralized iteration
+//! applies the §5.2 step to each file's allocation with the coupled
+//! gradients.
+
+use serde::{Deserialize, Serialize};
+
+use fap_econ::projection::{compute_step, BoundaryRule};
+use fap_econ::EconError;
+use fap_net::{AccessPattern, Graph};
+
+use crate::error::CoreError;
+
+/// The §5.4 multi-file allocation problem over M/M/1 nodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiFileProblem {
+    /// `access_costs[j][i]` = `C_i^j`, the workload-weighted cost of
+    /// reaching node `i` for accesses to file `j`.
+    access_costs: Vec<Vec<f64>>,
+    /// Per-file network-wide access rates `λ^j`.
+    rates: Vec<f64>,
+    /// Per-node service rates `μ_i`.
+    mus: Vec<f64>,
+    k: f64,
+}
+
+/// The result of the multi-file decentralized iteration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiFileSolution {
+    /// `allocations[j][i]` = final fraction of file `j` at node `i`.
+    pub allocations: Vec<Vec<f64>>,
+    /// Number of reallocation steps applied.
+    pub iterations: usize,
+    /// Whether every file's marginal spread fell below ε.
+    pub converged: bool,
+    /// Final total cost.
+    pub final_cost: f64,
+    /// Total cost after each iteration (a convergence profile).
+    pub cost_series: Vec<f64>,
+}
+
+impl MultiFileProblem {
+    /// Builds the model on `graph` with one access pattern per file and a
+    /// common service rate `mu`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Net`] for a disconnected graph,
+    /// [`CoreError::InvalidParameter`] for empty/mismatched inputs or bad
+    /// `mu`/`k`, and [`CoreError::InsufficientCapacity`] when
+    /// `Σ_i μ_i ≤ Σ_j λ^j`.
+    pub fn mm1(
+        graph: &Graph,
+        patterns: &[AccessPattern],
+        mu: f64,
+        k: f64,
+    ) -> Result<Self, CoreError> {
+        let n = graph.node_count();
+        Self::mm1_heterogeneous(graph, patterns, &vec![mu; n], k)
+    }
+
+    /// Builds the model with per-node service rates.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MultiFileProblem::mm1`].
+    pub fn mm1_heterogeneous(
+        graph: &Graph,
+        patterns: &[AccessPattern],
+        mus: &[f64],
+        k: f64,
+    ) -> Result<Self, CoreError> {
+        if patterns.is_empty() {
+            return Err(CoreError::InvalidParameter("no files".into()));
+        }
+        let n = graph.node_count();
+        if mus.len() != n {
+            return Err(CoreError::InvalidParameter(format!(
+                "{} service rates for {n} nodes",
+                mus.len()
+            )));
+        }
+        if mus.iter().any(|m| !m.is_finite() || *m <= 0.0) {
+            return Err(CoreError::InvalidParameter("service rates must be positive".into()));
+        }
+        if !k.is_finite() || k < 0.0 {
+            return Err(CoreError::InvalidParameter(format!("delay weight k = {k}")));
+        }
+        let costs = graph.shortest_path_matrix()?;
+        let mut access_costs = Vec::with_capacity(patterns.len());
+        let mut rates = Vec::with_capacity(patterns.len());
+        for pattern in patterns {
+            if pattern.node_count() != n {
+                return Err(CoreError::InvalidParameter(format!(
+                    "pattern covers {} nodes, graph has {n}",
+                    pattern.node_count()
+                )));
+            }
+            access_costs.push(costs.systemwide_access_costs(pattern));
+            rates.push(pattern.total_rate());
+        }
+        let offered: f64 = rates.iter().sum();
+        let capacity: f64 = mus.iter().sum();
+        if capacity <= offered {
+            return Err(CoreError::InsufficientCapacity {
+                total_capacity: capacity,
+                offered_load: offered,
+            });
+        }
+        Ok(MultiFileProblem { access_costs, rates, mus: mus.to_vec(), k })
+    }
+
+    /// Number of files `M`.
+    pub fn file_count(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// Number of nodes `N`.
+    pub fn node_count(&self) -> usize {
+        self.mus.len()
+    }
+
+    /// Per-file access rates `λ^j`.
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+
+    /// The aggregate arrival rate `Λ_i` at each node under allocation `x`
+    /// (`x[j][i]` = fraction of file `j` at node `i`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] on shape mismatch.
+    pub fn node_loads(&self, x: &[Vec<f64>]) -> Result<Vec<f64>, CoreError> {
+        self.check_shape(x)?;
+        let n = self.node_count();
+        let mut loads = vec![0.0; n];
+        for (j, xj) in x.iter().enumerate() {
+            for (i, &v) in xj.iter().enumerate() {
+                loads[i] += self.rates[j] * v;
+            }
+        }
+        Ok(loads)
+    }
+
+    /// Total cost of allocation `x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] on shape mismatch and
+    /// [`CoreError::Econ`] when some node is loaded at or beyond capacity.
+    pub fn cost(&self, x: &[Vec<f64>]) -> Result<f64, CoreError> {
+        let loads = self.node_loads(x)?;
+        let n = self.node_count();
+        let mut total = 0.0;
+        for i in 0..n {
+            if loads[i] >= self.mus[i] {
+                return Err(CoreError::Econ(EconError::Model(format!(
+                    "node {i} loaded at {} ≥ capacity {}",
+                    loads[i], self.mus[i]
+                ))));
+            }
+            let t = 1.0 / (self.mus[i] - loads[i]);
+            for (j, xj) in x.iter().enumerate() {
+                total += (self.access_costs[j][i] + self.k * t) * xj[i];
+            }
+        }
+        Ok(total)
+    }
+
+    /// The marginal cost `∂C/∂x_i^j` for every file and node.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MultiFileProblem::cost`].
+    pub fn marginal_costs(&self, x: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, CoreError> {
+        let loads = self.node_loads(x)?;
+        let n = self.node_count();
+        // Node totals S_i = Σ_j x_i^j weighted by λ^j are the loads; the
+        // delay-coupling term needs Σ_m x_i^m λ^m = loads as well.
+        let mut out = vec![vec![0.0; n]; self.file_count()];
+        for i in 0..n {
+            if loads[i] >= self.mus[i] {
+                return Err(CoreError::Econ(EconError::Model(format!(
+                    "node {i} loaded at {} ≥ capacity {}",
+                    loads[i], self.mus[i]
+                ))));
+            }
+            let d = self.mus[i] - loads[i];
+            let t = 1.0 / d;
+            let dt = 1.0 / (d * d);
+            // k·T′(Λ_i)·Σ_m x_i^m — the queue-coupling term.
+            let coupling: f64 = x.iter().map(|xj| xj[i]).sum::<f64>() * self.k * dt;
+            for (j, row) in out.iter_mut().enumerate() {
+                row[i] = self.access_costs[j][i] + self.k * t + self.rates[j] * coupling;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Runs the decentralized iteration: each iteration applies the §5.2
+    /// step (with the clamp-to-zero boundary rule) to every file's
+    /// allocation using the coupled gradients, until every file's marginal
+    /// spread is below `epsilon`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for bad `alpha`/`epsilon` or
+    /// an infeasible start, and [`CoreError::Econ`] if an iterate becomes
+    /// unstable.
+    pub fn solve(
+        &self,
+        initial: &[Vec<f64>],
+        alpha: f64,
+        epsilon: f64,
+        max_iterations: usize,
+    ) -> Result<MultiFileSolution, CoreError> {
+        if !alpha.is_finite() || alpha <= 0.0 {
+            return Err(CoreError::InvalidParameter(format!("alpha {alpha}")));
+        }
+        if !epsilon.is_finite() || epsilon <= 0.0 {
+            return Err(CoreError::InvalidParameter(format!("epsilon {epsilon}")));
+        }
+        self.check_shape(initial)?;
+        for (j, xj) in initial.iter().enumerate() {
+            let sum: f64 = xj.iter().sum();
+            if (sum - 1.0).abs() > 1e-9 || xj.iter().any(|v| *v < 0.0) {
+                return Err(CoreError::InvalidParameter(format!(
+                    "initial allocation of file {j} is not on the simplex"
+                )));
+            }
+        }
+
+        let n = self.node_count();
+        let weights = vec![1.0; n];
+        let mut x: Vec<Vec<f64>> = initial.to_vec();
+        let mut cost_series = Vec::new();
+        let mut iterations = 0usize;
+
+        loop {
+            let cost = self.cost(&x)?;
+            cost_series.push(cost);
+            let marginals = self.marginal_costs(&x)?;
+
+            // Per-file utility marginals and steps. A file has settled when
+            // its active marginals agree within ε *and* every excluded node
+            // sits at the boundary with no incentive to rejoin (the same
+            // complementary-slackness condition the single-file engine
+            // checks).
+            let mut spread: f64 = 0.0;
+            let mut kkt_ok = true;
+            let mut steps = Vec::with_capacity(self.file_count());
+            for (j, xj) in x.iter().enumerate() {
+                let g: Vec<f64> = marginals[j].iter().map(|m| -m).collect();
+                let outcome = compute_step(xj, &g, &weights, alpha, BoundaryRule::ClampToZero);
+                let mut lo = f64::INFINITY;
+                let mut hi = f64::NEG_INFINITY;
+                let mut sum = 0.0;
+                let mut count = 0usize;
+                for i in 0..n {
+                    if outcome.active[i] {
+                        lo = lo.min(g[i]);
+                        hi = hi.max(g[i]);
+                        sum += g[i];
+                        count += 1;
+                    }
+                }
+                if hi > lo {
+                    spread = spread.max(hi - lo);
+                }
+                if count > 0 {
+                    let avg = sum / count as f64;
+                    for i in 0..n {
+                        if !outcome.active[i] && (xj[i] > 1e-6 || g[i] > avg + epsilon) {
+                            kkt_ok = false;
+                        }
+                    }
+                }
+                steps.push(outcome.deltas);
+            }
+
+            if spread < epsilon && kkt_ok {
+                return Ok(MultiFileSolution {
+                    allocations: x,
+                    iterations,
+                    converged: true,
+                    final_cost: cost,
+                    cost_series,
+                });
+            }
+            if iterations >= max_iterations {
+                return Ok(MultiFileSolution {
+                    allocations: x,
+                    iterations,
+                    converged: false,
+                    final_cost: cost,
+                    cost_series,
+                });
+            }
+            for (xj, dj) in x.iter_mut().zip(&steps) {
+                for (xi, d) in xj.iter_mut().zip(dj) {
+                    *xi += d;
+                }
+            }
+            iterations += 1;
+        }
+    }
+
+    fn check_shape(&self, x: &[Vec<f64>]) -> Result<(), CoreError> {
+        if x.len() != self.file_count() || x.iter().any(|xj| xj.len() != self.node_count()) {
+            return Err(CoreError::InvalidParameter(format!(
+                "allocation shape {:?} does not match {} files × {} nodes",
+                x.iter().map(Vec::len).collect::<Vec<_>>(),
+                self.file_count(),
+                self.node_count()
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::single::SingleFileProblem;
+    use fap_econ::AllocationProblem;
+    use fap_net::topology;
+
+    fn ring4() -> Graph {
+        topology::ring(4, 1.0).unwrap()
+    }
+
+    #[test]
+    fn single_file_case_matches_single_file_problem() {
+        let graph = ring4();
+        let pattern = AccessPattern::uniform(4, 1.0).unwrap();
+        let multi = MultiFileProblem::mm1(&graph, &[pattern.clone()], 1.5, 1.0).unwrap();
+        let single = SingleFileProblem::mm1(&graph, &pattern, 1.5, 1.0).unwrap();
+        let x = vec![0.4, 0.3, 0.2, 0.1];
+        assert!(
+            (multi.cost(&[x.clone()]).unwrap() - single.cost_of(&x).unwrap()).abs() < 1e-12
+        );
+        let mg = multi.marginal_costs(&[x.clone()]).unwrap();
+        let mut sg = vec![0.0; 4];
+        single.marginal_utilities(&x, &mut sg).unwrap();
+        for i in 0..4 {
+            assert!((mg[0][i] + sg[i]).abs() < 1e-12, "marginal mismatch at {i}");
+        }
+    }
+
+    #[test]
+    fn validates_construction() {
+        let graph = ring4();
+        let p = AccessPattern::uniform(4, 1.0).unwrap();
+        assert!(MultiFileProblem::mm1(&graph, &[], 1.5, 1.0).is_err());
+        assert!(MultiFileProblem::mm1(&graph, &[p.clone()], 1.5, -1.0).is_err());
+        let p3 = AccessPattern::uniform(3, 1.0).unwrap();
+        assert!(MultiFileProblem::mm1(&graph, &[p3], 1.5, 1.0).is_err());
+        // Two files of rate 1 each need Σμ > 2; μ = 0.4 · 4 = 1.6 fails.
+        assert!(matches!(
+            MultiFileProblem::mm1(&graph, &[p.clone(), p.clone()], 0.4, 1.0),
+            Err(CoreError::InsufficientCapacity { .. })
+        ));
+    }
+
+    #[test]
+    fn marginals_match_finite_differences() {
+        let graph = ring4();
+        let pa = AccessPattern::uniform(4, 0.8).unwrap();
+        let pb = AccessPattern::hotspot(4, 0.5, fap_net::NodeId::new(2), 0.7).unwrap();
+        let m = MultiFileProblem::mm1(&graph, &[pa, pb], 2.0, 0.9).unwrap();
+        let x = vec![vec![0.4, 0.3, 0.2, 0.1], vec![0.1, 0.2, 0.3, 0.4]];
+        let g = m.marginal_costs(&x).unwrap();
+        let h = 1e-7;
+        for j in 0..2 {
+            for i in 0..4 {
+                let mut xp = x.clone();
+                xp[j][i] += h;
+                let mut xm = x.clone();
+                xm[j][i] -= h;
+                let fd = (m.cost(&xp).unwrap() - m.cost(&xm).unwrap()) / (2.0 * h);
+                assert!((g[j][i] - fd).abs() < 1e-5, "file {j} node {i}: {} vs {fd}", g[j][i]);
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_two_files_balance_node_loads() {
+        // The optimum is non-unique in the individual x_i^j (only the node
+        // loads matter on a symmetric network), so assert the invariants:
+        // equal loads, and cost equal to the fully even split.
+        let graph = ring4();
+        let p = AccessPattern::uniform(4, 0.6).unwrap();
+        let m = MultiFileProblem::mm1(&graph, &[p.clone(), p], 1.5, 1.0).unwrap();
+        let initial = vec![vec![1.0, 0.0, 0.0, 0.0], vec![0.0, 0.0, 0.0, 1.0]];
+        let s = m.solve(&initial, 0.1, 1e-6, 50_000).unwrap();
+        assert!(s.converged);
+        let loads = m.node_loads(&s.allocations).unwrap();
+        for l in &loads {
+            assert!((l - 0.3).abs() < 1e-3, "loads {loads:?}");
+        }
+        let even_cost = m.cost(&[vec![0.25; 4], vec![0.25; 4]]).unwrap();
+        assert!((s.final_cost - even_cost).abs() < 1e-5);
+    }
+
+    #[test]
+    fn queue_contention_pushes_files_apart() {
+        // Two files, high delay weight, tiny homogeneous communication
+        // costs: the optimum loads all nodes equally, so the files must
+        // split complementarily rather than stack on the same nodes.
+        let graph = topology::full_mesh(4, 0.01).unwrap();
+        let p = AccessPattern::uniform(4, 0.7).unwrap();
+        let m = MultiFileProblem::mm1(&graph, &[p.clone(), p], 1.0, 5.0).unwrap();
+        let initial = vec![vec![0.7, 0.3, 0.0, 0.0], vec![0.6, 0.0, 0.4, 0.0]];
+        let s = m.solve(&initial, 0.02, 1e-6, 100_000).unwrap();
+        assert!(s.converged);
+        let loads = m.node_loads(&s.allocations).unwrap();
+        let avg: f64 = loads.iter().sum::<f64>() / 4.0;
+        for l in &loads {
+            assert!((l - avg).abs() < 1e-3, "loads {loads:?}");
+        }
+    }
+
+    #[test]
+    fn cost_decreases_monotonically_with_small_alpha() {
+        let graph = ring4();
+        let pa = AccessPattern::uniform(4, 0.5).unwrap();
+        let pb = AccessPattern::hotspot(4, 0.4, fap_net::NodeId::new(1), 0.6).unwrap();
+        let m = MultiFileProblem::mm1(&graph, &[pa, pb], 1.5, 1.0).unwrap();
+        let initial = vec![vec![1.0, 0.0, 0.0, 0.0], vec![1.0, 0.0, 0.0, 0.0]];
+        let s = m.solve(&initial, 0.02, 1e-6, 100_000).unwrap();
+        assert!(s.converged);
+        for w in s.cost_series.windows(2) {
+            assert!(w[1] <= w[0] + 1e-10, "cost rose: {} -> {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn feasibility_per_file_is_preserved() {
+        let graph = ring4();
+        let p = AccessPattern::uniform(4, 0.5).unwrap();
+        let m = MultiFileProblem::mm1(&graph, &[p.clone(), p], 1.5, 1.0).unwrap();
+        let initial = vec![vec![0.5, 0.5, 0.0, 0.0], vec![0.0, 0.0, 0.5, 0.5]];
+        let s = m.solve(&initial, 0.1, 1e-5, 10_000).unwrap();
+        for xj in &s.allocations {
+            assert!((xj.iter().sum::<f64>() - 1.0).abs() < 1e-7);
+            assert!(xj.iter().all(|v| *v >= -1e-9));
+        }
+    }
+
+    #[test]
+    fn solve_validates_inputs() {
+        let graph = ring4();
+        let p = AccessPattern::uniform(4, 0.5).unwrap();
+        let m = MultiFileProblem::mm1(&graph, &[p], 1.5, 1.0).unwrap();
+        let good = vec![vec![0.25; 4]];
+        assert!(m.solve(&good, 0.0, 1e-6, 100).is_err());
+        assert!(m.solve(&good, 0.1, 0.0, 100).is_err());
+        assert!(m.solve(&[vec![0.5; 4]], 0.1, 1e-6, 100).is_err()); // sums to 2
+        assert!(m.solve(&[vec![0.25; 3]], 0.1, 1e-6, 100).is_err()); // wrong shape
+    }
+}

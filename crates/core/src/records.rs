@@ -1,0 +1,263 @@
+//! Non-uniform record popularity (paper §4's "easily relaxed" assumption).
+//!
+//! The paper assumes "the individual records with a file are accessed on a
+//! uniform basis (although this can be easily relaxed)", which makes the
+//! storage fraction equal the access probability. This module carries out
+//! the relaxation: the optimizer's variable is reinterpreted as each node's
+//! share of *access probability mass* `y_i` (the objective is unchanged —
+//! both the communication and queueing terms depend only on where accesses
+//! go), and the mapping back to physical records accounts for skewed record
+//! popularity: a node assigned 40% of the traffic may hold just a handful
+//! of hot records, or a long tail of cold ones.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::CoreError;
+
+/// A popularity distribution over the records of a file (non-negative,
+/// summing to 1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecordPopularity {
+    weights: Vec<f64>,
+}
+
+impl RecordPopularity {
+    /// Creates a distribution from raw (unnormalized) popularity weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for an empty list, negative
+    /// or non-finite weights, or an all-zero list.
+    pub fn new(raw_weights: Vec<f64>) -> Result<Self, CoreError> {
+        if raw_weights.is_empty() {
+            return Err(CoreError::InvalidParameter("no records".into()));
+        }
+        if raw_weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+            return Err(CoreError::InvalidParameter(
+                "record weights must be non-negative".into(),
+            ));
+        }
+        let total: f64 = raw_weights.iter().sum();
+        if total <= 0.0 {
+            return Err(CoreError::InvalidParameter("all record weights are zero".into()));
+        }
+        Ok(RecordPopularity { weights: raw_weights.into_iter().map(|w| w / total).collect() })
+    }
+
+    /// A Zipf popularity over `records` records with the given exponent
+    /// (record 0 hottest).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for zero records or a
+    /// negative exponent.
+    pub fn zipf(records: usize, exponent: f64) -> Result<Self, CoreError> {
+        if records == 0 {
+            return Err(CoreError::InvalidParameter("no records".into()));
+        }
+        if !exponent.is_finite() || exponent < 0.0 {
+            return Err(CoreError::InvalidParameter(format!("zipf exponent {exponent}")));
+        }
+        RecordPopularity::new(
+            (0..records).map(|r| 1.0 / ((r + 1) as f64).powf(exponent)).collect(),
+        )
+    }
+
+    /// A uniform popularity over `records` records (the paper's base
+    /// assumption).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for zero records.
+    pub fn uniform(records: usize) -> Result<Self, CoreError> {
+        RecordPopularity::zipf(records, 0.0)
+    }
+
+    /// Number of records.
+    pub fn record_count(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// The normalized popularity of each record.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+/// A record-to-node assignment realizing target access shares.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecordAssignment {
+    /// `owner[r]` = the node holding record `r`.
+    pub owner: Vec<usize>,
+    /// The access-probability mass each node actually received.
+    pub realized_shares: Vec<f64>,
+    /// The *storage* fraction each node holds (records held / total
+    /// records) — under skew this differs from the access share.
+    pub storage_fractions: Vec<f64>,
+}
+
+impl RecordAssignment {
+    /// The largest deviation between a realized and a target access share.
+    pub fn max_share_error(&self, targets: &[f64]) -> f64 {
+        self.realized_shares
+            .iter()
+            .zip(targets)
+            .map(|(r, t)| (r - t).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Assigns records to nodes so that each node's *popularity mass*
+/// approximates the target access shares `y` from the optimizer.
+///
+/// Greedy largest-first: records are placed in decreasing popularity onto
+/// the node whose remaining target mass is largest — the classic LPT
+/// heuristic, whose share error is bounded by the largest single record
+/// weight.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] if `y` is not a non-negative
+/// vector summing to 1 (within `1e-6`) or is empty.
+pub fn assign_records(
+    popularity: &RecordPopularity,
+    y: &[f64],
+) -> Result<RecordAssignment, CoreError> {
+    let n = y.len();
+    let total: f64 = y.iter().sum();
+    if n == 0 || y.iter().any(|v| !v.is_finite() || *v < -1e-12) || (total - 1.0).abs() > 1e-6 {
+        return Err(CoreError::InvalidParameter(format!(
+            "target shares must be non-negative and sum to 1, got {total}"
+        )));
+    }
+    let records = popularity.record_count();
+    // Records in decreasing popularity (stable order for determinism).
+    let mut order: Vec<usize> = (0..records).collect();
+    order.sort_by(|&a, &b| {
+        popularity.weights()[b]
+            .total_cmp(&popularity.weights()[a])
+            .then(a.cmp(&b))
+    });
+
+    let mut owner = vec![0usize; records];
+    let mut realized = vec![0.0f64; n];
+    let mut counts = vec![0usize; n];
+    for &r in &order {
+        // Node with the largest remaining deficit (target − realized).
+        let node = (0..n)
+            .max_by(|&a, &b| {
+                (y[a] - realized[a]).total_cmp(&(y[b] - realized[b])).then(b.cmp(&a))
+            })
+            .expect("n > 0");
+        owner[r] = node;
+        realized[node] += popularity.weights()[r];
+        counts[node] += 1;
+    }
+    Ok(RecordAssignment {
+        owner,
+        realized_shares: realized,
+        storage_fractions: counts.iter().map(|&c| c as f64 / records as f64).collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn popularity_validates() {
+        assert!(RecordPopularity::new(vec![]).is_err());
+        assert!(RecordPopularity::new(vec![-1.0, 2.0]).is_err());
+        assert!(RecordPopularity::new(vec![0.0, 0.0]).is_err());
+        assert!(RecordPopularity::zipf(0, 1.0).is_err());
+        assert!(RecordPopularity::zipf(5, -1.0).is_err());
+    }
+
+    #[test]
+    fn weights_normalize() {
+        let p = RecordPopularity::new(vec![3.0, 1.0]).unwrap();
+        assert_eq!(p.weights(), &[0.75, 0.25]);
+    }
+
+    #[test]
+    fn uniform_popularity_reproduces_storage_equals_share() {
+        // The paper's base case: with uniform records, storage fraction ≈
+        // access share.
+        let p = RecordPopularity::uniform(1000).unwrap();
+        let y = [0.5, 0.3, 0.2];
+        let a = assign_records(&p, &y).unwrap();
+        for (s, t) in a.storage_fractions.iter().zip(&y) {
+            assert!((s - t).abs() < 2e-3, "{:?}", a.storage_fractions);
+        }
+        assert!(a.max_share_error(&y) < 2e-3);
+    }
+
+    #[test]
+    fn skewed_popularity_decouples_storage_from_share() {
+        // Under heavy skew a node can serve most traffic from few records.
+        let p = RecordPopularity::zipf(1000, 1.5).unwrap();
+        let y = [0.6, 0.4];
+        let a = assign_records(&p, &y).unwrap();
+        assert!(a.max_share_error(&y) < 0.05);
+        // The node holding the hottest record serves 60% of traffic from
+        // far fewer than 60% of the records.
+        let hot_node = a.owner[0];
+        assert!(
+            a.storage_fractions[hot_node] < 0.55,
+            "hot node stores {:.3} of records for {:.3} of traffic",
+            a.storage_fractions[hot_node],
+            a.realized_shares[hot_node]
+        );
+    }
+
+    #[test]
+    fn zero_share_nodes_get_nothing_hot() {
+        let p = RecordPopularity::zipf(100, 1.0).unwrap();
+        let y = [1.0, 0.0];
+        let a = assign_records(&p, &y).unwrap();
+        // Node 1's realized mass is at most the error bound (a single
+        // smallest record may land there to break ties).
+        assert!(a.realized_shares[1] < 0.02, "{:?}", a.realized_shares);
+    }
+
+    #[test]
+    fn assignment_validates_targets() {
+        let p = RecordPopularity::uniform(10).unwrap();
+        assert!(assign_records(&p, &[]).is_err());
+        assert!(assign_records(&p, &[0.5, 0.6]).is_err());
+        assert!(assign_records(&p, &[1.5, -0.5]).is_err());
+    }
+
+    #[test]
+    fn assignment_is_deterministic() {
+        let p = RecordPopularity::zipf(50, 0.8).unwrap();
+        let y = [0.4, 0.35, 0.25];
+        assert_eq!(assign_records(&p, &y).unwrap(), assign_records(&p, &y).unwrap());
+    }
+
+    proptest! {
+        /// Every record gets exactly one owner, realized shares sum to 1,
+        /// and the share error is bounded by the largest record weight.
+        #[test]
+        fn assignment_invariants(
+            records in 2usize..200,
+            exponent in 0.0f64..2.0,
+            raw_y in proptest::collection::vec(0.05f64..1.0, 2..6),
+        ) {
+            let p = RecordPopularity::zipf(records, exponent).unwrap();
+            let total: f64 = raw_y.iter().sum();
+            let y: Vec<f64> = raw_y.iter().map(|v| v / total).collect();
+            let a = assign_records(&p, &y).unwrap();
+            prop_assert_eq!(a.owner.len(), records);
+            prop_assert!(a.owner.iter().all(|&o| o < y.len()));
+            let share_sum: f64 = a.realized_shares.iter().sum();
+            prop_assert!((share_sum - 1.0).abs() < 1e-9);
+            let storage_sum: f64 = a.storage_fractions.iter().sum();
+            prop_assert!((storage_sum - 1.0).abs() < 1e-9);
+            let max_weight = p.weights().iter().copied().fold(0.0, f64::max);
+            prop_assert!(a.max_share_error(&y) <= max_weight + 1e-9,
+                "error {} vs max weight {}", a.max_share_error(&y), max_weight);
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Record-boundary rounding (paper §8.1).
+//!
+//! The converged algorithm prescribes real-valued file fractions, but "a
+//! file of records cannot be divided up in this manner. The real-number
+//! fractions will have to be rounded or truncated in some suitable manner so
+//! that the file … will fragment at record boundaries. Naturally, the larger
+//! the number of records the closer the rounded-off fractions will be to the
+//! prescribed fractions and thus the closer the final allocation will be to
+//! optimality."
+//!
+//! [`round_to_records`] implements largest-remainder apportionment of `R`
+//! records to the fractional allocation, and [`rounding_penalty`] measures
+//! the resulting cost increase, which vanishes as `R` grows.
+
+use fap_queue::DelayModel;
+use serde::{Deserialize, Serialize};
+
+use crate::error::CoreError;
+use crate::single::SingleFileProblem;
+
+/// A record-aligned allocation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecordAllocation {
+    /// Records assigned to each node; sums to the total record count.
+    pub records: Vec<usize>,
+    /// Total records in the file.
+    pub total_records: usize,
+}
+
+impl RecordAllocation {
+    /// The realized fractional allocation `records_i / total`.
+    pub fn fractions(&self) -> Vec<f64> {
+        self.records.iter().map(|&r| r as f64 / self.total_records as f64).collect()
+    }
+}
+
+/// Rounds a fractional allocation to `total_records` records by the
+/// largest-remainder method: each node first receives `⌊x_i · R⌋` records,
+/// then the leftover records go to the nodes with the largest fractional
+/// remainders. The result is the record-aligned allocation closest to `x`
+/// in the max-norm among all that preserve the floor.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] if `total_records` is zero or
+/// `x` is not a non-negative vector summing to 1 (within `1e-6`).
+pub fn round_to_records(x: &[f64], total_records: usize) -> Result<RecordAllocation, CoreError> {
+    if total_records == 0 {
+        return Err(CoreError::InvalidParameter("total_records must be positive".into()));
+    }
+    let sum: f64 = x.iter().sum();
+    if x.is_empty() || x.iter().any(|v| !v.is_finite() || *v < -1e-12) || (sum - 1.0).abs() > 1e-6
+    {
+        return Err(CoreError::InvalidParameter(format!(
+            "allocation must be non-negative and sum to 1, got sum {sum}"
+        )));
+    }
+    let r = total_records as f64;
+    let mut records: Vec<usize> = x.iter().map(|v| (v.max(0.0) * r).floor() as usize).collect();
+    let assigned: usize = records.iter().sum();
+    let mut leftover = total_records - assigned.min(total_records);
+    // Hand out leftovers by decreasing fractional remainder (ties by index
+    // for determinism).
+    let mut order: Vec<usize> = (0..x.len()).collect();
+    order.sort_by(|&a, &b| {
+        let ra = x[a].max(0.0) * r - (x[a].max(0.0) * r).floor();
+        let rb = x[b].max(0.0) * r - (x[b].max(0.0) * r).floor();
+        rb.total_cmp(&ra).then(a.cmp(&b))
+    });
+    for &i in order.iter().cycle().take(x.len().max(leftover)) {
+        if leftover == 0 {
+            break;
+        }
+        records[i] += 1;
+        leftover -= 1;
+    }
+    Ok(RecordAllocation { records, total_records })
+}
+
+/// The relative cost increase of rounding: `(C(rounded) − C(x)) / C(x)`.
+///
+/// # Errors
+///
+/// Propagates rounding errors and evaluation errors (e.g. if rounding
+/// overloads a node that was exactly at capacity).
+pub fn rounding_penalty<D: DelayModel>(
+    problem: &SingleFileProblem<D>,
+    x: &[f64],
+    total_records: usize,
+) -> Result<f64, CoreError> {
+    let rounded = round_to_records(x, total_records)?;
+    let base = problem.cost_of(x)?;
+    let cost = problem.cost_of(&rounded.fractions())?;
+    Ok((cost - base) / base)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fap_net::{topology, AccessPattern};
+    use proptest::prelude::*;
+
+    #[test]
+    fn exact_fractions_round_losslessly() {
+        let r = round_to_records(&[0.25, 0.25, 0.25, 0.25], 8).unwrap();
+        assert_eq!(r.records, vec![2, 2, 2, 2]);
+        assert_eq!(r.fractions(), vec![0.25; 4]);
+    }
+
+    #[test]
+    fn leftovers_go_to_largest_remainders() {
+        // 10 records at (0.46, 0.34, 0.2): floors (4, 3, 2) leave one
+        // leftover, which belongs to node 0 (remainder 0.6 vs 0.4 vs 0.0).
+        let r = round_to_records(&[0.46, 0.34, 0.2], 10).unwrap();
+        assert_eq!(r.records, vec![5, 3, 2]);
+    }
+
+    #[test]
+    fn total_is_always_preserved() {
+        let r = round_to_records(&[1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0], 100).unwrap();
+        assert_eq!(r.records.iter().sum::<usize>(), 100);
+    }
+
+    #[test]
+    fn validates_inputs() {
+        assert!(round_to_records(&[0.5, 0.5], 0).is_err());
+        assert!(round_to_records(&[0.7, 0.7], 10).is_err());
+        assert!(round_to_records(&[1.2, -0.2], 10).is_err());
+        assert!(round_to_records(&[], 10).is_err());
+    }
+
+    #[test]
+    fn penalty_shrinks_with_more_records() {
+        // §8.1: more records ⇒ closer to the prescribed fractions.
+        let graph = topology::ring(4, 1.0).unwrap();
+        let pattern = AccessPattern::zipf(4, 1.0, 1.0).unwrap();
+        let p = SingleFileProblem::mm1(&graph, &pattern, 1.5, 1.0).unwrap();
+        let x = crate::reference::solve(&p).unwrap().allocation;
+        let coarse = rounding_penalty(&p, &x, 7).unwrap();
+        let fine = rounding_penalty(&p, &x, 10_000).unwrap();
+        assert!(coarse >= -1e-12, "rounding an optimum cannot reduce cost: {coarse}");
+        assert!(fine >= -1e-12);
+        assert!(fine < coarse.max(1e-9), "fine {fine} vs coarse {coarse}");
+        assert!(fine < 1e-5);
+    }
+
+    proptest! {
+        /// Rounding conserves records, keeps every node within one record of
+        /// `x_i·R` (largest-remainder quota property), and is deterministic.
+        #[test]
+        fn rounding_invariants(
+            raw in proptest::collection::vec(0.01f64..1.0, 2..10),
+            records in 1usize..500,
+        ) {
+            let sum: f64 = raw.iter().sum();
+            let x: Vec<f64> = raw.iter().map(|v| v / sum).collect();
+            let r = round_to_records(&x, records).unwrap();
+            prop_assert_eq!(r.records.iter().sum::<usize>(), records);
+            for (i, &ri) in r.records.iter().enumerate() {
+                let quota = x[i] * records as f64;
+                prop_assert!((ri as f64 - quota).abs() <= 1.0 + 1e-9,
+                    "node {} got {} records for quota {}", i, ri, quota);
+            }
+            let again = round_to_records(&x, records).unwrap();
+            prop_assert_eq!(r, again);
+        }
+    }
+}

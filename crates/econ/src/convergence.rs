@@ -1,0 +1,170 @@
+//! Convergence and oscillation detection.
+
+use serde::{Deserialize, Serialize};
+
+/// The spread `max_i g_i − min_i g_i` of marginal utilities over the active
+/// set — the paper's termination quantity (`|∂U/∂x_i − ∂U/∂x_j| < ε`
+/// for all active `i, j`).
+///
+/// Returns `0.0` when fewer than two agents are active.
+pub fn marginal_spread(marginals: &[f64], active: &[bool]) -> f64 {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    let mut count = 0;
+    for (g, a) in marginals.iter().zip(active) {
+        if *a {
+            min = min.min(*g);
+            max = max.max(*g);
+            count += 1;
+        }
+    }
+    if count < 2 {
+        0.0
+    } else {
+        max - min
+    }
+}
+
+/// Detects oscillation in the cost series, as exhibited by the multi-copy
+/// objective of §7.3 ("the abrupt changes in marginal utilities in
+/// successive iterations cause oscillations and hence there is no
+/// convergence").
+///
+/// Oscillation is declared when, within a sliding window of recent cost
+/// deltas, at least `threshold` sign alternations occur (cost going up then
+/// down then up …). A strictly monotone series never triggers.
+///
+/// # Example
+///
+/// ```
+/// use fap_econ::OscillationDetector;
+///
+/// let mut d = OscillationDetector::new(6, 3);
+/// for cost in [5.0, 4.0, 3.0, 2.0, 1.0] {
+///     assert!(!d.observe(cost)); // monotone: no oscillation
+/// }
+/// let mut d = OscillationDetector::new(6, 3);
+/// let mut fired = false;
+/// for cost in [5.0, 4.0, 4.5, 4.0, 4.5, 4.0, 4.5] {
+///     fired |= d.observe(cost);
+/// }
+/// assert!(fired);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OscillationDetector {
+    window: usize,
+    threshold: usize,
+    /// Signs of recent cost deltas: +1 rising, −1 falling (zeros skipped).
+    recent: Vec<i8>,
+    last_cost: Option<f64>,
+}
+
+impl OscillationDetector {
+    /// Creates a detector over a sliding `window` of cost deltas that fires
+    /// after `threshold` sign alternations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window < 2` or `threshold` is zero.
+    pub fn new(window: usize, threshold: usize) -> Self {
+        assert!(window >= 2, "window must be at least 2");
+        assert!(threshold >= 1, "threshold must be at least 1");
+        OscillationDetector { window, threshold, recent: Vec::new(), last_cost: None }
+    }
+
+    /// Feeds the cost of the latest iteration; returns `true` if
+    /// oscillation is currently detected.
+    pub fn observe(&mut self, cost: f64) -> bool {
+        if let Some(last) = self.last_cost {
+            let delta = cost - last;
+            if delta != 0.0 {
+                self.recent.push(if delta > 0.0 { 1 } else { -1 });
+                if self.recent.len() > self.window {
+                    self.recent.remove(0);
+                }
+            }
+        }
+        self.last_cost = Some(cost);
+        self.alternations() >= self.threshold
+    }
+
+    /// Number of sign alternations in the current window.
+    pub fn alternations(&self) -> usize {
+        self.recent.windows(2).filter(|w| w[0] != w[1]).count()
+    }
+
+    /// Clears history (used after a step-size change).
+    pub fn reset(&mut self) {
+        self.recent.clear();
+        self.last_cost = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spread_over_active_subset() {
+        let g = [1.0, 5.0, -2.0, 3.0];
+        assert_eq!(marginal_spread(&g, &[true, true, true, true]), 7.0);
+        assert_eq!(marginal_spread(&g, &[true, false, false, true]), 2.0);
+        assert_eq!(marginal_spread(&g, &[false, true, false, false]), 0.0);
+        assert_eq!(marginal_spread(&g, &[false; 4]), 0.0);
+    }
+
+    #[test]
+    fn monotone_series_never_fires() {
+        let mut d = OscillationDetector::new(4, 2);
+        for i in 0..50 {
+            assert!(!d.observe(100.0 - i as f64));
+        }
+    }
+
+    #[test]
+    fn zigzag_fires() {
+        let mut d = OscillationDetector::new(6, 3);
+        let mut fired = false;
+        for i in 0..10 {
+            let cost = if i % 2 == 0 { 2.0 } else { 1.0 };
+            fired |= d.observe(cost);
+        }
+        assert!(fired);
+    }
+
+    #[test]
+    fn flat_series_never_fires() {
+        let mut d = OscillationDetector::new(4, 1);
+        for _ in 0..10 {
+            assert!(!d.observe(1.0));
+        }
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut d = OscillationDetector::new(6, 2);
+        for i in 0..6 {
+            d.observe(if i % 2 == 0 { 2.0 } else { 1.0 });
+        }
+        assert!(d.alternations() >= 2);
+        d.reset();
+        assert_eq!(d.alternations(), 0);
+        assert!(!d.observe(5.0));
+    }
+
+    #[test]
+    fn window_limits_memory() {
+        let mut d = OscillationDetector::new(3, 3);
+        // Early oscillation scrolls out of a small window.
+        for cost in [1.0, 2.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0] {
+            d.observe(cost);
+        }
+        assert_eq!(d.alternations(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be at least 2")]
+    fn tiny_window_panics() {
+        OscillationDetector::new(1, 1);
+    }
+}

@@ -1,0 +1,57 @@
+//! Error type for the optimization algorithms.
+
+use std::fmt;
+
+/// Errors produced by allocation problems and optimizers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EconError {
+    /// An allocation vector had the wrong length for the problem.
+    DimensionMismatch {
+        /// Dimension the problem expects.
+        expected: usize,
+        /// Dimension that was supplied.
+        got: usize,
+    },
+    /// An allocation violated the problem's feasibility constraints.
+    Infeasible(String),
+    /// An algorithm or problem parameter was invalid.
+    InvalidParameter(String),
+    /// The underlying model could not be evaluated at the given allocation
+    /// (e.g. a queueing term became unstable).
+    Model(String),
+}
+
+impl fmt::Display for EconError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EconError::DimensionMismatch { expected, got } => {
+                write!(f, "allocation has dimension {got}, problem expects {expected}")
+            }
+            EconError::Infeasible(msg) => write!(f, "infeasible allocation: {msg}"),
+            EconError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            EconError::Model(msg) => write!(f, "model evaluation failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EconError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = EconError::DimensionMismatch { expected: 4, got: 3 };
+        assert_eq!(e.to_string(), "allocation has dimension 3, problem expects 4");
+        assert!(EconError::Infeasible("sum is 2".into()).to_string().contains("sum is 2"));
+        assert!(EconError::Model("unstable queue".into()).to_string().contains("unstable"));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<EconError>();
+    }
+}

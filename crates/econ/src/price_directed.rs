@@ -1,0 +1,357 @@
+//! The price-directed (tâtonnement) baseline (paper §2).
+//!
+//! In the price-directed approach each agent selfishly computes its demand
+//! for the resource at the current price, and the price adjusts until total
+//! demand equals the available supply. The paper lists its drawbacks
+//! relative to the resource-directed method implemented in this crate:
+//!
+//! * intermediate allocations are **infeasible** (`Σ demand ≠ supply`) until
+//!   convergence;
+//! * utility does **not** increase monotonically along the way;
+//! * each agent must solve a local optimization to compute its demand.
+//!
+//! This module implements the classic tâtonnement price adjustment
+//! `p ← p + γ · sign · (D(p) − S)` so those drawbacks can be measured
+//! side by side with the resource-directed algorithm (ablation A3), plus a
+//! bisection equilibrium finder used as ground truth.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::EconError;
+
+/// How aggregate demand responds to price, which fixes the sign of the
+/// tâtonnement adjustment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DemandSlope {
+    /// Total demand decreases as price rises (a classic consumption market).
+    Decreasing,
+    /// Total demand increases as price rises (a supply/hosting market: the
+    /// price is the payment per unit of file hosted, as in the dual of the
+    /// file-allocation problem).
+    Increasing,
+}
+
+/// Per-agent demand schedules for a single divisible resource.
+pub trait DemandFunction {
+    /// Number of agents.
+    fn dimension(&self) -> usize;
+
+    /// The fixed supply the market must clear (1 file in the basic FAP).
+    fn supply(&self) -> f64;
+
+    /// Agent `agent`'s demand at unit price `price`: the amount maximizing
+    /// its private surplus.
+    fn demand(&self, agent: usize, price: f64) -> f64;
+
+    /// The monotonicity of aggregate demand in price.
+    fn slope(&self) -> DemandSlope;
+
+    /// A price interval guaranteed to bracket the market-clearing price.
+    fn price_bracket(&self) -> (f64, f64);
+
+    /// Total demand at `price`.
+    fn total_demand(&self, price: f64) -> f64 {
+        (0..self.dimension()).map(|i| self.demand(i, price)).sum()
+    }
+}
+
+/// The result of a price-directed run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PriceSolution {
+    /// The final price.
+    pub price: f64,
+    /// The final per-agent demands (the allocation, once feasible).
+    pub allocation: Vec<f64>,
+    /// Number of price adjustments performed.
+    pub iterations: usize,
+    /// Whether the market cleared within tolerance.
+    pub converged: bool,
+    /// `|D(p) − S|` after each iteration — the feasibility violation the
+    /// paper criticizes (§2: "no guarantee that the method will result in a
+    /// feasible allocation … except at the optimum").
+    pub infeasibility: Vec<f64>,
+    /// The price after each iteration.
+    pub prices: Vec<f64>,
+}
+
+impl PriceSolution {
+    /// The largest intermediate feasibility violation.
+    pub fn max_infeasibility(&self) -> f64 {
+        self.infeasibility.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// Tâtonnement price adjustment.
+///
+/// # Example
+///
+/// A two-agent market with linear decreasing demands `d_i(p) = a_i − p`
+/// clears at `p = (Σ a_i − S) / n`:
+///
+/// ```
+/// use fap_econ::{DemandFunction, PriceDirectedOptimizer};
+/// use fap_econ::price_directed::DemandSlope;
+///
+/// struct Linear;
+/// impl DemandFunction for Linear {
+///     fn dimension(&self) -> usize { 2 }
+///     fn supply(&self) -> f64 { 1.0 }
+///     fn demand(&self, agent: usize, price: f64) -> f64 {
+///         let a = [2.0, 3.0][agent];
+///         (a - price).max(0.0)
+///     }
+///     fn slope(&self) -> DemandSlope { DemandSlope::Decreasing }
+///     fn price_bracket(&self) -> (f64, f64) { (0.0, 3.0) }
+/// }
+///
+/// let s = PriceDirectedOptimizer::new(0.2).run(&Linear)?;
+/// assert!(s.converged);
+/// assert!((s.price - 2.0).abs() < 1e-3);
+/// # Ok::<(), fap_econ::EconError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PriceDirectedOptimizer {
+    gamma: f64,
+    tolerance: f64,
+    max_iterations: usize,
+}
+
+impl PriceDirectedOptimizer {
+    /// Creates the optimizer with price-adjustment gain `gamma`.
+    /// Defaults: clearing tolerance 10⁻⁶ on `|D − S|`, 100 000-iteration
+    /// cap.
+    pub fn new(gamma: f64) -> Self {
+        PriceDirectedOptimizer { gamma, tolerance: 1e-6, max_iterations: 100_000 }
+    }
+
+    /// Sets the market-clearing tolerance on `|D(p) − S|`.
+    #[must_use]
+    pub fn with_tolerance(mut self, tolerance: f64) -> Self {
+        self.tolerance = tolerance;
+        self
+    }
+
+    /// Sets the iteration cap.
+    #[must_use]
+    pub fn with_max_iterations(mut self, max_iterations: usize) -> Self {
+        self.max_iterations = max_iterations;
+        self
+    }
+
+    /// Runs tâtonnement from the midpoint of the demand function's price
+    /// bracket.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EconError::InvalidParameter`] for a non-positive gain or
+    /// tolerance or an empty bracket.
+    pub fn run<D: DemandFunction + ?Sized>(&self, market: &D) -> Result<PriceSolution, EconError> {
+        if !self.gamma.is_finite() || self.gamma <= 0.0 {
+            return Err(EconError::InvalidParameter(format!("gamma {}", self.gamma)));
+        }
+        if !self.tolerance.is_finite() || self.tolerance <= 0.0 {
+            return Err(EconError::InvalidParameter(format!("tolerance {}", self.tolerance)));
+        }
+        let (lo, hi) = market.price_bracket();
+        if !(lo < hi) || !lo.is_finite() || !hi.is_finite() {
+            return Err(EconError::InvalidParameter(format!("price bracket ({lo}, {hi})")));
+        }
+
+        let sign = match market.slope() {
+            DemandSlope::Decreasing => 1.0,
+            DemandSlope::Increasing => -1.0,
+        };
+        let supply = market.supply();
+        let mut price = (lo + hi) / 2.0;
+        let mut infeasibility = Vec::new();
+        let mut prices = Vec::new();
+        let mut iterations = 0usize;
+
+        loop {
+            let demand = market.total_demand(price);
+            let excess = demand - supply;
+            infeasibility.push(excess.abs());
+            prices.push(price);
+
+            if excess.abs() < self.tolerance || iterations >= self.max_iterations {
+                let allocation = (0..market.dimension()).map(|i| market.demand(i, price)).collect();
+                return Ok(PriceSolution {
+                    price,
+                    allocation,
+                    iterations,
+                    converged: excess.abs() < self.tolerance,
+                    infeasibility,
+                    prices,
+                });
+            }
+            // Raise the price on excess demand (decreasing markets), or
+            // lower it (increasing markets); clamp to the bracket.
+            price = (price + sign * self.gamma * excess).clamp(lo, hi);
+            iterations += 1;
+        }
+    }
+}
+
+/// Finds the exact market-clearing price by bisection over the bracket.
+///
+/// # Errors
+///
+/// Returns [`EconError::InvalidParameter`] if the bracket does not straddle
+/// the clearing point.
+pub fn clearing_price_bisection<D: DemandFunction + ?Sized>(
+    market: &D,
+    tolerance: f64,
+) -> Result<f64, EconError> {
+    let (mut lo, mut hi) = market.price_bracket();
+    let supply = market.supply();
+    let sign = match market.slope() {
+        DemandSlope::Decreasing => -1.0,
+        DemandSlope::Increasing => 1.0,
+    };
+    // f(p) = sign·(D(p) − S) is non-decreasing in p.
+    let f = |p: f64| sign * (market.total_demand(p) - supply);
+    if f(lo) > 0.0 || f(hi) < 0.0 {
+        return Err(EconError::InvalidParameter(
+            "price bracket does not straddle the clearing price".into(),
+        ));
+    }
+    for _ in 0..200 {
+        let mid = (lo + hi) / 2.0;
+        if hi - lo < tolerance {
+            return Ok(mid);
+        }
+        if f(mid) < 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok((lo + hi) / 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// d_i(p) = (a_i − p)⁺, S = 1.
+    struct LinearDown(Vec<f64>);
+    impl DemandFunction for LinearDown {
+        fn dimension(&self) -> usize {
+            self.0.len()
+        }
+        fn supply(&self) -> f64 {
+            1.0
+        }
+        fn demand(&self, agent: usize, price: f64) -> f64 {
+            (self.0[agent] - price).max(0.0)
+        }
+        fn slope(&self) -> DemandSlope {
+            DemandSlope::Decreasing
+        }
+        fn price_bracket(&self) -> (f64, f64) {
+            (0.0, self.0.iter().copied().fold(0.0, f64::max))
+        }
+    }
+
+    /// Hosting market: d_i(p) = p · b_i (willingness grows with payment).
+    struct LinearUp(Vec<f64>);
+    impl DemandFunction for LinearUp {
+        fn dimension(&self) -> usize {
+            self.0.len()
+        }
+        fn supply(&self) -> f64 {
+            1.0
+        }
+        fn demand(&self, agent: usize, price: f64) -> f64 {
+            price * self.0[agent]
+        }
+        fn slope(&self) -> DemandSlope {
+            DemandSlope::Increasing
+        }
+        fn price_bracket(&self) -> (f64, f64) {
+            (0.0, 10.0)
+        }
+    }
+
+    #[test]
+    fn decreasing_market_clears() {
+        let m = LinearDown(vec![2.0, 3.0]);
+        let s = PriceDirectedOptimizer::new(0.3).run(&m).unwrap();
+        assert!(s.converged);
+        assert!((s.price - 2.0).abs() < 1e-4);
+        let total: f64 = s.allocation.iter().sum();
+        assert!((total - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn increasing_market_clears() {
+        // D(p) = p(b1 + b2) = 1 → p = 1/Σb.
+        let m = LinearUp(vec![1.0, 3.0]);
+        let s = PriceDirectedOptimizer::new(0.3).run(&m).unwrap();
+        assert!(s.converged);
+        assert!((s.price - 0.25).abs() < 1e-4);
+    }
+
+    #[test]
+    fn intermediate_allocations_are_infeasible() {
+        // The §2 criticism, measured: before convergence, |D − S| > 0.
+        let m = LinearDown(vec![2.0, 3.0]);
+        let s = PriceDirectedOptimizer::new(0.1).run(&m).unwrap();
+        assert!(s.iterations > 3);
+        assert!(s.max_infeasibility() > 0.1, "max {}", s.max_infeasibility());
+        // And the violation eventually vanishes.
+        assert!(*s.infeasibility.last().unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn bisection_matches_tatonnement() {
+        let m = LinearDown(vec![1.5, 2.5, 3.5]);
+        let t = PriceDirectedOptimizer::new(0.2).with_tolerance(1e-9).run(&m).unwrap();
+        let b = clearing_price_bisection(&m, 1e-12).unwrap();
+        assert!((t.price - b).abs() < 1e-6);
+
+        let m = LinearUp(vec![0.5, 0.7]);
+        let t = PriceDirectedOptimizer::new(0.2).with_tolerance(1e-9).run(&m).unwrap();
+        let b = clearing_price_bisection(&m, 1e-12).unwrap();
+        assert!((t.price - b).abs() < 1e-6);
+    }
+
+    #[test]
+    fn large_gain_fails_to_converge() {
+        // Overshooting gain oscillates; reported honestly.
+        let m = LinearDown(vec![2.0, 3.0]);
+        let s = PriceDirectedOptimizer::new(5.0).with_max_iterations(200).run(&m).unwrap();
+        assert!(!s.converged);
+        assert_eq!(s.iterations, 200);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let m = LinearDown(vec![2.0]);
+        assert!(PriceDirectedOptimizer::new(0.0).run(&m).is_err());
+        assert!(PriceDirectedOptimizer::new(0.1).with_tolerance(0.0).run(&m).is_err());
+    }
+
+    #[test]
+    fn bisection_rejects_bad_bracket() {
+        struct Bad;
+        impl DemandFunction for Bad {
+            fn dimension(&self) -> usize {
+                1
+            }
+            fn supply(&self) -> f64 {
+                100.0 // unreachable by the demand below
+            }
+            fn demand(&self, _: usize, price: f64) -> f64 {
+                (1.0 - price).max(0.0)
+            }
+            fn slope(&self) -> DemandSlope {
+                DemandSlope::Decreasing
+            }
+            fn price_bracket(&self) -> (f64, f64) {
+                (0.0, 1.0)
+            }
+        }
+        assert!(clearing_price_bisection(&Bad, 1e-9).is_err());
+    }
+}

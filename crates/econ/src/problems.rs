@@ -1,0 +1,257 @@
+//! Ready-made allocation problems.
+//!
+//! These small concave problems have closed-form optima and serve three
+//! purposes: exercising the optimizers in this crate's tests, documenting
+//! the [`AllocationProblem`] contract, and acting as fixtures for
+//! property-based tests elsewhere in the workspace. The file-allocation
+//! problem itself lives in the `fap-core` crate.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::EconError;
+use crate::problem::{check_dimension, AllocationProblem};
+
+/// The separable quadratic utility `U(x) = −Σ a_i (x_i − t_i)²` with
+/// `a_i > 0`, over the simplex `Σ x_i = total`.
+///
+/// Its constrained maximum has the closed form
+/// `x_i* = t_i + (total − Σ t_j) / Σ (1/a_j) / a_i`, obtained by equalizing
+/// marginal utilities — exactly the condition the decentralized algorithm
+/// drives toward.
+///
+/// # Example
+///
+/// ```
+/// use fap_econ::{problems::SeparableQuadratic, AllocationProblem};
+///
+/// let p = SeparableQuadratic::new(vec![1.0, 1.0], vec![0.5, 0.5], 1.0)?;
+/// assert_eq!(p.utility(&[0.5, 0.5])?, 0.0); // targets are attainable here
+/// # Ok::<(), fap_econ::EconError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeparableQuadratic {
+    weights: Vec<f64>,
+    targets: Vec<f64>,
+    total: f64,
+}
+
+impl SeparableQuadratic {
+    /// Creates the problem with per-agent curvature weights `a_i` and
+    /// targets `t_i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EconError::InvalidParameter`] if the vectors are empty,
+    /// disagree in length, any weight is not strictly positive, or any value
+    /// is non-finite.
+    pub fn new(weights: Vec<f64>, targets: Vec<f64>, total: f64) -> Result<Self, EconError> {
+        if weights.is_empty() || weights.len() != targets.len() {
+            return Err(EconError::InvalidParameter(format!(
+                "{} weights for {} targets",
+                weights.len(),
+                targets.len()
+            )));
+        }
+        if weights.iter().any(|a| !a.is_finite() || *a <= 0.0) {
+            return Err(EconError::InvalidParameter("weights must be positive".into()));
+        }
+        if targets.iter().any(|t| !t.is_finite()) || !total.is_finite() {
+            return Err(EconError::InvalidParameter("targets and total must be finite".into()));
+        }
+        Ok(SeparableQuadratic { weights, targets, total })
+    }
+
+    /// The closed-form optimum on the hyperplane `Σ x = total` (ignoring
+    /// non-negativity, which is inactive when targets are comfortably
+    /// interior).
+    pub fn analytic_optimum(&self) -> Vec<f64> {
+        let deficit: f64 = self.total - self.targets.iter().sum::<f64>();
+        let inv_sum: f64 = self.weights.iter().map(|a| 1.0 / a).sum();
+        self.targets
+            .iter()
+            .zip(&self.weights)
+            .map(|(t, a)| t + deficit / (a * inv_sum))
+            .collect()
+    }
+}
+
+impl AllocationProblem for SeparableQuadratic {
+    fn dimension(&self) -> usize {
+        self.weights.len()
+    }
+
+    fn total_resource(&self) -> f64 {
+        self.total
+    }
+
+    fn utility(&self, x: &[f64]) -> Result<f64, EconError> {
+        check_dimension(self.dimension(), x)?;
+        Ok(-x
+            .iter()
+            .zip(&self.targets)
+            .zip(&self.weights)
+            .map(|((xi, ti), ai)| ai * (xi - ti) * (xi - ti))
+            .sum::<f64>())
+    }
+
+    fn marginal_utilities(&self, x: &[f64], out: &mut [f64]) -> Result<(), EconError> {
+        check_dimension(self.dimension(), x)?;
+        check_dimension(self.dimension(), out)?;
+        for i in 0..x.len() {
+            out[i] = -2.0 * self.weights[i] * (x[i] - self.targets[i]);
+        }
+        Ok(())
+    }
+
+    fn curvatures(&self, x: &[f64], out: &mut [f64]) -> Result<(), EconError> {
+        check_dimension(self.dimension(), x)?;
+        check_dimension(self.dimension(), out)?;
+        for (o, a) in out.iter_mut().zip(&self.weights) {
+            *o = -2.0 * a;
+        }
+        Ok(())
+    }
+}
+
+/// A separable logarithmic utility `U(x) = Σ w_i ln(x_i + s)` (with shift
+/// `s > 0` keeping the utility finite at the boundary), over the simplex.
+///
+/// Strictly concave with steep gradients near zero; used to exercise the
+/// boundary-handling (set A) logic of the optimizers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShiftedLog {
+    weights: Vec<f64>,
+    shift: f64,
+    total: f64,
+}
+
+impl ShiftedLog {
+    /// Creates the problem with per-agent weights `w_i > 0` and shift `s > 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EconError::InvalidParameter`] for empty weights, any
+    /// non-positive weight, or a non-positive shift.
+    pub fn new(weights: Vec<f64>, shift: f64, total: f64) -> Result<Self, EconError> {
+        if weights.is_empty() || weights.iter().any(|w| !w.is_finite() || *w <= 0.0) {
+            return Err(EconError::InvalidParameter("weights must be positive".into()));
+        }
+        if !shift.is_finite() || shift <= 0.0 || !total.is_finite() || total <= 0.0 {
+            return Err(EconError::InvalidParameter("shift and total must be positive".into()));
+        }
+        Ok(ShiftedLog { weights, shift, total })
+    }
+
+    /// The interior optimum via the closed-form water-filling solution
+    /// `x_i = w_i (total + n·s) / Σ w_j − s`, valid when all entries are
+    /// non-negative.
+    pub fn analytic_optimum(&self) -> Vec<f64> {
+        let n = self.weights.len() as f64;
+        let wsum: f64 = self.weights.iter().sum();
+        self.weights
+            .iter()
+            .map(|w| w * (self.total + n * self.shift) / wsum - self.shift)
+            .collect()
+    }
+}
+
+impl AllocationProblem for ShiftedLog {
+    fn dimension(&self) -> usize {
+        self.weights.len()
+    }
+
+    fn total_resource(&self) -> f64 {
+        self.total
+    }
+
+    fn utility(&self, x: &[f64]) -> Result<f64, EconError> {
+        check_dimension(self.dimension(), x)?;
+        let mut u = 0.0;
+        for (xi, wi) in x.iter().zip(&self.weights) {
+            let arg = xi + self.shift;
+            if arg <= 0.0 {
+                return Err(EconError::Model(format!("log utility undefined at x = {xi}")));
+            }
+            u += wi * arg.ln();
+        }
+        Ok(u)
+    }
+
+    fn marginal_utilities(&self, x: &[f64], out: &mut [f64]) -> Result<(), EconError> {
+        check_dimension(self.dimension(), x)?;
+        check_dimension(self.dimension(), out)?;
+        for i in 0..x.len() {
+            let arg = x[i] + self.shift;
+            if arg <= 0.0 {
+                return Err(EconError::Model(format!("log utility undefined at x = {}", x[i])));
+            }
+            out[i] = self.weights[i] / arg;
+        }
+        Ok(())
+    }
+
+    fn curvatures(&self, x: &[f64], out: &mut [f64]) -> Result<(), EconError> {
+        check_dimension(self.dimension(), x)?;
+        check_dimension(self.dimension(), out)?;
+        for i in 0..x.len() {
+            let arg = x[i] + self.shift;
+            out[i] = -self.weights[i] / (arg * arg);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_validates() {
+        assert!(SeparableQuadratic::new(vec![], vec![], 1.0).is_err());
+        assert!(SeparableQuadratic::new(vec![1.0], vec![0.5, 0.5], 1.0).is_err());
+        assert!(SeparableQuadratic::new(vec![0.0], vec![0.5], 1.0).is_err());
+        assert!(SeparableQuadratic::new(vec![1.0], vec![f64::NAN], 1.0).is_err());
+    }
+
+    #[test]
+    fn quadratic_analytic_optimum_equalizes_marginals() {
+        let p = SeparableQuadratic::new(vec![1.0, 2.0, 4.0], vec![0.1, 0.2, 0.3], 1.0).unwrap();
+        let x = p.analytic_optimum();
+        assert!((x.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        let mut g = vec![0.0; 3];
+        p.marginal_utilities(&x, &mut g).unwrap();
+        assert!((g[0] - g[1]).abs() < 1e-12);
+        assert!((g[1] - g[2]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_validates() {
+        assert!(ShiftedLog::new(vec![1.0], 0.0, 1.0).is_err());
+        assert!(ShiftedLog::new(vec![-1.0], 0.1, 1.0).is_err());
+        assert!(ShiftedLog::new(vec![1.0], 0.1, 0.0).is_err());
+    }
+
+    #[test]
+    fn log_rejects_out_of_domain_points() {
+        let p = ShiftedLog::new(vec![1.0, 1.0], 0.1, 1.0).unwrap();
+        assert!(matches!(p.utility(&[-0.2, 1.2]), Err(EconError::Model(_))));
+    }
+
+    #[test]
+    fn log_analytic_optimum_equalizes_marginals() {
+        let p = ShiftedLog::new(vec![1.0, 2.0, 3.0], 0.5, 1.0).unwrap();
+        let x = p.analytic_optimum();
+        assert!((x.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        let mut g = vec![0.0; 3];
+        p.marginal_utilities(&x, &mut g).unwrap();
+        assert!((g[0] - g[1]).abs() < 1e-12 && (g[1] - g[2]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_curvature_is_negative() {
+        let p = ShiftedLog::new(vec![1.0, 1.0], 0.5, 1.0).unwrap();
+        let mut h = vec![0.0; 2];
+        p.curvatures(&[0.5, 0.5], &mut h).unwrap();
+        assert!(h.iter().all(|&c| c < 0.0));
+    }
+}

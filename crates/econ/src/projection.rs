@@ -1,0 +1,419 @@
+//! Reallocation steps and the paper's "set A" boundary procedure.
+//!
+//! One iteration of the resource-directed algorithm moves the allocation by
+//!
+//! ```text
+//! Δx_i = α · w_i · ( g_i − avg_w )        over the active set A
+//! avg_w = Σ_{j∈A} w_j g_j / Σ_{j∈A} w_j
+//! ```
+//!
+//! where `g_i = ∂U/∂x_i` and the weights `w_i` are all 1 for the first-order
+//! algorithm (recovering the paper's §5.2 step exactly) or `1/|∂²U/∂x_i²|`
+//! for the second-derivative variant of §8.2. In either case
+//! `Σ_{i∈A} Δx_i = 0` identically, which is what makes every iteration
+//! feasibility-preserving (paper Theorem 1).
+//!
+//! Non-negativity is handled by a [`BoundaryRule`]:
+//!
+//! * [`BoundaryRule::FreezeActiveSet`] — the paper's §5.2 procedure: agents
+//!   whose update would drive them negative are excluded from `A` (their
+//!   allocation freezes this iteration), then excluded agents with
+//!   above-average marginal utility are re-admitted in decreasing marginal
+//!   order (steps (i)–(v) of the paper).
+//! * [`BoundaryRule::ScaleStep`] — shrink the whole step uniformly until no
+//!   agent goes negative (preserves the step direction).
+//! * [`BoundaryRule::Unconstrained`] — no boundary handling; allocations may
+//!   transiently go negative. This is what the paper's own Figure 3
+//!   simulation evidently does: with `α = 0.67` from start `(0.8, 0.1, 0.1,
+//!   0.0)` the first step drives node 1 to `x < 0`, yet the paper reports
+//!   4-iteration convergence, which only the unconstrained update achieves.
+
+use serde::{Deserialize, Serialize};
+
+/// How an iteration treats agents that a raw step would drive below zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum BoundaryRule {
+    /// The paper's §5.2 set-A procedure (freeze violators, re-admit
+    /// high-marginal agents). The default. Note the known limitation the
+    /// paper does not address: an agent whose step *overshoots* zero from a
+    /// clearly positive allocation freezes in place and can stall short of
+    /// (or far from) the boundary; use [`BoundaryRule::ClampToZero`] when a
+    /// expected to have agents exactly at zero.
+    FreezeActiveSet,
+    /// Violators move exactly onto the boundary (`x = 0`) and release their
+    /// whole allocation to the remaining agents. A safeguarded variant of
+    /// the paper's rule that converges cleanly to boundary optima and never
+    /// deadlocks on step overshoot; the default.
+    #[default]
+    ClampToZero,
+    /// Uniformly scale the step back until all allocations stay
+    /// non-negative.
+    ScaleStep,
+    /// Apply the raw step; allocations may transiently go negative.
+    Unconstrained,
+}
+
+/// The outcome of computing one reallocation step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StepOutcome {
+    /// Per-agent changes `Δx_i`; zero for agents outside the active set.
+    pub deltas: Vec<f64>,
+    /// Membership of the active set `A`.
+    pub active: Vec<bool>,
+    /// Factor the step was scaled by (1.0 except under
+    /// [`BoundaryRule::ScaleStep`]).
+    pub scale: f64,
+}
+
+impl StepOutcome {
+    /// Number of agents in the active set.
+    pub fn active_count(&self) -> usize {
+        self.active.iter().filter(|a| **a).count()
+    }
+}
+
+/// Computes one reallocation step.
+///
+/// `weights` are the per-agent step weights (`w_i` above); pass all-ones for
+/// the paper's first-order algorithm. All slices must have equal length, the
+/// step size `alpha` must be positive and finite, and weights must be
+/// positive; violations are programming errors.
+///
+/// # Panics
+///
+/// Panics if slice lengths differ, `alpha` is not positive and finite, or
+/// any weight is not positive and finite.
+pub fn compute_step(
+    x: &[f64],
+    marginals: &[f64],
+    weights: &[f64],
+    alpha: f64,
+    rule: BoundaryRule,
+) -> StepOutcome {
+    let n = x.len();
+    assert_eq!(marginals.len(), n, "marginals length mismatch");
+    assert_eq!(weights.len(), n, "weights length mismatch");
+    assert!(alpha.is_finite() && alpha > 0.0, "alpha must be positive and finite");
+    assert!(
+        weights.iter().all(|w| w.is_finite() && *w > 0.0),
+        "weights must be positive and finite"
+    );
+
+    match rule {
+        BoundaryRule::Unconstrained => {
+            let active = vec![true; n];
+            let deltas = raw_deltas(marginals, weights, &active, alpha);
+            StepOutcome { deltas, active, scale: 1.0 }
+        }
+        BoundaryRule::ScaleStep => {
+            let active = vec![true; n];
+            let deltas = raw_deltas(marginals, weights, &active, alpha);
+            // Largest s in (0, 1] with x_i + s·Δ_i ≥ 0 for all i.
+            let mut scale = 1.0f64;
+            for i in 0..n {
+                if deltas[i] < 0.0 {
+                    let limit = -x[i] / deltas[i]; // ≥ 0 since x_i ≥ 0
+                    scale = scale.min(limit);
+                }
+            }
+            scale = scale.clamp(0.0, 1.0);
+            let deltas = deltas.into_iter().map(|d| d * scale).collect();
+            StepOutcome { deltas, active, scale }
+        }
+        BoundaryRule::FreezeActiveSet => freeze_active_set(x, marginals, weights, alpha),
+        BoundaryRule::ClampToZero => clamp_to_zero(x, marginals, weights, alpha),
+    }
+}
+
+/// Violators are pinned exactly to zero (`Δx_v = −x_v`), releasing their
+/// mass; the free agents share the released mass equally on top of their
+/// zero-sum raw step. Pinning can cascade; each pass pins at least one more
+/// agent, so the loop terminates.
+fn clamp_to_zero(x: &[f64], marginals: &[f64], weights: &[f64], alpha: f64) -> StepOutcome {
+    let n = x.len();
+    let mut pinned = vec![false; n];
+    loop {
+        let active: Vec<bool> = pinned.iter().map(|p| !p).collect();
+        let free_count = active.iter().filter(|a| **a).count();
+        if free_count == 0 {
+            return StepOutcome { deltas: vec![0.0; n], active, scale: 1.0 };
+        }
+        let mut deltas = raw_deltas(marginals, weights, &active, alpha);
+        let released: f64 = (0..n).filter(|&i| pinned[i]).map(|i| x[i]).sum();
+        let share = released / free_count as f64;
+        for i in 0..n {
+            if active[i] {
+                deltas[i] += share;
+            } else {
+                deltas[i] = -x[i];
+            }
+        }
+        let violator = (0..n)
+            .filter(|&i| active[i] && x[i] + deltas[i] < 0.0)
+            .min_by(|&a, &b| marginals[a].total_cmp(&marginals[b]));
+        match violator {
+            Some(v) => pinned[v] = true,
+            None => return StepOutcome { deltas, active, scale: 1.0 },
+        }
+    }
+}
+
+/// Raw step over the given active set: `Δx_i = α w_i (g_i − avg_w)` for
+/// active `i`, zero otherwise.
+fn raw_deltas(marginals: &[f64], weights: &[f64], active: &[bool], alpha: f64) -> Vec<f64> {
+    let avg = weighted_average(marginals, weights, active);
+    marginals
+        .iter()
+        .zip(weights)
+        .zip(active)
+        .map(|((g, w), a)| if *a { alpha * w * (g - avg) } else { 0.0 })
+        .collect()
+}
+
+/// Weighted average marginal utility over the active set.
+fn weighted_average(marginals: &[f64], weights: &[f64], active: &[bool]) -> f64 {
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for i in 0..marginals.len() {
+        if active[i] {
+            num += weights[i] * marginals[i];
+            den += weights[i];
+        }
+    }
+    if den == 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+/// The paper's §5.2 procedure for computing the set `A`, generalized to
+/// weighted steps:
+///
+/// 1. `A = { i | x_i + Δx_i > 0 }` with `Δx` computed over all agents;
+/// 2. repeatedly re-admit the excluded agent with the highest marginal
+///    utility while it exceeds the active-set average;
+/// 3. recompute `Δx` over the final `A` (with a safeguarded re-removal pass
+///    in case the recomputed average creates new violations — the paper's
+///    statement overlooks this corner).
+fn freeze_active_set(x: &[f64], marginals: &[f64], weights: &[f64], alpha: f64) -> StepOutcome {
+    let n = x.len();
+    let mut active = vec![true; n];
+
+    // Step (i): tentative full step, drop agents driven non-positive.
+    let tentative = raw_deltas(marginals, weights, &active, alpha);
+    for i in 0..n {
+        if x[i] + tentative[i] <= 0.0 {
+            active[i] = false;
+        }
+    }
+    // Degenerate: everything excluded (only possible when total ≈ 0).
+    if active.iter().all(|a| !a) {
+        return StepOutcome { deltas: vec![0.0; n], active, scale: 1.0 };
+    }
+
+    // Steps (ii)–(v): re-admit excluded agents with above-average marginal
+    // utility, highest first.
+    loop {
+        let avg = weighted_average(marginals, weights, &active);
+        let best = (0..n)
+            .filter(|&j| !active[j])
+            .max_by(|&a, &b| marginals[a].total_cmp(&marginals[b]));
+        match best {
+            Some(j) if marginals[j] > avg => active[j] = true,
+            _ => break,
+        }
+    }
+
+    // Final deltas, with a safeguard: recomputing the average over A can
+    // push further agents negative; remove them (most-below-average first)
+    // until stable. Each pass removes at least one agent, so this
+    // terminates.
+    loop {
+        let deltas = raw_deltas(marginals, weights, &active, alpha);
+        let violator = (0..n)
+            .filter(|&i| active[i] && x[i] + deltas[i] < 0.0)
+            .min_by(|&a, &b| marginals[a].total_cmp(&marginals[b]));
+        match violator {
+            Some(i) => active[i] = false,
+            None => return StepOutcome { deltas, active, scale: 1.0 },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const ONES: [f64; 4] = [1.0; 4];
+
+    #[test]
+    fn equal_marginals_give_zero_step() {
+        let x = [0.25, 0.25, 0.25, 0.25];
+        let g = [2.0, 2.0, 2.0, 2.0];
+        for rule in [BoundaryRule::Unconstrained, BoundaryRule::ScaleStep, BoundaryRule::FreezeActiveSet] {
+            let out = compute_step(&x, &g, &ONES, 0.5, rule);
+            assert!(out.deltas.iter().all(|d| d.abs() < 1e-15), "{rule:?}: {:?}", out.deltas);
+        }
+    }
+
+    #[test]
+    fn step_moves_toward_high_marginal_agents() {
+        let x = [0.5, 0.5, 0.0, 0.0];
+        let g = [-1.0, -1.0, 1.0, 1.0];
+        let out = compute_step(&x, &g, &ONES, 0.1, BoundaryRule::FreezeActiveSet);
+        assert!(out.deltas[0] < 0.0 && out.deltas[1] < 0.0);
+        assert!(out.deltas[2] > 0.0 && out.deltas[3] > 0.0);
+    }
+
+    #[test]
+    fn deltas_sum_to_zero_for_all_rules() {
+        let x = [0.7, 0.2, 0.1, 0.0];
+        let g = [-3.0, 0.5, 1.0, 2.0];
+        let w = [1.0, 2.0, 0.5, 1.5];
+        for rule in [BoundaryRule::Unconstrained, BoundaryRule::ScaleStep, BoundaryRule::FreezeActiveSet] {
+            let out = compute_step(&x, &g, &w, 0.05, rule);
+            let sum: f64 = out.deltas.iter().sum();
+            assert!(sum.abs() < 1e-12, "{rule:?}: sum {sum}");
+        }
+    }
+
+    #[test]
+    fn unconstrained_can_go_negative() {
+        let x = [0.8, 0.1, 0.1, 0.0];
+        // Strongly below-average marginal at agent 0.
+        let g = [-4.0, -1.7, -1.7, -1.6];
+        let out = compute_step(&x, &g, &ONES, 0.67, BoundaryRule::Unconstrained);
+        assert!(x[0] + out.deltas[0] < 0.0, "expected transient negativity");
+        assert_eq!(out.scale, 1.0);
+    }
+
+    #[test]
+    fn scale_step_stops_exactly_at_zero() {
+        let x = [0.8, 0.1, 0.1, 0.0];
+        let g = [-4.0, -1.7, -1.7, -1.6];
+        let out = compute_step(&x, &g, &ONES, 0.67, BoundaryRule::ScaleStep);
+        assert!(out.scale < 1.0);
+        let new: Vec<f64> = x.iter().zip(&out.deltas).map(|(a, d)| a + d).collect();
+        assert!(new.iter().all(|v| *v >= -1e-12), "{new:?}");
+        // The binding agent lands exactly on zero.
+        assert!(new.iter().any(|v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn freeze_excludes_violator_and_keeps_others_moving() {
+        let x = [0.8, 0.1, 0.1, 0.0];
+        let g = [-4.0, -1.7, -1.7, -1.6];
+        let out = compute_step(&x, &g, &ONES, 0.67, BoundaryRule::FreezeActiveSet);
+        assert!(!out.active[0], "agent 0 should be frozen");
+        assert_eq!(out.deltas[0], 0.0);
+        assert_eq!(out.active_count(), 3);
+        let new: Vec<f64> = x.iter().zip(&out.deltas).map(|(a, d)| a + d).collect();
+        assert!(new.iter().all(|v| *v >= -1e-12));
+        let sum: f64 = out.deltas.iter().sum();
+        assert!(sum.abs() < 1e-12);
+    }
+
+    #[test]
+    fn freeze_readmits_high_marginal_agent_at_zero() {
+        // Agent 3 sits at zero with the *highest* marginal utility: the
+        // tentative step gives it a positive delta, so it stays active and
+        // receives resource.
+        let x = [0.5, 0.3, 0.2, 0.0];
+        let g = [0.0, 0.0, 0.0, 5.0];
+        let out = compute_step(&x, &g, &ONES, 0.01, BoundaryRule::FreezeActiveSet);
+        assert!(out.active[3]);
+        assert!(out.deltas[3] > 0.0);
+    }
+
+    #[test]
+    fn freeze_keeps_zero_agent_with_low_marginal_frozen() {
+        let x = [0.5, 0.3, 0.2, 0.0];
+        let g = [1.0, 1.0, 1.0, -5.0];
+        let out = compute_step(&x, &g, &ONES, 0.1, BoundaryRule::FreezeActiveSet);
+        assert!(!out.active[3]);
+        assert_eq!(out.deltas[3], 0.0);
+        let new: Vec<f64> = x.iter().zip(&out.deltas).map(|(a, d)| a + d).collect();
+        assert!(new[3].abs() < 1e-15);
+    }
+
+    #[test]
+    fn clamp_pins_violator_exactly_to_zero_and_rebalances() {
+        let x = [0.8, 0.1, 0.1, 0.0];
+        let g = [-4.0, -1.7, -1.7, -1.6];
+        let out = compute_step(&x, &g, &ONES, 0.67, BoundaryRule::ClampToZero);
+        assert!(!out.active[0]);
+        assert!((out.deltas[0] + 0.8).abs() < 1e-12, "agent 0 releases everything");
+        let new: Vec<f64> = x.iter().zip(&out.deltas).map(|(a, d)| a + d).collect();
+        assert!(new[0].abs() < 1e-12);
+        assert!(new.iter().all(|v| *v >= -1e-12));
+        assert!((new.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamp_without_violators_equals_raw_step() {
+        let x = [0.25; 4];
+        let g = [1.0, 2.0, 3.0, 4.0];
+        let a = compute_step(&x, &g, &ONES, 0.01, BoundaryRule::ClampToZero);
+        let b = compute_step(&x, &g, &ONES, 0.01, BoundaryRule::Unconstrained);
+        for (da, db) in a.deltas.iter().zip(&b.deltas) {
+            assert!((da - db).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn weighted_step_scales_with_weights() {
+        let x = [0.5, 0.5];
+        let g = [1.0, -1.0];
+        let w = [2.0, 1.0];
+        let out = compute_step(&x, &g, &w, 0.1, BoundaryRule::Unconstrained);
+        // avg_w = (2·1 + 1·(−1)) / 3 = 1/3.
+        // Δ_0 = 0.1·2·(1 − 1/3) = 0.1333…; Δ_1 = 0.1·1·(−4/3) = −0.1333…
+        assert!((out.deltas[0] - 0.4 / 3.0).abs() < 1e-12);
+        assert!((out.deltas[1] + 0.4 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be positive")]
+    fn rejects_non_positive_alpha() {
+        compute_step(&[1.0], &[0.0], &[1.0], 0.0, BoundaryRule::Unconstrained);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be positive")]
+    fn rejects_non_positive_weight() {
+        compute_step(&[1.0, 0.0], &[0.0, 0.0], &[1.0, 0.0], 0.1, BoundaryRule::Unconstrained);
+    }
+
+    proptest! {
+        /// For every rule: deltas sum to zero (feasibility, Theorem 1) and,
+        /// for the boundary-respecting rules, the updated allocation stays
+        /// non-negative.
+        #[test]
+        fn step_invariants(
+            raw_x in proptest::collection::vec(0.0f64..1.0, 2..10),
+            g in proptest::collection::vec(-5.0f64..5.0, 10),
+            w in proptest::collection::vec(0.1f64..3.0, 10),
+            alpha in 0.001f64..1.0,
+        ) {
+            let n = raw_x.len();
+            let sum: f64 = raw_x.iter().sum();
+            prop_assume!(sum > 1e-6);
+            let x: Vec<f64> = raw_x.iter().map(|v| v / sum).collect();
+            let g = &g[..n];
+            let w = &w[..n];
+            for rule in [BoundaryRule::FreezeActiveSet, BoundaryRule::ClampToZero, BoundaryRule::ScaleStep, BoundaryRule::Unconstrained] {
+                let out = compute_step(&x, g, w, alpha, rule);
+                let dsum: f64 = out.deltas.iter().sum();
+                prop_assert!(dsum.abs() < 1e-9, "{rule:?} dsum {dsum}");
+                if rule != BoundaryRule::Unconstrained {
+                    for (xi, d) in x.iter().zip(&out.deltas) {
+                        prop_assert!(xi + d >= -1e-9, "{rule:?} went negative");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! Step-size (α) policies.
+//!
+//! The paper proves convergence for α below a closed-form bound (Theorem 2)
+//! but observes that the bound is "too small to be of any real significance"
+//! (§8.2) and that much larger values converge far faster (Figure 5). It
+//! also suggests two refinements implemented here: computing α dynamically
+//! from the current iterate (appendix remark after Theorem 2) and shrinking
+//! α when oscillation is detected (§7.3).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::EconError;
+
+/// A policy choosing the step size α for each iteration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum StepSize {
+    /// A constant α, as in the paper's §6 experiments.
+    Fixed(f64),
+    /// Start at `initial` and multiply by `factor` whenever the optimizer
+    /// reports oscillation, never going below `floor`. This is the §7.3
+    /// remedy: "the value of the stepsize parameter α is decreased by a
+    /// fixed amount after a certain predetermined number of iterations" of
+    /// observed oscillation.
+    AdaptiveDecay {
+        /// Initial step size.
+        initial: f64,
+        /// Multiplicative decay factor in `(0, 1)`.
+        factor: f64,
+        /// Smallest step size the policy will decay to.
+        floor: f64,
+    },
+    /// Recompute α each iteration from the current marginals and curvatures
+    /// via the appendix formula (the remark after Theorem 2): the largest α
+    /// keeping the second-order expansion of ΔU positive, times `safety`.
+    Dynamic {
+        /// Fraction of the theoretical per-iteration maximum to use, in
+        /// `(0, 1)`.
+        safety: f64,
+        /// Upper clamp on the produced step (guards near-optimal iterates
+        /// where the formula diverges).
+        max: f64,
+    },
+}
+
+impl StepSize {
+    /// Validates the policy parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EconError::InvalidParameter`] for non-positive or
+    /// non-finite step sizes, decay factors outside `(0, 1)`, or safety
+    /// factors outside `(0, 1]`.
+    pub fn validate(&self) -> Result<(), EconError> {
+        let bad = |msg: String| Err(EconError::InvalidParameter(msg));
+        match *self {
+            StepSize::Fixed(a) => {
+                if !a.is_finite() || a <= 0.0 {
+                    return bad(format!("fixed step {a} must be positive"));
+                }
+            }
+            StepSize::AdaptiveDecay { initial, factor, floor } => {
+                if !initial.is_finite() || initial <= 0.0 {
+                    return bad(format!("initial step {initial} must be positive"));
+                }
+                if !(0.0..1.0).contains(&factor) || factor == 0.0 {
+                    return bad(format!("decay factor {factor} must be in (0, 1)"));
+                }
+                if !floor.is_finite() || floor <= 0.0 || floor > initial {
+                    return bad(format!("floor {floor} must be in (0, initial]"));
+                }
+            }
+            StepSize::Dynamic { safety, max } => {
+                if !(0.0..=1.0).contains(&safety) || safety == 0.0 {
+                    return bad(format!("safety factor {safety} must be in (0, 1]"));
+                }
+                if !max.is_finite() || max <= 0.0 {
+                    return bad(format!("max step {max} must be positive"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Mutable state of a step-size policy across an optimization run.
+#[derive(Debug, Clone)]
+pub struct StepSizeState {
+    policy: StepSize,
+    current: f64,
+}
+
+impl StepSizeState {
+    /// Initializes state for a validated policy.
+    pub(crate) fn new(policy: StepSize) -> Self {
+        let current = match policy {
+            StepSize::Fixed(a) => a,
+            StepSize::AdaptiveDecay { initial, .. } => initial,
+            StepSize::Dynamic { max, .. } => max,
+        };
+        StepSizeState { policy, current }
+    }
+
+    /// The α to use this iteration, given the active-set marginals `g`,
+    /// curvatures `h` (`∂²U/∂x_i²`, non-positive for concave utilities), and
+    /// step weights `w` over active agents.
+    pub(crate) fn alpha(&mut self, g: &[f64], h: &[f64], w: &[f64], active: &[bool]) -> f64 {
+        if let StepSize::Dynamic { safety, max } = self.policy {
+            self.current = dynamic_alpha(g, h, w, active).map_or(max, |a| (safety * a).min(max));
+        }
+        self.current
+    }
+
+    /// Notifies the policy that oscillation was detected.
+    pub(crate) fn on_oscillation(&mut self) {
+        if let StepSize::AdaptiveDecay { factor, floor, .. } = self.policy {
+            self.current = (self.current * factor).max(floor);
+        }
+    }
+
+    /// The most recent α.
+    #[cfg(test)]
+    pub(crate) fn current(&self) -> f64 {
+        self.current
+    }
+}
+
+/// The appendix's per-iteration step bound: the α at which the second-order
+/// expansion of ΔU reaches zero,
+///
+/// ```text
+/// α* = 2 Σ_A w_i (g_i − avg_w)² / | Σ_A h_i w_i² (g_i − avg_w)² |
+/// ```
+///
+/// (the weighted generalization of equation 5; with unit weights this is the
+/// paper's expression). Returns `None` when the iterate has equal marginals
+/// or vanishing curvature, where the bound is undefined.
+pub fn dynamic_alpha(g: &[f64], h: &[f64], w: &[f64], active: &[bool]) -> Option<f64> {
+    let mut num_w = 0.0;
+    let mut den_w = 0.0;
+    for i in 0..g.len() {
+        if active[i] {
+            num_w += w[i] * g[i];
+            den_w += w[i];
+        }
+    }
+    if den_w == 0.0 {
+        return None;
+    }
+    let avg = num_w / den_w;
+    let mut first = 0.0;
+    let mut second = 0.0;
+    for i in 0..g.len() {
+        if active[i] {
+            let d = g[i] - avg;
+            first += w[i] * d * d;
+            second += h[i] * w[i] * w[i] * d * d;
+        }
+    }
+    if first <= 0.0 || second >= 0.0 {
+        // Equal marginals, or non-concave curvature: bound undefined.
+        return None;
+    }
+    Some(2.0 * first / (-second))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_accepts_good_policies() {
+        assert!(StepSize::Fixed(0.3).validate().is_ok());
+        assert!(StepSize::AdaptiveDecay { initial: 0.1, factor: 0.5, floor: 0.001 }
+            .validate()
+            .is_ok());
+        assert!(StepSize::Dynamic { safety: 0.5, max: 10.0 }.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_policies() {
+        assert!(StepSize::Fixed(0.0).validate().is_err());
+        assert!(StepSize::Fixed(f64::NAN).validate().is_err());
+        assert!(StepSize::AdaptiveDecay { initial: 0.1, factor: 1.0, floor: 0.01 }
+            .validate()
+            .is_err());
+        assert!(StepSize::AdaptiveDecay { initial: 0.1, factor: 0.5, floor: 0.2 }
+            .validate()
+            .is_err());
+        assert!(StepSize::Dynamic { safety: 0.0, max: 1.0 }.validate().is_err());
+        assert!(StepSize::Dynamic { safety: 1.5, max: 1.0 }.validate().is_err());
+    }
+
+    #[test]
+    fn fixed_policy_never_changes() {
+        let mut s = StepSizeState::new(StepSize::Fixed(0.3));
+        let g = [1.0, -1.0];
+        let h = [-2.0, -2.0];
+        let w = [1.0, 1.0];
+        let a = [true, true];
+        assert_eq!(s.alpha(&g, &h, &w, &a), 0.3);
+        s.on_oscillation();
+        assert_eq!(s.alpha(&g, &h, &w, &a), 0.3);
+    }
+
+    #[test]
+    fn adaptive_decay_shrinks_on_oscillation_to_floor() {
+        let mut s = StepSizeState::new(StepSize::AdaptiveDecay {
+            initial: 0.1,
+            factor: 0.5,
+            floor: 0.03,
+        });
+        assert_eq!(s.current(), 0.1);
+        s.on_oscillation();
+        assert_eq!(s.current(), 0.05);
+        s.on_oscillation();
+        assert_eq!(s.current(), 0.03); // clamped at floor
+        s.on_oscillation();
+        assert_eq!(s.current(), 0.03);
+    }
+
+    #[test]
+    fn dynamic_alpha_guarantees_second_order_improvement() {
+        // For a quadratic utility the second-order expansion is exact, so
+        // stepping with α just below the bound must improve utility, and
+        // stepping with 2α must not.
+        use crate::problem::AllocationProblem;
+        use crate::problems::SeparableQuadratic;
+        use crate::projection::{compute_step, BoundaryRule};
+
+        let p = SeparableQuadratic::new(vec![1.0, 2.0], vec![0.8, 0.2], 1.0).unwrap();
+        let x = vec![0.2, 0.8];
+        let mut g = vec![0.0; 2];
+        let mut h = vec![0.0; 2];
+        p.marginal_utilities(&x, &mut g).unwrap();
+        p.curvatures(&x, &mut h).unwrap();
+        let w = [1.0, 1.0];
+        let active = [true, true];
+        let bound = dynamic_alpha(&g, &h, &w, &active).unwrap();
+
+        let u0 = p.utility(&x).unwrap();
+        for (factor, improves) in [(0.9, true), (2.1, false)] {
+            let out = compute_step(&x, &g, &w, factor * bound, BoundaryRule::Unconstrained);
+            let nx: Vec<f64> = x.iter().zip(&out.deltas).map(|(a, d)| a + d).collect();
+            let u1 = p.utility(&nx).unwrap();
+            assert_eq!(u1 > u0, improves, "factor {factor}: {u0} -> {u1}");
+        }
+    }
+
+    #[test]
+    fn dynamic_alpha_is_none_at_optimum() {
+        let g = [1.0, 1.0, 1.0];
+        let h = [-1.0, -1.0, -1.0];
+        let w = [1.0; 3];
+        let active = [true; 3];
+        assert_eq!(dynamic_alpha(&g, &h, &w, &active), None);
+    }
+
+    #[test]
+    fn dynamic_alpha_is_none_without_curvature() {
+        let g = [1.0, -1.0];
+        let h = [0.0, 0.0];
+        let w = [1.0; 2];
+        assert_eq!(dynamic_alpha(&g, &h, &w, &[true, true]), None);
+    }
+
+    #[test]
+    fn dynamic_policy_clamps_to_max() {
+        let mut s = StepSizeState::new(StepSize::Dynamic { safety: 1.0, max: 0.01 });
+        // Tiny curvature would produce a huge bound; expect the clamp.
+        let g = [1.0, -1.0];
+        let h = [-1e-9, -1e-9];
+        let w = [1.0, 1.0];
+        assert_eq!(s.alpha(&g, &h, &w, &[true, true]), 0.01);
+    }
+}

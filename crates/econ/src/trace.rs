@@ -1,0 +1,164 @@
+//! Iteration traces.
+//!
+//! The paper's figures plot the cost of the current allocation against the
+//! iteration number (convergence profiles). A [`Trace`] records exactly that
+//! series, plus the per-iteration diagnostics needed by the step-size
+//! policies and the reproduction harness.
+
+use serde::{Deserialize, Serialize};
+
+/// One iteration's diagnostics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IterationRecord {
+    /// Iteration number (0 = the initial allocation, before any step).
+    pub iteration: usize,
+    /// System-wide utility `U(x)` at this iterate.
+    pub utility: f64,
+    /// Spread of marginal utilities over the active set.
+    pub spread: f64,
+    /// Step size α used to move *from* this iterate (0 for the final record).
+    pub alpha: f64,
+    /// Number of agents in the active set.
+    pub active_count: usize,
+    /// The allocation itself, when allocation recording is enabled.
+    pub allocation: Option<Vec<f64>>,
+}
+
+impl IterationRecord {
+    /// The cost `−U` at this iterate (the paper plots cost).
+    pub fn cost(&self) -> f64 {
+        -self.utility
+    }
+}
+
+/// The full per-iteration history of one optimization run.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Trace {
+    records: Vec<IterationRecord>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, record: IterationRecord) {
+        self.records.push(record);
+    }
+
+    /// All records, in iteration order.
+    pub fn records(&self) -> &[IterationRecord] {
+        &self.records
+    }
+
+    /// Number of recorded iterations (including the initial allocation).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The cost series `−U` per iteration — a paper "convergence profile".
+    pub fn cost_series(&self) -> Vec<f64> {
+        self.records.iter().map(IterationRecord::cost).collect()
+    }
+
+    /// Whether cost decreased strictly monotonically across the whole run
+    /// (within `tolerance` per step) — the paper's Theorem 2 property.
+    pub fn is_cost_monotone_decreasing(&self, tolerance: f64) -> bool {
+        self.records.windows(2).all(|w| w[1].cost() <= w[0].cost() + tolerance)
+    }
+
+    /// First iteration at which cost came within `threshold` of `target`,
+    /// if any — used to measure the paper's "rapid convergence phase".
+    pub fn iterations_to_reach(&self, target: f64, threshold: f64) -> Option<usize> {
+        self.records.iter().find(|r| r.cost() <= target + threshold).map(|r| r.iteration)
+    }
+
+    /// The lowest cost observed across the run and the iteration it occurred
+    /// at — the §7.3 halting rule for strongly oscillatory objectives
+    /// ("halting when the cost is at the lowest observed point").
+    pub fn best_observed(&self) -> Option<(usize, f64)> {
+        self.records
+            .iter()
+            .min_by(|a, b| a.cost().total_cmp(&b.cost()))
+            .map(|r| (r.iteration, r.cost()))
+    }
+
+    /// Largest upward cost move between consecutive iterations — the
+    /// oscillation amplitude compared across step sizes in Figure 9.
+    pub fn max_cost_increase(&self) -> f64 {
+        self.records
+            .windows(2)
+            .map(|w| w[1].cost() - w[0].cost())
+            .fold(0.0, f64::max)
+    }
+}
+
+impl FromIterator<IterationRecord> for Trace {
+    fn from_iter<T: IntoIterator<Item = IterationRecord>>(iter: T) -> Self {
+        Trace { records: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(iteration: usize, utility: f64) -> IterationRecord {
+        IterationRecord { iteration, utility, spread: 0.0, alpha: 0.1, active_count: 4, allocation: None }
+    }
+
+    #[test]
+    fn cost_negates_utility() {
+        assert_eq!(record(0, -2.5).cost(), 2.5);
+    }
+
+    #[test]
+    fn monotone_detection() {
+        let t: Trace = [record(0, -3.0), record(1, -2.0), record(2, -1.9)].into_iter().collect();
+        assert!(t.is_cost_monotone_decreasing(0.0));
+        let t: Trace = [record(0, -3.0), record(1, -3.5)].into_iter().collect();
+        assert!(!t.is_cost_monotone_decreasing(0.0));
+        assert!(t.is_cost_monotone_decreasing(1.0)); // within tolerance
+    }
+
+    #[test]
+    fn iterations_to_reach_finds_first_crossing() {
+        let t: Trace =
+            [record(0, -5.0), record(1, -3.0), record(2, -2.0), record(3, -1.9)].into_iter().collect();
+        assert_eq!(t.iterations_to_reach(2.0, 0.0), Some(2));
+        assert_eq!(t.iterations_to_reach(1.0, 0.0), None);
+    }
+
+    #[test]
+    fn best_observed_handles_oscillation() {
+        let t: Trace =
+            [record(0, -5.0), record(1, -1.0), record(2, -2.0)].into_iter().collect();
+        assert_eq!(t.best_observed(), Some((1, 1.0)));
+    }
+
+    #[test]
+    fn max_cost_increase_measures_amplitude() {
+        let t: Trace =
+            [record(0, -5.0), record(1, -2.0), record(2, -4.5), record(3, -3.0)].into_iter().collect();
+        // Cost series: 5.0, 2.0, 4.5, 3.0 → largest rise is 2.5.
+        assert!((t.max_cost_increase() - 2.5).abs() < 1e-12);
+        let monotone: Trace = [record(0, -5.0), record(1, -2.0)].into_iter().collect();
+        assert_eq!(monotone.max_cost_increase(), 0.0);
+    }
+
+    #[test]
+    fn empty_trace_is_well_behaved() {
+        let t = Trace::new();
+        assert!(t.is_empty());
+        assert_eq!(t.best_observed(), None);
+        assert_eq!(t.iterations_to_reach(0.0, 0.0), None);
+        assert!(t.is_cost_monotone_decreasing(0.0));
+    }
+}

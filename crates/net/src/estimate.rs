@@ -1,0 +1,248 @@
+//! Estimating access patterns from observed traffic.
+//!
+//! The §8 adaptive scheme "would crucially depend on the ability of all
+//! nodes to accurately estimate the values for changing system parameters".
+//! The rates `λ_i` are the first of those parameters: in a deployed system
+//! nobody hands the optimizer a λ-vector — it must be estimated from the
+//! access log. This module provides that estimator, with smoothing for the
+//! drifting workloads the adaptive allocator tracks.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::NetError;
+use crate::graph::NodeId;
+use crate::workload::AccessPattern;
+
+/// An observed access event: which node generated an access, and when.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccessEvent {
+    /// The node that generated the access.
+    pub source: NodeId,
+    /// Event time (same clock as the observation window).
+    pub time: f64,
+}
+
+/// Maximum-likelihood rate estimation over an observation window: for
+/// Poisson traffic, `λ̂_i = count_i / window`.
+///
+/// Events outside `[window_start, window_start + window_length)` are
+/// ignored, so a rolling estimator can feed a long log through repeatedly.
+///
+/// # Errors
+///
+/// Returns [`NetError::InvalidWorkload`] for a non-positive window or if no
+/// in-window events exist (an all-zero pattern is invalid), and
+/// [`NetError::NodeOutOfRange`] if an event names a node outside `0..n`.
+pub fn estimate_rates(
+    n: usize,
+    events: &[AccessEvent],
+    window_start: f64,
+    window_length: f64,
+) -> Result<AccessPattern, NetError> {
+    if !window_length.is_finite() || window_length <= 0.0 {
+        return Err(NetError::InvalidWorkload(format!("window length {window_length}")));
+    }
+    let mut counts = vec![0u64; n];
+    for event in events {
+        if event.source.index() >= n {
+            return Err(NetError::NodeOutOfRange { node: event.source.index(), node_count: n });
+        }
+        if event.time >= window_start && event.time < window_start + window_length {
+            counts[event.source.index()] += 1;
+        }
+    }
+    AccessPattern::new(counts.into_iter().map(|c| c as f64 / window_length).collect())
+}
+
+/// An exponentially-smoothed rolling rate estimator, the standard tool for
+/// tracking the *drifting* statistics of §8: each completed window's ML
+/// estimate is blended into the running estimate with weight `gain`.
+///
+/// # Example
+///
+/// ```
+/// use fap_net::estimate::{AccessEvent, RollingEstimator};
+/// use fap_net::NodeId;
+///
+/// let mut est = RollingEstimator::new(2, 10.0, 0.5)?;
+/// // Ten accesses from node 0 in the first window, none from node 1.
+/// let events: Vec<AccessEvent> = (0..10)
+///     .map(|i| AccessEvent { source: NodeId::new(0), time: i as f64 })
+///     .collect();
+/// let pattern = est.observe_window(&events)?.expect("first window complete");
+/// assert!((pattern.rate(NodeId::new(0)) - 1.0).abs() < 1e-12);
+/// # Ok::<(), fap_net::NetError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RollingEstimator {
+    n: usize,
+    window_length: f64,
+    gain: f64,
+    windows_seen: usize,
+    rates: Vec<f64>,
+}
+
+impl RollingEstimator {
+    /// Creates an estimator over `n` nodes with the given window length and
+    /// smoothing gain in `(0, 1]` (1 = no smoothing, use each window's
+    /// estimate directly).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InvalidWorkload`] for `n = 0`, a non-positive
+    /// window, or a gain outside `(0, 1]`.
+    pub fn new(n: usize, window_length: f64, gain: f64) -> Result<Self, NetError> {
+        if n == 0 {
+            return Err(NetError::InvalidWorkload("no nodes".into()));
+        }
+        if !window_length.is_finite() || window_length <= 0.0 {
+            return Err(NetError::InvalidWorkload(format!("window length {window_length}")));
+        }
+        if !(gain > 0.0 && gain <= 1.0) {
+            return Err(NetError::InvalidWorkload(format!("gain {gain} outside (0, 1]")));
+        }
+        Ok(RollingEstimator { n, window_length, gain, windows_seen: 0, rates: vec![0.0; n] })
+    }
+
+    /// Feeds one completed window of events (times relative to the window's
+    /// own start) and returns the updated smoothed estimate, or `None` if
+    /// the estimate is not yet valid (no traffic seen so far).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::NodeOutOfRange`] if an event names an unknown
+    /// node.
+    pub fn observe_window(
+        &mut self,
+        events: &[AccessEvent],
+    ) -> Result<Option<AccessPattern>, NetError> {
+        let mut counts = vec![0u64; self.n];
+        for event in events {
+            if event.source.index() >= self.n {
+                return Err(NetError::NodeOutOfRange {
+                    node: event.source.index(),
+                    node_count: self.n,
+                });
+            }
+            if event.time >= 0.0 && event.time < self.window_length {
+                counts[event.source.index()] += 1;
+            }
+        }
+        let gain = if self.windows_seen == 0 { 1.0 } else { self.gain };
+        for (rate, count) in self.rates.iter_mut().zip(&counts) {
+            let window_rate = *count as f64 / self.window_length;
+            *rate = (1.0 - gain) * *rate + gain * window_rate;
+        }
+        self.windows_seen += 1;
+        Ok(self.current())
+    }
+
+    /// The current smoothed estimate, or `None` while all rates are zero.
+    pub fn current(&self) -> Option<AccessPattern> {
+        AccessPattern::new(self.rates.clone()).ok()
+    }
+
+    /// Number of windows observed so far.
+    pub fn windows_seen(&self) -> usize {
+        self.windows_seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn poisson_events(rng: &mut StdRng, node: usize, rate: f64, horizon: f64) -> Vec<AccessEvent> {
+        let mut events = Vec::new();
+        let mut t = 0.0;
+        loop {
+            let u: f64 = rng.random_range(0.0..1.0);
+            t += -(1.0 - u).ln() / rate;
+            if t >= horizon {
+                return events;
+            }
+            events.push(AccessEvent { source: NodeId::new(node), time: t });
+        }
+    }
+
+    #[test]
+    fn ml_estimate_recovers_poisson_rates() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let horizon = 50_000.0;
+        let mut events = poisson_events(&mut rng, 0, 0.7, horizon);
+        events.extend(poisson_events(&mut rng, 1, 0.3, horizon));
+        let pattern = estimate_rates(2, &events, 0.0, horizon).unwrap();
+        assert!((pattern.rate(NodeId::new(0)) - 0.7).abs() < 0.02);
+        assert!((pattern.rate(NodeId::new(1)) - 0.3).abs() < 0.02);
+    }
+
+    #[test]
+    fn window_bounds_are_respected() {
+        let events = [
+            AccessEvent { source: NodeId::new(0), time: 5.0 },
+            AccessEvent { source: NodeId::new(0), time: 15.0 }, // outside
+        ];
+        let pattern = estimate_rates(1, &events, 0.0, 10.0).unwrap();
+        assert!((pattern.rate(NodeId::new(0)) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimate_validates_inputs() {
+        let ev = [AccessEvent { source: NodeId::new(3), time: 1.0 }];
+        assert!(matches!(
+            estimate_rates(2, &ev, 0.0, 10.0),
+            Err(NetError::NodeOutOfRange { .. })
+        ));
+        assert!(estimate_rates(2, &[], 0.0, 0.0).is_err());
+        // No events at all: an all-zero pattern is invalid.
+        assert!(estimate_rates(2, &[], 0.0, 10.0).is_err());
+    }
+
+    #[test]
+    fn rolling_estimator_tracks_a_rate_change() {
+        let mut est = RollingEstimator::new(1, 100.0, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        // Five windows at rate 1.0.
+        for _ in 0..5 {
+            let events = poisson_events(&mut rng, 0, 1.0, 100.0);
+            est.observe_window(&events).unwrap();
+        }
+        let before = est.current().unwrap().rate(NodeId::new(0));
+        assert!((before - 1.0).abs() < 0.25);
+        // The workload jumps to 3.0; the estimate follows geometrically.
+        for _ in 0..6 {
+            let events = poisson_events(&mut rng, 0, 3.0, 100.0);
+            est.observe_window(&events).unwrap();
+        }
+        let after = est.current().unwrap().rate(NodeId::new(0));
+        assert!((after - 3.0).abs() < 0.3, "estimate {after} should have tracked the jump");
+        assert_eq!(est.windows_seen(), 11);
+    }
+
+    #[test]
+    fn rolling_estimator_validates() {
+        assert!(RollingEstimator::new(0, 10.0, 0.5).is_err());
+        assert!(RollingEstimator::new(2, 0.0, 0.5).is_err());
+        assert!(RollingEstimator::new(2, 10.0, 0.0).is_err());
+        assert!(RollingEstimator::new(2, 10.0, 1.5).is_err());
+    }
+
+    #[test]
+    fn first_window_seeds_the_estimate_fully() {
+        let mut est = RollingEstimator::new(2, 10.0, 0.1).unwrap();
+        let events: Vec<AccessEvent> =
+            (0..20).map(|i| AccessEvent { source: NodeId::new(0), time: i as f64 * 0.5 }).collect();
+        let p = est.observe_window(&events).unwrap().unwrap();
+        // Gain is forced to 1 on the first window, so the estimate is the
+        // raw window rate, not 10% of it.
+        assert!((p.rate(NodeId::new(0)) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quiet_estimator_reports_none() {
+        let est = RollingEstimator::new(2, 10.0, 0.5).unwrap();
+        assert!(est.current().is_none());
+    }
+}

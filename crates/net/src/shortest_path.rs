@@ -1,0 +1,287 @@
+//! Cheapest-path routing.
+//!
+//! The paper routes every file access "along the shortest (least expensive)
+//! path" between the requesting node and the node storing the accessed
+//! portion of the file (§6). This module provides two classic all-pairs
+//! algorithms over [`Graph`]:
+//!
+//! * [`all_pairs_dijkstra`] — one Dijkstra run per source, `O(N·E log N)`;
+//! * [`floyd_warshall`] — the `O(N³)` dynamic program, used in tests as an
+//!   independent oracle for Dijkstra.
+//!
+//! Both produce a [`CostMatrix`] with `c_ii = 0`.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::cost::CostMatrix;
+use crate::error::NetError;
+use crate::graph::{Graph, NodeId};
+
+/// A heap entry ordered by *minimum* cost (reversed for `BinaryHeap`).
+#[derive(Debug, PartialEq)]
+struct HeapEntry {
+    cost: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse so the max-heap pops the cheapest entry first; tie-break on
+        // node index for determinism.
+        other
+            .cost
+            .total_cmp(&self.cost)
+            .then_with(|| other.node.index().cmp(&self.node.index()))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Computes cheapest-path costs from `source` to every node.
+///
+/// Unreachable nodes are reported as `f64::INFINITY`.
+///
+/// # Errors
+///
+/// Returns [`NetError::NodeOutOfRange`] if `source` is not a node of `graph`.
+pub fn dijkstra(graph: &Graph, source: NodeId) -> Result<Vec<f64>, NetError> {
+    graph.check_node(source)?;
+    let n = graph.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    dist[source.index()] = 0.0;
+    let mut heap = BinaryHeap::new();
+    heap.push(HeapEntry { cost: 0.0, node: source });
+
+    while let Some(HeapEntry { cost, node }) = heap.pop() {
+        if cost > dist[node.index()] {
+            continue; // stale entry
+        }
+        for &(next, link_cost) in graph.neighbors(node) {
+            let candidate = cost + link_cost;
+            if candidate < dist[next.index()] {
+                dist[next.index()] = candidate;
+                heap.push(HeapEntry { cost: candidate, node: next });
+            }
+        }
+    }
+    Ok(dist)
+}
+
+/// Like [`dijkstra`], additionally returning each node's predecessor on its
+/// cheapest path from `source` (`None` for the source and for unreachable
+/// nodes). Used for route reconstruction.
+///
+/// # Errors
+///
+/// Returns [`NetError::NodeOutOfRange`] if `source` is not a node of `graph`.
+#[allow(clippy::type_complexity)]
+pub fn dijkstra_with_predecessors(
+    graph: &Graph,
+    source: NodeId,
+) -> Result<(Vec<f64>, Vec<Option<NodeId>>), NetError> {
+    graph.check_node(source)?;
+    let n = graph.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut pred: Vec<Option<NodeId>> = vec![None; n];
+    dist[source.index()] = 0.0;
+    let mut heap = BinaryHeap::new();
+    heap.push(HeapEntry { cost: 0.0, node: source });
+    while let Some(HeapEntry { cost, node }) = heap.pop() {
+        if cost > dist[node.index()] {
+            continue;
+        }
+        for &(next, link_cost) in graph.neighbors(node) {
+            let candidate = cost + link_cost;
+            // Strict improvement keeps the first (deterministic) tie winner.
+            if candidate < dist[next.index()] {
+                dist[next.index()] = candidate;
+                pred[next.index()] = Some(node);
+                heap.push(HeapEntry { cost: candidate, node: next });
+            }
+        }
+    }
+    Ok((dist, pred))
+}
+
+/// Computes the all-pairs cheapest-path [`CostMatrix`] via repeated Dijkstra.
+///
+/// # Errors
+///
+/// Returns [`NetError::Disconnected`] if any ordered pair of distinct nodes
+/// has no connecting path — the paper's model assumes the network is
+/// logically fully connected.
+pub fn all_pairs_dijkstra(graph: &Graph) -> Result<CostMatrix, NetError> {
+    let n = graph.node_count();
+    let mut rows = Vec::with_capacity(n);
+    for source in graph.nodes() {
+        let dist = dijkstra(graph, source)?;
+        if let Some(bad) = dist.iter().position(|d| d.is_infinite()) {
+            return Err(NetError::Disconnected { from: source.index(), to: bad });
+        }
+        rows.push(dist);
+    }
+    CostMatrix::from_rows(rows)
+}
+
+/// Computes the all-pairs cheapest-path [`CostMatrix`] via Floyd–Warshall.
+///
+/// Functionally identical to [`all_pairs_dijkstra`]; provided as an
+/// independent oracle and for dense graphs where `O(N³)` is competitive.
+///
+/// # Errors
+///
+/// Returns [`NetError::Disconnected`] if any pair of nodes has no connecting
+/// path.
+pub fn floyd_warshall(graph: &Graph) -> Result<CostMatrix, NetError> {
+    let n = graph.node_count();
+    let mut dist = vec![vec![f64::INFINITY; n]; n];
+    for (i, row) in dist.iter_mut().enumerate() {
+        row[i] = 0.0;
+    }
+    for i in graph.nodes() {
+        for &(j, cost) in graph.neighbors(i) {
+            let entry = &mut dist[i.index()][j.index()];
+            if cost < *entry {
+                *entry = cost;
+            }
+        }
+    }
+    for k in 0..n {
+        for i in 0..n {
+            let dik = dist[i][k];
+            if dik.is_infinite() {
+                continue;
+            }
+            for j in 0..n {
+                let through = dik + dist[k][j];
+                if through < dist[i][j] {
+                    dist[i][j] = through;
+                }
+            }
+        }
+    }
+    for (i, row) in dist.iter().enumerate() {
+        if let Some(j) = row.iter().position(|d| d.is_infinite()) {
+            return Err(NetError::Disconnected { from: i, to: j });
+        }
+    }
+    CostMatrix::from_rows(dist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology;
+    use proptest::prelude::*;
+
+    fn line3() -> Graph {
+        let mut g = Graph::new(3);
+        g.add_link(NodeId::new(0), NodeId::new(1), 1.0).unwrap();
+        g.add_link(NodeId::new(1), NodeId::new(2), 2.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn dijkstra_on_line() {
+        let d = dijkstra(&line3(), NodeId::new(0)).unwrap();
+        assert_eq!(d, vec![0.0, 1.0, 3.0]);
+    }
+
+    #[test]
+    fn dijkstra_prefers_cheap_indirect_path() {
+        let mut g = Graph::new(3);
+        g.add_link(NodeId::new(0), NodeId::new(1), 1.0).unwrap();
+        g.add_link(NodeId::new(1), NodeId::new(2), 1.0).unwrap();
+        g.add_link(NodeId::new(0), NodeId::new(2), 10.0).unwrap();
+        let d = dijkstra(&g, NodeId::new(0)).unwrap();
+        assert_eq!(d[2], 2.0);
+    }
+
+    #[test]
+    fn dijkstra_rejects_bad_source() {
+        let err = dijkstra(&line3(), NodeId::new(7)).unwrap_err();
+        assert!(matches!(err, NetError::NodeOutOfRange { .. }));
+    }
+
+    #[test]
+    fn unreachable_node_is_infinite_in_single_source() {
+        let mut g = Graph::new(3);
+        g.add_link(NodeId::new(0), NodeId::new(1), 1.0).unwrap();
+        let d = dijkstra(&g, NodeId::new(0)).unwrap();
+        assert!(d[2].is_infinite());
+    }
+
+    #[test]
+    fn all_pairs_rejects_disconnected_graph() {
+        let mut g = Graph::new(3);
+        g.add_link(NodeId::new(0), NodeId::new(1), 1.0).unwrap();
+        let err = all_pairs_dijkstra(&g).unwrap_err();
+        assert!(matches!(err, NetError::Disconnected { .. }));
+        let err = floyd_warshall(&g).unwrap_err();
+        assert!(matches!(err, NetError::Disconnected { .. }));
+    }
+
+    #[test]
+    fn ring_of_four_has_expected_distances() {
+        let g = topology::ring(4, 1.0).unwrap();
+        let m = all_pairs_dijkstra(&g).unwrap();
+        assert_eq!(m.cost(NodeId::new(0), NodeId::new(1)), 1.0);
+        assert_eq!(m.cost(NodeId::new(0), NodeId::new(2)), 2.0);
+        assert_eq!(m.cost(NodeId::new(0), NodeId::new(3)), 1.0);
+        assert_eq!(m.cost(NodeId::new(2), NodeId::new(2)), 0.0);
+    }
+
+    #[test]
+    fn directed_ring_distances_are_asymmetric() {
+        // 0 -> 1 -> 2 -> 0, unidirectional.
+        let mut g = Graph::new(3);
+        g.add_directed_link(NodeId::new(0), NodeId::new(1), 1.0).unwrap();
+        g.add_directed_link(NodeId::new(1), NodeId::new(2), 1.0).unwrap();
+        g.add_directed_link(NodeId::new(2), NodeId::new(0), 1.0).unwrap();
+        let m = all_pairs_dijkstra(&g).unwrap();
+        assert_eq!(m.cost(NodeId::new(0), NodeId::new(2)), 2.0);
+        assert_eq!(m.cost(NodeId::new(2), NodeId::new(0)), 1.0);
+    }
+
+    #[test]
+    fn floyd_warshall_matches_dijkstra_on_fixed_graphs() {
+        for g in [line3(), topology::ring(6, 2.5).unwrap(), topology::full_mesh(5, 1.0).unwrap()] {
+            let a = all_pairs_dijkstra(&g).unwrap();
+            let b = floyd_warshall(&g).unwrap();
+            for i in g.nodes() {
+                for j in g.nodes() {
+                    assert!((a.cost(i, j) - b.cost(i, j)).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    proptest! {
+        /// Dijkstra and Floyd–Warshall agree on random connected graphs, and
+        /// the result satisfies the metric axioms for undirected graphs
+        /// (identity, symmetry, triangle inequality).
+        #[test]
+        fn shortest_paths_form_a_metric(seed in 0u64..64, n in 2usize..12, p in 0.2f64..1.0) {
+            let g = topology::random_connected(n, p, 1.0..5.0, seed).unwrap();
+            let a = all_pairs_dijkstra(&g).unwrap();
+            let b = floyd_warshall(&g).unwrap();
+            for i in g.nodes() {
+                prop_assert!(a.cost(i, i) == 0.0);
+                for j in g.nodes() {
+                    prop_assert!((a.cost(i, j) - b.cost(i, j)).abs() < 1e-9);
+                    prop_assert!((a.cost(i, j) - a.cost(j, i)).abs() < 1e-9);
+                    for k in g.nodes() {
+                        prop_assert!(a.cost(i, j) <= a.cost(i, k) + a.cost(k, j) + 1e-9);
+                    }
+                }
+            }
+        }
+    }
+}

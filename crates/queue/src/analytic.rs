@@ -1,0 +1,400 @@
+//! Closed-form queueing delay models.
+//!
+//! The file-allocation objective needs, for each node, the expected time to
+//! satisfy an access as a function of the Poisson arrival rate directed at
+//! that node — together with its first two derivatives, since the
+//! decentralized algorithm works with marginal utilities (first derivatives)
+//! and its convergence analysis uses second derivatives (paper appendix,
+//! Theorems 2–4).
+//!
+//! [`Mm1Delay`] is the paper's model: `T(a) = 1/(μ − a)`. [`Mg1Delay`] is
+//! the Pollaczek–Khinchine generalization mentioned in §5.4, parameterized by
+//! the squared coefficient of variation of service time.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::QueueError;
+
+/// A single-server queueing delay model: mean response time (sojourn time,
+/// queueing plus service) as a smooth function of the Poisson arrival rate.
+///
+/// Implementations must be valid for arrival rates in `[0, capacity)` and
+/// return [`QueueError::Unstable`] at or beyond capacity.
+pub trait DelayModel {
+    /// The service capacity `μ`: arrival rates must stay strictly below it.
+    fn capacity(&self) -> f64;
+
+    /// Mean response time `T(a)` at arrival rate `a`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueError::Unstable`] if `a >= capacity` and
+    /// [`QueueError::InvalidParameter`] for a negative or non-finite rate.
+    fn mean_response_time(&self, arrival_rate: f64) -> Result<f64, QueueError> {
+        self.check_rate(arrival_rate)?;
+        Ok(self.response_time_unchecked(arrival_rate))
+    }
+
+    /// First derivative `dT/da` at arrival rate `a`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DelayModel::mean_response_time`].
+    fn d_response_time(&self, arrival_rate: f64) -> Result<f64, QueueError> {
+        self.check_rate(arrival_rate)?;
+        Ok(self.d_response_time_unchecked(arrival_rate))
+    }
+
+    /// Second derivative `d²T/da²` at arrival rate `a`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DelayModel::mean_response_time`].
+    fn d2_response_time(&self, arrival_rate: f64) -> Result<f64, QueueError> {
+        self.check_rate(arrival_rate)?;
+        Ok(self.d2_response_time_unchecked(arrival_rate))
+    }
+
+    /// `T(a)` without stability checks; callers must ensure `0 ≤ a < μ`.
+    fn response_time_unchecked(&self, arrival_rate: f64) -> f64;
+
+    /// `dT/da` without stability checks; callers must ensure `0 ≤ a < μ`.
+    fn d_response_time_unchecked(&self, arrival_rate: f64) -> f64;
+
+    /// `d²T/da²` without stability checks; callers must ensure `0 ≤ a < μ`.
+    fn d2_response_time_unchecked(&self, arrival_rate: f64) -> f64;
+
+    /// Validates an arrival rate against this model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueError::InvalidParameter`] for negative or non-finite
+    /// rates and [`QueueError::Unstable`] at or above capacity.
+    fn check_rate(&self, arrival_rate: f64) -> Result<(), QueueError> {
+        if !arrival_rate.is_finite() || arrival_rate < 0.0 {
+            return Err(QueueError::InvalidParameter(format!(
+                "arrival rate {arrival_rate} must be finite and non-negative"
+            )));
+        }
+        if arrival_rate >= self.capacity() {
+            return Err(QueueError::Unstable {
+                arrival_rate,
+                service_rate: self.capacity(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The paper's M/M/1 delay model: exponential service with rate `μ`,
+/// `T(a) = 1 / (μ − a)`.
+///
+/// # Example
+///
+/// ```
+/// use fap_queue::{DelayModel, Mm1Delay};
+///
+/// let m = Mm1Delay::new(2.0)?;
+/// assert_eq!(m.mean_response_time(0.0)?, 0.5);      // pure service time
+/// assert_eq!(m.mean_response_time(1.0)?, 1.0);      // half loaded
+/// assert!(m.mean_response_time(2.0).is_err());      // unstable at capacity
+/// # Ok::<(), fap_queue::QueueError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mm1Delay {
+    mu: f64,
+}
+
+impl Mm1Delay {
+    /// Creates an M/M/1 delay model with service rate `mu`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueError::InvalidParameter`] unless `mu` is finite and
+    /// strictly positive.
+    pub fn new(mu: f64) -> Result<Self, QueueError> {
+        if !mu.is_finite() || mu <= 0.0 {
+            return Err(QueueError::InvalidParameter(format!(
+                "service rate {mu} must be finite and positive"
+            )));
+        }
+        Ok(Mm1Delay { mu })
+    }
+
+    /// The service rate `μ`.
+    pub fn service_rate(&self) -> f64 {
+        self.mu
+    }
+
+    /// Server utilization `ρ = a / μ` at arrival rate `a`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DelayModel::mean_response_time`].
+    pub fn utilization(&self, arrival_rate: f64) -> Result<f64, QueueError> {
+        self.check_rate(arrival_rate)?;
+        Ok(arrival_rate / self.mu)
+    }
+
+    /// Mean number of accesses in the system, `L = a / (μ − a)`.
+    ///
+    /// By Little's law this equals `a · T(a)`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DelayModel::mean_response_time`].
+    pub fn mean_in_system(&self, arrival_rate: f64) -> Result<f64, QueueError> {
+        self.check_rate(arrival_rate)?;
+        Ok(arrival_rate / (self.mu - arrival_rate))
+    }
+}
+
+impl DelayModel for Mm1Delay {
+    fn capacity(&self) -> f64 {
+        self.mu
+    }
+
+    fn response_time_unchecked(&self, a: f64) -> f64 {
+        1.0 / (self.mu - a)
+    }
+
+    fn d_response_time_unchecked(&self, a: f64) -> f64 {
+        let d = self.mu - a;
+        1.0 / (d * d)
+    }
+
+    fn d2_response_time_unchecked(&self, a: f64) -> f64 {
+        let d = self.mu - a;
+        2.0 / (d * d * d)
+    }
+}
+
+/// The M/G/1 delay model via the Pollaczek–Khinchine formula,
+/// parameterized by the squared coefficient of variation (SCV) of the
+/// service-time distribution:
+///
+/// ```text
+/// T(a) = 1/μ + a · E[S²] / (2 (1 − a/μ)),   E[S²] = (1 + scv) / μ²
+/// ```
+///
+/// `scv = 1` recovers M/M/1 exactly; `scv = 0` is M/D/1 (deterministic
+/// service); `scv > 1` models heavy-tailed service.
+///
+/// # Example
+///
+/// ```
+/// use fap_queue::{DelayModel, Mg1Delay, Mm1Delay};
+///
+/// let mm1 = Mm1Delay::new(1.5)?;
+/// let mg1 = Mg1Delay::new(1.5, 1.0)?; // scv = 1 ⇒ exponential service
+/// let a = 0.7;
+/// assert!((mm1.mean_response_time(a)? - mg1.mean_response_time(a)?).abs() < 1e-12);
+/// # Ok::<(), fap_queue::QueueError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mg1Delay {
+    mu: f64,
+    scv: f64,
+}
+
+impl Mg1Delay {
+    /// Creates an M/G/1 delay model with service rate `mu` and service-time
+    /// squared coefficient of variation `scv`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueError::InvalidParameter`] unless `mu` is finite and
+    /// positive and `scv` is finite and non-negative.
+    pub fn new(mu: f64, scv: f64) -> Result<Self, QueueError> {
+        if !mu.is_finite() || mu <= 0.0 {
+            return Err(QueueError::InvalidParameter(format!(
+                "service rate {mu} must be finite and positive"
+            )));
+        }
+        if !scv.is_finite() || scv < 0.0 {
+            return Err(QueueError::InvalidParameter(format!(
+                "squared coefficient of variation {scv} must be finite and non-negative"
+            )));
+        }
+        Ok(Mg1Delay { mu, scv })
+    }
+
+    /// An M/D/1 model (deterministic service of duration `1/mu`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueError::InvalidParameter`] unless `mu` is finite and
+    /// positive.
+    pub fn deterministic(mu: f64) -> Result<Self, QueueError> {
+        Mg1Delay::new(mu, 0.0)
+    }
+
+    /// The service rate `μ`.
+    pub fn service_rate(&self) -> f64 {
+        self.mu
+    }
+
+    /// The squared coefficient of variation of service time.
+    pub fn scv(&self) -> f64 {
+        self.scv
+    }
+
+    /// Second moment of the service time, `E[S²] = (1 + scv)/μ²`.
+    pub fn service_second_moment(&self) -> f64 {
+        (1.0 + self.scv) / (self.mu * self.mu)
+    }
+}
+
+impl DelayModel for Mg1Delay {
+    fn capacity(&self) -> f64 {
+        self.mu
+    }
+
+    fn response_time_unchecked(&self, a: f64) -> f64 {
+        // T(a) = 1/μ + a E2 μ / (2 (μ − a))
+        let e2 = self.service_second_moment();
+        1.0 / self.mu + a * e2 * self.mu / (2.0 * (self.mu - a))
+    }
+
+    fn d_response_time_unchecked(&self, a: f64) -> f64 {
+        // dT/da = E2 μ² / (2 (μ − a)²)
+        let e2 = self.service_second_moment();
+        let d = self.mu - a;
+        e2 * self.mu * self.mu / (2.0 * d * d)
+    }
+
+    fn d2_response_time_unchecked(&self, a: f64) -> f64 {
+        // d²T/da² = E2 μ² / (μ − a)³
+        let e2 = self.service_second_moment();
+        let d = self.mu - a;
+        e2 * self.mu * self.mu / (d * d * d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn finite_diff<F: Fn(f64) -> f64>(f: F, x: f64, h: f64) -> f64 {
+        (f(x + h) - f(x - h)) / (2.0 * h)
+    }
+
+    #[test]
+    fn mm1_matches_paper_formula() {
+        // Paper §6 parameters: μ = 1.5, λ = 1, full file at one node.
+        let m = Mm1Delay::new(1.5).unwrap();
+        assert!((m.mean_response_time(1.0).unwrap() - 2.0).abs() < 1e-12);
+        // Quarter of the load: T = 1/(1.5 - 0.25) = 0.8.
+        assert!((m.mean_response_time(0.25).unwrap() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mm1_rejects_bad_construction() {
+        assert!(Mm1Delay::new(0.0).is_err());
+        assert!(Mm1Delay::new(-1.0).is_err());
+        assert!(Mm1Delay::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn mm1_rejects_unstable_and_invalid_rates() {
+        let m = Mm1Delay::new(1.0).unwrap();
+        assert!(matches!(m.mean_response_time(1.0), Err(QueueError::Unstable { .. })));
+        assert!(matches!(m.mean_response_time(2.0), Err(QueueError::Unstable { .. })));
+        assert!(matches!(
+            m.mean_response_time(-0.1),
+            Err(QueueError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn mm1_utilization_and_littles_law() {
+        let m = Mm1Delay::new(2.0).unwrap();
+        assert!((m.utilization(1.0).unwrap() - 0.5).abs() < 1e-12);
+        let a = 1.3;
+        let l = m.mean_in_system(a).unwrap();
+        let t = m.mean_response_time(a).unwrap();
+        assert!((l - a * t).abs() < 1e-12, "Little's law: L = aT");
+    }
+
+    #[test]
+    fn mm1_derivatives_match_finite_differences() {
+        let m = Mm1Delay::new(1.5).unwrap();
+        for a in [0.0, 0.3, 0.9, 1.3] {
+            let d = m.d_response_time(a).unwrap();
+            let fd = finite_diff(|x| m.response_time_unchecked(x), a, 1e-6);
+            assert!((d - fd).abs() / d.abs().max(1.0) < 1e-5, "a={a}: {d} vs {fd}");
+            let d2 = m.d2_response_time(a).unwrap();
+            let fd2 = finite_diff(|x| m.d_response_time_unchecked(x), a, 1e-6);
+            assert!((d2 - fd2).abs() / d2.abs().max(1.0) < 1e-4);
+        }
+    }
+
+    #[test]
+    fn mg1_with_unit_scv_equals_mm1() {
+        let mm1 = Mm1Delay::new(1.5).unwrap();
+        let mg1 = Mg1Delay::new(1.5, 1.0).unwrap();
+        for a in [0.0, 0.25, 0.7, 1.2, 1.49] {
+            assert!(
+                (mm1.response_time_unchecked(a) - mg1.response_time_unchecked(a)).abs() < 1e-12
+            );
+            assert!(
+                (mm1.d_response_time_unchecked(a) - mg1.d_response_time_unchecked(a)).abs()
+                    < 1e-12
+            );
+            assert!(
+                (mm1.d2_response_time_unchecked(a) - mg1.d2_response_time_unchecked(a)).abs()
+                    < 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn md1_waits_half_as_long_as_mm1() {
+        // Classic result: M/D/1 queueing delay is half the M/M/1 queueing
+        // delay (excluding service time).
+        let mu = 1.0;
+        let a = 0.8;
+        let mm1 = Mm1Delay::new(mu).unwrap();
+        let md1 = Mg1Delay::deterministic(mu).unwrap();
+        let wait_mm1 = mm1.mean_response_time(a).unwrap() - 1.0 / mu;
+        let wait_md1 = md1.mean_response_time(a).unwrap() - 1.0 / mu;
+        assert!((wait_md1 - 0.5 * wait_mm1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mg1_rejects_bad_scv() {
+        assert!(Mg1Delay::new(1.0, -0.5).is_err());
+        assert!(Mg1Delay::new(1.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn mg1_derivatives_match_finite_differences() {
+        let m = Mg1Delay::new(2.0, 2.5).unwrap();
+        for a in [0.1, 0.9, 1.7] {
+            let d = m.d_response_time(a).unwrap();
+            let fd = finite_diff(|x| m.response_time_unchecked(x), a, 1e-6);
+            assert!((d - fd).abs() / d.abs().max(1.0) < 1e-5);
+            let d2 = m.d2_response_time(a).unwrap();
+            let fd2 = finite_diff(|x| m.d_response_time_unchecked(x), a, 1e-6);
+            assert!((d2 - fd2).abs() / d2.abs().max(1.0) < 1e-4);
+        }
+    }
+
+    proptest! {
+        /// Response time is increasing and convex in the arrival rate for
+        /// every stable operating point — the convexity that underpins the
+        /// paper's global-optimality argument (§5.3).
+        #[test]
+        fn response_time_increasing_and_convex(
+            mu in 0.5f64..5.0,
+            scv in 0.0f64..3.0,
+            frac in 0.01f64..0.95,
+        ) {
+            let m = Mg1Delay::new(mu, scv).unwrap();
+            let a = frac * mu;
+            prop_assert!(m.d_response_time(a).unwrap() > 0.0);
+            prop_assert!(m.d2_response_time(a).unwrap() >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Service-time distributions for the discrete-event simulator.
+
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+use crate::error::QueueError;
+
+/// A service-time distribution with known first two moments.
+///
+/// The exponential variant is the paper's assumption ("the length of service
+/// time is exponentially distributed with mean 1/μ", §4); the others exercise
+/// the M/G/1 generalization of §5.4.
+///
+/// # Example
+///
+/// ```
+/// use fap_queue::ServiceDistribution;
+///
+/// let s = ServiceDistribution::exponential(1.5)?;
+/// assert!((s.mean() - 1.0 / 1.5).abs() < 1e-12);
+/// assert_eq!(s.scv(), 1.0); // exponential has unit squared CV
+/// # Ok::<(), fap_queue::QueueError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ServiceDistribution {
+    /// Exponential service with the given rate (mean `1/rate`).
+    Exponential {
+        /// Service rate `μ`.
+        rate: f64,
+    },
+    /// Deterministic (constant) service time.
+    Deterministic {
+        /// The constant service duration.
+        duration: f64,
+    },
+    /// Service time uniform on `[low, high]`.
+    Uniform {
+        /// Lower bound of the service time.
+        low: f64,
+        /// Upper bound of the service time.
+        high: f64,
+    },
+}
+
+impl ServiceDistribution {
+    /// Exponential service with rate `rate`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueError::InvalidParameter`] unless `rate` is finite and
+    /// positive.
+    pub fn exponential(rate: f64) -> Result<Self, QueueError> {
+        if !rate.is_finite() || rate <= 0.0 {
+            return Err(QueueError::InvalidParameter(format!(
+                "exponential rate {rate} must be finite and positive"
+            )));
+        }
+        Ok(ServiceDistribution::Exponential { rate })
+    }
+
+    /// Deterministic service of the given duration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueError::InvalidParameter`] unless `duration` is finite
+    /// and positive.
+    pub fn deterministic(duration: f64) -> Result<Self, QueueError> {
+        if !duration.is_finite() || duration <= 0.0 {
+            return Err(QueueError::InvalidParameter(format!(
+                "service duration {duration} must be finite and positive"
+            )));
+        }
+        Ok(ServiceDistribution::Deterministic { duration })
+    }
+
+    /// Uniform service on `[low, high]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueError::InvalidParameter`] unless
+    /// `0 ≤ low ≤ high` and both are finite, with `high > 0`.
+    pub fn uniform(low: f64, high: f64) -> Result<Self, QueueError> {
+        if !low.is_finite() || !high.is_finite() || low < 0.0 || high < low || high <= 0.0 {
+            return Err(QueueError::InvalidParameter(format!(
+                "uniform service bounds [{low}, {high}] are invalid"
+            )));
+        }
+        Ok(ServiceDistribution::Uniform { low, high })
+    }
+
+    /// Mean service time `E[S]`.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            ServiceDistribution::Exponential { rate } => 1.0 / rate,
+            ServiceDistribution::Deterministic { duration } => duration,
+            ServiceDistribution::Uniform { low, high } => (low + high) / 2.0,
+        }
+    }
+
+    /// Second moment `E[S²]`.
+    pub fn second_moment(&self) -> f64 {
+        match *self {
+            ServiceDistribution::Exponential { rate } => 2.0 / (rate * rate),
+            ServiceDistribution::Deterministic { duration } => duration * duration,
+            ServiceDistribution::Uniform { low, high } => {
+                // E[S²] = (high³ − low³) / (3 (high − low)), or low² when degenerate.
+                if high == low {
+                    low * low
+                } else {
+                    (high * high * high - low * low * low) / (3.0 * (high - low))
+                }
+            }
+        }
+    }
+
+    /// Squared coefficient of variation `Var[S] / E[S]²`.
+    pub fn scv(&self) -> f64 {
+        let m = self.mean();
+        let var = self.second_moment() - m * m;
+        // Guard the deterministic case against tiny negative round-off.
+        (var / (m * m)).max(0.0)
+    }
+
+    /// Effective service rate `1 / E[S]`.
+    pub fn rate(&self) -> f64 {
+        1.0 / self.mean()
+    }
+
+    /// Draws one service time.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            ServiceDistribution::Exponential { rate } => sample_exponential(rng, rate),
+            ServiceDistribution::Deterministic { duration } => duration,
+            ServiceDistribution::Uniform { low, high } => {
+                if high == low {
+                    low
+                } else {
+                    rng.random_range(low..high)
+                }
+            }
+        }
+    }
+}
+
+/// Draws an exponential variate with the given rate by inverse-CDF.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if `rate` is not positive.
+pub fn sample_exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    debug_assert!(rate > 0.0);
+    // u ∈ [0, 1); ln(1 − u) is finite.
+    let u: f64 = rng.random_range(0.0..1.0);
+    -(1.0 - u).ln() / rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constructors_validate() {
+        assert!(ServiceDistribution::exponential(0.0).is_err());
+        assert!(ServiceDistribution::deterministic(-1.0).is_err());
+        assert!(ServiceDistribution::uniform(2.0, 1.0).is_err());
+        assert!(ServiceDistribution::uniform(-1.0, 1.0).is_err());
+        assert!(ServiceDistribution::uniform(0.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn exponential_moments() {
+        let s = ServiceDistribution::exponential(2.0).unwrap();
+        assert!((s.mean() - 0.5).abs() < 1e-12);
+        assert!((s.second_moment() - 0.5).abs() < 1e-12);
+        assert!((s.scv() - 1.0).abs() < 1e-12);
+        assert!((s.rate() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_moments() {
+        let s = ServiceDistribution::deterministic(0.4).unwrap();
+        assert!((s.mean() - 0.4).abs() < 1e-12);
+        assert!((s.second_moment() - 0.16).abs() < 1e-12);
+        assert_eq!(s.scv(), 0.0);
+    }
+
+    #[test]
+    fn uniform_moments() {
+        let s = ServiceDistribution::uniform(1.0, 3.0).unwrap();
+        assert!((s.mean() - 2.0).abs() < 1e-12);
+        // E[S²] = (27 − 1) / 6 = 13/3; Var = 13/3 − 4 = 1/3.
+        assert!((s.second_moment() - 13.0 / 3.0).abs() < 1e-12);
+        assert!((s.scv() - (1.0 / 3.0) / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn samples_match_moments_empirically() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for s in [
+            ServiceDistribution::exponential(1.5).unwrap(),
+            ServiceDistribution::deterministic(0.7).unwrap(),
+            ServiceDistribution::uniform(0.2, 1.2).unwrap(),
+        ] {
+            let n = 200_000;
+            let mut sum = 0.0;
+            let mut sum2 = 0.0;
+            for _ in 0..n {
+                let x = s.sample(&mut rng);
+                assert!(x >= 0.0);
+                sum += x;
+                sum2 += x * x;
+            }
+            let mean = sum / n as f64;
+            let m2 = sum2 / n as f64;
+            assert!(
+                (mean - s.mean()).abs() < 0.01 * s.mean().max(0.1),
+                "{s:?}: mean {mean} vs {}",
+                s.mean()
+            );
+            assert!(
+                (m2 - s.second_moment()).abs() < 0.03 * s.second_moment().max(0.1),
+                "{s:?}: E[S²] {m2} vs {}",
+                s.second_moment()
+            );
+        }
+    }
+
+    #[test]
+    fn exponential_sampler_is_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert_eq!(sample_exponential(&mut a, 1.0), sample_exponential(&mut b, 1.0));
+        }
+    }
+}

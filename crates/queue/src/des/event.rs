@@ -1,0 +1,159 @@
+//! A deterministic time-ordered event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event scheduled at a simulation time, carrying a payload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduledEvent<T> {
+    /// Simulation time at which the event fires.
+    pub time: f64,
+    /// Monotone sequence number breaking ties deterministically
+    /// (first-scheduled fires first).
+    pub sequence: u64,
+    /// The event payload.
+    pub payload: T,
+}
+
+impl<T: PartialEq> Eq for ScheduledEvent<T> {}
+
+impl<T: PartialEq> Ord for ScheduledEvent<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want earliest-time first.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.sequence.cmp(&self.sequence))
+    }
+}
+
+impl<T: PartialEq> PartialOrd for ScheduledEvent<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A future-event list: a priority queue ordered by event time, with
+/// deterministic FIFO tie-breaking.
+///
+/// # Example
+///
+/// ```
+/// use fap_queue::des::event::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(2.0, "late");
+/// q.schedule(1.0, "early");
+/// q.schedule(1.0, "early-second");
+/// assert_eq!(q.pop().map(|e| e.payload), Some("early"));
+/// assert_eq!(q.pop().map(|e| e.payload), Some("early-second"));
+/// assert_eq!(q.pop().map(|e| e.payload), Some("late"));
+/// assert!(q.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<T: PartialEq> {
+    heap: BinaryHeap<ScheduledEvent<T>>,
+    next_sequence: u64,
+}
+
+impl<T: PartialEq> EventQueue<T> {
+    /// Creates an empty event queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_sequence: 0 }
+    }
+
+    /// Schedules `payload` to fire at `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is NaN (events must be orderable).
+    pub fn schedule(&mut self, time: f64, payload: T) {
+        assert!(!time.is_nan(), "event time must not be NaN");
+        let sequence = self.next_sequence;
+        self.next_sequence += 1;
+        self.heap.push(ScheduledEvent { time, sequence, payload });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<T>> {
+        self.heap.pop()
+    }
+
+    /// Peeks at the earliest event without removing it.
+    pub fn peek(&self) -> Option<&ScheduledEvent<T>> {
+        self.heap.peek()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<T: PartialEq> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(3.0, 'c');
+        q.schedule(1.0, 'a');
+        q.schedule(2.0, 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(1.0, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.schedule(1.0, "x");
+        assert_eq!(q.peek().map(|e| e.payload), Some("x"));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be NaN")]
+    fn nan_time_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(f64::NAN, ());
+    }
+
+    proptest! {
+        /// Popped times are non-decreasing for arbitrary schedules.
+        #[test]
+        fn pop_order_is_sorted(times in proptest::collection::vec(0.0f64..1e6, 1..100)) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule(t, i);
+            }
+            let mut last = f64::NEG_INFINITY;
+            while let Some(e) = q.pop() {
+                prop_assert!(e.time >= last);
+                last = e.time;
+            }
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Discrete-event simulation of file-access queueing.
+//!
+//! The analytic objective of the paper (eq. 1) prices an allocation through
+//! the M/M/1 formula. This module provides the machinery to *measure* an
+//! allocation instead: Poisson access generation at every node, probabilistic
+//! routing of each access to the node holding the accessed record (an access
+//! goes to node `j` with probability `x_j`, the fraction of the file stored
+//! there), FIFO single-server queueing at each storage node, and per-access
+//! communication-cost accounting.
+//!
+//! * [`distribution`] — service-time distributions (exponential,
+//!   deterministic, uniform) with exact moments;
+//! * [`event`] — a deterministic time-ordered event queue;
+//! * [`server`] — single-server FIFO queue simulation (event-driven, with a
+//!   Lindley-recursion oracle used in tests);
+//! * [`network`] — whole-network simulation of a file allocation, producing
+//!   a [`network::SimReport`] of empirical delay and communication cost.
+
+pub mod distribution;
+pub mod event;
+pub mod network;
+pub mod server;

@@ -1,0 +1,53 @@
+//! Error type for queueing computations and simulations.
+
+use std::fmt;
+
+/// Errors produced by analytic queueing models and the discrete-event
+/// simulator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum QueueError {
+    /// The offered load meets or exceeds the service capacity, so the queue
+    /// is unstable and its mean delay diverges (the paper requires `μ > λ`).
+    Unstable {
+        /// Offered arrival rate.
+        arrival_rate: f64,
+        /// Service rate (capacity).
+        service_rate: f64,
+    },
+    /// A model or simulation parameter was invalid.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for QueueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueueError::Unstable { arrival_rate, service_rate } => write!(
+                f,
+                "unstable queue: arrival rate {arrival_rate} is not below service rate {service_rate}"
+            ),
+            QueueError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for QueueError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = QueueError::Unstable { arrival_rate: 2.0, service_rate: 1.5 };
+        assert!(e.to_string().contains("unstable"));
+        let e = QueueError::InvalidParameter("mu must be positive".into());
+        assert!(e.to_string().contains("mu must be positive"));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<QueueError>();
+    }
+}

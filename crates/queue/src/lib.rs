@@ -1,0 +1,51 @@
+//! Queueing substrate for the microeconomic file-allocation system.
+//!
+//! The paper models each storage node as a single-server queue: accesses
+//! arrive as a Poisson stream and the expected time to satisfy an access at
+//! node `i` carrying fraction `x_i` of the file is the M/M/1 response time
+//! `T_i = 1 / (μ − λ x_i)` (paper §4). Section 5.4 notes that "alternate
+//! queueing models (e.g., such as M/G/1 queues) can be directly used".
+//!
+//! This crate provides:
+//!
+//! * [`analytic`] — closed-form delay models implementing [`DelayModel`]:
+//!   [`Mm1Delay`] (the paper's model), [`Mg1Delay`]
+//!   (Pollaczek–Khinchine), and M/D/1 as a special case; all expose first
+//!   and second derivatives of mean response time with respect to arrival
+//!   rate, which is what the marginal-utility algorithm needs;
+//! * [`des`] — a discrete-event simulator (event heap, Poisson sources,
+//!   pluggable service distributions) used to validate the analytic models
+//!   and to evaluate file allocations *empirically* rather than through the
+//!   formula;
+//! * [`stats`] — numerically stable online statistics (Welford) with
+//!   confidence intervals.
+//!
+//! # Example
+//!
+//! The analytic M/M/1 response time matches the paper's `1/(μ − λx)`:
+//!
+//! ```
+//! use fap_queue::{DelayModel, Mm1Delay};
+//!
+//! let node = Mm1Delay::new(1.5)?; // μ = 1.5, as in the paper's §6
+//! let t = node.mean_response_time(0.25)?; // a quarter of a λ = 1 stream
+//! assert!((t - 1.0 / (1.5 - 0.25)).abs() < 1e-12);
+//! # Ok::<(), fap_queue::QueueError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod analytic;
+pub mod des;
+pub mod error;
+pub mod mmc;
+pub mod stats;
+
+pub use analytic::{DelayModel, Mg1Delay, Mm1Delay};
+pub use mmc::MmcDelay;
+pub use des::distribution::ServiceDistribution;
+pub use des::network::{NetworkSimulation, SimReport};
+pub use error::QueueError;
+pub use stats::OnlineStats;

@@ -1,0 +1,257 @@
+//! The M/M/c multi-server delay model (Erlang C).
+//!
+//! A storage node with `c` parallel service units (disk spindles, worker
+//! threads) and per-unit rate `μ` serves a Poisson stream of rate `a < cμ`
+//! with mean response time
+//!
+//! ```text
+//! T(a) = 1/μ + C(c, a/μ) / (cμ − a)
+//! ```
+//!
+//! where `C(c, r)` is the Erlang-C waiting probability. This generalizes
+//! the paper's single-server node in the same spirit as its §5.4 M/G/1
+//! remark; it lets the file-allocation objective model nodes whose capacity
+//! comes from parallelism rather than raw speed (and quantifies the classic
+//! pooling penalty: `c` slow units respond slower than one fast server of
+//! the same total rate at low load).
+
+use serde::{Deserialize, Serialize};
+
+use crate::analytic::DelayModel;
+use crate::error::QueueError;
+
+/// An M/M/c node: `servers` parallel units of rate `per_server_rate` each.
+///
+/// First and second derivatives of the mean response time are computed by
+/// central finite differences of the closed-form `T(a)` (the Erlang-C
+/// derivative has no tidy closed form); the differencing step adapts to the
+/// distance from saturation, keeping the estimates accurate across the
+/// stable region. For non-positive arrival rates the response time is the
+/// pure service time `1/μ` (no queueing), matching the M/M/1 model's
+/// behavior on the transient negative allocations the unconstrained
+/// optimizer may probe.
+///
+/// # Example
+///
+/// ```
+/// use fap_queue::{DelayModel, MmcDelay, Mm1Delay};
+///
+/// // Two servers of rate 1 vs one server of rate 2: same capacity,
+/// // but pooling into one fast server wins at every load.
+/// let duo = MmcDelay::new(2, 1.0)?;
+/// let solo = Mm1Delay::new(2.0)?;
+/// for a in [0.2, 1.0, 1.8] {
+///     assert!(duo.mean_response_time(a)? > solo.mean_response_time(a)?);
+/// }
+/// # Ok::<(), fap_queue::QueueError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MmcDelay {
+    servers: u32,
+    per_server_rate: f64,
+}
+
+impl MmcDelay {
+    /// Creates an M/M/c model with `servers ≥ 1` units of rate
+    /// `per_server_rate` each.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueError::InvalidParameter`] for zero servers or a
+    /// non-positive rate.
+    pub fn new(servers: u32, per_server_rate: f64) -> Result<Self, QueueError> {
+        if servers == 0 {
+            return Err(QueueError::InvalidParameter("at least one server required".into()));
+        }
+        if !per_server_rate.is_finite() || per_server_rate <= 0.0 {
+            return Err(QueueError::InvalidParameter(format!(
+                "per-server rate {per_server_rate} must be finite and positive"
+            )));
+        }
+        Ok(MmcDelay { servers, per_server_rate })
+    }
+
+    /// Number of servers `c`.
+    pub fn servers(&self) -> u32 {
+        self.servers
+    }
+
+    /// The per-server service rate `μ`.
+    pub fn per_server_rate(&self) -> f64 {
+        self.per_server_rate
+    }
+
+    /// The Erlang-C probability that an arrival must wait, at arrival rate
+    /// `a`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueError::Unstable`] at or above capacity and
+    /// [`QueueError::InvalidParameter`] for a negative or non-finite rate.
+    pub fn wait_probability(&self, a: f64) -> Result<f64, QueueError> {
+        self.check_rate(a)?;
+        Ok(self.erlang_c(a))
+    }
+
+    /// `C(c, a/μ)` without bounds checks; 0 for `a ≤ 0`.
+    fn erlang_c(&self, a: f64) -> f64 {
+        if a <= 0.0 {
+            return 0.0;
+        }
+        let c = self.servers as f64;
+        let offered = a / self.per_server_rate; // the offered load in Erlangs
+        let rho = offered / c;
+        // Iteratively: term_k = offered^k / k!; accumulate Σ_{k<c}.
+        let mut term = 1.0;
+        let mut sum = 0.0;
+        for k in 0..self.servers {
+            sum += term;
+            term *= offered / (k as f64 + 1.0);
+        }
+        // term now = offered^c / c!.
+        let tail = term / (1.0 - rho);
+        tail / (sum + tail)
+    }
+}
+
+impl DelayModel for MmcDelay {
+    fn capacity(&self) -> f64 {
+        self.servers as f64 * self.per_server_rate
+    }
+
+    fn response_time_unchecked(&self, a: f64) -> f64 {
+        let service = 1.0 / self.per_server_rate;
+        if a <= 0.0 {
+            return service;
+        }
+        service + self.erlang_c(a) / (self.capacity() - a)
+    }
+
+    fn d_response_time_unchecked(&self, a: f64) -> f64 {
+        let h = self.fd_step(a);
+        (self.response_time_unchecked(a + h) - self.response_time_unchecked(a - h)) / (2.0 * h)
+    }
+
+    fn d2_response_time_unchecked(&self, a: f64) -> f64 {
+        let h = self.fd_step(a);
+        (self.response_time_unchecked(a + h) - 2.0 * self.response_time_unchecked(a)
+            + self.response_time_unchecked(a - h))
+            / (h * h)
+    }
+
+    fn check_rate(&self, arrival_rate: f64) -> Result<(), QueueError> {
+        if !arrival_rate.is_finite() || arrival_rate < 0.0 {
+            return Err(QueueError::InvalidParameter(format!(
+                "arrival rate {arrival_rate} must be finite and non-negative"
+            )));
+        }
+        if arrival_rate >= self.capacity() {
+            return Err(QueueError::Unstable {
+                arrival_rate,
+                service_rate: self.capacity(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl MmcDelay {
+    /// A differencing step that stays well inside the stable region.
+    fn fd_step(&self, a: f64) -> f64 {
+        let margin = (self.capacity() - a).abs().max(1e-6);
+        (1e-5 * self.capacity()).min(margin * 1e-2).max(1e-9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analytic::Mm1Delay;
+    use proptest::prelude::*;
+
+    #[test]
+    fn validates_construction() {
+        assert!(MmcDelay::new(0, 1.0).is_err());
+        assert!(MmcDelay::new(2, 0.0).is_err());
+        assert!(MmcDelay::new(2, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn single_server_matches_mm1_exactly() {
+        let mmc = MmcDelay::new(1, 1.5).unwrap();
+        let mm1 = Mm1Delay::new(1.5).unwrap();
+        for a in [0.0, 0.3, 0.9, 1.4] {
+            let t1 = mm1.response_time_unchecked(a);
+            let tc = mmc.response_time_unchecked(a);
+            assert!((t1 - tc).abs() < 1e-12, "a={a}: {t1} vs {tc}");
+        }
+    }
+
+    #[test]
+    fn known_erlang_c_value() {
+        // c = 2, per-server μ = 1, a = 1 (ρ = 0.5): C = 1/3.
+        let m = MmcDelay::new(2, 1.0).unwrap();
+        assert!((m.wait_probability(1.0).unwrap() - 1.0 / 3.0).abs() < 1e-12);
+        // And T = 1 + (1/3)/(2−1) = 4/3.
+        assert!((m.mean_response_time(1.0).unwrap() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wait_probability_bounds_and_monotonicity() {
+        let m = MmcDelay::new(3, 1.0).unwrap();
+        let mut last = 0.0;
+        for i in 1..29 {
+            let a = i as f64 * 0.1;
+            let p = m.wait_probability(a).unwrap();
+            assert!((0.0..1.0).contains(&p));
+            assert!(p >= last, "wait probability must rise with load");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn rejects_overload_and_negative_rates() {
+        let m = MmcDelay::new(2, 1.0).unwrap();
+        assert!(matches!(m.mean_response_time(2.0), Err(QueueError::Unstable { .. })));
+        assert!(matches!(m.mean_response_time(-0.1), Err(QueueError::InvalidParameter(_))));
+    }
+
+    #[test]
+    fn numeric_derivatives_are_accurate() {
+        let m = MmcDelay::new(4, 0.5).unwrap();
+        for a in [0.2, 1.0, 1.7] {
+            let d = m.d_response_time_unchecked(a);
+            // Independent wide secant.
+            let h = 1e-4;
+            let secant =
+                (m.response_time_unchecked(a + h) - m.response_time_unchecked(a - h)) / (2.0 * h);
+            assert!((d - secant).abs() / secant.abs().max(1e-9) < 1e-3, "a={a}");
+            assert!(m.d2_response_time_unchecked(a) > 0.0, "convex in the stable region");
+        }
+    }
+
+    #[test]
+    fn pooling_beats_splitting() {
+        // One M/M/2 node (shared queue) responds faster than two separate
+        // M/M/1 nodes each taking half the load.
+        let pooled = MmcDelay::new(2, 1.0).unwrap();
+        let split = Mm1Delay::new(1.0).unwrap();
+        for a in [0.4, 1.0, 1.6] {
+            let t_pool = pooled.response_time_unchecked(a);
+            let t_split = split.response_time_unchecked(a / 2.0);
+            assert!(t_pool <= t_split + 1e-12, "a={a}: {t_pool} vs {t_split}");
+        }
+    }
+
+    proptest! {
+        /// Response time is increasing and convex across the stable region
+        /// for arbitrary server counts — the property the optimizer needs.
+        #[test]
+        fn increasing_and_convex(c in 1u32..8, mu in 0.3f64..3.0, frac in 0.05f64..0.9) {
+            let m = MmcDelay::new(c, mu).unwrap();
+            let a = frac * m.capacity();
+            prop_assert!(m.d_response_time_unchecked(a) > 0.0);
+            prop_assert!(m.d2_response_time_unchecked(a) > -1e-6);
+        }
+    }
+}

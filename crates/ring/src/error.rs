@@ -1,0 +1,42 @@
+//! Error type for the virtual-ring model.
+
+use std::fmt;
+
+/// Errors produced by the virtual-ring model and its solver.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RingError {
+    /// A model or solver parameter was invalid.
+    InvalidParameter(String),
+    /// An allocation could not be evaluated (e.g. it overloads a node or
+    /// does not carry enough file to cover one copy).
+    Model(String),
+}
+
+impl fmt::Display for RingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RingError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            RingError::Model(msg) => write!(f, "model evaluation failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(RingError::InvalidParameter("m".into()).to_string().contains("invalid"));
+        assert!(RingError::Model("overload".into()).to_string().contains("overload"));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<RingError>();
+    }
+}

@@ -1,0 +1,288 @@
+//! Node-failure injection and graceful degradation (paper §4(a)).
+//!
+//! "If the file is distributed over a number of nodes then failure of one
+//! or more nodes only means that the portions of the file stored at those
+//! nodes cannot be accessed. File accesses are, therefore, not completely
+//! disabled by individual node failures."
+//!
+//! [`run_with_failures`] executes the protocol with scheduled node crashes,
+//! records the fraction of the file still reachable at each failure
+//! (availability), redistributes the lost fragments among survivors (from a
+//! backing store), and lets the survivors re-optimize. A fragmented
+//! allocation keeps availability high at every failure; an integral
+//! allocation loses everything when its one node dies — the quantitative
+//! version of the paper's argument.
+
+use serde::{Deserialize, Serialize};
+
+use fap_econ::projection::{compute_step, BoundaryRule};
+use fap_econ::marginal_spread;
+
+use crate::error::RuntimeError;
+use crate::local::LocalObjective;
+use crate::message::MessageStats;
+use crate::scheme::{ExchangeScheme, MessageCounting};
+
+/// A schedule of node crashes: `(round, agent)` pairs.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FailurePlan {
+    crashes: Vec<(usize, usize)>,
+}
+
+impl FailurePlan {
+    /// Creates an empty plan.
+    pub fn new() -> Self {
+        FailurePlan::default()
+    }
+
+    /// Schedules `agent` to crash at the start of `round`.
+    #[must_use]
+    pub fn crash(mut self, round: usize, agent: usize) -> Self {
+        self.crashes.push((round, agent));
+        self
+    }
+
+    /// The scheduled crashes.
+    pub fn crashes(&self) -> &[(usize, usize)] {
+        &self.crashes
+    }
+}
+
+/// One observed failure event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailureEvent {
+    /// Round at which the crash occurred.
+    pub round: usize,
+    /// The crashed agent.
+    pub agent: usize,
+    /// Fraction of the file lost with the node.
+    pub lost_fraction: f64,
+    /// Fraction of the file still reachable immediately after the crash
+    /// (before recovery) — the §4(a) graceful-degradation measure.
+    pub availability: f64,
+}
+
+/// The outcome of a run with failures.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailureReport {
+    /// The failure events, in order.
+    pub events: Vec<FailureEvent>,
+    /// Final allocation (crashed agents hold exactly 0).
+    pub allocation: Vec<f64>,
+    /// Whether the survivors' re-optimization converged.
+    pub converged: bool,
+    /// Rounds executed in total.
+    pub rounds: usize,
+    /// Message accounting (failed agents stop sending).
+    pub messages: MessageStats,
+}
+
+/// Runs the protocol with scheduled crashes.
+///
+/// After each crash the lost fragment is re-fetched from a backing store
+/// and spread equally over the survivors, who then continue the
+/// decentralized optimization restricted to themselves.
+///
+/// # Errors
+///
+/// Returns [`RuntimeError::InvalidParameter`] for invalid configuration, a
+/// crash schedule naming an unknown agent, or a plan that kills every
+/// agent.
+pub fn run_with_failures<O: LocalObjective>(
+    objective: &O,
+    scheme: ExchangeScheme,
+    alpha: f64,
+    initial: &[f64],
+    plan: &FailurePlan,
+    max_rounds: usize,
+    epsilon: f64,
+) -> Result<FailureReport, RuntimeError> {
+    let n = objective.agent_count();
+    if initial.len() != n {
+        return Err(RuntimeError::InvalidParameter(format!(
+            "{} fragments for {n} agents",
+            initial.len()
+        )));
+    }
+    if !alpha.is_finite() || alpha <= 0.0 || !epsilon.is_finite() || epsilon <= 0.0 {
+        return Err(RuntimeError::InvalidParameter(format!("alpha {alpha} / epsilon {epsilon}")));
+    }
+    for &(_, agent) in plan.crashes() {
+        if agent >= n {
+            return Err(RuntimeError::InvalidParameter(format!(
+                "crash schedule names agent {agent}, only {n} exist"
+            )));
+        }
+    }
+    if plan.crashes().iter().map(|&(_, a)| a).collect::<std::collections::HashSet<_>>().len() >= n
+    {
+        return Err(RuntimeError::InvalidParameter("plan would kill every agent".into()));
+    }
+
+    let mut x = initial.to_vec();
+    let mut alive = vec![true; n];
+    let mut events = Vec::new();
+    let mut messages = MessageStats::default();
+    let weights = vec![1.0; n];
+    let mut rounds = 0usize;
+
+    loop {
+        // Scheduled crashes fire at the start of the round.
+        for &(round, agent) in plan.crashes() {
+            if round == rounds && alive[agent] {
+                alive[agent] = false;
+                let lost = x[agent];
+                events.push(FailureEvent {
+                    round: rounds,
+                    agent,
+                    lost_fraction: lost,
+                    availability: 1.0 - lost,
+                });
+                // Recovery: survivors re-fetch the lost records equally.
+                let survivors = alive.iter().filter(|a| **a).count();
+                x[agent] = 0.0;
+                let share = lost / survivors as f64;
+                for i in 0..n {
+                    if alive[i] {
+                        x[i] += share;
+                    }
+                }
+            }
+        }
+
+        let alive_count = alive.iter().filter(|a| **a).count();
+        // Marginals: dead agents neither compute nor send. A dead agent is
+        // represented with an abysmal marginal so the shared step
+        // computation pins it at zero and excludes it from the average.
+        let mut g = vec![0.0; n];
+        for i in 0..n {
+            g[i] = if alive[i] { objective.local_marginal(i, x[i])? } else { -1e30 };
+        }
+        messages.record_round(scheme.messages_per_round(alive_count, MessageCounting::PointToPoint));
+
+        let outcome = compute_step(&x, &g, &weights, alpha, BoundaryRule::ClampToZero);
+        let spread = marginal_spread(&g, &outcome.active);
+        let converged = spread < epsilon;
+        if converged || rounds >= max_rounds {
+            return Ok(FailureReport { events, allocation: x, converged, rounds, messages });
+        }
+        for (xi, d) in x.iter_mut().zip(&outcome.deltas) {
+            *xi += d;
+        }
+        rounds += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fap_core::SingleFileProblem;
+    use fap_net::{topology, AccessPattern};
+
+    fn paper_problem() -> SingleFileProblem {
+        let graph = topology::ring(4, 1.0).unwrap();
+        let pattern = AccessPattern::uniform(4, 1.0).unwrap();
+        SingleFileProblem::mm1(&graph, &pattern, 1.5, 1.0).unwrap()
+    }
+
+    #[test]
+    fn fragmented_allocation_degrades_gracefully() {
+        let p = paper_problem();
+        let plan = FailurePlan::new().crash(0, 3);
+        let r = run_with_failures(
+            &p,
+            ExchangeScheme::Broadcast,
+            0.1,
+            &[0.25; 4],
+            &plan,
+            5_000,
+            1e-6,
+        )
+        .unwrap();
+        assert_eq!(r.events.len(), 1);
+        // Only a quarter of the file was lost — the §4(a) point.
+        assert!((r.events[0].availability - 0.75).abs() < 0.1);
+        assert!(r.converged);
+        assert_eq!(r.allocation[3], 0.0);
+        // Survivors hold the whole file.
+        let total: f64 = r.allocation.iter().sum();
+        assert!((total - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn integral_allocation_loses_everything() {
+        let p = paper_problem();
+        let plan = FailurePlan::new().crash(0, 0);
+        let r = run_with_failures(
+            &p,
+            ExchangeScheme::Broadcast,
+            0.1,
+            &[1.0, 0.0, 0.0, 0.0],
+            &plan,
+            5_000,
+            1e-6,
+        )
+        .unwrap();
+        assert!((r.events[0].availability - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn survivors_reoptimize_to_their_own_even_split() {
+        let p = paper_problem();
+        let plan = FailurePlan::new().crash(0, 1);
+        let r = run_with_failures(
+            &p,
+            ExchangeScheme::Broadcast,
+            0.05,
+            &[0.25; 4],
+            &plan,
+            20_000,
+            1e-7,
+        )
+        .unwrap();
+        assert!(r.converged);
+        // Symmetric ring minus one node: survivors share equally by
+        // symmetry of the delay term (communication costs are uniform).
+        for (i, v) in r.allocation.iter().enumerate() {
+            if i == 1 {
+                assert_eq!(*v, 0.0);
+            } else {
+                assert!((v - 1.0 / 3.0).abs() < 1e-2, "{:?}", r.allocation);
+            }
+        }
+    }
+
+    #[test]
+    fn multiple_failures_accumulate() {
+        let p = paper_problem();
+        let plan = FailurePlan::new().crash(0, 0).crash(0, 2);
+        let r = run_with_failures(
+            &p,
+            ExchangeScheme::Broadcast,
+            0.05,
+            &[0.25; 4],
+            &plan,
+            20_000,
+            1e-6,
+        )
+        .unwrap();
+        assert_eq!(r.events.len(), 2);
+        assert_eq!(r.allocation[0], 0.0);
+        assert_eq!(r.allocation[2], 0.0);
+        let total: f64 = r.allocation.iter().sum();
+        assert!((total - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rejects_plans_that_kill_everyone_or_unknown_agents() {
+        let p = paper_problem();
+        let all = FailurePlan::new().crash(0, 0).crash(0, 1).crash(0, 2).crash(0, 3);
+        assert!(run_with_failures(&p, ExchangeScheme::Broadcast, 0.1, &[0.25; 4], &all, 100, 1e-6)
+            .is_err());
+        let unknown = FailurePlan::new().crash(0, 9);
+        assert!(
+            run_with_failures(&p, ExchangeScheme::Broadcast, 0.1, &[0.25; 4], &unknown, 100, 1e-6)
+                .is_err()
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Decentralized execution of the file-allocation protocol.
+//!
+//! The other crates in this workspace compute *what* the decentralized
+//! algorithm converges to; this crate simulates *how* it actually runs as a
+//! distributed protocol — the §5.1–5.2 message flow:
+//!
+//! 1. each node locally evaluates its marginal utility `∂U/∂x_i` (which for
+//!    the file-allocation objective depends only on the node's own fragment
+//!    `x_i` and static constants — that locality is what makes the
+//!    algorithm decentralized);
+//! 2. the marginals (and fragments) are exchanged, either through a
+//!    designated **central agent** or by **full broadcast** — the paper
+//!    notes that on a broadcast medium such as a LAN the two cost about the
+//!    same number of transmissions;
+//! 3. every node applies the same reallocation step; the allocation stays
+//!    feasible without any global coordinator enforcing it.
+//!
+//! Provided here:
+//!
+//! * [`LocalObjective`] — the per-agent view of an allocation problem
+//!   (implemented for `fap_core::SingleFileProblem`);
+//! * [`round`] — a deterministic round-based executor with full message
+//!   accounting ([`ExchangeScheme`], [`MessageCounting`]);
+//! * [`threaded`] — the same protocol running as real concurrent agent
+//!   threads over crossbeam channels, bit-identical to the round executor;
+//! * [`failure`] — node-failure injection measuring the §4(a) graceful-
+//!   degradation property and the survivors' recovery re-optimization.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod error;
+pub mod failure;
+pub mod local;
+pub mod message;
+pub mod round;
+pub mod scheme;
+pub mod threaded;
+pub mod timing;
+
+pub use error::RuntimeError;
+pub use failure::{FailurePlan, FailureReport};
+pub use local::LocalObjective;
+pub use message::{Message, MessageStats};
+pub use round::{DistributedRun, RunReport};
+pub use scheme::{ExchangeScheme, MessageCounting};
+pub use timing::{best_coordinator, estimate_round_timing, RoundTiming};

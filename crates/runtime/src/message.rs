@@ -1,0 +1,74 @@
+//! Protocol messages and message accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// A protocol message, as exchanged in §5.2 step (a): each node sends its
+/// marginal utility *and* its current fragment to the other nodes (or the
+/// central agent), who can then all perform the identical reallocation
+/// computation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Message {
+    /// A node reports its marginal utility and current fragment.
+    MarginalReport {
+        /// Reporting node.
+        from: usize,
+        /// `∂U/∂x_i` at the node's current fragment.
+        marginal: f64,
+        /// The node's current fragment `x_i`.
+        fragment: f64,
+    },
+    /// The central agent distributes the computed step to one node.
+    StepAssignment {
+        /// Destination node.
+        to: usize,
+        /// The node's `Δx_i` this round.
+        delta: f64,
+        /// Whether the algorithm has terminated.
+        terminate: bool,
+    },
+}
+
+/// Message/transmission accounting for one protocol run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MessageStats {
+    /// Total point-to-point messages (or physical transmissions, depending
+    /// on the configured [`MessageCounting`](crate::MessageCounting)).
+    pub total: u64,
+    /// Messages in a single iteration round (constant per scheme).
+    pub per_round: u64,
+    /// Rounds executed.
+    pub rounds: u64,
+}
+
+impl MessageStats {
+    /// Accumulates one round of `per_round` messages.
+    pub fn record_round(&mut self, per_round: u64) {
+        self.per_round = per_round;
+        self.rounds += 1;
+        self.total += per_round;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_accumulate() {
+        let mut s = MessageStats::default();
+        s.record_round(6);
+        s.record_round(6);
+        assert_eq!(s.total, 12);
+        assert_eq!(s.rounds, 2);
+        assert_eq!(s.per_round, 6);
+    }
+
+    #[test]
+    fn messages_are_constructible_and_comparable() {
+        let a = Message::MarginalReport { from: 1, marginal: -2.0, fragment: 0.3 };
+        assert_eq!(a, a);
+        let b = Message::StepAssignment { to: 2, delta: 0.1, terminate: false };
+        assert_ne!(format!("{a:?}"), format!("{b:?}"));
+    }
+}

@@ -1,0 +1,91 @@
+//! Marginal-utility exchange schemes (paper §5.1).
+//!
+//! "One way in which this computation can be performed is to have all nodes
+//! transmit their marginal utility to a central node which computes the
+//! average and broadcasts the results back to the individual nodes.
+//! Alternatively, each node may broadcast its marginal utility to all other
+//! nodes and then each node may compute the average marginal utility
+//! locally. (We note that in a broadcast environment, such as a local area
+//! network, these two schemes require approximately the same number of
+//! messages …)"
+
+use serde::{Deserialize, Serialize};
+
+/// How marginal utilities are disseminated each round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ExchangeScheme {
+    /// Every node reports to a designated central agent, which computes the
+    /// reallocation and distributes each node's step.
+    Central {
+        /// The coordinating node.
+        coordinator: usize,
+    },
+    /// Every node sends its marginal (and fragment) to every other node;
+    /// all nodes run the identical reallocation computation locally.
+    Broadcast,
+}
+
+/// What one "message" means when counting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum MessageCounting {
+    /// Point-to-point links: sending to `k` recipients costs `k` messages.
+    #[default]
+    PointToPoint,
+    /// A physical broadcast medium (LAN): one transmission reaches everyone.
+    BroadcastMedium,
+}
+
+impl ExchangeScheme {
+    /// Messages (or transmissions) needed for one full round of the
+    /// protocol on `n` nodes.
+    ///
+    /// Point-to-point: central costs `(n−1)` reports + `(n−1)` step
+    /// assignments; broadcast costs `n(n−1)`. On a broadcast medium both
+    /// collapse to ≈ `n` transmissions — the paper's LAN remark.
+    pub fn messages_per_round(&self, n: usize, counting: MessageCounting) -> u64 {
+        let n = n as u64;
+        if n <= 1 {
+            return 0;
+        }
+        match (self, counting) {
+            (ExchangeScheme::Central { .. }, MessageCounting::PointToPoint) => 2 * (n - 1),
+            (ExchangeScheme::Broadcast, MessageCounting::PointToPoint) => n * (n - 1),
+            // Reports are unicast to the coordinator but its reply is one
+            // broadcast transmission.
+            (ExchangeScheme::Central { .. }, MessageCounting::BroadcastMedium) => n,
+            // Each node makes one broadcast transmission.
+            (ExchangeScheme::Broadcast, MessageCounting::BroadcastMedium) => n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_to_point_counts() {
+        let central = ExchangeScheme::Central { coordinator: 0 };
+        assert_eq!(central.messages_per_round(4, MessageCounting::PointToPoint), 6);
+        assert_eq!(ExchangeScheme::Broadcast.messages_per_round(4, MessageCounting::PointToPoint), 12);
+    }
+
+    #[test]
+    fn lan_collapses_both_schemes_to_n() {
+        // The paper's §5.1 remark, verified.
+        for n in [2usize, 4, 10, 20] {
+            let central = ExchangeScheme::Central { coordinator: 0 }
+                .messages_per_round(n, MessageCounting::BroadcastMedium);
+            let broadcast = ExchangeScheme::Broadcast
+                .messages_per_round(n, MessageCounting::BroadcastMedium);
+            assert_eq!(central, n as u64);
+            assert_eq!(broadcast, n as u64);
+        }
+    }
+
+    #[test]
+    fn degenerate_single_node_needs_no_messages() {
+        assert_eq!(ExchangeScheme::Broadcast.messages_per_round(1, MessageCounting::PointToPoint), 0);
+    }
+}

@@ -1,0 +1,261 @@
+//! The protocol as genuinely concurrent agent threads.
+//!
+//! The round-based executor in [`crate::round`] is deterministic and fast;
+//! this module runs the *same* protocol with each agent as an OS thread
+//! exchanging typed messages over channels with a coordinator (the §5.1
+//! central-agent scheme). The result is bit-identical to the round-based
+//! executor — the algorithm is synchronous per iteration, so concurrency
+//! affects scheduling but not arithmetic.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use fap_econ::projection::{compute_step, BoundaryRule};
+use fap_econ::marginal_spread;
+
+use crate::error::RuntimeError;
+use crate::local::LocalObjective;
+use crate::message::MessageStats;
+use crate::round::RunReport;
+
+/// A report from an agent thread to the coordinator.
+#[derive(Debug, Clone, Copy)]
+struct Report {
+    agent: usize,
+    marginal: f64,
+    fragment: f64,
+    utility: f64,
+}
+
+/// A directive from the coordinator to an agent thread.
+#[derive(Debug, Clone, Copy)]
+struct Directive {
+    delta: f64,
+    terminate: bool,
+}
+
+/// Runs the protocol with one thread per agent and a coordinator thread.
+///
+/// Produces the same allocation as
+/// [`DistributedRun`](crate::DistributedRun) under the central scheme with
+/// the same parameters.
+///
+/// # Errors
+///
+/// Returns [`RuntimeError::InvalidParameter`] for bad configuration and
+/// [`RuntimeError::ChannelClosed`] if an agent thread dies unexpectedly.
+pub fn run_threaded<O: LocalObjective + Sync>(
+    objective: &O,
+    alpha: f64,
+    epsilon: f64,
+    initial: &[f64],
+    max_rounds: usize,
+) -> Result<RunReport, RuntimeError> {
+    let n = objective.agent_count();
+    if initial.len() != n {
+        return Err(RuntimeError::InvalidParameter(format!(
+            "{} fragments for {n} agents",
+            initial.len()
+        )));
+    }
+    if !alpha.is_finite() || alpha <= 0.0 || !epsilon.is_finite() || epsilon <= 0.0 {
+        return Err(RuntimeError::InvalidParameter(format!("alpha {alpha} / epsilon {epsilon}")));
+    }
+    let sum: f64 = initial.iter().sum();
+    if (sum - 1.0).abs() > 1e-9 || initial.iter().any(|v| *v < 0.0) {
+        return Err(RuntimeError::InvalidParameter(format!(
+            "initial fragments must be non-negative and sum to 1, got {sum}"
+        )));
+    }
+
+    // Channels: agents report to the coordinator; the coordinator answers
+    // each agent on its own channel.
+    let (report_tx, report_rx): (Sender<Report>, Receiver<Report>) = unbounded();
+    let mut directive_txs: Vec<Sender<Directive>> = Vec::with_capacity(n);
+    let mut directive_rxs: Vec<Option<Receiver<Directive>>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded();
+        directive_txs.push(tx);
+        directive_rxs.push(Some(rx));
+    }
+    let final_fragments: Mutex<Vec<Option<f64>>> = Mutex::new(vec![None; n]);
+
+    let mut coordinator_result: Option<Result<(usize, bool, f64, MessageStats), RuntimeError>> =
+        None;
+
+    std::thread::scope(|scope| {
+        // Agent threads: evaluate locally, report, apply the directive.
+        for (agent, rx) in directive_rxs.iter_mut().enumerate() {
+            let rx = rx.take().expect("receiver taken once");
+            let report_tx = report_tx.clone();
+            let mut fragment = initial[agent];
+            let final_fragments = &final_fragments;
+            scope.spawn(move || {
+                loop {
+                    let marginal = match objective.local_marginal(agent, fragment) {
+                        Ok(m) => m,
+                        Err(_) => f64::NAN, // surfaced by the coordinator
+                    };
+                    let utility = objective.local_utility(agent, fragment).unwrap_or(f64::NAN);
+                    if report_tx.send(Report { agent, marginal, fragment, utility }).is_err() {
+                        break;
+                    }
+                    match rx.recv() {
+                        Ok(directive) => {
+                            fragment += directive.delta;
+                            if directive.terminate {
+                                break;
+                            }
+                        }
+                        Err(_) => break,
+                    }
+                }
+                final_fragments.lock()[agent] = Some(fragment);
+            });
+        }
+        drop(report_tx);
+
+        // Coordinator: gather n reports, compute the shared step, reply.
+        let weights = vec![1.0; n];
+        let mut messages = MessageStats::default();
+        let mut rounds = 0usize;
+        let result = loop {
+            let mut g = vec![0.0; n];
+            let mut x = vec![0.0; n];
+            let mut utility = 0.0;
+            let mut received = 0usize;
+            while received < n {
+                match report_rx.recv() {
+                    Ok(r) => {
+                        g[r.agent] = r.marginal;
+                        x[r.agent] = r.fragment;
+                        utility += r.utility;
+                        received += 1;
+                    }
+                    Err(_) => {
+                        break;
+                    }
+                }
+            }
+            if received < n {
+                break Err(RuntimeError::ChannelClosed { agent: received });
+            }
+            if g.iter().any(|m| m.is_nan()) {
+                let agent = g.iter().position(|m| m.is_nan()).unwrap_or(0);
+                // Terminate all agents before reporting the failure.
+                for tx in &directive_txs {
+                    let _ = tx.send(Directive { delta: 0.0, terminate: true });
+                }
+                break Err(RuntimeError::Objective {
+                    agent,
+                    reason: "local evaluation failed".into(),
+                });
+            }
+            // n reports in, n directives out.
+            messages.record_round(2 * n as u64);
+
+            let outcome = compute_step(&x, &g, &weights, alpha, BoundaryRule::ClampToZero);
+            let spread = marginal_spread(&g, &outcome.active);
+            let converged = spread < epsilon;
+            let done = converged || rounds >= max_rounds;
+            for (agent, tx) in directive_txs.iter().enumerate() {
+                // On termination the decision was made on the *current*
+                // state, so no further step is applied — keeping the result
+                // bit-identical to the round-based executor.
+                let delta = if done { 0.0 } else { outcome.deltas[agent] };
+                if tx.send(Directive { delta, terminate: done }).is_err() {
+                    break;
+                }
+            }
+            if done {
+                break Ok((rounds, converged, utility, messages));
+            }
+            rounds += 1;
+        };
+        coordinator_result = Some(result);
+    });
+
+    let (rounds, converged, utility, messages) =
+        coordinator_result.expect("coordinator ran")?;
+    let fragments = final_fragments.into_inner();
+    let allocation: Result<Vec<f64>, RuntimeError> = fragments
+        .into_iter()
+        .enumerate()
+        .map(|(agent, f)| f.ok_or(RuntimeError::ChannelClosed { agent }))
+        .collect();
+    let allocation = allocation?;
+    Ok(RunReport {
+        allocation,
+        rounds,
+        converged,
+        final_utility: utility,
+        messages,
+        trace: fap_econ::Trace::new(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::round::DistributedRun;
+    use crate::scheme::ExchangeScheme;
+    use fap_core::SingleFileProblem;
+    use fap_net::{topology, AccessPattern};
+
+    fn paper_problem() -> SingleFileProblem {
+        let graph = topology::ring(4, 1.0).unwrap();
+        let pattern = AccessPattern::uniform(4, 1.0).unwrap();
+        SingleFileProblem::mm1(&graph, &pattern, 1.5, 1.0).unwrap()
+    }
+
+    #[test]
+    fn threaded_reaches_the_same_optimum_as_round_based() {
+        let p = paper_problem();
+        let x0 = [0.8, 0.1, 0.1, 0.0];
+        let threaded = run_threaded(&p, 0.19, 1e-6, &x0, 10_000).unwrap();
+        let round = DistributedRun::new(&p, ExchangeScheme::Central { coordinator: 0 }, 0.19)
+            .with_epsilon(1e-6)
+            .run(&x0)
+            .unwrap();
+        assert!(threaded.converged && round.converged);
+        assert_eq!(threaded.rounds, round.rounds);
+        assert_eq!(threaded.allocation, round.allocation, "bit-identical trajectories");
+    }
+
+    #[test]
+    fn threaded_counts_two_n_messages_per_round() {
+        let p = paper_problem();
+        let r = run_threaded(&p, 0.19, 1e-3, &[0.25; 4], 100).unwrap();
+        assert_eq!(r.messages.per_round, 8);
+    }
+
+    #[test]
+    fn threaded_validates_input() {
+        let p = paper_problem();
+        assert!(run_threaded(&p, 0.0, 1e-3, &[0.25; 4], 100).is_err());
+        assert!(run_threaded(&p, 0.1, 1e-3, &[0.5; 4], 100).is_err());
+        assert!(run_threaded(&p, 0.1, 1e-3, &[0.25; 3], 100).is_err());
+    }
+
+    #[test]
+    fn threaded_respects_round_cap() {
+        let p = paper_problem();
+        let r = run_threaded(&p, 1e-7, 1e-9, &[1.0, 0.0, 0.0, 0.0], 7).unwrap();
+        assert!(!r.converged);
+        assert_eq!(r.rounds, 7);
+    }
+
+    #[test]
+    fn threaded_runs_with_many_agents() {
+        let graph = topology::full_mesh(16, 1.0).unwrap();
+        let pattern = AccessPattern::uniform(16, 1.0).unwrap();
+        let p = SingleFileProblem::mm1(&graph, &pattern, 1.5, 1.0).unwrap();
+        let mut x0 = vec![0.0; 16];
+        x0[0] = 1.0;
+        let r = run_threaded(&p, 0.2, 1e-5, &x0, 10_000).unwrap();
+        assert!(r.converged);
+        for v in &r.allocation {
+            assert!((v - 1.0 / 16.0).abs() < 1e-2);
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! How many copies are optimal? (paper §8.2 future work)
+//!
+//! Sweeps the number of file copies m on an 8-node virtual ring, charging a
+//! per-copy storage/maintenance cost, and reports the trade-off the paper
+//! poses as an open question.
+//!
+//! ```text
+//! cargo run --release --example copy_count
+//! ```
+
+use fap::prelude::*;
+use fap::ring::sweep_copies;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 8;
+    let link_costs = vec![6.0; n]; // expensive links: copies pay off
+    let lambdas = vec![0.2; n];
+    let mus = vec![2.0; n];
+    let solver = RingSolver::new(0.05).with_max_iterations(2_000);
+
+    for per_copy_cost in [0.5, 2.0, 8.0] {
+        let sweep = sweep_copies(
+            &link_costs,
+            &lambdas,
+            &mus,
+            1.0,
+            per_copy_cost,
+            &[1.0, 2.0, 3.0, 4.0, 5.0],
+            &solver,
+        )?;
+        println!("per-copy cost {per_copy_cost}:");
+        for p in &sweep.points {
+            let marker = if (p.copies - sweep.best_point().copies).abs() < 1e-12 {
+                "  <-- best"
+            } else {
+                ""
+            };
+            println!(
+                "  m={}  access cost {:8.3}  + storage {:6.3}  = total {:8.3}{marker}",
+                p.copies,
+                p.access_cost,
+                per_copy_cost * p.copies,
+                p.total_cost
+            );
+        }
+    }
+    println!("\ncheap storage wants many copies; expensive storage wants one;\n\
+              in between, the sweep finds the interior optimum the paper asks about.");
+    Ok(())
+}

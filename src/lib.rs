@@ -1,0 +1,71 @@
+//! # fap — microeconomic file allocation
+//!
+//! A complete implementation of Kurose & Simha, *A Microeconomic Approach
+//! to Optimal File Allocation* (ICDCS 1986): a decentralized,
+//! resource-directed algorithm that optimally fragments a file across the
+//! nodes of a network, trading communication cost against M/M/1 queueing
+//! delay.
+//!
+//! The workspace is layered; this crate re-exports everything:
+//!
+//! * [`net`] — network graphs, topologies, shortest-path routing, access
+//!   workloads;
+//! * [`queue`] — analytic M/M/1 and M/G/1 delay models and a discrete-event
+//!   simulator for empirical validation;
+//! * [`econ`] — the resource-directed (Heal) optimizer with the paper's
+//!   set-A procedure, second-derivative and gossip variants, and a
+//!   price-directed tâtonnement baseline;
+//! * [`core`] — the file-allocation problem itself: single-file and
+//!   multi-file models, closed-form reference solver, integer baselines,
+//!   record rounding, adaptive reallocation;
+//! * [`ring`] — the §7 multi-copy virtual-ring extension with its
+//!   oscillation-aware solver;
+//! * [`runtime`] — the protocol as a message-passing (and multi-threaded)
+//!   distributed system with message accounting and failure injection.
+//!
+//! # Quickstart
+//!
+//! Reproduce the paper's headline experiment — the symmetric four-node
+//! ring of §6 — in a dozen lines:
+//!
+//! ```
+//! use fap::prelude::*;
+//!
+//! let graph = fap::net::topology::ring(4, 1.0)?;
+//! let pattern = AccessPattern::uniform(4, 1.0)?;
+//! let problem = SingleFileProblem::mm1(&graph, &pattern, 1.5, 1.0)?;
+//!
+//! let solution = ResourceDirectedOptimizer::new(StepSize::Fixed(0.3))
+//!     .run(&problem, &[0.8, 0.1, 0.1, 0.0])?;
+//!
+//! assert!(solution.converged);
+//! assert!((solution.final_cost() - 1.8).abs() < 1e-3); // optimal cost
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use fap_core as core;
+pub use fap_econ as econ;
+pub use fap_net as net;
+pub use fap_queue as queue;
+pub use fap_ring as ring;
+pub use fap_runtime as runtime;
+
+/// The most commonly used items, for glob import.
+pub mod prelude {
+    pub use fap_core::{
+        baseline, reference, AdaptiveAllocator, HostingMarket, MultiFileProblem,
+        SingleFileProblem,
+    };
+    pub use fap_econ::{
+        AllocationProblem, BoundaryRule, GossipOptimizer, Neighborhood,
+        PriceDirectedOptimizer, ResourceDirectedOptimizer, SecondOrderOptimizer, Solution,
+        StepSize,
+    };
+    pub use fap_net::{topology, AccessPattern, Graph, NodeId};
+    pub use fap_queue::{DelayModel, Mg1Delay, Mm1Delay, NetworkSimulation, ServiceDistribution};
+    pub use fap_ring::{RingSolver, VirtualRing};
+    pub use fap_runtime::{DistributedRun, ExchangeScheme, FailurePlan, MessageCounting};
+}
