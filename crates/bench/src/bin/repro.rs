@@ -39,7 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  integral cost={:.4}  fractional optimum={:.4}  reduction={:.1}% (paper: \"significant (25%)\")",
         fig4.integral_cost, fig4.optimal_cost, fig4.reduction_percent
     );
-    write("fig4_fragmentation.csv", &[fig4.profile.clone()])?;
+    write("fig4_fragmentation.csv", std::slice::from_ref(&fig4.profile))?;
 
     println!("\n== Figure 5: iterations to convergence vs alpha ==");
     let grid = experiments::fig5_default_grid();

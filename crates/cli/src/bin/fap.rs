@@ -3,14 +3,17 @@
 //! ```text
 //! fap solve <scenario.json>              solve and print the allocation
 //! fap simulate <scenario.json>           solve, then measure with the DES
+//! fap sim <scenario.json> [chaos.json]   run the protocol under faults
 //! fap sweep-k <scenario.json> <k,k,...>  the §8.2 k trade-off
 //! fap example                            print a template scenario
+//! fap chaos-example                      print a template fault plan
 //! ```
 
 use std::path::Path;
 use std::process::ExitCode;
 
-use fap_cli::{simulate, solve, sweep_k, Scenario};
+use fap_cli::{chaos_sim, simulate, solve, sweep_k, Scenario};
+use fap_runtime::ChaosPlan;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -28,8 +31,10 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   fap solve <scenario.json>
   fap simulate <scenario.json>
+  fap sim <scenario.json> [chaos.json]
   fap sweep-k <scenario.json> <k1,k2,...>
-  fap example";
+  fap example
+  fap chaos-example";
 
 fn run(args: &[String]) -> Result<(), String> {
     match args {
@@ -70,6 +75,34 @@ fn run(args: &[String]) -> Result<(), String> {
                 for (i, rho) in report.per_node_utilization.iter().enumerate() {
                     println!("  node {i:>3}: {rho:.4}");
                 }
+                Ok(())
+            }
+            ("chaos-example", []) => {
+                let plan = ChaosPlan::new(42)
+                    .with_drop(0.1)
+                    .with_delay(0.2, 2)
+                    .with_staleness_bound(2)
+                    .with_retries(1);
+                let json = serde_json::to_string_pretty(&plan)
+                    .map_err(|e| e.to_string())?;
+                println!("{json}");
+                Ok(())
+            }
+            ("sim", [path, rest @ ..]) if rest.len() <= 1 => {
+                let scenario = Scenario::load(Path::new(path)).map_err(|e| e.to_string())?;
+                let plan = match rest {
+                    [chaos_path] => {
+                        let text = std::fs::read_to_string(chaos_path)
+                            .map_err(|e| format!("reading {chaos_path}: {e}"))?;
+                        serde_json::from_str::<ChaosPlan>(&text)
+                            .map_err(|e| format!("parsing {chaos_path}: {e}"))?
+                    }
+                    _ => ChaosPlan::new(0),
+                };
+                let report = chaos_sim(&scenario, plan).map_err(|e| e.to_string())?;
+                let json = serde_json::to_string_pretty(&report)
+                    .map_err(|e| e.to_string())?;
+                println!("{json}");
                 Ok(())
             }
             ("sweep-k", [path, list]) => {

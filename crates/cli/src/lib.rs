@@ -9,8 +9,10 @@
 //! ```text
 //! fap solve scenario.json            # optimal allocation + cost
 //! fap simulate scenario.json        # measure the optimum empirically
+//! fap sim scenario.json chaos.json  # run the protocol under injected faults
 //! fap sweep-k scenario.json 0.1,1,10  # the §8.2 k trade-off
 //! fap example                        # print a template scenario
+//! fap chaos-example                  # print a template fault plan
 //! ```
 //!
 //! `serde_json` is a dependency of this crate only (justification in
@@ -23,5 +25,5 @@
 pub mod run;
 pub mod scenario;
 
-pub use run::{simulate, solve, sweep_k, SolveOutput};
+pub use run::{chaos_sim, simulate, solve, sweep_k, SolveOutput};
 pub use scenario::{Scenario, ScenarioError, Topology};

@@ -5,6 +5,7 @@ use serde::{Deserialize, Serialize};
 use fap_core::{reference, tuning, SingleFileProblem};
 use fap_econ::{ResourceDirectedOptimizer, StepSize};
 use fap_queue::{NetworkSimulation, ServiceDistribution, SimReport};
+use fap_runtime::{ChaosPlan, ExchangeScheme, SimReport as ChaosReport, SimRun};
 
 use crate::scenario::{Scenario, ScenarioError};
 
@@ -91,6 +92,27 @@ pub fn simulate(scenario: &Scenario) -> Result<(SolveOutput, SimReport), Scenari
     Ok((output, report))
 }
 
+/// Runs the decentralized protocol for a scenario under a seeded
+/// fault-injection plan (`fap sim`). A default [`ChaosPlan`] is
+/// fault-free, in which case the result is bit-identical to the ideal
+/// round executor.
+///
+/// # Errors
+///
+/// Returns [`ScenarioError::Invalid`] if the scenario or the plan cannot
+/// be built, or the run gets stuck.
+pub fn chaos_sim(scenario: &Scenario, plan: ChaosPlan) -> Result<ChaosReport, ScenarioError> {
+    let problem = problem_of(scenario)?;
+    let n = scenario.topology.node_count();
+    let initial = scenario.initial.clone().unwrap_or_else(|| vec![1.0 / n as f64; n]);
+    SimRun::new(&problem, ExchangeScheme::Broadcast, scenario.alpha)
+        .with_epsilon(scenario.epsilon)
+        .with_max_rounds(1_000_000)
+        .with_chaos(plan)
+        .run(&initial)
+        .map_err(|e| ScenarioError::Invalid(e.to_string()))
+}
+
 /// Sweeps the delay weight `k` over `candidates` (the §8.2 trade-off),
 /// using the scenario's network and workload. Requires a uniform service
 /// rate.
@@ -150,6 +172,28 @@ mod tests {
         let mut het = Scenario::example();
         het.mus = vec![1.5, 1.5, 1.5, 2.0];
         assert!(sweep_k(&het, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn chaos_sim_without_faults_matches_solve() {
+        let scenario = Scenario::example();
+        let report = chaos_sim(&scenario, ChaosPlan::new(0)).unwrap();
+        assert!(report.converged);
+        let ideal = solve(&scenario).unwrap();
+        assert!((report.final_cost() - ideal.cost).abs() < 1e-9);
+        assert_eq!(report.faults.dropped, 0);
+    }
+
+    #[test]
+    fn chaos_sim_with_faults_still_converges_on_the_example() {
+        let scenario = Scenario::example();
+        let plan = ChaosPlan::new(11)
+            .with_drop(0.2)
+            .with_staleness_bound(2)
+            .with_retries(1);
+        let report = chaos_sim(&scenario, plan).unwrap();
+        assert!(report.converged);
+        assert!(report.faults.dropped > 0);
     }
 
     #[test]

@@ -270,11 +270,11 @@ impl MultiFileProblem {
                 let mut hi = f64::NEG_INFINITY;
                 let mut sum = 0.0;
                 let mut count = 0usize;
-                for i in 0..n {
-                    if outcome.active[i] {
-                        lo = lo.min(g[i]);
-                        hi = hi.max(g[i]);
-                        sum += g[i];
+                for (gi, is_active) in g.iter().zip(&outcome.active) {
+                    if *is_active {
+                        lo = lo.min(*gi);
+                        hi = hi.max(*gi);
+                        sum += *gi;
                         count += 1;
                     }
                 }
@@ -347,13 +347,14 @@ mod tests {
     fn single_file_case_matches_single_file_problem() {
         let graph = ring4();
         let pattern = AccessPattern::uniform(4, 1.0).unwrap();
-        let multi = MultiFileProblem::mm1(&graph, &[pattern.clone()], 1.5, 1.0).unwrap();
+        let multi =
+            MultiFileProblem::mm1(&graph, std::slice::from_ref(&pattern), 1.5, 1.0).unwrap();
         let single = SingleFileProblem::mm1(&graph, &pattern, 1.5, 1.0).unwrap();
         let x = vec![0.4, 0.3, 0.2, 0.1];
         assert!(
-            (multi.cost(&[x.clone()]).unwrap() - single.cost_of(&x).unwrap()).abs() < 1e-12
+            (multi.cost(std::slice::from_ref(&x)).unwrap() - single.cost_of(&x).unwrap()).abs() < 1e-12
         );
-        let mg = multi.marginal_costs(&[x.clone()]).unwrap();
+        let mg = multi.marginal_costs(std::slice::from_ref(&x)).unwrap();
         let mut sg = vec![0.0; 4];
         single.marginal_utilities(&x, &mut sg).unwrap();
         for i in 0..4 {
@@ -366,7 +367,7 @@ mod tests {
         let graph = ring4();
         let p = AccessPattern::uniform(4, 1.0).unwrap();
         assert!(MultiFileProblem::mm1(&graph, &[], 1.5, 1.0).is_err());
-        assert!(MultiFileProblem::mm1(&graph, &[p.clone()], 1.5, -1.0).is_err());
+        assert!(MultiFileProblem::mm1(&graph, std::slice::from_ref(&p), 1.5, -1.0).is_err());
         let p3 = AccessPattern::uniform(3, 1.0).unwrap();
         assert!(MultiFileProblem::mm1(&graph, &[p3], 1.5, 1.0).is_err());
         // Two files of rate 1 each need Σμ > 2; μ = 0.4 · 4 = 1.6 fails.

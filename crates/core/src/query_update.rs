@@ -103,8 +103,10 @@ impl QueryUpdateModel {
                 self.updates.node_count()
             )));
         }
-        if !(self.query_weight.is_finite() && self.query_weight >= 0.0)
-            || !(self.update_weight.is_finite() && self.update_weight >= 0.0)
+        if !(self.query_weight.is_finite()
+            && self.query_weight >= 0.0
+            && self.update_weight.is_finite()
+            && self.update_weight >= 0.0)
         {
             return Err(CoreError::InvalidParameter(
                 "query/update weights must be non-negative".into(),

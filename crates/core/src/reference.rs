@@ -152,7 +152,7 @@ mod tests {
         let s = ResourceDirectedOptimizer::new(StepSize::Fixed(0.05))
             .with_epsilon(1e-9)
             .with_max_iterations(200_000)
-            .run(&p, &vec![1.0 / 6.0; 6])
+            .run(&p, &[1.0 / 6.0; 6])
             .unwrap();
         assert!(s.converged);
         assert!((s.final_cost() - r.cost).abs() < 1e-5, "{} vs {}", s.final_cost(), r.cost);
@@ -173,9 +173,9 @@ mod tests {
         // Marginal costs equal at the optimum (for positive entries).
         let mut g = vec![0.0; 3];
         p.marginal_utilities(&r.allocation, &mut g).unwrap();
-        for i in 0..3 {
-            if r.allocation[i] > 0.0 {
-                assert!((-g[i] - r.multiplier).abs() < 1e-5);
+        for (gi, xi) in g.iter().zip(&r.allocation) {
+            if *xi > 0.0 {
+                assert!((-gi - r.multiplier).abs() < 1e-5);
             }
         }
     }
@@ -196,9 +196,9 @@ mod tests {
 
             let mut g = vec![0.0; n];
             p.marginal_utilities(&r.allocation, &mut g).unwrap();
-            for i in 0..n {
-                let mc = -g[i];
-                if r.allocation[i] > 1e-9 {
+            for (gi, xi) in g.iter().zip(&r.allocation) {
+                let mc = -gi;
+                if *xi > 1e-9 {
                     prop_assert!((mc - r.multiplier).abs() < 1e-4);
                 } else {
                     prop_assert!(mc >= r.multiplier - 1e-6);

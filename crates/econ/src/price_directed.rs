@@ -153,7 +153,7 @@ impl PriceDirectedOptimizer {
             return Err(EconError::InvalidParameter(format!("tolerance {}", self.tolerance)));
         }
         let (lo, hi) = market.price_bracket();
-        if !(lo < hi) || !lo.is_finite() || !hi.is_finite() {
+        if !lo.is_finite() || !hi.is_finite() || lo >= hi {
             return Err(EconError::InvalidParameter(format!("price bracket ({lo}, {hi})")));
         }
 

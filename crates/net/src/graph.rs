@@ -79,7 +79,7 @@ impl Link {
     /// Returns [`NetError::NegativeCost`] for negative or non-finite costs and
     /// [`NetError::SelfLoop`] when `from == to`.
     pub fn new(from: NodeId, to: NodeId, cost: f64) -> Result<Self, NetError> {
-        if !(cost >= 0.0) || !cost.is_finite() {
+        if cost < 0.0 || !cost.is_finite() {
             return Err(NetError::NegativeCost { from: from.index(), to: to.index(), cost });
         }
         if from == to {

@@ -154,15 +154,18 @@ pub fn floyd_warshall(graph: &Graph) -> Result<CostMatrix, NetError> {
         }
     }
     for k in 0..n {
-        for i in 0..n {
-            let dik = dist[i][k];
+        // Snapshot row k: with non-negative costs dist[k][·] cannot improve
+        // through k itself, so the snapshot equals the in-place update.
+        let row_k = dist[k].clone();
+        for row_i in dist.iter_mut() {
+            let dik = row_i[k];
             if dik.is_infinite() {
                 continue;
             }
-            for j in 0..n {
-                let through = dik + dist[k][j];
-                if through < dist[i][j] {
-                    dist[i][j] = through;
+            for (entry, &dkj) in row_i.iter_mut().zip(&row_k) {
+                let through = dik + dkj;
+                if through < *entry {
+                    *entry = through;
                 }
             }
         }

@@ -116,8 +116,8 @@ mod tests {
     fn access_cost_decreases_with_more_copies() {
         let sweep = sweep_copies(
             &expensive_links(),
-            &vec![0.2; 8],
-            &vec![2.0; 8],
+            &[0.2; 8],
+            &[2.0; 8],
             1.0,
             0.0,
             &[1.0, 2.0, 4.0],
@@ -134,9 +134,9 @@ mod tests {
     #[test]
     fn expensive_storage_prefers_one_copy() {
         let sweep = sweep_copies(
-            &vec![0.5; 8], // cheap links: extra copies barely help
-            &vec![0.2; 8],
-            &vec![2.0; 8],
+            &[0.5; 8], // cheap links: extra copies barely help
+            &[0.2; 8],
+            &[2.0; 8],
             1.0,
             10.0, // very expensive copies
             &[1.0, 2.0, 3.0],
@@ -151,9 +151,9 @@ mod tests {
         // Expensive links argue for copies; a moderate per-copy cost should
         // stop the sweep somewhere strictly between the extremes.
         let sweep = sweep_copies(
-            &vec![6.0; 8],
-            &vec![0.2; 8],
-            &vec![2.0; 8],
+            &[6.0; 8],
+            &[0.2; 8],
+            &[2.0; 8],
             1.0,
             2.0,
             &[1.0, 2.0, 3.0, 4.0, 5.0],

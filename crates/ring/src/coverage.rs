@@ -54,12 +54,12 @@ fn coverage_with_shortfall(
         return Err(RingError::Model("allocation entries must be non-negative".into()));
     }
     let mut f = vec![vec![0.0; n]; n];
-    for i in 0..n {
+    for (i, fi) in f.iter_mut().enumerate() {
         let mut remaining = 1.0f64;
         for step in 0..n {
             let j = (i + step) % n;
             let take = x[j].max(0.0).min(remaining);
-            f[i][j] = take;
+            fi[j] = take;
             remaining -= take;
             if remaining <= 1e-12 {
                 remaining = 0.0;

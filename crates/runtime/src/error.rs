@@ -20,6 +20,14 @@ pub enum RuntimeError {
         /// The agent whose channel closed.
         agent: usize,
     },
+    /// A chaos simulation became unable to continue (fault-injection
+    /// executor) — e.g. every agent crashed.
+    Chaos {
+        /// The round at which the simulation gave up.
+        round: usize,
+        /// What went wrong.
+        reason: String,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -31,6 +39,9 @@ impl fmt::Display for RuntimeError {
             }
             RuntimeError::ChannelClosed { agent } => {
                 write!(f, "agent {agent} disconnected unexpectedly")
+            }
+            RuntimeError::Chaos { round, reason } => {
+                write!(f, "chaos simulation stuck at round {round}: {reason}")
             }
         }
     }

@@ -24,7 +24,11 @@
 //! * [`threaded`] — the same protocol running as real concurrent agent
 //!   threads over crossbeam channels, bit-identical to the round executor;
 //! * [`failure`] — node-failure injection measuring the §4(a) graceful-
-//!   degradation property and the survivors' recovery re-optimization.
+//!   degradation property and the survivors' recovery re-optimization;
+//! * [`sim`] — a seeded discrete-event simulator running the protocol over
+//!   an unreliable channel (drops, delays, duplication, crash/rejoin) with
+//!   stale-marginal reuse and bounded retransmission, bit-identical to
+//!   [`round`] under a zero-fault [`ChaosPlan`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,6 +40,7 @@ pub mod local;
 pub mod message;
 pub mod round;
 pub mod scheme;
+pub mod sim;
 pub mod threaded;
 pub mod timing;
 
@@ -45,4 +50,5 @@ pub use local::LocalObjective;
 pub use message::{Message, MessageStats};
 pub use round::{DistributedRun, RunReport};
 pub use scheme::{ExchangeScheme, MessageCounting};
+pub use sim::{ChaosPlan, FaultCounters, LinkDelay, SimReport, SimRun};
 pub use timing::{best_coordinator, estimate_round_timing, RoundTiming};

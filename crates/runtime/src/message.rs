@@ -27,6 +27,14 @@ pub enum Message {
         /// Whether the algorithm has terminated.
         terminate: bool,
     },
+    /// A receiver that timed out on a peer's report asks for it again
+    /// (chaos simulator, §5.1 exchange over an unreliable channel).
+    RetransmitRequest {
+        /// The node whose report timed out.
+        from: usize,
+        /// Which retry this is (1-based).
+        attempt: u32,
+    },
 }
 
 /// Message/transmission accounting for one protocol run.

@@ -284,23 +284,31 @@ impl<'a, O: LocalObjective> DistributedRun<'a, O> {
     /// Complementary slackness for agents outside the active set, as in the
     /// centralized engine.
     fn boundary_consistent(&self, x: &[f64], g: &[f64], active: &[bool]) -> bool {
-        if active.iter().all(|a| *a) {
-            return true;
-        }
-        let mut sum = 0.0;
-        let mut count = 0usize;
-        for i in 0..g.len() {
-            if active[i] {
-                sum += g[i];
-                count += 1;
-            }
-        }
-        if count == 0 {
-            return true;
-        }
-        let avg = sum / count as f64;
-        (0..g.len()).all(|i| active[i] || (x[i] <= 1e-6 && g[i] <= avg + self.epsilon))
+        boundary_consistent(x, g, active, self.epsilon)
     }
+}
+
+/// Complementary slackness for agents outside the active set: every frozen
+/// agent must sit at the boundary (`x_i ≈ 0`) with a marginal no better than
+/// the active average. Shared by the round executor and the chaos simulator
+/// so both declare convergence identically.
+pub(crate) fn boundary_consistent(x: &[f64], g: &[f64], active: &[bool], epsilon: f64) -> bool {
+    if active.iter().all(|a| *a) {
+        return true;
+    }
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for i in 0..g.len() {
+        if active[i] {
+            sum += g[i];
+            count += 1;
+        }
+    }
+    if count == 0 {
+        return true;
+    }
+    let avg = sum / count as f64;
+    (0..g.len()).all(|i| active[i] || (x[i] <= 1e-6 && g[i] <= avg + epsilon))
 }
 
 #[cfg(test)]

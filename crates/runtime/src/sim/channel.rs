@@ -1,0 +1,274 @@
+//! The unreliable channel: seeded per-transmission fault draws and the
+//! in-flight queue of delayed report copies.
+//!
+//! Fates are drawn by hashing `(seed, round, from, to, attempt, salt)`
+//! through SplitMix64 — stateless, so a transmission's fate depends only on
+//! its coordinates, never on how many other transmissions happened first.
+//! This is what makes whole-run determinism trivial to reason about: the
+//! same [`ChaosPlan`] produces the same fault sequence regardless of code
+//! path.
+
+use super::chaos::ChaosPlan;
+use super::event::EventQueue;
+use super::report::FaultCounters;
+
+/// The fate of one transmission attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fate {
+    /// Lost; nothing ever arrives.
+    Dropped,
+    /// Arrives `delay` rounds late (0 = on time), possibly twice.
+    Delivered {
+        /// Lateness in rounds.
+        delay: u32,
+        /// Whether the channel duplicated the copy.
+        duplicated: bool,
+    },
+}
+
+/// A report in flight: agent `from`'s round-`sent_round` marginal, due to
+/// complete at some later round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LateReport {
+    /// Reporting agent.
+    pub from: usize,
+    /// Round the report describes.
+    pub sent_round: usize,
+    /// The reported marginal utility.
+    pub marginal: f64,
+    /// The reported fragment.
+    pub fragment: f64,
+}
+
+/// The seeded lossy channel shared by all links.
+#[derive(Debug)]
+pub struct LossyChannel<'p> {
+    plan: &'p ChaosPlan,
+    in_flight: EventQueue<LateReport>,
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl<'p> LossyChannel<'p> {
+    /// A channel driven by `plan`.
+    pub fn new(plan: &'p ChaosPlan) -> Self {
+        LossyChannel { plan, in_flight: EventQueue::new() }
+    }
+
+    /// Uniform draw in `[0, 1)` for one `(round, from, to, attempt, salt)`
+    /// coordinate.
+    fn unit(&self, round: usize, from: usize, to: usize, attempt: u32, salt: u64) -> f64 {
+        let mut h = self.plan.seed ^ salt.wrapping_mul(0xD6E8_FEB8_6659_FD93);
+        h = splitmix(h ^ (round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        h = splitmix(h ^ (from as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        h = splitmix(h ^ (to as u64).wrapping_mul(0x94D0_49BB_1331_11EB));
+        h = splitmix(h ^ u64::from(attempt));
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// The fate of attempt `attempt` of `from`'s round-`round` report on the
+    /// link to `to`.
+    pub fn fate(&self, round: usize, from: usize, to: usize, attempt: u32) -> Fate {
+        if self.unit(round, from, to, attempt, 1) < self.plan.drop_prob {
+            return Fate::Dropped;
+        }
+        let link = self.plan.link_delay(from, to);
+        let delay = if link.delay_prob > 0.0
+            && self.unit(round, from, to, attempt, 2) < link.delay_prob
+        {
+            let u = self.unit(round, from, to, attempt, 3);
+            1 + (u * f64::from(link.max_delay_rounds)) as u32
+        } else {
+            0
+        };
+        let duplicated = self.plan.duplicate_prob > 0.0
+            && self.unit(round, from, to, attempt, 4) < self.plan.duplicate_prob;
+        Fate::Delivered { delay, duplicated }
+    }
+
+    /// Transmits `from`'s round-`round` report to every agent in `targets`,
+    /// retrying each timed-out link up to the plan's retry budget.
+    ///
+    /// Returns the round at which the report has reached *all* targets
+    /// (`round` itself means it was heard fresh), or `None` if some target
+    /// never receives a copy. Copies completing late are queued and appear
+    /// in [`LossyChannel::arrivals`] at their completion round.
+    pub fn broadcast_report(
+        &mut self,
+        round: usize,
+        from: usize,
+        targets: &[usize],
+        marginal: f64,
+        fragment: f64,
+        counters: &mut FaultCounters,
+    ) -> Option<usize> {
+        let mut completion = round;
+        for &to in targets {
+            let mut best_arrival: Option<usize> = None;
+            for attempt in 0..=self.plan.max_retries {
+                if attempt > 0 {
+                    counters.retries += 1;
+                }
+                counters.sent += 1;
+                match self.fate(round, from, to, attempt) {
+                    Fate::Dropped => {
+                        counters.dropped += 1;
+                        continue;
+                    }
+                    Fate::Delivered { delay, duplicated } => {
+                        counters.delivered += 1;
+                        if delay > 0 {
+                            counters.delayed += 1;
+                        }
+                        if duplicated {
+                            counters.duplicated += 1;
+                            counters.delivered += 1;
+                        }
+                        let arrival = round + delay as usize;
+                        best_arrival =
+                            Some(best_arrival.map_or(arrival, |b: usize| b.min(arrival)));
+                        if delay == 0 {
+                            // On time: the receiver stops asking.
+                            break;
+                        }
+                        // Late copy: the receiver times out and (budget
+                        // permitting) requests a retransmission.
+                    }
+                }
+            }
+            match best_arrival {
+                None => return None,
+                Some(arrival) => completion = completion.max(arrival),
+            }
+        }
+        if completion > round {
+            self.in_flight.push(
+                completion,
+                LateReport { from, sent_round: round, marginal, fragment },
+            );
+        }
+        Some(completion)
+    }
+
+    /// Late reports completing at `round`, in deterministic order.
+    pub fn arrivals(&mut self, round: usize) -> Vec<LateReport> {
+        self.in_flight.pop_due(round)
+    }
+
+    /// Reports still in flight.
+    pub fn in_flight_len(&self) -> usize {
+        self.in_flight.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fates_are_deterministic_per_coordinates() {
+        let plan = ChaosPlan::new(11).with_drop(0.3).with_delay(0.3, 4).with_duplication(0.2);
+        let a = LossyChannel::new(&plan);
+        let b = LossyChannel::new(&plan);
+        for round in 0..50 {
+            for from in 0..4 {
+                for to in 0..4 {
+                    assert_eq!(a.fate(round, from, to, 0), b.fate(round, from, to, 0));
+                    assert_eq!(a.fate(round, from, to, 1), b.fate(round, from, to, 1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_fault_streams() {
+        let p1 = ChaosPlan::new(1).with_drop(0.5);
+        let p2 = ChaosPlan::new(2).with_drop(0.5);
+        let a = LossyChannel::new(&p1);
+        let b = LossyChannel::new(&p2);
+        let differing: usize = (0..200)
+            .filter(|&r| a.fate(r, 0, 1, 0) != b.fate(r, 0, 1, 0))
+            .count();
+        assert!(differing > 0);
+    }
+
+    #[test]
+    fn zero_fault_plan_always_delivers_on_time() {
+        let plan = ChaosPlan::new(99);
+        let mut ch = LossyChannel::new(&plan);
+        let mut counters = FaultCounters::default();
+        for round in 0..20 {
+            let done = ch.broadcast_report(round, 0, &[1, 2, 3], -1.0, 0.25, &mut counters);
+            assert_eq!(done, Some(round));
+        }
+        assert_eq!(counters.dropped, 0);
+        assert_eq!(counters.delayed, 0);
+        assert_eq!(counters.retries, 0);
+        assert_eq!(counters.sent, 60);
+        assert_eq!(counters.delivered, 60);
+        assert_eq!(ch.in_flight_len(), 0);
+    }
+
+    #[test]
+    fn drop_rate_is_roughly_honoured() {
+        let plan = ChaosPlan::new(5).with_drop(0.25);
+        let ch = LossyChannel::new(&plan);
+        let drops = (0..10_000)
+            .filter(|&r| ch.fate(r, 1, 2, 0) == Fate::Dropped)
+            .count();
+        let rate = drops as f64 / 10_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "observed drop rate {rate}");
+    }
+
+    #[test]
+    fn late_reports_complete_at_the_right_round() {
+        // Always delayed, never dropped: completion must be in the future
+        // and the report must come out of `arrivals` exactly then.
+        let plan = ChaosPlan::new(3).with_delay(0.999, 3);
+        let mut ch = LossyChannel::new(&plan);
+        let mut counters = FaultCounters::default();
+        let completion = ch.broadcast_report(0, 2, &[0, 1], -4.0, 0.5, &mut counters);
+        let completion = completion.expect("nothing is dropped under this plan");
+        assert!((1..=3).contains(&completion), "completion {completion}");
+        for r in 0..completion {
+            assert!(ch.arrivals(r).is_empty(), "nothing before completion");
+        }
+        let late = ch.arrivals(completion);
+        assert_eq!(late.len(), 1);
+        assert_eq!(late[0].from, 2);
+        assert_eq!(late[0].sent_round, 0);
+        assert_eq!(late[0].marginal, -4.0);
+    }
+
+    #[test]
+    fn retries_rescue_dropped_reports() {
+        let drop_heavy = ChaosPlan::new(17).with_drop(0.6);
+        let without = {
+            let mut ch = LossyChannel::new(&drop_heavy);
+            let mut c = FaultCounters::default();
+            (0..200)
+                .filter(|&r| {
+                    ch.broadcast_report(r, 0, &[1], -1.0, 0.1, &mut c) == Some(r)
+                })
+                .count()
+        };
+        let with_retries = drop_heavy.clone().with_retries(3);
+        let with = {
+            let mut ch = LossyChannel::new(&with_retries);
+            let mut c = FaultCounters::default();
+            let fresh = (0..200)
+                .filter(|&r| {
+                    ch.broadcast_report(r, 0, &[1], -1.0, 0.1, &mut c) == Some(r)
+                })
+                .count();
+            assert!(c.retries > 0, "retries must actually fire");
+            fresh
+        };
+        assert!(with > without, "retries must rescue reports: {with} vs {without}");
+    }
+}

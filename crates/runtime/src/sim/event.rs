@@ -1,0 +1,116 @@
+//! Deterministic discrete-event queue for the chaos simulator.
+//!
+//! Events are ordered by `(round, insertion sequence)`: time first, and
+//! FIFO among events scheduled for the same round. Because ties are broken
+//! by a monotone sequence number assigned at push time, processing order is
+//! a pure function of the push order — no iteration-order nondeterminism
+//! can leak into a run.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One scheduled event.
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    round: usize,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.round == other.round && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest
+        // (round, seq) on top.
+        (other.round, other.seq).cmp(&(self.round, self.seq))
+    }
+}
+
+/// A min-queue of `(round, payload)` events with deterministic FIFO
+/// tie-breaking within a round.
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue { heap: BinaryHeap::new(), seq: 0 }
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `payload` for `round`.
+    pub fn push(&mut self, round: usize, payload: T) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { round, seq, payload });
+    }
+
+    /// Removes and returns every event scheduled up to and including
+    /// `round`, in `(round, push order)` order.
+    pub fn pop_due(&mut self, round: usize) -> Vec<T> {
+        let mut due = Vec::new();
+        while self.heap.peek().is_some_and(|e| e.round <= round) {
+            due.push(self.heap.pop().expect("peeked entry exists").payload);
+        }
+        due
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_round_then_fifo_order() {
+        let mut q = EventQueue::new();
+        q.push(3, "late");
+        q.push(1, "first");
+        q.push(1, "second");
+        q.push(2, "middle");
+        assert_eq!(q.pop_due(0), Vec::<&str>::new());
+        assert_eq!(q.pop_due(2), vec!["first", "second", "middle"]);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_due(10), vec!["late"]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn same_round_events_keep_push_order_under_interleaving() {
+        let mut q = EventQueue::new();
+        for i in 0..50u32 {
+            q.push(7, i);
+        }
+        assert_eq!(q.pop_due(7), (0..50).collect::<Vec<_>>());
+    }
+}

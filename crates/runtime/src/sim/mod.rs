@@ -1,0 +1,36 @@
+//! Seeded discrete-event simulation of the §5.1 exchange schemes over an
+//! unreliable network.
+//!
+//! The round executor ([`crate::round`]) proves the protocol's arithmetic;
+//! this module asks what happens to it on a network that drops, delays,
+//! duplicates and reorders messages while nodes crash and rejoin. The
+//! pieces:
+//!
+//! * [`ChaosPlan`] — a complete, seeded fault schedule (drop/duplication
+//!   probabilities, per-link delay distributions, staleness bound, retry
+//!   budget, crash/rejoin schedule). Same plan ⇒ byte-identical run.
+//! * [`LossyChannel`] — stateless seeded fault draws per transmission plus
+//!   the in-flight queue of delayed reports, built on [`EventQueue`].
+//! * [`SimRun`] — the executor: timeout + bounded retry, stale-marginal
+//!   reuse within the staleness bound, exclusion beyond it, and
+//!   crash/rejoin redistribution. Feasibility `Σx = 1` holds at every
+//!   iterate no matter what the channel does.
+//! * [`SimReport`] / [`FaultCounters`] — the outcome: everything the round
+//!   executor reports, plus per-run fault accounting and the full iterate
+//!   history.
+//!
+//! Under a zero-fault plan ([`ChaosPlan::is_zero_fault`]) the simulator is
+//! bit-identical to [`DistributedRun`](crate::DistributedRun) — tested, and
+//! relied on by the cross-executor equivalence suite.
+
+mod channel;
+mod chaos;
+mod event;
+mod executor;
+mod report;
+
+pub use channel::{Fate, LateReport, LossyChannel};
+pub use chaos::{ChaosPlan, LinkDelay};
+pub use event::EventQueue;
+pub use executor::SimRun;
+pub use report::{FaultCounters, SimReport};

@@ -92,10 +92,7 @@ pub fn run_threaded<O: LocalObjective + Sync>(
             let final_fragments = &final_fragments;
             scope.spawn(move || {
                 loop {
-                    let marginal = match objective.local_marginal(agent, fragment) {
-                        Ok(m) => m,
-                        Err(_) => f64::NAN, // surfaced by the coordinator
-                    };
+                    let marginal = objective.local_marginal(agent, fragment).unwrap_or(f64::NAN);
                     let utility = objective.local_utility(agent, fragment).unwrap_or(f64::NAN);
                     if report_tx.send(Report { agent, marginal, fragment, utility }).is_err() {
                         break;
@@ -122,14 +119,14 @@ pub fn run_threaded<O: LocalObjective + Sync>(
         let result = loop {
             let mut g = vec![0.0; n];
             let mut x = vec![0.0; n];
-            let mut utility = 0.0;
+            let mut u = vec![0.0; n];
             let mut received = 0usize;
             while received < n {
                 match report_rx.recv() {
                     Ok(r) => {
                         g[r.agent] = r.marginal;
                         x[r.agent] = r.fragment;
-                        utility += r.utility;
+                        u[r.agent] = r.utility;
                         received += 1;
                     }
                     Err(_) => {
@@ -137,6 +134,9 @@ pub fn run_threaded<O: LocalObjective + Sync>(
                     }
                 }
             }
+            // Sum in agent order, not arrival order: float addition is not
+            // associative, and the round executor sums agents 0..n.
+            let utility: f64 = u.iter().sum();
             if received < n {
                 break Err(RuntimeError::ChannelClosed { agent: received });
             }

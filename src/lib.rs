@@ -21,7 +21,9 @@
 //! * [`ring`] — the §7 multi-copy virtual-ring extension with its
 //!   oscillation-aware solver;
 //! * [`runtime`] — the protocol as a message-passing (and multi-threaded)
-//!   distributed system with message accounting and failure injection.
+//!   distributed system with message accounting, failure injection, and a
+//!   seeded chaos simulator running the exchange schemes over an
+//!   unreliable network.
 //!
 //! # Quickstart
 //!
@@ -67,5 +69,8 @@ pub mod prelude {
     pub use fap_net::{topology, AccessPattern, Graph, NodeId};
     pub use fap_queue::{DelayModel, Mg1Delay, Mm1Delay, NetworkSimulation, ServiceDistribution};
     pub use fap_ring::{RingSolver, VirtualRing};
-    pub use fap_runtime::{DistributedRun, ExchangeScheme, FailurePlan, MessageCounting};
+    pub use fap_runtime::{
+        ChaosPlan, DistributedRun, ExchangeScheme, FailurePlan, MessageCounting, SimReport,
+        SimRun,
+    };
 }

@@ -98,6 +98,82 @@ proptest! {
         prop_assert!(s.trace.is_cost_monotone_decreasing(1e-8));
     }
 
+    /// Feasibility under arbitrary chaos (Theorem 1 on a faulty network):
+    /// whatever the channel drops, delays or duplicates, and whoever
+    /// crashes or rejoins, every iterate the simulator visits stays on the
+    /// simplex.
+    #[test]
+    fn chaos_iterates_stay_feasible(
+        seed in 0u64..500,
+        n in 3usize..7,
+        drop in 0.0f64..0.5,
+        dup in 0.0f64..0.3,
+        delay_prob in 0.0f64..0.5,
+        max_delay in 1u32..4,
+        staleness in 0u32..5,
+        retries in 0u32..3,
+        crash_round in 1usize..30,
+    ) {
+        let p = random_problem(seed, n, 1.0);
+        let mut plan = ChaosPlan::new(seed)
+            .with_drop(drop)
+            .with_duplication(dup)
+            .with_delay(delay_prob, max_delay)
+            .with_staleness_bound(staleness)
+            .with_retries(retries);
+        // Every other case also kills (and later revives) one agent.
+        if seed % 2 == 0 {
+            let victim = (seed as usize) % n;
+            plan = plan.crash(crash_round, victim).rejoin(crash_round + 10, victim);
+        }
+        let r = SimRun::new(&p, ExchangeScheme::Broadcast, 0.05)
+            .with_epsilon(1e-6)
+            .with_max_rounds(2_000)
+            .with_chaos(plan)
+            .run(&random_start(seed, n))
+            .unwrap();
+        for it in &r.iterates {
+            let sum: f64 = it.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9, "iterate sum {sum}");
+            prop_assert!(it.iter().all(|v| *v >= -1e-9), "negative fragment in {it:?}");
+        }
+    }
+
+    /// Theorem 2 survives the faults it can survive: across every round
+    /// whose step used only fresh reports and whose successor saw no
+    /// crash/rejoin, utility does not decrease.
+    #[test]
+    fn chaos_clean_rounds_never_lose_utility(
+        seed in 0u64..500,
+        n in 3usize..7,
+        drop in 0.0f64..0.4,
+        staleness in 0u32..4,
+        retries in 0u32..3,
+    ) {
+        let p = random_problem(seed, n, 1.0);
+        let plan = ChaosPlan::new(seed)
+            .with_drop(drop)
+            .with_staleness_bound(staleness)
+            .with_retries(retries);
+        let r = SimRun::new(&p, ExchangeScheme::Broadcast, 0.02)
+            .with_epsilon(1e-6)
+            .with_max_rounds(2_000)
+            .with_chaos(plan)
+            .run(&random_start(seed, n))
+            .unwrap();
+        let records = r.trace.records();
+        for k in 0..r.rounds {
+            if r.fresh_rounds[k] && !r.membership_rounds[k + 1] {
+                prop_assert!(
+                    records[k + 1].utility >= records[k].utility - 1e-9,
+                    "clean round {k} lost utility: {} -> {}",
+                    records[k].utility,
+                    records[k + 1].utility,
+                );
+            }
+        }
+    }
+
     /// Ring coverage/cost invariants under random feasible multi-copy
     /// allocations: the solver never loses or creates file mass.
     #[test]

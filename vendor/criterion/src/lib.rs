@@ -1,0 +1,154 @@
+//! Offline in-workspace shim for the subset of `criterion` the fap benches
+//! use: `criterion_group!` / `criterion_main!`, `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{sample_size, bench_function, finish}` and
+//! `Bencher::iter`.
+//!
+//! Statistics are deliberately minimal — each benchmark is timed over a
+//! fixed number of samples and the mean/min/max per-iteration wall time is
+//! printed. Good enough to compare runs by hand; not a replacement for the
+//! real harness.
+
+use std::time::{Duration, Instant};
+
+/// Top-level handle passed to each registered bench function.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { default_sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup { _criterion: self, name: name.into(), sample_size }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        assert!(samples >= 2, "sample size must be at least 2");
+        self.sample_size = samples;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher { iters: 1, elapsed: Duration::ZERO };
+
+        // Warm-up pass; also used to pick an iteration count that keeps each
+        // sample above ~1ms so Instant resolution doesn't dominate.
+        bencher.iters = 1;
+        f(&mut bencher);
+        let per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+        let iters_per_sample =
+            (Duration::from_millis(1).as_nanos() / per_iter.as_nanos()).clamp(1, 10_000) as u64;
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            bencher.iters = iters_per_sample;
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            samples_ns.push(bencher.elapsed.as_nanos() as f64 / iters_per_sample as f64);
+        }
+        let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        let min = samples_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples_ns.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        println!(
+            "{}/{id}: mean {} (min {}, max {}) over {} samples x {iters_per_sample} iters",
+            self.name,
+            format_ns(mean),
+            format_ns(min),
+            format_ns(max),
+            self.sample_size,
+        );
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Timer handle given to the closure under test.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the sample's iteration budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn times_a_closure() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        let mut calls = 0u64;
+        group.sample_size(3).bench_function("count_calls", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            });
+        });
+        group.finish();
+        assert!(calls > 0);
+    }
+}

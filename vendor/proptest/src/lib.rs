@@ -1,0 +1,368 @@
+//! Offline in-workspace shim for the subset of `proptest` this workspace
+//! uses: the `proptest!` macro with an optional
+//! `#![proptest_config(ProptestConfig::with_cases(n))]` header, numeric
+//! `Range` strategies, `proptest::collection::vec`, and the
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros.
+//!
+//! Unlike upstream, generation is fully deterministic (fixed seed per case
+//! index, no shrinking): a failing case prints its inputs via `Debug` so it
+//! can be reproduced by re-running the test.
+
+// Re-exported so the macros can name rand types through `$crate` even in
+// crates that do not depend on rand themselves.
+#[doc(hidden)]
+pub use rand;
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SampleRange};
+
+    /// Produces one value per test case from the deterministic case RNG.
+    pub trait Strategy {
+        type Value: std::fmt::Debug;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_float_range_strategy!(f32, f64);
+
+    /// Constant strategy: always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl SampleRange<usize> for super::collection::SizeRange {
+        fn sample<R: rand::Rng + ?Sized>(self, rng: &mut R) -> usize {
+            if self.lo >= self.hi_exclusive {
+                self.lo
+            } else {
+                rng.random_range(self.lo..self.hi_exclusive)
+            }
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+
+    /// Number of elements a [`vec`] strategy may produce. Built from either
+    /// an exact `usize` or an exclusive `Range<usize>`, mirroring upstream.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        pub(crate) lo: usize,
+        pub(crate) hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            SizeRange { lo: exact, hi_exclusive: exact }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange { lo: r.start, hi_exclusive: r.end }
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` values with a length drawn
+    /// from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.random_range(self.size);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Outcome of a single generated case.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` failed: skip the case without counting it.
+        Reject(String),
+        /// `prop_assert!`-style failure: the property does not hold.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError::Fail(message.into())
+        }
+
+        pub fn reject(message: impl Into<String>) -> Self {
+            TestCaseError::Reject(message.into())
+        }
+    }
+
+    /// Runner configuration; only `cases` is honoured by the shim.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+        pub max_global_rejects: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases, ..Self::default() }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256, max_global_rejects: 65_536 }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Deterministic per-case seed: a fixed base hashed with the case index so
+/// every test sees the same streams on every run and machine.
+#[doc(hidden)]
+pub fn case_seed(case: u64) -> u64 {
+    0xFA9_0001u64 ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($config:expr);) => {};
+    (
+        config = ($config:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut accepted: u32 = 0;
+            let mut rejected: u32 = 0;
+            let mut case: u64 = 0;
+            while accepted < config.cases {
+                let mut rng = <$crate::rand::rngs::StdRng as $crate::rand::SeedableRng>::seed_from_u64(
+                    $crate::case_seed(case),
+                );
+                case += 1;
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);
+                )+
+                // Rendered before the body runs: the body may move the
+                // inputs, and on failure we still need to show them.
+                let mut __inputs = ::std::string::String::new();
+                $(
+                    __inputs.push_str(&format!("  {} = {:?}\n", stringify!($arg), $arg));
+                )+
+                let outcome = (move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    Ok(())
+                })();
+                let outcome = outcome.map_err(|e| match e {
+                    $crate::test_runner::TestCaseError::Fail(msg) => {
+                        $crate::test_runner::TestCaseError::Fail(
+                            format!("{msg}\ninputs:\n{__inputs}"),
+                        )
+                    }
+                    reject => reject,
+                });
+                match outcome {
+                    Ok(()) => accepted += 1,
+                    Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                        rejected += 1;
+                        if rejected > config.max_global_rejects {
+                            panic!(
+                                "proptest '{}' rejected too many cases ({rejected})",
+                                stringify!($name),
+                            );
+                        }
+                    }
+                    Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest '{}' failed at case {} :\n{msg}",
+                            stringify!($name),
+                            case - 1,
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_impl! { config = ($config); $($rest)* }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        // Bound to a local first so clippy lints on the caller's expression
+        // (e.g. `nonminimal_bool`) don't fire inside the expansion.
+        let __prop_cond: bool = $cond;
+        if !__prop_cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        let __prop_cond: bool = $cond;
+        if !__prop_cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l != *r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {} == {}\n  left: {l:?}\n right: {r:?}",
+                    stringify!($left), stringify!($right)),
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {} != {}\n  both: {l:?}",
+                    stringify!($left), stringify!($right)),
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        let __prop_cond: bool = $cond;
+        if !__prop_cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_vecs(x in 0.0f64..1.0, n in 1usize..5, v in collection::vec(0u32..10, 2..6)) {
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert!((1..5).contains(&n));
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|e| *e < 10));
+        }
+
+        #[test]
+        fn assume_skips_cases(x in 0.0f64..1.0) {
+            prop_assume!(x > 0.5);
+            prop_assert!(x > 0.5);
+        }
+
+        #[test]
+        fn exact_vec_len(v in collection::vec(0.0f64..1.0, 7)) {
+            prop_assert_eq!(v.len(), 7);
+        }
+    }
+
+    #[test]
+    fn runs_expanded_tests() {
+        ranges_and_vecs();
+        assume_skips_cases();
+        exact_vec_len();
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics() {
+        proptest! {
+            fn always_fails(x in 0.0f64..1.0) {
+                prop_assert!(x < 0.0, "x was {x}");
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,413 @@
+//! Offline in-workspace shim for the subset of `serde` this workspace uses.
+//!
+//! The build container has no access to crates.io, so the workspace vendors
+//! a minimal serde-compatible surface: a self-describing [`Value`] tree, the
+//! [`Serialize`]/[`Deserialize`] traits expressed against it, and derive
+//! macros (re-exported from the `serde_derive` shim) that understand the
+//! attribute subset the workspace relies on (`#[serde(default)]`,
+//! `#[serde(default = "path")]`, `#[serde(tag = "...")]`,
+//! `#[serde(rename_all = "snake_case")]`).
+//!
+//! Formats (here: `serde_json`) convert between text and [`Value`]; data
+//! structures convert between [`Value`] and themselves. This loses serde's
+//! zero-copy streaming architecture but preserves the workspace-visible
+//! contract: derived round-trips through JSON are exact.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A self-describing serialized value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer too large for `i64`.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// A map with insertion-ordered keys.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in a map value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The name of this value's shape, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Map(_) => "object",
+        }
+    }
+}
+
+/// A deserialization failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError(pub String);
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+impl DeError {
+    /// Constructs an error describing a shape mismatch.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        DeError(format!("expected {what}, found {}", got.kind()))
+    }
+}
+
+/// Types that can render themselves as a [`Value`].
+pub trait Serialize {
+    /// Serializes `self` into a value tree.
+    fn serialize_value(&self) -> Value;
+}
+
+/// Types that can rebuild themselves from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Deserializes from a value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when `value` does not have the expected shape.
+    fn deserialize_value(value: &Value) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| DeError(format!("integer {i} out of range"))),
+                    Value::UInt(u) => <$t>::try_from(*u)
+                        .map_err(|_| DeError(format!("integer {u} out of range"))),
+                    other => Err(DeError::expected("integer", other)),
+                }
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                let wide = *self as u64;
+                if let Ok(i) = i64::try_from(wide) { Value::Int(i) } else { Value::UInt(wide) }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| DeError(format!("integer {i} out of range"))),
+                    Value::UInt(u) => <$t>::try_from(*u)
+                        .map_err(|_| DeError(format!("integer {u} out of range"))),
+                    other => Err(DeError::expected("integer", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::Int(i) => Ok(*i as $t),
+                    Value::UInt(u) => Ok(*u as $t),
+                    other => Err(DeError::expected("number", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::expected("single-character string", other)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Container impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Array(items) => items.iter().map(T::deserialize_value).collect(),
+            other => Err(DeError::expected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(v) => v.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        T::deserialize_value(value).map(Box::new)
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize_value(&self) -> Value {
+        Value::Map(self.iter().map(|(k, v)| (k.clone(), v.serialize_value())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::deserialize_value(v)?)))
+                .collect(),
+            other => Err(DeError::expected("object", other)),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($len:expr => $($t:ident . $idx:tt),+) => {
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.serialize_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Array(items) if items.len() == $len => {
+                        Ok(($($t::deserialize_value(&items[$idx])?,)+))
+                    }
+                    other => Err(DeError::expected(concat!($len, "-element array"), other)),
+                }
+            }
+        }
+    };
+}
+
+impl_tuple!(1 => A.0);
+impl_tuple!(2 => A.0, B.1);
+impl_tuple!(3 => A.0, B.1, C.2);
+impl_tuple!(4 => A.0, B.1, C.2, D.3);
+impl_tuple!(5 => A.0, B.1, C.2, D.3, E.4);
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
+/// Helper used by derived `Deserialize` impls to read one struct field.
+///
+/// # Errors
+///
+/// Propagates the field's own deserialization error, annotated with the
+/// field name.
+pub fn field<T: Deserialize>(map: &Value, name: &str) -> Result<T, DeError> {
+    match map.get(name) {
+        Some(v) => T::deserialize_value(v).map_err(|e| DeError(format!("field `{name}`: {e}"))),
+        None => Err(DeError(format!("missing field `{name}`"))),
+    }
+}
+
+/// Helper used by derived `Deserialize` impls for `#[serde(default)]`
+/// fields: absent keys (and explicit `null` for non-optional defaults) fall
+/// back to the provided default.
+///
+/// # Errors
+///
+/// Propagates the field's own deserialization error, annotated with the
+/// field name.
+pub fn field_or<T: Deserialize>(
+    map: &Value,
+    name: &str,
+    default: impl FnOnce() -> T,
+) -> Result<T, DeError> {
+    match map.get(name) {
+        Some(v) => T::deserialize_value(v).map_err(|e| DeError(format!("field `{name}`: {e}"))),
+        None => Ok(default()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::deserialize_value(&42u64.serialize_value()), Ok(42));
+        assert_eq!(f64::deserialize_value(&1.5f64.serialize_value()), Ok(1.5));
+        assert_eq!(bool::deserialize_value(&true.serialize_value()), Ok(true));
+        let v: Vec<f64> = vec![1.0, 2.0];
+        assert_eq!(Vec::<f64>::deserialize_value(&v.serialize_value()), Ok(v));
+    }
+
+    #[test]
+    fn options_use_null() {
+        let none: Option<f64> = None;
+        assert_eq!(none.serialize_value(), Value::Null);
+        assert_eq!(Option::<f64>::deserialize_value(&Value::Null), Ok(None));
+        assert_eq!(Option::<f64>::deserialize_value(&Value::Float(2.0)), Ok(Some(2.0)));
+    }
+
+    #[test]
+    fn tuples_are_arrays() {
+        let t = (1usize, 2usize, 3.5f64);
+        let v = t.serialize_value();
+        assert_eq!(<(usize, usize, f64)>::deserialize_value(&v), Ok(t));
+    }
+
+    #[test]
+    fn missing_fields_are_reported() {
+        let m = Value::Map(vec![]);
+        let err = field::<f64>(&m, "alpha").unwrap_err();
+        assert!(err.to_string().contains("alpha"));
+        assert_eq!(field_or(&m, "alpha", || 0.5), Ok(0.5));
+    }
+}

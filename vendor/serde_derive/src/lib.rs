@@ -1,0 +1,705 @@
+//! Offline in-workspace shim for serde's derive macros.
+//!
+//! Parses the derive input with the bare `proc_macro` API (no `syn`/`quote`
+//! in the container) and emits impls of the shim `serde::Serialize` /
+//! `serde::Deserialize` traits. Supported shapes — the full set used by
+//! this workspace:
+//!
+//! * structs with named fields, including one type parameter with an
+//!   optional default (`struct Problem<D = Mm1Delay> { .. }`);
+//! * tuple structs (newtypes serialize transparently, wider tuples as
+//!   arrays);
+//! * enums with unit, tuple and struct variants, externally tagged by
+//!   default or internally tagged via `#[serde(tag = "...")]`;
+//! * `#[serde(rename_all = "snake_case")]` on enums;
+//! * `#[serde(default)]` and `#[serde(default = "path")]` on fields.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = Input::parse(input);
+    parsed.gen_serialize().parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = Input::parse(input);
+    parsed.gen_deserialize().parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Model
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct ContainerAttrs {
+    tag: Option<String>,
+    rename_all: Option<String>,
+}
+
+#[derive(Default, Clone)]
+struct FieldAttrs {
+    /// `Some(None)` for bare `#[serde(default)]`, `Some(Some(path))` for
+    /// `#[serde(default = "path")]`.
+    default: Option<Option<String>>,
+    rename: Option<String>,
+}
+
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Data {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    /// Type parameter names (bounds and defaults stripped).
+    generics: Vec<String>,
+    attrs: ContainerAttrs,
+    data: Data,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor { tokens: stream.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == ch {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if let Some(TokenTree::Ident(i)) = self.peek() {
+            if i.to_string() == word {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Consumes leading attributes, merging any `#[serde(...)]` contents
+    /// into `serde_items` as flat token vectors (one per attribute list
+    /// entry).
+    fn eat_attributes(&mut self, serde_items: &mut Vec<Vec<TokenTree>>) {
+        loop {
+            let is_attr = matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#');
+            if !is_attr {
+                return;
+            }
+            self.pos += 1;
+            // `#![...]` inner attributes don't occur in derive input bodies.
+            let group = match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+                _ => return,
+            };
+            let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+            let is_serde =
+                matches!(inner.first(), Some(TokenTree::Ident(i)) if i.to_string() == "serde");
+            if is_serde {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    // Split the serde(...) argument list on top-level commas.
+                    let mut current = Vec::new();
+                    for t in args.stream() {
+                        if matches!(&t, TokenTree::Punct(p) if p.as_char() == ',') {
+                            if !current.is_empty() {
+                                serde_items.push(std::mem::take(&mut current));
+                            }
+                        } else {
+                            current.push(t);
+                        }
+                    }
+                    if !current.is_empty() {
+                        serde_items.push(current);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn literal_string(t: &TokenTree) -> Option<String> {
+    if let TokenTree::Literal(lit) = t {
+        let s = lit.to_string();
+        if s.starts_with('"') && s.ends_with('"') && s.len() >= 2 {
+            return Some(s[1..s.len() - 1].to_string());
+        }
+    }
+    None
+}
+
+fn parse_container_attrs(items: &[Vec<TokenTree>]) -> ContainerAttrs {
+    let mut attrs = ContainerAttrs::default();
+    for item in items {
+        if let Some(TokenTree::Ident(key)) = item.first() {
+            let value = item.get(2).and_then(literal_string);
+            match key.to_string().as_str() {
+                "tag" => attrs.tag = value,
+                "rename_all" => attrs.rename_all = value,
+                _ => {}
+            }
+        }
+    }
+    attrs
+}
+
+fn parse_field_attrs(items: &[Vec<TokenTree>]) -> FieldAttrs {
+    let mut attrs = FieldAttrs::default();
+    for item in items {
+        if let Some(TokenTree::Ident(key)) = item.first() {
+            match key.to_string().as_str() {
+                "default" => attrs.default = Some(item.get(2).and_then(literal_string)),
+                "rename" => attrs.rename = item.get(2).and_then(literal_string),
+                _ => {}
+            }
+        }
+    }
+    attrs
+}
+
+/// Parses `{ field: Type, ... }` bodies (structs and struct variants).
+fn parse_named_fields(group: TokenStream) -> Vec<Field> {
+    let mut cursor = Cursor::new(group);
+    let mut fields = Vec::new();
+    loop {
+        let mut serde_items = Vec::new();
+        cursor.eat_attributes(&mut serde_items);
+        if cursor.eat_ident("pub") {
+            // `pub(crate)` and friends carry a group after `pub`.
+            if matches!(cursor.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                cursor.next();
+            }
+        }
+        let name = match cursor.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            _ => break,
+        };
+        // Skip `:` and the type, up to a comma outside angle brackets.
+        cursor.eat_punct(':');
+        let mut angle_depth = 0i32;
+        loop {
+            match cursor.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) => {
+                    match p.as_char() {
+                        '<' => angle_depth += 1,
+                        '>' => angle_depth -= 1,
+                        ',' if angle_depth == 0 => {
+                            cursor.next();
+                            break;
+                        }
+                        _ => {}
+                    }
+                    cursor.next();
+                }
+                Some(_) => {
+                    cursor.next();
+                }
+            }
+        }
+        fields.push(Field { name, attrs: parse_field_attrs(&serde_items) });
+    }
+    fields
+}
+
+/// Counts the arity of a tuple struct/variant body `(A, B, ...)`.
+fn tuple_arity(group: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut angle_depth = 0i32;
+    let mut arity = 1usize;
+    let mut trailing_comma = false;
+    for (i, t) in tokens.iter().enumerate() {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    if i + 1 == tokens.len() {
+                        trailing_comma = true;
+                    } else {
+                        arity += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    let _ = trailing_comma;
+    arity
+}
+
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let mut cursor = Cursor::new(group);
+    let mut variants = Vec::new();
+    loop {
+        let mut serde_items = Vec::new();
+        cursor.eat_attributes(&mut serde_items);
+        let name = match cursor.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            _ => break,
+        };
+        let kind = match cursor.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g.stream());
+                cursor.next();
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                cursor.next();
+                VariantKind::Named(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant, then the separating comma.
+        if cursor.eat_punct('=') {
+            while let Some(t) = cursor.peek() {
+                if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                    break;
+                }
+                cursor.next();
+            }
+        }
+        cursor.eat_punct(',');
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+impl Input {
+    fn parse(stream: TokenStream) -> Self {
+        let mut cursor = Cursor::new(stream);
+        let mut serde_items = Vec::new();
+        cursor.eat_attributes(&mut serde_items);
+        let attrs = parse_container_attrs(&serde_items);
+        if cursor.eat_ident("pub")
+            && matches!(cursor.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                cursor.next();
+            }
+        let is_enum = if cursor.eat_ident("struct") {
+            false
+        } else if cursor.eat_ident("enum") {
+            true
+        } else {
+            panic!("serde derive shim: expected `struct` or `enum`");
+        };
+        let name = match cursor.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            _ => panic!("serde derive shim: expected a type name"),
+        };
+
+        // Generic parameter list: collect parameter names, skip bounds and
+        // defaults. Lifetimes and const generics are not supported (unused
+        // in this workspace).
+        let mut generics = Vec::new();
+        if cursor.eat_punct('<') {
+            let mut depth = 1i32;
+            let mut expect_param = true;
+            while depth > 0 {
+                match cursor.next() {
+                    None => panic!("serde derive shim: unclosed generics"),
+                    Some(TokenTree::Punct(p)) => match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => depth -= 1,
+                        ',' if depth == 1 => expect_param = true,
+                        _ => {}
+                    },
+                    Some(TokenTree::Ident(i)) => {
+                        if expect_param && depth == 1 {
+                            generics.push(i.to_string());
+                            expect_param = false;
+                        }
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+
+        let data = if is_enum {
+            let body = loop {
+                match cursor.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        break g.stream()
+                    }
+                    Some(_) => continue,
+                    None => panic!("serde derive shim: missing enum body"),
+                }
+            };
+            Data::Enum(parse_variants(body))
+        } else {
+            // A struct body is either `{ ... }`, `( ... );` or `;`.
+            loop {
+                match cursor.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        break Data::NamedStruct(parse_named_fields(g.stream()));
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        break Data::TupleStruct(tuple_arity(g.stream()));
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                        break Data::NamedStruct(Vec::new());
+                    }
+                    Some(_) => continue,
+                    None => panic!("serde derive shim: missing struct body"),
+                }
+            }
+        };
+
+        Input { name, generics, attrs, data }
+    }
+
+    /// `Name` or `Name<D>`, and the matching impl-generics clause.
+    fn type_and_impl_generics(&self, bound: &str) -> (String, String) {
+        if self.generics.is_empty() {
+            (self.name.clone(), String::new())
+        } else {
+            let params = self.generics.join(", ");
+            let bounds: Vec<String> =
+                self.generics.iter().map(|g| format!("{g}: {bound}")).collect();
+            (format!("{}<{params}>", self.name), format!("<{}>", bounds.join(", ")))
+        }
+    }
+
+    fn variant_tag(&self, variant: &str) -> String {
+        match self.attrs.rename_all.as_deref() {
+            Some("snake_case") => to_snake_case(variant),
+            Some("lowercase") => variant.to_lowercase(),
+            _ => variant.to_string(),
+        }
+    }
+
+    // -- Serialize ----------------------------------------------------------
+
+    fn gen_serialize(&self) -> String {
+        let (ty, impl_generics) = self.type_and_impl_generics("serde::Serialize");
+        let body = match &self.data {
+            Data::NamedStruct(fields) => {
+                let mut s = String::from("let mut entries: Vec<(String, serde::Value)> = Vec::new();\n");
+                for f in fields {
+                    let key = f.attrs.rename.as_deref().unwrap_or(&f.name);
+                    s.push_str(&format!(
+                        "entries.push((\"{key}\".to_string(), serde::Serialize::serialize_value(&self.{})));\n",
+                        f.name
+                    ));
+                }
+                s.push_str("serde::Value::Map(entries)");
+                s
+            }
+            Data::TupleStruct(1) => {
+                "serde::Serialize::serialize_value(&self.0)".to_string()
+            }
+            Data::TupleStruct(arity) => {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("serde::Serialize::serialize_value(&self.{i})"))
+                    .collect();
+                format!("serde::Value::Array(vec![{}])", items.join(", "))
+            }
+            Data::Enum(variants) => self.gen_serialize_enum(variants),
+        };
+        format!(
+            "impl{impl_generics} serde::Serialize for {ty} {{\n\
+             fn serialize_value(&self) -> serde::Value {{\n{body}\n}}\n}}\n"
+        )
+    }
+
+    fn gen_serialize_enum(&self, variants: &[Variant]) -> String {
+        let name = &self.name;
+        let mut arms = String::new();
+        for v in variants {
+            let tag = self.variant_tag(&v.name);
+            let vname = &v.name;
+            match (&self.attrs.tag, &v.kind) {
+                (Some(tag_key), VariantKind::Unit) => {
+                    arms.push_str(&format!(
+                        "{name}::{vname} => serde::Value::Map(vec![(\"{tag_key}\".to_string(), serde::Value::Str(\"{tag}\".to_string()))]),\n"
+                    ));
+                }
+                (Some(tag_key), VariantKind::Named(fields)) => {
+                    let bindings: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                    let mut pushes = String::new();
+                    for f in fields {
+                        let key = f.attrs.rename.as_deref().unwrap_or(&f.name);
+                        pushes.push_str(&format!(
+                            "entries.push((\"{key}\".to_string(), serde::Serialize::serialize_value({})));\n",
+                            f.name
+                        ));
+                    }
+                    arms.push_str(&format!(
+                        "{name}::{vname} {{ {} }} => {{\n\
+                         let mut entries: Vec<(String, serde::Value)> = vec![(\"{tag_key}\".to_string(), serde::Value::Str(\"{tag}\".to_string()))];\n\
+                         {pushes}serde::Value::Map(entries)\n}}\n",
+                        bindings.join(", ")
+                    ));
+                }
+                (Some(_), VariantKind::Tuple(_)) => {
+                    panic!("serde derive shim: internally tagged tuple variants are unsupported")
+                }
+                (None, VariantKind::Unit) => {
+                    arms.push_str(&format!(
+                        "{name}::{vname} => serde::Value::Str(\"{tag}\".to_string()),\n"
+                    ));
+                }
+                (None, VariantKind::Tuple(1)) => {
+                    arms.push_str(&format!(
+                        "{name}::{vname}(inner) => serde::Value::Map(vec![(\"{tag}\".to_string(), serde::Serialize::serialize_value(inner))]),\n"
+                    ));
+                }
+                (None, VariantKind::Tuple(arity)) => {
+                    let bindings: Vec<String> = (0..*arity).map(|i| format!("v{i}")).collect();
+                    let items: Vec<String> = bindings
+                        .iter()
+                        .map(|b| format!("serde::Serialize::serialize_value({b})"))
+                        .collect();
+                    arms.push_str(&format!(
+                        "{name}::{vname}({}) => serde::Value::Map(vec![(\"{tag}\".to_string(), serde::Value::Array(vec![{}]))]),\n",
+                        bindings.join(", "),
+                        items.join(", ")
+                    ));
+                }
+                (None, VariantKind::Named(fields)) => {
+                    let bindings: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                    let mut pushes = String::new();
+                    for f in fields {
+                        let key = f.attrs.rename.as_deref().unwrap_or(&f.name);
+                        pushes.push_str(&format!(
+                            "inner.push((\"{key}\".to_string(), serde::Serialize::serialize_value({})));\n",
+                            f.name
+                        ));
+                    }
+                    arms.push_str(&format!(
+                        "{name}::{vname} {{ {} }} => {{\n\
+                         let mut inner: Vec<(String, serde::Value)> = Vec::new();\n\
+                         {pushes}serde::Value::Map(vec![(\"{tag}\".to_string(), serde::Value::Map(inner))])\n}}\n",
+                        bindings.join(", ")
+                    ));
+                }
+            }
+        }
+        format!("match self {{\n{arms}}}")
+    }
+
+    // -- Deserialize --------------------------------------------------------
+
+    fn gen_deserialize(&self) -> String {
+        let (ty, impl_generics) = self.type_and_impl_generics("serde::Deserialize");
+        let body = match &self.data {
+            Data::NamedStruct(fields) => {
+                let mut s = String::from(
+                    "if !matches!(value, serde::Value::Map(_)) {\n\
+                     return Err(serde::DeError::expected(\"object\", value));\n}\n",
+                );
+                s.push_str(&format!("Ok({} {{\n", self.name));
+                for f in fields {
+                    s.push_str(&field_reader(f));
+                }
+                s.push_str("})");
+                s
+            }
+            Data::TupleStruct(1) => format!(
+                "Ok({}(serde::Deserialize::deserialize_value(value)?))",
+                self.name
+            ),
+            Data::TupleStruct(arity) => {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("serde::Deserialize::deserialize_value(&items[{i}])?"))
+                    .collect();
+                format!(
+                    "match value {{\n\
+                     serde::Value::Array(items) if items.len() == {arity} => Ok({}({})),\n\
+                     other => Err(serde::DeError::expected(\"{arity}-element array\", other)),\n}}",
+                    self.name,
+                    items.join(", ")
+                )
+            }
+            Data::Enum(variants) => match &self.attrs.tag {
+                Some(tag_key) => self.gen_deserialize_tagged_enum(variants, tag_key),
+                None => self.gen_deserialize_external_enum(variants),
+            },
+        };
+        format!(
+            "impl{impl_generics} serde::Deserialize for {ty} {{\n\
+             fn deserialize_value(value: &serde::Value) -> Result<Self, serde::DeError> {{\n{body}\n}}\n}}\n"
+        )
+    }
+
+    fn gen_deserialize_tagged_enum(&self, variants: &[Variant], tag_key: &str) -> String {
+        let name = &self.name;
+        let mut arms = String::new();
+        for v in variants {
+            let tag = self.variant_tag(&v.name);
+            match &v.kind {
+                VariantKind::Unit => {
+                    arms.push_str(&format!("\"{tag}\" => Ok({name}::{}),\n", v.name));
+                }
+                VariantKind::Named(fields) => {
+                    let mut readers = String::new();
+                    for f in fields {
+                        readers.push_str(&field_reader(f));
+                    }
+                    arms.push_str(&format!(
+                        "\"{tag}\" => Ok({name}::{} {{\n{readers}}}),\n",
+                        v.name
+                    ));
+                }
+                VariantKind::Tuple(_) => {
+                    panic!("serde derive shim: internally tagged tuple variants are unsupported")
+                }
+            }
+        }
+        format!(
+            "let tag = match value.get(\"{tag_key}\") {{\n\
+             Some(serde::Value::Str(s)) => s.clone(),\n\
+             Some(other) => return Err(serde::DeError::expected(\"string tag\", other)),\n\
+             None => return Err(serde::DeError(\"missing `{tag_key}` tag\".to_string())),\n}};\n\
+             match tag.as_str() {{\n{arms}\
+             other => Err(serde::DeError(format!(\"unknown variant `{{other}}`\"))),\n}}"
+        )
+    }
+
+    fn gen_deserialize_external_enum(&self, variants: &[Variant]) -> String {
+        let name = &self.name;
+        let mut unit_arms = String::new();
+        let mut data_arms = String::new();
+        let mut has_data = false;
+        for v in variants {
+            let tag = self.variant_tag(&v.name);
+            match &v.kind {
+                VariantKind::Unit => {
+                    unit_arms.push_str(&format!("\"{tag}\" => Ok({name}::{}),\n", v.name));
+                }
+                VariantKind::Tuple(1) => {
+                    has_data = true;
+                    data_arms.push_str(&format!(
+                        "\"{tag}\" => Ok({name}::{}(serde::Deserialize::deserialize_value(inner)?)),\n",
+                        v.name
+                    ));
+                }
+                VariantKind::Tuple(arity) => {
+                    has_data = true;
+                    let items: Vec<String> = (0..*arity)
+                        .map(|i| format!("serde::Deserialize::deserialize_value(&items[{i}])?"))
+                        .collect();
+                    data_arms.push_str(&format!(
+                        "\"{tag}\" => match inner {{\n\
+                         serde::Value::Array(items) if items.len() == {arity} => Ok({name}::{}({})),\n\
+                         other => Err(serde::DeError::expected(\"{arity}-element array\", other)),\n}},\n",
+                        v.name,
+                        items.join(", ")
+                    ));
+                }
+                VariantKind::Named(fields) => {
+                    has_data = true;
+                    let mut readers = String::new();
+                    for f in fields {
+                        readers.push_str(&field_reader_from(f, "inner"));
+                    }
+                    data_arms.push_str(&format!(
+                        "\"{tag}\" => Ok({name}::{} {{\n{readers}}}),\n",
+                        v.name
+                    ));
+                }
+            }
+        }
+        let map_arm = if has_data {
+            format!(
+                "serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                 let (tag, inner) = &entries[0];\n\
+                 match tag.as_str() {{\n{data_arms}\
+                 other => Err(serde::DeError(format!(\"unknown variant `{{other}}`\"))),\n}}\n}}\n"
+            )
+        } else {
+            String::new()
+        };
+        format!(
+            "match value {{\n\
+             serde::Value::Str(s) => match s.as_str() {{\n{unit_arms}\
+             other => Err(serde::DeError(format!(\"unknown variant `{{other}}`\"))),\n}},\n\
+             {map_arm}\
+             other => Err(serde::DeError::expected(\"variant\", other)),\n}}"
+        )
+    }
+}
+
+/// `field: serde::field(value, "field")?,` with default handling.
+fn field_reader(f: &Field) -> String {
+    field_reader_from(f, "value")
+}
+
+fn field_reader_from(f: &Field, source: &str) -> String {
+    let key = f.attrs.rename.as_deref().unwrap_or(&f.name);
+    match &f.attrs.default {
+        None => format!("{}: serde::field({source}, \"{key}\")?,\n", f.name),
+        Some(None) => format!(
+            "{}: serde::field_or({source}, \"{key}\", Default::default)?,\n",
+            f.name
+        ),
+        Some(Some(path)) => format!(
+            "{}: serde::field_or({source}, \"{key}\", {path})?,\n",
+            f.name
+        ),
+    }
+}
+
+fn to_snake_case(name: &str) -> String {
+    let mut out = String::new();
+    for (i, ch) in name.chars().enumerate() {
+        if ch.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(ch.to_ascii_lowercase());
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
