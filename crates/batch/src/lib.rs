@@ -1,0 +1,26 @@
+//! Batch-solver substrate: flat matrices and thread fan-out policy.
+//!
+//! The hot paths of the workspace — all-pairs shortest paths, the multi-file
+//! solver's per-iteration gradient/step stage, trace recording — operate on
+//! dense `rows × cols` blocks of `f64`. This crate provides the two shared
+//! building blocks they are built on:
+//!
+//! * [`Matrix`] — a contiguous row-major matrix whose rows are plain
+//!   `&[f64]` / `&mut [f64]` slices. Contiguity is what makes both cache
+//!   behaviour and parallelism simple: a matrix can be split into disjoint
+//!   row chunks with `chunks_mut`, handed to scoped threads, and every write
+//!   lands exactly where the sequential loop would have put it.
+//! * [`Parallelism`] — the fan-out policy (`Sequential`, `Auto`,
+//!   `Fixed(n)`) accepted by every parallel kernel. The kernels guarantee
+//!   bit-identical results across all settings; the policy only chooses how
+//!   many `std::thread::scope` workers share the row space.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod matrix;
+pub mod parallel;
+
+pub use matrix::Matrix;
+pub use parallel::Parallelism;

@@ -157,7 +157,11 @@ pub struct Fig6Point {
 }
 
 /// Figure 6: iterations (at the best α) for fully connected networks of
-/// `4 ≤ N ≤ 20` nodes.
+/// `4 ≤ N ≤ 20` nodes — the paper's range. Any `ns` are accepted; for the
+/// large-N regime (hundreds of nodes) expect the grid's best α to sit at its
+/// low end and the iteration count to grow roughly linearly in `N`, and
+/// prefer `--release`: each point runs the optimizer 30 times over the α
+/// grid (with one reused scratch, so the sweep itself does not allocate).
 ///
 /// # Panics
 ///
@@ -165,6 +169,7 @@ pub struct Fig6Point {
 /// the paper's parameter range).
 pub fn fig6(ns: impl IntoIterator<Item = usize>) -> Vec<Fig6Point> {
     let grid: Vec<f64> = (1..=30).map(|i| i as f64 * 0.04).collect();
+    let mut scratch = fap_econ::OptimizerScratch::new();
     ns.into_iter()
         .map(|n| {
             let problem = paper::full_mesh_problem(n);
@@ -175,7 +180,7 @@ pub fn fig6(ns: impl IntoIterator<Item = usize>) -> Vec<Fig6Point> {
                     .with_boundary(BoundaryRule::Unconstrained)
                     .with_epsilon(paper::EPSILON)
                     .with_max_iterations(5_000)
-                    .run(&problem, &start);
+                    .run_with_scratch(&problem, &start, &mut scratch);
                 if let Ok(s) = result {
                     if s.converged
                         && best.as_ref().is_none_or(|&(_, it, _)| s.iterations < it)
@@ -399,9 +404,7 @@ pub fn a3_price_vs_resource() -> A3Result {
         .expect("resource run");
     let resource_max_infeasibility = resource
         .trace
-        .records()
-        .iter()
-        .filter_map(|r| r.allocation.as_ref())
+        .recorded_allocations()
         .map(|x| (x.iter().sum::<f64>() - 1.0).abs())
         .fold(0.0, f64::max);
 

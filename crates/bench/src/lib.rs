@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod scale;
 pub mod series;
 
 pub use series::Series;

@@ -1,0 +1,208 @@
+//! The `scale` benchmark: sequential-vs-parallel wall clock for the two
+//! batch kernels (all-pairs shortest paths and the multi-file solver) over a
+//! grid of network sizes `N` and file counts `M`.
+//!
+//! The parallel paths are bit-identical to the sequential ones by
+//! construction (disjoint contiguous chunks, deterministic reductions), and
+//! [`bench_scale`] asserts that on every point before reporting a timing.
+//! Results serialize to the `BENCH_scale.json` schema committed at the repo
+//! root; regenerate with `fap bench-scale` (prefer `--release`).
+
+use std::time::Instant;
+
+use fap_batch::Parallelism;
+use fap_core::{MultiFileProblem, MultiFileScratch, MultiFileSolution};
+use fap_net::{topology, AccessPattern, CostMatrix, Graph};
+use serde::{Deserialize, Serialize};
+
+/// One measured grid point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalePoint {
+    /// Which kernel: `"all_pairs"` or `"multi_file"`.
+    pub kind: String,
+    /// Network size `N`.
+    pub n: usize,
+    /// File count `M` (1 for the all-pairs kernel).
+    pub m: usize,
+    /// Sequential wall clock, milliseconds.
+    pub sequential_ms: f64,
+    /// Parallel wall clock, milliseconds.
+    pub parallel_ms: f64,
+    /// `sequential_ms / parallel_ms`.
+    pub speedup: f64,
+    /// A content checksum (sum over the result), equal for both paths.
+    pub checksum: f64,
+}
+
+/// The full benchmark report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScaleReport {
+    /// Worker threads the parallel path used.
+    pub threads: usize,
+    /// The `N` grid.
+    pub ns: Vec<usize>,
+    /// The `M` grid.
+    pub ms: Vec<usize>,
+    /// Solver iterations per multi-file point.
+    pub iterations: usize,
+    /// All measured points.
+    pub points: Vec<ScalePoint>,
+}
+
+/// The benchmark network on `n` nodes: a torus as close to square as the
+/// factorization of `n` allows, falling back to a ring when `n` has no
+/// divisor ≥ 3 (primes and small numbers).
+///
+/// # Panics
+///
+/// Panics only on programming errors (`n ≥ 3`).
+pub fn scale_graph(n: usize) -> Graph {
+    let mut rows = 1;
+    for r in (2..=n).take_while(|r| r * r <= n) {
+        if n % r == 0 {
+            rows = r;
+        }
+    }
+    if rows >= 3 && n / rows >= 3 {
+        topology::torus(rows, n / rows, 1.0).expect("valid torus")
+    } else {
+        topology::ring(n, 1.0).expect("valid ring")
+    }
+}
+
+/// The benchmark problem: `m` files with seeded random access patterns on
+/// the [`scale_graph`], node capacity 10× the even-split load.
+///
+/// # Panics
+///
+/// Panics only on programming errors (the generated parameters are valid).
+pub fn scale_problem(graph: &Graph, m: usize) -> MultiFileProblem {
+    let n = graph.node_count();
+    let patterns: Vec<AccessPattern> = (0..m)
+        .map(|j| AccessPattern::random(n, 0.05..0.2, 1_000 + j as u64).expect("valid pattern"))
+        .collect();
+    let offered: f64 = patterns.iter().map(AccessPattern::total_rate).sum();
+    let mu = 10.0 * offered / n as f64;
+    MultiFileProblem::mm1(graph, &patterns, mu, 1.0).expect("valid problem")
+}
+
+fn checksum_matrix(matrix: &CostMatrix) -> f64 {
+    matrix.as_matrix().as_slice().iter().sum()
+}
+
+fn checksum_solution(solution: &MultiFileSolution) -> f64 {
+    solution.final_cost
+        + solution.allocations.iter().flat_map(|row| row.iter()).sum::<f64>()
+}
+
+fn time_ms<T>(f: impl FnOnce() -> T) -> (f64, T) {
+    let start = Instant::now();
+    let value = f();
+    (start.elapsed().as_secs_f64() * 1e3, value)
+}
+
+/// Runs the sweep: for each `n` an all-pairs point, and for each `(n, m)` a
+/// multi-file point of exactly `iterations` solver steps (ε is set far below
+/// attainability so every run pays the same iteration count).
+///
+/// # Panics
+///
+/// Panics if any parallel result differs bitwise from its sequential
+/// counterpart — the determinism contract this PR's tests pin down.
+pub fn bench_scale(
+    ns: &[usize],
+    ms: &[usize],
+    iterations: usize,
+    parallelism: Parallelism,
+) -> ScaleReport {
+    let mut points = Vec::new();
+    for &n in ns {
+        let graph = scale_graph(n);
+        let (sequential_ms, seq) = time_ms(|| graph.shortest_path_matrix().expect("connected"));
+        let (parallel_ms, par) =
+            time_ms(|| graph.shortest_path_matrix_parallel(parallelism).expect("connected"));
+        assert_eq!(seq, par, "all-pairs parallel result diverged at N = {n}");
+        points.push(ScalePoint {
+            kind: "all_pairs".into(),
+            n,
+            m: 1,
+            sequential_ms,
+            parallel_ms,
+            speedup: sequential_ms / parallel_ms,
+            checksum: checksum_matrix(&seq),
+        });
+
+        for &m in ms {
+            let problem = scale_problem(&graph, m);
+            let initial = vec![vec![1.0 / n as f64; n]; m];
+            let mut seq_scratch = MultiFileScratch::new();
+            let mut par_scratch = MultiFileScratch::new();
+            // ε far below attainability: every run pays `iterations` steps.
+            let epsilon = 1e-300;
+            let (sequential_ms, seq) = time_ms(|| {
+                problem
+                    .solve_with_scratch(
+                        &initial,
+                        0.002,
+                        epsilon,
+                        iterations,
+                        Parallelism::Sequential,
+                        &mut seq_scratch,
+                    )
+                    .expect("stable solve")
+            });
+            let (parallel_ms, par) = time_ms(|| {
+                problem
+                    .solve_with_scratch(
+                        &initial,
+                        0.002,
+                        epsilon,
+                        iterations,
+                        parallelism,
+                        &mut par_scratch,
+                    )
+                    .expect("stable solve")
+            });
+            assert_eq!(seq, par, "multi-file parallel result diverged at N = {n}, M = {m}");
+            points.push(ScalePoint {
+                kind: "multi_file".into(),
+                n,
+                m,
+                sequential_ms,
+                parallel_ms,
+                speedup: sequential_ms / parallel_ms,
+                checksum: checksum_solution(&seq),
+            });
+        }
+    }
+    ScaleReport {
+        threads: parallelism.thread_count(),
+        ns: ns.to_vec(),
+        ms: ms.to_vec(),
+        iterations,
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_graph_prefers_square_torus() {
+        assert_eq!(scale_graph(64).node_count(), 64);
+        assert_eq!(scale_graph(9).link_count(), 9 * 4); // 3×3 torus, out-degree 4
+        assert_eq!(scale_graph(7).link_count(), 7 * 2); // prime → ring
+    }
+
+    #[test]
+    fn bench_scale_produces_consistent_points() {
+        let report = bench_scale(&[16], &[1, 2], 3, Parallelism::Fixed(2));
+        assert_eq!(report.points.len(), 3);
+        assert_eq!(report.threads, 2);
+        for p in &report.points {
+            assert!(p.sequential_ms >= 0.0 && p.parallel_ms >= 0.0);
+            assert!(p.checksum.is_finite());
+        }
+    }
+}

@@ -5,6 +5,7 @@
 //! fap simulate <scenario.json>           solve, then measure with the DES
 //! fap sim <scenario.json> [chaos.json]   run the protocol under faults
 //! fap sweep-k <scenario.json> <k,k,...>  the §8.2 k trade-off
+//! fap bench-scale [out.json]             seq-vs-parallel scaling sweep
 //! fap example                            print a template scenario
 //! fap chaos-example                      print a template fault plan
 //! ```
@@ -33,6 +34,7 @@ const USAGE: &str = "usage:
   fap simulate <scenario.json>
   fap sim <scenario.json> [chaos.json]
   fap sweep-k <scenario.json> <k1,k2,...>
+  fap bench-scale [out.json]
   fap example
   fap chaos-example";
 
@@ -103,6 +105,27 @@ fn run(args: &[String]) -> Result<(), String> {
                 let json = serde_json::to_string_pretty(&report)
                     .map_err(|e| e.to_string())?;
                 println!("{json}");
+                Ok(())
+            }
+            ("bench-scale", rest) if rest.len() <= 1 => {
+                let out = rest.first().map_or("BENCH_scale.json", String::as_str);
+                let report = fap_bench::scale::bench_scale(
+                    &[64, 256, 1024],
+                    &[1, 16, 128],
+                    25,
+                    fap_batch::Parallelism::Auto,
+                );
+                let json =
+                    serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+                std::fs::write(out, format!("{json}\n"))
+                    .map_err(|e| format!("writing {out}: {e}"))?;
+                println!("{} threads; wrote {} points to {out}", report.threads, report.points.len());
+                for p in &report.points {
+                    println!(
+                        "  {:<10} N={:<5} M={:<4} seq {:>9.2} ms  par {:>9.2} ms  speedup {:>5.2}x",
+                        p.kind, p.n, p.m, p.sequential_ms, p.parallel_ms, p.speedup
+                    );
+                }
                 Ok(())
             }
             ("sweep-k", [path, list]) => {

@@ -75,6 +75,6 @@ pub mod tuning;
 pub use adaptive::AdaptiveAllocator;
 pub use error::CoreError;
 pub use market::HostingMarket;
-pub use multi_file::{MultiFileProblem, MultiFileSolution};
+pub use multi_file::{MultiFileProblem, MultiFileScratch, MultiFileSolution};
 pub use reference::ReferenceSolution;
 pub use single::SingleFileProblem;

@@ -16,9 +16,10 @@
 //! applies the §5.2 step to each file's allocation with the coupled
 //! gradients.
 
+use fap_batch::{Matrix, Parallelism};
 use serde::{Deserialize, Serialize};
 
-use fap_econ::projection::{compute_step, BoundaryRule};
+use fap_econ::projection::{compute_step_into, BoundaryRule, StepWorkspace};
 use fap_econ::EconError;
 use fap_net::{AccessPattern, Graph};
 
@@ -27,14 +28,72 @@ use crate::error::CoreError;
 /// The §5.4 multi-file allocation problem over M/M/1 nodes.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MultiFileProblem {
-    /// `access_costs[j][i]` = `C_i^j`, the workload-weighted cost of
-    /// reaching node `i` for accesses to file `j`.
-    access_costs: Vec<Vec<f64>>,
+    /// Row `j` holds `C_i^j`, the workload-weighted cost of reaching node
+    /// `i` for accesses to file `j` (an `M × N` flat matrix).
+    access_costs: Matrix,
     /// Per-file network-wide access rates `λ^j`.
     rates: Vec<f64>,
     /// Per-node service rates `μ_i`.
     mus: Vec<f64>,
     k: f64,
+}
+
+/// Reusable buffers for [`MultiFileProblem::solve_with_scratch`].
+///
+/// Holds the iterate, step matrix, per-node delay terms and per-worker step
+/// workspaces; once warmed to the problem's `M × N` shape, every solver
+/// iteration runs without heap allocation.
+#[derive(Debug, Clone, Default)]
+pub struct MultiFileScratch {
+    x: Matrix,
+    steps: Matrix,
+    delay: Vec<f64>,
+    coup: Vec<f64>,
+    node_cost: Vec<f64>,
+    file_spread: Vec<f64>,
+    file_kkt: Vec<bool>,
+    weights: Vec<f64>,
+    cost_series: Vec<f64>,
+    workers: Vec<FileWorker>,
+}
+
+/// Per-thread buffers for the file-pass stage: the gradient of one file and
+/// a step workspace.
+#[derive(Debug, Clone, Default)]
+struct FileWorker {
+    g: Vec<f64>,
+    ws: StepWorkspace,
+}
+
+impl MultiFileScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        MultiFileScratch::default()
+    }
+
+    /// Resizes every buffer for an `M × N` problem solved with
+    /// `worker_count` file-pass workers. Allocation-free once capacities
+    /// cover the shape.
+    fn ensure(&mut self, m: usize, n: usize, worker_count: usize, max_iterations: usize) {
+        self.x.reset(m, n);
+        self.steps.reset(m, n);
+        self.delay.clear();
+        self.delay.resize(n, 0.0);
+        self.coup.clear();
+        self.coup.resize(n, 0.0);
+        self.node_cost.clear();
+        self.node_cost.resize(n, 0.0);
+        self.file_spread.clear();
+        self.file_spread.resize(m, 0.0);
+        self.file_kkt.clear();
+        self.file_kkt.resize(m, true);
+        self.weights.clear();
+        self.weights.resize(n, 1.0);
+        self.cost_series.clear();
+        // One entry per iteration plus the final evaluation.
+        self.cost_series.reserve(max_iterations + 2);
+        self.workers.resize_with(worker_count, FileWorker::default);
+    }
 }
 
 /// The result of the multi-file decentralized iteration.
@@ -100,7 +159,7 @@ impl MultiFileProblem {
             return Err(CoreError::InvalidParameter(format!("delay weight k = {k}")));
         }
         let costs = graph.shortest_path_matrix()?;
-        let mut access_costs = Vec::with_capacity(patterns.len());
+        let mut access_costs = Matrix::with_cols(n);
         let mut rates = Vec::with_capacity(patterns.len());
         for pattern in patterns {
             if pattern.node_count() != n {
@@ -109,7 +168,7 @@ impl MultiFileProblem {
                     pattern.node_count()
                 )));
             }
-            access_costs.push(costs.systemwide_access_costs(pattern));
+            access_costs.push_row(&costs.systemwide_access_costs(pattern));
             rates.push(pattern.total_rate());
         }
         let offered: f64 = rates.iter().sum();
@@ -136,6 +195,12 @@ impl MultiFileProblem {
     /// Per-file access rates `λ^j`.
     pub fn rates(&self) -> &[f64] {
         &self.rates
+    }
+
+    /// The `M × N` matrix of per-file system-wide access costs `C_i^j`
+    /// (row `j` = file `j`).
+    pub fn access_costs(&self) -> &Matrix {
+        &self.access_costs
     }
 
     /// The aggregate arrival rate `Λ_i` at each node under allocation `x`
@@ -175,7 +240,7 @@ impl MultiFileProblem {
             }
             let t = 1.0 / (self.mus[i] - loads[i]);
             for (j, xj) in x.iter().enumerate() {
-                total += (self.access_costs[j][i] + self.k * t) * xj[i];
+                total += (self.access_costs.get(j, i) + self.k * t) * xj[i];
             }
         }
         Ok(total)
@@ -205,7 +270,7 @@ impl MultiFileProblem {
             // k·T′(Λ_i)·Σ_m x_i^m — the queue-coupling term.
             let coupling: f64 = x.iter().map(|xj| xj[i]).sum::<f64>() * self.k * dt;
             for (j, row) in out.iter_mut().enumerate() {
-                row[i] = self.access_costs[j][i] + self.k * t + self.rates[j] * coupling;
+                row[i] = self.access_costs.get(j, i) + self.k * t + self.rates[j] * coupling;
             }
         }
         Ok(out)
@@ -228,6 +293,56 @@ impl MultiFileProblem {
         epsilon: f64,
         max_iterations: usize,
     ) -> Result<MultiFileSolution, CoreError> {
+        let mut scratch = MultiFileScratch::new();
+        self.solve_with_scratch(
+            initial,
+            alpha,
+            epsilon,
+            max_iterations,
+            Parallelism::Sequential,
+            &mut scratch,
+        )
+    }
+
+    /// Like [`MultiFileProblem::solve`], fanning the per-node delay pass and
+    /// the per-file gradient+step pass out over scoped threads. Bit-identical
+    /// to the sequential solve for every [`Parallelism`] setting: workers own
+    /// disjoint contiguous chunks, every floating-point reduction happens
+    /// sequentially in index order after the workers join, and an
+    /// over-capacity error is always reported for the lowest-indexed node.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MultiFileProblem::solve`].
+    pub fn solve_parallel(
+        &self,
+        initial: &[Vec<f64>],
+        alpha: f64,
+        epsilon: f64,
+        max_iterations: usize,
+        parallelism: Parallelism,
+    ) -> Result<MultiFileSolution, CoreError> {
+        let mut scratch = MultiFileScratch::new();
+        self.solve_with_scratch(initial, alpha, epsilon, max_iterations, parallelism, &mut scratch)
+    }
+
+    /// The full-control solver: explicit [`Parallelism`] and a caller-owned
+    /// [`MultiFileScratch`] reused across calls, so steady-state iterations
+    /// (and, with a warm scratch, whole repeat solves) perform no heap
+    /// allocations beyond the returned solution.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MultiFileProblem::solve`].
+    pub fn solve_with_scratch(
+        &self,
+        initial: &[Vec<f64>],
+        alpha: f64,
+        epsilon: f64,
+        max_iterations: usize,
+        parallelism: Parallelism,
+        scratch: &mut MultiFileScratch,
+    ) -> Result<MultiFileSolution, CoreError> {
         if !alpha.is_finite() || alpha <= 0.0 {
             return Err(CoreError::InvalidParameter(format!("alpha {alpha}")));
         }
@@ -244,78 +359,244 @@ impl MultiFileProblem {
             }
         }
 
+        let m = self.file_count();
         let n = self.node_count();
-        let weights = vec![1.0; n];
-        let mut x: Vec<Vec<f64>> = initial.to_vec();
-        let mut cost_series = Vec::new();
+        let node_threads = parallelism.threads_for(n);
+        let file_threads = parallelism.threads_for(m);
+        scratch.ensure(m, n, file_threads, max_iterations);
+        let MultiFileScratch {
+            x,
+            steps,
+            delay,
+            coup,
+            node_cost,
+            file_spread,
+            file_kkt,
+            weights,
+            cost_series,
+            workers,
+        } = scratch;
+        for (j, xj) in initial.iter().enumerate() {
+            x.row_mut(j).copy_from_slice(xj);
+        }
         let mut iterations = 0usize;
 
         loop {
-            let cost = self.cost(&x)?;
-            cost_series.push(cost);
-            let marginals = self.marginal_costs(&x)?;
-
-            // Per-file utility marginals and steps. A file has settled when
-            // its active marginals agree within ε *and* every excluded node
-            // sits at the boundary with no incentive to rejoin (the same
-            // complementary-slackness condition the single-file engine
-            // checks).
-            let mut spread: f64 = 0.0;
-            let mut kkt_ok = true;
-            let mut steps = Vec::with_capacity(self.file_count());
-            for (j, xj) in x.iter().enumerate() {
-                let g: Vec<f64> = marginals[j].iter().map(|m| -m).collect();
-                let outcome = compute_step(xj, &g, &weights, alpha, BoundaryRule::ClampToZero);
-                let mut lo = f64::INFINITY;
-                let mut hi = f64::NEG_INFINITY;
-                let mut sum = 0.0;
-                let mut count = 0usize;
-                for (gi, is_active) in g.iter().zip(&outcome.active) {
-                    if *is_active {
-                        lo = lo.min(*gi);
-                        hi = hi.max(*gi);
-                        sum += *gi;
-                        count += 1;
-                    }
+            // Node pass: loads, delay terms and per-node cost partials.
+            if node_threads <= 1 {
+                self.node_pass(x, 0, delay, coup, node_cost)?;
+            } else {
+                let chunk = n.div_ceil(node_threads);
+                let x_ref: &Matrix = x;
+                let results: Vec<Result<(), CoreError>> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = delay
+                        .chunks_mut(chunk)
+                        .zip(coup.chunks_mut(chunk))
+                        .zip(node_cost.chunks_mut(chunk))
+                        .enumerate()
+                        .map(|(index, ((d, c), nc))| {
+                            scope.spawn(move || self.node_pass(x_ref, index * chunk, d, c, nc))
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("node-pass worker panicked"))
+                        .collect()
+                });
+                for result in results {
+                    result?;
                 }
-                if hi > lo {
-                    spread = spread.max(hi - lo);
-                }
-                if count > 0 {
-                    let avg = sum / count as f64;
-                    for i in 0..n {
-                        if !outcome.active[i] && (xj[i] > 1e-6 || g[i] > avg + epsilon) {
-                            kkt_ok = false;
-                        }
-                    }
-                }
-                steps.push(outcome.deltas);
             }
+            // Deterministic reduction: sum node partials in index order.
+            let cost: f64 = node_cost.iter().sum();
+            cost_series.push(cost);
+
+            // File pass: per-file gradient, §5.2 step, spread and
+            // complementary slackness. A file has settled when its active
+            // marginals agree within ε *and* every excluded node sits at the
+            // boundary with no incentive to rejoin (the same condition the
+            // single-file engine checks).
+            if file_threads <= 1 {
+                self.file_pass(
+                    x,
+                    delay,
+                    coup,
+                    weights,
+                    alpha,
+                    epsilon,
+                    0,
+                    steps.as_mut_slice(),
+                    file_spread,
+                    file_kkt,
+                    &mut workers[0],
+                );
+            } else {
+                let chunk_files = m.div_ceil(file_threads);
+                let x_ref: &Matrix = x;
+                let (delay_ref, coup_ref, weights_ref) = (&*delay, &*coup, &*weights);
+                std::thread::scope(|scope| {
+                    for ((((index, step_chunk), spread_chunk), kkt_chunk), worker) in steps
+                        .as_mut_slice()
+                        .chunks_mut(chunk_files * n)
+                        .enumerate()
+                        .zip(file_spread.chunks_mut(chunk_files))
+                        .zip(file_kkt.chunks_mut(chunk_files))
+                        .zip(workers.iter_mut())
+                    {
+                        scope.spawn(move || {
+                            self.file_pass(
+                                x_ref,
+                                delay_ref,
+                                coup_ref,
+                                weights_ref,
+                                alpha,
+                                epsilon,
+                                index * chunk_files,
+                                step_chunk,
+                                spread_chunk,
+                                kkt_chunk,
+                                worker,
+                            );
+                        });
+                    }
+                });
+            }
+            // Deterministic reductions in file-index order.
+            let spread = file_spread.iter().fold(0.0f64, |a, &s| a.max(s));
+            let kkt_ok = file_kkt.iter().all(|ok| *ok);
 
             if spread < epsilon && kkt_ok {
                 return Ok(MultiFileSolution {
-                    allocations: x,
+                    allocations: x.to_nested(),
                     iterations,
                     converged: true,
                     final_cost: cost,
-                    cost_series,
+                    cost_series: cost_series.clone(),
                 });
             }
             if iterations >= max_iterations {
                 return Ok(MultiFileSolution {
-                    allocations: x,
+                    allocations: x.to_nested(),
                     iterations,
                     converged: false,
                     final_cost: cost,
-                    cost_series,
+                    cost_series: cost_series.clone(),
                 });
             }
-            for (xj, dj) in x.iter_mut().zip(&steps) {
-                for (xi, d) in xj.iter_mut().zip(dj) {
-                    *xi += d;
-                }
+            for (xi, d) in x.as_mut_slice().iter_mut().zip(steps.as_slice()) {
+                *xi += d;
             }
             iterations += 1;
+        }
+    }
+
+    /// Computes, for nodes `first..first + delay.len()`, the delay term
+    /// `k·T_i`, the queue-coupling factor `(Σ_m x_i^m)·k·T_i′` and the
+    /// node's cost partial `Σ_j (C_i^j + k·T_i)·x_i^j`.
+    ///
+    /// Accumulation over files runs in file-index order, matching the
+    /// sequential reference bit-for-bit regardless of chunking.
+    fn node_pass(
+        &self,
+        x: &Matrix,
+        first: usize,
+        delay: &mut [f64],
+        coup: &mut [f64],
+        node_cost: &mut [f64],
+    ) -> Result<(), CoreError> {
+        let m = self.file_count();
+        for offset in 0..delay.len() {
+            let i = first + offset;
+            let mut load = 0.0;
+            let mut colsum = 0.0;
+            for j in 0..m {
+                let v = x.get(j, i);
+                load += self.rates[j] * v;
+                colsum += v;
+            }
+            if load >= self.mus[i] {
+                return Err(CoreError::Econ(EconError::Model(format!(
+                    "node {i} loaded at {load} ≥ capacity {}",
+                    self.mus[i]
+                ))));
+            }
+            let d = self.mus[i] - load;
+            let t = 1.0 / d;
+            let dt = 1.0 / (d * d);
+            delay[offset] = self.k * t;
+            coup[offset] = colsum * self.k * dt;
+            let mut partial = 0.0;
+            for j in 0..m {
+                partial += (self.access_costs.get(j, i) + self.k * t) * x.get(j, i);
+            }
+            node_cost[offset] = partial;
+        }
+        Ok(())
+    }
+
+    /// Computes, for files `first..`, the coupled gradient, the §5.2
+    /// clamp-to-zero step (into `steps`), the active marginal spread and the
+    /// complementary-slackness flag. Infallible: capacity was checked by the
+    /// node pass.
+    #[allow(clippy::too_many_arguments)]
+    fn file_pass(
+        &self,
+        x: &Matrix,
+        delay: &[f64],
+        coup: &[f64],
+        weights: &[f64],
+        alpha: f64,
+        epsilon: f64,
+        first: usize,
+        steps: &mut [f64],
+        file_spread: &mut [f64],
+        file_kkt: &mut [bool],
+        worker: &mut FileWorker,
+    ) {
+        let n = self.node_count();
+        for (offset, step_row) in steps.chunks_mut(n).enumerate() {
+            let j = first + offset;
+            let rate = self.rates[j];
+            let xj = x.row(j);
+            worker.g.clear();
+            worker.g.extend(
+                (0..n).map(|i| -(self.access_costs.get(j, i) + delay[i] + rate * coup[i])),
+            );
+            compute_step_into(
+                xj,
+                &worker.g,
+                weights,
+                alpha,
+                BoundaryRule::ClampToZero,
+                &mut worker.ws,
+            );
+            step_row.copy_from_slice(worker.ws.deltas());
+
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            let mut sum = 0.0;
+            let mut count = 0usize;
+            for (gi, is_active) in worker.g.iter().zip(worker.ws.active()) {
+                if *is_active {
+                    lo = lo.min(*gi);
+                    hi = hi.max(*gi);
+                    sum += *gi;
+                    count += 1;
+                }
+            }
+            file_spread[offset] = if hi > lo { hi - lo } else { 0.0 };
+            let mut kkt = true;
+            if count > 0 {
+                let avg = sum / count as f64;
+                for ((&xi, &gi), &is_active) in
+                    xj.iter().zip(&worker.g).zip(worker.ws.active())
+                {
+                    if !is_active && (xi > 1e-6 || gi > avg + epsilon) {
+                        kkt = false;
+                    }
+                }
+            }
+            file_kkt[offset] = kkt;
         }
     }
 
@@ -459,6 +740,57 @@ mod tests {
         for xj in &s.allocations {
             assert!((xj.iter().sum::<f64>() - 1.0).abs() < 1e-7);
             assert!(xj.iter().all(|v| *v >= -1e-9));
+        }
+    }
+
+    #[test]
+    fn parallel_solve_is_bit_identical_to_sequential() {
+        let graph = ring4();
+        let pa = AccessPattern::uniform(4, 0.5).unwrap();
+        let pb = AccessPattern::hotspot(4, 0.4, fap_net::NodeId::new(1), 0.6).unwrap();
+        let m = MultiFileProblem::mm1(&graph, &[pa, pb], 1.5, 1.0).unwrap();
+        let initial = vec![vec![1.0, 0.0, 0.0, 0.0], vec![0.0, 0.5, 0.5, 0.0]];
+        let seq = m.solve(&initial, 0.05, 1e-6, 2_000).unwrap();
+        for threads in [1usize, 2, 3, 8] {
+            let par = m
+                .solve_parallel(&initial, 0.05, 1e-6, 2_000, Parallelism::Fixed(threads))
+                .unwrap();
+            assert_eq!(seq, par, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical() {
+        let graph = ring4();
+        let p = AccessPattern::uniform(4, 0.5).unwrap();
+        let m = MultiFileProblem::mm1(&graph, &[p.clone(), p], 1.5, 1.0).unwrap();
+        let initial = vec![vec![0.5, 0.5, 0.0, 0.0], vec![0.0, 0.0, 0.5, 0.5]];
+        let fresh = m.solve(&initial, 0.1, 1e-5, 10_000).unwrap();
+        let mut scratch = MultiFileScratch::new();
+        // Warm the scratch on a different start, then repeat the original.
+        let other = vec![vec![1.0, 0.0, 0.0, 0.0], vec![0.0, 1.0, 0.0, 0.0]];
+        m.solve_with_scratch(&other, 0.1, 1e-5, 10_000, Parallelism::Sequential, &mut scratch)
+            .unwrap();
+        let reused = m
+            .solve_with_scratch(&initial, 0.1, 1e-5, 10_000, Parallelism::Sequential, &mut scratch)
+            .unwrap();
+        assert_eq!(fresh, reused);
+    }
+
+    #[test]
+    fn overload_error_is_deterministic_across_parallelism() {
+        // Tiny capacity: every node over capacity at the skewed start; the
+        // reported node must be the lowest-indexed one regardless of threads.
+        let graph = ring4();
+        let p = AccessPattern::uniform(4, 0.5).unwrap();
+        let m = MultiFileProblem::mm1(&graph, &[p.clone(), p], 0.26, 1.0).unwrap();
+        let initial = vec![vec![1.0, 0.0, 0.0, 0.0], vec![1.0, 0.0, 0.0, 0.0]];
+        let seq = m.solve(&initial, 0.05, 1e-6, 100).unwrap_err();
+        for threads in [2usize, 3, 8] {
+            let par = m
+                .solve_parallel(&initial, 0.05, 1e-6, 100, Parallelism::Fixed(threads))
+                .unwrap_err();
+            assert_eq!(format!("{seq:?}"), format!("{par:?}"), "threads = {threads}");
         }
     }
 

@@ -281,8 +281,10 @@ impl GossipOptimizer {
                 spread,
                 alpha: self.alpha,
                 active_count: n,
-                allocation: self.record_allocations.then(|| x.clone()),
             });
+            if self.record_allocations {
+                trace.record_allocation(&x);
+            }
 
             if spread < self.epsilon && kkt {
                 return Ok(Solution {
@@ -405,8 +407,7 @@ mod tests {
             .with_epsilon(1e-7)
             .run(&p, &[0.0, 0.0, 0.0, 1.0])
             .unwrap();
-        for r in s.trace.records() {
-            let x = r.allocation.as_ref().unwrap();
+        for x in s.trace.recorded_allocations() {
             assert!((x.iter().sum::<f64>() - 1.0).abs() < 1e-9);
             assert!(x.iter().all(|v| *v >= -1e-9));
         }

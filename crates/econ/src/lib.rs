@@ -70,8 +70,8 @@ pub use gossip::{GossipOptimizer, Neighborhood};
 pub use noise::NoisyProblem;
 pub use price_directed::{DemandFunction, PriceDirectedOptimizer, PriceSolution};
 pub use problem::AllocationProblem;
-pub use projection::BoundaryRule;
-pub use resource_directed::{ResourceDirectedOptimizer, Solution, Termination};
+pub use projection::{BoundaryRule, StepWorkspace};
+pub use resource_directed::{OptimizerScratch, ResourceDirectedOptimizer, Solution, Termination};
 pub use second_order::SecondOrderOptimizer;
 pub use step_size::StepSize;
 pub use trace::{IterationRecord, Trace};

@@ -73,12 +73,70 @@ impl StepOutcome {
     }
 }
 
+/// Reusable buffers for [`compute_step_into`]: the hot-loop variant of
+/// [`compute_step`] that allocates nothing once the workspace has been
+/// warmed to the problem dimension.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StepWorkspace {
+    deltas: Vec<f64>,
+    active: Vec<bool>,
+    scale: f64,
+}
+
+impl StepWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        StepWorkspace::default()
+    }
+
+    /// Per-agent changes `Δx_i` of the last computed step; zero for agents
+    /// outside the active set.
+    pub fn deltas(&self) -> &[f64] {
+        &self.deltas
+    }
+
+    /// Membership of the active set `A` of the last computed step.
+    pub fn active(&self) -> &[bool] {
+        &self.active
+    }
+
+    /// Factor the last step was scaled by (1.0 except under
+    /// [`BoundaryRule::ScaleStep`]).
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Number of agents in the active set of the last computed step.
+    pub fn active_count(&self) -> usize {
+        self.active.iter().filter(|a| **a).count()
+    }
+
+    /// Copies the workspace out into an owned [`StepOutcome`].
+    pub fn to_outcome(&self) -> StepOutcome {
+        StepOutcome { deltas: self.deltas.clone(), active: self.active.clone(), scale: self.scale }
+    }
+
+    /// Resizes the buffers for `n` agents: all deltas zero, all agents
+    /// active, scale 1. Allocation-free once capacity covers `n`.
+    fn reset(&mut self, n: usize) {
+        self.deltas.clear();
+        self.deltas.resize(n, 0.0);
+        self.active.clear();
+        self.active.resize(n, true);
+        self.scale = 1.0;
+    }
+}
+
 /// Computes one reallocation step.
 ///
 /// `weights` are the per-agent step weights (`w_i` above); pass all-ones for
 /// the paper's first-order algorithm. All slices must have equal length, the
 /// step size `alpha` must be positive and finite, and weights must be
 /// positive; violations are programming errors.
+///
+/// This is a thin wrapper over [`compute_step_into`] with a fresh
+/// [`StepWorkspace`]; hot loops should hold a workspace and call the `_into`
+/// variant directly.
 ///
 /// # Panics
 ///
@@ -91,6 +149,29 @@ pub fn compute_step(
     alpha: f64,
     rule: BoundaryRule,
 ) -> StepOutcome {
+    let mut ws = StepWorkspace::new();
+    compute_step_into(x, marginals, weights, alpha, rule, &mut ws);
+    StepOutcome { deltas: ws.deltas, active: ws.active, scale: ws.scale }
+}
+
+/// Computes one reallocation step into a reusable [`StepWorkspace`].
+///
+/// Semantics are identical to [`compute_step`] (bit-for-bit: the same
+/// arithmetic in the same order); the only difference is that results land
+/// in the workspace's buffers, so steady-state iterations perform zero heap
+/// allocations.
+///
+/// # Panics
+///
+/// Same conditions as [`compute_step`].
+pub fn compute_step_into(
+    x: &[f64],
+    marginals: &[f64],
+    weights: &[f64],
+    alpha: f64,
+    rule: BoundaryRule,
+    workspace: &mut StepWorkspace,
+) {
     let n = x.len();
     assert_eq!(marginals.len(), n, "marginals length mismatch");
     assert_eq!(weights.len(), n, "weights length mismatch");
@@ -100,47 +181,59 @@ pub fn compute_step(
         "weights must be positive and finite"
     );
 
+    workspace.reset(n);
+    let StepWorkspace { deltas, active, scale } = workspace;
     match rule {
         BoundaryRule::Unconstrained => {
-            let active = vec![true; n];
-            let deltas = raw_deltas(marginals, weights, &active, alpha);
-            StepOutcome { deltas, active, scale: 1.0 }
+            raw_deltas_into(marginals, weights, active, alpha, deltas);
         }
         BoundaryRule::ScaleStep => {
-            let active = vec![true; n];
-            let deltas = raw_deltas(marginals, weights, &active, alpha);
+            raw_deltas_into(marginals, weights, active, alpha, deltas);
             // Largest s in (0, 1] with x_i + s·Δ_i ≥ 0 for all i.
-            let mut scale = 1.0f64;
+            let mut s = 1.0f64;
             for i in 0..n {
                 if deltas[i] < 0.0 {
                     let limit = -x[i] / deltas[i]; // ≥ 0 since x_i ≥ 0
-                    scale = scale.min(limit);
+                    s = s.min(limit);
                 }
             }
-            scale = scale.clamp(0.0, 1.0);
-            let deltas = deltas.into_iter().map(|d| d * scale).collect();
-            StepOutcome { deltas, active, scale }
+            s = s.clamp(0.0, 1.0);
+            for d in deltas.iter_mut() {
+                *d *= s;
+            }
+            *scale = s;
         }
-        BoundaryRule::FreezeActiveSet => freeze_active_set(x, marginals, weights, alpha),
-        BoundaryRule::ClampToZero => clamp_to_zero(x, marginals, weights, alpha),
+        BoundaryRule::FreezeActiveSet => {
+            freeze_active_set_into(x, marginals, weights, alpha, deltas, active);
+        }
+        BoundaryRule::ClampToZero => {
+            clamp_to_zero_into(x, marginals, weights, alpha, deltas, active);
+        }
     }
 }
 
 /// Violators are pinned exactly to zero (`Δx_v = −x_v`), releasing their
 /// mass; the free agents share the released mass equally on top of their
 /// zero-sum raw step. Pinning can cascade; each pass pins at least one more
-/// agent, so the loop terminates.
-fn clamp_to_zero(x: &[f64], marginals: &[f64], weights: &[f64], alpha: f64) -> StepOutcome {
+/// agent, so the loop terminates. `active` enters all-true and tracks the
+/// not-yet-pinned set.
+fn clamp_to_zero_into(
+    x: &[f64],
+    marginals: &[f64],
+    weights: &[f64],
+    alpha: f64,
+    deltas: &mut [f64],
+    active: &mut [bool],
+) {
     let n = x.len();
-    let mut pinned = vec![false; n];
     loop {
-        let active: Vec<bool> = pinned.iter().map(|p| !p).collect();
         let free_count = active.iter().filter(|a| **a).count();
         if free_count == 0 {
-            return StepOutcome { deltas: vec![0.0; n], active, scale: 1.0 };
+            deltas.fill(0.0);
+            return;
         }
-        let mut deltas = raw_deltas(marginals, weights, &active, alpha);
-        let released: f64 = (0..n).filter(|&i| pinned[i]).map(|i| x[i]).sum();
+        raw_deltas_into(marginals, weights, active, alpha, deltas);
+        let released: f64 = (0..n).filter(|&i| !active[i]).map(|i| x[i]).sum();
         let share = released / free_count as f64;
         for i in 0..n {
             if active[i] {
@@ -153,22 +246,25 @@ fn clamp_to_zero(x: &[f64], marginals: &[f64], weights: &[f64], alpha: f64) -> S
             .filter(|&i| active[i] && x[i] + deltas[i] < 0.0)
             .min_by(|&a, &b| marginals[a].total_cmp(&marginals[b]));
         match violator {
-            Some(v) => pinned[v] = true,
-            None => return StepOutcome { deltas, active, scale: 1.0 },
+            Some(v) => active[v] = false,
+            None => return,
         }
     }
 }
 
 /// Raw step over the given active set: `Δx_i = α w_i (g_i − avg_w)` for
 /// active `i`, zero otherwise.
-fn raw_deltas(marginals: &[f64], weights: &[f64], active: &[bool], alpha: f64) -> Vec<f64> {
+fn raw_deltas_into(
+    marginals: &[f64],
+    weights: &[f64],
+    active: &[bool],
+    alpha: f64,
+    out: &mut [f64],
+) {
     let avg = weighted_average(marginals, weights, active);
-    marginals
-        .iter()
-        .zip(weights)
-        .zip(active)
-        .map(|((g, w), a)| if *a { alpha * w * (g - avg) } else { 0.0 })
-        .collect()
+    for i in 0..marginals.len() {
+        out[i] = if active[i] { alpha * weights[i] * (marginals[i] - avg) } else { 0.0 };
+    }
 }
 
 /// Weighted average marginal utility over the active set.
@@ -197,26 +293,36 @@ fn weighted_average(marginals: &[f64], weights: &[f64], active: &[bool]) -> f64 
 /// 3. recompute `Δx` over the final `A` (with a safeguarded re-removal pass
 ///    in case the recomputed average creates new violations — the paper's
 ///    statement overlooks this corner).
-fn freeze_active_set(x: &[f64], marginals: &[f64], weights: &[f64], alpha: f64) -> StepOutcome {
+///
+/// `active` enters all-true; `deltas` is used for the tentative full step
+/// first and holds the final deltas on return.
+fn freeze_active_set_into(
+    x: &[f64],
+    marginals: &[f64],
+    weights: &[f64],
+    alpha: f64,
+    deltas: &mut [f64],
+    active: &mut [bool],
+) {
     let n = x.len();
-    let mut active = vec![true; n];
 
     // Step (i): tentative full step, drop agents driven non-positive.
-    let tentative = raw_deltas(marginals, weights, &active, alpha);
+    raw_deltas_into(marginals, weights, active, alpha, deltas);
     for i in 0..n {
-        if x[i] + tentative[i] <= 0.0 {
+        if x[i] + deltas[i] <= 0.0 {
             active[i] = false;
         }
     }
     // Degenerate: everything excluded (only possible when total ≈ 0).
     if active.iter().all(|a| !a) {
-        return StepOutcome { deltas: vec![0.0; n], active, scale: 1.0 };
+        deltas.fill(0.0);
+        return;
     }
 
     // Steps (ii)–(v): re-admit excluded agents with above-average marginal
     // utility, highest first.
     loop {
-        let avg = weighted_average(marginals, weights, &active);
+        let avg = weighted_average(marginals, weights, active);
         let best = (0..n)
             .filter(|&j| !active[j])
             .max_by(|&a, &b| marginals[a].total_cmp(&marginals[b]));
@@ -231,13 +337,13 @@ fn freeze_active_set(x: &[f64], marginals: &[f64], weights: &[f64], alpha: f64) 
     // until stable. Each pass removes at least one agent, so this
     // terminates.
     loop {
-        let deltas = raw_deltas(marginals, weights, &active, alpha);
+        raw_deltas_into(marginals, weights, active, alpha, deltas);
         let violator = (0..n)
             .filter(|&i| active[i] && x[i] + deltas[i] < 0.0)
             .min_by(|&a, &b| marginals[a].total_cmp(&marginals[b]));
         match violator {
             Some(i) => active[i] = false,
-            None => return StepOutcome { deltas, active, scale: 1.0 },
+            None => return,
         }
     }
 }

@@ -14,9 +14,51 @@ use serde::{Deserialize, Serialize};
 use crate::convergence::{marginal_spread, OscillationDetector};
 use crate::error::EconError;
 use crate::problem::AllocationProblem;
-use crate::projection::{compute_step, BoundaryRule, StepOutcome};
+use crate::projection::{compute_step_into, BoundaryRule, StepWorkspace};
 use crate::step_size::{StepSize, StepSizeState};
 use crate::trace::{IterationRecord, Trace};
+
+/// Reusable buffers for the optimizer's per-iteration state.
+///
+/// Holding one of these and calling
+/// [`ResourceDirectedOptimizer::run_with_scratch`] (or the second-order
+/// equivalent) across many runs of same-dimension problems — e.g. an α-sweep
+/// or a per-file decomposition — avoids re-allocating the iterate, gradient,
+/// curvature, weight and step buffers on every run.
+#[derive(Debug, Clone, Default)]
+pub struct OptimizerScratch {
+    x: Vec<f64>,
+    g: Vec<f64>,
+    h: Vec<f64>,
+    weights: Vec<f64>,
+    all_active: Vec<bool>,
+    candidate: Vec<f64>,
+    step: StepWorkspace,
+}
+
+impl OptimizerScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        OptimizerScratch::default()
+    }
+
+    /// Resizes every buffer for an `n`-agent problem. Allocation-free once
+    /// capacity covers `n`.
+    fn ensure(&mut self, n: usize) {
+        self.x.clear();
+        self.x.resize(n, 0.0);
+        self.g.clear();
+        self.g.resize(n, 0.0);
+        self.h.clear();
+        self.h.resize(n, 0.0);
+        self.weights.clear();
+        self.weights.resize(n, 1.0);
+        self.all_active.clear();
+        self.all_active.resize(n, true);
+        self.candidate.clear();
+        self.candidate.resize(n, 0.0);
+    }
+}
 
 /// Why a run terminated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -92,6 +134,16 @@ impl Engine {
         problem: &P,
         initial: &[f64],
     ) -> Result<Solution, EconError> {
+        let mut scratch = OptimizerScratch::new();
+        self.run_with_scratch(problem, initial, &mut scratch)
+    }
+
+    pub(crate) fn run_with_scratch<P: AllocationProblem + ?Sized>(
+        &self,
+        problem: &P,
+        initial: &[f64],
+        scratch: &mut OptimizerScratch,
+    ) -> Result<Solution, EconError> {
         self.step.validate()?;
         if !self.epsilon.is_finite() || self.epsilon <= 0.0 {
             return Err(EconError::InvalidParameter(format!(
@@ -103,10 +155,9 @@ impl Engine {
         problem.check_feasible(initial, 1e-9, require_nonneg)?;
 
         let n = problem.dimension();
-        let mut x = initial.to_vec();
-        let mut g = vec![0.0; n];
-        let mut h = vec![0.0; n];
-        let mut weights = vec![1.0; n];
+        scratch.ensure(n);
+        let OptimizerScratch { x, g, h, weights, all_active, candidate, step } = scratch;
+        x.copy_from_slice(initial);
         let mut step_state = StepSizeState::new(self.step.clone());
         let mut detector = self
             .oscillation
@@ -117,40 +168,41 @@ impl Engine {
         let mut trace = Trace::new();
         let mut previous_cost: Option<f64> = None;
         let mut iterations = 0usize;
-        let all_active = vec![true; n];
 
         loop {
-            let utility = problem.utility(&x)?;
-            problem.marginal_utilities(&x, &mut g)?;
+            let utility = problem.utility(x)?;
+            problem.marginal_utilities(x, g)?;
             if needs_curvature {
-                problem.curvatures(&x, &mut h)?;
+                problem.curvatures(x, h)?;
             }
             if self.weight_mode == WeightMode::InverseCurvature {
-                for (w, hi) in weights.iter_mut().zip(&h) {
+                for (w, hi) in weights.iter_mut().zip(&*h) {
                     // Concave utilities have h ≤ 0; floor |h| to keep the
                     // step finite where curvature vanishes.
                     *w = 1.0 / hi.abs().max(1e-9);
                 }
             }
 
-            let alpha = step_state.alpha(&g, &h, &weights, &all_active);
-            let outcome: StepOutcome = compute_step(&x, &g, &weights, alpha, self.boundary);
-            let spread = marginal_spread(&g, &outcome.active);
+            let alpha = step_state.alpha(g, h, weights, all_active);
+            compute_step_into(x, g, weights, alpha, self.boundary, step);
+            let spread = marginal_spread(g, step.active());
 
             trace.push(IterationRecord {
                 iteration: iterations,
                 utility,
                 spread,
                 alpha,
-                active_count: outcome.active_count(),
-                allocation: self.record_allocations.then(|| x.clone()),
+                active_count: step.active_count(),
             });
+            if self.record_allocations {
+                trace.record_allocation(x);
+            }
 
             // Termination: the paper's ε-criterion on active marginals, plus
             // complementary slackness for excluded (boundary) agents.
-            if spread < self.epsilon && self.kkt_satisfied(&x, &g, &weights, &outcome.active) {
+            if spread < self.epsilon && self.kkt_satisfied(x, g, weights, step.active()) {
                 return Ok(Solution {
-                    allocation: x,
+                    allocation: x.clone(),
                     iterations,
                     termination: Termination::MarginalSpread,
                     converged: true,
@@ -164,7 +216,7 @@ impl Engine {
             if let (Some(tolerance), Some(prev)) = (self.cost_delta_halt, previous_cost) {
                 if (cost - prev).abs() < tolerance {
                     return Ok(Solution {
-                        allocation: x,
+                        allocation: x.clone(),
                         iterations,
                         termination: Termination::CostDelta,
                         converged: true,
@@ -184,7 +236,7 @@ impl Engine {
 
             if iterations >= self.max_iterations {
                 return Ok(Solution {
-                    allocation: x,
+                    allocation: x.clone(),
                     iterations,
                     termination: Termination::MaxIterations,
                     converged: false,
@@ -200,17 +252,18 @@ impl Engine {
             if matches!(self.step, StepSize::Dynamic { .. }) {
                 let mut scale = 1.0f64;
                 loop {
-                    let candidate: Vec<f64> =
-                        x.iter().zip(&outcome.deltas).map(|(xi, d)| xi + d * scale).collect();
-                    match problem.utility(&candidate) {
+                    candidate.clear();
+                    candidate
+                        .extend(x.iter().zip(step.deltas()).map(|(xi, d)| xi + d * scale));
+                    match problem.utility(candidate) {
                         Ok(u) if u >= utility => {
-                            x = candidate;
+                            std::mem::swap(x, candidate);
                             break;
                         }
                         _ if scale > 1e-9 => scale *= 0.5,
                         _ => {
                             return Ok(Solution {
-                                allocation: x,
+                                allocation: x.clone(),
                                 iterations,
                                 termination: Termination::Stalled,
                                 converged: false,
@@ -221,7 +274,7 @@ impl Engine {
                     }
                 }
             } else {
-                for (xi, d) in x.iter_mut().zip(&outcome.deltas) {
+                for (xi, d) in x.iter_mut().zip(step.deltas()) {
                     *xi += d;
                 }
             }
@@ -363,6 +416,22 @@ impl ResourceDirectedOptimizer {
     ) -> Result<Solution, EconError> {
         self.engine.run(problem, initial)
     }
+
+    /// Like [`ResourceDirectedOptimizer::run`], reusing the caller's
+    /// [`OptimizerScratch`] so repeated runs (parameter sweeps, per-file
+    /// subproblems) perform no per-run buffer allocations.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ResourceDirectedOptimizer::run`].
+    pub fn run_with_scratch<P: AllocationProblem + ?Sized>(
+        &self,
+        problem: &P,
+        initial: &[f64],
+        scratch: &mut OptimizerScratch,
+    ) -> Result<Solution, EconError> {
+        self.engine.run_with_scratch(problem, initial, scratch)
+    }
 }
 
 #[cfg(test)]
@@ -397,8 +466,9 @@ mod tests {
             .with_epsilon(1e-8)
             .run(&p, &[0.2, 0.5, 0.3])
             .unwrap();
-        for r in s.trace.records() {
-            let x = r.allocation.as_ref().unwrap();
+        assert_eq!(s.trace.allocations().unwrap().rows(), s.trace.len());
+        for (i, r) in s.trace.records().iter().enumerate() {
+            let x = s.trace.allocation(i).unwrap();
             let sum: f64 = x.iter().sum();
             assert!((sum - 1.0).abs() < 1e-9, "iteration {}: sum {sum}", r.iteration);
             assert!(x.iter().all(|v| *v >= -1e-9));
@@ -497,10 +567,23 @@ mod tests {
             .with_recorded_allocations()
             .run(&p, &[1.0, 0.0, 0.0])
             .unwrap();
-        for r in s.trace.records() {
-            assert!(r.allocation.as_ref().unwrap().iter().all(|v| *v >= -1e-9));
+        for x in s.trace.recorded_allocations() {
+            assert!(x.iter().all(|v| *v >= -1e-9));
         }
+        assert_eq!(s.trace.allocations().unwrap().rows(), s.trace.len());
         assert!(s.converged);
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical() {
+        let p = quad();
+        let opt = ResourceDirectedOptimizer::new(StepSize::Fixed(0.1)).with_epsilon(1e-8);
+        let fresh = opt.run(&p, &[1.0, 0.0, 0.0]).unwrap();
+        let mut scratch = OptimizerScratch::new();
+        // Warm the scratch on a different run, then repeat the original.
+        opt.run_with_scratch(&p, &[0.0, 1.0, 0.0], &mut scratch).unwrap();
+        let reused = opt.run_with_scratch(&p, &[1.0, 0.0, 0.0], &mut scratch).unwrap();
+        assert_eq!(fresh, reused);
     }
 
     #[test]

@@ -21,7 +21,7 @@
 use crate::error::EconError;
 use crate::problem::AllocationProblem;
 use crate::projection::BoundaryRule;
-use crate::resource_directed::{Engine, Solution, WeightMode};
+use crate::resource_directed::{Engine, OptimizerScratch, Solution, WeightMode};
 use crate::step_size::StepSize;
 
 /// The curvature-scaled decentralized optimizer.
@@ -110,6 +110,21 @@ impl SecondOrderOptimizer {
         initial: &[f64],
     ) -> Result<Solution, EconError> {
         self.engine.run(problem, initial)
+    }
+
+    /// Like [`SecondOrderOptimizer::run`], reusing the caller's
+    /// [`OptimizerScratch`] across runs.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SecondOrderOptimizer::run`].
+    pub fn run_with_scratch<P: AllocationProblem + ?Sized>(
+        &self,
+        problem: &P,
+        initial: &[f64],
+        scratch: &mut OptimizerScratch,
+    ) -> Result<Solution, EconError> {
+        self.engine.run_with_scratch(problem, initial, scratch)
     }
 }
 
@@ -205,8 +220,7 @@ mod tests {
             .unwrap();
         assert!(s.converged);
         assert!(s.trace.is_cost_monotone_decreasing(1e-9));
-        for r in s.trace.records() {
-            let x = r.allocation.as_ref().unwrap();
+        for x in s.trace.recorded_allocations() {
             assert!((x.iter().sum::<f64>() - 1.0).abs() < 1e-9);
             assert!(x.iter().all(|v| *v >= -1e-9));
         }

@@ -5,6 +5,7 @@
 //! series, plus the per-iteration diagnostics needed by the step-size
 //! policies and the reproduction harness.
 
+use fap_batch::Matrix;
 use serde::{Deserialize, Serialize};
 
 /// One iteration's diagnostics.
@@ -20,8 +21,6 @@ pub struct IterationRecord {
     pub alpha: f64,
     /// Number of agents in the active set.
     pub active_count: usize,
-    /// The allocation itself, when allocation recording is enabled.
-    pub allocation: Option<Vec<f64>>,
 }
 
 impl IterationRecord {
@@ -35,6 +34,10 @@ impl IterationRecord {
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct Trace {
     records: Vec<IterationRecord>,
+    /// Recorded allocations, one row per recorded iteration, when allocation
+    /// recording is enabled. Row `r` corresponds to `records[r]`.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    allocations: Option<Matrix>,
 }
 
 impl Trace {
@@ -46,6 +49,34 @@ impl Trace {
     /// Appends a record.
     pub fn push(&mut self, record: IterationRecord) {
         self.records.push(record);
+    }
+
+    /// Appends a row to the allocation history. Callers that record
+    /// allocations do so once per pushed record, immediately after `push`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has a different length than previously recorded rows.
+    pub fn record_allocation(&mut self, x: &[f64]) {
+        self.allocations.get_or_insert_with(|| Matrix::with_cols(x.len())).push_row(x);
+    }
+
+    /// The recorded allocation history (one row per recorded iteration), if
+    /// allocation recording was enabled.
+    pub fn allocations(&self) -> Option<&Matrix> {
+        self.allocations.as_ref()
+    }
+
+    /// The recorded allocation at record index `idx`, if present.
+    pub fn allocation(&self, idx: usize) -> Option<&[f64]> {
+        let m = self.allocations.as_ref()?;
+        (idx < m.rows()).then(|| m.row(idx))
+    }
+
+    /// Iterates over the recorded allocations (empty when recording was
+    /// disabled).
+    pub fn recorded_allocations(&self) -> impl Iterator<Item = &[f64]> + '_ {
+        self.allocations.iter().flat_map(|m| m.row_iter())
     }
 
     /// All records, in iteration order.
@@ -102,7 +133,7 @@ impl Trace {
 
 impl FromIterator<IterationRecord> for Trace {
     fn from_iter<T: IntoIterator<Item = IterationRecord>>(iter: T) -> Self {
-        Trace { records: iter.into_iter().collect() }
+        Trace { records: iter.into_iter().collect(), allocations: None }
     }
 }
 
@@ -111,7 +142,7 @@ mod tests {
     use super::*;
 
     fn record(iteration: usize, utility: f64) -> IterationRecord {
-        IterationRecord { iteration, utility, spread: 0.0, alpha: 0.1, active_count: 4, allocation: None }
+        IterationRecord { iteration, utility, spread: 0.0, alpha: 0.1, active_count: 4 }
     }
 
     #[test]
@@ -151,6 +182,23 @@ mod tests {
         assert!((t.max_cost_increase() - 2.5).abs() < 1e-12);
         let monotone: Trace = [record(0, -5.0), record(1, -2.0)].into_iter().collect();
         assert_eq!(monotone.max_cost_increase(), 0.0);
+    }
+
+    #[test]
+    fn allocation_history_round_trips() {
+        let mut t = Trace::new();
+        assert!(t.allocations().is_none());
+        assert_eq!(t.allocation(0), None);
+        t.push(record(0, -3.0));
+        t.record_allocation(&[0.5, 0.5]);
+        t.push(record(1, -2.0));
+        t.record_allocation(&[0.25, 0.75]);
+        assert_eq!(t.allocation(0), Some(&[0.5, 0.5][..]));
+        assert_eq!(t.allocation(1), Some(&[0.25, 0.75][..]));
+        assert_eq!(t.allocation(2), None);
+        let rows: Vec<&[f64]> = t.recorded_allocations().collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(t.allocations().unwrap().rows(), 2);
     }
 
     #[test]

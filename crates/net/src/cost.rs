@@ -1,5 +1,6 @@
 //! Communication-cost matrices and system-wide access costs.
 
+use fap_batch::Matrix;
 use serde::{Deserialize, Serialize};
 
 use crate::error::NetError;
@@ -12,11 +13,11 @@ use crate::workload::AccessPattern;
 /// Invariants: square, `c_ii = 0`, all entries finite and non-negative.
 /// Usually produced by [`crate::Graph::shortest_path_matrix`], but can be
 /// built directly from measured costs via [`CostMatrix::from_rows`].
+/// Storage is a flat row-major [`Matrix`], so a row (`c_i·`) is one
+/// contiguous cache-friendly slice.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CostMatrix {
-    n: usize,
-    /// Row-major `n × n` costs.
-    costs: Vec<f64>,
+    matrix: Matrix,
 }
 
 impl CostMatrix {
@@ -30,26 +31,44 @@ impl CostMatrix {
     pub fn from_rows(rows: Vec<Vec<f64>>) -> Result<Self, NetError> {
         let n = rows.len();
         let mut costs = Vec::with_capacity(n * n);
-        for (i, row) in rows.iter().enumerate() {
+        for row in &rows {
             if row.len() != n {
                 return Err(NetError::NodeOutOfRange { node: row.len(), node_count: n });
             }
-            for (j, &c) in row.iter().enumerate() {
+            costs.extend_from_slice(row);
+        }
+        CostMatrix::from_matrix(Matrix::from_vec(n, n, costs))
+    }
+
+    /// Builds a cost matrix from an already-flat [`Matrix`], validating the
+    /// [`CostMatrix`] invariants.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CostMatrix::from_rows`].
+    pub fn from_matrix(matrix: Matrix) -> Result<Self, NetError> {
+        if matrix.rows() != matrix.cols() {
+            return Err(NetError::NodeOutOfRange {
+                node: matrix.cols(),
+                node_count: matrix.rows(),
+            });
+        }
+        for i in 0..matrix.rows() {
+            for (j, &c) in matrix.row(i).iter().enumerate() {
                 if !c.is_finite() || c < 0.0 {
                     return Err(NetError::NegativeCost { from: i, to: j, cost: c });
                 }
                 if i == j && c != 0.0 {
                     return Err(NetError::NegativeCost { from: i, to: j, cost: c });
                 }
-                costs.push(c);
             }
         }
-        Ok(CostMatrix { n, costs })
+        Ok(CostMatrix { matrix })
     }
 
     /// Number of nodes covered by the matrix.
     pub fn node_count(&self) -> usize {
-        self.n
+        self.matrix.rows()
     }
 
     /// Cheapest-path cost `c_ij` from `from` to `to`.
@@ -58,13 +77,30 @@ impl CostMatrix {
     ///
     /// Panics if either node index is out of range.
     pub fn cost(&self, from: NodeId, to: NodeId) -> f64 {
-        assert!(from.index() < self.n && to.index() < self.n, "node out of range");
-        self.costs[from.index() * self.n + to.index()]
+        assert!(
+            from.index() < self.node_count() && to.index() < self.node_count(),
+            "node out of range"
+        );
+        self.matrix.get(from.index(), to.index())
+    }
+
+    /// Row `from` of the matrix: the costs `c_{from,·}` to every destination.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is out of range.
+    pub fn row(&self, from: NodeId) -> &[f64] {
+        self.matrix.row(from.index())
+    }
+
+    /// The underlying flat matrix.
+    pub fn as_matrix(&self) -> &Matrix {
+        &self.matrix
     }
 
     /// The largest entry of the matrix.
     pub fn max_cost(&self) -> f64 {
-        self.costs.iter().copied().fold(0.0, f64::max)
+        self.matrix.as_slice().iter().copied().fold(0.0, f64::max)
     }
 
     /// Computes the system-wide average communication cost `C_i` of directing
@@ -81,17 +117,17 @@ impl CostMatrix {
     ///
     /// Panics if the pattern's node count differs from the matrix dimension.
     pub fn systemwide_access_costs(&self, pattern: &AccessPattern) -> Vec<f64> {
+        let n = self.node_count();
         assert_eq!(
             pattern.node_count(),
-            self.n,
-            "workload covers {} nodes but cost matrix covers {}",
+            n,
+            "workload covers {} nodes but cost matrix covers {n}",
             pattern.node_count(),
-            self.n
         );
         let total = pattern.total_rate();
-        (0..self.n)
+        (0..n)
             .map(|i| {
-                (0..self.n)
+                (0..n)
                     .map(|j| pattern.rate(NodeId::new(j)) / total * self.cost(NodeId::new(j), NodeId::new(i)))
                     .sum()
             })
@@ -109,7 +145,9 @@ impl CostMatrix {
     /// Panics if `factor` is negative or non-finite.
     pub fn scaled(&self, factor: f64) -> CostMatrix {
         assert!(factor.is_finite() && factor >= 0.0, "scale factor must be non-negative");
-        CostMatrix { n: self.n, costs: self.costs.iter().map(|c| c * factor).collect() }
+        let n = self.node_count();
+        let scaled = self.matrix.as_slice().iter().map(|c| c * factor).collect();
+        CostMatrix { matrix: Matrix::from_vec(n, n, scaled) }
     }
 }
 

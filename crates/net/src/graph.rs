@@ -217,6 +217,20 @@ impl Graph {
     pub fn shortest_path_matrix(&self) -> Result<CostMatrix, NetError> {
         shortest_path::all_pairs_dijkstra(self)
     }
+
+    /// Like [`Graph::shortest_path_matrix`], fanning the independent
+    /// single-source runs out over scoped threads. Bit-identical to the
+    /// sequential computation for every [`fap_batch::Parallelism`] setting.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Graph::shortest_path_matrix`].
+    pub fn shortest_path_matrix_parallel(
+        &self,
+        parallelism: fap_batch::Parallelism,
+    ) -> Result<CostMatrix, NetError> {
+        shortest_path::all_pairs_dijkstra_parallel(self, parallelism)
+    }
 }
 
 #[cfg(test)]

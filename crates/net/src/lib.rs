@@ -47,6 +47,7 @@ pub mod workload;
 
 pub use cost::CostMatrix;
 pub use error::NetError;
+pub use fap_batch::Parallelism;
 pub use graph::{Graph, Link, NodeId};
 pub use routing::RoutingTable;
 pub use workload::AccessPattern;

@@ -6,6 +6,9 @@
 //! algorithms over [`Graph`]:
 //!
 //! * [`all_pairs_dijkstra`] — one Dijkstra run per source, `O(N·E log N)`;
+//!   [`all_pairs_dijkstra_parallel`] fans the independent sources out over
+//!   scoped threads with **bit-identical** results (each source writes one
+//!   disjoint row of the flat matrix; errors are reported in source order);
 //! * [`floyd_warshall`] — the `O(N³)` dynamic program, used in tests as an
 //!   independent oracle for Dijkstra.
 //!
@@ -13,6 +16,8 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+use fap_batch::{Matrix, Parallelism};
 
 use crate::cost::CostMatrix;
 use crate::error::NetError;
@@ -44,6 +49,42 @@ impl PartialOrd for HeapEntry {
     }
 }
 
+/// The one Dijkstra inner loop shared by every public entry point: writes
+/// distances into `dist` (and, when given, predecessors into `pred`),
+/// reusing the caller's heap so batch sweeps allocate nothing per source.
+fn dijkstra_into(
+    graph: &Graph,
+    source: NodeId,
+    dist: &mut [f64],
+    mut pred: Option<&mut [Option<NodeId>]>,
+    heap: &mut BinaryHeap<HeapEntry>,
+) {
+    dist.fill(f64::INFINITY);
+    if let Some(p) = pred.as_deref_mut() {
+        p.fill(None);
+    }
+    dist[source.index()] = 0.0;
+    heap.clear();
+    heap.push(HeapEntry { cost: 0.0, node: source });
+
+    while let Some(HeapEntry { cost, node }) = heap.pop() {
+        if cost > dist[node.index()] {
+            continue; // stale entry
+        }
+        for &(next, link_cost) in graph.neighbors(node) {
+            let candidate = cost + link_cost;
+            // Strict improvement keeps the first (deterministic) tie winner.
+            if candidate < dist[next.index()] {
+                dist[next.index()] = candidate;
+                if let Some(p) = pred.as_deref_mut() {
+                    p[next.index()] = Some(node);
+                }
+                heap.push(HeapEntry { cost: candidate, node: next });
+            }
+        }
+    }
+}
+
 /// Computes cheapest-path costs from `source` to every node.
 ///
 /// Unreachable nodes are reported as `f64::INFINITY`.
@@ -53,24 +94,8 @@ impl PartialOrd for HeapEntry {
 /// Returns [`NetError::NodeOutOfRange`] if `source` is not a node of `graph`.
 pub fn dijkstra(graph: &Graph, source: NodeId) -> Result<Vec<f64>, NetError> {
     graph.check_node(source)?;
-    let n = graph.node_count();
-    let mut dist = vec![f64::INFINITY; n];
-    dist[source.index()] = 0.0;
-    let mut heap = BinaryHeap::new();
-    heap.push(HeapEntry { cost: 0.0, node: source });
-
-    while let Some(HeapEntry { cost, node }) = heap.pop() {
-        if cost > dist[node.index()] {
-            continue; // stale entry
-        }
-        for &(next, link_cost) in graph.neighbors(node) {
-            let candidate = cost + link_cost;
-            if candidate < dist[next.index()] {
-                dist[next.index()] = candidate;
-                heap.push(HeapEntry { cost: candidate, node: next });
-            }
-        }
-    }
+    let mut dist = vec![f64::INFINITY; graph.node_count()];
+    dijkstra_into(graph, source, &mut dist, None, &mut BinaryHeap::new());
     Ok(dist)
 }
 
@@ -90,27 +115,30 @@ pub fn dijkstra_with_predecessors(
     let n = graph.node_count();
     let mut dist = vec![f64::INFINITY; n];
     let mut pred: Vec<Option<NodeId>> = vec![None; n];
-    dist[source.index()] = 0.0;
-    let mut heap = BinaryHeap::new();
-    heap.push(HeapEntry { cost: 0.0, node: source });
-    while let Some(HeapEntry { cost, node }) = heap.pop() {
-        if cost > dist[node.index()] {
-            continue;
-        }
-        for &(next, link_cost) in graph.neighbors(node) {
-            let candidate = cost + link_cost;
-            // Strict improvement keeps the first (deterministic) tie winner.
-            if candidate < dist[next.index()] {
-                dist[next.index()] = candidate;
-                pred[next.index()] = Some(node);
-                heap.push(HeapEntry { cost: candidate, node: next });
-            }
-        }
-    }
+    dijkstra_into(graph, source, &mut dist, Some(&mut pred), &mut BinaryHeap::new());
     Ok((dist, pred))
 }
 
+/// Runs Dijkstra for the consecutive sources starting at `first`, writing
+/// each result into the corresponding row of `chunk` (a flat block of
+/// `len/n` rows). Returns the first disconnected pair, in source order.
+fn dijkstra_rows(graph: &Graph, first: usize, chunk: &mut [f64]) -> Result<(), NetError> {
+    let n = graph.node_count();
+    let mut heap = BinaryHeap::new();
+    for (offset, row) in chunk.chunks_mut(n).enumerate() {
+        let source = NodeId::new(first + offset);
+        dijkstra_into(graph, source, row, None, &mut heap);
+        if let Some(bad) = row.iter().position(|d| d.is_infinite()) {
+            return Err(NetError::Disconnected { from: source.index(), to: bad });
+        }
+    }
+    Ok(())
+}
+
 /// Computes the all-pairs cheapest-path [`CostMatrix`] via repeated Dijkstra.
+///
+/// Equivalent to [`all_pairs_dijkstra_parallel`] with
+/// [`Parallelism::Sequential`].
 ///
 /// # Errors
 ///
@@ -118,16 +146,52 @@ pub fn dijkstra_with_predecessors(
 /// has no connecting path — the paper's model assumes the network is
 /// logically fully connected.
 pub fn all_pairs_dijkstra(graph: &Graph) -> Result<CostMatrix, NetError> {
+    all_pairs_dijkstra_parallel(graph, Parallelism::Sequential)
+}
+
+/// Computes the all-pairs cheapest-path [`CostMatrix`], fanning the
+/// independent single-source runs out over scoped threads.
+///
+/// The result is **bit-identical** to [`all_pairs_dijkstra`] for every
+/// [`Parallelism`] setting: the sources are split into contiguous chunks,
+/// each worker writes only its own disjoint rows of the flat matrix, and
+/// chunk results are examined in source order after the join — so even the
+/// reported error for a disconnected graph is the one the sequential sweep
+/// would hit first.
+///
+/// # Errors
+///
+/// Same conditions as [`all_pairs_dijkstra`].
+pub fn all_pairs_dijkstra_parallel(
+    graph: &Graph,
+    parallelism: Parallelism,
+) -> Result<CostMatrix, NetError> {
     let n = graph.node_count();
-    let mut rows = Vec::with_capacity(n);
-    for source in graph.nodes() {
-        let dist = dijkstra(graph, source)?;
-        if let Some(bad) = dist.iter().position(|d| d.is_infinite()) {
-            return Err(NetError::Disconnected { from: source.index(), to: bad });
-        }
-        rows.push(dist);
+    if n == 0 {
+        return CostMatrix::from_matrix(Matrix::zeros(0, 0));
     }
-    CostMatrix::from_rows(rows)
+    let mut matrix = Matrix::zeros(n, n);
+    let threads = parallelism.threads_for(n);
+    if threads <= 1 {
+        dijkstra_rows(graph, 0, matrix.as_mut_slice())?;
+    } else {
+        let rows_per_chunk = n.div_ceil(threads);
+        let results: Vec<Result<(), NetError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = matrix
+                .as_mut_slice()
+                .chunks_mut(rows_per_chunk * n)
+                .enumerate()
+                .map(|(index, chunk)| {
+                    scope.spawn(move || dijkstra_rows(graph, index * rows_per_chunk, chunk))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("dijkstra worker panicked")).collect()
+        });
+        for result in results {
+            result?;
+        }
+    }
+    CostMatrix::from_matrix(matrix)
 }
 
 /// Computes the all-pairs cheapest-path [`CostMatrix`] via Floyd–Warshall.
@@ -141,23 +205,25 @@ pub fn all_pairs_dijkstra(graph: &Graph) -> Result<CostMatrix, NetError> {
 /// path.
 pub fn floyd_warshall(graph: &Graph) -> Result<CostMatrix, NetError> {
     let n = graph.node_count();
-    let mut dist = vec![vec![f64::INFINITY; n]; n];
-    for (i, row) in dist.iter_mut().enumerate() {
-        row[i] = 0.0;
+    let mut dist = Matrix::filled(n, n, f64::INFINITY);
+    for i in 0..n {
+        dist.set(i, i, 0.0);
     }
     for i in graph.nodes() {
         for &(j, cost) in graph.neighbors(i) {
-            let entry = &mut dist[i.index()][j.index()];
-            if cost < *entry {
-                *entry = cost;
+            if cost < dist.get(i.index(), j.index()) {
+                dist.set(i.index(), j.index(), cost);
             }
         }
     }
+    // Snapshot row k into a buffer reused across all k: with non-negative
+    // costs dist[k][·] cannot improve through k itself, so the snapshot
+    // equals the in-place update.
+    let mut row_k = vec![0.0; n];
     for k in 0..n {
-        // Snapshot row k: with non-negative costs dist[k][·] cannot improve
-        // through k itself, so the snapshot equals the in-place update.
-        let row_k = dist[k].clone();
-        for row_i in dist.iter_mut() {
+        row_k.copy_from_slice(dist.row(k));
+        for i in 0..n {
+            let row_i = dist.row_mut(i);
             let dik = row_i[k];
             if dik.is_infinite() {
                 continue;
@@ -170,12 +236,12 @@ pub fn floyd_warshall(graph: &Graph) -> Result<CostMatrix, NetError> {
             }
         }
     }
-    for (i, row) in dist.iter().enumerate() {
-        if let Some(j) = row.iter().position(|d| d.is_infinite()) {
+    for i in 0..n {
+        if let Some(j) = dist.row(i).iter().position(|d| d.is_infinite()) {
             return Err(NetError::Disconnected { from: i, to: j });
         }
     }
-    CostMatrix::from_rows(dist)
+    CostMatrix::from_matrix(dist)
 }
 
 #[cfg(test)]
@@ -214,6 +280,29 @@ mod tests {
     }
 
     #[test]
+    fn dijkstra_with_predecessors_matches_plain_dijkstra() {
+        let g = topology::random_connected(9, 0.4, 1.0..4.0, 11).unwrap();
+        for source in g.nodes() {
+            let plain = dijkstra(&g, source).unwrap();
+            let (dist, pred) = dijkstra_with_predecessors(&g, source).unwrap();
+            assert_eq!(plain, dist);
+            assert_eq!(pred[source.index()], None);
+            // Every predecessor edge closes the distance recurrence.
+            for i in g.nodes() {
+                if let Some(p) = pred[i.index()] {
+                    let link = g
+                        .neighbors(p)
+                        .iter()
+                        .find(|(next, _)| *next == i)
+                        .map(|(_, c)| *c)
+                        .expect("predecessor is a neighbor");
+                    assert!((dist[p.index()] + link - dist[i.index()]).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
     fn unreachable_node_is_infinite_in_single_source() {
         let mut g = Graph::new(3);
         g.add_link(NodeId::new(0), NodeId::new(1), 1.0).unwrap();
@@ -229,6 +318,22 @@ mod tests {
         assert!(matches!(err, NetError::Disconnected { .. }));
         let err = floyd_warshall(&g).unwrap_err();
         assert!(matches!(err, NetError::Disconnected { .. }));
+    }
+
+    #[test]
+    fn parallel_reports_the_same_error_as_sequential() {
+        // Nodes 0..5 connected, node 5 isolated: the sequential sweep fails
+        // at source 0 with destination 5, and so must every fan-out.
+        let mut g = Graph::new(6);
+        for i in 0..4 {
+            g.add_link(NodeId::new(i), NodeId::new(i + 1), 1.0).unwrap();
+        }
+        let expected = all_pairs_dijkstra(&g).unwrap_err();
+        for threads in [1, 2, 3, 4, 8] {
+            let err =
+                all_pairs_dijkstra_parallel(&g, Parallelism::Fixed(threads)).unwrap_err();
+            assert_eq!(format!("{err:?}"), format!("{expected:?}"), "threads={threads}");
+        }
     }
 
     #[test]
@@ -283,6 +388,20 @@ mod tests {
                     for k in g.nodes() {
                         prop_assert!(a.cost(i, j) <= a.cost(i, k) + a.cost(k, j) + 1e-9);
                     }
+                }
+            }
+        }
+
+        /// The parallel fan-out is bit-identical to the sequential sweep on
+        /// random connected graphs for every thread count.
+        #[test]
+        fn parallel_all_pairs_is_bit_identical(seed in 0u64..32, n in 2usize..14, p in 0.2f64..1.0) {
+            let g = topology::random_connected(n, p, 1.0..5.0, seed).unwrap();
+            let seq = all_pairs_dijkstra(&g).unwrap();
+            for threads in [1usize, 2, 3, 5] {
+                let par = all_pairs_dijkstra_parallel(&g, Parallelism::Fixed(threads)).unwrap();
+                for (a, b) in seq.as_matrix().as_slice().iter().zip(par.as_matrix().as_slice()) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits());
                 }
             }
         }

@@ -196,7 +196,6 @@ impl<'a, O: LocalObjective> DistributedRun<'a, O> {
                 spread,
                 alpha: self.alpha,
                 active_count: outcome.active_count(),
-                allocation: None,
             });
 
             let converged = all_heard

@@ -308,7 +308,6 @@ impl<'a, O: LocalObjective> SimRun<'a, O> {
                 spread,
                 alpha: self.alpha,
                 active_count: outcome.active_count(),
-                allocation: None,
             });
 
             // The coordinator distributes the step over the same lossy

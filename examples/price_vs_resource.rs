@@ -25,9 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .run(&problem, &[1.0 / 6.0; 6])?;
     let worst_violation = resource
         .trace
-        .records()
-        .iter()
-        .filter_map(|r| r.allocation.as_ref())
+        .recorded_allocations()
         .map(|x| (x.iter().sum::<f64>() - 1.0).abs())
         .fold(0.0, f64::max);
     println!("resource-directed:");

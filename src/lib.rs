@@ -8,6 +8,9 @@
 //!
 //! The workspace is layered; this crate re-exports everything:
 //!
+//! * [`batch`] — the flat row-major [`Matrix`](fap_batch::Matrix) storage
+//!   and the [`Parallelism`](fap_batch::Parallelism) setting shared by the
+//!   batch solver engine;
 //! * [`net`] — network graphs, topologies, shortest-path routing, access
 //!   workloads;
 //! * [`queue`] — analytic M/M/1 and M/G/1 delay models and a discrete-event
@@ -48,6 +51,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use fap_batch as batch;
 pub use fap_core as core;
 pub use fap_econ as econ;
 pub use fap_net as net;
@@ -57,9 +61,10 @@ pub use fap_runtime as runtime;
 
 /// The most commonly used items, for glob import.
 pub mod prelude {
+    pub use fap_batch::{Matrix, Parallelism};
     pub use fap_core::{
         baseline, reference, AdaptiveAllocator, HostingMarket, MultiFileProblem,
-        SingleFileProblem,
+        MultiFileScratch, SingleFileProblem,
     };
     pub use fap_econ::{
         AllocationProblem, BoundaryRule, GossipOptimizer, Neighborhood,

@@ -1,0 +1,103 @@
+//! Zero-allocation steady state for the scratch-based multi-file solve.
+//!
+//! A counting global allocator wraps the system allocator; after a warm-up
+//! solve has sized every buffer in the [`MultiFileScratch`], the number of
+//! allocations a solve performs must not depend on the iteration count — a
+//! 600-iteration run and a 60-iteration run allocate exactly the same
+//! (solution assembly allocates per *run*, the hot loop allocates nothing
+//! per *iteration*).
+//!
+//! The library crates all `#![forbid(unsafe_code)]`; a `GlobalAlloc` needs
+//! `unsafe`, which is why this lives in an integration test crate.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use fap::batch::Parallelism;
+use fap::core::{MultiFileProblem, MultiFileScratch, MultiFileSolution};
+use fap::net::{topology, AccessPattern};
+
+struct CountingAllocator {
+    enabled: AtomicBool,
+    allocations: AtomicU64,
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.allocations.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.allocations.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator {
+    enabled: AtomicBool::new(false),
+    allocations: AtomicU64::new(0),
+};
+
+fn counted<T>(f: impl FnOnce() -> T) -> (u64, T) {
+    ALLOCATOR.allocations.store(0, Ordering::SeqCst);
+    ALLOCATOR.enabled.store(true, Ordering::SeqCst);
+    let value = f();
+    ALLOCATOR.enabled.store(false, Ordering::SeqCst);
+    (ALLOCATOR.allocations.load(Ordering::SeqCst), value)
+}
+
+fn solve_n(
+    problem: &MultiFileProblem,
+    initial: &[Vec<f64>],
+    iterations: usize,
+    scratch: &mut MultiFileScratch,
+) -> MultiFileSolution {
+    // ε far below attainability: the solve always pays `iterations` steps.
+    problem
+        .solve_with_scratch(initial, 0.002, 1e-300, iterations, Parallelism::Sequential, scratch)
+        .expect("stable solve")
+}
+
+#[test]
+fn warm_scratch_solve_allocates_nothing_per_iteration() {
+    let graph = topology::torus(3, 4, 1.0).expect("valid torus");
+    let n = graph.node_count();
+    let patterns: Vec<AccessPattern> = (0..3)
+        .map(|j| AccessPattern::random(n, 0.05..0.2, 9 + j as u64).expect("valid pattern"))
+        .collect();
+    let offered: f64 = patterns.iter().map(AccessPattern::total_rate).sum();
+    let problem =
+        MultiFileProblem::mm1(&graph, &patterns, 10.0 * offered / n as f64, 1.0).expect("valid");
+    let initial = vec![vec![1.0 / n as f64; n]; 3];
+
+    let mut scratch = MultiFileScratch::new();
+    // Warm-up at the largest iteration count, so cost_series and every other
+    // buffer reach their steady-state capacity.
+    let warm = solve_n(&problem, &initial, 600, &mut scratch);
+    assert!(!warm.converged);
+
+    let (long_allocs, long) = counted(|| solve_n(&problem, &initial, 600, &mut scratch));
+    let (short_allocs, short) = counted(|| solve_n(&problem, &initial, 60, &mut scratch));
+
+    assert_eq!(long, warm, "warm rerun must be bit-identical");
+    assert_eq!(short.iterations, 60);
+    // 540 extra iterations must cost zero extra allocations: everything that
+    // allocates (solution assembly: allocations matrix → nested rows, the
+    // cost_series clone) is per-run, not per-iteration. The per-run counts
+    // differ only by cost_series length, which Vec::clone allocates exactly
+    // once regardless of length.
+    assert_eq!(
+        long_allocs, short_allocs,
+        "per-iteration allocations detected: 600 iters cost {long_allocs} allocs, 60 iters cost {short_allocs}"
+    );
+}

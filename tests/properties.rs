@@ -38,8 +38,7 @@ proptest! {
             .run(&p, &random_start(seed, n))
             .unwrap();
         prop_assert!(s.trace.is_cost_monotone_decreasing(1e-9));
-        for r in s.trace.records() {
-            let x = r.allocation.as_ref().unwrap();
+        for x in s.trace.recorded_allocations() {
             prop_assert!((x.iter().sum::<f64>() - 1.0).abs() < 1e-7);
             prop_assert!(x.iter().all(|v| *v >= -1e-9));
         }
