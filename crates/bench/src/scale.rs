@@ -184,6 +184,100 @@ pub fn bench_scale(
     }
 }
 
+/// The result of checking a fresh [`ScaleReport`] against a committed one
+/// (`fap bench-scale --check`).
+///
+/// *Hard failures* are determinism violations: the grid changed, or a
+/// checksum is no longer bit-identical to the committed value. *Advisories*
+/// are environment-dependent drifts (thread count, wall-clock timings) that
+/// are reported but never fail the check.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CheckOutcome {
+    /// Determinism violations; any entry fails the check.
+    pub hard_failures: Vec<String>,
+    /// Timing/environment drift; informational only.
+    pub advisories: Vec<String>,
+}
+
+impl CheckOutcome {
+    /// Whether the check passed (no hard failures).
+    pub fn is_pass(&self) -> bool {
+        self.hard_failures.is_empty()
+    }
+}
+
+/// Compares a `fresh` run against the `committed` report.
+///
+/// Grid shape (`ns`, `ms`, `iterations`), point identity (`kind`, `n`, `m`)
+/// and result checksums (compared bit-for-bit via [`f64::to_bits`]) are hard
+/// gates. Thread count and wall-clock timings only produce advisories: a
+/// fresh timing more than `timing_tolerance` times the committed one is
+/// flagged, since the committed numbers came from a different (possibly
+/// slower or faster) machine.
+pub fn check_against(
+    committed: &ScaleReport,
+    fresh: &ScaleReport,
+    timing_tolerance: f64,
+) -> CheckOutcome {
+    let mut outcome = CheckOutcome::default();
+    if committed.ns != fresh.ns || committed.ms != fresh.ms {
+        outcome.hard_failures.push(format!(
+            "grid mismatch: committed N×M grid {:?}×{:?}, fresh {:?}×{:?}",
+            committed.ns, committed.ms, fresh.ns, fresh.ms
+        ));
+    }
+    if committed.iterations != fresh.iterations {
+        outcome.hard_failures.push(format!(
+            "iteration count mismatch: committed {}, fresh {}",
+            committed.iterations, fresh.iterations
+        ));
+    }
+    if committed.points.len() != fresh.points.len() {
+        outcome.hard_failures.push(format!(
+            "point count mismatch: committed {}, fresh {}",
+            committed.points.len(),
+            fresh.points.len()
+        ));
+        return outcome;
+    }
+    if committed.threads != fresh.threads {
+        outcome.advisories.push(format!(
+            "thread count differs: committed {}, fresh {} (machine-dependent)",
+            committed.threads, fresh.threads
+        ));
+    }
+    for (old, new) in committed.points.iter().zip(&fresh.points) {
+        let label = format!("{} N={} M={}", old.kind, old.n, old.m);
+        if old.kind != new.kind || old.n != new.n || old.m != new.m {
+            outcome.hard_failures.push(format!(
+                "point identity mismatch: committed {label}, fresh {} N={} M={}",
+                new.kind, new.n, new.m
+            ));
+            continue;
+        }
+        if old.checksum.to_bits() != new.checksum.to_bits() {
+            outcome.hard_failures.push(format!(
+                "checksum diverged at {label}: committed {:?} ({:#018x}), fresh {:?} ({:#018x})",
+                old.checksum,
+                old.checksum.to_bits(),
+                new.checksum,
+                new.checksum.to_bits()
+            ));
+        }
+        for (stage, was, now) in [
+            ("sequential", old.sequential_ms, new.sequential_ms),
+            ("parallel", old.parallel_ms, new.parallel_ms),
+        ] {
+            if now > was * timing_tolerance {
+                outcome.advisories.push(format!(
+                    "{label}: {stage} timing {now:.2} ms exceeds {timing_tolerance}× committed {was:.2} ms"
+                ));
+            }
+        }
+    }
+    outcome
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -204,5 +298,42 @@ mod tests {
             assert!(p.sequential_ms >= 0.0 && p.parallel_ms >= 0.0);
             assert!(p.checksum.is_finite());
         }
+    }
+
+    #[test]
+    fn check_passes_on_a_rerun_of_the_same_grid() {
+        let committed = bench_scale(&[12], &[1], 2, Parallelism::Fixed(2));
+        let fresh = bench_scale(&[12], &[1], 2, Parallelism::Fixed(3));
+        // Timings differ run to run; with an infinite tolerance the only
+        // gates left are the deterministic ones, which must all hold.
+        let outcome = check_against(&committed, &fresh, f64::INFINITY);
+        assert!(outcome.is_pass(), "failures: {:?}", outcome.hard_failures);
+        // Thread count differs → advisory, never a failure.
+        assert!(outcome.advisories.iter().any(|a| a.contains("thread count")));
+    }
+
+    #[test]
+    fn check_flags_checksum_and_grid_divergence_as_hard() {
+        let committed = bench_scale(&[12], &[1], 2, Parallelism::Fixed(2));
+        let mut fresh = committed.clone();
+        fresh.points[0].checksum += 1.0;
+        let outcome = check_against(&committed, &fresh, f64::INFINITY);
+        assert!(!outcome.is_pass());
+        assert!(outcome.hard_failures[0].contains("checksum diverged"));
+
+        let mut regridded = committed.clone();
+        regridded.ns = vec![13];
+        let outcome = check_against(&committed, &regridded, f64::INFINITY);
+        assert!(outcome.hard_failures.iter().any(|f| f.contains("grid mismatch")));
+    }
+
+    #[test]
+    fn check_reports_slow_timings_as_advisory() {
+        let committed = bench_scale(&[12], &[1], 2, Parallelism::Fixed(2));
+        let mut fresh = committed.clone();
+        fresh.points[0].sequential_ms = committed.points[0].sequential_ms * 100.0 + 1.0;
+        let outcome = check_against(&committed, &fresh, 1.5);
+        assert!(outcome.is_pass(), "slow timing must not fail the check");
+        assert!(outcome.advisories.iter().any(|a| a.contains("sequential timing")));
     }
 }

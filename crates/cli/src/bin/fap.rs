@@ -2,18 +2,27 @@
 //!
 //! ```text
 //! fap solve <scenario.json>              solve and print the allocation
+//! fap run <scenario.json>                alias for solve
 //! fap simulate <scenario.json>           solve, then measure with the DES
 //! fap sim <scenario.json> [chaos.json]   run the protocol under faults
+//! fap report <metrics.jsonl>             summarize an exported metrics file
 //! fap sweep-k <scenario.json> <k,k,...>  the §8.2 k trade-off
 //! fap bench-scale [out.json]             seq-vs-parallel scaling sweep
+//! fap bench-scale --check [committed]    re-run and verify determinism
 //! fap example                            print a template scenario
 //! fap chaos-example                      print a template fault plan
 //! ```
+//!
+//! `solve`, `run` and `sim` accept `--metrics-out <path.jsonl>` to export
+//! the run's telemetry and `--metrics-summary` to print the metrics table.
+//! Telemetry runs on virtual time (iterations/rounds), so two runs of the
+//! same seeded scenario export byte-identical JSONL.
 
 use std::path::Path;
 use std::process::ExitCode;
 
-use fap_cli::{chaos_sim, simulate, solve, sweep_k, Scenario};
+use fap_cli::{chaos_sim_observed, simulate, solve_observed, summarize, sweep_k, Scenario};
+use fap_obs::Telemetry;
 use fap_runtime::ChaosPlan;
 
 fn main() -> ExitCode {
@@ -30,25 +39,81 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  fap solve <scenario.json>
+  fap solve <scenario.json> [--metrics-out <path.jsonl>] [--metrics-summary]
+  fap run   <scenario.json> [--metrics-out <path.jsonl>] [--metrics-summary]
   fap simulate <scenario.json>
-  fap sim <scenario.json> [chaos.json]
+  fap sim <scenario.json> [chaos.json] [--metrics-out <path.jsonl>] [--metrics-summary]
+  fap report <metrics.jsonl>
   fap sweep-k <scenario.json> <k1,k2,...>
   fap bench-scale [out.json]
+  fap bench-scale --check [committed.json]
   fap example
   fap chaos-example";
 
+/// Telemetry flags shared by `solve`/`run`/`sim`.
+#[derive(Debug, Default)]
+struct MetricsOptions {
+    out: Option<String>,
+    summary: bool,
+}
+
+impl MetricsOptions {
+    fn requested(&self) -> bool {
+        self.out.is_some() || self.summary
+    }
+
+    /// Exports and/or prints `telemetry` as the flags requested.
+    fn finish(&self, telemetry: &Telemetry) -> Result<(), String> {
+        if let Some(path) = &self.out {
+            std::fs::write(path, telemetry.to_jsonl())
+                .map_err(|e| format!("writing {path}: {e}"))?;
+        }
+        if self.summary {
+            print!("{}", telemetry.summary());
+        }
+        Ok(())
+    }
+}
+
+/// Splits `--metrics-out <path>` / `--metrics-summary` out of the raw
+/// argument list, leaving the positional arguments.
+fn extract_metrics_flags(args: &[String]) -> Result<(Vec<String>, MetricsOptions), String> {
+    let mut positional = Vec::new();
+    let mut options = MetricsOptions::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--metrics-out" => {
+                let path = iter.next().ok_or("--metrics-out requires a path")?;
+                options.out = Some(path.clone());
+            }
+            "--metrics-summary" => options.summary = true,
+            _ => positional.push(arg.clone()),
+        }
+    }
+    Ok((positional, options))
+}
+
 fn run(args: &[String]) -> Result<(), String> {
-    match args {
+    let (args, metrics) = extract_metrics_flags(args)?;
+    if metrics.requested()
+        && !matches!(args.first().map(String::as_str), Some("solve" | "run" | "sim"))
+    {
+        return Err("--metrics-out/--metrics-summary only apply to solve, run and sim".into());
+    }
+    match &args[..] {
         [] => Err("no command given".into()),
         [cmd, rest @ ..] => match (cmd.as_str(), rest) {
             ("example", []) => {
                 println!("{}", Scenario::example().to_json());
                 Ok(())
             }
-            ("solve", [path]) => {
+            ("solve" | "run", [path]) => {
                 let scenario = Scenario::load(Path::new(path)).map_err(|e| e.to_string())?;
-                let output = solve(&scenario).map_err(|e| e.to_string())?;
+                let mut telemetry = Telemetry::manual();
+                let output =
+                    solve_observed(&scenario, &mut telemetry).map_err(|e| e.to_string())?;
+                metrics.finish(&telemetry)?;
                 println!("converged:  {} ({} iterations)", output.converged, output.iterations);
                 println!("cost:       {:.6}", output.cost);
                 println!("reference:  {:.6} (gap {:.2e})", output.reference_cost, output.reference_gap);
@@ -101,11 +166,50 @@ fn run(args: &[String]) -> Result<(), String> {
                     }
                     _ => ChaosPlan::new(0),
                 };
-                let report = chaos_sim(&scenario, plan).map_err(|e| e.to_string())?;
+                let mut telemetry = Telemetry::manual();
+                let report = chaos_sim_observed(&scenario, plan, &mut telemetry)
+                    .map_err(|e| e.to_string())?;
+                metrics.finish(&telemetry)?;
                 let json = serde_json::to_string_pretty(&report)
                     .map_err(|e| e.to_string())?;
                 println!("{json}");
                 Ok(())
+            }
+            ("report", [path]) => {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("reading {path}: {e}"))?;
+                let summary = summarize(&text).map_err(|e| format!("{path}: {e}"))?;
+                print!("{}", fap_cli::render(&summary));
+                Ok(())
+            }
+            ("bench-scale", [first, rest @ ..]) if first == "--check" && rest.len() <= 1 => {
+                let path = rest.first().map_or("BENCH_scale.json", String::as_str);
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("reading {path}: {e}"))?;
+                let committed: fap_bench::scale::ScaleReport =
+                    serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+                let fresh = fap_bench::scale::bench_scale(
+                    &committed.ns,
+                    &committed.ms,
+                    committed.iterations,
+                    fap_batch::Parallelism::Auto,
+                );
+                let outcome = fap_bench::scale::check_against(&committed, &fresh, 1.5);
+                for advisory in &outcome.advisories {
+                    println!("advisory: {advisory}");
+                }
+                if outcome.is_pass() {
+                    println!(
+                        "bench-scale check passed: {} points bit-identical to {path}",
+                        committed.points.len()
+                    );
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "bench-scale check failed:\n  {}",
+                        outcome.hard_failures.join("\n  ")
+                    ))
+                }
             }
             ("bench-scale", rest) if rest.len() <= 1 => {
                 let out = rest.first().map_or("BENCH_scale.json", String::as_str);

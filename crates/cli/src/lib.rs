@@ -10,10 +10,15 @@
 //! fap solve scenario.json            # optimal allocation + cost
 //! fap simulate scenario.json        # measure the optimum empirically
 //! fap sim scenario.json chaos.json  # run the protocol under injected faults
+//! fap report metrics.jsonl          # summarize an exported telemetry file
 //! fap sweep-k scenario.json 0.1,1,10  # the §8.2 k trade-off
 //! fap example                        # print a template scenario
 //! fap chaos-example                  # print a template fault plan
 //! ```
+//!
+//! `solve`/`run` and `sim` take `--metrics-out <path.jsonl>` and
+//! `--metrics-summary` to export structured telemetry (see `fap-obs`); the
+//! export runs on virtual time, so seeded runs reproduce byte-for-byte.
 //!
 //! `serde_json` is a dependency of this crate only (justification in
 //! DESIGN.md: the CLI needs a concrete config format; the libraries stay
@@ -22,8 +27,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod report;
 pub mod run;
 pub mod scenario;
 
-pub use run::{chaos_sim, simulate, solve, sweep_k, SolveOutput};
+pub use report::{render, summarize, ReportSummary};
+pub use run::{chaos_sim, chaos_sim_observed, simulate, solve, solve_observed, sweep_k, SolveOutput};
 pub use scenario::{Scenario, ScenarioError, Topology};

@@ -1,0 +1,243 @@
+//! `fap report`: summarizing an exported metrics JSONL file.
+//!
+//! The input is the stream written by `fap run --metrics-out` or
+//! `fap sim --metrics-out` (events first, then the registry snapshot — see
+//! `fap_obs::jsonl`). The summary answers the three questions the ISSUE
+//! poses of a run: how many iterations/rounds until convergence, how many
+//! faults of each type were injected, and what the round-trip report
+//! latency distribution looked like (exact p50/p99 over the per-delivery
+//! latencies, falling back to the histogram snapshot when the event stream
+//! was truncated).
+
+use std::fmt::Write as _;
+
+use fap_obs::jsonl::{parse_line, Scalar};
+
+/// The digested content of one metrics JSONL file.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ReportSummary {
+    /// Iterations (solver) or rounds (simulator) until the run ended, from
+    /// the final `run_end` event.
+    pub iterations: Option<u64>,
+    /// Whether the run converged, from the final `run_end` event.
+    pub converged: Option<bool>,
+    /// Every `sim.*` counter in file order — the per-fault-type counts plus
+    /// the traffic totals.
+    pub fault_counts: Vec<(String, u64)>,
+    /// Exact median report latency in rounds, over `delivery` events.
+    pub latency_p50: Option<f64>,
+    /// Exact 99th-percentile report latency in rounds.
+    pub latency_p99: Option<f64>,
+    /// Number of completed deliveries the latency quantiles are over.
+    pub deliveries: usize,
+    /// Total event lines in the file.
+    pub events: usize,
+    /// Total lines in the file.
+    pub lines: usize,
+}
+
+fn field<'a>(fields: &'a [(String, Scalar)], name: &str) -> Option<&'a Scalar> {
+    fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}
+
+/// Nearest-rank quantile over an ascending-sorted slice.
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    let index = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[index]
+}
+
+/// Parses and digests a metrics JSONL stream.
+///
+/// # Errors
+///
+/// Returns a message naming the first malformed line.
+pub fn summarize(text: &str) -> Result<ReportSummary, String> {
+    let mut summary = ReportSummary::default();
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut histogram_fallback: Option<(f64, f64)> = None;
+    for (number, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        summary.lines += 1;
+        let fields =
+            parse_line(line).ok_or_else(|| format!("line {}: malformed JSONL", number + 1))?;
+        if let Some(Scalar::Str(event)) = field(&fields, "event") {
+            summary.events += 1;
+            match event.as_str() {
+                "run_end" => {
+                    // The simulator reports rounds, the solvers iterations.
+                    summary.iterations = field(&fields, "rounds")
+                        .or_else(|| field(&fields, "iterations"))
+                        .and_then(Scalar::as_i64)
+                        .map(|v| v as u64);
+                    summary.converged = match field(&fields, "converged") {
+                        Some(Scalar::Bool(b)) => Some(*b),
+                        _ => None,
+                    };
+                }
+                "delivery" => {
+                    if let Some(latency) = field(&fields, "latency").and_then(Scalar::as_f64) {
+                        latencies.push(latency);
+                    }
+                }
+                _ => {}
+            }
+        } else if let Some(Scalar::Str(name)) = field(&fields, "counter") {
+            if name.starts_with("sim.") {
+                let value =
+                    field(&fields, "value").and_then(Scalar::as_i64).unwrap_or(0) as u64;
+                summary.fault_counts.push((name.clone(), value));
+            }
+        } else if let Some(Scalar::Str(name)) = field(&fields, "hist") {
+            if name == "sim.report_latency_rounds" {
+                let p50 = field(&fields, "p50").and_then(Scalar::as_f64);
+                let p99 = field(&fields, "p99").and_then(Scalar::as_f64);
+                if let (Some(p50), Some(p99)) = (p50, p99) {
+                    histogram_fallback = Some((p50, p99));
+                }
+            }
+        }
+    }
+    if latencies.is_empty() {
+        if let Some((p50, p99)) = histogram_fallback {
+            summary.latency_p50 = Some(p50);
+            summary.latency_p99 = Some(p99);
+        }
+    } else {
+        latencies.sort_by(f64::total_cmp);
+        summary.deliveries = latencies.len();
+        summary.latency_p50 = Some(quantile(&latencies, 0.50));
+        summary.latency_p99 = Some(quantile(&latencies, 0.99));
+    }
+    Ok(summary)
+}
+
+/// Renders a summary the way `fap report` prints it.
+pub fn render(summary: &ReportSummary) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{} lines, {} events", summary.lines, summary.events);
+    match (summary.iterations, summary.converged) {
+        (Some(n), Some(true)) => {
+            let _ = writeln!(out, "run:      converged after {n} iterations");
+        }
+        (Some(n), Some(false)) => {
+            let _ = writeln!(out, "run:      stopped without converging after {n} iterations");
+        }
+        (Some(n), None) => {
+            let _ = writeln!(out, "run:      ended after {n} iterations");
+        }
+        _ => {
+            let _ = writeln!(out, "run:      no run_end event found");
+        }
+    }
+    if summary.fault_counts.is_empty() {
+        let _ = writeln!(out, "faults:   no sim.* counters found");
+    } else {
+        let _ = writeln!(out, "faults:");
+        let width =
+            summary.fault_counts.iter().map(|(name, _)| name.len()).max().unwrap_or(0);
+        for (name, value) in &summary.fault_counts {
+            let _ = writeln!(out, "  {name:<width$}  {value}");
+        }
+    }
+    match (summary.latency_p50, summary.latency_p99) {
+        (Some(p50), Some(p99)) if summary.deliveries > 0 => {
+            let _ = writeln!(
+                out,
+                "latency:  p50 {p50} rounds, p99 {p99} rounds ({} deliveries)",
+                summary.deliveries
+            );
+        }
+        (Some(p50), Some(p99)) => {
+            let _ = writeln!(
+                out,
+                "latency:  p50 {p50} rounds, p99 {p99} rounds (histogram buckets)"
+            );
+        }
+        _ => {
+            let _ = writeln!(out, "latency:  no delivery data found");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::chaos_sim_observed;
+    use crate::Scenario;
+    use fap_obs::Telemetry;
+    use fap_runtime::ChaosPlan;
+
+    fn sim_jsonl(seed: u64) -> String {
+        let scenario = Scenario::example();
+        let plan = ChaosPlan::new(seed)
+            .with_drop(0.2)
+            .with_delay(0.2, 3)
+            .with_staleness_bound(2)
+            .with_retries(1);
+        let mut telemetry = Telemetry::manual();
+        chaos_sim_observed(&scenario, plan, &mut telemetry).unwrap();
+        telemetry.to_jsonl()
+    }
+
+    #[test]
+    fn summarizes_a_recorded_sim_run() {
+        let jsonl = sim_jsonl(11);
+        let summary = summarize(&jsonl).unwrap();
+        assert!(summary.iterations.is_some(), "run_end must be found");
+        assert_eq!(summary.converged, Some(true));
+        assert!(summary.deliveries > 0);
+        let p50 = summary.latency_p50.unwrap();
+        let p99 = summary.latency_p99.unwrap();
+        assert!(p50 <= p99);
+        let dropped = summary
+            .fault_counts
+            .iter()
+            .find(|(name, _)| name == "sim.dropped")
+            .map(|(_, v)| *v)
+            .unwrap();
+        assert!(dropped > 0, "the drop-heavy plan must record drops");
+
+        let rendered = render(&summary);
+        assert!(rendered.contains("converged after"));
+        assert!(rendered.contains("sim.dropped"));
+        assert!(rendered.contains("p99"));
+    }
+
+    #[test]
+    fn falls_back_to_the_histogram_when_events_are_absent() {
+        let jsonl = sim_jsonl(11);
+        // Keep only the registry snapshot (counter/gauge/hist lines).
+        let registry_only: String = jsonl
+            .lines()
+            .filter(|l| !l.contains("\"event\""))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let summary = summarize(&registry_only).unwrap();
+        assert_eq!(summary.deliveries, 0);
+        assert!(summary.latency_p50.is_some(), "histogram fallback must kick in");
+        assert!(summary.iterations.is_none());
+    }
+
+    #[test]
+    fn rejects_malformed_lines_with_a_line_number() {
+        let err = summarize("{\"counter\":\"sim.sent\",\"value\":1}\nnot json\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn quantiles_are_exact_over_the_deliveries() {
+        let mut jsonl = String::new();
+        for latency in [0, 0, 0, 1, 4] {
+            jsonl.push_str(&format!(
+                "{{\"t\":1,\"event\":\"delivery\",\"round\":1,\"from\":0,\"latency\":{latency}}}\n"
+            ));
+        }
+        let summary = summarize(&jsonl).unwrap();
+        assert_eq!(summary.deliveries, 5);
+        assert_eq!(summary.latency_p50, Some(0.0));
+        assert_eq!(summary.latency_p99, Some(4.0));
+    }
+}

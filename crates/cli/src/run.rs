@@ -4,6 +4,7 @@ use serde::{Deserialize, Serialize};
 
 use fap_core::{reference, tuning, SingleFileProblem};
 use fap_econ::{ResourceDirectedOptimizer, StepSize};
+use fap_obs::{NoopRecorder, Recorder};
 use fap_queue::{NetworkSimulation, ServiceDistribution, SimReport};
 use fap_runtime::{ChaosPlan, ExchangeScheme, SimReport as ChaosReport, SimRun};
 
@@ -42,13 +43,28 @@ fn problem_of(scenario: &Scenario) -> Result<SingleFileProblem, ScenarioError> {
 /// Returns [`ScenarioError::Invalid`] if the scenario cannot be built or
 /// the solve fails.
 pub fn solve(scenario: &Scenario) -> Result<SolveOutput, ScenarioError> {
+    self::solve_observed(scenario, &mut NoopRecorder)
+}
+
+/// Like [`solve`], recording the optimizer's per-iteration telemetry
+/// (`econ.*` counters, gauges and `iter`/`run_end` events) into `recorder`.
+/// Virtual time is the iteration counter, so with a manual-clock
+/// [`fap_obs::Telemetry`] the emitted stream is deterministic.
+///
+/// # Errors
+///
+/// Same conditions as [`solve`].
+pub fn solve_observed(
+    scenario: &Scenario,
+    recorder: &mut dyn Recorder,
+) -> Result<SolveOutput, ScenarioError> {
     let problem = problem_of(scenario)?;
     let n = scenario.topology.node_count();
     let initial = scenario.initial.clone().unwrap_or_else(|| vec![1.0 / n as f64; n]);
     let solution = ResourceDirectedOptimizer::new(StepSize::Fixed(scenario.alpha))
         .with_epsilon(scenario.epsilon)
         .with_max_iterations(1_000_000)
-        .run(&problem, &initial)
+        .run_observed(&problem, &initial, recorder)
         .map_err(|e| ScenarioError::Invalid(e.to_string()))?;
     let exact = reference::solve(&problem).map_err(|e| ScenarioError::Invalid(e.to_string()))?;
     Ok(SolveOutput {
@@ -102,6 +118,23 @@ pub fn simulate(scenario: &Scenario) -> Result<(SolveOutput, SimReport), Scenari
 /// Returns [`ScenarioError::Invalid`] if the scenario or the plan cannot
 /// be built, or the run gets stuck.
 pub fn chaos_sim(scenario: &Scenario, plan: ChaosPlan) -> Result<ChaosReport, ScenarioError> {
+    chaos_sim_observed(scenario, plan, &mut NoopRecorder)
+}
+
+/// Like [`chaos_sim`], recording the run's telemetry (`sim.*` fault
+/// counters, the round-latency histogram and the per-round event stream)
+/// into `recorder`. All measurements are on virtual (round) time, so for a
+/// fixed scenario and plan the stream is byte-reproducible: two runs with
+/// the same seed serialize to identical JSONL.
+///
+/// # Errors
+///
+/// Same conditions as [`chaos_sim`].
+pub fn chaos_sim_observed(
+    scenario: &Scenario,
+    plan: ChaosPlan,
+    recorder: &mut dyn Recorder,
+) -> Result<ChaosReport, ScenarioError> {
     let problem = problem_of(scenario)?;
     let n = scenario.topology.node_count();
     let initial = scenario.initial.clone().unwrap_or_else(|| vec![1.0 / n as f64; n]);
@@ -109,7 +142,7 @@ pub fn chaos_sim(scenario: &Scenario, plan: ChaosPlan) -> Result<ChaosReport, Sc
         .with_epsilon(scenario.epsilon)
         .with_max_rounds(1_000_000)
         .with_chaos(plan)
-        .run(&initial)
+        .run_observed(&initial, recorder)
         .map_err(|e| ScenarioError::Invalid(e.to_string()))
 }
 
@@ -194,6 +227,41 @@ mod tests {
         let report = chaos_sim(&scenario, plan).unwrap();
         assert!(report.converged);
         assert!(report.faults.dropped > 0);
+    }
+
+    #[test]
+    fn observed_solve_matches_and_records_iterations() {
+        let scenario = Scenario::example();
+        let plain = solve(&scenario).unwrap();
+        let mut telemetry = fap_obs::Telemetry::manual();
+        let observed = solve_observed(&scenario, &mut telemetry).unwrap();
+        assert_eq!(plain, observed, "recording must not perturb the solve");
+        assert_eq!(
+            telemetry.registry().counter("econ.iterations"),
+            (observed.iterations + 1) as u64
+        );
+        assert_eq!(telemetry.events().last().unwrap().name(), "run_end");
+    }
+
+    #[test]
+    fn observed_chaos_sim_exports_reproducible_jsonl() {
+        let scenario = Scenario::example();
+        let plan = ChaosPlan::new(11).with_drop(0.2).with_staleness_bound(2).with_retries(1);
+        let record = |plan: ChaosPlan| {
+            let mut telemetry = fap_obs::Telemetry::manual();
+            let report = chaos_sim_observed(&scenario, plan, &mut telemetry).unwrap();
+            (report, telemetry.to_jsonl())
+        };
+        let (report_a, jsonl_a) = record(plan.clone());
+        let (report_b, jsonl_b) = record(plan);
+        assert_eq!(report_a, report_b);
+        assert_eq!(jsonl_a, jsonl_b, "seeded sim telemetry must be byte-identical");
+        assert!(jsonl_a.contains("\"counter\":\"sim.dropped\""));
+        // The plain path is the observed path with a no-op recorder.
+        let plain =
+            chaos_sim(&scenario, ChaosPlan::new(11).with_drop(0.2).with_staleness_bound(2).with_retries(1))
+                .unwrap();
+        assert_eq!(plain, report_a);
     }
 
     #[test]

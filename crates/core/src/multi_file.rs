@@ -16,12 +16,15 @@
 //! applies the §5.2 step to each file's allocation with the coupled
 //! gradients.
 
+use std::time::Instant;
+
 use fap_batch::{Matrix, Parallelism};
 use serde::{Deserialize, Serialize};
 
 use fap_econ::projection::{compute_step_into, BoundaryRule, StepWorkspace};
 use fap_econ::EconError;
 use fap_net::{AccessPattern, Graph};
+use fap_obs::{NoopRecorder, Recorder, Value};
 
 use crate::error::CoreError;
 
@@ -343,6 +346,43 @@ impl MultiFileProblem {
         parallelism: Parallelism,
         scratch: &mut MultiFileScratch,
     ) -> Result<MultiFileSolution, CoreError> {
+        self.solve_observed(
+            initial,
+            alpha,
+            epsilon,
+            max_iterations,
+            parallelism,
+            scratch,
+            &mut NoopRecorder,
+        )
+    }
+
+    /// Like [`MultiFileProblem::solve_with_scratch`], recording telemetry
+    /// into `recorder`: the `core.node_threads` / `core.file_threads` fan-out
+    /// gauges, per-chunk wall timings in the `core.node_chunk_ns` /
+    /// `core.file_chunk_ns` histograms, the `core.iterations` counter, one
+    /// `core.iter` event per iteration (cost and marginal spread) and a final
+    /// `core.run_end` event. Virtual time is set to the iteration count.
+    ///
+    /// Wall-clock timings are only measured when `recorder.is_enabled()`, so
+    /// with a [`NoopRecorder`] this is exactly the unobserved solve: same
+    /// bits, same allocation behaviour. Recording does not perturb the
+    /// computation — the solution is bit-identical with any recorder.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MultiFileProblem::solve`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn solve_observed(
+        &self,
+        initial: &[Vec<f64>],
+        alpha: f64,
+        epsilon: f64,
+        max_iterations: usize,
+        parallelism: Parallelism,
+        scratch: &mut MultiFileScratch,
+        recorder: &mut dyn Recorder,
+    ) -> Result<MultiFileSolution, CoreError> {
         if !alpha.is_finite() || alpha <= 0.0 {
             return Err(CoreError::InvalidParameter(format!("alpha {alpha}")));
         }
@@ -380,22 +420,36 @@ impl MultiFileProblem {
             x.row_mut(j).copy_from_slice(xj);
         }
         let mut iterations = 0usize;
+        let enabled = recorder.is_enabled();
+        if enabled {
+            recorder.gauge("core.node_threads", node_threads as f64);
+            recorder.gauge("core.file_threads", file_threads as f64);
+        }
 
         loop {
+            recorder.set_time(iterations as u64);
             // Node pass: loads, delay terms and per-node cost partials.
             if node_threads <= 1 {
+                let start = enabled.then(Instant::now);
                 self.node_pass(x, 0, delay, coup, node_cost)?;
+                if let Some(start) = start {
+                    recorder.observe("core.node_chunk_ns", start.elapsed().as_nanos() as f64);
+                }
             } else {
                 let chunk = n.div_ceil(node_threads);
                 let x_ref: &Matrix = x;
-                let results: Vec<Result<(), CoreError>> = std::thread::scope(|scope| {
+                let results: Vec<(Result<(), CoreError>, u64)> = std::thread::scope(|scope| {
                     let handles: Vec<_> = delay
                         .chunks_mut(chunk)
                         .zip(coup.chunks_mut(chunk))
                         .zip(node_cost.chunks_mut(chunk))
                         .enumerate()
                         .map(|(index, ((d, c), nc))| {
-                            scope.spawn(move || self.node_pass(x_ref, index * chunk, d, c, nc))
+                            scope.spawn(move || {
+                                let start = enabled.then(Instant::now);
+                                let result = self.node_pass(x_ref, index * chunk, d, c, nc);
+                                (result, start.map_or(0, |s| s.elapsed().as_nanos() as u64))
+                            })
                         })
                         .collect();
                     handles
@@ -403,7 +457,14 @@ impl MultiFileProblem {
                         .map(|h| h.join().expect("node-pass worker panicked"))
                         .collect()
                 });
-                for result in results {
+                // Timings first (in chunk order), so an over-capacity error
+                // still leaves a complete timing record for the pass.
+                if enabled {
+                    for (_, ns) in &results {
+                        recorder.observe("core.node_chunk_ns", *ns as f64);
+                    }
+                }
+                for (result, _) in results {
                     result?;
                 }
             }
@@ -417,6 +478,7 @@ impl MultiFileProblem {
             // boundary with no incentive to rejoin (the same condition the
             // single-file engine checks).
             if file_threads <= 1 {
+                let start = enabled.then(Instant::now);
                 self.file_pass(
                     x,
                     delay,
@@ -430,55 +492,83 @@ impl MultiFileProblem {
                     file_kkt,
                     &mut workers[0],
                 );
+                if let Some(start) = start {
+                    recorder.observe("core.file_chunk_ns", start.elapsed().as_nanos() as f64);
+                }
             } else {
                 let chunk_files = m.div_ceil(file_threads);
                 let x_ref: &Matrix = x;
                 let (delay_ref, coup_ref, weights_ref) = (&*delay, &*coup, &*weights);
-                std::thread::scope(|scope| {
-                    for ((((index, step_chunk), spread_chunk), kkt_chunk), worker) in steps
+                let timings: Vec<u64> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = steps
                         .as_mut_slice()
                         .chunks_mut(chunk_files * n)
                         .enumerate()
                         .zip(file_spread.chunks_mut(chunk_files))
                         .zip(file_kkt.chunks_mut(chunk_files))
                         .zip(workers.iter_mut())
-                    {
-                        scope.spawn(move || {
-                            self.file_pass(
-                                x_ref,
-                                delay_ref,
-                                coup_ref,
-                                weights_ref,
-                                alpha,
-                                epsilon,
-                                index * chunk_files,
-                                step_chunk,
-                                spread_chunk,
-                                kkt_chunk,
-                                worker,
-                            );
-                        });
-                    }
+                        .map(|((((index, step_chunk), spread_chunk), kkt_chunk), worker)| {
+                            scope.spawn(move || {
+                                let start = enabled.then(Instant::now);
+                                self.file_pass(
+                                    x_ref,
+                                    delay_ref,
+                                    coup_ref,
+                                    weights_ref,
+                                    alpha,
+                                    epsilon,
+                                    index * chunk_files,
+                                    step_chunk,
+                                    spread_chunk,
+                                    kkt_chunk,
+                                    worker,
+                                );
+                                start.map_or(0, |s| s.elapsed().as_nanos() as u64)
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("file-pass worker panicked"))
+                        .collect()
                 });
+                if enabled {
+                    for ns in timings {
+                        recorder.observe("core.file_chunk_ns", ns as f64);
+                    }
+                }
             }
             // Deterministic reductions in file-index order.
             let spread = file_spread.iter().fold(0.0f64, |a, &s| a.max(s));
             let kkt_ok = file_kkt.iter().all(|ok| *ok);
-
-            if spread < epsilon && kkt_ok {
-                return Ok(MultiFileSolution {
-                    allocations: x.to_nested(),
-                    iterations,
-                    converged: true,
-                    final_cost: cost,
-                    cost_series: cost_series.clone(),
-                });
+            if enabled {
+                recorder.incr("core.iterations", 1);
+                recorder.emit(
+                    "core.iter",
+                    &[
+                        ("iteration", Value::U64(iterations as u64)),
+                        ("cost", Value::F64(cost)),
+                        ("spread", Value::F64(spread)),
+                    ],
+                );
             }
-            if iterations >= max_iterations {
+
+            let converged = spread < epsilon && kkt_ok;
+            if converged || iterations >= max_iterations {
+                if enabled {
+                    recorder.emit(
+                        "core.run_end",
+                        &[
+                            ("iterations", Value::U64(iterations as u64)),
+                            ("converged", Value::Bool(converged)),
+                            ("final_cost", Value::F64(cost)),
+                        ],
+                    );
+                }
                 return Ok(MultiFileSolution {
                     allocations: x.to_nested(),
                     iterations,
-                    converged: false,
+                    converged,
                     final_cost: cost,
                     cost_series: cost_series.clone(),
                 });
@@ -792,6 +882,72 @@ mod tests {
                 .unwrap_err();
             assert_eq!(format!("{seq:?}"), format!("{par:?}"), "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn observed_solve_is_bit_identical_and_records_every_iteration() {
+        let graph = ring4();
+        let pa = AccessPattern::uniform(4, 0.5).unwrap();
+        let pb = AccessPattern::hotspot(4, 0.4, fap_net::NodeId::new(1), 0.6).unwrap();
+        let m = MultiFileProblem::mm1(&graph, &[pa, pb], 1.5, 1.0).unwrap();
+        let initial = vec![vec![1.0, 0.0, 0.0, 0.0], vec![0.0, 0.5, 0.5, 0.0]];
+        let plain = m.solve(&initial, 0.05, 1e-6, 2_000).unwrap();
+
+        let mut tele = fap_obs::Telemetry::manual();
+        let mut scratch = MultiFileScratch::new();
+        let observed = m
+            .solve_observed(
+                &initial,
+                0.05,
+                1e-6,
+                2_000,
+                Parallelism::Sequential,
+                &mut scratch,
+                &mut tele,
+            )
+            .unwrap();
+        assert_eq!(plain, observed, "recording must not perturb the solve");
+
+        // One loop pass per applied step plus the final converged pass.
+        let passes = (observed.iterations + 1) as u64;
+        assert_eq!(tele.registry().counter("core.iterations"), passes);
+        assert_eq!(tele.events().len(), passes as usize + 1);
+        let last = tele.events().last().unwrap();
+        assert_eq!(last.name(), "core.run_end");
+        assert_eq!(tele.registry().gauge_value("core.node_threads"), Some(1.0));
+        let node_ns = tele.registry().histogram("core.node_chunk_ns").unwrap();
+        assert_eq!(node_ns.count(), passes);
+        let file_ns = tele.registry().histogram("core.file_chunk_ns").unwrap();
+        assert_eq!(file_ns.count(), passes);
+    }
+
+    #[test]
+    fn observed_parallel_solve_matches_sequential_and_times_chunks() {
+        let graph = ring4();
+        let pa = AccessPattern::uniform(4, 0.5).unwrap();
+        let pb = AccessPattern::hotspot(4, 0.4, fap_net::NodeId::new(1), 0.6).unwrap();
+        let m = MultiFileProblem::mm1(&graph, &[pa, pb], 1.5, 1.0).unwrap();
+        let initial = vec![vec![1.0, 0.0, 0.0, 0.0], vec![0.0, 0.5, 0.5, 0.0]];
+        let seq = m.solve(&initial, 0.05, 1e-6, 2_000).unwrap();
+
+        let mut tele = fap_obs::Telemetry::manual();
+        let mut scratch = MultiFileScratch::new();
+        let observed = m
+            .solve_observed(
+                &initial,
+                0.05,
+                1e-6,
+                2_000,
+                Parallelism::Fixed(3),
+                &mut scratch,
+                &mut tele,
+            )
+            .unwrap();
+        assert_eq!(seq, observed, "observed parallel solve must stay bit-identical");
+        assert_eq!(tele.registry().gauge_value("core.node_threads"), Some(3.0));
+        assert_eq!(tele.registry().gauge_value("core.file_threads"), Some(2.0));
+        assert!(tele.registry().histogram("core.node_chunk_ns").unwrap().count() > 0);
+        assert!(tele.registry().histogram("core.file_chunk_ns").unwrap().count() > 0);
     }
 
     #[test]

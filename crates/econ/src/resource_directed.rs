@@ -9,6 +9,7 @@
 //! agree to within ε — the first-order optimality condition of the
 //! underlying convex program (§5.3).
 
+use fap_obs::{NoopRecorder, Recorder, Value};
 use serde::{Deserialize, Serialize};
 
 use crate::convergence::{marginal_spread, OscillationDetector};
@@ -79,6 +80,18 @@ pub enum Termination {
     Stalled,
 }
 
+impl Termination {
+    /// A stable lowercase label for telemetry and event output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Termination::MarginalSpread => "marginal_spread",
+            Termination::CostDelta => "cost_delta",
+            Termination::MaxIterations => "max_iterations",
+            Termination::Stalled => "stalled",
+        }
+    }
+}
+
 /// The result of an optimization run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Solution {
@@ -128,6 +141,33 @@ pub(crate) struct Engine {
     pub weight_mode: WeightMode,
 }
 
+/// Emits the engine's end-of-run event (every return path reports one, so
+/// recorded streams always close with the outcome).
+fn emit_run_end(
+    recorder: &mut dyn Recorder,
+    iterations: usize,
+    termination: Termination,
+    converged: bool,
+    utility: f64,
+    spread: f64,
+) {
+    recorder.emit(
+        "run_end",
+        &[
+            ("iterations", Value::U64(iterations as u64)),
+            ("termination", Value::Str(termination.label())),
+            ("converged", Value::Bool(converged)),
+            ("final_utility", Value::F64(utility)),
+            ("spread", Value::F64(spread)),
+        ],
+    );
+}
+
+/// L2 norm, computed only on instrumented paths.
+fn l2_norm(values: &[f64]) -> f64 {
+    values.iter().map(|v| v * v).sum::<f64>().sqrt()
+}
+
 impl Engine {
     pub(crate) fn run<P: AllocationProblem + ?Sized>(
         &self,
@@ -135,7 +175,7 @@ impl Engine {
         initial: &[f64],
     ) -> Result<Solution, EconError> {
         let mut scratch = OptimizerScratch::new();
-        self.run_with_scratch(problem, initial, &mut scratch)
+        self.run_recorded(problem, initial, &mut scratch, &mut NoopRecorder)
     }
 
     pub(crate) fn run_with_scratch<P: AllocationProblem + ?Sized>(
@@ -143,6 +183,16 @@ impl Engine {
         problem: &P,
         initial: &[f64],
         scratch: &mut OptimizerScratch,
+    ) -> Result<Solution, EconError> {
+        self.run_recorded(problem, initial, scratch, &mut NoopRecorder)
+    }
+
+    pub(crate) fn run_recorded<P: AllocationProblem + ?Sized>(
+        &self,
+        problem: &P,
+        initial: &[f64],
+        scratch: &mut OptimizerScratch,
+        recorder: &mut dyn Recorder,
     ) -> Result<Solution, EconError> {
         self.step.validate()?;
         if !self.epsilon.is_finite() || self.epsilon <= 0.0 {
@@ -198,9 +248,37 @@ impl Engine {
                 trace.record_allocation(x);
             }
 
+            // Telemetry. Iteration/virtual time is the iteration counter;
+            // derived measurements (norms) are computed only when a real
+            // sink is attached, so the NoopRecorder path does no extra work.
+            recorder.set_time(iterations as u64);
+            if recorder.is_enabled() {
+                let active_count = step.active_count();
+                recorder.incr("econ.iterations", 1);
+                let clipped = n - active_count;
+                if clipped > 0 {
+                    recorder.incr("econ.projection_clips", clipped as u64);
+                }
+                recorder.observe("econ.active_set_size", active_count as f64);
+                recorder.gauge("econ.alpha", alpha);
+                recorder.emit(
+                    "iter",
+                    &[
+                        ("iteration", Value::U64(iterations as u64)),
+                        ("utility", Value::F64(utility)),
+                        ("spread", Value::F64(spread)),
+                        ("alpha", Value::F64(alpha)),
+                        ("grad_norm", Value::F64(l2_norm(g))),
+                        ("step_norm", Value::F64(l2_norm(step.deltas()))),
+                        ("active", Value::U64(active_count as u64)),
+                    ],
+                );
+            }
+
             // Termination: the paper's ε-criterion on active marginals, plus
             // complementary slackness for excluded (boundary) agents.
             if spread < self.epsilon && self.kkt_satisfied(x, g, weights, step.active()) {
+                emit_run_end(recorder, iterations, Termination::MarginalSpread, true, utility, spread);
                 return Ok(Solution {
                     allocation: x.clone(),
                     iterations,
@@ -215,6 +293,7 @@ impl Engine {
             let cost = -utility;
             if let (Some(tolerance), Some(prev)) = (self.cost_delta_halt, previous_cost) {
                 if (cost - prev).abs() < tolerance {
+                    emit_run_end(recorder, iterations, Termination::CostDelta, true, utility, spread);
                     return Ok(Solution {
                         allocation: x.clone(),
                         iterations,
@@ -230,11 +309,13 @@ impl Engine {
             if let Some(detector) = detector.as_mut() {
                 if detector.observe(cost) {
                     step_state.on_oscillation();
+                    recorder.incr("econ.alpha_adaptations", 1);
                     detector.reset();
                 }
             }
 
             if iterations >= self.max_iterations {
+                emit_run_end(recorder, iterations, Termination::MaxIterations, false, utility, spread);
                 return Ok(Solution {
                     allocation: x.clone(),
                     iterations,
@@ -262,6 +343,14 @@ impl Engine {
                         }
                         _ if scale > 1e-9 => scale *= 0.5,
                         _ => {
+                            emit_run_end(
+                                recorder,
+                                iterations,
+                                Termination::Stalled,
+                                false,
+                                utility,
+                                spread,
+                            );
                             return Ok(Solution {
                                 allocation: x.clone(),
                                 iterations,
@@ -432,12 +521,51 @@ impl ResourceDirectedOptimizer {
     ) -> Result<Solution, EconError> {
         self.engine.run_with_scratch(problem, initial, scratch)
     }
+
+    /// Like [`ResourceDirectedOptimizer::run`], recording per-iteration
+    /// telemetry into `recorder`: the `econ.iterations`,
+    /// `econ.projection_clips` and `econ.alpha_adaptations` counters, the
+    /// `econ.active_set_size` histogram, the `econ.alpha` gauge, one `iter`
+    /// event per iteration (utility, spread, α, gradient and step L2 norms,
+    /// active-set size) and a closing `run_end` event. Virtual time is the
+    /// iteration counter, so recordings are deterministic. With a
+    /// [`NoopRecorder`] this is exactly [`ResourceDirectedOptimizer::run`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ResourceDirectedOptimizer::run`].
+    pub fn run_observed<P: AllocationProblem + ?Sized>(
+        &self,
+        problem: &P,
+        initial: &[f64],
+        recorder: &mut dyn Recorder,
+    ) -> Result<Solution, EconError> {
+        let mut scratch = OptimizerScratch::new();
+        self.engine.run_recorded(problem, initial, &mut scratch, recorder)
+    }
+
+    /// [`ResourceDirectedOptimizer::run_observed`] with a caller-owned
+    /// [`OptimizerScratch`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ResourceDirectedOptimizer::run`].
+    pub fn run_observed_with_scratch<P: AllocationProblem + ?Sized>(
+        &self,
+        problem: &P,
+        initial: &[f64],
+        scratch: &mut OptimizerScratch,
+        recorder: &mut dyn Recorder,
+    ) -> Result<Solution, EconError> {
+        self.engine.run_recorded(problem, initial, scratch, recorder)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::problems::{SeparableQuadratic, ShiftedLog};
+    use fap_obs::Telemetry;
     use proptest::prelude::*;
 
     fn quad() -> SeparableQuadratic {
@@ -584,6 +712,64 @@ mod tests {
         opt.run_with_scratch(&p, &[0.0, 1.0, 0.0], &mut scratch).unwrap();
         let reused = opt.run_with_scratch(&p, &[1.0, 0.0, 0.0], &mut scratch).unwrap();
         assert_eq!(fresh, reused);
+    }
+
+    #[test]
+    fn observed_run_is_bit_identical_and_records_every_iteration() {
+        let p = quad();
+        let opt = ResourceDirectedOptimizer::new(StepSize::Fixed(0.1)).with_epsilon(1e-8);
+        let plain = opt.run(&p, &[1.0, 0.0, 0.0]).unwrap();
+
+        let mut tele = Telemetry::manual();
+        let observed = opt.run_observed(&p, &[1.0, 0.0, 0.0], &mut tele).unwrap();
+        assert_eq!(plain, observed);
+
+        let registry = tele.registry();
+        assert_eq!(registry.counter("econ.iterations"), observed.iterations as u64 + 1);
+        assert_eq!(
+            registry.histogram("econ.active_set_size").unwrap().count(),
+            observed.iterations as u64 + 1
+        );
+        // One `iter` event per iteration plus the closing `run_end`.
+        assert_eq!(tele.events().len(), observed.iterations + 2);
+        let last = tele.events().last().unwrap();
+        assert_eq!(last.name(), "run_end");
+        assert_eq!(last.field("converged"), Some(fap_obs::Value::Bool(true)));
+        assert_eq!(
+            last.field("termination"),
+            Some(fap_obs::Value::Str("marginal_spread"))
+        );
+    }
+
+    #[test]
+    fn two_observed_runs_emit_identical_jsonl() {
+        let p = quad();
+        let opt = ResourceDirectedOptimizer::new(StepSize::Fixed(0.1)).with_epsilon(1e-8);
+        let mut a = Telemetry::manual();
+        let mut b = Telemetry::manual();
+        opt.run_observed(&p, &[1.0, 0.0, 0.0], &mut a).unwrap();
+        opt.run_observed(&p, &[1.0, 0.0, 0.0], &mut b).unwrap();
+        assert_eq!(a.to_jsonl(), b.to_jsonl());
+        assert!(!a.to_jsonl().is_empty());
+    }
+
+    #[test]
+    fn oscillation_decay_is_counted() {
+        // Deliberately unstable α with adaptive decay: the detector must
+        // fire at least once, and each firing increments the counter.
+        let p = quad();
+        let opt = ResourceDirectedOptimizer::new(StepSize::AdaptiveDecay {
+            initial: 1.8,
+            factor: 0.5,
+            floor: 1e-4,
+        })
+        .with_oscillation_detection(6, 3)
+        .with_epsilon(1e-8)
+        .with_max_iterations(50_000);
+        let mut tele = Telemetry::manual();
+        let s = opt.run_observed(&p, &[1.0, 0.0, 0.0], &mut tele).unwrap();
+        assert!(s.converged);
+        assert!(tele.registry().counter("econ.alpha_adaptations") >= 1);
     }
 
     #[test]

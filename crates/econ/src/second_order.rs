@@ -18,6 +18,8 @@
 //! carries over) and reduces, for quadratic utilities with `α = 1`, to an
 //! exact Newton step onto the equal-marginal manifold.
 
+use fap_obs::Recorder;
+
 use crate::error::EconError;
 use crate::problem::AllocationProblem;
 use crate::projection::BoundaryRule;
@@ -125,6 +127,23 @@ impl SecondOrderOptimizer {
         scratch: &mut OptimizerScratch,
     ) -> Result<Solution, EconError> {
         self.engine.run_with_scratch(problem, initial, scratch)
+    }
+
+    /// Like [`SecondOrderOptimizer::run`], recording per-iteration telemetry
+    /// into `recorder` — the same metric names and event shapes as
+    /// [`ResourceDirectedOptimizer::run_observed`](crate::ResourceDirectedOptimizer::run_observed).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SecondOrderOptimizer::run`].
+    pub fn run_observed<P: AllocationProblem + ?Sized>(
+        &self,
+        problem: &P,
+        initial: &[f64],
+        recorder: &mut dyn Recorder,
+    ) -> Result<Solution, EconError> {
+        let mut scratch = OptimizerScratch::new();
+        self.engine.run_recorded(problem, initial, &mut scratch, recorder)
     }
 }
 

@@ -231,6 +231,21 @@ impl Graph {
     ) -> Result<CostMatrix, NetError> {
         shortest_path::all_pairs_dijkstra_parallel(self, parallelism)
     }
+
+    /// Like [`Graph::shortest_path_matrix_parallel`], recording per-chunk
+    /// task timings and the fan-out width into `recorder` (see
+    /// [`shortest_path::all_pairs_dijkstra_observed`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Graph::shortest_path_matrix`].
+    pub fn shortest_path_matrix_observed(
+        &self,
+        parallelism: fap_batch::Parallelism,
+        recorder: &mut dyn fap_obs::Recorder,
+    ) -> Result<CostMatrix, NetError> {
+        shortest_path::all_pairs_dijkstra_observed(self, parallelism, recorder)
+    }
 }
 
 #[cfg(test)]

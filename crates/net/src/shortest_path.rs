@@ -16,8 +16,10 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::time::Instant;
 
 use fap_batch::{Matrix, Parallelism};
+use fap_obs::{NoopRecorder, Recorder};
 
 use crate::cost::CostMatrix;
 use crate::error::NetError;
@@ -166,28 +168,64 @@ pub fn all_pairs_dijkstra_parallel(
     graph: &Graph,
     parallelism: Parallelism,
 ) -> Result<CostMatrix, NetError> {
+    all_pairs_dijkstra_observed(graph, parallelism, &mut NoopRecorder)
+}
+
+/// Like [`all_pairs_dijkstra_parallel`], recording the fan-out into
+/// `recorder`: the `net.fanout_threads` gauge and one
+/// `net.dijkstra_chunk_ns` observation per worker chunk (wall-clock, in
+/// chunk order). With a disabled recorder no timing is measured at all, and
+/// the computed matrix is bit-identical either way.
+///
+/// # Errors
+///
+/// Same conditions as [`all_pairs_dijkstra`].
+pub fn all_pairs_dijkstra_observed(
+    graph: &Graph,
+    parallelism: Parallelism,
+    recorder: &mut dyn Recorder,
+) -> Result<CostMatrix, NetError> {
     let n = graph.node_count();
     if n == 0 {
         return CostMatrix::from_matrix(Matrix::zeros(0, 0));
     }
     let mut matrix = Matrix::zeros(n, n);
     let threads = parallelism.threads_for(n);
+    let enabled = recorder.is_enabled();
+    if enabled {
+        recorder.gauge("net.fanout_threads", threads as f64);
+    }
     if threads <= 1 {
+        let start = enabled.then(Instant::now);
         dijkstra_rows(graph, 0, matrix.as_mut_slice())?;
+        if let Some(start) = start {
+            recorder.observe("net.dijkstra_chunk_ns", start.elapsed().as_nanos() as f64);
+        }
     } else {
         let rows_per_chunk = n.div_ceil(threads);
-        let results: Vec<Result<(), NetError>> = std::thread::scope(|scope| {
+        let results: Vec<(Result<(), NetError>, u64)> = std::thread::scope(|scope| {
             let handles: Vec<_> = matrix
                 .as_mut_slice()
                 .chunks_mut(rows_per_chunk * n)
                 .enumerate()
                 .map(|(index, chunk)| {
-                    scope.spawn(move || dijkstra_rows(graph, index * rows_per_chunk, chunk))
+                    scope.spawn(move || {
+                        let start = enabled.then(Instant::now);
+                        let result = dijkstra_rows(graph, index * rows_per_chunk, chunk);
+                        let elapsed =
+                            start.map_or(0, |s| s.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+                        (result, elapsed)
+                    })
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("dijkstra worker panicked")).collect()
         });
-        for result in results {
+        // Chunk results are examined in source order, so the error reported
+        // for a disconnected graph matches the sequential sweep.
+        for (result, elapsed) in results {
+            if enabled {
+                recorder.observe("net.dijkstra_chunk_ns", elapsed as f64);
+            }
             result?;
         }
     }
@@ -334,6 +372,21 @@ mod tests {
                 all_pairs_dijkstra_parallel(&g, Parallelism::Fixed(threads)).unwrap_err();
             assert_eq!(format!("{err:?}"), format!("{expected:?}"), "threads={threads}");
         }
+    }
+
+    #[test]
+    fn observed_fanout_records_chunk_timings_and_matches_sequential() {
+        let g = topology::random_connected(24, 0.4, 1.0..4.0, 19).unwrap();
+        let seq = all_pairs_dijkstra(&g).unwrap();
+        let mut registry = fap_obs::MetricsRegistry::new();
+        let par =
+            all_pairs_dijkstra_observed(&g, Parallelism::Fixed(4), &mut registry).unwrap();
+        for (a, b) in seq.as_matrix().as_slice().iter().zip(par.as_matrix().as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(registry.gauge_value("net.fanout_threads"), Some(4.0));
+        // 24 sources over 4 threads: one timing observation per chunk.
+        assert_eq!(registry.histogram("net.dijkstra_chunk_ns").unwrap().count(), 4);
     }
 
     #[test]

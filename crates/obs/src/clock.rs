@@ -1,0 +1,182 @@
+//! Pluggable time sources and span timing.
+//!
+//! Two clocks matter in this system. Benchmarks and the parallel kernels
+//! time real work with the [`WallClock`]; the deterministic simulator runs
+//! on *virtual* time (its round counter), so everything it records —
+//! event timestamps, latency histograms — is reproducible bit-for-bit
+//! under a fixed seed. Both implement [`Clock`], and [`Timer`]/[`Span`]
+//! work over either.
+
+use std::cell::Cell;
+use std::time::Instant;
+
+use crate::recorder::Recorder;
+
+/// A monotonic time source measured in ticks.
+///
+/// For the [`WallClock`] a tick is a nanosecond since clock creation; for
+/// the [`VirtualClock`] it is whatever unit the driver advances it in
+/// (the chaos simulator uses protocol rounds).
+pub trait Clock {
+    /// The current time in ticks.
+    fn now(&self) -> u64;
+}
+
+/// Wall time: nanoseconds elapsed since the clock was created.
+#[derive(Debug, Clone)]
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl WallClock {
+    /// A wall clock whose origin is now.
+    pub fn new() -> Self {
+        WallClock { origin: Instant::now() }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> u64 {
+        u64::try_from(self.origin.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// Deterministic time advanced explicitly by its driver.
+///
+/// The chaos simulator sets this to its round counter, so every timestamp
+/// and latency it records is a pure function of the seed.
+#[derive(Debug, Clone, Default)]
+pub struct VirtualClock {
+    now: Cell<u64>,
+}
+
+impl VirtualClock {
+    /// A virtual clock starting at tick 0.
+    pub fn new() -> Self {
+        VirtualClock::default()
+    }
+
+    /// Moves the clock to `tick` (never backwards).
+    pub fn set(&self, tick: u64) {
+        if tick > self.now.get() {
+            self.now.set(tick);
+        }
+    }
+
+    /// Advances the clock by `ticks`.
+    pub fn advance(&self, ticks: u64) {
+        self.now.set(self.now.get().saturating_add(ticks));
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now(&self) -> u64 {
+        self.now.get()
+    }
+}
+
+/// A stopwatch over any [`Clock`].
+#[derive(Debug, Clone, Copy)]
+pub struct Timer {
+    start: u64,
+}
+
+impl Timer {
+    /// Starts timing at `clock`'s current tick.
+    pub fn start(clock: &dyn Clock) -> Self {
+        Timer { start: clock.now() }
+    }
+
+    /// Ticks elapsed since the timer started.
+    pub fn elapsed(&self, clock: &dyn Clock) -> u64 {
+        clock.now().saturating_sub(self.start)
+    }
+}
+
+/// A named timed region: started against a clock, finished into a
+/// [`Recorder`] histogram of the same name.
+///
+/// ```
+/// use fap_obs::{Clock, MetricsRegistry, Recorder, Span, VirtualClock};
+///
+/// let clock = VirtualClock::new();
+/// let mut registry = MetricsRegistry::new();
+/// let span = Span::begin("demo.phase", &clock);
+/// clock.advance(3);
+/// assert_eq!(span.end(&clock, &mut registry), 3);
+/// assert_eq!(registry.histogram("demo.phase").unwrap().count(), 1);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Span {
+    name: &'static str,
+    timer: Timer,
+}
+
+impl Span {
+    /// Opens a span named `name` at `clock`'s current tick.
+    pub fn begin(name: &'static str, clock: &dyn Clock) -> Self {
+        Span { name, timer: Timer::start(clock) }
+    }
+
+    /// Closes the span, recording its duration into the recorder's
+    /// histogram `name` and returning the elapsed ticks.
+    pub fn end(self, clock: &dyn Clock, recorder: &mut dyn Recorder) -> u64 {
+        let elapsed = self.timer.elapsed(clock);
+        recorder.observe(self.name, elapsed as f64);
+        elapsed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    #[test]
+    fn virtual_clock_is_driver_controlled_and_monotone() {
+        let clock = VirtualClock::new();
+        assert_eq!(clock.now(), 0);
+        clock.set(5);
+        assert_eq!(clock.now(), 5);
+        clock.set(2); // never backwards
+        assert_eq!(clock.now(), 5);
+        clock.advance(3);
+        assert_eq!(clock.now(), 8);
+    }
+
+    #[test]
+    fn wall_clock_is_monotone_nondecreasing() {
+        let clock = WallClock::new();
+        let a = clock.now();
+        let b = clock.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn timer_measures_virtual_ticks_exactly() {
+        let clock = VirtualClock::new();
+        clock.set(10);
+        let timer = Timer::start(&clock);
+        clock.set(17);
+        assert_eq!(timer.elapsed(&clock), 7);
+    }
+
+    #[test]
+    fn span_records_into_named_histogram() {
+        let clock = VirtualClock::new();
+        let mut registry = MetricsRegistry::new();
+        let span = Span::begin("phase", &clock);
+        clock.advance(4);
+        let elapsed = span.end(&clock, &mut registry);
+        assert_eq!(elapsed, 4);
+        let hist = registry.histogram("phase").unwrap();
+        assert_eq!(hist.count(), 1);
+        assert_eq!(hist.sum(), 4.0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Structured events with inline, allocation-free field storage.
+
+/// Maximum number of fields one event can carry; extra fields passed to
+/// [`EventRecord::new`] are silently dropped (instrumentation should stay
+/// under the limit — every emitter in this workspace does).
+pub const MAX_EVENT_FIELDS: usize = 8;
+
+/// A typed field value. `Copy`, so events never own heap memory; string
+/// values are `&'static str` labels (fault kinds, phase names), never
+/// formatted data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// An unsigned integer (counts, rounds, indices).
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float (utilities, norms, spreads). Non-finite values render as
+    /// JSON `null`.
+    F64(f64),
+    /// A boolean flag.
+    Bool(bool),
+    /// A static string label.
+    Str(&'static str),
+}
+
+/// One recorded event: a name, a timestamp in clock ticks, and up to
+/// [`MAX_EVENT_FIELDS`] named field values stored inline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EventRecord {
+    t: u64,
+    name: &'static str,
+    fields: [(&'static str, Value); MAX_EVENT_FIELDS],
+    len: u8,
+}
+
+impl EventRecord {
+    /// Builds an event at time `t`. Fields beyond [`MAX_EVENT_FIELDS`] are
+    /// dropped.
+    pub fn new(t: u64, name: &'static str, fields: &[(&'static str, Value)]) -> Self {
+        let mut inline = [("", Value::U64(0)); MAX_EVENT_FIELDS];
+        let len = fields.len().min(MAX_EVENT_FIELDS);
+        inline[..len].copy_from_slice(&fields[..len]);
+        EventRecord { t, name, fields: inline, len: len as u8 }
+    }
+
+    /// The event's timestamp in clock ticks.
+    pub fn time(&self) -> u64 {
+        self.t
+    }
+
+    /// The event's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The event's fields, in emission order.
+    pub fn fields(&self) -> &[(&'static str, Value)] {
+        &self.fields[..self.len as usize]
+    }
+
+    /// The value of field `key`, if present.
+    pub fn field(&self, key: &str) -> Option<Value> {
+        self.fields().iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_store_fields_inline_and_in_order() {
+        let e = EventRecord::new(
+            7,
+            "fault",
+            &[("kind", Value::Str("drop")), ("round", Value::U64(7)), ("from", Value::U64(2))],
+        );
+        assert_eq!(e.time(), 7);
+        assert_eq!(e.name(), "fault");
+        assert_eq!(e.fields().len(), 3);
+        assert_eq!(e.field("kind"), Some(Value::Str("drop")));
+        assert_eq!(e.field("round"), Some(Value::U64(7)));
+        assert_eq!(e.field("missing"), None);
+    }
+
+    #[test]
+    fn overflow_fields_are_dropped_not_panicked() {
+        let fields: Vec<(&'static str, Value)> =
+            (0..12).map(|i| ("k", Value::I64(i))).collect();
+        let e = EventRecord::new(0, "big", &fields);
+        assert_eq!(e.fields().len(), MAX_EVENT_FIELDS);
+    }
+}

@@ -1,0 +1,381 @@
+//! The JSONL wire format: one flat JSON object per line.
+//!
+//! Writing and parsing are hand-rolled over `std` so the crate stays
+//! dependency-free. The writer is deterministic — field order is emission
+//! order, floats use Rust's shortest round-trip `{}` formatting, and
+//! non-finite floats render as `null` — so two identical seeded runs
+//! produce byte-identical output. The parser handles exactly the subset
+//! the writer produces (flat objects of scalars), which is all `fap
+//! report` needs to replay a recorded run offline.
+//!
+//! Line shapes:
+//!
+//! ```text
+//! {"t":3,"event":"fault","kind":"drop","round":3,"from":1,"to":4}
+//! {"counter":"sim.dropped","value":12}
+//! {"gauge":"core.node_threads","value":8}
+//! {"hist":"sim.report_latency_rounds","count":57,"sum":61,"min":0,"max":3,"p50":1,"p90":2,"p99":3}
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::event::{EventRecord, Value};
+use crate::metrics::{Histogram, MetricsRegistry};
+
+/// Appends `text` to `out` as a JSON string literal (quotes included).
+pub fn push_json_str(out: &mut String, text: &str) {
+    out.push('"');
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends `value` to `out` as a JSON number, or `null` when non-finite.
+/// Uses Rust's shortest round-trip formatting, matching the vendored
+/// `serde_json` shim.
+pub fn push_json_f64(out: &mut String, value: f64) {
+    if value.is_finite() {
+        let _ = write!(out, "{value}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn push_value(out: &mut String, value: &Value) {
+    match value {
+        Value::U64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Value::I64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Value::F64(v) => push_json_f64(out, *v),
+        Value::Bool(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Value::Str(v) => push_json_str(out, v),
+    }
+}
+
+/// Appends one event line (with trailing newline) to `out`:
+/// `{"t":<tick>,"event":"<name>",<fields...>}`.
+pub fn write_event(out: &mut String, event: &EventRecord) {
+    let _ = write!(out, "{{\"t\":{},\"event\":", event.time());
+    push_json_str(out, event.name());
+    for (key, value) in event.fields() {
+        out.push(',');
+        push_json_str(out, key);
+        out.push(':');
+        push_value(out, value);
+    }
+    out.push_str("}\n");
+}
+
+/// Appends one line (with trailing newline) per metric in `registry`, in
+/// registration order: counters, then gauges, then histograms.
+pub fn write_registry(out: &mut String, registry: &MetricsRegistry) {
+    for (name, value) in registry.counters() {
+        out.push_str("{\"counter\":");
+        push_json_str(out, name);
+        let _ = writeln!(out, ",\"value\":{value}}}");
+    }
+    for (name, value) in registry.gauges() {
+        out.push_str("{\"gauge\":");
+        push_json_str(out, name);
+        out.push_str(",\"value\":");
+        push_json_f64(out, *value);
+        out.push_str("}\n");
+    }
+    for (name, hist) in registry.histograms() {
+        write_histogram(out, name, hist);
+    }
+}
+
+fn write_histogram(out: &mut String, name: &str, hist: &Histogram) {
+    out.push_str("{\"hist\":");
+    push_json_str(out, name);
+    let _ = write!(out, ",\"count\":{}", hist.count());
+    for (key, value) in [
+        ("sum", hist.sum()),
+        ("min", if hist.count() == 0 { 0.0 } else { hist.min() }),
+        ("max", if hist.count() == 0 { 0.0 } else { hist.max() }),
+        ("p50", hist.quantile(0.5)),
+        ("p90", hist.quantile(0.9)),
+        ("p99", hist.quantile(0.99)),
+    ] {
+        let _ = write!(out, ",\"{key}\":");
+        push_json_f64(out, value);
+    }
+    out.push_str("}\n");
+}
+
+/// A scalar parsed back from a JSONL line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Scalar {
+    /// JSON `null` (also produced for non-finite floats on the way out).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An integer-valued number.
+    Int(i64),
+    /// Any other number.
+    Num(f64),
+    /// A string.
+    Str(String),
+}
+
+impl Scalar {
+    /// The value as an `f64`, when numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Scalar::Int(v) => Some(*v as f64),
+            Scalar::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, when an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Scalar::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a `&str`, when a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Scalar::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSONL line — a flat object of scalar values, the only shape
+/// the writers above produce — into `(key, value)` pairs in source order.
+/// Returns `None` on any malformed input (nested containers included).
+pub fn parse_line(line: &str) -> Option<Vec<(String, Scalar)>> {
+    let mut chars = line.trim().char_indices().peekable();
+    let text = line.trim();
+    let mut pairs = Vec::new();
+
+    fn skip_ws(chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>) {
+        while matches!(chars.peek(), Some((_, c)) if c.is_whitespace()) {
+            chars.next();
+        }
+    }
+
+    fn parse_string(
+        chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>,
+    ) -> Option<String> {
+        match chars.next() {
+            Some((_, '"')) => {}
+            _ => return None,
+        }
+        let mut s = String::new();
+        loop {
+            match chars.next()? {
+                (_, '"') => return Some(s),
+                (_, '\\') => match chars.next()?.1 {
+                    '"' => s.push('"'),
+                    '\\' => s.push('\\'),
+                    '/' => s.push('/'),
+                    'n' => s.push('\n'),
+                    'r' => s.push('\r'),
+                    't' => s.push('\t'),
+                    'u' => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            code = code * 16 + chars.next()?.1.to_digit(16)?;
+                        }
+                        s.push(char::from_u32(code)?);
+                    }
+                    _ => return None,
+                },
+                (_, c) => s.push(c),
+            }
+        }
+    }
+
+    fn parse_scalar(
+        text: &str,
+        chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>,
+    ) -> Option<Scalar> {
+        match chars.peek()?.1 {
+            '"' => parse_string(chars).map(Scalar::Str),
+            't' | 'f' | 'n' => {
+                let start = chars.peek()?.0;
+                while matches!(chars.peek(), Some((_, c)) if c.is_ascii_alphabetic()) {
+                    chars.next();
+                }
+                let end = chars.peek().map_or(text.len(), |(i, _)| *i);
+                match &text[start..end] {
+                    "true" => Some(Scalar::Bool(true)),
+                    "false" => Some(Scalar::Bool(false)),
+                    "null" => Some(Scalar::Null),
+                    _ => None,
+                }
+            }
+            '-' | '0'..='9' => {
+                let start = chars.peek()?.0;
+                while matches!(
+                    chars.peek(),
+                    Some((_, c)) if c.is_ascii_digit()
+                        || matches!(c, '-' | '+' | '.' | 'e' | 'E')
+                ) {
+                    chars.next();
+                }
+                let end = chars.peek().map_or(text.len(), |(i, _)| *i);
+                let token = &text[start..end];
+                if let Ok(v) = token.parse::<i64>() {
+                    Some(Scalar::Int(v))
+                } else {
+                    token.parse::<f64>().ok().map(Scalar::Num)
+                }
+            }
+            _ => None,
+        }
+    }
+
+    skip_ws(&mut chars);
+    match chars.next() {
+        Some((_, '{')) => {}
+        _ => return None,
+    }
+    skip_ws(&mut chars);
+    if matches!(chars.peek(), Some((_, '}'))) {
+        chars.next();
+        skip_ws(&mut chars);
+        return chars.next().is_none().then_some(pairs);
+    }
+    loop {
+        skip_ws(&mut chars);
+        let key = parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        match chars.next() {
+            Some((_, ':')) => {}
+            _ => return None,
+        }
+        skip_ws(&mut chars);
+        let value = parse_scalar(text, &mut chars)?;
+        pairs.push((key, value));
+        skip_ws(&mut chars);
+        match chars.next() {
+            Some((_, ',')) => continue,
+            Some((_, '}')) => break,
+            _ => return None,
+        }
+    }
+    skip_ws(&mut chars);
+    chars.next().is_none().then_some(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_lines_have_the_documented_shape() {
+        let event = EventRecord::new(
+            3,
+            "fault",
+            &[
+                ("kind", Value::Str("drop")),
+                ("round", Value::U64(3)),
+                ("ok", Value::Bool(false)),
+                ("norm", Value::F64(0.5)),
+            ],
+        );
+        let mut out = String::new();
+        write_event(&mut out, &event);
+        assert_eq!(
+            out,
+            "{\"t\":3,\"event\":\"fault\",\"kind\":\"drop\",\"round\":3,\"ok\":false,\"norm\":0.5}\n"
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_render_as_null() {
+        let mut out = String::new();
+        push_json_f64(&mut out, f64::NAN);
+        out.push(' ');
+        push_json_f64(&mut out, f64::INFINITY);
+        assert_eq!(out, "null null");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut out = String::new();
+        push_json_str(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn registry_lines_round_trip_through_the_parser() {
+        let mut registry = MetricsRegistry::new();
+        registry.incr("sim.dropped", 12);
+        registry.gauge("threads", 8.0);
+        registry.register_histogram("lat", &[0.0, 1.0, 2.0, 4.0]);
+        registry.observe("lat", 1.0);
+        registry.observe("lat", 2.0);
+        let mut out = String::new();
+        write_registry(&mut out, &registry);
+
+        let lines: Vec<_> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+
+        let counter = parse_line(lines[0]).unwrap();
+        assert_eq!(counter[0], ("counter".into(), Scalar::Str("sim.dropped".into())));
+        assert_eq!(counter[1], ("value".into(), Scalar::Int(12)));
+
+        let gauge = parse_line(lines[1]).unwrap();
+        assert_eq!(gauge[0].1.as_str(), Some("threads"));
+        assert_eq!(gauge[1].1.as_f64(), Some(8.0));
+
+        let hist = parse_line(lines[2]).unwrap();
+        let get = |key: &str| {
+            hist.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_f64().unwrap())
+        };
+        assert_eq!(get("count"), Some(2.0));
+        assert_eq!(get("sum"), Some(3.0));
+        assert_eq!(get("p50"), Some(1.0));
+        assert_eq!(get("p99"), Some(2.0));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert_eq!(parse_line(""), None);
+        assert_eq!(parse_line("{"), None);
+        assert_eq!(parse_line("{\"a\":}"), None);
+        assert_eq!(parse_line("{\"a\":[1]}"), None);
+        assert_eq!(parse_line("{\"a\":1} trailing"), None);
+        assert_eq!(parse_line("{\"a\":flase}"), None);
+    }
+
+    #[test]
+    fn parser_handles_empty_objects_and_escapes() {
+        assert_eq!(parse_line("{}"), Some(vec![]));
+        let pairs = parse_line("{\"k\\n\":\"v\\u0041\",\"x\":null}").unwrap();
+        assert_eq!(pairs[0], ("k\n".into(), Scalar::Str("vA".into())));
+        assert_eq!(pairs[1].1, Scalar::Null);
+    }
+
+    #[test]
+    fn numbers_parse_to_int_or_float() {
+        let pairs = parse_line("{\"a\":-3,\"b\":2.5,\"c\":1e3}").unwrap();
+        assert_eq!(pairs[0].1, Scalar::Int(-3));
+        assert_eq!(pairs[1].1, Scalar::Num(2.5));
+        assert_eq!(pairs[2].1, Scalar::Num(1000.0));
+    }
+}

@@ -1,0 +1,342 @@
+//! The metrics registry: counters, gauges, fixed-bucket histograms.
+//!
+//! Metrics are addressed by `&'static str` names and stored in small
+//! vectors in registration order. Lookup is a linear scan — for the
+//! dozen-odd metrics an instrumented run touches this beats hashing, and
+//! (the property the zero-allocation tests rely on) updating an already
+//! registered metric performs no heap allocation at all. Registration
+//! order is deterministic for a given code path, so serialized snapshots
+//! of two identical runs are byte-identical.
+
+use crate::event::Value;
+use crate::recorder::Recorder;
+
+/// A fixed-bucket histogram: cumulative-style bucket upper bounds plus an
+/// overflow bucket, with running count/sum/min/max.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// A histogram over the given ascending bucket upper bounds (a value
+    /// `v` lands in the first bucket with `v <= bound`, or the overflow
+    /// bucket past the last bound).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly ascending — a
+    /// programming error in instrumentation code.
+    pub fn with_bounds(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The default shape: powers of four from 1 to 4²⁰ (≈ 10¹²). Spans
+    /// nanosecond wall timings from sub-microsecond to ~18 minutes, and
+    /// small integer scales (rounds, set sizes) with exact low buckets.
+    pub fn exponential() -> Self {
+        let bounds: Vec<f64> = (0..=20).map(|i| 4f64.powi(i)).collect();
+        Histogram::with_bounds(&bounds)
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        let slot = self
+            .bounds
+            .iter()
+            .position(|b| value <= *b)
+            .unwrap_or(self.bounds.len());
+        self.counts[slot] += 1;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest observation (`+∞` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`−∞` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Mean observation, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// The quantile `q ∈ [0, 1]` estimated from the buckets: the upper
+    /// bound of the bucket containing the `⌈q·count⌉`-th observation,
+    /// clamped to the observed `[min, max]` range. Exact whenever bucket
+    /// bounds are exact for the data (e.g. integer-valued observations
+    /// with unit buckets); otherwise an upper estimate. Returns 0 when
+    /// empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (slot, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let upper = self.bounds.get(slot).copied().unwrap_or(self.max);
+                return upper.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// Counters, gauges and histograms under one roof.
+///
+/// Implements [`Recorder`] directly (events and timestamps are ignored),
+/// so a registry can serve as the no-frills metrics sink — the chaos
+/// simulator keeps one internally to build its fault summary.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: Vec<(&'static str, u64)>,
+    gauges: Vec<(&'static str, f64)>,
+    histograms: Vec<(&'static str, Histogram)>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `delta` to counter `name`, registering it at zero first if
+    /// needed. Allocation-free once registered.
+    pub fn incr(&mut self, name: &'static str, delta: u64) {
+        match self.counters.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, v)) => *v += delta,
+            None => self.counters.push((name, delta)),
+        }
+    }
+
+    /// Sets gauge `name` to `value`.
+    pub fn gauge(&mut self, name: &'static str, value: f64) {
+        match self.gauges.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, v)) => *v = value,
+            None => self.gauges.push((name, value)),
+        }
+    }
+
+    /// Records `value` into histogram `name`, creating it with the
+    /// [`Histogram::exponential`] shape on first use.
+    pub fn observe(&mut self, name: &'static str, value: f64) {
+        match self.histograms.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, h)) => h.observe(value),
+            None => {
+                let mut h = Histogram::exponential();
+                h.observe(value);
+                self.histograms.push((name, h));
+            }
+        }
+    }
+
+    /// Registers histogram `name` with explicit bucket bounds (replacing
+    /// any default-shaped histogram auto-created earlier). Call before the
+    /// first observation to choose the shape.
+    pub fn register_histogram(&mut self, name: &'static str, bounds: &[f64]) {
+        let hist = Histogram::with_bounds(bounds);
+        match self.histograms.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, h)) => *h = hist,
+            None => self.histograms.push((name, hist)),
+        }
+    }
+
+    /// The value of counter `name` (0 when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.iter().find(|(n, _)| *n == name).map_or(0, |(_, v)| *v)
+    }
+
+    /// The value of gauge `name`, if set.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| *n == name).map(|(_, v)| *v)
+    }
+
+    /// Histogram `name`, if any observation or registration created it.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.iter().find(|(n, _)| *n == name).map(|(_, h)| h)
+    }
+
+    /// All counters in registration order.
+    pub fn counters(&self) -> &[(&'static str, u64)] {
+        &self.counters
+    }
+
+    /// All gauges in registration order.
+    pub fn gauges(&self) -> &[(&'static str, f64)] {
+        &self.gauges
+    }
+
+    /// All histograms in registration order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> {
+        self.histograms.iter().map(|(n, h)| (*n, h))
+    }
+
+    /// True when nothing has ever been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Renders a fixed-width, end-of-run summary table (counters, gauges,
+    /// then histograms with count/mean/p50/p99/max).
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let _ = writeln!(out, "counter  {name:<34} {value}");
+        }
+        for (name, value) in &self.gauges {
+            let _ = writeln!(out, "gauge    {name:<34} {value}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "hist     {name:<34} count={} mean={:.3} p50={:.3} p99={:.3} max={:.3}",
+                h.count(),
+                h.mean(),
+                h.quantile(0.5),
+                h.quantile(0.99),
+                if h.count() == 0 { 0.0 } else { h.max() },
+            );
+        }
+        out
+    }
+}
+
+impl Recorder for MetricsRegistry {
+    fn is_enabled(&self) -> bool {
+        true
+    }
+
+    fn incr(&mut self, name: &'static str, delta: u64) {
+        MetricsRegistry::incr(self, name, delta);
+    }
+
+    fn gauge(&mut self, name: &'static str, value: f64) {
+        MetricsRegistry::gauge(self, name, value);
+    }
+
+    fn observe(&mut self, name: &'static str, value: f64) {
+        MetricsRegistry::observe(self, name, value);
+    }
+
+    fn register_histogram(&mut self, name: &'static str, bounds: &[f64]) {
+        MetricsRegistry::register_histogram(self, name, bounds);
+    }
+
+    fn emit(&mut self, _name: &'static str, _fields: &[(&'static str, Value)]) {}
+
+    fn set_time(&mut self, _tick: u64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_default_to_zero() {
+        let mut r = MetricsRegistry::new();
+        r.incr("a", 1);
+        r.incr("a", 2);
+        assert_eq!(r.counter("a"), 3);
+        assert_eq!(r.counter("missing"), 0);
+    }
+
+    #[test]
+    fn gauges_hold_the_last_value() {
+        let mut r = MetricsRegistry::new();
+        r.gauge("threads", 4.0);
+        r.gauge("threads", 8.0);
+        assert_eq!(r.gauge_value("threads"), Some(8.0));
+        assert_eq!(r.gauge_value("missing"), None);
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats_are_exact_for_unit_bounds() {
+        let mut h = Histogram::with_bounds(&[0.0, 1.0, 2.0, 3.0, 4.0]);
+        for v in [0.0, 0.0, 0.0, 1.0, 1.0, 2.0, 3.0, 9.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.max(), 9.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.quantile(0.5), 1.0);
+        assert_eq!(h.quantile(0.99), 9.0);
+        assert_eq!(h.quantile(0.0), 0.0);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let h = Histogram::exponential();
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn registering_explicit_bounds_replaces_the_default_shape() {
+        let mut r = MetricsRegistry::new();
+        r.observe("lat", 0.0);
+        r.register_histogram("lat", &[0.0, 1.0, 2.0]);
+        assert_eq!(r.histogram("lat").unwrap().count(), 0);
+        r.observe("lat", 0.0);
+        assert_eq!(r.histogram("lat").unwrap().quantile(0.5), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn rejects_unsorted_bounds() {
+        let _ = Histogram::with_bounds(&[2.0, 1.0]);
+    }
+
+    #[test]
+    fn summary_lists_every_metric() {
+        let mut r = MetricsRegistry::new();
+        r.incr("sim.dropped", 3);
+        r.gauge("threads", 2.0);
+        r.observe("lat", 1.0);
+        let s = r.summary();
+        assert!(s.contains("sim.dropped"));
+        assert!(s.contains("threads"));
+        assert!(s.contains("count=1"));
+    }
+}

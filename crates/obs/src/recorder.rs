@@ -1,0 +1,149 @@
+//! The recording handle instrumented code writes through.
+
+use crate::event::Value;
+
+/// The sink interface threaded through the solver, simulator and parallel
+/// kernels as `&mut dyn Recorder`.
+///
+/// Every method has an empty default body, so a sink implements only what
+/// it cares about. Hot loops guard *derived* measurements (norms, wall
+/// timings) behind [`Recorder::is_enabled`] so that with a
+/// [`NoopRecorder`] the instrumented path performs no extra arithmetic and
+/// no allocation — the zero-allocation steady-state guarantee is preserved
+/// by construction.
+pub trait Recorder {
+    /// Whether this sink actually records anything. Instrumented code may
+    /// skip computing expensive measurements when this is `false`.
+    fn is_enabled(&self) -> bool {
+        true
+    }
+
+    /// Sets the current virtual time in ticks; subsequent events are
+    /// stamped with it. Wall-clocked sinks ignore this.
+    fn set_time(&mut self, _tick: u64) {}
+
+    /// Adds `delta` to counter `name`.
+    fn incr(&mut self, _name: &'static str, _delta: u64) {}
+
+    /// Sets gauge `name` to `value`.
+    fn gauge(&mut self, _name: &'static str, _value: f64) {}
+
+    /// Records `value` into histogram `name`.
+    fn observe(&mut self, _name: &'static str, _value: f64) {}
+
+    /// Declares histogram `name` with explicit bucket upper bounds, before
+    /// its first observation. Sinks without histograms ignore this.
+    fn register_histogram(&mut self, _name: &'static str, _bounds: &[f64]) {}
+
+    /// Emits a structured event.
+    fn emit(&mut self, _name: &'static str, _fields: &[(&'static str, Value)]) {}
+}
+
+/// The do-nothing sink: every method is the empty default and
+/// [`Recorder::is_enabled`] is `false`. Passing `&mut NoopRecorder` is the
+/// uninstrumented fast path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn is_enabled(&self) -> bool {
+        false
+    }
+}
+
+/// Fans one instrumentation stream out to two sinks.
+///
+/// The simulator uses this to feed its internal fault-summary registry and
+/// a caller-provided sink from the same event stream.
+pub struct Tee<'a> {
+    a: &'a mut dyn Recorder,
+    b: &'a mut dyn Recorder,
+}
+
+impl<'a> Tee<'a> {
+    /// A recorder forwarding every call to both `a` and `b`.
+    pub fn new(a: &'a mut dyn Recorder, b: &'a mut dyn Recorder) -> Self {
+        Tee { a, b }
+    }
+}
+
+impl Recorder for Tee<'_> {
+    fn is_enabled(&self) -> bool {
+        self.a.is_enabled() || self.b.is_enabled()
+    }
+
+    fn set_time(&mut self, tick: u64) {
+        self.a.set_time(tick);
+        self.b.set_time(tick);
+    }
+
+    fn incr(&mut self, name: &'static str, delta: u64) {
+        self.a.incr(name, delta);
+        self.b.incr(name, delta);
+    }
+
+    fn gauge(&mut self, name: &'static str, value: f64) {
+        self.a.gauge(name, value);
+        self.b.gauge(name, value);
+    }
+
+    fn observe(&mut self, name: &'static str, value: f64) {
+        self.a.observe(name, value);
+        self.b.observe(name, value);
+    }
+
+    fn register_histogram(&mut self, name: &'static str, bounds: &[f64]) {
+        self.a.register_histogram(name, bounds);
+        self.b.register_histogram(name, bounds);
+    }
+
+    fn emit(&mut self, name: &'static str, fields: &[(&'static str, Value)]) {
+        self.a.emit(name, fields);
+        self.b.emit(name, fields);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    #[test]
+    fn noop_recorder_reports_disabled() {
+        let noop = NoopRecorder;
+        assert!(!noop.is_enabled());
+        // And all calls are accepted silently.
+        let r: &mut dyn Recorder = &mut NoopRecorder;
+        r.set_time(1);
+        r.incr("a", 1);
+        r.gauge("b", 1.0);
+        r.observe("c", 1.0);
+        r.emit("d", &[("k", Value::U64(1))]);
+    }
+
+    #[test]
+    fn tee_forwards_to_both_sinks() {
+        let mut left = MetricsRegistry::new();
+        let mut right = MetricsRegistry::new();
+        {
+            let mut tee = Tee::new(&mut left, &mut right);
+            assert!(tee.is_enabled());
+            tee.incr("hits", 2);
+            tee.observe("lat", 1.0);
+            tee.gauge("threads", 4.0);
+        }
+        for side in [&left, &right] {
+            assert_eq!(side.counter("hits"), 2);
+            assert_eq!(side.histogram("lat").unwrap().count(), 1);
+            assert_eq!(side.gauge_value("threads"), Some(4.0));
+        }
+    }
+
+    #[test]
+    fn tee_of_noops_is_disabled() {
+        let mut a = NoopRecorder;
+        let mut b = NoopRecorder;
+        let tee = Tee::new(&mut a, &mut b);
+        assert!(!tee.is_enabled());
+    }
+}

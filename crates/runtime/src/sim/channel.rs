@@ -8,9 +8,10 @@
 //! same [`ChaosPlan`] produces the same fault sequence regardless of code
 //! path.
 
+use fap_obs::{Recorder, Value};
+
 use super::chaos::ChaosPlan;
 use super::event::EventQueue;
-use super::report::FaultCounters;
 
 /// The fate of one transmission attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,7 +93,11 @@ impl<'p> LossyChannel<'p> {
     }
 
     /// Transmits `from`'s round-`round` report to every agent in `targets`,
-    /// retrying each timed-out link up to the plan's retry budget.
+    /// retrying each timed-out link up to the plan's retry budget. Every
+    /// transmission outcome is recorded into `recorder`: the `sim.*` fault
+    /// counters, one `fault` event per injected drop/delay/duplicate, and —
+    /// once the report completes — the `sim.report_latency_rounds`
+    /// histogram plus a `delivery` event with the latency in rounds.
     ///
     /// Returns the round at which the report has reached *all* targets
     /// (`round` itself means it was heard fresh), or `None` if some target
@@ -105,29 +110,44 @@ impl<'p> LossyChannel<'p> {
         targets: &[usize],
         marginal: f64,
         fragment: f64,
-        counters: &mut FaultCounters,
+        recorder: &mut dyn Recorder,
     ) -> Option<usize> {
+        let fault = |recorder: &mut dyn Recorder, kind: &'static str, to: usize, attempt: u32| {
+            recorder.emit(
+                "fault",
+                &[
+                    ("kind", Value::Str(kind)),
+                    ("round", Value::U64(round as u64)),
+                    ("from", Value::U64(from as u64)),
+                    ("to", Value::U64(to as u64)),
+                    ("attempt", Value::U64(u64::from(attempt))),
+                ],
+            );
+        };
         let mut completion = round;
         for &to in targets {
             let mut best_arrival: Option<usize> = None;
             for attempt in 0..=self.plan.max_retries {
                 if attempt > 0 {
-                    counters.retries += 1;
+                    recorder.incr("sim.retries", 1);
                 }
-                counters.sent += 1;
+                recorder.incr("sim.sent", 1);
                 match self.fate(round, from, to, attempt) {
                     Fate::Dropped => {
-                        counters.dropped += 1;
+                        recorder.incr("sim.dropped", 1);
+                        fault(recorder, "drop", to, attempt);
                         continue;
                     }
                     Fate::Delivered { delay, duplicated } => {
-                        counters.delivered += 1;
+                        recorder.incr("sim.delivered", 1);
                         if delay > 0 {
-                            counters.delayed += 1;
+                            recorder.incr("sim.delayed", 1);
+                            fault(recorder, "delay", to, attempt);
                         }
                         if duplicated {
-                            counters.duplicated += 1;
-                            counters.delivered += 1;
+                            recorder.incr("sim.duplicated", 1);
+                            recorder.incr("sim.delivered", 1);
+                            fault(recorder, "duplicate", to, attempt);
                         }
                         let arrival = round + delay as usize;
                         best_arrival =
@@ -152,6 +172,16 @@ impl<'p> LossyChannel<'p> {
                 LateReport { from, sent_round: round, marginal, fragment },
             );
         }
+        let latency = (completion - round) as u64;
+        recorder.observe("sim.report_latency_rounds", latency as f64);
+        recorder.emit(
+            "delivery",
+            &[
+                ("round", Value::U64(round as u64)),
+                ("from", Value::U64(from as u64)),
+                ("latency", Value::U64(latency)),
+            ],
+        );
         Some(completion)
     }
 
@@ -201,16 +231,20 @@ mod tests {
     fn zero_fault_plan_always_delivers_on_time() {
         let plan = ChaosPlan::new(99);
         let mut ch = LossyChannel::new(&plan);
-        let mut counters = FaultCounters::default();
+        let mut registry = fap_obs::MetricsRegistry::new();
         for round in 0..20 {
-            let done = ch.broadcast_report(round, 0, &[1, 2, 3], -1.0, 0.25, &mut counters);
+            let done = ch.broadcast_report(round, 0, &[1, 2, 3], -1.0, 0.25, &mut registry);
             assert_eq!(done, Some(round));
         }
-        assert_eq!(counters.dropped, 0);
-        assert_eq!(counters.delayed, 0);
-        assert_eq!(counters.retries, 0);
-        assert_eq!(counters.sent, 60);
-        assert_eq!(counters.delivered, 60);
+        assert_eq!(registry.counter("sim.dropped"), 0);
+        assert_eq!(registry.counter("sim.delayed"), 0);
+        assert_eq!(registry.counter("sim.retries"), 0);
+        assert_eq!(registry.counter("sim.sent"), 60);
+        assert_eq!(registry.counter("sim.delivered"), 60);
+        // Every report completed with zero latency.
+        let latency = registry.histogram("sim.report_latency_rounds").unwrap();
+        assert_eq!(latency.count(), 20);
+        assert_eq!(latency.sum(), 0.0);
         assert_eq!(ch.in_flight_len(), 0);
     }
 
@@ -231,8 +265,8 @@ mod tests {
         // and the report must come out of `arrivals` exactly then.
         let plan = ChaosPlan::new(3).with_delay(0.999, 3);
         let mut ch = LossyChannel::new(&plan);
-        let mut counters = FaultCounters::default();
-        let completion = ch.broadcast_report(0, 2, &[0, 1], -4.0, 0.5, &mut counters);
+        let mut recorder = fap_obs::NoopRecorder;
+        let completion = ch.broadcast_report(0, 2, &[0, 1], -4.0, 0.5, &mut recorder);
         let completion = completion.expect("nothing is dropped under this plan");
         assert!((1..=3).contains(&completion), "completion {completion}");
         for r in 0..completion {
@@ -250,7 +284,7 @@ mod tests {
         let drop_heavy = ChaosPlan::new(17).with_drop(0.6);
         let without = {
             let mut ch = LossyChannel::new(&drop_heavy);
-            let mut c = FaultCounters::default();
+            let mut c = fap_obs::MetricsRegistry::new();
             (0..200)
                 .filter(|&r| {
                     ch.broadcast_report(r, 0, &[1], -1.0, 0.1, &mut c) == Some(r)
@@ -260,13 +294,13 @@ mod tests {
         let with_retries = drop_heavy.clone().with_retries(3);
         let with = {
             let mut ch = LossyChannel::new(&with_retries);
-            let mut c = FaultCounters::default();
+            let mut c = fap_obs::MetricsRegistry::new();
             let fresh = (0..200)
                 .filter(|&r| {
                     ch.broadcast_report(r, 0, &[1], -1.0, 0.1, &mut c) == Some(r)
                 })
                 .count();
-            assert!(c.retries > 0, "retries must actually fire");
+            assert!(c.counter("sim.retries") > 0, "retries must actually fire");
             fresh
         };
         assert!(with > without, "retries must rescue reports: {with} vs {without}");

@@ -33,6 +33,7 @@
 use fap_econ::projection::{compute_step, BoundaryRule, StepOutcome};
 use fap_econ::trace::IterationRecord;
 use fap_econ::{marginal_spread, Trace};
+use fap_obs::{MetricsRegistry, NoopRecorder, Recorder, Tee, Value};
 
 use super::chaos::ChaosPlan;
 use super::channel::LossyChannel;
@@ -154,15 +155,56 @@ impl<'a, O: LocalObjective> SimRun<'a, O> {
     /// infeasible start, or an invalid chaos plan (including a plan that
     /// crashes a central coordinator), and propagates objective failures.
     pub fn run(&self, initial: &[f64]) -> Result<SimReport, RuntimeError> {
+        self.run_observed(initial, &mut NoopRecorder)
+    }
+
+    /// Like [`SimRun::run`], additionally recording the run into
+    /// `recorder`: the `sim.*` fault counters, the
+    /// `sim.report_latency_rounds` histogram on virtual (round) time, one
+    /// `round` event per round, `fault`/`delivery` events from the channel,
+    /// `crash`/`rejoin`/`stale`/`excluded` events from the executor, and a
+    /// closing `run_end` event. Virtual time is the round counter —
+    /// [`Recorder::set_time`] is driven once per round — so two runs with
+    /// the same seed record byte-identical telemetry.
+    ///
+    /// The report's [`FaultCounters`] are read back from the same stream
+    /// (see [`FaultCounters::from_registry`]); there is no separate
+    /// tallying, so the summary and the telemetry can never disagree.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SimRun::run`].
+    pub fn run_observed(
+        &self,
+        initial: &[f64],
+        recorder: &mut dyn Recorder,
+    ) -> Result<SimReport, RuntimeError> {
+        let mut local = MetricsRegistry::new();
+        let mut report = {
+            let mut tee = Tee::new(&mut local, recorder);
+            self.run_loop(initial, &mut tee)?
+        };
+        report.faults = FaultCounters::from_registry(&local);
+        Ok(report)
+    }
+
+    fn run_loop(
+        &self,
+        initial: &[f64],
+        recorder: &mut dyn Recorder,
+    ) -> Result<SimReport, RuntimeError> {
         let n = self.objective.agent_count();
         self.validate(initial, n)?;
+        recorder.register_histogram(
+            "sim.report_latency_rounds",
+            &[0.0, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0],
+        );
 
         let mut x = initial.to_vec();
         let weights = vec![1.0; n];
         let mut alive = vec![true; n];
         let mut stale: Vec<Option<StaleEntry>> = vec![None; n];
         let mut channel = LossyChannel::new(&self.plan);
-        let mut counters = FaultCounters::default();
         let mut messages = MessageStats::default();
         let mut trace = Trace::new();
         let mut iterates = vec![x.clone()];
@@ -171,6 +213,7 @@ impl<'a, O: LocalObjective> SimRun<'a, O> {
         let mut rounds = 0usize;
 
         loop {
+            recorder.set_time(rounds as u64);
             let mut membership_changed = false;
             // Membership events fire at the start of the round: crashes
             // first, then rejoins (as the plan validation replays them).
@@ -179,7 +222,11 @@ impl<'a, O: LocalObjective> SimRun<'a, O> {
                     membership_changed = true;
                     alive[agent] = false;
                     stale[agent] = None;
-                    counters.crashes += 1;
+                    recorder.incr("sim.crashes", 1);
+                    recorder.emit(
+                        "crash",
+                        &[("round", Value::U64(rounds as u64)), ("agent", Value::U64(agent as u64))],
+                    );
                     let lost = x[agent];
                     x[agent] = 0.0;
                     let survivors = alive.iter().filter(|a| **a).count();
@@ -196,7 +243,11 @@ impl<'a, O: LocalObjective> SimRun<'a, O> {
                     membership_changed = true;
                     alive[agent] = true;
                     stale[agent] = None;
-                    counters.rejoins += 1;
+                    recorder.incr("sim.rejoins", 1);
+                    recorder.emit(
+                        "rejoin",
+                        &[("round", Value::U64(rounds as u64)), ("agent", Value::U64(agent as u64))],
+                    );
                     x[agent] = 0.0;
                 }
             }
@@ -241,7 +292,7 @@ impl<'a, O: LocalObjective> SimRun<'a, O> {
                     stale[i] = Some(StaleEntry { round: rounds, marginal: g[i] });
                     continue;
                 }
-                match channel.broadcast_report(rounds, i, &targets, g[i], x[i], &mut counters) {
+                match channel.broadcast_report(rounds, i, &targets, g[i], x[i], recorder) {
                     Some(done) if done == rounds => {
                         fresh[i] = true;
                         stale[i] = Some(StaleEntry { round: rounds, marginal: g[i] });
@@ -272,11 +323,26 @@ impl<'a, O: LocalObjective> SimRun<'a, O> {
                         {
                             g_eff[i] = entry.marginal;
                             included[i] = true;
-                            counters.stale_reuses += 1;
+                            recorder.incr("sim.stale_reuses", 1);
+                            recorder.emit(
+                                "stale",
+                                &[
+                                    ("round", Value::U64(rounds as u64)),
+                                    ("agent", Value::U64(i as u64)),
+                                    ("age", Value::U64((rounds - entry.round) as u64)),
+                                ],
+                            );
                         }
                         _ => {
                             g_eff[i] = g[i];
-                            counters.excluded_agent_rounds += 1;
+                            recorder.incr("sim.excluded_agent_rounds", 1);
+                            recorder.emit(
+                                "excluded",
+                                &[
+                                    ("round", Value::U64(rounds as u64)),
+                                    ("agent", Value::U64(i as u64)),
+                                ],
+                            );
                         }
                     }
                 }
@@ -309,25 +375,40 @@ impl<'a, O: LocalObjective> SimRun<'a, O> {
                 alpha: self.alpha,
                 active_count: outcome.active_count(),
             });
+            recorder.emit(
+                "round",
+                &[
+                    ("round", Value::U64(rounds as u64)),
+                    ("utility", Value::F64(utility)),
+                    ("spread", Value::F64(spread)),
+                    ("active", Value::U64(outcome.active_count() as u64)),
+                    ("fresh", Value::Bool(all_fresh)),
+                    ("membership", Value::Bool(membership_changed)),
+                ],
+            );
 
             // The coordinator distributes the step over the same lossy
             // channel; assignments are acknowledged-and-retried until
             // applied, so the round commits atomically (counted, not
             // fate-altering).
             if let ExchangeScheme::Central { coordinator } = self.scheme {
-                self.account_assignments(
-                    rounds,
-                    coordinator,
-                    &alive,
-                    &mut channel,
-                    &mut counters,
-                );
+                self.account_assignments(rounds, coordinator, &alive, &mut channel, recorder);
             }
 
             let converged = all_fresh
                 && spread < self.epsilon
                 && round::boundary_consistent(&x, &g_eff, &outcome.active, self.epsilon);
             if converged || rounds >= self.max_rounds {
+                recorder.emit(
+                    "run_end",
+                    &[
+                        ("rounds", Value::U64(rounds as u64)),
+                        ("converged", Value::Bool(converged)),
+                        ("final_utility", Value::F64(utility)),
+                    ],
+                );
+                // The caller fills `faults` from the recorded stream — see
+                // `run_observed`.
                 return Ok(SimReport {
                     allocation: x,
                     rounds,
@@ -335,7 +416,7 @@ impl<'a, O: LocalObjective> SimRun<'a, O> {
                     final_utility: utility,
                     messages,
                     trace,
-                    faults: counters,
+                    faults: FaultCounters::default(),
                     iterates,
                     fresh_rounds,
                     membership_rounds,
@@ -378,7 +459,7 @@ impl<'a, O: LocalObjective> SimRun<'a, O> {
         coordinator: usize,
         alive: &[bool],
         channel: &mut LossyChannel<'_>,
-        counters: &mut FaultCounters,
+        recorder: &mut dyn Recorder,
     ) {
         use super::channel::Fate;
         for (to, &is_alive) in alive.iter().enumerate() {
@@ -388,32 +469,39 @@ impl<'a, O: LocalObjective> SimRun<'a, O> {
             let mut attempt = 0u32;
             loop {
                 if attempt > 0 {
-                    counters.retries += 1;
+                    recorder.incr("sim.retries", 1);
                 }
-                counters.sent += 1;
+                recorder.incr("sim.sent", 1);
                 match channel.fate(round, coordinator, to, attempt) {
                     Fate::Delivered { delay: 0, duplicated } => {
-                        counters.delivered += 1;
+                        recorder.incr("sim.delivered", 1);
                         if duplicated {
-                            counters.duplicated += 1;
-                            counters.delivered += 1;
+                            recorder.incr("sim.duplicated", 1);
+                            recorder.incr("sim.delivered", 1);
                         }
                         break;
                     }
                     Fate::Delivered { duplicated, .. } => {
-                        counters.delivered += 1;
-                        counters.delayed += 1;
+                        recorder.incr("sim.delivered", 1);
+                        recorder.incr("sim.delayed", 1);
                         if duplicated {
-                            counters.duplicated += 1;
-                            counters.delivered += 1;
+                            recorder.incr("sim.duplicated", 1);
+                            recorder.incr("sim.delivered", 1);
                         }
                     }
-                    Fate::Dropped => counters.dropped += 1,
+                    Fate::Dropped => recorder.incr("sim.dropped", 1),
                 }
                 if attempt >= self.plan.max_retries {
                     // Out of budget: the assignment is pushed through the
                     // reliable fallback path so the round still commits.
-                    counters.forced_assignments += 1;
+                    recorder.incr("sim.forced_assignments", 1);
+                    recorder.emit(
+                        "forced_assignment",
+                        &[
+                            ("round", Value::U64(round as u64)),
+                            ("to", Value::U64(to as u64)),
+                        ],
+                    );
                     break;
                 }
                 attempt += 1;
@@ -625,6 +713,60 @@ mod tests {
             .with_chaos(ChaosPlan::new(0).with_drop(2.0));
         assert!(bad_drop.run(&[0.25; 4]).is_err());
         assert!(SimRun::new(&p, ExchangeScheme::Broadcast, 0.1).run(&[0.5; 4]).is_err());
+    }
+
+    #[test]
+    fn observed_run_is_identical_and_telemetry_matches_the_summary() {
+        let p = paper_problem();
+        let x0 = [0.8, 0.1, 0.1, 0.0];
+        let plan = ChaosPlan::new(7).with_drop(0.2).with_retries(1).with_staleness_bound(2);
+        let sim = SimRun::new(&p, ExchangeScheme::Broadcast, 0.1)
+            .with_epsilon(1e-6)
+            .with_max_rounds(50_000)
+            .with_chaos(plan);
+
+        let plain = sim.run(&x0).unwrap();
+        let mut tele = fap_obs::Telemetry::manual();
+        let observed = sim.run_observed(&x0, &mut tele).unwrap();
+        assert_eq!(plain, observed, "recording must not perturb the run");
+
+        // The external sink saw the same stream the summary was built from.
+        assert_eq!(FaultCounters::from_registry(tele.registry()), observed.faults);
+        let drops = tele
+            .events()
+            .iter()
+            .filter(|e| {
+                e.name() == "fault" && e.field("kind") == Some(Value::Str("drop"))
+            })
+            .count() as u64;
+        assert_eq!(drops, observed.faults.dropped);
+        let round_events =
+            tele.events().iter().filter(|e| e.name() == "round").count();
+        assert_eq!(round_events, observed.rounds + 1);
+        assert_eq!(tele.events().last().unwrap().name(), "run_end");
+        // Latency histogram lives on virtual (round) time.
+        let latency = tele.registry().histogram("sim.report_latency_rounds").unwrap();
+        assert!(latency.count() > 0);
+    }
+
+    #[test]
+    fn same_seed_telemetry_is_byte_identical() {
+        let p = paper_problem();
+        let x0 = [0.8, 0.1, 0.1, 0.0];
+        let record = |seed: u64| {
+            let mut tele = fap_obs::Telemetry::manual();
+            SimRun::new(&p, ExchangeScheme::Broadcast, 0.1)
+                .with_epsilon(1e-6)
+                .with_max_rounds(50_000)
+                .with_chaos(
+                    ChaosPlan::new(seed).with_drop(0.2).with_retries(1).with_staleness_bound(2),
+                )
+                .run_observed(&x0, &mut tele)
+                .unwrap();
+            tele.to_jsonl()
+        };
+        assert_eq!(record(7), record(7), "same seed must record identical JSONL");
+        assert_ne!(record(7), record(8), "different seeds must record different JSONL");
     }
 
     #[test]

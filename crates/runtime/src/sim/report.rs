@@ -1,5 +1,13 @@
 //! Results of a chaos-simulation run.
+//!
+//! The fault summary is no longer tallied by hand along the executor's code
+//! paths: the channel and executor record everything through a
+//! [`Recorder`](fap_obs::Recorder), and [`FaultCounters::from_registry`]
+//! reads the final counts back out of the run's
+//! [`MetricsRegistry`](fap_obs::MetricsRegistry). One instrumentation
+//! stream feeds both the structured telemetry and this summary.
 
+use fap_obs::MetricsRegistry;
 use serde::{Deserialize, Serialize};
 
 use fap_econ::Trace;
@@ -35,6 +43,26 @@ pub struct FaultCounters {
     pub crashes: u64,
     /// Rejoin events that fired.
     pub rejoins: u64,
+}
+
+impl FaultCounters {
+    /// Builds the summary from the `sim.*` counters a simulated run
+    /// recorded — the single source of fault accounting.
+    pub fn from_registry(registry: &MetricsRegistry) -> Self {
+        FaultCounters {
+            sent: registry.counter("sim.sent"),
+            delivered: registry.counter("sim.delivered"),
+            dropped: registry.counter("sim.dropped"),
+            duplicated: registry.counter("sim.duplicated"),
+            delayed: registry.counter("sim.delayed"),
+            retries: registry.counter("sim.retries"),
+            forced_assignments: registry.counter("sim.forced_assignments"),
+            stale_reuses: registry.counter("sim.stale_reuses"),
+            excluded_agent_rounds: registry.counter("sim.excluded_agent_rounds"),
+            crashes: registry.counter("sim.crashes"),
+            rejoins: registry.counter("sim.rejoins"),
+        }
+    }
 }
 
 /// The outcome of a simulated run under a [`ChaosPlan`](super::ChaosPlan).
@@ -102,6 +130,23 @@ mod tests {
         let json = serde_json::to_string(&c).unwrap();
         let back: FaultCounters = serde_json::from_str(&json).unwrap();
         assert_eq!(c, back);
+    }
+
+    #[test]
+    fn counters_read_back_from_the_registry() {
+        let mut registry = MetricsRegistry::new();
+        registry.incr("sim.sent", 10);
+        registry.incr("sim.delivered", 8);
+        registry.incr("sim.dropped", 2);
+        registry.incr("sim.stale_reuses", 1);
+        let c = FaultCounters::from_registry(&registry);
+        assert_eq!(c.sent, 10);
+        assert_eq!(c.delivered, 8);
+        assert_eq!(c.dropped, 2);
+        assert_eq!(c.stale_reuses, 1);
+        // Counters never recorded stay zero.
+        assert_eq!(c.duplicated, 0);
+        assert_eq!(c.crashes, 0);
     }
 
     #[test]

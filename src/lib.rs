@@ -26,7 +26,13 @@
 //! * [`runtime`] — the protocol as a message-passing (and multi-threaded)
 //!   distributed system with message accounting, failure injection, and a
 //!   seeded chaos simulator running the exchange schemes over an
-//!   unreliable network.
+//!   unreliable network;
+//! * [`obs`] — zero-dependency structured telemetry: a metrics registry
+//!   (counters, gauges, histograms), span timing on wall or virtual
+//!   clocks, and a JSONL event export, wired through the solvers, the
+//!   chaos simulator and the parallel kernels via the
+//!   [`Recorder`](fap_obs::Recorder) trait (the no-op recorder preserves
+//!   the zero-allocation and bit-identity guarantees).
 //!
 //! # Quickstart
 //!
@@ -55,6 +61,7 @@ pub use fap_batch as batch;
 pub use fap_core as core;
 pub use fap_econ as econ;
 pub use fap_net as net;
+pub use fap_obs as obs;
 pub use fap_queue as queue;
 pub use fap_ring as ring;
 pub use fap_runtime as runtime;
@@ -72,6 +79,7 @@ pub mod prelude {
         StepSize,
     };
     pub use fap_net::{topology, AccessPattern, Graph, NodeId};
+    pub use fap_obs::{MetricsRegistry, NoopRecorder, Recorder, Telemetry};
     pub use fap_queue::{DelayModel, Mg1Delay, Mm1Delay, NetworkSimulation, ServiceDistribution};
     pub use fap_ring::{RingSolver, VirtualRing};
     pub use fap_runtime::{

@@ -101,3 +101,58 @@ fn warm_scratch_solve_allocates_nothing_per_iteration() {
         "per-iteration allocations detected: 600 iters cost {long_allocs} allocs, 60 iters cost {short_allocs}"
     );
 }
+
+#[test]
+fn recording_solve_only_grows_preallocated_buffers() {
+    // The observed solve with a live recording sink must also be
+    // allocation-free per iteration: every event lands in the telemetry's
+    // preallocated event buffer, and registry counters/gauges/histograms
+    // allocate only at first registration (a per-run constant). As above,
+    // a 600-iteration run and a 60-iteration run must allocate exactly the
+    // same.
+    use fap::obs::Telemetry;
+
+    let graph = topology::torus(3, 4, 1.0).expect("valid torus");
+    let n = graph.node_count();
+    let patterns: Vec<AccessPattern> = (0..3)
+        .map(|j| AccessPattern::random(n, 0.05..0.2, 9 + j as u64).expect("valid pattern"))
+        .collect();
+    let offered: f64 = patterns.iter().map(AccessPattern::total_rate).sum();
+    let problem =
+        MultiFileProblem::mm1(&graph, &patterns, 10.0 * offered / n as f64, 1.0).expect("valid");
+    let initial = vec![vec![1.0 / n as f64; n]; 3];
+
+    // 600 iterations → 601 `core.iter` events + 1 `core.run_end`.
+    const CAPACITY: usize = 1024;
+    let mut scratch = MultiFileScratch::new();
+    let observe_n = |iterations: usize, scratch: &mut MultiFileScratch| {
+        let mut telemetry = Telemetry::manual().with_event_capacity(CAPACITY);
+        let solution = problem
+            .solve_observed(
+                &initial,
+                0.002,
+                1e-300,
+                iterations,
+                Parallelism::Sequential,
+                scratch,
+                &mut telemetry,
+            )
+            .expect("stable solve");
+        (solution, telemetry)
+    };
+    let (warm, _) = observe_n(600, &mut scratch);
+
+    let (long_allocs, (long, long_tele)) = counted(|| observe_n(600, &mut scratch));
+    let (short_allocs, (short, _)) = counted(|| observe_n(60, &mut scratch));
+
+    assert_eq!(long, warm, "warm recorded rerun must be bit-identical");
+    assert_eq!(long, solve_n(&problem, &initial, 600, &mut scratch), "recording must not perturb");
+    assert_eq!(short.iterations, 60);
+    assert_eq!(long_tele.events().len(), 602, "one iter event per pass plus run_end");
+    assert!(long_tele.spare_event_capacity() > 0, "event buffer must not have grown");
+    assert_eq!(long_tele.registry().counter("core.iterations"), 601);
+    assert_eq!(
+        long_allocs, short_allocs,
+        "recording added per-iteration allocations: 600 iters cost {long_allocs} allocs, 60 iters cost {short_allocs}"
+    );
+}

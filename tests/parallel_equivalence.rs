@@ -108,6 +108,41 @@ fn multi_file_parallel_solve_is_bit_identical() {
 }
 
 #[test]
+fn recording_telemetry_keeps_parallel_solves_bit_identical() {
+    // Recording wall-clock chunk timings and per-iteration events must not
+    // perturb a single bit of the computation, at any thread count.
+    let graph = topology::torus(5, 7, 1.5).unwrap();
+    let problem = problem_on(&graph, 7, 77);
+    let initial = tilted_initial(7, graph.node_count());
+    let sequential = problem.solve(&initial, 0.01, 1e-6, 400).unwrap();
+    for threads in THREADS {
+        let mut telemetry = fap::obs::Telemetry::manual();
+        let mut scratch = MultiFileScratch::new();
+        let observed = problem
+            .solve_observed(
+                &initial,
+                0.01,
+                1e-6,
+                400,
+                Parallelism::Fixed(threads),
+                &mut scratch,
+                &mut telemetry,
+            )
+            .unwrap();
+        for (sj, oj) in sequential.allocations.iter().zip(&observed.allocations) {
+            assert_eq!(bits(sj), bits(oj), "recorded solve diverged with {threads} threads");
+        }
+        assert_eq!(bits(&sequential.cost_series), bits(&observed.cost_series));
+        assert_eq!(sequential.final_cost.to_bits(), observed.final_cost.to_bits());
+        assert_eq!(
+            telemetry.registry().counter("core.iterations"),
+            (observed.iterations + 1) as u64
+        );
+        assert!(telemetry.registry().histogram("core.file_chunk_ns").unwrap().count() > 0);
+    }
+}
+
+#[test]
 fn scratch_reuse_across_shapes_is_bit_identical() {
     // One scratch reused across problems of different shapes must not leak
     // state between solves.
