@@ -15,6 +15,7 @@
 
 pub mod experiments;
 pub mod scale;
+pub mod serve;
 pub mod series;
 
 pub use series::Series;

@@ -1,0 +1,318 @@
+//! The `serve` benchmark: sequential-vs-sharded wall clock for the
+//! `fap-serve` batcher over a grid of batch sizes and shard counts.
+//!
+//! The sharded path is bit-identical to the sequential one by construction
+//! (contiguous chunks, one deterministic kernel per request), and
+//! [`bench_serve`] asserts that on every point before reporting a timing.
+//! Results serialize to the `BENCH_serve.json` schema committed at the repo
+//! root; regenerate with `fap bench-serve` (prefer `--release`).
+
+use std::time::Instant;
+
+use fap_batch::Parallelism;
+use fap_core::{MultiFileProblem, SingleFileProblem};
+use fap_net::{topology, AccessPattern};
+use fap_ring::VirtualRing;
+use fap_serve::{BatchServer, ServeOutput, ServeRequest, ServeResponse};
+use serde::{Deserialize, Serialize};
+
+pub use crate::scale::CheckOutcome;
+
+/// One measured grid point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServePoint {
+    /// Batch size (number of requests).
+    pub requests: usize,
+    /// Shard count of the sharded run.
+    pub shards: usize,
+    /// Sequential (one-shard) wall clock, milliseconds.
+    pub sequential_ms: f64,
+    /// Sharded wall clock, milliseconds.
+    pub sharded_ms: f64,
+    /// `sequential_ms / sharded_ms`.
+    pub speedup: f64,
+    /// A content checksum over the responses, equal for both paths.
+    pub checksum: f64,
+}
+
+/// The full benchmark report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// Worker threads `Parallelism::Auto` would use on the machine that
+    /// produced the report (informational; the grid pins explicit counts).
+    pub threads: usize,
+    /// The batch-size grid.
+    pub batch_sizes: Vec<usize>,
+    /// The shard-count grid.
+    pub shard_counts: Vec<usize>,
+    /// All measured points.
+    pub points: Vec<ServePoint>,
+}
+
+/// The benchmark workload: a deterministic mixed batch of `count` requests
+/// cycling through the three request kinds (§4 single-file, §5.2
+/// multi-file, §7 ring), each with an index-seeded random access pattern.
+///
+/// # Panics
+///
+/// Panics only on programming errors (the generated parameters are valid).
+pub fn serve_workload(count: usize) -> Vec<ServeRequest> {
+    (0..count)
+        .map(|i| {
+            let seed = 7_000 + i as u64;
+            match i % 3 {
+                0 => {
+                    let graph = topology::ring(8, 1.0).expect("valid ring");
+                    let pattern =
+                        AccessPattern::random(8, 0.1..0.4, seed).expect("valid pattern");
+                    let problem = SingleFileProblem::mm1(&graph, &pattern, 6.0, 1.0)
+                        .expect("valid problem");
+                    ServeRequest::SingleFile {
+                        problem,
+                        initial: vec![0.125; 8],
+                        alpha: 0.05,
+                        epsilon: 1e-7,
+                        max_iterations: 100_000,
+                    }
+                }
+                1 => {
+                    let graph = topology::ring(6, 1.0).expect("valid ring");
+                    let patterns: Vec<AccessPattern> = (0..4)
+                        .map(|j| {
+                            AccessPattern::random(6, 0.05..0.3, seed + 31 * j)
+                                .expect("valid pattern")
+                        })
+                        .collect();
+                    let problem = MultiFileProblem::mm1(&graph, &patterns, 8.0, 1.0)
+                        .expect("valid problem");
+                    ServeRequest::MultiFile {
+                        problem,
+                        initial: vec![vec![1.0 / 6.0; 6]; 4],
+                        alpha: 0.05,
+                        epsilon: 1e-7,
+                        max_iterations: 50_000,
+                    }
+                }
+                _ => {
+                    let ring = VirtualRing::new(
+                        vec![4.0, 1.0, 1.0, 1.0, 2.0],
+                        vec![0.2; 5],
+                        vec![1.5; 5],
+                        2.0,
+                        1.0,
+                    )
+                    .expect("valid ring");
+                    ServeRequest::Ring {
+                        ring,
+                        initial: vec![2.0, 0.0, 0.0, 0.0, 0.0],
+                        alpha: 0.1,
+                        cost_delta_tolerance: 1e-7,
+                        max_iterations: 5_000,
+                    }
+                }
+            }
+        })
+        .collect()
+}
+
+fn checksum_output(output: &ServeOutput) -> f64 {
+    output
+        .responses
+        .iter()
+        .map(|r| match r {
+            Ok(ServeResponse::SingleFile(s)) => {
+                s.final_utility + s.allocation.iter().sum::<f64>() + s.iterations as f64
+            }
+            Ok(ServeResponse::MultiFile(s)) => {
+                s.final_cost
+                    + s.allocations.iter().flat_map(|row| row.iter()).sum::<f64>()
+                    + s.iterations as f64
+            }
+            Ok(ServeResponse::Ring(s)) => {
+                s.best_cost + s.final_allocation.iter().sum::<f64>() + s.iterations as f64
+            }
+            Err(_) => f64::NAN,
+        })
+        .sum()
+}
+
+fn time_ms<T>(f: impl FnOnce() -> T) -> (f64, T) {
+    let start = Instant::now();
+    let value = f();
+    (start.elapsed().as_secs_f64() * 1e3, value)
+}
+
+/// Runs the sweep: for each batch size a sequential baseline, then one
+/// sharded run per shard count.
+///
+/// # Panics
+///
+/// Panics if any sharded response vector differs bitwise from its
+/// sequential counterpart, or if the merged aggregate counters depend on
+/// the shard count — the serving determinism contract.
+pub fn bench_serve(batch_sizes: &[usize], shard_counts: &[usize]) -> ServeReport {
+    let mut points = Vec::new();
+    for &count in batch_sizes {
+        let requests = serve_workload(count);
+        let (sequential_ms, sequential) =
+            time_ms(|| BatchServer::new(Parallelism::Sequential).serve(&requests));
+        assert_eq!(sequential.err_count(), 0, "the benchmark workload must solve cleanly");
+        let checksum = checksum_output(&sequential);
+        for &shards in shard_counts {
+            let (sharded_ms, sharded) =
+                time_ms(|| BatchServer::new(Parallelism::Fixed(shards)).serve(&requests));
+            assert_eq!(
+                sequential.responses, sharded.responses,
+                "sharded serving diverged at requests = {count}, shards = {shards}"
+            );
+            assert_eq!(
+                sequential.aggregate.counter("serve.requests"),
+                sharded.aggregate.counter("serve.requests"),
+                "aggregate fan-in diverged at requests = {count}, shards = {shards}"
+            );
+            points.push(ServePoint {
+                requests: count,
+                shards,
+                sequential_ms,
+                sharded_ms,
+                speedup: sequential_ms / sharded_ms,
+                checksum,
+            });
+        }
+    }
+    ServeReport {
+        threads: Parallelism::Auto.thread_count(),
+        batch_sizes: batch_sizes.to_vec(),
+        shard_counts: shard_counts.to_vec(),
+        points,
+    }
+}
+
+/// Compares a `fresh` run against the `committed` report
+/// (`fap bench-serve --check`).
+///
+/// Grid shape, point identity and response checksums (bit-for-bit via
+/// [`f64::to_bits`]) are hard gates. Thread count and wall-clock timings
+/// only produce advisories, since the committed numbers came from a
+/// different (possibly slower, possibly single-core) machine.
+pub fn check_against(
+    committed: &ServeReport,
+    fresh: &ServeReport,
+    timing_tolerance: f64,
+) -> CheckOutcome {
+    let mut outcome = CheckOutcome::default();
+    if committed.batch_sizes != fresh.batch_sizes || committed.shard_counts != fresh.shard_counts
+    {
+        outcome.hard_failures.push(format!(
+            "grid mismatch: committed {:?}×{:?}, fresh {:?}×{:?}",
+            committed.batch_sizes, committed.shard_counts, fresh.batch_sizes, fresh.shard_counts
+        ));
+    }
+    if committed.points.len() != fresh.points.len() {
+        outcome.hard_failures.push(format!(
+            "point count mismatch: committed {}, fresh {}",
+            committed.points.len(),
+            fresh.points.len()
+        ));
+        return outcome;
+    }
+    if committed.threads != fresh.threads {
+        outcome.advisories.push(format!(
+            "thread count differs: committed {}, fresh {} (machine-dependent)",
+            committed.threads, fresh.threads
+        ));
+    }
+    for (old, new) in committed.points.iter().zip(&fresh.points) {
+        let label = format!("requests={} shards={}", old.requests, old.shards);
+        if old.requests != new.requests || old.shards != new.shards {
+            outcome.hard_failures.push(format!(
+                "point identity mismatch: committed {label}, fresh requests={} shards={}",
+                new.requests, new.shards
+            ));
+            continue;
+        }
+        if old.checksum.to_bits() != new.checksum.to_bits() {
+            outcome.hard_failures.push(format!(
+                "checksum diverged at {label}: committed {:?} ({:#018x}), fresh {:?} ({:#018x})",
+                old.checksum,
+                old.checksum.to_bits(),
+                new.checksum,
+                new.checksum.to_bits()
+            ));
+        }
+        for (stage, was, now) in [
+            ("sequential", old.sequential_ms, new.sequential_ms),
+            ("sharded", old.sharded_ms, new.sharded_ms),
+        ] {
+            if now > was * timing_tolerance {
+                outcome.advisories.push(format!(
+                    "{label}: {stage} timing {now:.2} ms exceeds {timing_tolerance}× committed {was:.2} ms"
+                ));
+            }
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_workload_cycles_through_all_three_kinds() {
+        let requests = serve_workload(6);
+        assert_eq!(requests.len(), 6);
+        assert!(matches!(requests[0], ServeRequest::SingleFile { .. }));
+        assert!(matches!(requests[1], ServeRequest::MultiFile { .. }));
+        assert!(matches!(requests[2], ServeRequest::Ring { .. }));
+        assert!(matches!(requests[3], ServeRequest::SingleFile { .. }));
+    }
+
+    #[test]
+    fn bench_serve_produces_consistent_points() {
+        let report = bench_serve(&[6], &[2, 3]);
+        assert_eq!(report.points.len(), 2);
+        for p in &report.points {
+            assert!(p.sequential_ms >= 0.0 && p.sharded_ms >= 0.0);
+            assert!(p.checksum.is_finite());
+        }
+        // Same batch, same workload: every shard count sees one checksum.
+        assert_eq!(
+            report.points[0].checksum.to_bits(),
+            report.points[1].checksum.to_bits()
+        );
+    }
+
+    #[test]
+    fn check_passes_on_a_rerun_of_the_same_grid() {
+        let committed = bench_serve(&[5], &[2]);
+        let fresh = bench_serve(&[5], &[2]);
+        let outcome = check_against(&committed, &fresh, f64::INFINITY);
+        assert!(outcome.is_pass(), "failures: {:?}", outcome.hard_failures);
+    }
+
+    #[test]
+    fn check_flags_checksum_and_grid_divergence_as_hard() {
+        let committed = bench_serve(&[5], &[2]);
+        let mut fresh = committed.clone();
+        fresh.points[0].checksum += 1.0;
+        let outcome = check_against(&committed, &fresh, f64::INFINITY);
+        assert!(!outcome.is_pass());
+        assert!(outcome.hard_failures[0].contains("checksum diverged"));
+
+        let mut regridded = committed.clone();
+        regridded.shard_counts = vec![7];
+        let outcome = check_against(&committed, &regridded, f64::INFINITY);
+        assert!(outcome.hard_failures.iter().any(|f| f.contains("grid mismatch")));
+    }
+
+    #[test]
+    fn check_reports_slow_timings_as_advisory() {
+        let committed = bench_serve(&[5], &[2]);
+        let mut fresh = committed.clone();
+        fresh.points[0].sharded_ms = committed.points[0].sharded_ms * 100.0 + 1.0;
+        let outcome = check_against(&committed, &fresh, 1.5);
+        assert!(outcome.is_pass(), "slow timing must not fail the check");
+        assert!(outcome.advisories.iter().any(|a| a.contains("sharded timing")));
+    }
+}

@@ -5,24 +5,33 @@
 //! fap run <scenario.json>                alias for solve
 //! fap simulate <scenario.json>           solve, then measure with the DES
 //! fap sim <scenario.json> [chaos.json]   run the protocol under faults
+//! fap serve <requests.json> [--shards N] batch-solve a request list, sharded
+//! fap serve-example                      print a template request list
 //! fap report <metrics.jsonl>             summarize an exported metrics file
 //! fap sweep-k <scenario.json> <k,k,...>  the §8.2 k trade-off
 //! fap bench-scale [out.json]             seq-vs-parallel scaling sweep
 //! fap bench-scale --check [committed]    re-run and verify determinism
+//! fap bench-serve [out.json]             sequential-vs-sharded serving sweep
+//! fap bench-serve --check [committed]    re-run and verify determinism
 //! fap example                            print a template scenario
 //! fap chaos-example                      print a template fault plan
 //! ```
 //!
-//! `solve`, `run` and `sim` accept `--metrics-out <path.jsonl>` to export
-//! the run's telemetry and `--metrics-summary` to print the metrics table.
-//! Telemetry runs on virtual time (iterations/rounds), so two runs of the
-//! same seeded scenario export byte-identical JSONL.
+//! `solve`, `run`, `sim` and `serve` accept `--metrics-out <path.jsonl>`
+//! to export the run's telemetry and `--metrics-summary` to print the
+//! metrics table. By default the export is buffered in memory and written
+//! at the end; `--metrics-flush-every <N>` streams it instead, flushing to
+//! the file every `N` events (bounded memory on long runs, byte-identical
+//! output). Telemetry runs on virtual time (iterations/rounds), so two
+//! runs of the same seeded scenario export byte-identical JSONL.
 
+use std::fs::File;
+use std::io::BufWriter;
 use std::path::Path;
 use std::process::ExitCode;
 
 use fap_cli::{chaos_sim_observed, simulate, solve_observed, summarize, sweep_k, Scenario};
-use fap_obs::Telemetry;
+use fap_obs::{JsonlSink, Recorder, Telemetry};
 use fap_runtime::ChaosPlan;
 
 fn main() -> ExitCode {
@@ -43,40 +52,96 @@ const USAGE: &str = "usage:
   fap run   <scenario.json> [--metrics-out <path.jsonl>] [--metrics-summary]
   fap simulate <scenario.json>
   fap sim <scenario.json> [chaos.json] [--metrics-out <path.jsonl>] [--metrics-summary]
+  fap serve <requests.json> [--shards <n>] [--metrics-out <path.jsonl>] [--metrics-summary]
+  fap serve-example
   fap report <metrics.jsonl>
   fap sweep-k <scenario.json> <k1,k2,...>
   fap bench-scale [out.json]
   fap bench-scale --check [committed.json]
+  fap bench-serve [out.json]
+  fap bench-serve --check [committed.json]
   fap example
-  fap chaos-example";
+  fap chaos-example
 
-/// Telemetry flags shared by `solve`/`run`/`sim`.
+metrics flags also accept --metrics-flush-every <n> to stream the export
+(requires --metrics-out; flushes every n events instead of buffering)";
+
+/// Telemetry flags shared by `solve`/`run`/`sim`/`serve`.
 #[derive(Debug, Default)]
 struct MetricsOptions {
     out: Option<String>,
     summary: bool,
+    flush_every: Option<usize>,
+}
+
+/// The recorder a command writes into: buffered [`Telemetry`] by default,
+/// or a streaming [`JsonlSink`] under `--metrics-flush-every`.
+enum MetricsSink {
+    Buffered(Telemetry),
+    Streaming(JsonlSink<BufWriter<File>>),
+}
+
+impl MetricsSink {
+    fn recorder(&mut self) -> &mut dyn Recorder {
+        match self {
+            MetricsSink::Buffered(telemetry) => telemetry,
+            MetricsSink::Streaming(sink) => sink,
+        }
+    }
 }
 
 impl MetricsOptions {
     fn requested(&self) -> bool {
-        self.out.is_some() || self.summary
+        self.out.is_some() || self.summary || self.flush_every.is_some()
     }
 
-    /// Exports and/or prints `telemetry` as the flags requested.
-    fn finish(&self, telemetry: &Telemetry) -> Result<(), String> {
-        if let Some(path) = &self.out {
-            std::fs::write(path, telemetry.to_jsonl())
-                .map_err(|e| format!("writing {path}: {e}"))?;
+    /// Opens the recorder the flags ask for. The streaming sink opens its
+    /// output file up front, so a bad path fails before the run starts.
+    fn sink(&self) -> Result<MetricsSink, String> {
+        match self.flush_every {
+            Some(n) => {
+                let path = self
+                    .out
+                    .as_ref()
+                    .ok_or("--metrics-flush-every requires --metrics-out")?;
+                let file =
+                    File::create(path).map_err(|e| format!("creating {path}: {e}"))?;
+                Ok(MetricsSink::Streaming(JsonlSink::new(BufWriter::new(file), n)))
+            }
+            None => Ok(MetricsSink::Buffered(Telemetry::manual())),
         }
-        if self.summary {
-            print!("{}", telemetry.summary());
+    }
+
+    /// Exports and/or prints the recorded telemetry as the flags
+    /// requested. Both paths produce byte-identical JSONL; the streaming
+    /// one has already written its event lines and only appends the
+    /// registry trailer here.
+    fn finish(&self, sink: MetricsSink) -> Result<(), String> {
+        match sink {
+            MetricsSink::Buffered(telemetry) => {
+                if let Some(path) = &self.out {
+                    std::fs::write(path, telemetry.to_jsonl())
+                        .map_err(|e| format!("writing {path}: {e}"))?;
+                }
+                if self.summary {
+                    print!("{}", telemetry.summary());
+                }
+            }
+            MetricsSink::Streaming(streaming) => {
+                if self.summary {
+                    print!("{}", streaming.summary());
+                }
+                let path = self.out.as_deref().unwrap_or_default();
+                streaming.finish().map_err(|e| format!("writing {path}: {e}"))?;
+            }
         }
         Ok(())
     }
 }
 
-/// Splits `--metrics-out <path>` / `--metrics-summary` out of the raw
-/// argument list, leaving the positional arguments.
+/// Splits `--metrics-out <path>` / `--metrics-summary` /
+/// `--metrics-flush-every <n>` out of the raw argument list, leaving the
+/// positional arguments.
 fn extract_metrics_flags(args: &[String]) -> Result<(Vec<String>, MetricsOptions), String> {
     let mut positional = Vec::new();
     let mut options = MetricsOptions::default();
@@ -88,6 +153,13 @@ fn extract_metrics_flags(args: &[String]) -> Result<(Vec<String>, MetricsOptions
                 options.out = Some(path.clone());
             }
             "--metrics-summary" => options.summary = true,
+            "--metrics-flush-every" => {
+                let n = iter.next().ok_or("--metrics-flush-every requires a count")?;
+                let n: usize = n
+                    .parse()
+                    .map_err(|e| format!("bad flush interval '{n}': {e}"))?;
+                options.flush_every = Some(n);
+            }
             _ => positional.push(arg.clone()),
         }
     }
@@ -97,9 +169,12 @@ fn extract_metrics_flags(args: &[String]) -> Result<(Vec<String>, MetricsOptions
 fn run(args: &[String]) -> Result<(), String> {
     let (args, metrics) = extract_metrics_flags(args)?;
     if metrics.requested()
-        && !matches!(args.first().map(String::as_str), Some("solve" | "run" | "sim"))
+        && !matches!(args.first().map(String::as_str), Some("solve" | "run" | "sim" | "serve"))
     {
-        return Err("--metrics-out/--metrics-summary only apply to solve, run and sim".into());
+        return Err(
+            "--metrics-out/--metrics-summary/--metrics-flush-every only apply to solve, run, sim and serve"
+                .into(),
+        );
     }
     match &args[..] {
         [] => Err("no command given".into()),
@@ -110,10 +185,10 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             ("solve" | "run", [path]) => {
                 let scenario = Scenario::load(Path::new(path)).map_err(|e| e.to_string())?;
-                let mut telemetry = Telemetry::manual();
+                let mut sink = metrics.sink()?;
                 let output =
-                    solve_observed(&scenario, &mut telemetry).map_err(|e| e.to_string())?;
-                metrics.finish(&telemetry)?;
+                    solve_observed(&scenario, sink.recorder()).map_err(|e| e.to_string())?;
+                metrics.finish(sink)?;
                 println!("converged:  {} ({} iterations)", output.converged, output.iterations);
                 println!("cost:       {:.6}", output.cost);
                 println!("reference:  {:.6} (gap {:.2e})", output.reference_cost, output.reference_gap);
@@ -166,13 +241,47 @@ fn run(args: &[String]) -> Result<(), String> {
                     }
                     _ => ChaosPlan::new(0),
                 };
-                let mut telemetry = Telemetry::manual();
-                let report = chaos_sim_observed(&scenario, plan, &mut telemetry)
+                let mut sink = metrics.sink()?;
+                let report = chaos_sim_observed(&scenario, plan, sink.recorder())
                     .map_err(|e| e.to_string())?;
-                metrics.finish(&telemetry)?;
+                metrics.finish(sink)?;
                 let json = serde_json::to_string_pretty(&report)
                     .map_err(|e| e.to_string())?;
                 println!("{json}");
+                Ok(())
+            }
+            ("serve", rest) => {
+                let mut path: Option<&String> = None;
+                let mut shards = fap_batch::Parallelism::Auto;
+                let mut iter = rest.iter();
+                while let Some(arg) = iter.next() {
+                    match arg.as_str() {
+                        "--shards" => {
+                            let n = iter.next().ok_or("--shards requires a count")?;
+                            let n: usize = n
+                                .parse()
+                                .map_err(|e| format!("bad shard count '{n}': {e}"))?;
+                            if n == 0 {
+                                return Err("--shards must be at least 1".into());
+                            }
+                            shards = fap_batch::Parallelism::Fixed(n);
+                        }
+                        _ if path.is_none() => path = Some(arg),
+                        other => return Err(format!("unexpected argument '{other}'")),
+                    }
+                }
+                let path = path.ok_or("serve requires a request-list file")?;
+                let specs =
+                    fap_cli::load_specs(Path::new(path)).map_err(|e| e.to_string())?;
+                let mut sink = metrics.sink()?;
+                let output = fap_cli::serve_specs(&specs, shards, sink.recorder())
+                    .map_err(|e| e.to_string())?;
+                print!("{}", fap_cli::serve::render_output(&specs, &output));
+                metrics.finish(sink)?;
+                Ok(())
+            }
+            ("serve-example", []) => {
+                println!("{}", fap_cli::serve::example_specs_json());
                 Ok(())
             }
             ("report", [path]) => {
@@ -228,6 +337,53 @@ fn run(args: &[String]) -> Result<(), String> {
                     println!(
                         "  {:<10} N={:<5} M={:<4} seq {:>9.2} ms  par {:>9.2} ms  speedup {:>5.2}x",
                         p.kind, p.n, p.m, p.sequential_ms, p.parallel_ms, p.speedup
+                    );
+                }
+                Ok(())
+            }
+            ("bench-serve", [first, rest @ ..]) if first == "--check" && rest.len() <= 1 => {
+                let path = rest.first().map_or("BENCH_serve.json", String::as_str);
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("reading {path}: {e}"))?;
+                let committed: fap_bench::serve::ServeReport =
+                    serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+                let fresh = fap_bench::serve::bench_serve(
+                    &committed.batch_sizes,
+                    &committed.shard_counts,
+                );
+                let outcome = fap_bench::serve::check_against(&committed, &fresh, 1.5);
+                for advisory in &outcome.advisories {
+                    println!("advisory: {advisory}");
+                }
+                if outcome.is_pass() {
+                    println!(
+                        "bench-serve check passed: {} points bit-identical to {path}",
+                        committed.points.len()
+                    );
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "bench-serve check failed:\n  {}",
+                        outcome.hard_failures.join("\n  ")
+                    ))
+                }
+            }
+            ("bench-serve", rest) if rest.len() <= 1 => {
+                let out = rest.first().map_or("BENCH_serve.json", String::as_str);
+                let report = fap_bench::serve::bench_serve(&[12, 48, 192], &[1, 2, 4, 8]);
+                let json =
+                    serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+                std::fs::write(out, format!("{json}\n"))
+                    .map_err(|e| format!("writing {out}: {e}"))?;
+                println!(
+                    "{} threads; wrote {} points to {out}",
+                    report.threads,
+                    report.points.len()
+                );
+                for p in &report.points {
+                    println!(
+                        "  requests={:<5} shards={:<3} seq {:>9.2} ms  sharded {:>9.2} ms  speedup {:>5.2}x",
+                        p.requests, p.shards, p.sequential_ms, p.sharded_ms, p.speedup
                     );
                 }
                 Ok(())

@@ -10,6 +10,8 @@
 //! fap solve scenario.json            # optimal allocation + cost
 //! fap simulate scenario.json        # measure the optimum empirically
 //! fap sim scenario.json chaos.json  # run the protocol under injected faults
+//! fap serve requests.json --shards 4 # batch-solve a scenario list, sharded
+//! fap serve-example                  # print a template scenario list
 //! fap report metrics.jsonl          # summarize an exported telemetry file
 //! fap sweep-k scenario.json 0.1,1,10  # the §8.2 k trade-off
 //! fap example                        # print a template scenario
@@ -30,7 +32,9 @@
 pub mod report;
 pub mod run;
 pub mod scenario;
+pub mod serve;
 
 pub use report::{render, summarize, ReportSummary};
 pub use run::{chaos_sim, chaos_sim_observed, simulate, solve, solve_observed, sweep_k, SolveOutput};
 pub use scenario::{Scenario, ScenarioError, Topology};
+pub use serve::{load_specs, serve_specs, ServeSpec};

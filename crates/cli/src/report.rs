@@ -40,10 +40,12 @@ fn field<'a>(fields: &'a [(String, Scalar)], name: &str) -> Option<&'a Scalar> {
     fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
 }
 
-/// Nearest-rank quantile over an ascending-sorted slice.
-fn quantile(sorted: &[f64], q: f64) -> f64 {
-    let index = ((sorted.len() - 1) as f64 * q).round() as usize;
-    sorted[index]
+/// Nearest-rank quantile over an ascending-sorted slice; `None` when the
+/// slice is empty (the previous `sorted.len() - 1` underflowed on `[]`).
+fn quantile(sorted: &[f64], q: f64) -> Option<f64> {
+    let last = sorted.len().checked_sub(1)?;
+    let index = (last as f64 * q).round() as usize;
+    Some(sorted[index])
 }
 
 /// Parses and digests a metrics JSONL stream.
@@ -107,8 +109,8 @@ pub fn summarize(text: &str) -> Result<ReportSummary, String> {
     } else {
         latencies.sort_by(f64::total_cmp);
         summary.deliveries = latencies.len();
-        summary.latency_p50 = Some(quantile(&latencies, 0.50));
-        summary.latency_p99 = Some(quantile(&latencies, 0.99));
+        summary.latency_p50 = quantile(&latencies, 0.50);
+        summary.latency_p99 = quantile(&latencies, 0.99);
     }
     Ok(summary)
 }
@@ -225,6 +227,61 @@ mod tests {
     fn rejects_malformed_lines_with_a_line_number() {
         let err = summarize("{\"counter\":\"sim.sent\",\"value\":1}\nnot json\n").unwrap_err();
         assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn empty_quantile_is_none_not_a_panic() {
+        assert_eq!(quantile(&[], 0.5), None);
+        assert_eq!(quantile(&[2.5], 0.99), Some(2.5));
+    }
+
+    #[test]
+    fn empty_file_reports_no_latencies() {
+        let summary = summarize("").unwrap();
+        assert_eq!(summary, ReportSummary::default());
+        assert_eq!(summary.latency_p50, None);
+        assert_eq!(summary.latency_p99, None);
+        let rendered = render(&summary);
+        assert!(rendered.contains("no run_end event found"));
+        assert!(rendered.contains("no delivery data found"));
+    }
+
+    #[test]
+    fn event_free_file_reports_none_latencies() {
+        // A registry-only export with no sim histogram and no deliveries —
+        // e.g. a solve run that recorded only counters.
+        let text = "{\"counter\":\"econ.iterations\",\"value\":12}\n\
+                    {\"gauge\":\"econ.alpha\",\"value\":0.1}\n";
+        let summary = summarize(text).unwrap();
+        assert_eq!(summary.events, 0);
+        assert_eq!(summary.deliveries, 0);
+        assert_eq!(summary.latency_p50, None);
+        assert_eq!(summary.latency_p99, None);
+        assert!(render(&summary).contains("no delivery data found"));
+    }
+
+    #[test]
+    fn ring_runs_report_real_iteration_counts() {
+        // The §7 solver is wired through the recorder now; its exported
+        // stream must show the true iteration count, not zero.
+        let ring = fap_ring::VirtualRing::new(
+            vec![4.0, 1.0, 1.0, 1.0],
+            vec![0.25; 4],
+            vec![1.5; 4],
+            2.0,
+            1.0,
+        )
+        .unwrap();
+        let mut telemetry = Telemetry::manual();
+        let solution = fap_ring::RingSolver::new(0.1)
+            .with_max_iterations(3_000)
+            .solve_observed(&ring, &[2.0, 0.0, 0.0, 0.0], &mut telemetry)
+            .unwrap();
+        assert!(solution.iterations > 0);
+        let summary = summarize(&telemetry.to_jsonl()).unwrap();
+        assert_eq!(summary.iterations, Some(solution.iterations as u64));
+        assert_eq!(summary.converged, Some(solution.converged));
+        assert!(render(&summary).contains(&format!("after {} iterations", solution.iterations)));
     }
 
     #[test]

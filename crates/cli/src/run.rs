@@ -28,7 +28,7 @@ pub struct SolveOutput {
 }
 
 /// Builds the single-file problem a scenario describes.
-fn problem_of(scenario: &Scenario) -> Result<SingleFileProblem, ScenarioError> {
+pub(crate) fn problem_of(scenario: &Scenario) -> Result<SingleFileProblem, ScenarioError> {
     let graph = scenario.topology.build()?;
     let pattern = scenario.pattern()?;
     SingleFileProblem::mm1_heterogeneous(&graph, &pattern, &scenario.service_rates(), scenario.k)

@@ -1,0 +1,352 @@
+//! `fap serve`: batch-serving many scenarios through `fap-serve`.
+//!
+//! The input is a *scenario list*: a JSON array of tagged specs, one per
+//! request. Three kinds are supported — `single_file` (wrapping the same
+//! scenario format `fap solve` takes), `multi_file`, and `ring`. The specs
+//! are converted to [`ServeRequest`]s and handed to a [`BatchServer`];
+//! responses come back in submission order, bit-identical to solving the
+//! list sequentially for every `--shards` value.
+
+use serde::{Deserialize, Serialize};
+
+use fap_batch::Parallelism;
+use fap_core::MultiFileProblem;
+use fap_net::AccessPattern;
+use fap_obs::Recorder;
+use fap_ring::VirtualRing;
+use fap_serve::{BatchServer, ServeOutput, ServeRequest};
+
+use crate::run::problem_of;
+use crate::scenario::{Scenario, ScenarioError, Topology};
+
+fn default_alpha() -> f64 {
+    0.1
+}
+
+fn default_epsilon() -> f64 {
+    1e-6
+}
+
+fn default_ring_tolerance() -> f64 {
+    1e-7
+}
+
+fn default_max_iterations() -> usize {
+    1_000_000
+}
+
+/// One request in a `fap serve` scenario list.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+#[non_exhaustive]
+pub enum ServeSpec {
+    /// A §4 single-file problem, in the same format `fap solve` reads.
+    SingleFile {
+        /// The scenario (topology, workload, model parameters).
+        scenario: Scenario,
+    },
+    /// A §5.2 multi-file problem: one access-rate vector per file.
+    MultiFile {
+        /// The network.
+        topology: Topology,
+        /// `lambdas[j][i]` = file `j`'s access rate at node `i`.
+        lambdas: Vec<Vec<f64>>,
+        /// Per-node service rates (a single entry is broadcast to all).
+        mus: Vec<f64>,
+        /// The delay weight `k`.
+        k: f64,
+        /// Step size (default 0.1).
+        #[serde(default = "default_alpha")]
+        alpha: f64,
+        /// Convergence tolerance (default 1e-6).
+        #[serde(default = "default_epsilon")]
+        epsilon: f64,
+        /// Iteration cap (default 1 000 000).
+        #[serde(default = "default_max_iterations")]
+        max_iterations: usize,
+    },
+    /// A §7 multi-copy virtual-ring problem.
+    Ring {
+        /// Per-link communication costs (ring order, ≥ 3 links).
+        link_costs: Vec<f64>,
+        /// Per-node access rates.
+        lambdas: Vec<f64>,
+        /// Per-node service rates.
+        mus: Vec<f64>,
+        /// Number of copies `m` spread over the ring.
+        copies: f64,
+        /// The delay weight `k`.
+        k: f64,
+        /// Initial step size (default 0.1, decays on oscillation).
+        #[serde(default = "default_alpha")]
+        alpha: f64,
+        /// Cost-delta halting tolerance (default 1e-7).
+        #[serde(default = "default_ring_tolerance")]
+        cost_delta_tolerance: f64,
+        /// Iteration cap (default 1 000 000).
+        #[serde(default = "default_max_iterations")]
+        max_iterations: usize,
+        /// Starting allocation (default: copies split evenly).
+        #[serde(default)]
+        initial: Option<Vec<f64>>,
+    },
+}
+
+impl ServeSpec {
+    /// A short label for rendering (`single_file` / `multi_file` / `ring`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServeSpec::SingleFile { .. } => "single_file",
+            ServeSpec::MultiFile { .. } => "multi_file",
+            ServeSpec::Ring { .. } => "ring",
+        }
+    }
+
+    /// Builds the solver-level request this spec describes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::Invalid`] when the spec is not a valid
+    /// system.
+    pub fn to_request(&self) -> Result<ServeRequest, ScenarioError> {
+        match self {
+            ServeSpec::SingleFile { scenario } => {
+                let problem = problem_of(scenario)?;
+                let n = scenario.topology.node_count();
+                let initial =
+                    scenario.initial.clone().unwrap_or_else(|| vec![1.0 / n as f64; n]);
+                Ok(ServeRequest::SingleFile {
+                    problem,
+                    initial,
+                    alpha: scenario.alpha,
+                    epsilon: scenario.epsilon,
+                    max_iterations: 1_000_000,
+                })
+            }
+            ServeSpec::MultiFile { topology, lambdas, mus, k, alpha, epsilon, max_iterations } => {
+                let graph = topology.build()?;
+                let n = topology.node_count();
+                let patterns: Vec<AccessPattern> = lambdas
+                    .iter()
+                    .map(|rates| AccessPattern::new(rates.clone()))
+                    .collect::<Result<_, _>>()
+                    .map_err(|e| ScenarioError::Invalid(e.to_string()))?;
+                let rates = if mus.len() == 1 { vec![mus[0]; n] } else { mus.clone() };
+                let problem = MultiFileProblem::mm1_heterogeneous(&graph, &patterns, &rates, *k)
+                    .map_err(|e| ScenarioError::Invalid(e.to_string()))?;
+                let initial = vec![vec![1.0 / n as f64; n]; lambdas.len()];
+                Ok(ServeRequest::MultiFile {
+                    problem,
+                    initial,
+                    alpha: *alpha,
+                    epsilon: *epsilon,
+                    max_iterations: *max_iterations,
+                })
+            }
+            ServeSpec::Ring {
+                link_costs,
+                lambdas,
+                mus,
+                copies,
+                k,
+                alpha,
+                cost_delta_tolerance,
+                max_iterations,
+                initial,
+            } => {
+                let ring =
+                    VirtualRing::new(link_costs.clone(), lambdas.clone(), mus.clone(), *copies, *k)
+                        .map_err(|e| ScenarioError::Invalid(e.to_string()))?;
+                let n = lambdas.len();
+                let initial =
+                    initial.clone().unwrap_or_else(|| vec![copies / n as f64; n]);
+                Ok(ServeRequest::Ring {
+                    ring,
+                    initial,
+                    alpha: *alpha,
+                    cost_delta_tolerance: *cost_delta_tolerance,
+                    max_iterations: *max_iterations,
+                })
+            }
+        }
+    }
+}
+
+/// Parses a scenario list (a JSON array of [`ServeSpec`]s).
+///
+/// # Errors
+///
+/// Returns [`ScenarioError::Parse`] for bad JSON and
+/// [`ScenarioError::Invalid`] for an empty list.
+pub fn specs_from_json(text: &str) -> Result<Vec<ServeSpec>, ScenarioError> {
+    let specs: Vec<ServeSpec> = serde_json::from_str(text)?;
+    if specs.is_empty() {
+        return Err(ScenarioError::Invalid("scenario list is empty".into()));
+    }
+    Ok(specs)
+}
+
+/// Loads a scenario list from a file.
+///
+/// # Errors
+///
+/// Returns [`ScenarioError::Io`] when the file cannot be read, plus the
+/// conditions of [`specs_from_json`].
+pub fn load_specs(path: &std::path::Path) -> Result<Vec<ServeSpec>, ScenarioError> {
+    specs_from_json(&std::fs::read_to_string(path)?)
+}
+
+/// A ready-to-edit template scenario list: one request of each kind.
+pub fn example_specs() -> Vec<ServeSpec> {
+    vec![
+        ServeSpec::SingleFile { scenario: Scenario::example() },
+        ServeSpec::MultiFile {
+            topology: Topology::Ring { n: 4, link_cost: 1.0 },
+            lambdas: vec![vec![0.25; 4], vec![0.1, 0.2, 0.3, 0.4]],
+            mus: vec![2.5],
+            k: 1.0,
+            alpha: 0.1,
+            epsilon: 1e-6,
+            max_iterations: 1_000_000,
+        },
+        ServeSpec::Ring {
+            link_costs: vec![4.0, 1.0, 1.0, 1.0],
+            lambdas: vec![0.25; 4],
+            mus: vec![1.5; 4],
+            copies: 2.0,
+            k: 1.0,
+            alpha: 0.1,
+            cost_delta_tolerance: 1e-7,
+            max_iterations: 3_000,
+            initial: Some(vec![2.0, 0.0, 0.0, 0.0]),
+        },
+    ]
+}
+
+/// The template list rendered to pretty JSON (`fap serve-example`).
+pub fn example_specs_json() -> String {
+    serde_json::to_string_pretty(&example_specs()).expect("spec serialization cannot fail")
+}
+
+/// Converts every spec and serves the batch across `shards` workers,
+/// fanning per-shard metrics into the output's aggregate registry and
+/// `recorder`.
+///
+/// # Errors
+///
+/// Returns [`ScenarioError::Invalid`] if any spec cannot be built (solver
+/// failures on well-formed specs are reported per-request in the output
+/// instead).
+pub fn serve_specs(
+    specs: &[ServeSpec],
+    shards: Parallelism,
+    recorder: &mut dyn Recorder,
+) -> Result<ServeOutput, ScenarioError> {
+    let requests: Vec<ServeRequest> = specs
+        .iter()
+        .enumerate()
+        .map(|(index, spec)| {
+            spec.to_request()
+                .map_err(|e| ScenarioError::Invalid(format!("request {index}: {e}")))
+        })
+        .collect::<Result<_, _>>()?;
+    Ok(BatchServer::new(shards).serve_observed(&requests, recorder))
+}
+
+/// Renders a serve output the way `fap serve` prints it.
+pub fn render_output(specs: &[ServeSpec], output: &ServeOutput) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (index, (spec, response)) in specs.iter().zip(&output.responses).enumerate() {
+        match response {
+            Ok(r) => {
+                let _ = writeln!(
+                    out,
+                    "request {index:>3}  {:<11}  {}  {} iterations",
+                    spec.kind(),
+                    if r.converged() { "converged" } else { "stopped  " },
+                    r.iterations(),
+                );
+            }
+            Err(e) => {
+                let _ = writeln!(out, "request {index:>3}  {:<11}  error: {e}", spec.kind());
+            }
+        }
+    }
+    let shards = output.shard_metrics.len();
+    let _ = writeln!(
+        out,
+        "served {} requests ({} ok, {} failed) across {shards} shard{}",
+        output.responses.len(),
+        output.ok_count(),
+        output.err_count(),
+        if shards == 1 { "" } else { "s" },
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_list_round_trips_and_serves() {
+        let json = example_specs_json();
+        let specs = specs_from_json(&json).unwrap();
+        assert_eq!(specs, example_specs());
+        let output =
+            serve_specs(&specs, Parallelism::Fixed(2), &mut fap_obs::NoopRecorder).unwrap();
+        assert_eq!(output.ok_count(), 3);
+        assert_eq!(output.aggregate.counter("serve.requests"), 3);
+        let rendered = render_output(&specs, &output);
+        assert!(rendered.contains("single_file"));
+        assert!(rendered.contains("ring"));
+        assert!(rendered.contains("3 ok, 0 failed"));
+    }
+
+    #[test]
+    fn sharded_serving_matches_sequential_through_the_spec_layer() {
+        let mut specs = example_specs();
+        specs.extend(example_specs());
+        let sequential =
+            serve_specs(&specs, Parallelism::Sequential, &mut fap_obs::NoopRecorder).unwrap();
+        for shards in [2, 8] {
+            let sharded =
+                serve_specs(&specs, Parallelism::Fixed(shards), &mut fap_obs::NoopRecorder)
+                    .unwrap();
+            assert_eq!(sequential.responses, sharded.responses);
+        }
+    }
+
+    #[test]
+    fn single_file_spec_matches_fap_solve() {
+        let scenario = Scenario::example();
+        let solve = crate::run::solve(&scenario).unwrap();
+        let specs = [ServeSpec::SingleFile { scenario }];
+        let output =
+            serve_specs(&specs, Parallelism::Sequential, &mut fap_obs::NoopRecorder).unwrap();
+        match output.responses[0].as_ref().unwrap() {
+            fap_serve::ServeResponse::SingleFile(s) => {
+                assert_eq!(s.allocation, solve.allocation);
+                assert_eq!(s.iterations, solve.iterations);
+            }
+            other => panic!("expected a single-file response, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_specs_are_rejected_with_their_index() {
+        let mut specs = example_specs();
+        if let ServeSpec::Ring { link_costs, .. } = &mut specs[2] {
+            link_costs.truncate(2); // a ring needs ≥ 3 links
+        }
+        let err = serve_specs(&specs, Parallelism::Sequential, &mut fap_obs::NoopRecorder)
+            .unwrap_err();
+        assert!(err.to_string().contains("request 2"), "{err}");
+    }
+
+    #[test]
+    fn empty_lists_are_invalid() {
+        assert!(matches!(specs_from_json("[]"), Err(ScenarioError::Invalid(_))));
+    }
+}

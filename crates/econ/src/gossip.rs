@@ -23,12 +23,13 @@
 //! iteration, at the cost of more iterations (diffusion instead of averaging)
 //! but far fewer messages per iteration.
 
+use fap_obs::{NoopRecorder, Recorder, Value};
 use serde::{Deserialize, Serialize};
 
 use crate::convergence::marginal_spread;
 use crate::error::EconError;
 use crate::problem::AllocationProblem;
-use crate::resource_directed::{Solution, Termination};
+use crate::resource_directed::{emit_run_end, Solution, Termination};
 use crate::trace::{IterationRecord, Trace};
 
 /// A symmetric neighbor relation over `n` agents.
@@ -232,6 +233,25 @@ impl GossipOptimizer {
         problem: &P,
         initial: &[f64],
     ) -> Result<Solution, EconError> {
+        self.run_observed(problem, initial, &mut NoopRecorder)
+    }
+
+    /// [`GossipOptimizer::run`] with instrumentation: per-iteration `iter`
+    /// events (utility, spread, messages), `gossip.iterations` /
+    /// `gossip.messages` counters, and the same `run_end` event the
+    /// broadcast optimizer emits, so `fap report` reads gossip runs too.
+    /// Virtual time is the iteration counter. With a
+    /// [`NoopRecorder`] this is exactly [`GossipOptimizer::run`].
+    ///
+    /// # Errors
+    ///
+    /// As [`GossipOptimizer::run`].
+    pub fn run_observed<P: AllocationProblem + ?Sized>(
+        &self,
+        problem: &P,
+        initial: &[f64],
+        recorder: &mut dyn Recorder,
+    ) -> Result<Solution, EconError> {
         let n = problem.dimension();
         if self.neighborhood.len() != n {
             return Err(EconError::DimensionMismatch { expected: n, got: self.neighborhood.len() });
@@ -248,6 +268,7 @@ impl GossipOptimizer {
         let mut g = vec![0.0; n];
         let mut trace = Trace::new();
         let mut iterations = 0usize;
+        let messages_per_iteration = self.neighborhood.messages_per_iteration() as u64;
 
         loop {
             let utility = problem.utility(&x)?;
@@ -286,7 +307,26 @@ impl GossipOptimizer {
                 trace.record_allocation(&x);
             }
 
+            // Telemetry on iteration/virtual time; derived work is gated
+            // behind `is_enabled` so the NoopRecorder path costs nothing.
+            recorder.set_time(iterations as u64);
+            if recorder.is_enabled() {
+                recorder.incr("gossip.iterations", 1);
+                recorder.incr("gossip.messages", messages_per_iteration);
+                recorder.emit(
+                    "iter",
+                    &[
+                        ("iteration", Value::U64(iterations as u64)),
+                        ("utility", Value::F64(utility)),
+                        ("spread", Value::F64(spread)),
+                        ("alpha", Value::F64(self.alpha)),
+                        ("messages", Value::U64(messages_per_iteration)),
+                    ],
+                );
+            }
+
             if spread < self.epsilon && kkt {
+                emit_run_end(recorder, iterations, Termination::MarginalSpread, true, utility, spread);
                 return Ok(Solution {
                     allocation: x,
                     iterations,
@@ -297,6 +337,7 @@ impl GossipOptimizer {
                 });
             }
             if iterations >= self.max_iterations {
+                emit_run_end(recorder, iterations, Termination::MaxIterations, false, utility, spread);
                 return Ok(Solution {
                     allocation: x,
                     iterations,
@@ -454,6 +495,40 @@ mod tests {
         for (xi, ei) in s.allocation.iter().zip(p.analytic_optimum()) {
             assert!((xi - ei).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn observed_run_is_bit_identical_to_plain_run() {
+        let p = quad4();
+        let nbhd = Neighborhood::ring(4).unwrap();
+        let opt = GossipOptimizer::new(nbhd, 0.05).with_epsilon(1e-8);
+        let plain = opt.run(&p, &[1.0, 0.0, 0.0, 0.0]).unwrap();
+        let mut tele = fap_obs::Telemetry::manual();
+        let observed = opt.run_observed(&p, &[1.0, 0.0, 0.0, 0.0], &mut tele).unwrap();
+        assert_eq!(plain, observed);
+    }
+
+    #[test]
+    fn telemetry_records_iterations_messages_and_run_end() {
+        let p = quad4();
+        let nbhd = Neighborhood::ring(4).unwrap();
+        let msgs = nbhd.messages_per_iteration() as u64;
+        let opt = GossipOptimizer::new(nbhd, 0.05).with_epsilon(1e-8);
+        let mut tele = fap_obs::Telemetry::manual();
+        let s = opt.run_observed(&p, &[1.0, 0.0, 0.0, 0.0], &mut tele).unwrap();
+        assert!(s.converged);
+        // Counters track evaluation passes: `iterations` diffusion steps
+        // plus the final pass that detects convergence (the econ
+        // convention — see the `econ.iterations` tests).
+        let passes = s.iterations as u64 + 1;
+        assert_eq!(tele.registry().counter("gossip.iterations"), passes);
+        assert_eq!(tele.registry().counter("gossip.messages"), passes * msgs);
+        let run_end = tele.events().iter().find(|e| e.name() == "run_end").unwrap();
+        let fields: Vec<_> = run_end.fields().to_vec();
+        assert!(fields
+            .iter()
+            .any(|(k, v)| *k == "iterations" && *v == Value::U64(s.iterations as u64)));
+        assert!(fields.iter().any(|(k, v)| *k == "converged" && *v == Value::Bool(true)));
     }
 
     #[test]

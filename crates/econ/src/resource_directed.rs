@@ -143,7 +143,7 @@ pub(crate) struct Engine {
 
 /// Emits the engine's end-of-run event (every return path reports one, so
 /// recorded streams always close with the outcome).
-fn emit_run_end(
+pub(crate) fn emit_run_end(
     recorder: &mut dyn Recorder,
     iterations: usize,
     termination: Termination,

@@ -24,7 +24,10 @@
 //!   field buffer (`Copy`, no per-event heap), collected by the in-memory
 //!   sink inside [`Telemetry`] and rendered to JSONL by
 //!   [`Telemetry::to_jsonl`]. [`jsonl`] also parses the format back, so
-//!   `fap report` can replay a recorded run offline.
+//!   `fap report` can replay a recorded run offline. [`JsonlSink`] is the
+//!   streaming counterpart for long runs: events flush to any
+//!   `io::Write` every N events with bounded memory, byte-identical to
+//!   the buffered export.
 //!
 //! Determinism contract: with a [`VirtualClock`] (or [`Telemetry::manual`])
 //! and a seeded run, two identical runs produce byte-identical JSONL.
@@ -52,10 +55,12 @@ mod event;
 pub mod jsonl;
 mod metrics;
 mod recorder;
+mod stream;
 mod telemetry;
 
 pub use clock::{Clock, Span, Timer, VirtualClock, WallClock};
 pub use event::{EventRecord, Value, MAX_EVENT_FIELDS};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use recorder::{NoopRecorder, Recorder, Tee};
+pub use stream::JsonlSink;
 pub use telemetry::Telemetry;

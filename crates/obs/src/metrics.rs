@@ -120,6 +120,32 @@ impl Histogram {
         }
         self.max
     }
+
+    /// The bucket upper bounds this histogram was built with.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Folds `other` into `self`: bucket counts add element-wise,
+    /// count/sum accumulate, min/max widen. Returns `false` (and leaves
+    /// `self` untouched) when the two histograms have different bucket
+    /// shapes — merging is only defined across same-shape histograms,
+    /// which same-name histograms from the same instrumentation always
+    /// are.
+    #[must_use]
+    pub fn merge_from(&mut self, other: &Histogram) -> bool {
+        if self.bounds != other.bounds {
+            return false;
+        }
+        for (slot, c) in self.counts.iter_mut().zip(&other.counts) {
+            *slot += c;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        true
+    }
 }
 
 /// Counters, gauges and histograms under one roof.
@@ -216,6 +242,47 @@ impl MetricsRegistry {
         self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
     }
 
+    /// Folds an already-aggregated histogram into histogram `name`,
+    /// creating it as a copy of `other` on first merge. A shape mismatch
+    /// (different bucket bounds under the same name — an instrumentation
+    /// bug) is ignored in release builds and trips a debug assertion.
+    pub fn merge_histogram(&mut self, name: &'static str, other: &Histogram) {
+        match self.histograms.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, h)) => {
+                let merged = h.merge_from(other);
+                debug_assert!(merged, "histogram '{name}' merged with a different bucket shape");
+            }
+            None => self.histograms.push((name, other.clone())),
+        }
+    }
+
+    /// Replays this registry's contents into `sink` through the
+    /// [`Recorder`] interface: every counter as one `incr`, every gauge as
+    /// one `gauge`, every histogram as one `merge_histogram` — all in
+    /// registration order, so the replay is deterministic.
+    ///
+    /// This is the fan-in primitive of the serving layer: per-shard
+    /// registries are replayed, shard by shard in index order, into a
+    /// [`Tee`](crate::Tee) of the aggregate registry and any caller sink.
+    pub fn replay_into(&self, sink: &mut dyn Recorder) {
+        for (name, value) in &self.counters {
+            sink.incr(name, *value);
+        }
+        for (name, value) in &self.gauges {
+            sink.gauge(name, *value);
+        }
+        for (name, hist) in &self.histograms {
+            sink.merge_histogram(name, hist);
+        }
+    }
+
+    /// Merges `other` into `self`: counters add, gauges take `other`'s
+    /// value (last-merged-wins, deterministic under an ordered fan-in),
+    /// histograms fold bucket-wise.
+    pub fn merge_from(&mut self, other: &MetricsRegistry) {
+        other.replay_into(self);
+    }
+
     /// Renders a fixed-width, end-of-run summary table (counters, gauges,
     /// then histograms with count/mean/p50/p99/max).
     pub fn summary(&self) -> String {
@@ -261,6 +328,10 @@ impl Recorder for MetricsRegistry {
 
     fn register_histogram(&mut self, name: &'static str, bounds: &[f64]) {
         MetricsRegistry::register_histogram(self, name, bounds);
+    }
+
+    fn merge_histogram(&mut self, name: &'static str, other: &Histogram) {
+        MetricsRegistry::merge_histogram(self, name, other);
     }
 
     fn emit(&mut self, _name: &'static str, _fields: &[(&'static str, Value)]) {}
@@ -338,5 +409,90 @@ mod tests {
         assert!(s.contains("sim.dropped"));
         assert!(s.contains("threads"));
         assert!(s.contains("count=1"));
+    }
+
+    #[test]
+    fn histogram_merge_adds_buckets_and_widens_extremes() {
+        let mut a = Histogram::with_bounds(&[1.0, 10.0, 100.0]);
+        let mut b = Histogram::with_bounds(&[1.0, 10.0, 100.0]);
+        a.observe(0.5);
+        a.observe(5.0);
+        b.observe(50.0);
+        b.observe(500.0);
+        assert!(a.merge_from(&b));
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.sum(), 555.5);
+        assert_eq!(a.min(), 0.5);
+        assert_eq!(a.max(), 500.0);
+        assert_eq!(a.quantile(0.99), 500.0);
+    }
+
+    #[test]
+    fn merging_an_empty_histogram_changes_nothing() {
+        let mut a = Histogram::exponential();
+        a.observe(3.0);
+        let before = a.clone();
+        assert!(a.merge_from(&Histogram::exponential()));
+        assert_eq!(a, before);
+        // And merging *into* an empty one adopts the observations.
+        let mut empty = Histogram::exponential();
+        assert!(empty.merge_from(&before));
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_bucket_shapes() {
+        let mut a = Histogram::with_bounds(&[1.0, 2.0]);
+        let b = Histogram::with_bounds(&[1.0, 2.0, 3.0]);
+        let before = a.clone();
+        assert!(!a.merge_from(&b));
+        assert_eq!(a, before, "a failed merge must leave the target untouched");
+    }
+
+    #[test]
+    fn replay_reconstructs_the_registry_in_another_sink() {
+        let mut shard = MetricsRegistry::new();
+        shard.incr("serve.requests", 7);
+        shard.gauge("serve.shards", 2.0);
+        shard.observe("serve.iters", 3.0);
+        shard.observe("serve.iters", 9.0);
+
+        let mut aggregate = MetricsRegistry::new();
+        aggregate.incr("serve.requests", 1);
+        shard.replay_into(&mut aggregate);
+
+        assert_eq!(aggregate.counter("serve.requests"), 8);
+        assert_eq!(aggregate.gauge_value("serve.shards"), Some(2.0));
+        let h = aggregate.histogram("serve.iters").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 12.0);
+    }
+
+    #[test]
+    fn shard_fan_in_is_order_independent_for_counters_and_histograms() {
+        let mut shards = Vec::new();
+        for s in 0..3u64 {
+            let mut r = MetricsRegistry::new();
+            r.incr("serve.requests", s + 1);
+            r.observe("serve.iters", s as f64);
+            shards.push(r);
+        }
+        let mut forward = MetricsRegistry::new();
+        for s in &shards {
+            forward.merge_from(s);
+        }
+        let mut backward = MetricsRegistry::new();
+        for s in shards.iter().rev() {
+            backward.merge_from(s);
+        }
+        assert_eq!(forward.counter("serve.requests"), backward.counter("serve.requests"));
+        assert_eq!(
+            forward.histogram("serve.iters").unwrap().count(),
+            backward.histogram("serve.iters").unwrap().count()
+        );
+        assert_eq!(
+            forward.histogram("serve.iters").unwrap().sum(),
+            backward.histogram("serve.iters").unwrap().sum()
+        );
     }
 }

@@ -1,6 +1,7 @@
 //! The recording handle instrumented code writes through.
 
 use crate::event::Value;
+use crate::metrics::Histogram;
 
 /// The sink interface threaded through the solver, simulator and parallel
 /// kernels as `&mut dyn Recorder`.
@@ -34,6 +35,13 @@ pub trait Recorder {
     /// Declares histogram `name` with explicit bucket upper bounds, before
     /// its first observation. Sinks without histograms ignore this.
     fn register_histogram(&mut self, _name: &'static str, _bounds: &[f64]) {}
+
+    /// Folds an already-aggregated [`Histogram`] into histogram `name` —
+    /// the fan-in primitive used when per-shard registries are merged into
+    /// an aggregate sink (see
+    /// [`MetricsRegistry::replay_into`](crate::MetricsRegistry::replay_into)).
+    /// Sinks without histograms ignore this.
+    fn merge_histogram(&mut self, _name: &'static str, _other: &Histogram) {}
 
     /// Emits a structured event.
     fn emit(&mut self, _name: &'static str, _fields: &[(&'static str, Value)]) {}
@@ -95,6 +103,11 @@ impl Recorder for Tee<'_> {
     fn register_histogram(&mut self, name: &'static str, bounds: &[f64]) {
         self.a.register_histogram(name, bounds);
         self.b.register_histogram(name, bounds);
+    }
+
+    fn merge_histogram(&mut self, name: &'static str, other: &Histogram) {
+        self.a.merge_histogram(name, other);
+        self.b.merge_histogram(name, other);
     }
 
     fn emit(&mut self, name: &'static str, fields: &[(&'static str, Value)]) {

@@ -1,0 +1,247 @@
+//! The incremental JSONL sink: bounded-memory event export for long runs.
+//!
+//! [`Telemetry`](crate::Telemetry) keeps every [`EventRecord`] in memory
+//! until the run ends, which is the right trade for short seeded runs
+//! (byte-identity is trivially checkable against the in-memory stream) but
+//! grows without bound on long serving runs. [`JsonlSink`] is the
+//! streaming counterpart: events are rendered to JSONL as they are
+//! emitted, buffered in a reusable `String`, and flushed to the underlying
+//! [`io::Write`] every `flush_every` events. Metrics still accumulate in a
+//! [`MetricsRegistry`] (they are tiny), and [`JsonlSink::finish`] appends
+//! the registry snapshot after the last event — exactly the layout
+//! [`Telemetry::to_jsonl`](crate::Telemetry::to_jsonl) produces.
+//!
+//! **Byte-identity contract:** for the same recorded stream, the bytes a
+//! `JsonlSink` writes are identical to the buffered export, for every
+//! `flush_every` — flushing only moves *when* bytes reach the writer,
+//! never what they are. Seeded runs therefore stay byte-reproducible
+//! through the streaming path (pinned by the tests below and by
+//! `tests/telemetry.rs`).
+
+use std::io::{self, Write};
+
+use crate::event::{EventRecord, Value};
+use crate::jsonl;
+use crate::metrics::{Histogram, MetricsRegistry};
+use crate::recorder::Recorder;
+
+/// A [`Recorder`] that streams events to an [`io::Write`] as JSONL,
+/// flushing every `flush_every` events, while metrics accumulate in an
+/// internal [`MetricsRegistry`].
+///
+/// Timestamps are virtual ([`Recorder::set_time`]-driven, monotone), the
+/// same deterministic mode as [`Telemetry::manual`](crate::Telemetry::manual).
+/// I/O errors are deferred: recording never panics; the first error is
+/// stored and reported by [`JsonlSink::finish`].
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    writer: W,
+    registry: MetricsRegistry,
+    buffer: String,
+    buffered_events: usize,
+    flush_every: usize,
+    tick: u64,
+    events: u64,
+    error: Option<io::Error>,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// A sink flushing to `writer` every `flush_every` events
+    /// (`0` is treated as `1` — flush on every event).
+    pub fn new(writer: W, flush_every: usize) -> Self {
+        JsonlSink {
+            writer,
+            registry: MetricsRegistry::new(),
+            buffer: String::new(),
+            buffered_events: 0,
+            flush_every: flush_every.max(1),
+            tick: 0,
+            events: 0,
+            error: None,
+        }
+    }
+
+    /// The metrics collected so far.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Total events emitted so far (flushed or still buffered).
+    pub fn events_recorded(&self) -> u64 {
+        self.events
+    }
+
+    /// Events rendered but not yet handed to the writer.
+    pub fn events_buffered(&self) -> usize {
+        self.buffered_events
+    }
+
+    /// A human-readable end-of-run summary: the registry table plus the
+    /// event count, matching [`Telemetry::summary`](crate::Telemetry::summary).
+    pub fn summary(&self) -> String {
+        let mut out = self.registry.summary();
+        out.push_str(&format!("events   {:<34} {}\n", "(recorded)", self.events));
+        out
+    }
+
+    fn write_out(&mut self) {
+        if self.error.is_some() {
+            self.buffer.clear();
+            self.buffered_events = 0;
+            return;
+        }
+        if let Err(e) = self.writer.write_all(self.buffer.as_bytes()) {
+            self.error = Some(e);
+        }
+        self.buffer.clear();
+        self.buffered_events = 0;
+    }
+
+    /// Flushes any buffered events, appends the registry snapshot (one
+    /// line per metric, the same trailer [`Telemetry::to_jsonl`](crate::Telemetry::to_jsonl)
+    /// renders), flushes the writer and returns it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error encountered anywhere in the sink's
+    /// lifetime (recording itself never fails — errors are deferred here).
+    pub fn finish(mut self) -> io::Result<W> {
+        jsonl::write_registry(&mut self.buffer, &self.registry);
+        self.write_out();
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        self.writer.flush()?;
+        Ok(self.writer)
+    }
+}
+
+impl<W: Write> Recorder for JsonlSink<W> {
+    fn is_enabled(&self) -> bool {
+        true
+    }
+
+    fn set_time(&mut self, tick: u64) {
+        if tick > self.tick {
+            self.tick = tick;
+        }
+    }
+
+    fn incr(&mut self, name: &'static str, delta: u64) {
+        self.registry.incr(name, delta);
+    }
+
+    fn gauge(&mut self, name: &'static str, value: f64) {
+        self.registry.gauge(name, value);
+    }
+
+    fn observe(&mut self, name: &'static str, value: f64) {
+        self.registry.observe(name, value);
+    }
+
+    fn register_histogram(&mut self, name: &'static str, bounds: &[f64]) {
+        self.registry.register_histogram(name, bounds);
+    }
+
+    fn merge_histogram(&mut self, name: &'static str, other: &Histogram) {
+        self.registry.merge_histogram(name, other);
+    }
+
+    fn emit(&mut self, name: &'static str, fields: &[(&'static str, Value)]) {
+        let record = EventRecord::new(self.tick, name, fields);
+        jsonl::write_event(&mut self.buffer, &record);
+        self.events += 1;
+        self.buffered_events += 1;
+        if self.buffered_events >= self.flush_every {
+            self.write_out();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::Telemetry;
+
+    /// Replays the same mixed stream into any recorder.
+    fn record_stream(r: &mut dyn Recorder, events: u64) {
+        for i in 0..events {
+            r.set_time(i);
+            r.incr("demo.steps", 1);
+            r.observe("demo.latency_rounds", (i % 5) as f64);
+            r.emit("round", &[("round", Value::U64(i)), ("ok", Value::Bool(i % 2 == 0))]);
+        }
+        r.emit("run_end", &[("iterations", Value::U64(events)), ("converged", Value::Bool(true))]);
+    }
+
+    #[test]
+    fn streamed_bytes_equal_the_buffered_export_for_every_flush_interval() {
+        let mut buffered = Telemetry::manual();
+        record_stream(&mut buffered, 100);
+        let expected = buffered.to_jsonl();
+        for flush_every in [0, 1, 3, 64, 10_000] {
+            let mut sink = JsonlSink::new(Vec::new(), flush_every);
+            record_stream(&mut sink, 100);
+            let bytes = sink.finish().unwrap();
+            assert_eq!(
+                String::from_utf8(bytes).unwrap(),
+                expected,
+                "flush_every = {flush_every} must not change the bytes"
+            );
+        }
+    }
+
+    #[test]
+    fn buffer_is_bounded_by_the_flush_interval() {
+        let mut sink = JsonlSink::new(Vec::new(), 8);
+        for i in 0..1000u64 {
+            sink.set_time(i);
+            sink.emit("tick", &[("i", Value::U64(i))]);
+            assert!(sink.events_buffered() < 8, "buffer must drain every 8 events");
+        }
+        assert_eq!(sink.events_recorded(), 1000);
+        // Everything but the in-flight remainder has already reached the writer.
+        assert!(sink.events_buffered() < 8);
+    }
+
+    #[test]
+    fn finish_appends_the_registry_snapshot() {
+        let mut sink = JsonlSink::new(Vec::new(), 4);
+        record_stream(&mut sink, 10);
+        let text = String::from_utf8(sink.finish().unwrap()).unwrap();
+        assert!(text.contains("{\"counter\":\"demo.steps\",\"value\":10}"));
+        assert!(text.contains("\"hist\":\"demo.latency_rounds\""));
+        // The registry trailer comes after the last event line.
+        let counter_at = text.find("\"counter\"").unwrap();
+        let last_event_at = text.rfind("\"event\"").unwrap();
+        assert!(counter_at > last_event_at);
+    }
+
+    #[test]
+    fn io_errors_are_deferred_to_finish() {
+        #[derive(Debug)]
+        struct Failing;
+        impl Write for Failing {
+            fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink = JsonlSink::new(Failing, 1);
+        sink.emit("tick", &[]);
+        sink.emit("tick", &[]); // recording after the error is still safe
+        let err = sink.finish().unwrap_err();
+        assert_eq!(err.to_string(), "disk full");
+    }
+
+    #[test]
+    fn summary_matches_the_buffered_sink() {
+        let mut buffered = Telemetry::manual();
+        let mut streamed = JsonlSink::new(Vec::new(), 16);
+        record_stream(&mut buffered, 20);
+        record_stream(&mut streamed, 20);
+        assert_eq!(buffered.summary(), streamed.summary());
+    }
+}

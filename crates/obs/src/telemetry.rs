@@ -3,7 +3,7 @@
 use crate::clock::{Clock, WallClock};
 use crate::event::{EventRecord, Value};
 use crate::jsonl;
-use crate::metrics::MetricsRegistry;
+use crate::metrics::{Histogram, MetricsRegistry};
 use crate::recorder::Recorder;
 
 /// Where event timestamps come from.
@@ -139,6 +139,10 @@ impl Recorder for Telemetry {
 
     fn register_histogram(&mut self, name: &'static str, bounds: &[f64]) {
         self.registry.register_histogram(name, bounds);
+    }
+
+    fn merge_histogram(&mut self, name: &'static str, other: &Histogram) {
+        self.registry.merge_histogram(name, other);
     }
 
     fn emit(&mut self, name: &'static str, fields: &[(&'static str, Value)]) {

@@ -18,6 +18,7 @@ use serde::{Deserialize, Serialize};
 
 use fap_econ::projection::{compute_step, BoundaryRule};
 use fap_econ::OscillationDetector;
+use fap_obs::{NoopRecorder, Recorder, Value};
 
 use crate::cost::total_cost;
 use crate::error::RingError;
@@ -135,6 +136,25 @@ impl RingSolver {
     /// [`RingError::Model`] for an infeasible start or an unevaluable
     /// iterate.
     pub fn solve(&self, ring: &VirtualRing, initial: &[f64]) -> Result<RingSolution, RingError> {
+        self.solve_observed(ring, initial, &mut NoopRecorder)
+    }
+
+    /// [`RingSolver::solve`] with instrumentation: per-iteration `iter`
+    /// events (cost, step size), `ring.iterations` / `ring.alpha_decays`
+    /// counters, a `ring.alpha` gauge, and a `run_end` event carrying the
+    /// iteration count and final/best costs, so `fap report` reads ring
+    /// runs. Virtual time is the iteration counter. With a
+    /// [`NoopRecorder`] this is exactly [`RingSolver::solve`].
+    ///
+    /// # Errors
+    ///
+    /// As [`RingSolver::solve`].
+    pub fn solve_observed(
+        &self,
+        ring: &VirtualRing,
+        initial: &[f64],
+        recorder: &mut dyn Recorder,
+    ) -> Result<RingSolution, RingError> {
         if !self.alpha.is_finite() || self.alpha <= 0.0 {
             return Err(RingError::InvalidParameter(format!("alpha {}", self.alpha)));
         }
@@ -174,8 +194,34 @@ impl RingSolver {
                 best_allocation.clone_from(&x);
             }
 
+            // Telemetry on iteration/virtual time; gated behind
+            // `is_enabled` so the NoopRecorder path does no extra work.
+            recorder.set_time(iterations as u64);
+            if recorder.is_enabled() {
+                recorder.incr("ring.iterations", 1);
+                recorder.gauge("ring.alpha", alpha);
+                recorder.emit(
+                    "iter",
+                    &[
+                        ("iteration", Value::U64(iterations as u64)),
+                        ("cost", Value::F64(cost)),
+                        ("alpha", Value::F64(alpha)),
+                        ("best_cost", Value::F64(best_cost)),
+                    ],
+                );
+            }
+
             let halted = previous.is_some_and(|p| (cost - p).abs() < self.cost_delta_tolerance);
             if halted || iterations >= self.max_iterations {
+                recorder.emit(
+                    "run_end",
+                    &[
+                        ("iterations", Value::U64(iterations as u64)),
+                        ("converged", Value::Bool(halted)),
+                        ("final_cost", Value::F64(cost)),
+                        ("best_cost", Value::F64(best_cost)),
+                    ],
+                );
                 return Ok(RingSolution {
                     final_cost: cost,
                     final_allocation: x,
@@ -192,6 +238,7 @@ impl RingSolver {
             if self.adapt && detector.observe(cost) {
                 alpha = (alpha * self.decay_factor).max(self.min_alpha);
                 detector.reset();
+                recorder.incr("ring.alpha_decays", 1);
             }
 
             let g_cost = marginal_costs(ring, &x, self.fd_step)?;
@@ -325,6 +372,37 @@ mod tests {
             .is_err());
         assert!(RingSolver::new(0.1).with_decay(1.0, 0.001).solve(&r, &[0.5; 4]).is_err());
         assert!(RingSolver::new(0.1).solve(&r, &[0.25; 4]).is_err()); // wrong total
+    }
+
+    #[test]
+    fn observed_solve_is_bit_identical_to_plain_solve() {
+        let r = ring(vec![4.0, 1.0, 1.0, 1.0]);
+        let solver = RingSolver::new(0.1).with_max_iterations(3_000);
+        let plain = solver.solve(&r, &[2.0, 0.0, 0.0, 0.0]).unwrap();
+        let mut tele = fap_obs::Telemetry::manual();
+        let observed = solver.solve_observed(&r, &[2.0, 0.0, 0.0, 0.0], &mut tele).unwrap();
+        assert_eq!(plain, observed);
+    }
+
+    #[test]
+    fn telemetry_records_iterations_decays_and_run_end() {
+        let r = ring(vec![4.0, 1.0, 1.0, 1.0]);
+        let solver = RingSolver::new(0.1).with_max_iterations(3_000);
+        let mut tele = fap_obs::Telemetry::manual();
+        let s = solver.solve_observed(&r, &[2.0, 0.0, 0.0, 0.0], &mut tele).unwrap();
+        assert!(s.converged);
+        // One counted pass per cost evaluation: `iterations` applied steps
+        // plus the final halting pass.
+        assert_eq!(tele.registry().counter("ring.iterations"), s.iterations as u64 + 1);
+        // This run demonstrably decayed alpha (see
+        // adaptation_converges_where_fixed_step_keeps_oscillating).
+        assert!(tele.registry().counter("ring.alpha_decays") > 0);
+        let run_end = tele.events().iter().find(|e| e.name() == "run_end").unwrap();
+        assert!(run_end
+            .fields()
+            .iter()
+            .any(|(k, v)| *k == "iterations" && *v == Value::U64(s.iterations as u64)));
+        assert!(run_end.fields().iter().any(|(k, v)| *k == "converged" && *v == Value::Bool(true)));
     }
 
     #[test]

@@ -1,0 +1,500 @@
+//! # fap-serve — sharded batch serving for the allocation solvers
+//!
+//! The paper's optimizer is decentralized by design: many independent
+//! allocation problems run concurrently across a network. This crate is
+//! the serving-side mirror of that structure — a batcher that accepts many
+//! independent scenarios (single-file §4, multi-file §5.2, ring §7) and
+//! shards them across a fixed worker pool:
+//!
+//! * **Submission-order, bit-identical results.** Requests are split into
+//!   contiguous chunks, one per shard; each request is solved by exactly
+//!   one worker with the same deterministic kernel the sequential path
+//!   uses, so the response vector is bit-identical to solving the batch
+//!   sequentially — for *every* shard count (pinned by the tests here and
+//!   by `tests/serve_equivalence.rs`).
+//! * **Allocation-free steady state.** Each worker owns one
+//!   [`OptimizerScratch`] and one [`MultiFileScratch`] reused across every
+//!   request in its chunk, the same scratch discipline the batch engine
+//!   established.
+//! * **Per-shard metrics, one aggregate.** Each worker records through the
+//!   `_observed` solver entry points into its own [`MetricsRegistry`]
+//!   (a registry keeps counters/gauges/histograms and drops events, so
+//!   shard telemetry is deterministic). After the join, shard registries
+//!   are replayed in shard order through a [`Tee`] into the aggregate
+//!   snapshot and any caller-provided recorder — counters add, histograms
+//!   merge bucket-wise, and the aggregate's deterministic metrics are
+//!   independent of the shard count.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use serde::Serialize;
+
+use fap_batch::Parallelism;
+use fap_core::{MultiFileProblem, MultiFileScratch, MultiFileSolution, SingleFileProblem};
+use fap_econ::{OptimizerScratch, ResourceDirectedOptimizer, Solution, StepSize};
+use fap_obs::{MetricsRegistry, NoopRecorder, Recorder, Tee};
+use fap_ring::{RingSolver, RingSolution, VirtualRing};
+
+/// One independent scenario submitted to the batcher.
+#[derive(Debug, Clone)]
+pub enum ServeRequest {
+    /// A §4 single-file fractional allocation, solved by the
+    /// resource-directed optimizer with a fixed step size.
+    SingleFile {
+        /// The problem instance.
+        problem: SingleFileProblem,
+        /// Feasible starting allocation (`Σ x_i = 1`, `x_i ≥ 0`).
+        initial: Vec<f64>,
+        /// Fixed step size α.
+        alpha: f64,
+        /// Marginal-spread convergence tolerance ε.
+        epsilon: f64,
+        /// Iteration cap.
+        max_iterations: usize,
+    },
+    /// A §5.2 multi-file allocation (solved sequentially inside its
+    /// worker — the shards are the parallelism).
+    MultiFile {
+        /// The problem instance.
+        problem: MultiFileProblem,
+        /// Feasible per-file starting allocations.
+        initial: Vec<Vec<f64>>,
+        /// Fixed step size α.
+        alpha: f64,
+        /// Marginal-spread convergence tolerance ε.
+        epsilon: f64,
+        /// Iteration cap.
+        max_iterations: usize,
+    },
+    /// A §7 multi-copy ring allocation, solved by the oscillation-aware
+    /// solver.
+    Ring {
+        /// The ring instance.
+        ring: VirtualRing,
+        /// Feasible starting allocation (`Σ x_i = copies`, `x_i ≥ 0`).
+        initial: Vec<f64>,
+        /// Initial step size α (decays on oscillation).
+        alpha: f64,
+        /// Cost-delta halting tolerance.
+        cost_delta_tolerance: f64,
+        /// Iteration cap.
+        max_iterations: usize,
+    },
+}
+
+/// The solved counterpart of a [`ServeRequest`], same variant order.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ServeResponse {
+    /// Result of a [`ServeRequest::SingleFile`] solve.
+    SingleFile(Solution),
+    /// Result of a [`ServeRequest::MultiFile`] solve.
+    MultiFile(MultiFileSolution),
+    /// Result of a [`ServeRequest::Ring`] solve.
+    Ring(RingSolution),
+}
+
+impl ServeResponse {
+    /// Iterations the underlying solver ran, whichever the variant.
+    pub fn iterations(&self) -> usize {
+        match self {
+            ServeResponse::SingleFile(s) => s.iterations,
+            ServeResponse::MultiFile(s) => s.iterations,
+            ServeResponse::Ring(s) => s.iterations,
+        }
+    }
+
+    /// Whether the underlying solver converged.
+    pub fn converged(&self) -> bool {
+        match self {
+            ServeResponse::SingleFile(s) => s.converged,
+            ServeResponse::MultiFile(s) => s.converged,
+            ServeResponse::Ring(s) => s.converged,
+        }
+    }
+}
+
+/// A per-request solve failure, carrying the solver's error text. One bad
+/// request never poisons its batch: every other response is still
+/// produced, bit-identical to a sequential run.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ServeError {
+    message: String,
+}
+
+impl ServeError {
+    /// The underlying solver error, rendered.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Everything one batch produced: responses in submission order, the
+/// per-shard metric registries, and their fan-in.
+#[derive(Debug)]
+pub struct ServeOutput {
+    /// One entry per request, in submission order.
+    pub responses: Vec<Result<ServeResponse, ServeError>>,
+    /// One registry per shard, in shard (= chunk) order.
+    pub shard_metrics: Vec<MetricsRegistry>,
+    /// The shard registries merged in shard order: counters added,
+    /// histograms folded bucket-wise, plus the `serve.shards` gauge.
+    pub aggregate: MetricsRegistry,
+}
+
+impl ServeOutput {
+    /// Number of requests that solved successfully.
+    pub fn ok_count(&self) -> usize {
+        self.responses.iter().filter(|r| r.is_ok()).count()
+    }
+
+    /// Number of requests that failed.
+    pub fn err_count(&self) -> usize {
+        self.responses.len() - self.ok_count()
+    }
+}
+
+/// The sharded batcher.
+///
+/// # Example
+///
+/// ```
+/// use fap_batch::Parallelism;
+/// use fap_serve::{BatchServer, ServeRequest};
+/// use fap_ring::VirtualRing;
+///
+/// let ring = VirtualRing::new(vec![1.0; 4], vec![0.25; 4], vec![1.5; 4], 2.0, 1.0)?;
+/// let requests: Vec<ServeRequest> = (0..6)
+///     .map(|_| ServeRequest::Ring {
+///         ring: ring.clone(),
+///         initial: vec![2.0, 0.0, 0.0, 0.0],
+///         alpha: 0.05,
+///         cost_delta_tolerance: 1e-7,
+///         max_iterations: 3_000,
+///     })
+///     .collect();
+/// let output = BatchServer::new(Parallelism::Fixed(2)).serve(&requests);
+/// assert_eq!(output.ok_count(), 6);
+/// assert_eq!(output.aggregate.counter("serve.requests"), 6);
+/// # Ok::<(), fap_ring::RingError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchServer {
+    parallelism: Parallelism,
+}
+
+impl BatchServer {
+    /// A server sharding batches per `parallelism`
+    /// ([`Parallelism::Sequential`] = one shard, [`Parallelism::Auto`] =
+    /// one per core, [`Parallelism::Fixed`] = exactly that many, always
+    /// clamped to the request count).
+    pub fn new(parallelism: Parallelism) -> Self {
+        BatchServer { parallelism }
+    }
+
+    /// The shard count a batch of `requests` solves would use.
+    pub fn shards_for(&self, requests: usize) -> usize {
+        self.parallelism.threads_for(requests)
+    }
+
+    /// Solves every request and fans the shard registries into the
+    /// aggregate. Equivalent to [`BatchServer::serve_observed`] with a
+    /// [`NoopRecorder`].
+    pub fn serve(&self, requests: &[ServeRequest]) -> ServeOutput {
+        self.serve_observed(requests, &mut NoopRecorder)
+    }
+
+    /// Solves every request across the shard pool.
+    ///
+    /// Responses come back in submission order and are bit-identical to
+    /// solving the same requests sequentially, whatever the shard count.
+    /// Each shard records into its own [`MetricsRegistry`]; afterwards the
+    /// registries are replayed in shard order through a [`Tee`] into both
+    /// the aggregate snapshot and `recorder`, so a caller-side
+    /// [`Telemetry`](fap_obs::Telemetry) (or streaming sink) sees the same
+    /// merged metrics the aggregate holds.
+    pub fn serve_observed(
+        &self,
+        requests: &[ServeRequest],
+        recorder: &mut dyn Recorder,
+    ) -> ServeOutput {
+        let shards = self.shards_for(requests.len());
+        let mut responses: Vec<Option<Result<ServeResponse, ServeError>>> =
+            vec![None; requests.len()];
+        let mut shard_metrics: Vec<MetricsRegistry> = Vec::new();
+
+        if shards <= 1 {
+            let mut registry = MetricsRegistry::new();
+            let mut worker = ShardWorker::new();
+            for (slot, request) in responses.iter_mut().zip(requests) {
+                *slot = Some(worker.solve(request, &mut registry));
+            }
+            shard_metrics.push(registry);
+        } else {
+            let chunk = requests.len().div_ceil(shards);
+            shard_metrics = std::thread::scope(|scope| {
+                let handles: Vec<_> = responses
+                    .chunks_mut(chunk)
+                    .zip(requests.chunks(chunk))
+                    .map(|(slots, chunk_requests)| {
+                        scope.spawn(move || {
+                            let mut registry = MetricsRegistry::new();
+                            let mut worker = ShardWorker::new();
+                            for (slot, request) in slots.iter_mut().zip(chunk_requests) {
+                                *slot = Some(worker.solve(request, &mut registry));
+                            }
+                            registry
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("serve shard worker panicked"))
+                    .collect()
+            });
+        }
+
+        // Fan-in: replay each shard registry, in shard order, into both
+        // the aggregate and the caller's recorder through one Tee — the
+        // deterministic metrics of the merge are shard-count-independent
+        // because counter addition and histogram folding commute.
+        let mut aggregate = MetricsRegistry::new();
+        for shard in &shard_metrics {
+            let mut tee = Tee::new(&mut aggregate, recorder);
+            shard.replay_into(&mut tee);
+        }
+        aggregate.gauge("serve.shards", shard_metrics.len() as f64);
+        recorder.gauge("serve.shards", shard_metrics.len() as f64);
+
+        let responses = responses
+            .into_iter()
+            .map(|slot| slot.expect("every request chunk is assigned to exactly one shard"))
+            .collect();
+        ServeOutput { responses, shard_metrics, aggregate }
+    }
+}
+
+/// One shard's solver state: the scratch buffers reused across every
+/// request in the shard's chunk, so the steady state allocates only what
+/// the returned solutions themselves need.
+struct ShardWorker {
+    econ_scratch: OptimizerScratch,
+    multi_scratch: MultiFileScratch,
+}
+
+impl ShardWorker {
+    fn new() -> Self {
+        ShardWorker { econ_scratch: OptimizerScratch::new(), multi_scratch: MultiFileScratch::new() }
+    }
+
+    fn solve(
+        &mut self,
+        request: &ServeRequest,
+        registry: &mut MetricsRegistry,
+    ) -> Result<ServeResponse, ServeError> {
+        registry.incr("serve.requests", 1);
+        let result = match request {
+            ServeRequest::SingleFile { problem, initial, alpha, epsilon, max_iterations } => {
+                ResourceDirectedOptimizer::new(StepSize::Fixed(*alpha))
+                    .with_epsilon(*epsilon)
+                    .with_max_iterations(*max_iterations)
+                    .run_observed_with_scratch(problem, initial, &mut self.econ_scratch, registry)
+                    .map(ServeResponse::SingleFile)
+                    .map_err(|e| ServeError { message: e.to_string() })
+            }
+            ServeRequest::MultiFile { problem, initial, alpha, epsilon, max_iterations } => problem
+                .solve_observed(
+                    initial,
+                    *alpha,
+                    *epsilon,
+                    *max_iterations,
+                    Parallelism::Sequential,
+                    &mut self.multi_scratch,
+                    registry,
+                )
+                .map(ServeResponse::MultiFile)
+                .map_err(|e| ServeError { message: e.to_string() }),
+            ServeRequest::Ring { ring, initial, alpha, cost_delta_tolerance, max_iterations } => {
+                RingSolver::new(*alpha)
+                    .with_cost_delta_tolerance(*cost_delta_tolerance)
+                    .with_max_iterations(*max_iterations)
+                    .solve_observed(ring, initial, registry)
+                    .map(ServeResponse::Ring)
+                    .map_err(|e| ServeError { message: e.to_string() })
+            }
+        };
+        match &result {
+            Ok(response) => {
+                registry.observe("serve.request_iterations", response.iterations() as f64);
+            }
+            Err(_) => registry.incr("serve.errors", 1),
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fap_net::{topology, AccessPattern};
+
+    fn single_file_request(seed: u64) -> ServeRequest {
+        let graph = topology::ring(5, 1.0).unwrap();
+        let pattern = AccessPattern::random(5, 0.2..0.6, seed).unwrap();
+        let problem = SingleFileProblem::mm1(&graph, &pattern, 4.0, 1.0).unwrap();
+        ServeRequest::SingleFile {
+            problem,
+            initial: vec![0.2; 5],
+            alpha: 0.1,
+            epsilon: 1e-6,
+            max_iterations: 100_000,
+        }
+    }
+
+    fn multi_file_request(seed: u64) -> ServeRequest {
+        let graph = topology::ring(4, 1.0).unwrap();
+        let patterns: Vec<AccessPattern> =
+            (0..3).map(|j| AccessPattern::random(4, 0.1..0.4, seed + j).unwrap()).collect();
+        let problem = MultiFileProblem::mm1(&graph, &patterns, 6.0, 1.0).unwrap();
+        ServeRequest::MultiFile {
+            problem,
+            initial: vec![vec![0.25; 4]; 3],
+            alpha: 0.1,
+            epsilon: 1e-6,
+            max_iterations: 50_000,
+        }
+    }
+
+    fn ring_request() -> ServeRequest {
+        let ring = VirtualRing::new(vec![4.0, 1.0, 1.0, 1.0], vec![0.25; 4], vec![1.5; 4], 2.0, 1.0)
+            .unwrap();
+        ServeRequest::Ring {
+            ring,
+            initial: vec![2.0, 0.0, 0.0, 0.0],
+            alpha: 0.1,
+            cost_delta_tolerance: 1e-7,
+            max_iterations: 3_000,
+        }
+    }
+
+    fn mixed_batch() -> Vec<ServeRequest> {
+        let mut requests = Vec::new();
+        for i in 0..3 {
+            requests.push(single_file_request(100 + i));
+            requests.push(multi_file_request(200 + i));
+            requests.push(ring_request());
+        }
+        requests
+    }
+
+    #[test]
+    fn every_shard_count_matches_the_sequential_solve() {
+        let requests = mixed_batch();
+        let sequential = BatchServer::new(Parallelism::Sequential).serve(&requests);
+        assert_eq!(sequential.err_count(), 0);
+        for shards in [2, 3, 8, 64] {
+            let sharded = BatchServer::new(Parallelism::Fixed(shards)).serve(&requests);
+            assert_eq!(
+                sequential.responses, sharded.responses,
+                "{shards} shards must be bit-identical to sequential"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_count_clamps_to_the_request_count() {
+        let server = BatchServer::new(Parallelism::Fixed(64));
+        assert_eq!(server.shards_for(3), 3);
+        assert_eq!(server.shards_for(0), 1);
+        let output = server.serve(&[ring_request(), ring_request()]);
+        assert_eq!(output.shard_metrics.len(), 2);
+    }
+
+    #[test]
+    fn aggregate_counters_are_shard_count_independent() {
+        let requests = mixed_batch();
+        let sequential = BatchServer::new(Parallelism::Sequential).serve(&requests);
+        let sharded = BatchServer::new(Parallelism::Fixed(4)).serve(&requests);
+        for counter in
+            ["serve.requests", "econ.iterations", "core.iterations", "ring.iterations"]
+        {
+            assert!(sequential.aggregate.counter(counter) > 0, "{counter} never recorded");
+            assert_eq!(
+                sequential.aggregate.counter(counter),
+                sharded.aggregate.counter(counter),
+                "{counter} must not depend on the shard count"
+            );
+        }
+        fn iters(o: &ServeOutput) -> &fap_obs::Histogram {
+            o.aggregate.histogram("serve.request_iterations").unwrap()
+        }
+        assert_eq!(iters(&sequential).count(), requests.len() as u64);
+        assert_eq!(iters(&sequential), iters(&sharded));
+    }
+
+    #[test]
+    fn aggregate_is_the_sum_of_the_shards() {
+        let requests = mixed_batch();
+        let output = BatchServer::new(Parallelism::Fixed(3)).serve(&requests);
+        assert_eq!(output.shard_metrics.len(), 3);
+        let shard_sum: u64 =
+            output.shard_metrics.iter().map(|r| r.counter("serve.requests")).sum();
+        assert_eq!(shard_sum, requests.len() as u64);
+        assert_eq!(output.aggregate.counter("serve.requests"), shard_sum);
+        assert_eq!(output.aggregate.gauge_value("serve.shards"), Some(3.0));
+    }
+
+    #[test]
+    fn caller_recorder_sees_the_merged_metrics() {
+        let requests = mixed_batch();
+        let mut tele = fap_obs::Telemetry::manual();
+        let output = BatchServer::new(Parallelism::Fixed(2)).serve_observed(&requests, &mut tele);
+        assert_eq!(
+            tele.registry().counter("serve.requests"),
+            output.aggregate.counter("serve.requests")
+        );
+        assert_eq!(
+            tele.registry().counter("econ.iterations"),
+            output.aggregate.counter("econ.iterations")
+        );
+        assert_eq!(tele.registry().gauge_value("serve.shards"), Some(2.0));
+    }
+
+    #[test]
+    fn a_bad_request_fails_alone() {
+        let mut requests = mixed_batch();
+        // An infeasible start: the simplex constraint is violated.
+        if let ServeRequest::SingleFile { initial, .. } = &mut requests[3] {
+            *initial = vec![0.9; 5];
+        } else {
+            panic!("expected a single-file request at index 3");
+        }
+        let output = BatchServer::new(Parallelism::Fixed(3)).serve(&requests);
+        assert_eq!(output.err_count(), 1);
+        assert!(output.responses[3].is_err());
+        assert_eq!(output.aggregate.counter("serve.errors"), 1);
+        // And the rest still match an all-good sequential solve of the
+        // same (mutated) batch.
+        let sequential = BatchServer::new(Parallelism::Sequential).serve(&requests);
+        assert_eq!(sequential.responses, output.responses);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let output = BatchServer::new(Parallelism::Auto).serve(&[]);
+        assert!(output.responses.is_empty());
+        assert_eq!(output.shard_metrics.len(), 1);
+        assert_eq!(output.aggregate.counter("serve.requests"), 0);
+    }
+}

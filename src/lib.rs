@@ -29,10 +29,16 @@
 //!   unreliable network;
 //! * [`obs`] — zero-dependency structured telemetry: a metrics registry
 //!   (counters, gauges, histograms), span timing on wall or virtual
-//!   clocks, and a JSONL event export, wired through the solvers, the
-//!   chaos simulator and the parallel kernels via the
+//!   clocks, and buffered ([`Telemetry`](fap_obs::Telemetry)) or streaming
+//!   ([`JsonlSink`](fap_obs::JsonlSink)) JSONL event export, wired through
+//!   the solvers, the chaos simulator and the parallel kernels via the
 //!   [`Recorder`](fap_obs::Recorder) trait (the no-op recorder preserves
-//!   the zero-allocation and bit-identity guarantees).
+//!   the zero-allocation and bit-identity guarantees);
+//! * [`serve`] — the sharded batch-serving layer: many independent
+//!   scenarios solved across a scoped-thread worker pool with per-worker
+//!   scratch reuse, submission-order results bit-identical to sequential
+//!   solves, and per-shard metric registries fanned into one aggregate
+//!   snapshot.
 //!
 //! # Quickstart
 //!
@@ -65,6 +71,7 @@ pub use fap_obs as obs;
 pub use fap_queue as queue;
 pub use fap_ring as ring;
 pub use fap_runtime as runtime;
+pub use fap_serve as serve;
 
 /// The most commonly used items, for glob import.
 pub mod prelude {
@@ -79,11 +86,12 @@ pub mod prelude {
         StepSize,
     };
     pub use fap_net::{topology, AccessPattern, Graph, NodeId};
-    pub use fap_obs::{MetricsRegistry, NoopRecorder, Recorder, Telemetry};
+    pub use fap_obs::{JsonlSink, MetricsRegistry, NoopRecorder, Recorder, Telemetry};
     pub use fap_queue::{DelayModel, Mg1Delay, Mm1Delay, NetworkSimulation, ServiceDistribution};
     pub use fap_ring::{RingSolver, VirtualRing};
     pub use fap_runtime::{
         ChaosPlan, DistributedRun, ExchangeScheme, FailurePlan, MessageCounting, SimReport,
         SimRun,
     };
+    pub use fap_serve::{BatchServer, ServeOutput, ServeRequest, ServeResponse};
 }

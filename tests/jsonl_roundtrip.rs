@@ -1,0 +1,156 @@
+//! Property tests for the hand-rolled JSONL writer/parser pair in
+//! `fap-obs` (`fap::obs::jsonl`): whatever the writer emits, the parser
+//! must read back — arbitrary strings (escapes, control characters,
+//! astral-plane codepoints → `\uXXXX`), floats across the whole finite
+//! range (shortest round-trip formatting), and the non-finite values that
+//! render as JSON `null`.
+
+use fap::obs::jsonl::{parse_line, push_json_f64, push_json_str, write_event, Scalar};
+use fap::obs::{EventRecord, MetricsRegistry, Value};
+use proptest::prelude::*;
+
+/// A deterministic, widely-spread string from codepoint samples: the shim
+/// has no string strategies, so we map `u32` draws onto `char`s, skipping
+/// the surrogate gap via `from_u32`.
+fn string_from_codepoints(raw: &[u32]) -> String {
+    raw.iter()
+        .filter_map(|&c| {
+            // Cycle through the interesting ranges: ASCII & controls,
+            // Latin/BMP, and astral planes (all escape paths).
+            let code = match c % 4 {
+                0 => c % 0x80,              // ASCII incl. control chars
+                1 => c % 0x20,              // dense control-char coverage
+                2 => c % 0x1_0000,          // BMP (may hit surrogates → skipped)
+                _ => 0x1_0000 + c % 0x2000, // astral plane
+            };
+            char::from_u32(code)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `push_json_str` → `parse_line` is lossless for arbitrary keys and
+    /// values, including quotes, backslashes, newlines and `\uXXXX`
+    /// control escapes.
+    #[test]
+    fn strings_round_trip(key_raw in proptest::collection::vec(0u32..u32::MAX, 0..12),
+                          val_raw in proptest::collection::vec(0u32..u32::MAX, 0..40)) {
+        let key = string_from_codepoints(&key_raw);
+        let value = string_from_codepoints(&val_raw);
+        let mut line = String::from("{");
+        push_json_str(&mut line, &key);
+        line.push(':');
+        push_json_str(&mut line, &value);
+        line.push('}');
+        let pairs = parse_line(&line).expect("writer output must parse");
+        prop_assert_eq!(pairs.len(), 1);
+        prop_assert_eq!(&pairs[0].0, &key);
+        prop_assert_eq!(&pairs[0].1, &Scalar::Str(value));
+    }
+
+    /// `push_json_f64` → `parse_line` preserves every finite float
+    /// bit-for-bit (shortest round-trip formatting), and maps the
+    /// non-finite ones to `null`.
+    #[test]
+    fn floats_round_trip(mantissa in -1.0f64..1.0, exponent in -300i32..300, special in 0u32..8) {
+        let value = match special {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            2 => f64::NEG_INFINITY,
+            3 => 0.0,
+            4 => -0.0,
+            _ => mantissa * 10f64.powi(exponent),
+        };
+        let mut line = String::from("{\"v\":");
+        push_json_f64(&mut line, value);
+        line.push('}');
+        let pairs = parse_line(&line).expect("writer output must parse");
+        prop_assert_eq!(pairs.len(), 1);
+        if value.is_finite() {
+            let parsed = pairs[0].1.as_f64().expect("finite floats parse as numbers");
+            // `-0.0` prints as `-0` and may parse back as the integer 0;
+            // compare by value, then bitwise for everything nonzero.
+            if value == 0.0 {
+                prop_assert_eq!(parsed, 0.0);
+            } else {
+                prop_assert_eq!(parsed.to_bits(), value.to_bits());
+            }
+        } else {
+            prop_assert_eq!(&pairs[0].1, &Scalar::Null);
+        }
+    }
+
+    /// Full event lines round-trip: timestamp, name, and every field kind
+    /// (`U64`, `I64`, `F64`, `Bool`) with arbitrary payloads.
+    #[test]
+    fn event_lines_round_trip(t in 0u64..u64::MAX / 2,
+                              count in 0u64..u64::MAX / 2,
+                              delta in i64::MIN / 2..i64::MAX / 2,
+                              norm in -1e12f64..1e12,
+                              flag in 0u32..2) {
+        let event = EventRecord::new(
+            t,
+            "roundtrip",
+            &[
+                ("count", Value::U64(count)),
+                ("delta", Value::I64(delta)),
+                ("norm", Value::F64(norm)),
+                ("ok", Value::Bool(flag == 1)),
+                ("label", Value::Str("x\"y\\z")),
+            ],
+        );
+        let mut line = String::new();
+        write_event(&mut line, &event);
+        prop_assert!(line.ends_with('\n'));
+        let pairs = parse_line(&line).expect("event line must parse");
+        let get = |name: &str| {
+            pairs
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v.clone())
+                .unwrap_or_else(|| panic!("missing field {name}"))
+        };
+        prop_assert_eq!(get("t").as_i64(), Some(t as i64));
+        prop_assert_eq!(get("event"), Scalar::Str("roundtrip".into()));
+        prop_assert_eq!(get("count").as_i64(), Some(count as i64));
+        prop_assert_eq!(get("delta").as_i64(), Some(delta));
+        prop_assert_eq!(get("norm").as_f64().map(f64::to_bits), Some(norm.to_bits()));
+        prop_assert_eq!(get("ok"), Scalar::Bool(flag == 1));
+        prop_assert_eq!(get("label"), Scalar::Str("x\"y\\z".into()));
+    }
+
+    /// Registry snapshots round-trip: every counter/gauge/histogram line
+    /// the writer produces parses back with the recorded values.
+    #[test]
+    fn registry_lines_round_trip(count in 0u64..u64::MAX / 2,
+                                 level in -1e9f64..1e9,
+                                 samples in proptest::collection::vec(0.0f64..16.0, 1..32)) {
+        let mut registry = MetricsRegistry::new();
+        registry.incr("prop.count", count);
+        registry.gauge("prop.level", level);
+        registry.register_histogram("prop.lat", &[1.0, 2.0, 4.0, 8.0]);
+        for s in &samples {
+            registry.observe("prop.lat", *s);
+        }
+        let mut out = String::new();
+        fap::obs::jsonl::write_registry(&mut out, &registry);
+        let lines: Vec<Vec<(String, Scalar)>> = out
+            .lines()
+            .map(|l| parse_line(l).expect("registry line must parse"))
+            .collect();
+        prop_assert_eq!(lines.len(), 3);
+        let field = |line: &[(String, Scalar)], name: &str| {
+            line.iter().find(|(k, _)| k == name).map(|(_, v)| v.clone())
+        };
+        prop_assert_eq!(field(&lines[0], "value").unwrap().as_i64(), Some(count as i64));
+        prop_assert_eq!(field(&lines[1], "value").unwrap().as_f64(), Some(level));
+        prop_assert_eq!(
+            field(&lines[2], "count").unwrap().as_f64(),
+            Some(samples.len() as f64)
+        );
+        let written: f64 = samples.iter().sum();
+        prop_assert_eq!(field(&lines[2], "sum").unwrap().as_f64(), Some(written));
+    }
+}

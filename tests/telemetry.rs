@@ -7,7 +7,7 @@
 //! compare whole JSONL exports as strings.
 
 use fap::obs::jsonl::{parse_line, Scalar};
-use fap::obs::Telemetry;
+use fap::obs::{JsonlSink, Telemetry};
 use fap::runtime::ChaosPlan;
 use fap_cli::{chaos_sim, chaos_sim_observed, solve, solve_observed, summarize, Scenario};
 
@@ -86,6 +86,23 @@ fn every_exported_line_parses_and_the_summary_agrees() {
         .map(|(_, value)| *value);
     assert_eq!(dropped, Some(report.faults.dropped));
     assert!(summary.latency_p50.unwrap() <= summary.latency_p99.unwrap());
+}
+
+#[test]
+fn streaming_export_is_byte_identical_to_the_buffered_one() {
+    // The incremental sink is the bounded-memory path for long runs; the
+    // flush interval must only decide *when* bytes reach the writer, never
+    // what they are — so a seeded sim exports the same file either way.
+    let buffered = sim_jsonl(11);
+    for flush_every in [1usize, 7, 4096] {
+        let mut sink = JsonlSink::new(Vec::new(), flush_every);
+        chaos_sim_observed(&Scenario::example(), chaos_plan(11), &mut sink).unwrap();
+        let streamed = String::from_utf8(sink.finish().unwrap()).unwrap();
+        assert_eq!(
+            streamed, buffered,
+            "flush_every = {flush_every} must not change the exported bytes"
+        );
+    }
 }
 
 #[test]
