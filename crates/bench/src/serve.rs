@@ -1,17 +1,24 @@
 //! The `serve` benchmark: sequential-vs-sharded wall clock for the
-//! `fap-serve` batcher over a grid of batch sizes and shard counts.
+//! `fap-serve` batcher over a grid of batch sizes and shard counts, plus
+//! the warm-path columns — cost-matrix cache on/off build times and the
+//! warm-start iteration savings on a perturbed workload.
 //!
-//! The sharded path is bit-identical to the sequential one by construction
-//! (contiguous chunks, one deterministic kernel per request), and
-//! [`bench_serve`] asserts that on every point before reporting a timing.
-//! Results serialize to the `BENCH_serve.json` schema committed at the repo
-//! root; regenerate with `fap bench-serve` (prefer `--release`).
+//! The sharded (work-stealing) path is bit-identical to the sequential one
+//! by construction (self-contained tasks, one deterministic kernel per
+//! request), and [`bench_serve`] asserts that on every point before
+//! reporting a timing. Likewise the cache section asserts cached matrices
+//! are bit-identical to freshly computed ones, and the warm section runs
+//! on virtual counts (iterations, not wall clock), so its numbers are
+//! machine-independent and hard-gated by `--check`. Results serialize to
+//! the `BENCH_serve.json` schema committed at the repo root; regenerate
+//! with `fap bench-serve` (prefer `--release`).
 
 use std::time::Instant;
 
 use fap_batch::Parallelism;
+use fap_cache::CostMatrixCache;
 use fap_core::{MultiFileProblem, SingleFileProblem};
-use fap_net::{topology, AccessPattern};
+use fap_net::{topology, AccessPattern, Graph};
 use fap_ring::VirtualRing;
 use fap_serve::{BatchServer, ServeOutput, ServeRequest, ServeResponse};
 use serde::{Deserialize, Serialize};
@@ -33,6 +40,50 @@ pub struct ServePoint {
     pub speedup: f64,
     /// A content checksum over the responses, equal for both paths.
     pub checksum: f64,
+    /// Tasks the sharded run's workers stole from each other. Scheduling
+    /// is timing-dependent, so this is advisory only — never hard-gated.
+    #[serde(default)]
+    pub steals: u64,
+}
+
+/// Cost-matrix resolution with the cache off vs on, for one batch size.
+/// The hit/miss counts are deterministic (hard-gated by `--check`); the
+/// timings are machine-dependent advisories.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CachePoint {
+    /// Batch size (number of requests; ring requests need no matrix).
+    pub requests: usize,
+    /// Wall clock to build every request's cost matrix from scratch, ms.
+    pub build_cold_ms: f64,
+    /// Wall clock resolving the same matrices through a
+    /// [`CostMatrixCache`], ms.
+    pub build_cached_ms: f64,
+    /// `build_cold_ms / build_cached_ms`.
+    pub speedup: f64,
+    /// Cache hits over the batch.
+    pub hits: u64,
+    /// Cache misses (= distinct topologies) over the batch.
+    pub misses: u64,
+}
+
+/// Warm-start savings on the perturbed workload, for one batch size. All
+/// fields are virtual counts or checksums — deterministic on any machine,
+/// hard-gated by `--check`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WarmPoint {
+    /// Batch size (number of requests).
+    pub requests: usize,
+    /// Total optimizer iterations solving the batch cold.
+    pub cold_iterations: u64,
+    /// Total optimizer iterations with warm-start chaining on.
+    pub warm_iterations: u64,
+    /// Requests that ran seeded (`serve.warm_starts`).
+    pub warm_starts: u64,
+    /// Iterations saved versus the chain's cold baseline
+    /// (`econ.warm_start_iters_saved`).
+    pub iters_saved: u64,
+    /// A content checksum over the warm responses.
+    pub checksum: f64,
 }
 
 /// The full benchmark report.
@@ -47,6 +98,12 @@ pub struct ServeReport {
     pub shard_counts: Vec<usize>,
     /// All measured points.
     pub points: Vec<ServePoint>,
+    /// Cache on/off matrix-build comparison, one per batch size.
+    #[serde(default)]
+    pub cache_points: Vec<CachePoint>,
+    /// Warm-start savings on the perturbed workload, one per batch size.
+    #[serde(default)]
+    pub warm_points: Vec<WarmPoint>,
 }
 
 /// The benchmark workload: a deterministic mixed batch of `count` requests
@@ -115,6 +172,117 @@ pub fn serve_workload(count: usize) -> Vec<ServeRequest> {
         .collect()
 }
 
+/// The graphs backing [`serve_workload`]'s requests, in request order
+/// (ring requests carry no graph). Both graph kinds repeat, so a
+/// [`CostMatrixCache`] sees one miss per kind and hits everywhere else.
+pub fn workload_graphs(count: usize) -> Vec<Graph> {
+    (0..count)
+        .filter(|i| i % 3 != 2)
+        .map(|i| {
+            if i % 3 == 0 {
+                topology::ring(8, 1.0).expect("valid ring")
+            } else {
+                topology::ring(6, 1.0).expect("valid ring")
+            }
+        })
+        .collect()
+}
+
+/// The perturbed workload: `count` single-file requests over one topology
+/// and solver configuration whose access patterns drift slightly request
+/// to request — the stream warm-start chaining exists for.
+///
+/// # Panics
+///
+/// Panics only on programming errors (the generated parameters are valid).
+pub fn perturbed_workload(count: usize) -> Vec<ServeRequest> {
+    let graph = topology::ring(8, 1.0).expect("valid ring");
+    (0..count)
+        .map(|i| {
+            let rates: Vec<f64> = (0..8)
+                .map(|n| 0.1 + 0.04 * n as f64 + 0.0005 * i as f64 * (n + 1) as f64)
+                .collect();
+            let pattern = AccessPattern::new(rates).expect("valid pattern");
+            let problem =
+                SingleFileProblem::mm1(&graph, &pattern, 6.0, 1.0).expect("valid problem");
+            ServeRequest::SingleFile {
+                problem,
+                initial: vec![0.125; 8],
+                alpha: 0.05,
+                epsilon: 1e-7,
+                max_iterations: 100_000,
+            }
+        })
+        .collect()
+}
+
+/// Times resolving the workload's cost matrices with the cache off vs on
+/// and asserts the cached bits match the fresh ones.
+fn bench_cache(count: usize) -> CachePoint {
+    let graphs = workload_graphs(count);
+    let (build_cold_ms, cold) = time_ms(|| {
+        graphs
+            .iter()
+            .map(|g| g.shortest_path_matrix().expect("valid graph"))
+            .collect::<Vec<_>>()
+    });
+    let mut cache = CostMatrixCache::new();
+    let (build_cached_ms, ()) = time_ms(|| {
+        for (graph, fresh) in graphs.iter().zip(&cold) {
+            let cached = cache
+                .get_or_compute(graph, Parallelism::Sequential)
+                .expect("valid graph");
+            assert_eq!(
+                cached.as_matrix(),
+                fresh.as_matrix(),
+                "a cached matrix must be bit-identical to a fresh computation"
+            );
+        }
+    });
+    CachePoint {
+        requests: count,
+        build_cold_ms,
+        build_cached_ms,
+        speedup: build_cold_ms / build_cached_ms,
+        hits: cache.hits(),
+        misses: cache.misses(),
+    }
+}
+
+/// Solves the perturbed workload cold and warm and reports the virtual
+/// iteration counts. Asserts the warm run actually saves work and that
+/// warm sharding stays bit-identical to warm sequential.
+fn bench_warm(count: usize, shard_counts: &[usize]) -> WarmPoint {
+    let requests = perturbed_workload(count);
+    let cold = BatchServer::new(Parallelism::Sequential).serve(&requests);
+    assert_eq!(cold.err_count(), 0, "the perturbed workload must solve cleanly");
+    let warm =
+        BatchServer::new(Parallelism::Sequential).with_warm_start(true).serve(&requests);
+    for &shards in shard_counts {
+        let sharded = BatchServer::new(Parallelism::Fixed(shards))
+            .with_warm_start(true)
+            .serve(&requests);
+        assert_eq!(
+            warm.responses, sharded.responses,
+            "warm sharded serving diverged at requests = {count}, shards = {shards}"
+        );
+    }
+    let point = WarmPoint {
+        requests: count,
+        cold_iterations: cold.aggregate.counter("econ.iterations"),
+        warm_iterations: warm.aggregate.counter("econ.iterations"),
+        warm_starts: warm.aggregate.counter("serve.warm_starts"),
+        iters_saved: warm.aggregate.counter("econ.warm_start_iters_saved"),
+        checksum: checksum_output(&warm),
+    };
+    assert!(
+        point.iters_saved > 0,
+        "warm starts must save iterations on the perturbed workload"
+    );
+    assert!(point.warm_iterations < point.cold_iterations);
+    point
+}
+
 fn checksum_output(output: &ServeOutput) -> f64 {
     output
         .responses
@@ -177,14 +345,20 @@ pub fn bench_serve(batch_sizes: &[usize], shard_counts: &[usize]) -> ServeReport
                 sharded_ms,
                 speedup: sequential_ms / sharded_ms,
                 checksum,
+                steals: sharded.aggregate.counter("serve.steals"),
             });
         }
     }
+    let cache_points = batch_sizes.iter().map(|&count| bench_cache(count)).collect();
+    let warm_points =
+        batch_sizes.iter().map(|&count| bench_warm(count, shard_counts)).collect();
     ServeReport {
         threads: Parallelism::Auto.thread_count(),
         batch_sizes: batch_sizes.to_vec(),
         shard_counts: shard_counts.to_vec(),
         points,
+        cache_points,
+        warm_points,
     }
 }
 
@@ -250,6 +424,74 @@ pub fn check_against(
                 ));
             }
         }
+        if old.steals != new.steals {
+            outcome.advisories.push(format!(
+                "{label}: steals differ: committed {}, fresh {} (scheduling-dependent)",
+                old.steals, new.steals
+            ));
+        }
+    }
+    // Cache section: hit/miss counts are deterministic, timings advisory.
+    if committed.cache_points.len() != fresh.cache_points.len() {
+        outcome.hard_failures.push(format!(
+            "cache point count mismatch: committed {}, fresh {}",
+            committed.cache_points.len(),
+            fresh.cache_points.len()
+        ));
+    }
+    for (old, new) in committed.cache_points.iter().zip(&fresh.cache_points) {
+        let label = format!("cache requests={}", old.requests);
+        if old.requests != new.requests || old.hits != new.hits || old.misses != new.misses {
+            outcome.hard_failures.push(format!(
+                "{label}: hit/miss diverged: committed {}/{} over {} requests, fresh {}/{} over {}",
+                old.hits, old.misses, old.requests, new.hits, new.misses, new.requests
+            ));
+        }
+        if new.build_cached_ms > old.build_cached_ms * timing_tolerance {
+            outcome.advisories.push(format!(
+                "{label}: cached build {:.3} ms exceeds {timing_tolerance}× committed {:.3} ms",
+                new.build_cached_ms, old.build_cached_ms
+            ));
+        }
+    }
+    // Warm section: everything is a virtual count or checksum — all hard.
+    if committed.warm_points.len() != fresh.warm_points.len() {
+        outcome.hard_failures.push(format!(
+            "warm point count mismatch: committed {}, fresh {}",
+            committed.warm_points.len(),
+            fresh.warm_points.len()
+        ));
+    }
+    for (old, new) in committed.warm_points.iter().zip(&fresh.warm_points) {
+        let label = format!("warm requests={}", old.requests);
+        if old.requests != new.requests
+            || old.cold_iterations != new.cold_iterations
+            || old.warm_iterations != new.warm_iterations
+            || old.warm_starts != new.warm_starts
+            || old.iters_saved != new.iters_saved
+        {
+            outcome.hard_failures.push(format!(
+                "{label}: iteration counts diverged: committed cold {} warm {} starts {} saved {}, \
+                 fresh cold {} warm {} starts {} saved {}",
+                old.cold_iterations,
+                old.warm_iterations,
+                old.warm_starts,
+                old.iters_saved,
+                new.cold_iterations,
+                new.warm_iterations,
+                new.warm_starts,
+                new.iters_saved
+            ));
+        }
+        if old.checksum.to_bits() != new.checksum.to_bits() {
+            outcome.hard_failures.push(format!(
+                "{label}: warm checksum diverged: committed {:?} ({:#018x}), fresh {:?} ({:#018x})",
+                old.checksum,
+                old.checksum.to_bits(),
+                new.checksum,
+                new.checksum.to_bits()
+            ));
+        }
     }
     outcome
 }
@@ -281,6 +523,51 @@ mod tests {
             report.points[0].checksum.to_bits(),
             report.points[1].checksum.to_bits()
         );
+        // And the warm-path sections cover the batch-size grid.
+        assert_eq!(report.cache_points.len(), 1);
+        assert_eq!(report.warm_points.len(), 1);
+    }
+
+    #[test]
+    fn the_cache_section_counts_one_miss_per_distinct_topology() {
+        let point = bench_cache(9);
+        // 9 requests → 6 graph-backed (3 ring-8, 3 ring-6): 2 misses.
+        assert_eq!(point.misses, 2);
+        assert_eq!(point.hits, 4);
+        assert!(point.build_cold_ms >= 0.0 && point.build_cached_ms >= 0.0);
+    }
+
+    #[test]
+    fn the_warm_section_is_deterministic_and_saves_work() {
+        let a = bench_warm(8, &[2, 4]);
+        let b = bench_warm(8, &[2, 4]);
+        assert_eq!(a, b, "warm-point counts are virtual and must reproduce exactly");
+        assert!(a.iters_saved > 0);
+        assert!(a.warm_iterations < a.cold_iterations);
+        assert_eq!(a.warm_starts, 7, "all but the chain head run seeded");
+    }
+
+    #[test]
+    fn check_hard_gates_the_warm_and_cache_sections() {
+        let committed = bench_serve(&[6], &[2]);
+        let mut fresh = committed.clone();
+        fresh.warm_points[0].iters_saved += 1;
+        let outcome = check_against(&committed, &fresh, f64::INFINITY);
+        assert!(!outcome.is_pass());
+        assert!(outcome.hard_failures.iter().any(|f| f.contains("iteration counts diverged")));
+
+        let mut fresh = committed.clone();
+        fresh.cache_points[0].hits += 1;
+        let outcome = check_against(&committed, &fresh, f64::INFINITY);
+        assert!(!outcome.is_pass());
+        assert!(outcome.hard_failures.iter().any(|f| f.contains("hit/miss diverged")));
+
+        // Steals are scheduling-dependent: only ever advisory.
+        let mut fresh = committed.clone();
+        fresh.points[0].steals += 3;
+        let outcome = check_against(&committed, &fresh, f64::INFINITY);
+        assert!(outcome.is_pass(), "steals must not hard-fail: {:?}", outcome.hard_failures);
+        assert!(outcome.advisories.iter().any(|a| a.contains("steals differ")));
     }
 
     #[test]

@@ -1,0 +1,141 @@
+//! Hand-rolled FNV-1a 64-bit hashing.
+//!
+//! Fowler–Noll–Vo is the standard choice for small-key hash maps when pulling
+//! in an external hasher crate is off the table: two arithmetic ops per byte,
+//! good dispersion on short structured keys, and a trivially auditable
+//! implementation. [`Fnv64`] is both a free-standing streaming hasher (used
+//! by [`crate::topology_fingerprint`]) and a [`std::hash::Hasher`], so the
+//! same code backs [`std::collections::HashMap`] via [`FnvBuildHasher`] —
+//! giving the cache deterministic, seed-free probing (unlike SipHash's
+//! per-process random keys).
+
+/// FNV-1a offset basis for 64-bit hashes.
+pub const FNV_OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// FNV-1a prime for 64-bit hashes.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A streaming FNV-1a 64-bit hasher.
+///
+/// ```
+/// use fap_cache::Fnv64;
+/// let mut h = Fnv64::new();
+/// h.write(b"fap");
+/// // FNV-1a is fully deterministic: same bytes, same hash, every process.
+/// let first = h.finish64();
+/// let mut again = Fnv64::new();
+/// again.write(b"fap");
+/// assert_eq!(first, again.finish64());
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+impl Fnv64 {
+    /// Creates a hasher seeded with the FNV offset basis.
+    pub const fn new() -> Self {
+        Fnv64 { state: FNV_OFFSET_BASIS }
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs a `u64` in little-endian byte order.
+    pub fn write_u64(&mut self, value: u64) {
+        self.write(&value.to_le_bytes());
+    }
+
+    /// Absorbs a `usize`, widened to `u64` so fingerprints agree across
+    /// pointer widths.
+    pub fn write_usize(&mut self, value: usize) {
+        self.write_u64(value as u64);
+    }
+
+    /// Returns the current hash state.
+    pub const fn finish64(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+impl std::hash::Hasher for Fnv64 {
+    fn finish(&self) -> u64 {
+        self.finish64()
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        Fnv64::write(self, bytes);
+    }
+}
+
+/// A [`std::hash::BuildHasher`] producing [`Fnv64`] hashers, for
+/// deterministic `HashMap` probing without SipHash's random per-process keys.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FnvBuildHasher;
+
+impl std::hash::BuildHasher for FnvBuildHasher {
+    type Hasher = Fnv64;
+
+    fn build_hasher(&self) -> Fnv64 {
+        Fnv64::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_published_fnv1a_vectors() {
+        // Reference vectors from the FNV specification (draft-eastlake-fnv).
+        let cases: [(&[u8], u64); 4] = [
+            (b"", FNV_OFFSET_BASIS),
+            (b"a", 0xaf63dc4c8601ec8c),
+            (b"foobar", 0x85944171f73967e8),
+            (b"chongo was here!\n", 0x46810940eff5f915),
+        ];
+        for (input, expected) in cases {
+            let mut h = Fnv64::new();
+            h.write(input);
+            assert_eq!(h.finish64(), expected, "input {input:?}");
+        }
+    }
+
+    #[test]
+    fn streaming_equals_one_shot() {
+        let mut whole = Fnv64::new();
+        whole.write(b"abcdef");
+        let mut parts = Fnv64::new();
+        parts.write(b"abc");
+        parts.write(b"def");
+        assert_eq!(whole.finish64(), parts.finish64());
+    }
+
+    #[test]
+    fn u64_and_usize_writes_agree() {
+        let mut a = Fnv64::new();
+        a.write_u64(42);
+        let mut b = Fnv64::new();
+        b.write_usize(42);
+        assert_eq!(a.finish64(), b.finish64());
+    }
+
+    #[test]
+    fn hashmap_accepts_the_build_hasher() {
+        let mut map =
+            std::collections::HashMap::<u64, &str, FnvBuildHasher>::with_hasher(FnvBuildHasher);
+        map.insert(7, "seven");
+        assert_eq!(map.get(&7), Some(&"seven"));
+    }
+}

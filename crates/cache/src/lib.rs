@@ -1,0 +1,332 @@
+//! Content-addressed warm-path caches for the file-allocation system.
+//!
+//! The serving layer's dominant fixed cost is the all-pairs shortest-path
+//! computation that turns a [`Graph`] into a [`CostMatrix`] (the `c_ij` of the
+//! paper's §4). In the ROADMAP's target regime — heavy repeated traffic over a
+//! shared network — most requests in a batch share a topology and differ only
+//! in workload, so that matrix is recomputed needlessly. This crate provides:
+//!
+//! * [`fnv`] — a hand-rolled FNV-1a 64-bit hasher, in the spirit of the rest
+//!   of the vendored zero-dependency stack;
+//! * [`topology_fingerprint`] — a canonical 64-bit fingerprint of a graph's
+//!   exact structure (node count, adjacency order, and the bit pattern of
+//!   every link cost);
+//! * [`CostMatrixCache`] — a content-addressed cache keyed by that
+//!   fingerprint, so all-pairs Dijkstra runs once per *distinct* graph
+//!   instead of once per request.
+//!
+//! # Fingerprint canonicality and the collision guard
+//!
+//! Two graphs receive the same fingerprint iff they hash the same byte
+//! stream: the node count, then for each node its adjacency length followed
+//! by every `(neighbor index, cost bits)` pair in insertion order. Costs are
+//! hashed via [`f64::to_bits`], so the fingerprint distinguishes `0.0` from
+//! `-0.0` and is exact for every representable cost — there is no epsilon
+//! anywhere. Adjacency *order* matters: the same logical topology built by
+//! inserting links in a different order fingerprints differently. That is
+//! deliberate — a false split only costs one redundant Dijkstra run, whereas
+//! treating distinct graphs as equal would serve wrong answers.
+//!
+//! A 64-bit fingerprint can still collide in principle. Debug builds therefore
+//! keep the full source [`Graph`] alongside each entry and compare it
+//! structurally on every hit, panicking loudly if a collision is ever
+//! observed; release builds skip the comparison (the graph is retained either
+//! way, so the guard can be re-enabled without invalidating caches).
+//!
+//! # Example
+//!
+//! ```
+//! use fap_cache::CostMatrixCache;
+//! use fap_net::{topology, Parallelism};
+//!
+//! let ring = topology::ring(8, 1.0)?;
+//! let mut cache = CostMatrixCache::new();
+//! let first = cache.get_or_compute(&ring, Parallelism::Sequential)?.clone();
+//! // Second lookup is a pure hash-map hit: no Dijkstra, no allocation.
+//! let second = cache.get_or_compute(&ring, Parallelism::Sequential)?;
+//! assert_eq!(&first, second);
+//! assert_eq!((cache.hits(), cache.misses()), (1, 1));
+//! # Ok::<(), fap_net::NetError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::collections::HashMap;
+
+use fap_batch::Parallelism;
+use fap_net::{CostMatrix, Graph, NetError};
+use fap_obs::{NoopRecorder, Recorder};
+
+pub mod fnv;
+
+pub use fnv::{Fnv64, FnvBuildHasher};
+
+/// Computes the canonical 64-bit FNV-1a fingerprint of a graph's structure.
+///
+/// The fingerprint covers the node count and, per node, the adjacency list in
+/// insertion order with each cost hashed by bit pattern ([`f64::to_bits`]).
+/// Equal graphs (same [`PartialEq`] structure) always fingerprint equally;
+/// distinct graphs collide only with the usual 64-bit hash probability, and
+/// [`CostMatrixCache`] guards against that in debug builds.
+pub fn topology_fingerprint(graph: &Graph) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_usize(graph.node_count());
+    for node in graph.nodes() {
+        let adjacency = graph.neighbors(node);
+        h.write_usize(adjacency.len());
+        for &(neighbor, cost) in adjacency {
+            h.write_usize(neighbor.index());
+            h.write_u64(cost.to_bits());
+        }
+    }
+    h.finish64()
+}
+
+/// One cached all-pairs result: the source graph (for the debug-mode
+/// collision guard) and its computed cost matrix.
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    // Only the debug-mode collision guard reads the graph back.
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
+    graph: Graph,
+    matrix: CostMatrix,
+}
+
+/// A content-addressed cache of all-pairs shortest-path cost matrices, keyed
+/// by [`topology_fingerprint`].
+///
+/// Lookups on a warm key are allocation-free: the fingerprint is computed on
+/// the stack and the map is probed in place. Misses run
+/// [`Graph::shortest_path_matrix_parallel`] once and retain the result for
+/// the lifetime of the cache (no eviction — one entry per distinct topology,
+/// sized `n²` floats each, tracked by [`CostMatrixCache::bytes`]).
+#[derive(Debug, Default)]
+pub struct CostMatrixCache {
+    entries: HashMap<u64, CacheEntry, FnvBuildHasher>,
+    hits: u64,
+    misses: u64,
+    bytes: u64,
+}
+
+impl CostMatrixCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        CostMatrixCache::default()
+    }
+
+    /// Number of distinct topologies currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lifetime count of lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime count of lookups that had to run Dijkstra.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Total size of the cached matrices in bytes (`Σ n² · 8`).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Drops every entry and resets the byte gauge (hit/miss counters are
+    /// lifetime totals and survive a clear).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.bytes = 0;
+    }
+
+    /// Returns the cached matrix for `graph`, computing and caching it on
+    /// first sight. See [`CostMatrixCache::get_or_compute_observed`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetError::Disconnected`] from the shortest-path run; a
+    /// failed computation is not cached.
+    pub fn get_or_compute(
+        &mut self,
+        graph: &Graph,
+        parallelism: Parallelism,
+    ) -> Result<&CostMatrix, NetError> {
+        self.get_or_compute_observed(graph, parallelism, &mut NoopRecorder)
+    }
+
+    /// Returns the cached matrix for `graph`, computing and caching it on
+    /// first sight, recording `cache.hit` / `cache.miss` counters and the
+    /// `cache.bytes` gauge into `recorder`.
+    ///
+    /// The returned matrix is bit-identical to a fresh
+    /// [`Graph::shortest_path_matrix_parallel`] run: hits return the stored
+    /// result of exactly that computation, and the fingerprint never merges
+    /// structurally distinct graphs (checked structurally in debug builds).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetError::Disconnected`] from the shortest-path run; a
+    /// failed computation is not cached.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic if two structurally different graphs ever share a
+    /// fingerprint (a 64-bit collision), rather than serving a wrong matrix.
+    pub fn get_or_compute_observed(
+        &mut self,
+        graph: &Graph,
+        parallelism: Parallelism,
+        recorder: &mut dyn Recorder,
+    ) -> Result<&CostMatrix, NetError> {
+        let key = topology_fingerprint(graph);
+        // A plain `match self.entries.get(&key)` would hold the borrow across
+        // the insert arm; contains_key keeps the hit path allocation-free.
+        if self.entries.contains_key(&key) {
+            let entry = &self.entries[&key];
+            #[cfg(debug_assertions)]
+            assert!(
+                entry.graph == *graph,
+                "topology fingerprint collision: two distinct graphs hash to {key:#018x}"
+            );
+            self.hits += 1;
+            recorder.incr("cache.hit", 1);
+            recorder.gauge("cache.bytes", self.bytes as f64);
+            return Ok(&entry.matrix);
+        }
+        // A miss is an *attempt*, so failed computations stay visible in the
+        // telemetry even though they are never cached.
+        self.misses += 1;
+        recorder.incr("cache.miss", 1);
+        let matrix = graph.shortest_path_matrix_parallel(parallelism)?;
+        let n = matrix.node_count() as u64;
+        self.bytes += n * n * 8;
+        recorder.gauge("cache.bytes", self.bytes as f64);
+        let entry = self.entries.entry(key).or_insert(CacheEntry { graph: graph.clone(), matrix });
+        Ok(&entry.matrix)
+    }
+
+    /// Returns the cached matrix for a graph whose fingerprint is already
+    /// known, without recomputing the fingerprint or running Dijkstra.
+    ///
+    /// This is the pure-probe path (no miss fill, no counters); useful for
+    /// tests and for callers that batch-fingerprint up front.
+    pub fn peek(&self, fingerprint: u64) -> Option<&CostMatrix> {
+        self.entries.get(&fingerprint).map(|e| &e.matrix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fap_net::topology;
+
+    #[test]
+    fn equal_graphs_fingerprint_equally() {
+        let a = topology::ring(6, 1.5).unwrap();
+        let b = topology::ring(6, 1.5).unwrap();
+        assert_eq!(topology_fingerprint(&a), topology_fingerprint(&b));
+    }
+
+    #[test]
+    fn cost_change_changes_the_fingerprint() {
+        let a = topology::ring(6, 1.5).unwrap();
+        let b = topology::ring(6, 1.5000000001).unwrap();
+        assert_ne!(topology_fingerprint(&a), topology_fingerprint(&b));
+    }
+
+    #[test]
+    fn shape_change_changes_the_fingerprint() {
+        let ring = topology::ring(5, 1.0).unwrap();
+        let star = topology::star(5, 1.0).unwrap();
+        assert_ne!(topology_fingerprint(&ring), topology_fingerprint(&star));
+    }
+
+    #[test]
+    fn empty_graphs_of_different_sizes_differ() {
+        assert_ne!(
+            topology_fingerprint(&Graph::new(3)),
+            topology_fingerprint(&Graph::new(4))
+        );
+    }
+
+    #[test]
+    fn hit_returns_the_identical_matrix() {
+        let g = topology::full_mesh(7, 2.0).unwrap();
+        let fresh = g.shortest_path_matrix().unwrap();
+        let mut cache = CostMatrixCache::new();
+        let miss = cache.get_or_compute(&g, Parallelism::Sequential).unwrap().clone();
+        let hit = cache.get_or_compute(&g, Parallelism::Sequential).unwrap();
+        assert_eq!(&fresh, &miss);
+        assert_eq!(&fresh, hit);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_topologies_occupy_distinct_entries() {
+        let mut cache = CostMatrixCache::new();
+        let a = topology::ring(4, 1.0).unwrap();
+        let b = topology::ring(8, 1.0).unwrap();
+        cache.get_or_compute(&a, Parallelism::Sequential).unwrap();
+        cache.get_or_compute(&b, Parallelism::Sequential).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.bytes(), (4 * 4 + 8 * 8) * 8);
+    }
+
+    #[test]
+    fn failed_computation_is_not_cached() {
+        let disconnected = Graph::new(3); // no links at all
+        let mut cache = CostMatrixCache::new();
+        assert!(cache.get_or_compute(&disconnected, Parallelism::Sequential).is_err());
+        assert!(cache.is_empty());
+        assert_eq!(cache.bytes(), 0);
+        // Misses count attempts, so the failure is visible in telemetry.
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn observed_lookups_record_hit_miss_and_bytes() {
+        let g = topology::ring(4, 1.0).unwrap();
+        let mut reg = fap_obs::MetricsRegistry::new();
+        let mut cache = CostMatrixCache::new();
+        cache.get_or_compute_observed(&g, Parallelism::Sequential, &mut reg).unwrap();
+        cache.get_or_compute_observed(&g, Parallelism::Sequential, &mut reg).unwrap();
+        cache.get_or_compute_observed(&g, Parallelism::Sequential, &mut reg).unwrap();
+        assert_eq!(reg.counter("cache.miss"), 1);
+        assert_eq!(reg.counter("cache.hit"), 2);
+        assert_eq!(reg.gauge_value("cache.bytes"), Some((4.0 * 4.0) * 8.0));
+    }
+
+    #[test]
+    fn clear_resets_entries_and_bytes_but_keeps_lifetime_counters() {
+        let g = topology::ring(4, 1.0).unwrap();
+        let mut cache = CostMatrixCache::new();
+        cache.get_or_compute(&g, Parallelism::Sequential).unwrap();
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.bytes(), 0);
+        assert_eq!(cache.misses(), 1);
+        cache.get_or_compute(&g, Parallelism::Sequential).unwrap();
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn peek_finds_only_cached_fingerprints() {
+        let g = topology::ring(4, 1.0).unwrap();
+        let mut cache = CostMatrixCache::new();
+        assert!(cache.peek(topology_fingerprint(&g)).is_none());
+        cache.get_or_compute(&g, Parallelism::Sequential).unwrap();
+        assert!(cache.peek(topology_fingerprint(&g)).is_some());
+    }
+}

@@ -5,9 +5,11 @@
 //! fap run <scenario.json>                alias for solve
 //! fap simulate <scenario.json>           solve, then measure with the DES
 //! fap sim <scenario.json> [chaos.json]   run the protocol under faults
-//! fap serve <requests.json> [--shards N] batch-solve a request list, sharded
+//! fap serve <requests.json> [--shards N] [--warm-start]
+//!                                        batch-solve a request list, sharded
 //! fap serve-example                      print a template request list
 //! fap report <metrics.jsonl>             summarize an exported metrics file
+//! fap report --diff <a.jsonl> <b.jsonl>  compare two metrics files
 //! fap sweep-k <scenario.json> <k,k,...>  the §8.2 k trade-off
 //! fap bench-scale [out.json]             seq-vs-parallel scaling sweep
 //! fap bench-scale --check [committed]    re-run and verify determinism
@@ -52,9 +54,10 @@ const USAGE: &str = "usage:
   fap run   <scenario.json> [--metrics-out <path.jsonl>] [--metrics-summary]
   fap simulate <scenario.json>
   fap sim <scenario.json> [chaos.json] [--metrics-out <path.jsonl>] [--metrics-summary]
-  fap serve <requests.json> [--shards <n>] [--metrics-out <path.jsonl>] [--metrics-summary]
+  fap serve <requests.json> [--shards <n>] [--warm-start] [--metrics-out <path.jsonl>] [--metrics-summary]
   fap serve-example
   fap report <metrics.jsonl>
+  fap report --diff <a.jsonl> <b.jsonl>
   fap sweep-k <scenario.json> <k1,k2,...>
   fap bench-scale [out.json]
   fap bench-scale --check [committed.json]
@@ -253,6 +256,7 @@ fn run(args: &[String]) -> Result<(), String> {
             ("serve", rest) => {
                 let mut path: Option<&String> = None;
                 let mut shards = fap_batch::Parallelism::Auto;
+                let mut warm_start = false;
                 let mut iter = rest.iter();
                 while let Some(arg) = iter.next() {
                     match arg.as_str() {
@@ -266,6 +270,7 @@ fn run(args: &[String]) -> Result<(), String> {
                             }
                             shards = fap_batch::Parallelism::Fixed(n);
                         }
+                        "--warm-start" => warm_start = true,
                         _ if path.is_none() => path = Some(arg),
                         other => return Err(format!("unexpected argument '{other}'")),
                     }
@@ -274,8 +279,9 @@ fn run(args: &[String]) -> Result<(), String> {
                 let specs =
                     fap_cli::load_specs(Path::new(path)).map_err(|e| e.to_string())?;
                 let mut sink = metrics.sink()?;
-                let output = fap_cli::serve_specs(&specs, shards, sink.recorder())
-                    .map_err(|e| e.to_string())?;
+                let output =
+                    fap_cli::serve_specs_with(&specs, shards, warm_start, sink.recorder())
+                        .map_err(|e| e.to_string())?;
                 print!("{}", fap_cli::serve::render_output(&specs, &output));
                 metrics.finish(sink)?;
                 Ok(())
@@ -289,6 +295,16 @@ fn run(args: &[String]) -> Result<(), String> {
                     .map_err(|e| format!("reading {path}: {e}"))?;
                 let summary = summarize(&text).map_err(|e| format!("{path}: {e}"))?;
                 print!("{}", fap_cli::render(&summary));
+                Ok(())
+            }
+            ("report", [flag, path_a, path_b]) if flag == "--diff" => {
+                let load = |path: &String| -> Result<fap_cli::ReportSummary, String> {
+                    let text = std::fs::read_to_string(path)
+                        .map_err(|e| format!("reading {path}: {e}"))?;
+                    summarize(&text).map_err(|e| format!("{path}: {e}"))
+                };
+                let (a, b) = (load(path_a)?, load(path_b)?);
+                print!("{}", fap_cli::render_diff(path_a, &a, path_b, &b));
                 Ok(())
             }
             ("bench-scale", [first, rest @ ..]) if first == "--check" && rest.len() <= 1 => {
@@ -382,8 +398,22 @@ fn run(args: &[String]) -> Result<(), String> {
                 );
                 for p in &report.points {
                     println!(
-                        "  requests={:<5} shards={:<3} seq {:>9.2} ms  sharded {:>9.2} ms  speedup {:>5.2}x",
-                        p.requests, p.shards, p.sequential_ms, p.sharded_ms, p.speedup
+                        "  requests={:<5} shards={:<3} seq {:>9.2} ms  sharded {:>9.2} ms  speedup {:>5.2}x  steals {:>4}",
+                        p.requests, p.shards, p.sequential_ms, p.sharded_ms, p.speedup, p.steals
+                    );
+                }
+                println!("cost-matrix cache (off vs on):");
+                for c in &report.cache_points {
+                    println!(
+                        "  requests={:<5} cold {:>8.3} ms  cached {:>8.3} ms  speedup {:>5.2}x  {} hits / {} misses",
+                        c.requests, c.build_cold_ms, c.build_cached_ms, c.speedup, c.hits, c.misses
+                    );
+                }
+                println!("warm starts (perturbed workload):");
+                for w in &report.warm_points {
+                    println!(
+                        "  requests={:<5} cold {:>8} iters  warm {:>8} iters  {} seeded, {} iters saved",
+                        w.requests, w.cold_iterations, w.warm_iterations, w.warm_starts, w.iters_saved
                     );
                 }
                 Ok(())

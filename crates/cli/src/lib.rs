@@ -34,7 +34,7 @@ pub mod run;
 pub mod scenario;
 pub mod serve;
 
-pub use report::{render, summarize, ReportSummary};
+pub use report::{render, render_diff, summarize, ReportSummary};
 pub use run::{chaos_sim, chaos_sim_observed, simulate, solve, solve_observed, sweep_k, SolveOutput};
 pub use scenario::{Scenario, ScenarioError, Topology};
-pub use serve::{load_specs, serve_specs, ServeSpec};
+pub use serve::{load_specs, serve_specs, serve_specs_with, ServeSpec};

@@ -24,6 +24,9 @@ pub struct ReportSummary {
     /// Every `sim.*` counter in file order — the per-fault-type counts plus
     /// the traffic totals.
     pub fault_counts: Vec<(String, u64)>,
+    /// Every counter in file order, whatever its namespace (`econ.*`,
+    /// `serve.*`, `cache.*`, `sim.*`, …) — the basis of `fap report --diff`.
+    pub counters: Vec<(String, u64)>,
     /// Exact median report latency in rounds, over `delivery` events.
     pub latency_p50: Option<f64>,
     /// Exact 99th-percentile report latency in rounds.
@@ -86,11 +89,12 @@ pub fn summarize(text: &str) -> Result<ReportSummary, String> {
                 _ => {}
             }
         } else if let Some(Scalar::Str(name)) = field(&fields, "counter") {
+            let value =
+                field(&fields, "value").and_then(Scalar::as_i64).unwrap_or(0) as u64;
             if name.starts_with("sim.") {
-                let value =
-                    field(&fields, "value").and_then(Scalar::as_i64).unwrap_or(0) as u64;
                 summary.fault_counts.push((name.clone(), value));
             }
+            summary.counters.push((name.clone(), value));
         } else if let Some(Scalar::Str(name)) = field(&fields, "hist") {
             if name == "sim.report_latency_rounds" {
                 let p50 = field(&fields, "p50").and_then(Scalar::as_f64);
@@ -161,6 +165,73 @@ pub fn render(summary: &ReportSummary) -> String {
             let _ = writeln!(out, "latency:  no delivery data found");
         }
     }
+    out
+}
+
+/// Renders two summaries side by side (`fap report --diff a b`): every
+/// counter appearing in either file, first file's order first, with the
+/// signed delta, then the latency quantiles. Useful for before/after
+/// comparisons — a cold serve export against a warm one, a faulty sim
+/// against a clean one.
+pub fn render_diff(label_a: &str, a: &ReportSummary, label_b: &str, b: &ReportSummary) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "A: {label_a}  ({} lines, {} events)", a.lines, a.events);
+    let _ = writeln!(out, "B: {label_b}  ({} lines, {} events)", b.lines, b.events);
+
+    let run_of = |s: &ReportSummary| match (s.iterations, s.converged) {
+        (Some(n), Some(true)) => format!("converged after {n}"),
+        (Some(n), Some(false)) => format!("stopped after {n}"),
+        (Some(n), None) => format!("ended after {n}"),
+        _ => "no run_end".into(),
+    };
+    let _ = writeln!(out, "run:      A {}, B {}", run_of(a), run_of(b));
+
+    // The union of counter names, in A's file order with B-only names
+    // appended in B's order, each compared by value.
+    let mut names: Vec<&str> = a.counters.iter().map(|(n, _)| n.as_str()).collect();
+    for (name, _) in &b.counters {
+        if !names.contains(&name.as_str()) {
+            names.push(name);
+        }
+    }
+    if names.is_empty() {
+        let _ = writeln!(out, "counters: none in either file");
+    } else {
+        let value_of = |s: &ReportSummary, name: &str| {
+            s.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+        };
+        let width = names.iter().map(|n| n.len()).max().unwrap_or(0);
+        let _ = writeln!(out, "counters:");
+        let _ = writeln!(out, "  {:<width$}  {:>12}  {:>12}  {:>13}", "name", "A", "B", "delta");
+        for name in names {
+            let va = value_of(a, name);
+            let vb = value_of(b, name);
+            let show = |v: Option<u64>| v.map_or("-".to_string(), |v| v.to_string());
+            let delta = match (va, vb) {
+                (Some(va), Some(vb)) => format!("{:+}", vb as i128 - va as i128),
+                _ => "-".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "  {name:<width$}  {:>12}  {:>12}  {:>13}",
+                show(va),
+                show(vb),
+                delta
+            );
+        }
+    }
+
+    let quantile_row = |label: &str, qa: Option<f64>, qb: Option<f64>| {
+        let show = |v: Option<f64>| v.map_or("-".to_string(), |v| format!("{v}"));
+        let delta = match (qa, qb) {
+            (Some(qa), Some(qb)) => format!("{:+}", qb - qa),
+            _ => "-".to_string(),
+        };
+        format!("  {label:<8}  {:>12}  {:>12}  {:>13}", show(qa), show(qb), delta)
+    };
+    let _ = writeln!(out, "latency (rounds):");
+    let _ = writeln!(out, "{}", quantile_row("p50", a.latency_p50, b.latency_p50));
+    let _ = writeln!(out, "{}", quantile_row("p99", a.latency_p99, b.latency_p99));
     out
 }
 
@@ -282,6 +353,62 @@ mod tests {
         assert_eq!(summary.iterations, Some(solution.iterations as u64));
         assert_eq!(summary.converged, Some(solution.converged));
         assert!(render(&summary).contains(&format!("after {} iterations", solution.iterations)));
+    }
+
+    #[test]
+    fn every_counter_is_captured_for_diffing() {
+        let text = "{\"counter\":\"econ.iterations\",\"value\":12}\n\
+                    {\"counter\":\"serve.requests\",\"value\":3}\n\
+                    {\"counter\":\"cache.hit\",\"value\":2}\n";
+        let summary = summarize(text).unwrap();
+        assert_eq!(
+            summary.counters,
+            vec![
+                ("econ.iterations".to_string(), 12),
+                ("serve.requests".to_string(), 3),
+                ("cache.hit".to_string(), 2),
+            ]
+        );
+        assert!(summary.fault_counts.is_empty(), "non-sim counters are not faults");
+    }
+
+    #[test]
+    fn diff_shows_deltas_and_one_sided_counters() {
+        let a = summarize(
+            "{\"counter\":\"econ.iterations\",\"value\":100}\n\
+             {\"counter\":\"serve.requests\",\"value\":6}\n",
+        )
+        .unwrap();
+        let b = summarize(
+            "{\"counter\":\"econ.iterations\",\"value\":40}\n\
+             {\"counter\":\"serve.requests\",\"value\":6}\n\
+             {\"counter\":\"serve.warm_starts\",\"value\":5}\n",
+        )
+        .unwrap();
+        let rendered = render_diff("cold.jsonl", &a, "warm.jsonl", &b);
+        assert!(rendered.contains("A: cold.jsonl"));
+        assert!(rendered.contains("B: warm.jsonl"));
+        assert!(rendered.contains("-60"), "econ.iterations delta: {rendered}");
+        assert!(rendered.contains("+0"), "unchanged counters show +0: {rendered}");
+        // A counter only one side has renders a dash, not a bogus delta.
+        let warm_line = rendered
+            .lines()
+            .find(|l| l.contains("serve.warm_starts"))
+            .expect("B-only counter must appear");
+        assert!(warm_line.contains('-'), "{warm_line}");
+        assert!(warm_line.contains('5'), "{warm_line}");
+    }
+
+    #[test]
+    fn diffing_real_sim_runs_is_well_formed() {
+        let a = summarize(&sim_jsonl(11)).unwrap();
+        let b = summarize(&sim_jsonl(12)).unwrap();
+        let rendered = render_diff("a", &a, "b", &b);
+        assert!(rendered.contains("sim.dropped"));
+        assert!(rendered.contains("p99"));
+        // Same file diffed against itself: every delta is +0.
+        let same = render_diff("a", &a, "a", &a);
+        assert!(!same.lines().any(|l| l.contains("+1") || l.contains("-1")), "{same}");
     }
 
     #[test]

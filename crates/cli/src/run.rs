@@ -30,9 +30,25 @@ pub struct SolveOutput {
 /// Builds the single-file problem a scenario describes.
 pub(crate) fn problem_of(scenario: &Scenario) -> Result<SingleFileProblem, ScenarioError> {
     let graph = scenario.topology.build()?;
+    let costs =
+        graph.shortest_path_matrix().map_err(|e| ScenarioError::Invalid(e.to_string()))?;
+    problem_of_with_costs(scenario, &costs)
+}
+
+/// Builds the single-file problem a scenario describes from an
+/// already-computed cost matrix (the cache-backed serve path).
+pub(crate) fn problem_of_with_costs(
+    scenario: &Scenario,
+    costs: &fap_net::CostMatrix,
+) -> Result<SingleFileProblem, ScenarioError> {
     let pattern = scenario.pattern()?;
-    SingleFileProblem::mm1_heterogeneous(&graph, &pattern, &scenario.service_rates(), scenario.k)
-        .map_err(|e| ScenarioError::Invalid(e.to_string()))
+    SingleFileProblem::mm1_heterogeneous_with_costs(
+        costs,
+        &pattern,
+        &scenario.service_rates(),
+        scenario.k,
+    )
+    .map_err(|e| ScenarioError::Invalid(e.to_string()))
 }
 
 /// Solves a scenario with the decentralized algorithm and cross-checks the

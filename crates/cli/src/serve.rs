@@ -10,13 +10,14 @@
 use serde::{Deserialize, Serialize};
 
 use fap_batch::Parallelism;
+use fap_cache::CostMatrixCache;
 use fap_core::MultiFileProblem;
 use fap_net::AccessPattern;
 use fap_obs::Recorder;
 use fap_ring::VirtualRing;
 use fap_serve::{BatchServer, ServeOutput, ServeRequest};
 
-use crate::run::problem_of;
+use crate::run::{problem_of, problem_of_with_costs};
 use crate::scenario::{Scenario, ScenarioError, Topology};
 
 fn default_alpha() -> f64 {
@@ -123,26 +124,88 @@ impl ServeSpec {
                     max_iterations: 1_000_000,
                 })
             }
-            ServeSpec::MultiFile { topology, lambdas, mus, k, alpha, epsilon, max_iterations } => {
+            ServeSpec::MultiFile { topology, .. } => {
                 let graph = topology.build()?;
-                let n = topology.node_count();
-                let patterns: Vec<AccessPattern> = lambdas
-                    .iter()
-                    .map(|rates| AccessPattern::new(rates.clone()))
-                    .collect::<Result<_, _>>()
+                let costs = graph
+                    .shortest_path_matrix()
                     .map_err(|e| ScenarioError::Invalid(e.to_string()))?;
-                let rates = if mus.len() == 1 { vec![mus[0]; n] } else { mus.clone() };
-                let problem = MultiFileProblem::mm1_heterogeneous(&graph, &patterns, &rates, *k)
-                    .map_err(|e| ScenarioError::Invalid(e.to_string()))?;
-                let initial = vec![vec![1.0 / n as f64; n]; lambdas.len()];
-                Ok(ServeRequest::MultiFile {
+                self.multi_file_request(&costs)
+            }
+            ServeSpec::Ring { .. } => self.ring_request(),
+        }
+    }
+
+    /// Like [`to_request`](Self::to_request), but resolving each spec's
+    /// cost matrix through `cache`: specs sharing a topology fingerprint
+    /// run all-pairs Dijkstra once per distinct graph per batch (hits and
+    /// misses are recorded as `cache.*` metrics in `recorder`). The
+    /// requests — and therefore the responses — are bit-identical to the
+    /// uncached path, because a cached matrix is the same bits Dijkstra
+    /// would recompute.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`to_request`](Self::to_request).
+    pub fn to_request_cached(
+        &self,
+        cache: &mut CostMatrixCache,
+        recorder: &mut dyn Recorder,
+    ) -> Result<ServeRequest, ScenarioError> {
+        let topology = match self {
+            ServeSpec::SingleFile { scenario } => &scenario.topology,
+            ServeSpec::MultiFile { topology, .. } => topology,
+            ServeSpec::Ring { .. } => return self.ring_request(),
+        };
+        let graph = topology.build()?;
+        let costs = cache
+            .get_or_compute_observed(&graph, Parallelism::Sequential, recorder)
+            .map_err(|e| ScenarioError::Invalid(e.to_string()))?;
+        match self {
+            ServeSpec::SingleFile { scenario } => {
+                let problem = problem_of_with_costs(scenario, costs)?;
+                let n = scenario.topology.node_count();
+                let initial =
+                    scenario.initial.clone().unwrap_or_else(|| vec![1.0 / n as f64; n]);
+                Ok(ServeRequest::SingleFile {
                     problem,
                     initial,
-                    alpha: *alpha,
-                    epsilon: *epsilon,
-                    max_iterations: *max_iterations,
+                    alpha: scenario.alpha,
+                    epsilon: scenario.epsilon,
+                    max_iterations: 1_000_000,
                 })
             }
+            ServeSpec::MultiFile { .. } => self.multi_file_request(costs),
+            ServeSpec::Ring { .. } => unreachable!("handled above"),
+        }
+    }
+
+    fn multi_file_request(&self, costs: &fap_net::CostMatrix) -> Result<ServeRequest, ScenarioError> {
+        let ServeSpec::MultiFile { topology, lambdas, mus, k, alpha, epsilon, max_iterations } =
+            self
+        else {
+            unreachable!("multi_file_request called on a non-multi-file spec");
+        };
+        let n = topology.node_count();
+        let patterns: Vec<AccessPattern> = lambdas
+            .iter()
+            .map(|rates| AccessPattern::new(rates.clone()))
+            .collect::<Result<_, _>>()
+            .map_err(|e| ScenarioError::Invalid(e.to_string()))?;
+        let rates = if mus.len() == 1 { vec![mus[0]; n] } else { mus.clone() };
+        let problem = MultiFileProblem::mm1_heterogeneous_with_costs(costs, &patterns, &rates, *k)
+            .map_err(|e| ScenarioError::Invalid(e.to_string()))?;
+        let initial = vec![vec![1.0 / n as f64; n]; lambdas.len()];
+        Ok(ServeRequest::MultiFile {
+            problem,
+            initial,
+            alpha: *alpha,
+            epsilon: *epsilon,
+            max_iterations: *max_iterations,
+        })
+    }
+
+    fn ring_request(&self) -> Result<ServeRequest, ScenarioError> {
+        match self {
             ServeSpec::Ring {
                 link_costs,
                 lambdas,
@@ -168,6 +231,7 @@ impl ServeSpec {
                     max_iterations: *max_iterations,
                 })
             }
+            _ => unreachable!("ring_request called on a non-ring spec"),
         }
     }
 }
@@ -230,7 +294,10 @@ pub fn example_specs_json() -> String {
 
 /// Converts every spec and serves the batch across `shards` workers,
 /// fanning per-shard metrics into the output's aggregate registry and
-/// `recorder`.
+/// `recorder`. Cost matrices are resolved through a per-batch
+/// [`CostMatrixCache`], so specs sharing a topology run all-pairs Dijkstra
+/// once (visible as `cache.hit`/`cache.miss`/`cache.bytes` in `recorder`);
+/// the responses are bit-identical to building every matrix from scratch.
 ///
 /// # Errors
 ///
@@ -242,15 +309,36 @@ pub fn serve_specs(
     shards: Parallelism,
     recorder: &mut dyn Recorder,
 ) -> Result<ServeOutput, ScenarioError> {
+    serve_specs_with(specs, shards, false, recorder)
+}
+
+/// [`serve_specs`] with the server's warm-start chaining switchable
+/// (`fap serve --warm-start`): requests of the same family, shape and
+/// solver parameters seed each other's solves. Warm responses can differ
+/// in their iteration counts (that is the point) but reach the same
+/// optima; cold mode is bit-identical to [`serve_specs`].
+///
+/// # Errors
+///
+/// Same conditions as [`serve_specs`].
+pub fn serve_specs_with(
+    specs: &[ServeSpec],
+    shards: Parallelism,
+    warm_start: bool,
+    recorder: &mut dyn Recorder,
+) -> Result<ServeOutput, ScenarioError> {
+    let mut cache = CostMatrixCache::new();
     let requests: Vec<ServeRequest> = specs
         .iter()
         .enumerate()
         .map(|(index, spec)| {
-            spec.to_request()
+            spec.to_request_cached(&mut cache, recorder)
                 .map_err(|e| ScenarioError::Invalid(format!("request {index}: {e}")))
         })
         .collect::<Result<_, _>>()?;
-    Ok(BatchServer::new(shards).serve_observed(&requests, recorder))
+    Ok(BatchServer::new(shards)
+        .with_warm_start(warm_start)
+        .serve_observed(&requests, recorder))
 }
 
 /// Renders a serve output the way `fap serve` prints it.
@@ -348,5 +436,71 @@ mod tests {
     #[test]
     fn empty_lists_are_invalid() {
         assert!(matches!(specs_from_json("[]"), Err(ScenarioError::Invalid(_))));
+    }
+
+    #[test]
+    fn repeated_topologies_hit_the_cost_matrix_cache() {
+        // Three copies of the example list: 6 graph-backed specs (the ring
+        // spec needs no matrix), but the single- and multi-file examples
+        // share one topology — Dijkstra runs once for the whole batch.
+        let mut specs = example_specs();
+        specs.extend(example_specs());
+        specs.extend(example_specs());
+        let mut telemetry = fap_obs::Telemetry::manual();
+        let output = serve_specs(&specs, Parallelism::Sequential, &mut telemetry).unwrap();
+        assert_eq!(output.err_count(), 0);
+        let registry = telemetry.registry();
+        assert_eq!(registry.counter("cache.miss"), 1, "one distinct topology");
+        assert_eq!(registry.counter("cache.hit"), 5, "repeats are hits");
+        assert!(registry.gauge_value("cache.bytes").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn cached_serving_is_bit_identical_to_uncached_requests() {
+        let mut specs = example_specs();
+        specs.extend(example_specs());
+        let direct: Vec<ServeRequest> =
+            specs.iter().map(|s| s.to_request().unwrap()).collect();
+        let uncached = BatchServer::new(Parallelism::Sequential).serve(&direct);
+        let cached =
+            serve_specs(&specs, Parallelism::Sequential, &mut fap_obs::NoopRecorder).unwrap();
+        assert_eq!(uncached.responses, cached.responses);
+    }
+
+    #[test]
+    fn warm_serving_reaches_the_same_optima_with_fewer_iterations() {
+        // Identical single-file scenarios: the warm chain re-solves a
+        // converged problem, so every seeded run is nearly free.
+        let specs: Vec<ServeSpec> = (0..4)
+            .map(|_| ServeSpec::SingleFile { scenario: Scenario::example() })
+            .collect();
+        let cold =
+            serve_specs(&specs, Parallelism::Sequential, &mut fap_obs::NoopRecorder).unwrap();
+        let warm = serve_specs_with(
+            &specs,
+            Parallelism::Sequential,
+            true,
+            &mut fap_obs::NoopRecorder,
+        )
+        .unwrap();
+        assert_eq!(warm.err_count(), 0);
+        assert_eq!(warm.aggregate.counter("serve.warm_starts"), 3);
+        assert!(
+            warm.aggregate.counter("econ.iterations") < cold.aggregate.counter("econ.iterations")
+        );
+        for (w, c) in warm.responses.iter().zip(&cold.responses) {
+            let (w, c) = (w.as_ref().unwrap(), c.as_ref().unwrap());
+            assert!(w.converged());
+            assert!(w.iterations() <= c.iterations());
+        }
+        // And warm sharded serving still matches warm sequential.
+        let warm_sharded = serve_specs_with(
+            &specs,
+            Parallelism::Fixed(4),
+            true,
+            &mut fap_obs::NoopRecorder,
+        )
+        .unwrap();
+        assert_eq!(warm.responses, warm_sharded.responses);
     }
 }

@@ -58,6 +58,8 @@ pub struct MultiFileScratch {
     weights: Vec<f64>,
     cost_series: Vec<f64>,
     workers: Vec<FileWorker>,
+    seed: Matrix,
+    has_seed: bool,
 }
 
 /// Per-thread buffers for the file-pass stage: the gradient of one file and
@@ -72,6 +74,45 @@ impl MultiFileScratch {
     /// Creates an empty scratch; buffers grow on first use.
     pub fn new() -> Self {
         MultiFileScratch::default()
+    }
+
+    /// Arms a warm start: the next solve seeds its iterate from
+    /// `allocations` (`allocations[j][i]` = fraction of file `j` at node
+    /// `i`) instead of the solve's `initial` argument.
+    ///
+    /// The seed is consumed by exactly one solve and each file's row is
+    /// re-projected onto its simplex (`Σ_i x_i^j = 1, x_i^j ≥ 0`) through
+    /// [`fap_econ::projection::project_onto_simplex`] before use, so the
+    /// per-file feasibility invariant holds from the first iterate. A seed
+    /// whose `M × N` shape does not match the next problem is ignored and
+    /// the solve falls back to `initial`, which is validated either way.
+    ///
+    /// Allocation-free once the scratch capacity covers the shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows of `allocations` have unequal lengths.
+    pub fn start_from(&mut self, allocations: &[Vec<f64>]) {
+        let n = allocations.first().map_or(0, Vec::len);
+        assert!(
+            allocations.iter().all(|row| row.len() == n),
+            "warm-start seed rows must have equal lengths"
+        );
+        self.seed.reset(allocations.len(), n);
+        for (j, row) in allocations.iter().enumerate() {
+            self.seed.row_mut(j).copy_from_slice(row);
+        }
+        self.has_seed = true;
+    }
+
+    /// Whether a warm-start seed is armed for the next solve.
+    pub fn has_warm_start(&self) -> bool {
+        self.has_seed
+    }
+
+    /// Disarms a pending warm-start seed; the next solve starts cold.
+    pub fn clear_warm_start(&mut self) {
+        self.has_seed = false;
     }
 
     /// Resizes every buffer for an `M × N` problem solved with
@@ -145,10 +186,29 @@ impl MultiFileProblem {
         mus: &[f64],
         k: f64,
     ) -> Result<Self, CoreError> {
+        let costs = graph.shortest_path_matrix()?;
+        Self::mm1_heterogeneous_with_costs(&costs, patterns, mus, k)
+    }
+
+    /// [`MultiFileProblem::mm1_heterogeneous`] from a pre-computed cost
+    /// matrix (e.g. one served out of a topology-keyed cache), skipping the
+    /// all-pairs shortest-path run. Bit-identical to the graph-based
+    /// constructor for the matrix that graph produces.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MultiFileProblem::mm1_heterogeneous`], minus the
+    /// connectivity check (a valid cost matrix is always complete).
+    pub fn mm1_heterogeneous_with_costs(
+        costs: &fap_net::CostMatrix,
+        patterns: &[AccessPattern],
+        mus: &[f64],
+        k: f64,
+    ) -> Result<Self, CoreError> {
         if patterns.is_empty() {
             return Err(CoreError::InvalidParameter("no files".into()));
         }
-        let n = graph.node_count();
+        let n = costs.node_count();
         if mus.len() != n {
             return Err(CoreError::InvalidParameter(format!(
                 "{} service rates for {n} nodes",
@@ -161,7 +221,6 @@ impl MultiFileProblem {
         if !k.is_finite() || k < 0.0 {
             return Err(CoreError::InvalidParameter(format!("delay weight k = {k}")));
         }
-        let costs = graph.shortest_path_matrix()?;
         let mut access_costs = Matrix::with_cols(n);
         let mut rates = Vec::with_capacity(patterns.len());
         for pattern in patterns {
@@ -415,9 +474,23 @@ impl MultiFileProblem {
             weights,
             cost_series,
             workers,
+            seed,
+            has_seed,
         } = scratch;
         for (j, xj) in initial.iter().enumerate() {
             x.row_mut(j).copy_from_slice(xj);
+        }
+        if *has_seed {
+            // One-shot seed: consumed (or discarded on shape mismatch) by
+            // this solve either way.
+            *has_seed = false;
+            if seed.rows() == m && seed.cols() == n {
+                x.as_mut_slice().copy_from_slice(seed.as_slice());
+                for j in 0..m {
+                    fap_econ::projection::project_onto_simplex(x.row_mut(j), 1.0);
+                }
+                recorder.incr("core.warm_starts", 1);
+            }
         }
         let mut iterations = 0usize;
         let enabled = recorder.is_enabled();
@@ -865,6 +938,62 @@ mod tests {
             .solve_with_scratch(&initial, 0.1, 1e-5, 10_000, Parallelism::Sequential, &mut scratch)
             .unwrap();
         assert_eq!(fresh, reused);
+    }
+
+    #[test]
+    fn constructor_with_costs_is_bit_identical_to_graph_constructor() {
+        let graph = ring4();
+        let costs = graph.shortest_path_matrix().unwrap();
+        let pa = AccessPattern::uniform(4, 0.5).unwrap();
+        let pb = AccessPattern::hotspot(4, 0.4, fap_net::NodeId::new(1), 0.6).unwrap();
+        let patterns = [pa, pb];
+        let mus = [1.5; 4];
+        let from_graph =
+            MultiFileProblem::mm1_heterogeneous(&graph, &patterns, &mus, 1.0).unwrap();
+        let from_costs =
+            MultiFileProblem::mm1_heterogeneous_with_costs(&costs, &patterns, &mus, 1.0).unwrap();
+        assert_eq!(from_graph, from_costs);
+    }
+
+    #[test]
+    fn warm_start_reaches_the_same_fixed_point_almost_instantly() {
+        let graph = ring4();
+        let pa = AccessPattern::uniform(4, 0.5).unwrap();
+        let pb = AccessPattern::hotspot(4, 0.4, fap_net::NodeId::new(1), 0.6).unwrap();
+        let m = MultiFileProblem::mm1(&graph, &[pa, pb], 1.5, 1.0).unwrap();
+        let initial = vec![vec![1.0, 0.0, 0.0, 0.0], vec![0.0, 0.5, 0.5, 0.0]];
+        let mut scratch = MultiFileScratch::new();
+        let cold = m
+            .solve_with_scratch(&initial, 0.05, 1e-6, 50_000, Parallelism::Sequential, &mut scratch)
+            .unwrap();
+        assert!(cold.converged && cold.iterations > 5);
+        scratch.start_from(&cold.allocations);
+        let warm = m
+            .solve_with_scratch(&initial, 0.05, 1e-6, 50_000, Parallelism::Sequential, &mut scratch)
+            .unwrap();
+        assert!(warm.converged);
+        assert!(warm.iterations <= 1, "seeded at the optimum: {}", warm.iterations);
+        assert!((warm.final_cost - cold.final_cost).abs() < 1e-9);
+        assert!(!scratch.has_warm_start(), "seed must be consumed");
+    }
+
+    #[test]
+    fn mismatched_warm_seed_falls_back_to_cold_start() {
+        let graph = ring4();
+        let p = AccessPattern::uniform(4, 0.5).unwrap();
+        let m = MultiFileProblem::mm1(&graph, &[p.clone(), p], 1.5, 1.0).unwrap();
+        let initial = vec![vec![0.5, 0.5, 0.0, 0.0], vec![0.0, 0.0, 0.5, 0.5]];
+        let mut scratch = MultiFileScratch::new();
+        let cold = m
+            .solve_with_scratch(&initial, 0.1, 1e-5, 10_000, Parallelism::Sequential, &mut scratch)
+            .unwrap();
+        // Wrong shape (3 nodes): ignored, bit-identical to the cold solve.
+        scratch.start_from(&[vec![0.5, 0.3, 0.2], vec![0.2, 0.3, 0.5]]);
+        let fallback = m
+            .solve_with_scratch(&initial, 0.1, 1e-5, 10_000, Parallelism::Sequential, &mut scratch)
+            .unwrap();
+        assert_eq!(cold, fallback);
+        assert!(!scratch.has_warm_start());
     }
 
     #[test]

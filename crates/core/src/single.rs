@@ -95,6 +95,25 @@ impl SingleFileProblem<Mm1Delay> {
         k: f64,
     ) -> Result<Self, CoreError> {
         let costs = graph.shortest_path_matrix()?;
+        Self::mm1_heterogeneous_with_costs(&costs, pattern, mus, k)
+    }
+
+    /// [`SingleFileProblem::mm1_heterogeneous`] from a pre-computed cost
+    /// matrix, so callers holding a
+    /// [`CostMatrix`] — e.g. one served out of a topology-keyed cache —
+    /// skip the all-pairs shortest-path run entirely. Bit-identical to the
+    /// graph-based constructor for the matrix that graph produces.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SingleFileProblem::mm1_heterogeneous`], minus
+    /// the connectivity check (a valid `CostMatrix` is always complete).
+    pub fn mm1_heterogeneous_with_costs(
+        costs: &CostMatrix,
+        pattern: &AccessPattern,
+        mus: &[f64],
+        k: f64,
+    ) -> Result<Self, CoreError> {
         let delays = mus.iter().map(|&mu| Mm1Delay::new(mu)).collect::<Result<Vec<_>, _>>()?;
         Self::from_parts(costs.systemwide_access_costs(pattern), pattern.total_rate(), delays, k)
     }

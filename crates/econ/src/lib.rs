@@ -70,7 +70,7 @@ pub use gossip::{GossipOptimizer, Neighborhood};
 pub use noise::NoisyProblem;
 pub use price_directed::{DemandFunction, PriceDirectedOptimizer, PriceSolution};
 pub use problem::AllocationProblem;
-pub use projection::{BoundaryRule, StepWorkspace};
+pub use projection::{project_onto_simplex, BoundaryRule, StepWorkspace};
 pub use resource_directed::{OptimizerScratch, ResourceDirectedOptimizer, Solution, Termination};
 pub use second_order::SecondOrderOptimizer;
 pub use step_size::StepSize;

@@ -127,6 +127,53 @@ impl StepWorkspace {
     }
 }
 
+/// Re-projects an allocation onto the simplex `Σ x_i = total, x_i ≥ 0`.
+///
+/// This is the warm-start companion of the set-A procedure: a previously
+/// converged allocation reused as a seed may carry tiny feasibility drift
+/// (accumulated rounding, or boundary agents at `−1e-17` from a clamped
+/// step), and the optimizer's Theorem-1 argument needs every *starting*
+/// iterate exactly feasible. The projection
+///
+/// 1. clamps negative (and NaN) entries to the boundary `x_i = 0` — exactly
+///    what the set-A rules do to violators, so the seed's active set is
+///    preserved;
+/// 2. rescales the remaining mass to `Σ x_i = total` (zeros stay zero);
+/// 3. absorbs the final rounding residue into the largest coordinate, so the
+///    budget constraint holds exactly rather than to within an ulp;
+/// 4. falls back to the uniform allocation if the seed carried no positive
+///    mass at all.
+///
+/// # Panics
+///
+/// Panics if `total` is not positive and finite.
+pub fn project_onto_simplex(x: &mut [f64], total: f64) {
+    assert!(total.is_finite() && total > 0.0, "simplex total must be positive and finite");
+    if x.is_empty() {
+        return;
+    }
+    let mut sum = 0.0;
+    for v in x.iter_mut() {
+        if v.is_nan() || *v <= 0.0 {
+            *v = 0.0;
+        }
+        sum += *v;
+    }
+    if sum > 0.0 {
+        let scale = total / sum;
+        for v in x.iter_mut() {
+            *v *= scale;
+        }
+        let imax = (0..x.len())
+            .max_by(|&a, &b| x[a].total_cmp(&x[b]))
+            .expect("non-empty slice");
+        let others: f64 = x.iter().enumerate().filter(|(i, _)| *i != imax).map(|(_, v)| v).sum();
+        x[imax] = (total - others).max(0.0);
+    } else {
+        x.fill(total / x.len() as f64);
+    }
+}
+
 /// Computes one reallocation step.
 ///
 /// `weights` are the per-agent step weights (`w_i` above); pass all-ones for
@@ -491,6 +538,75 @@ mod tests {
     #[should_panic(expected = "weights must be positive")]
     fn rejects_non_positive_weight() {
         compute_step(&[1.0, 0.0], &[0.0, 0.0], &[1.0, 0.0], 0.1, BoundaryRule::Unconstrained);
+    }
+
+    #[test]
+    fn simplex_projection_fixes_drifted_seed() {
+        let mut x = [0.5000000001, 0.3, 0.2, -1e-15];
+        project_onto_simplex(&mut x, 1.0);
+        assert_eq!(x[3], 0.0, "boundary agent stays on the boundary");
+        assert!(x.iter().all(|v| *v >= 0.0));
+        assert!((x.iter().sum::<f64>() - 1.0).abs() < 1e-15, "{x:?}");
+    }
+
+    #[test]
+    fn simplex_projection_preserves_the_active_set() {
+        let mut x = [0.7, 0.0, 0.3, -0.2];
+        project_onto_simplex(&mut x, 1.0);
+        assert_eq!(x[1], 0.0);
+        assert_eq!(x[3], 0.0);
+        assert!(x[0] > 0.0 && x[2] > 0.0);
+        // Relative proportions of the positive mass are preserved.
+        assert!((x[0] / x[2] - 0.7 / 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simplex_projection_scales_to_arbitrary_totals() {
+        let mut x = [1.0, 3.0];
+        project_onto_simplex(&mut x, 2.0);
+        assert!((x.iter().sum::<f64>() - 2.0).abs() < 1e-15);
+        assert!((x[0] - 0.5).abs() < 1e-12 && (x[1] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simplex_projection_falls_back_to_uniform() {
+        let mut x = [0.0, -0.5, f64::NAN];
+        project_onto_simplex(&mut x, 1.0);
+        for v in x {
+            assert!((v - 1.0 / 3.0).abs() < 1e-15);
+        }
+        let mut empty: [f64; 0] = [];
+        project_onto_simplex(&mut empty, 1.0); // no-op, no panic
+    }
+
+    #[test]
+    #[should_panic(expected = "simplex total must be positive")]
+    fn simplex_projection_rejects_bad_total() {
+        project_onto_simplex(&mut [0.5, 0.5], 0.0);
+    }
+
+    proptest! {
+        /// Projection postconditions on arbitrary (even wildly infeasible)
+        /// seeds: non-negative, exact budget, idempotent on the result.
+        #[test]
+        fn simplex_projection_invariants(
+            raw in proptest::collection::vec(-2.0f64..2.0, 1..12),
+            total in 0.1f64..4.0,
+        ) {
+            let mut x = raw.clone();
+            project_onto_simplex(&mut x, total);
+            prop_assert!(x.iter().all(|v| *v >= 0.0));
+            prop_assert!((x.iter().sum::<f64>() - total).abs() < 1e-12 * total.max(1.0));
+            for (xi, ri) in x.iter().zip(&raw) {
+                if *ri <= 0.0 {
+                    // Clamped coordinates stay clamped unless the uniform
+                    // fallback engaged (no positive mass anywhere).
+                    if raw.iter().any(|v| *v > 0.0) {
+                        prop_assert_eq!(*xi, 0.0);
+                    }
+                }
+            }
+        }
     }
 
     proptest! {

@@ -35,12 +35,43 @@ pub struct OptimizerScratch {
     all_active: Vec<bool>,
     candidate: Vec<f64>,
     step: StepWorkspace,
+    seed: Vec<f64>,
+    has_seed: bool,
 }
 
 impl OptimizerScratch {
     /// Creates an empty scratch; buffers grow on first use.
     pub fn new() -> Self {
         OptimizerScratch::default()
+    }
+
+    /// Arms a warm start: the next run seeds its iterate from `allocation`
+    /// instead of the run's `initial` argument.
+    ///
+    /// The seed is consumed by exactly one run (subsequent runs start cold
+    /// again) and is re-projected onto the feasible simplex through
+    /// [`crate::projection::project_onto_simplex`] before use — clamping
+    /// boundary drift and rescaling the mass — so Theorem 1's feasibility
+    /// invariant holds from the first iterate exactly as for a cold start.
+    /// A seed whose dimension does not match the next problem is ignored
+    /// (the run falls back to `initial`); the `initial` argument is still
+    /// validated either way, so warm and cold runs accept the same inputs.
+    ///
+    /// Allocation-free once the scratch capacity covers `allocation.len()`.
+    pub fn start_from(&mut self, allocation: &[f64]) {
+        self.seed.clear();
+        self.seed.extend_from_slice(allocation);
+        self.has_seed = true;
+    }
+
+    /// Whether a warm-start seed is armed for the next run.
+    pub fn has_warm_start(&self) -> bool {
+        self.has_seed
+    }
+
+    /// Disarms a pending warm-start seed; the next run starts cold.
+    pub fn clear_warm_start(&mut self) {
+        self.has_seed = false;
     }
 
     /// Resizes every buffer for an `n`-agent problem. Allocation-free once
@@ -206,8 +237,20 @@ impl Engine {
 
         let n = problem.dimension();
         scratch.ensure(n);
-        let OptimizerScratch { x, g, h, weights, all_active, candidate, step } = scratch;
+        let OptimizerScratch { x, g, h, weights, all_active, candidate, step, seed, has_seed } =
+            scratch;
         x.copy_from_slice(initial);
+        if *has_seed {
+            // One-shot seed: consumed (or discarded on dimension mismatch)
+            // by this run either way.
+            *has_seed = false;
+            let total: f64 = initial.iter().sum();
+            if seed.len() == n && total.is_finite() && total > 0.0 {
+                x.copy_from_slice(seed);
+                crate::projection::project_onto_simplex(x, total);
+                recorder.incr("econ.warm_starts", 1);
+            }
+        }
         let mut step_state = StepSizeState::new(self.step.clone());
         let mut detector = self
             .oscillation
@@ -712,6 +755,81 @@ mod tests {
         opt.run_with_scratch(&p, &[0.0, 1.0, 0.0], &mut scratch).unwrap();
         let reused = opt.run_with_scratch(&p, &[1.0, 0.0, 0.0], &mut scratch).unwrap();
         assert_eq!(fresh, reused);
+    }
+
+    #[test]
+    fn warm_start_reaches_the_same_fixed_point_almost_instantly() {
+        let p = quad();
+        let opt = ResourceDirectedOptimizer::new(StepSize::Fixed(0.1)).with_epsilon(1e-8);
+        let mut scratch = OptimizerScratch::new();
+        let cold = opt.run_with_scratch(&p, &[1.0, 0.0, 0.0], &mut scratch).unwrap();
+        assert!(cold.iterations > 5, "need a non-trivial cold run");
+        scratch.start_from(&cold.allocation);
+        let warm = opt.run_with_scratch(&p, &[1.0, 0.0, 0.0], &mut scratch).unwrap();
+        assert!(warm.converged);
+        assert!(warm.iterations <= 1, "seeded at the optimum: {} iterations", warm.iterations);
+        assert!((warm.final_utility - cold.final_utility).abs() < 1e-12);
+        for (w, c) in warm.allocation.iter().zip(&cold.allocation) {
+            assert!((w - c).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn warm_seed_is_one_shot_and_dimension_checked() {
+        let p = quad();
+        let opt = ResourceDirectedOptimizer::new(StepSize::Fixed(0.1)).with_epsilon(1e-8);
+        let mut scratch = OptimizerScratch::new();
+        let cold = opt.run_with_scratch(&p, &[1.0, 0.0, 0.0], &mut scratch).unwrap();
+
+        // Mismatched seed: consumed but ignored — the run is bit-identical
+        // to the cold reference.
+        scratch.start_from(&[0.5, 0.5]);
+        assert!(scratch.has_warm_start());
+        let fallback = opt.run_with_scratch(&p, &[1.0, 0.0, 0.0], &mut scratch).unwrap();
+        assert!(!scratch.has_warm_start(), "seed must be consumed");
+        assert_eq!(cold, fallback);
+
+        // Matching seed: consumed by one run; the next starts cold again.
+        scratch.start_from(&cold.allocation);
+        opt.run_with_scratch(&p, &[1.0, 0.0, 0.0], &mut scratch).unwrap();
+        let second = opt.run_with_scratch(&p, &[1.0, 0.0, 0.0], &mut scratch).unwrap();
+        assert_eq!(cold, second);
+
+        // Disarming works without running.
+        scratch.start_from(&cold.allocation);
+        scratch.clear_warm_start();
+        let third = opt.run_with_scratch(&p, &[1.0, 0.0, 0.0], &mut scratch).unwrap();
+        assert_eq!(cold, third);
+    }
+
+    #[test]
+    fn warm_start_projects_drifted_seeds_back_to_feasibility() {
+        let p = quad();
+        let opt = ResourceDirectedOptimizer::new(StepSize::Fixed(0.1)).with_epsilon(1e-8);
+        let mut scratch = OptimizerScratch::new();
+        let cold = opt.run_with_scratch(&p, &[1.0, 0.0, 0.0], &mut scratch).unwrap();
+        // Drift the seed off the simplex; the run must still accept it and
+        // converge to the same optimum from the projected point.
+        let drifted: Vec<f64> =
+            cold.allocation.iter().map(|v| v * 1.0001 - 1e-13).collect();
+        scratch.start_from(&drifted);
+        let warm = opt.run_with_scratch(&p, &[1.0, 0.0, 0.0], &mut scratch).unwrap();
+        assert!(warm.converged);
+        for (w, c) in warm.allocation.iter().zip(&cold.allocation) {
+            assert!((w - c).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn warm_start_is_counted_in_telemetry() {
+        let p = quad();
+        let opt = ResourceDirectedOptimizer::new(StepSize::Fixed(0.1)).with_epsilon(1e-8);
+        let mut scratch = OptimizerScratch::new();
+        let cold = opt.run_with_scratch(&p, &[1.0, 0.0, 0.0], &mut scratch).unwrap();
+        let mut tele = Telemetry::manual();
+        scratch.start_from(&cold.allocation);
+        opt.run_observed_with_scratch(&p, &[1.0, 0.0, 0.0], &mut scratch, &mut tele).unwrap();
+        assert_eq!(tele.registry().counter("econ.warm_starts"), 1);
     }
 
     #[test]

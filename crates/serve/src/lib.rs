@@ -4,37 +4,58 @@
 //! allocation problems run concurrently across a network. This crate is
 //! the serving-side mirror of that structure — a batcher that accepts many
 //! independent scenarios (single-file §4, multi-file §5.2, ring §7) and
-//! shards them across a fixed worker pool:
+//! shards them across a work-stealing worker pool:
 //!
-//! * **Submission-order, bit-identical results.** Requests are split into
-//!   contiguous chunks, one per shard; each request is solved by exactly
-//!   one worker with the same deterministic kernel the sequential path
-//!   uses, so the response vector is bit-identical to solving the batch
-//!   sequentially — for *every* shard count (pinned by the tests here and
-//!   by `tests/serve_equivalence.rs`).
+//! * **Submission-order, bit-identical results.** The batch is planned into
+//!   *tasks* (single requests, or warm-start chains — see below) whose
+//!   solved outputs depend only on the task's own contents, never on which
+//!   worker runs it or when. Workers pull tasks from per-worker deques,
+//!   stealing from the back of a victim's deque when their own runs dry
+//!   (counted by `serve.steals`), and each task is solved with the same
+//!   deterministic kernel the sequential path uses — so the response
+//!   vector is bit-identical to solving the batch sequentially for *every*
+//!   shard count, even though the task-to-worker assignment is timing
+//!   dependent (pinned by the tests here and by
+//!   `tests/serve_equivalence.rs`).
+//! * **Warm-start chains.** With [`BatchServer::with_warm_start`], requests
+//!   of the same family and shape are grouped into chains solved
+//!   sequentially inside one task; each converged answer seeds the next
+//!   solve through [`OptimizerScratch::start_from`] /
+//!   [`MultiFileScratch::start_from`] (re-projected onto the simplex, so
+//!   feasibility is exact). Because the chain — not the request — is the
+//!   scheduling unit, the seed sequence is shard-count-independent and the
+//!   warm responses are bit-identical to a warm sequential run. Savings
+//!   are visible as `serve.warm_starts` and `econ.warm_start_iters_saved`
+//!   (iterations below the chain's cold baseline).
 //! * **Allocation-free steady state.** Each worker owns one
 //!   [`OptimizerScratch`] and one [`MultiFileScratch`] reused across every
-//!   request in its chunk, the same scratch discipline the batch engine
+//!   task it executes, the same scratch discipline the batch engine
 //!   established.
 //! * **Per-shard metrics, one aggregate.** Each worker records through the
 //!   `_observed` solver entry points into its own [`MetricsRegistry`]
-//!   (a registry keeps counters/gauges/histograms and drops events, so
-//!   shard telemetry is deterministic). After the join, shard registries
-//!   are replayed in shard order through a [`Tee`] into the aggregate
-//!   snapshot and any caller-provided recorder — counters add, histograms
-//!   merge bucket-wise, and the aggregate's deterministic metrics are
-//!   independent of the shard count.
+//!   (a registry keeps counters/gauges/histograms and drops events). After
+//!   the join, shard registries are replayed in shard order through a
+//!   [`Tee`] into the aggregate snapshot and any caller-provided recorder —
+//!   counters add and histograms merge bucket-wise, so those aggregate
+//!   metrics are independent of the shard count *and* of which worker
+//!   solved what; per-shard registry contents and last-write gauges are
+//!   scheduling-dependent under stealing and are advisory only.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::sync::Mutex;
 
 use serde::Serialize;
 
 use fap_batch::Parallelism;
+use fap_cache::{Fnv64, FnvBuildHasher};
 use fap_core::{MultiFileProblem, MultiFileScratch, MultiFileSolution, SingleFileProblem};
-use fap_econ::{OptimizerScratch, ResourceDirectedOptimizer, Solution, StepSize};
+use fap_econ::{
+    AllocationProblem, OptimizerScratch, ResourceDirectedOptimizer, Solution, StepSize,
+};
 use fap_obs::{MetricsRegistry, NoopRecorder, Recorder, Tee};
 use fap_ring::{RingSolver, RingSolution, VirtualRing};
 
@@ -192,15 +213,41 @@ impl ServeOutput {
 #[derive(Debug, Clone)]
 pub struct BatchServer {
     parallelism: Parallelism,
+    warm_start: bool,
 }
 
 impl BatchServer {
     /// A server sharding batches per `parallelism`
     /// ([`Parallelism::Sequential`] = one shard, [`Parallelism::Auto`] =
     /// one per core, [`Parallelism::Fixed`] = exactly that many, always
-    /// clamped to the request count).
+    /// clamped to the request count). Warm starts are off by default, so a
+    /// plain server reproduces the cold per-request solves bit-for-bit.
     pub fn new(parallelism: Parallelism) -> Self {
-        BatchServer { parallelism }
+        BatchServer { parallelism, warm_start: false }
+    }
+
+    /// Enables (or disables) warm-start chaining: requests of the same
+    /// family and shape — same variant, dimensions, α and ε — are grouped
+    /// into chains, each chain solved in submission order inside one
+    /// scheduling task with every converged answer seeding the next solve.
+    ///
+    /// Warm-started responses converge to the same fixed point but
+    /// typically in far fewer iterations for perturbed-workload streams,
+    /// so their iteration counts (and last float bits) differ from cold
+    /// responses; the warm output is instead bit-identical across *shard
+    /// counts*, which is the determinism contract that matters for
+    /// serving. Seeds only ever alter the starting iterate — never the
+    /// problem — so a chain that accidentally mixes unrelated requests of
+    /// identical shape still solves every one of them correctly.
+    #[must_use]
+    pub fn with_warm_start(mut self, enabled: bool) -> Self {
+        self.warm_start = enabled;
+        self
+    }
+
+    /// Whether warm-start chaining is enabled.
+    pub fn warm_start(&self) -> bool {
+        self.warm_start
     }
 
     /// The shard count a batch of `requests` solves would use.
@@ -215,21 +262,22 @@ impl BatchServer {
         self.serve_observed(requests, &mut NoopRecorder)
     }
 
-    /// Solves every request across the shard pool.
+    /// Solves every request across the work-stealing shard pool.
     ///
     /// Responses come back in submission order and are bit-identical to
-    /// solving the same requests sequentially, whatever the shard count.
-    /// Each shard records into its own [`MetricsRegistry`]; afterwards the
-    /// registries are replayed in shard order through a [`Tee`] into both
-    /// the aggregate snapshot and `recorder`, so a caller-side
-    /// [`Telemetry`](fap_obs::Telemetry) (or streaming sink) sees the same
-    /// merged metrics the aggregate holds.
+    /// solving the same requests sequentially (with the same warm-start
+    /// setting), whatever the shard count. Each shard records into its own
+    /// [`MetricsRegistry`]; afterwards the registries are replayed in
+    /// shard order through a [`Tee`] into both the aggregate snapshot and
+    /// `recorder`, so a caller-side [`Telemetry`](fap_obs::Telemetry) (or
+    /// streaming sink) sees the same merged metrics the aggregate holds.
     pub fn serve_observed(
         &self,
         requests: &[ServeRequest],
         recorder: &mut dyn Recorder,
     ) -> ServeOutput {
         let shards = self.shards_for(requests.len());
+        let (order, tasks) = self.plan_tasks(requests);
         let mut responses: Vec<Option<Result<ServeResponse, ServeError>>> =
             vec![None; requests.len()];
         let mut shard_metrics: Vec<MetricsRegistry> = Vec::new();
@@ -237,37 +285,75 @@ impl BatchServer {
         if shards <= 1 {
             let mut registry = MetricsRegistry::new();
             let mut worker = ShardWorker::new();
-            for (slot, request) in responses.iter_mut().zip(requests) {
-                *slot = Some(worker.solve(request, &mut registry));
+            let mut out = Vec::with_capacity(requests.len());
+            for &(start, end) in &tasks {
+                worker.run_task(
+                    requests,
+                    &order[start..end],
+                    self.warm_start,
+                    &mut registry,
+                    &mut out,
+                );
             }
+            scatter(&mut responses, out);
             shard_metrics.push(registry);
         } else {
-            let chunk = requests.len().div_ceil(shards);
-            shard_metrics = std::thread::scope(|scope| {
-                let handles: Vec<_> = responses
-                    .chunks_mut(chunk)
-                    .zip(requests.chunks(chunk))
-                    .map(|(slots, chunk_requests)| {
-                        scope.spawn(move || {
-                            let mut registry = MetricsRegistry::new();
-                            let mut worker = ShardWorker::new();
-                            for (slot, request) in slots.iter_mut().zip(chunk_requests) {
-                                *slot = Some(worker.solve(request, &mut registry));
-                            }
-                            registry
+            // Per-worker deques seeded with contiguous task ranges; a
+            // worker pops its own deque from the front and, once dry,
+            // steals from the *back* of the next non-empty victim (scanned
+            // in ring order). Tasks never re-enter a deque, so "every
+            // deque observed empty" is a safe termination condition. The
+            // assignment of tasks to workers is timing-dependent; the
+            // solved bits are not, because each task is self-contained.
+            let chunk = tasks.len().div_ceil(shards);
+            let queues: Vec<Mutex<VecDeque<usize>>> = (0..shards)
+                .map(|w| {
+                    let start = (w * chunk).min(tasks.len());
+                    let end = ((w + 1) * chunk).min(tasks.len());
+                    Mutex::new((start..end).collect())
+                })
+                .collect();
+            let warm = self.warm_start;
+            let (requests_ref, order_ref, tasks_ref, queues_ref) =
+                (requests, &order, &tasks, &queues);
+            let worker_outputs: Vec<(MetricsRegistry, TaskOutput)> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..shards)
+                        .map(|w| {
+                            scope.spawn(move || {
+                                let mut registry = MetricsRegistry::new();
+                                let mut worker = ShardWorker::new();
+                                let mut out = Vec::new();
+                                while let Some(task) =
+                                    next_task(queues_ref, w, &mut registry)
+                                {
+                                    let (start, end) = tasks_ref[task];
+                                    worker.run_task(
+                                        requests_ref,
+                                        &order_ref[start..end],
+                                        warm,
+                                        &mut registry,
+                                        &mut out,
+                                    );
+                                }
+                                (registry, out)
+                            })
                         })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("serve shard worker panicked"))
-                    .collect()
-            });
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("serve shard worker panicked"))
+                        .collect()
+                });
+            for (registry, out) in worker_outputs {
+                scatter(&mut responses, out);
+                shard_metrics.push(registry);
+            }
         }
 
         // Fan-in: replay each shard registry, in shard order, into both
         // the aggregate and the caller's recorder through one Tee — the
-        // deterministic metrics of the merge are shard-count-independent
+        // counters and histograms of the merge are shard-count-independent
         // because counter addition and histogram folding commute.
         let mut aggregate = MetricsRegistry::new();
         for shard in &shard_metrics {
@@ -279,10 +365,108 @@ impl BatchServer {
 
         let responses = responses
             .into_iter()
-            .map(|slot| slot.expect("every request chunk is assigned to exactly one shard"))
+            .map(|slot| slot.expect("every request is assigned to exactly one task"))
             .collect();
         ServeOutput { responses, shard_metrics, aggregate }
     }
+
+    /// Plans the batch into scheduling tasks. Returns `(order, tasks)`:
+    /// `order` is a permutation of the request indices and each task is a
+    /// `(start, end)` range into it. Cold mode emits one singleton task per
+    /// request in submission order (so execution matches the historical
+    /// chunked scheduler exactly); warm mode groups same-key requests into
+    /// chains in first-appearance order, keyless (ring) requests staying
+    /// singletons.
+    fn plan_tasks(&self, requests: &[ServeRequest]) -> (Vec<usize>, Vec<(usize, usize)>) {
+        if !self.warm_start {
+            let order: Vec<usize> = (0..requests.len()).collect();
+            let tasks = (0..requests.len()).map(|i| (i, i + 1)).collect();
+            return (order, tasks);
+        }
+        let mut chains: Vec<Vec<usize>> = Vec::new();
+        let mut chain_of_key: HashMap<u64, usize, FnvBuildHasher> =
+            HashMap::with_hasher(FnvBuildHasher);
+        for (i, request) in requests.iter().enumerate() {
+            match warm_key(request) {
+                Some(key) => match chain_of_key.get(&key) {
+                    Some(&c) => chains[c].push(i),
+                    None => {
+                        chain_of_key.insert(key, chains.len());
+                        chains.push(vec![i]);
+                    }
+                },
+                None => chains.push(vec![i]),
+            }
+        }
+        let mut order = Vec::with_capacity(requests.len());
+        let mut tasks = Vec::with_capacity(chains.len());
+        for chain in chains {
+            let start = order.len();
+            order.extend(chain);
+            tasks.push((start, order.len()));
+        }
+        (order, tasks)
+    }
+}
+
+/// A worker's collected `(request index, result)` pairs, scattered back to
+/// submission-order slots after the join.
+type TaskOutput = Vec<(usize, Result<ServeResponse, ServeError>)>;
+
+fn scatter(responses: &mut [Option<Result<ServeResponse, ServeError>>], out: TaskOutput) {
+    for (index, result) in out {
+        responses[index] = Some(result);
+    }
+}
+
+/// Pops the next task for worker `w`: front of its own deque, else the back
+/// of the first non-empty victim deque in ring order (a steal, counted in
+/// the worker's registry). `None` means every deque is empty — and since
+/// tasks are never re-queued, empty means finished.
+fn next_task(
+    queues: &[Mutex<VecDeque<usize>>],
+    w: usize,
+    registry: &mut MetricsRegistry,
+) -> Option<usize> {
+    if let Some(task) = queues[w].lock().expect("serve queue poisoned").pop_front() {
+        return Some(task);
+    }
+    for offset in 1..queues.len() {
+        let victim = (w + offset) % queues.len();
+        if let Some(task) = queues[victim].lock().expect("serve queue poisoned").pop_back() {
+            registry.incr("serve.steals", 1);
+            return Some(task);
+        }
+    }
+    None
+}
+
+/// The warm-start chain key of a request: requests with the same key are
+/// seeded from each other's converged answers. The key covers the family
+/// tag, the problem dimensions and the solver parameters (α, ε) — a
+/// deliberately *structural* fingerprint: perturbed-workload streams over
+/// one topology share it (that is the whole point of warm starts), and a
+/// false merge only changes a starting iterate, never a solution's fixed
+/// point. Ring requests have no warm path and return `None`.
+fn warm_key(request: &ServeRequest) -> Option<u64> {
+    let mut h = Fnv64::new();
+    match request {
+        ServeRequest::SingleFile { problem, alpha, epsilon, .. } => {
+            h.write_u64(1);
+            h.write_usize(problem.dimension());
+            h.write_u64(alpha.to_bits());
+            h.write_u64(epsilon.to_bits());
+        }
+        ServeRequest::MultiFile { problem, alpha, epsilon, .. } => {
+            h.write_u64(2);
+            h.write_usize(problem.file_count());
+            h.write_usize(problem.node_count());
+            h.write_u64(alpha.to_bits());
+            h.write_u64(epsilon.to_bits());
+        }
+        ServeRequest::Ring { .. } => return None,
+    }
+    Some(h.finish64())
 }
 
 /// One shard's solver state: the scratch buffers reused across every
@@ -296,6 +480,65 @@ struct ShardWorker {
 impl ShardWorker {
     fn new() -> Self {
         ShardWorker { econ_scratch: OptimizerScratch::new(), multi_scratch: MultiFileScratch::new() }
+    }
+
+    /// Executes one scheduling task — a single request, or a warm-start
+    /// chain of same-key requests solved in submission order, each
+    /// converged answer seeding the next solve. Seeds never cross a task
+    /// boundary: both scratches are disarmed on entry and exit, so a
+    /// task's outputs depend only on its own contents (the property the
+    /// work-stealing scheduler's determinism rests on).
+    fn run_task(
+        &mut self,
+        requests: &[ServeRequest],
+        chain: &[usize],
+        warm: bool,
+        registry: &mut MetricsRegistry,
+        out: &mut TaskOutput,
+    ) {
+        self.econ_scratch.clear_warm_start();
+        self.multi_scratch.clear_warm_start();
+        let mut baseline: Option<usize> = None;
+        for (pos, &index) in chain.iter().enumerate() {
+            let request = &requests[index];
+            let armed = warm
+                && match request {
+                    ServeRequest::SingleFile { .. } => self.econ_scratch.has_warm_start(),
+                    ServeRequest::MultiFile { .. } => self.multi_scratch.has_warm_start(),
+                    ServeRequest::Ring { .. } => false,
+                };
+            let result = self.solve(request, registry);
+            if let Ok(response) = &result {
+                if armed {
+                    registry.incr("serve.warm_starts", 1);
+                    // Savings are measured against the chain's most recent
+                    // cold solve — the iterations this request would have
+                    // needed had it, like that one, started from scratch.
+                    if let Some(cold) = baseline {
+                        registry.incr(
+                            "econ.warm_start_iters_saved",
+                            cold.saturating_sub(response.iterations()) as u64,
+                        );
+                    }
+                } else {
+                    baseline = Some(response.iterations());
+                }
+                if warm && pos + 1 < chain.len() && response.converged() {
+                    match response {
+                        ServeResponse::SingleFile(s) => {
+                            self.econ_scratch.start_from(&s.allocation);
+                        }
+                        ServeResponse::MultiFile(s) => {
+                            self.multi_scratch.start_from(&s.allocations);
+                        }
+                        ServeResponse::Ring(_) => {}
+                    }
+                }
+            }
+            out.push((index, result));
+        }
+        self.econ_scratch.clear_warm_start();
+        self.multi_scratch.clear_warm_start();
     }
 
     fn solve(
@@ -496,5 +739,168 @@ mod tests {
         assert!(output.responses.is_empty());
         assert_eq!(output.shard_metrics.len(), 1);
         assert_eq!(output.aggregate.counter("serve.requests"), 0);
+    }
+
+    #[test]
+    fn warm_keys_group_by_family_shape_and_parameters() {
+        let a = single_file_request(100);
+        let b = single_file_request(777); // different pattern, same shape
+        assert_eq!(warm_key(&a), warm_key(&b), "perturbed workloads must share a chain");
+        assert_eq!(warm_key(&ring_request()), None, "ring solves have no warm path");
+        assert_ne!(
+            warm_key(&a),
+            warm_key(&multi_file_request(200)),
+            "families must never share a chain"
+        );
+        let mut c = single_file_request(100);
+        if let ServeRequest::SingleFile { epsilon, .. } = &mut c {
+            *epsilon = 1e-9;
+        }
+        assert_ne!(warm_key(&a), warm_key(&c), "solver parameters are part of the key");
+    }
+
+    #[test]
+    fn cold_planning_is_one_singleton_task_per_request() {
+        let requests = mixed_batch();
+        let (order, tasks) = BatchServer::new(Parallelism::Auto).plan_tasks(&requests);
+        assert_eq!(order, (0..requests.len()).collect::<Vec<_>>());
+        assert_eq!(tasks, (0..requests.len()).map(|i| (i, i + 1)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn warm_planning_chains_same_key_requests_in_first_appearance_order() {
+        let requests = mixed_batch();
+        let server = BatchServer::new(Parallelism::Auto).with_warm_start(true);
+        let (order, tasks) = server.plan_tasks(&requests);
+        // Submission order: single, multi, ring, repeated three times.
+        // Singles chain, multis chain, each ring stays a singleton.
+        assert_eq!(order, vec![0, 3, 6, 1, 4, 7, 2, 5, 8]);
+        assert_eq!(tasks, vec![(0, 3), (3, 6), (6, 7), (7, 8), (8, 9)]);
+    }
+
+    #[test]
+    fn stealing_pops_the_back_of_the_first_non_empty_victim() {
+        let queues = vec![
+            Mutex::new(VecDeque::new()),
+            Mutex::new(VecDeque::from([1, 2])),
+            Mutex::new(VecDeque::from([3])),
+        ];
+        let mut registry = MetricsRegistry::new();
+        // Worker 0 is dry: it steals the *back* of worker 1's deque.
+        assert_eq!(next_task(&queues, 0, &mut registry), Some(2));
+        assert_eq!(registry.counter("serve.steals"), 1);
+        // Worker 1 still owns its front.
+        assert_eq!(next_task(&queues, 1, &mut registry), Some(1));
+        assert_eq!(registry.counter("serve.steals"), 1);
+        // Everyone dry once the last victim is drained.
+        assert_eq!(next_task(&queues, 0, &mut registry), Some(3));
+        assert_eq!(next_task(&queues, 0, &mut registry), None);
+        assert_eq!(registry.counter("serve.steals"), 2);
+    }
+
+    #[test]
+    fn warm_responses_are_bit_identical_across_every_shard_count() {
+        let requests = mixed_batch();
+        let warm_sequential =
+            BatchServer::new(Parallelism::Sequential).with_warm_start(true).serve(&requests);
+        assert_eq!(warm_sequential.err_count(), 0);
+        for shards in [1, 2, 4, 8] {
+            let sharded = BatchServer::new(Parallelism::Fixed(shards))
+                .with_warm_start(true)
+                .serve(&requests);
+            assert_eq!(
+                warm_sequential.responses, sharded.responses,
+                "{shards} warm shards must be bit-identical to a warm sequential run"
+            );
+        }
+    }
+
+    #[test]
+    fn warm_starts_save_iterations_and_are_counted() {
+        // A perturbed workload: one topology and solver configuration,
+        // slightly different access patterns — the scenario warm starts
+        // exist for.
+        let graph = topology::ring(5, 1.0).unwrap();
+        let requests: Vec<ServeRequest> = (0..6)
+            .map(|i| {
+                let rates: Vec<f64> = (0..5)
+                    .map(|n| 0.2 + 0.08 * n as f64 + 0.002 * (i as f64) * (n as f64 + 1.0))
+                    .collect();
+                let pattern = AccessPattern::new(rates).unwrap();
+                let problem = SingleFileProblem::mm1(&graph, &pattern, 4.0, 1.0).unwrap();
+                ServeRequest::SingleFile {
+                    problem,
+                    initial: vec![0.2; 5],
+                    alpha: 0.1,
+                    epsilon: 1e-6,
+                    max_iterations: 100_000,
+                }
+            })
+            .collect();
+        let cold = BatchServer::new(Parallelism::Sequential).serve(&requests);
+        let warm =
+            BatchServer::new(Parallelism::Sequential).with_warm_start(true).serve(&requests);
+        assert_eq!(warm.err_count(), 0);
+        // Every request after the chain head runs seeded.
+        assert_eq!(warm.aggregate.counter("serve.warm_starts"), requests.len() as u64 - 1);
+        assert_eq!(
+            warm.aggregate.counter("econ.warm_starts"),
+            warm.aggregate.counter("serve.warm_starts"),
+            "the serve-side and engine-side warm counts must agree"
+        );
+        assert!(
+            warm.aggregate.counter("econ.warm_start_iters_saved") > 0,
+            "seeding from a converged neighbour must save iterations"
+        );
+        assert!(
+            warm.aggregate.counter("econ.iterations") < cold.aggregate.counter("econ.iterations"),
+            "the warm batch must run fewer total iterations than the cold one"
+        );
+        // Warm answers land on the same optimum the cold solves found.
+        for (w, c) in warm.responses.iter().zip(&cold.responses) {
+            let (ServeResponse::SingleFile(w), ServeResponse::SingleFile(c)) =
+                (w.as_ref().unwrap(), c.as_ref().unwrap())
+            else {
+                panic!("expected single-file responses");
+            };
+            assert!(w.converged && c.converged);
+            assert!(
+                (w.final_utility - c.final_utility).abs() <= 1e-9,
+                "warm and cold optima diverged: {} vs {}",
+                w.final_utility,
+                c.final_utility
+            );
+        }
+    }
+
+    #[test]
+    fn the_first_request_in_a_chain_is_never_seeded() {
+        let requests = vec![single_file_request(42)];
+        let warm =
+            BatchServer::new(Parallelism::Sequential).with_warm_start(true).serve(&requests);
+        assert_eq!(warm.aggregate.counter("serve.warm_starts"), 0);
+        assert_eq!(warm.aggregate.counter("econ.warm_starts"), 0);
+        // And a singleton chain matches the cold server bit for bit.
+        let cold = BatchServer::new(Parallelism::Sequential).serve(&requests);
+        assert_eq!(warm.responses, cold.responses);
+    }
+
+    #[test]
+    fn a_failed_link_does_not_break_its_chain() {
+        let mut requests: Vec<ServeRequest> =
+            (0..4).map(|i| single_file_request(300 + i)).collect();
+        if let ServeRequest::SingleFile { initial, .. } = &mut requests[1] {
+            *initial = vec![0.9; 5]; // infeasible: validation rejects it
+        }
+        let warm_sequential =
+            BatchServer::new(Parallelism::Sequential).with_warm_start(true).serve(&requests);
+        assert_eq!(warm_sequential.err_count(), 1);
+        assert!(warm_sequential.responses[1].is_err());
+        for shards in [2, 4] {
+            let sharded = BatchServer::new(Parallelism::Fixed(shards))
+                .with_warm_start(true)
+                .serve(&requests);
+            assert_eq!(warm_sequential.responses, sharded.responses);
+        }
     }
 }

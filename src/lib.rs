@@ -13,6 +13,9 @@
 //!   batch solver engine;
 //! * [`net`] — network graphs, topologies, shortest-path routing, access
 //!   workloads;
+//! * [`cache`] — content-addressed warm-path caches: FNV-1a topology
+//!   fingerprints and a [`CostMatrixCache`](fap_cache::CostMatrixCache)
+//!   that runs all-pairs Dijkstra once per distinct graph;
 //! * [`queue`] — analytic M/M/1 and M/G/1 delay models and a discrete-event
 //!   simulator for empirical validation;
 //! * [`econ`] — the resource-directed (Heal) optimizer with the paper's
@@ -35,10 +38,11 @@
 //!   [`Recorder`](fap_obs::Recorder) trait (the no-op recorder preserves
 //!   the zero-allocation and bit-identity guarantees);
 //! * [`serve`] — the sharded batch-serving layer: many independent
-//!   scenarios solved across a scoped-thread worker pool with per-worker
-//!   scratch reuse, submission-order results bit-identical to sequential
-//!   solves, and per-shard metric registries fanned into one aggregate
-//!   snapshot.
+//!   scenarios solved across a work-stealing scoped-thread worker pool with
+//!   per-worker scratch reuse, optional warm-started solves seeded from the
+//!   previous same-shape request, submission-order results bit-identical to
+//!   sequential solves, and per-shard metric registries fanned into one
+//!   aggregate snapshot.
 //!
 //! # Quickstart
 //!
@@ -64,6 +68,7 @@
 #![warn(missing_docs)]
 
 pub use fap_batch as batch;
+pub use fap_cache as cache;
 pub use fap_core as core;
 pub use fap_econ as econ;
 pub use fap_net as net;
@@ -76,6 +81,7 @@ pub use fap_serve as serve;
 /// The most commonly used items, for glob import.
 pub mod prelude {
     pub use fap_batch::{Matrix, Parallelism};
+    pub use fap_cache::{topology_fingerprint, CostMatrixCache};
     pub use fap_core::{
         baseline, reference, AdaptiveAllocator, HostingMarket, MultiFileProblem,
         MultiFileScratch, SingleFileProblem,

@@ -103,6 +103,72 @@ fn warm_scratch_solve_allocates_nothing_per_iteration() {
 }
 
 #[test]
+fn warm_started_solve_allocates_no_more_than_a_cold_one() {
+    // Arming a warm-start seed copies the allocation into the scratch's
+    // preallocated seed matrix; once that matrix is sized, `start_from` and
+    // the seeded solve itself must be exactly as allocation-light as the
+    // cold path — warm starts buy iterations, never allocations.
+    let graph = topology::torus(3, 4, 1.0).expect("valid torus");
+    let n = graph.node_count();
+    let patterns: Vec<AccessPattern> = (0..3)
+        .map(|j| AccessPattern::random(n, 0.05..0.2, 9 + j as u64).expect("valid pattern"))
+        .collect();
+    let offered: f64 = patterns.iter().map(AccessPattern::total_rate).sum();
+    let problem =
+        MultiFileProblem::mm1(&graph, &patterns, 10.0 * offered / n as f64, 1.0).expect("valid");
+    let initial = vec![vec![1.0 / n as f64; n]; 3];
+
+    let mut scratch = MultiFileScratch::new();
+    let warm = solve_n(&problem, &initial, 600, &mut scratch);
+    // Size the seed matrix once, outside the counted region.
+    scratch.start_from(&warm.allocations);
+    scratch.clear_warm_start();
+
+    let (cold_allocs, cold) = counted(|| solve_n(&problem, &initial, 600, &mut scratch));
+    let (arm_allocs, ()) = counted(|| scratch.start_from(&warm.allocations));
+    let (seeded_allocs, seeded) = counted(|| solve_n(&problem, &initial, 600, &mut scratch));
+
+    assert_eq!(cold, warm, "cold rerun must be bit-identical");
+    assert!(!scratch.has_warm_start(), "the solve must consume the seed");
+    assert_eq!(seeded.iterations, 600, "ε below attainability: the seeded solve pays every step");
+    assert_eq!(arm_allocs, 0, "re-arming a sized seed matrix must not allocate");
+    assert_eq!(
+        seeded_allocs, cold_allocs,
+        "the seeded solve allocated differently: cold {cold_allocs}, seeded {seeded_allocs}"
+    );
+}
+
+#[test]
+fn cache_hits_are_allocation_free() {
+    // The warm path of `CostMatrixCache::get_or_compute` — fingerprint the
+    // graph, probe the map, return the stored matrix — must never touch the
+    // allocator: serving keys every request's topology through this lookup.
+    use fap::cache::CostMatrixCache;
+
+    let graph = topology::torus(3, 4, 1.0).expect("valid torus");
+    let mut cache = CostMatrixCache::new();
+    let fresh = graph.shortest_path_matrix().expect("connected");
+    cache.get_or_compute(&graph, Parallelism::Sequential).expect("connected");
+
+    let (hit_allocs, ()) = counted(|| {
+        for _ in 0..100 {
+            let cached = cache.get_or_compute(&graph, Parallelism::Sequential).expect("cached");
+            assert!(cached.as_matrix() == fresh.as_matrix());
+        }
+    });
+    assert_eq!(cache.hits(), 100);
+    assert_eq!(hit_allocs, 0, "cache hits allocated {hit_allocs} times over 100 lookups");
+    assert_eq!(
+        cache
+            .get_or_compute(&graph, Parallelism::Sequential)
+            .expect("cached")
+            .as_matrix(),
+        fresh.as_matrix(),
+        "hits must return the bits a fresh computation produces"
+    );
+}
+
+#[test]
 fn recording_solve_only_grows_preallocated_buffers() {
     // The observed solve with a live recording sink must also be
     // allocation-free per iteration: every event lands in the telemetry's

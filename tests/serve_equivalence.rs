@@ -101,6 +101,38 @@ fn aggregate_metrics_are_shard_count_independent() {
 }
 
 #[test]
+fn warm_started_serving_is_bit_identical_for_every_shard_count() {
+    // With warm starts on, same-shaped requests chain and later links are
+    // seeded from earlier converged answers. Chains are the scheduling unit
+    // of the work-stealing scheduler, so the seed sequence — and therefore
+    // every response — must not depend on how many workers steal the tasks.
+    let requests = mixed_batch(12);
+    let warm_sequential =
+        BatchServer::new(Parallelism::Sequential).with_warm_start(true).serve(&requests);
+    assert_eq!(warm_sequential.err_count(), 0, "the workload must solve cleanly");
+    // Four single-file links and four multi-file links per chain head: six
+    // seeded solves. Ring requests have no warm path and stay singletons.
+    assert_eq!(warm_sequential.aggregate.counter("serve.warm_starts"), 6);
+    for shards in [1usize, 2, 4, 8] {
+        let sharded =
+            BatchServer::new(Parallelism::Fixed(shards)).with_warm_start(true).serve(&requests);
+        assert_eq!(
+            warm_sequential.responses, sharded.responses,
+            "{shards} warm shards must return the sequential responses bit for bit"
+        );
+        // Warm accounting commutes like every other aggregate counter;
+        // only `serve.steals` is scheduling-dependent and unasserted.
+        for counter in ["serve.warm_starts", "econ.warm_start_iters_saved", "serve.requests"] {
+            assert_eq!(
+                warm_sequential.aggregate.counter(counter),
+                sharded.aggregate.counter(counter),
+                "{counter} must not depend on the shard count ({shards} shards)"
+            );
+        }
+    }
+}
+
+#[test]
 fn caller_telemetry_matches_the_aggregate() {
     let requests = mixed_batch(6);
     let mut telemetry = Telemetry::manual();
