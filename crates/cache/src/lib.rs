@@ -53,7 +53,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use fap_batch::Parallelism;
 use fap_net::{CostMatrix, Graph, NetError};
@@ -99,21 +99,58 @@ struct CacheEntry {
 ///
 /// Lookups on a warm key are allocation-free: the fingerprint is computed on
 /// the stack and the map is probed in place. Misses run
-/// [`Graph::shortest_path_matrix_parallel`] once and retain the result for
-/// the lifetime of the cache (no eviction — one entry per distinct topology,
-/// sized `n²` floats each, tracked by [`CostMatrixCache::bytes`]).
+/// [`Graph::shortest_path_matrix_parallel`] once and retain the result —
+/// one entry per distinct topology, sized `n²` floats each, tracked by
+/// [`CostMatrixCache::bytes`].
+///
+/// By default the cache is unbounded (the one-shot CLI paths see a handful
+/// of topologies per run). Long-lived holders — the `fap served` daemon —
+/// can set a byte budget with [`CostMatrixCache::with_byte_limit`]; when an
+/// insertion pushes [`CostMatrixCache::bytes`] past the budget, the oldest
+/// entries by *insertion order* are dropped (FIFO) until the cache fits,
+/// except that the sole remaining entry is never evicted (a matrix larger
+/// than the whole budget still has to be usable). Evictions are counted by
+/// [`CostMatrixCache::evictions`] and the `cache.evictions` metric.
 #[derive(Debug, Default)]
 pub struct CostMatrixCache {
     entries: HashMap<u64, CacheEntry, FnvBuildHasher>,
+    /// Live fingerprints, oldest first — the FIFO eviction order.
+    insertion_order: VecDeque<u64>,
+    byte_limit: Option<u64>,
     hits: u64,
     misses: u64,
     bytes: u64,
+    evictions: u64,
 }
 
 impl CostMatrixCache {
-    /// Creates an empty cache.
+    /// Creates an empty, unbounded cache.
     pub fn new() -> Self {
         CostMatrixCache::default()
+    }
+
+    /// Creates an empty cache that evicts oldest-first once the cached
+    /// matrices exceed `bytes` (the sole remaining entry is never evicted).
+    #[must_use]
+    pub fn with_byte_limit(bytes: u64) -> Self {
+        CostMatrixCache { byte_limit: Some(bytes), ..CostMatrixCache::default() }
+    }
+
+    /// Sets (or clears, with `None`) the byte budget. Tightening the budget
+    /// takes effect on the *next* insertion — existing entries are not
+    /// dropped eagerly, so borrowed matrices stay valid.
+    pub fn set_byte_limit(&mut self, bytes: Option<u64>) {
+        self.byte_limit = bytes;
+    }
+
+    /// The configured byte budget, if any.
+    pub fn byte_limit(&self) -> Option<u64> {
+        self.byte_limit
+    }
+
+    /// Lifetime count of entries evicted to fit the byte budget.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     /// Number of distinct topologies currently cached.
@@ -141,10 +178,11 @@ impl CostMatrixCache {
         self.bytes
     }
 
-    /// Drops every entry and resets the byte gauge (hit/miss counters are
-    /// lifetime totals and survive a clear).
+    /// Drops every entry and resets the byte gauge (hit/miss/eviction
+    /// counters are lifetime totals and survive a clear).
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.insertion_order.clear();
         self.bytes = 0;
     }
 
@@ -209,9 +247,22 @@ impl CostMatrixCache {
         let matrix = graph.shortest_path_matrix_parallel(parallelism)?;
         let n = matrix.node_count() as u64;
         self.bytes += n * n * 8;
+        self.entries.insert(key, CacheEntry { graph: graph.clone(), matrix });
+        self.insertion_order.push_back(key);
+        if let Some(limit) = self.byte_limit {
+            while self.bytes > limit && self.entries.len() > 1 {
+                let oldest =
+                    self.insertion_order.pop_front().expect("order tracks every live entry");
+                let evicted =
+                    self.entries.remove(&oldest).expect("order holds only live fingerprints");
+                let m = evicted.matrix.node_count() as u64;
+                self.bytes -= m * m * 8;
+                self.evictions += 1;
+                recorder.incr("cache.evictions", 1);
+            }
+        }
         recorder.gauge("cache.bytes", self.bytes as f64);
-        let entry = self.entries.entry(key).or_insert(CacheEntry { graph: graph.clone(), matrix });
-        Ok(&entry.matrix)
+        Ok(&self.entries[&key].matrix)
     }
 
     /// Returns the cached matrix for a graph whose fingerprint is already
@@ -319,6 +370,59 @@ mod tests {
         assert_eq!(cache.misses(), 1);
         cache.get_or_compute(&g, Parallelism::Sequential).unwrap();
         assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn byte_limit_evicts_oldest_first() {
+        // Three 4-node rings (128 bytes each) under a 300-byte budget: the
+        // third insertion overflows and the *first* ring is evicted.
+        let a = topology::ring(4, 1.0).unwrap();
+        let b = topology::ring(4, 2.0).unwrap();
+        let c = topology::ring(4, 3.0).unwrap();
+        let mut cache = CostMatrixCache::with_byte_limit(300);
+        cache.get_or_compute(&a, Parallelism::Sequential).unwrap();
+        cache.get_or_compute(&b, Parallelism::Sequential).unwrap();
+        cache.get_or_compute(&c, Parallelism::Sequential).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.bytes(), 2 * 4 * 4 * 8);
+        assert!(cache.peek(topology_fingerprint(&a)).is_none(), "oldest must go first");
+        assert!(cache.peek(topology_fingerprint(&b)).is_some());
+        assert!(cache.peek(topology_fingerprint(&c)).is_some());
+        // Touching b again is still a hit — eviction never corrupts
+        // surviving entries.
+        cache.get_or_compute(&b, Parallelism::Sequential).unwrap();
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn the_sole_entry_survives_even_over_budget() {
+        let big = topology::full_mesh(8, 1.0).unwrap(); // 512 bytes
+        let mut cache = CostMatrixCache::with_byte_limit(100);
+        cache.get_or_compute(&big, Parallelism::Sequential).unwrap();
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.evictions(), 0);
+        assert!(cache.bytes() > 100);
+        // A second oversized topology evicts the first but is itself kept.
+        let other = topology::full_mesh(8, 2.0).unwrap();
+        cache.get_or_compute(&other, Parallelism::Sequential).unwrap();
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.evictions(), 1);
+        assert!(cache.peek(topology_fingerprint(&other)).is_some());
+    }
+
+    #[test]
+    fn evictions_are_recorded_and_the_limit_is_adjustable() {
+        let mut reg = fap_obs::MetricsRegistry::new();
+        let mut cache = CostMatrixCache::new();
+        let a = topology::ring(4, 1.0).unwrap();
+        let b = topology::ring(4, 2.0).unwrap();
+        cache.get_or_compute_observed(&a, Parallelism::Sequential, &mut reg).unwrap();
+        cache.set_byte_limit(Some(128));
+        cache.get_or_compute_observed(&b, Parallelism::Sequential, &mut reg).unwrap();
+        assert_eq!(reg.counter("cache.evictions"), 1);
+        assert_eq!(reg.gauge_value("cache.bytes"), Some(128.0));
+        assert_eq!(cache.byte_limit(), Some(128));
     }
 
     #[test]

@@ -7,6 +7,9 @@
 //! fap sim <scenario.json> [chaos.json]   run the protocol under faults
 //! fap serve <requests.json> [--shards N] [--warm-start]
 //!                                        batch-solve a request list, sharded
+//! fap served [--servers C] [--warm MODE] [--admission-bound W] ...
+//!                                        persistent daemon (JSONL on stdin,
+//!                                        or --socket <path> on Unix)
 //! fap serve-example                      print a template request list
 //! fap report <metrics.jsonl>             summarize an exported metrics file
 //! fap report --diff <a.jsonl> <b.jsonl>  compare two metrics files
@@ -55,6 +58,9 @@ const USAGE: &str = "usage:
   fap simulate <scenario.json>
   fap sim <scenario.json> [chaos.json] [--metrics-out <path.jsonl>] [--metrics-summary]
   fap serve <requests.json> [--shards <n>] [--warm-start] [--metrics-out <path.jsonl>] [--metrics-summary]
+  fap served [--shards <n>] [--servers <c>] [--warm off|batch|session]
+             [--admission-bound <ticks>] [--warmup <n>] [--cache-bytes <n>]
+             [--wall-clock] [--socket <path>] [metrics flags]
   fap serve-example
   fap report <metrics.jsonl>
   fap report --diff <a.jsonl> <b.jsonl>
@@ -172,10 +178,13 @@ fn extract_metrics_flags(args: &[String]) -> Result<(Vec<String>, MetricsOptions
 fn run(args: &[String]) -> Result<(), String> {
     let (args, metrics) = extract_metrics_flags(args)?;
     if metrics.requested()
-        && !matches!(args.first().map(String::as_str), Some("solve" | "run" | "sim" | "serve"))
+        && !matches!(
+            args.first().map(String::as_str),
+            Some("solve" | "run" | "sim" | "serve" | "served")
+        )
     {
         return Err(
-            "--metrics-out/--metrics-summary/--metrics-flush-every only apply to solve, run, sim and serve"
+            "--metrics-out/--metrics-summary/--metrics-flush-every only apply to solve, run, sim, serve and served"
                 .into(),
         );
     }
@@ -283,6 +292,98 @@ fn run(args: &[String]) -> Result<(), String> {
                     fap_cli::serve_specs_with(&specs, shards, warm_start, sink.recorder())
                         .map_err(|e| e.to_string())?;
                 print!("{}", fap_cli::serve::render_output(&specs, &output));
+                metrics.finish(sink)?;
+                Ok(())
+            }
+            ("served", rest) => {
+                let mut config = fap_served::DaemonConfig::default();
+                let mut socket: Option<String> = None;
+                let mut iter = rest.iter();
+                while let Some(arg) = iter.next() {
+                    match arg.as_str() {
+                        "--shards" => {
+                            let n = iter.next().ok_or("--shards requires a count")?;
+                            let n: usize = n
+                                .parse()
+                                .map_err(|e| format!("bad shard count '{n}': {e}"))?;
+                            if n == 0 {
+                                return Err("--shards must be at least 1".into());
+                            }
+                            config.shards = fap_batch::Parallelism::Fixed(n);
+                        }
+                        "--servers" => {
+                            let c = iter.next().ok_or("--servers requires a count")?;
+                            let c: u32 = c
+                                .parse()
+                                .map_err(|e| format!("bad server count '{c}': {e}"))?;
+                            config.servers = c;
+                        }
+                        "--warm" => {
+                            let mode = iter.next().ok_or("--warm requires off|batch|session")?;
+                            config.warm = fap_served::WarmMode::parse(mode)?;
+                        }
+                        "--admission-bound" => {
+                            let w = iter.next().ok_or("--admission-bound requires a tick count")?;
+                            let w: f64 = w
+                                .parse()
+                                .map_err(|e| format!("bad admission bound '{w}': {e}"))?;
+                            if w.is_nan() || w < 0.0 {
+                                return Err("--admission-bound must be non-negative".into());
+                            }
+                            config.admission_bound = Some(w);
+                        }
+                        "--warmup" => {
+                            let n = iter.next().ok_or("--warmup requires a sample count")?;
+                            config.admission_warmup = n
+                                .parse()
+                                .map_err(|e| format!("bad warmup '{n}': {e}"))?;
+                        }
+                        "--cache-bytes" => {
+                            let n = iter.next().ok_or("--cache-bytes requires a byte count")?;
+                            let n: u64 = n
+                                .parse()
+                                .map_err(|e| format!("bad cache budget '{n}': {e}"))?;
+                            config.cache_bytes = Some(n);
+                        }
+                        "--wall-clock" => config.wall_clock = true,
+                        "--socket" => {
+                            let path = iter.next().ok_or("--socket requires a path")?;
+                            socket = Some(path.clone());
+                        }
+                        other => return Err(format!("unexpected argument '{other}'")),
+                    }
+                }
+                let mut sink = metrics.sink()?;
+                match socket {
+                    Some(path) => {
+                        #[cfg(unix)]
+                        {
+                            fap_cli::served::run_socket(
+                                Path::new(&path),
+                                &config,
+                                sink.recorder(),
+                            )?;
+                        }
+                        #[cfg(not(unix))]
+                        {
+                            let _ = path;
+                            return Err("--socket requires a Unix platform".into());
+                        }
+                    }
+                    None => {
+                        let stdin = std::io::stdin();
+                        let stdout = std::io::stdout();
+                        let mut out = BufWriter::new(stdout.lock());
+                        fap_cli::run_daemon(
+                            stdin.lock(),
+                            &mut out,
+                            &config,
+                            sink.recorder(),
+                        )?;
+                        use std::io::Write as _;
+                        out.flush().map_err(|e| e.to_string())?;
+                    }
+                }
                 metrics.finish(sink)?;
                 Ok(())
             }

@@ -11,6 +11,7 @@
 //! fap simulate scenario.json        # measure the optimum empirically
 //! fap sim scenario.json chaos.json  # run the protocol under injected faults
 //! fap serve requests.json --shards 4 # batch-solve a scenario list, sharded
+//! fap served                         # persistent daemon (JSONL on stdin)
 //! fap serve-example                  # print a template scenario list
 //! fap report metrics.jsonl          # summarize an exported telemetry file
 //! fap sweep-k scenario.json 0.1,1,10  # the §8.2 k trade-off
@@ -33,8 +34,10 @@ pub mod report;
 pub mod run;
 pub mod scenario;
 pub mod serve;
+pub mod served;
 
 pub use report::{render, render_diff, summarize, ReportSummary};
 pub use run::{chaos_sim, chaos_sim_observed, simulate, solve, solve_observed, sweep_k, SolveOutput};
 pub use scenario::{Scenario, ScenarioError, Topology};
 pub use serve::{load_specs, serve_specs, serve_specs_with, ServeSpec};
+pub use served::{run_daemon, spec_daemon, spec_parser};

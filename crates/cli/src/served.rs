@@ -1,0 +1,274 @@
+//! `fap served`: the persistent serving daemon speaking the CLI's spec
+//! format.
+//!
+//! This module binds the wire-format-agnostic [`Daemon`] from `fap-served`
+//! to the same scenario-list syntax `fap serve` reads: each input
+//! envelope's `batch` field is a JSON array of [`ServeSpec`]s. The daemon
+//! keeps its cost-matrix cache, warm-start seeds and worker pool alive
+//! across batches, so a long session amortizes work a one-shot `fap serve`
+//! pays per invocation.
+//!
+//! Two transports are offered: stdin/stdout (the default, scriptable), and
+//! on Unix a socket (`--socket <path>`), where sequential client
+//! connections share one daemon — state persists across connects until a
+//! `shutdown` command arrives.
+
+use std::io::{BufRead, Write};
+
+use serde::{Deserialize, Value};
+
+use fap_cache::CostMatrixCache;
+use fap_obs::Recorder;
+use fap_serve::ServeRequest;
+use fap_served::{BatchParser, Daemon, DaemonConfig};
+
+use crate::serve::ServeSpec;
+
+/// The CLI's batch parser: an envelope's `batch` field is a JSON array of
+/// [`ServeSpec`]s, resolved through the daemon's persistent cost-matrix
+/// cache (hits and misses land in the session's `cache.*` metrics).
+pub fn spec_parser() -> impl BatchParser {
+    |batch: &Value, cache: &mut CostMatrixCache, recorder: &mut dyn Recorder| {
+        let specs = Vec::<ServeSpec>::deserialize_value(batch)
+            .map_err(|e| format!("bad batch: {e}"))?;
+        if specs.is_empty() {
+            return Err("batch is empty".into());
+        }
+        specs
+            .iter()
+            .enumerate()
+            .map(|(index, spec)| {
+                spec.to_request_cached(cache, recorder)
+                    .map_err(|e| format!("request {index}: {e}"))
+            })
+            .collect::<Result<Vec<ServeRequest>, String>>()
+    }
+}
+
+/// Builds a daemon over the CLI spec format.
+///
+/// # Errors
+///
+/// Returns a message for an invalid configuration (zero servers).
+pub fn spec_daemon(config: &DaemonConfig) -> Result<Daemon<impl BatchParser>, String> {
+    Daemon::new(spec_parser(), config).map_err(|e| e.to_string())
+}
+
+/// Runs a whole daemon session over any line source and sink (`fap served`
+/// with no `--socket`: stdin to stdout). Returns at EOF or after a
+/// `shutdown` command, both of which drain in-flight work first.
+///
+/// # Errors
+///
+/// Returns a message for configuration or I/O failures.
+pub fn run_daemon<R: BufRead>(
+    input: R,
+    out: &mut dyn Write,
+    config: &DaemonConfig,
+    recorder: &mut dyn Recorder,
+) -> Result<(), String> {
+    let mut daemon = spec_daemon(config)?;
+    daemon.run(input, out, recorder).map_err(|e| e.to_string())
+}
+
+/// Serves sequential connections on a Unix socket with ONE persistent
+/// daemon: a client can connect, submit batches, disconnect, and a later
+/// client sees the warmed cache and seeds. A `shutdown` command (or an
+/// unusable listener) ends the process; a dropped connection just ends
+/// that client's session.
+///
+/// # Errors
+///
+/// Returns a message when the socket cannot be bound or the configuration
+/// is invalid.
+#[cfg(unix)]
+pub fn run_socket(
+    path: &std::path::Path,
+    config: &DaemonConfig,
+    recorder: &mut dyn Recorder,
+) -> Result<(), String> {
+    use std::io::BufReader;
+    use std::os::unix::net::UnixListener;
+
+    use fap_served::DaemonStatus;
+
+    // A stale socket file from a previous run would make bind fail.
+    let _ = std::fs::remove_file(path);
+    let listener =
+        UnixListener::bind(path).map_err(|e| format!("binding {}: {e}", path.display()))?;
+    let mut daemon = spec_daemon(config)?;
+    'sessions: loop {
+        let (stream, _) = match listener.accept() {
+            Ok(conn) => conn,
+            Err(e) => {
+                let _ = std::fs::remove_file(path);
+                return Err(format!("accepting on {}: {e}", path.display()));
+            }
+        };
+        let reader = match stream.try_clone() {
+            Ok(clone) => BufReader::new(clone),
+            Err(_) => continue, // the client is already gone
+        };
+        let mut writer = stream;
+        for line in reader.lines() {
+            let Ok(line) = line else { break };
+            match daemon.handle_line(&line, &mut writer, recorder) {
+                Ok(DaemonStatus::Shutdown) => break 'sessions,
+                Ok(DaemonStatus::Continue) => {}
+                Err(_) => break, // client hung up mid-write; daemon state survives
+            }
+        }
+        // Client EOF: drain its in-flight work so it gets every line it
+        // paid for, then wait for the next connection (state persists).
+        let _ = daemon.finish(&mut writer, recorder);
+    }
+    let _ = std::fs::remove_file(path);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fap_batch::Parallelism;
+    use fap_obs::{MetricsRegistry, NoopRecorder};
+    use fap_served::WarmMode;
+    use serde::Serialize as _;
+
+    fn batch_line(at: usize) -> String {
+        let specs = serde_json::to_string(&crate::serve::example_specs())
+            .expect("spec serialization cannot fail");
+        format!("{{\"at\":{at},\"batch\":{specs}}}")
+    }
+
+    fn session(config: &DaemonConfig, lines: &[String]) -> (String, MetricsRegistry) {
+        let mut out = Vec::new();
+        let mut registry = MetricsRegistry::new();
+        let input = lines.join("\n");
+        run_daemon(input.as_bytes(), &mut out, config, &mut registry).unwrap();
+        (String::from_utf8(out).unwrap(), registry)
+    }
+
+    #[test]
+    fn a_spec_session_reuses_the_cache_across_batches() {
+        let lines =
+            vec![batch_line(0), batch_line(100_000), "{\"cmd\":\"shutdown\"}".to_string()];
+        let (out, registry) = session(&DaemonConfig::default(), &lines);
+        // The example list holds two graph-backed specs on one topology:
+        // batch 1 misses once and hits once; batch 2 hits twice.
+        assert_eq!(registry.counter("cache.miss"), 1);
+        assert_eq!(registry.counter("cache.hit"), 3);
+        assert_eq!(registry.counter("served.batches"), 2);
+        assert_eq!(out.matches("\"kind\":\"batch\"").count(), 2);
+        assert!(out.ends_with('\n'));
+    }
+
+    #[test]
+    fn daemon_batch_responses_match_one_shot_serve() {
+        // `fap served` in the default (batch) warm mode must embed exactly
+        // the responses one-shot `fap serve --warm-start` produces.
+        let specs = crate::serve::example_specs();
+        let oneshot = crate::serve::serve_specs_with(
+            &specs,
+            Parallelism::Auto,
+            true,
+            &mut NoopRecorder,
+        )
+        .unwrap();
+        let rendered: Vec<Value> = oneshot
+            .responses
+            .iter()
+            .map(|r| r.as_ref().unwrap().serialize_value())
+            .collect();
+        let expected = format!(
+            "\"responses\":{}",
+            serde_json::to_string(&Value::Array(rendered)).unwrap()
+        );
+        let lines = vec![batch_line(0), "{\"cmd\":\"shutdown\"}".to_string()];
+        let (out, _) = session(&DaemonConfig::default(), &lines);
+        let batch = out.lines().find(|l| l.contains("\"kind\":\"batch\"")).unwrap();
+        assert!(batch.contains(&expected), "daemon must match the one-shot serve path");
+    }
+
+    #[test]
+    fn session_warm_mode_seeds_across_spec_batches() {
+        let lines = vec![
+            batch_line(0),
+            batch_line(100_000),
+            batch_line(200_000),
+            "{\"cmd\":\"shutdown\"}".to_string(),
+        ];
+        let config = DaemonConfig { warm: WarmMode::Session, ..DaemonConfig::default() };
+        let (_, registry) = session(&config, &lines);
+        assert!(
+            registry.counter("serve.warm_starts") > 0,
+            "later batch heads must start from the previous batch's tails"
+        );
+    }
+
+    #[test]
+    fn bad_batches_report_errors_without_killing_the_session() {
+        let lines = vec![
+            "{\"at\":0,\"batch\":[{\"type\":\"teleport\"}]}".to_string(),
+            "{\"at\":0,\"batch\":[]}".to_string(),
+            batch_line(5),
+            "{\"cmd\":\"shutdown\"}".to_string(),
+        ];
+        let (out, registry) = session(&DaemonConfig::default(), &lines);
+        assert_eq!(registry.counter("served.errors"), 2);
+        assert_eq!(registry.counter("served.batches"), 1);
+        assert_eq!(out.matches("\"kind\":\"error\"").count(), 2);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn socket_sessions_share_one_daemon() {
+        use std::io::{BufRead as _, BufReader, Write as _};
+        use std::os::unix::net::UnixStream;
+
+        let dir = std::env::temp_dir().join(format!("fap-served-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("daemon.sock");
+        let config = DaemonConfig::default();
+        let sock = path.clone();
+        let server = std::thread::spawn(move || {
+            let mut registry = MetricsRegistry::new();
+            run_socket(&sock, &config, &mut registry).unwrap();
+            registry
+        });
+        // Wait for the listener to come up.
+        let mut tries = 0;
+        while !path.exists() && tries < 500 {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            tries += 1;
+        }
+        let exchange = |lines: &[String]| -> String {
+            let mut stream = UnixStream::connect(&path).unwrap();
+            for line in lines {
+                writeln!(stream, "{line}").unwrap();
+            }
+            stream.shutdown(std::net::Shutdown::Write).unwrap();
+            let mut out = String::new();
+            for line in BufReader::new(stream).lines() {
+                out.push_str(&line.unwrap());
+                out.push('\n');
+            }
+            out
+        };
+        // Client 1 submits a batch and hangs up; client 2 asks for status
+        // and must see client 1's completed work and warmed cache.
+        let first = exchange(&[batch_line(0)]);
+        assert!(first.contains("\"kind\":\"batch\""));
+        let second = exchange(&[
+            "{\"cmd\":\"status\"}".to_string(),
+            "{\"cmd\":\"shutdown\"}".to_string(),
+        ]);
+        let status = second.lines().next().unwrap();
+        assert!(
+            status.contains("\"completed\":1") && status.contains("\"cache_misses\":1"),
+            "{status}"
+        );
+        let registry = server.join().unwrap();
+        assert_eq!(registry.counter("served.batches"), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

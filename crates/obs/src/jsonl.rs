@@ -15,12 +15,14 @@
 //! {"counter":"sim.dropped","value":12}
 //! {"gauge":"core.node_threads","value":8}
 //! {"hist":"sim.report_latency_rounds","count":57,"sum":61,"min":0,"max":3,"p50":1,"p90":2,"p99":3}
+//! {"sketch":"served.wait","error":0.01,"count":9,"sum":41,"min":0,"max":12,"p50":3.0002,"p90":8.9,"p99":12}
 //! ```
 
 use std::fmt::Write as _;
 
 use crate::event::{EventRecord, Value};
 use crate::metrics::{Histogram, MetricsRegistry};
+use crate::sketch::QuantileSketch;
 
 /// Appends `text` to `out` as a JSON string literal (quotes included).
 pub fn push_json_str(out: &mut String, text: &str) {
@@ -83,7 +85,8 @@ pub fn write_event(out: &mut String, event: &EventRecord) {
 }
 
 /// Appends one line (with trailing newline) per metric in `registry`, in
-/// registration order: counters, then gauges, then histograms.
+/// registration order: counters, then gauges, then histograms, then
+/// quantile sketches.
 pub fn write_registry(out: &mut String, registry: &MetricsRegistry) {
     for (name, value) in registry.counters() {
         out.push_str("{\"counter\":");
@@ -100,6 +103,9 @@ pub fn write_registry(out: &mut String, registry: &MetricsRegistry) {
     for (name, hist) in registry.histograms() {
         write_histogram(out, name, hist);
     }
+    for (name, sketch) in registry.sketches() {
+        write_sketch(out, name, sketch);
+    }
 }
 
 fn write_histogram(out: &mut String, name: &str, hist: &Histogram) {
@@ -113,6 +119,26 @@ fn write_histogram(out: &mut String, name: &str, hist: &Histogram) {
         ("p50", hist.quantile(0.5)),
         ("p90", hist.quantile(0.9)),
         ("p99", hist.quantile(0.99)),
+    ] {
+        let _ = write!(out, ",\"{key}\":");
+        push_json_f64(out, value);
+    }
+    out.push_str("}\n");
+}
+
+fn write_sketch(out: &mut String, name: &str, sketch: &QuantileSketch) {
+    out.push_str("{\"sketch\":");
+    push_json_str(out, name);
+    out.push_str(",\"error\":");
+    push_json_f64(out, sketch.relative_accuracy());
+    let _ = write!(out, ",\"count\":{}", sketch.count());
+    for (key, value) in [
+        ("sum", sketch.sum()),
+        ("min", sketch.min()),
+        ("max", sketch.max()),
+        ("p50", sketch.quantile(0.5)),
+        ("p90", sketch.quantile(0.9)),
+        ("p99", sketch.quantile(0.99)),
     ] {
         let _ = write!(out, ",\"{key}\":");
         push_json_f64(out, value);
@@ -351,6 +377,31 @@ mod tests {
         assert_eq!(get("sum"), Some(3.0));
         assert_eq!(get("p50"), Some(1.0));
         assert_eq!(get("p99"), Some(2.0));
+    }
+
+    #[test]
+    fn sketch_lines_round_trip_through_the_parser() {
+        let mut registry = MetricsRegistry::new();
+        registry.register_sketch("served.wait", 0.01);
+        for v in [1.0, 2.0, 4.0] {
+            registry.observe_sketch("served.wait", v);
+        }
+        let mut out = String::new();
+        write_registry(&mut out, &registry);
+        let lines: Vec<_> = out.lines().collect();
+        assert_eq!(lines.len(), 1);
+        let pairs = parse_line(lines[0]).unwrap();
+        assert_eq!(pairs[0], ("sketch".into(), Scalar::Str("served.wait".into())));
+        let get = |key: &str| {
+            pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_f64().unwrap())
+        };
+        assert_eq!(get("error"), Some(0.01));
+        assert_eq!(get("count"), Some(3.0));
+        assert_eq!(get("sum"), Some(7.0));
+        assert_eq!(get("min"), Some(1.0));
+        assert_eq!(get("max"), Some(4.0));
+        let p50 = get("p50").unwrap();
+        assert!((p50 - 2.0).abs() <= 2.0 * 0.011, "p50 {p50} off the true median");
     }
 
     #[test]

@@ -7,9 +7,12 @@
 //! fault mix the channel injects. This crate is the substrate that makes
 //! those signals observable without perturbing the thing being observed:
 //!
-//! * [`MetricsRegistry`] — counters, gauges and fixed-bucket
-//!   [`Histogram`]s, addressed by `&'static str` names. Lookup is a linear
-//!   scan over a small vector, so steady-state updates allocate nothing.
+//! * [`MetricsRegistry`] — counters, gauges, fixed-bucket [`Histogram`]s
+//!   and log-bucketed [`QuantileSketch`]es, addressed by `&'static str`
+//!   names. Lookup is a linear scan over a small vector, so steady-state
+//!   updates allocate nothing. Sketches keep bounded *relative* quantile
+//!   error over arbitrary value ranges and merge losslessly, which is what
+//!   a long-lived daemon needs to keep p99 resolution across batches.
 //! * [`Clock`] / [`WallClock`] / [`VirtualClock`] — pluggable time.
 //!   Benches time with the wall clock; the deterministic simulator drives
 //!   a virtual clock from its round counter, so recorded timelines are
@@ -55,6 +58,7 @@ mod event;
 pub mod jsonl;
 mod metrics;
 mod recorder;
+mod sketch;
 mod stream;
 mod telemetry;
 
@@ -62,5 +66,8 @@ pub use clock::{Clock, Span, Timer, VirtualClock, WallClock};
 pub use event::{EventRecord, Value, MAX_EVENT_FIELDS};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use recorder::{NoopRecorder, Recorder, Tee};
+pub use sketch::{
+    QuantileSketch, DEFAULT_SKETCH_ACCURACY, MAX_SKETCH_ACCURACY, MIN_SKETCH_ACCURACY,
+};
 pub use stream::JsonlSink;
 pub use telemetry::Telemetry;

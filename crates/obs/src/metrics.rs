@@ -1,4 +1,5 @@
-//! The metrics registry: counters, gauges, fixed-bucket histograms.
+//! The metrics registry: counters, gauges, fixed-bucket histograms and
+//! mergeable quantile sketches.
 //!
 //! Metrics are addressed by `&'static str` names and stored in small
 //! vectors in registration order. Lookup is a linear scan — for the
@@ -10,6 +11,7 @@
 
 use crate::event::Value;
 use crate::recorder::Recorder;
+use crate::sketch::QuantileSketch;
 
 /// A fixed-bucket histogram: cumulative-style bucket upper bounds plus an
 /// overflow bucket, with running count/sum/min/max.
@@ -158,6 +160,7 @@ pub struct MetricsRegistry {
     counters: Vec<(&'static str, u64)>,
     gauges: Vec<(&'static str, f64)>,
     histograms: Vec<(&'static str, Histogram)>,
+    sketches: Vec<(&'static str, QuantileSketch)>,
 }
 
 impl MetricsRegistry {
@@ -207,6 +210,31 @@ impl MetricsRegistry {
         }
     }
 
+    /// Records `value` into quantile sketch `name`, creating it with
+    /// [`DEFAULT_SKETCH_ACCURACY`](crate::DEFAULT_SKETCH_ACCURACY) on first
+    /// use.
+    pub fn observe_sketch(&mut self, name: &'static str, value: f64) {
+        match self.sketches.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, s)) => s.observe(value),
+            None => {
+                let mut s = QuantileSketch::default();
+                s.observe(value);
+                self.sketches.push((name, s));
+            }
+        }
+    }
+
+    /// Registers sketch `name` with an explicit relative accuracy
+    /// (replacing any default-accuracy sketch auto-created earlier). Call
+    /// before the first observation to choose the accuracy.
+    pub fn register_sketch(&mut self, name: &'static str, relative_accuracy: f64) {
+        let sketch = QuantileSketch::new(relative_accuracy);
+        match self.sketches.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, s)) => *s = sketch,
+            None => self.sketches.push((name, sketch)),
+        }
+    }
+
     /// The value of counter `name` (0 when never incremented).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.iter().find(|(n, _)| *n == name).map_or(0, |(_, v)| *v)
@@ -237,9 +265,22 @@ impl MetricsRegistry {
         self.histograms.iter().map(|(n, h)| (*n, h))
     }
 
+    /// Sketch `name`, if any observation or registration created it.
+    pub fn sketch(&self, name: &str) -> Option<&QuantileSketch> {
+        self.sketches.iter().find(|(n, _)| *n == name).map(|(_, s)| s)
+    }
+
+    /// All sketches in registration order.
+    pub fn sketches(&self) -> impl Iterator<Item = (&'static str, &QuantileSketch)> {
+        self.sketches.iter().map(|(n, s)| (*n, s))
+    }
+
     /// True when nothing has ever been recorded.
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.sketches.is_empty()
     }
 
     /// Folds an already-aggregated histogram into histogram `name`,
@@ -253,6 +294,20 @@ impl MetricsRegistry {
                 debug_assert!(merged, "histogram '{name}' merged with a different bucket shape");
             }
             None => self.histograms.push((name, other.clone())),
+        }
+    }
+
+    /// Folds an already-aggregated sketch into sketch `name`, creating it
+    /// as a copy of `other` on first merge. An accuracy mismatch under the
+    /// same name (an instrumentation bug) is ignored in release builds and
+    /// trips a debug assertion — mirroring [`Self::merge_histogram`].
+    pub fn merge_sketch(&mut self, name: &'static str, other: &QuantileSketch) {
+        match self.sketches.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, s)) => {
+                let merged = s.merge_from(other);
+                debug_assert!(merged, "sketch '{name}' merged with a different accuracy");
+            }
+            None => self.sketches.push((name, other.clone())),
         }
     }
 
@@ -273,6 +328,9 @@ impl MetricsRegistry {
         }
         for (name, hist) in &self.histograms {
             sink.merge_histogram(name, hist);
+        }
+        for (name, sketch) in &self.sketches {
+            sink.merge_sketch(name, sketch);
         }
     }
 
@@ -305,6 +363,16 @@ impl MetricsRegistry {
                 if h.count() == 0 { 0.0 } else { h.max() },
             );
         }
+        for (name, s) in &self.sketches {
+            let _ = writeln!(
+                out,
+                "sketch   {name:<34} count={} p50={:.3} p99={:.3} max={:.3}",
+                s.count(),
+                s.quantile(0.5),
+                s.quantile(0.99),
+                s.max(),
+            );
+        }
         out
     }
 }
@@ -332,6 +400,18 @@ impl Recorder for MetricsRegistry {
 
     fn merge_histogram(&mut self, name: &'static str, other: &Histogram) {
         MetricsRegistry::merge_histogram(self, name, other);
+    }
+
+    fn observe_sketch(&mut self, name: &'static str, value: f64) {
+        MetricsRegistry::observe_sketch(self, name, value);
+    }
+
+    fn register_sketch(&mut self, name: &'static str, relative_accuracy: f64) {
+        MetricsRegistry::register_sketch(self, name, relative_accuracy);
+    }
+
+    fn merge_sketch(&mut self, name: &'static str, other: &QuantileSketch) {
+        MetricsRegistry::merge_sketch(self, name, other);
     }
 
     fn emit(&mut self, _name: &'static str, _fields: &[(&'static str, Value)]) {}
@@ -466,6 +546,36 @@ mod tests {
         let h = aggregate.histogram("serve.iters").unwrap();
         assert_eq!(h.count(), 2);
         assert_eq!(h.sum(), 12.0);
+    }
+
+    #[test]
+    fn sketches_register_observe_and_replay() {
+        let mut shard = MetricsRegistry::new();
+        shard.register_sketch("served.wait", 0.02);
+        shard.observe_sketch("served.wait", 4.0);
+        shard.observe_sketch("served.wait", 16.0);
+        shard.observe_sketch("served.predicted_wait", 5.0);
+
+        let mut aggregate = MetricsRegistry::new();
+        shard.replay_into(&mut aggregate);
+        shard.replay_into(&mut aggregate);
+
+        let wait = aggregate.sketch("served.wait").unwrap();
+        assert_eq!(wait.count(), 4);
+        assert_eq!(wait.relative_accuracy(), 0.02);
+        assert_eq!(wait.max(), 16.0);
+        assert_eq!(aggregate.sketch("served.predicted_wait").unwrap().count(), 2);
+        assert!(aggregate.sketch("missing").is_none());
+        assert!(aggregate.summary().contains("served.wait"));
+    }
+
+    #[test]
+    fn registering_sketch_accuracy_replaces_the_default() {
+        let mut r = MetricsRegistry::new();
+        r.observe_sketch("lat", 1.0);
+        r.register_sketch("lat", 0.05);
+        assert_eq!(r.sketch("lat").unwrap().count(), 0);
+        assert_eq!(r.sketch("lat").unwrap().relative_accuracy(), 0.05);
     }
 
     #[test]

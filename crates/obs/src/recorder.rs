@@ -2,6 +2,7 @@
 
 use crate::event::Value;
 use crate::metrics::Histogram;
+use crate::sketch::QuantileSketch;
 
 /// The sink interface threaded through the solver, simulator and parallel
 /// kernels as `&mut dyn Recorder`.
@@ -42,6 +43,21 @@ pub trait Recorder {
     /// [`MetricsRegistry::replay_into`](crate::MetricsRegistry::replay_into)).
     /// Sinks without histograms ignore this.
     fn merge_histogram(&mut self, _name: &'static str, _other: &Histogram) {}
+
+    /// Records `value` into quantile sketch `name`. Unlike
+    /// [`Recorder::observe`], the sketch keeps bounded *relative* error
+    /// over any value range, so it suits long-lived daemon sessions.
+    /// Sinks without sketches ignore this.
+    fn observe_sketch(&mut self, _name: &'static str, _value: f64) {}
+
+    /// Declares sketch `name` with an explicit relative accuracy, before
+    /// its first observation. Sinks without sketches ignore this.
+    fn register_sketch(&mut self, _name: &'static str, _relative_accuracy: f64) {}
+
+    /// Folds an already-aggregated [`QuantileSketch`] into sketch `name` —
+    /// the fan-in primitive mirroring [`Recorder::merge_histogram`]. Sinks
+    /// without sketches ignore this.
+    fn merge_sketch(&mut self, _name: &'static str, _other: &QuantileSketch) {}
 
     /// Emits a structured event.
     fn emit(&mut self, _name: &'static str, _fields: &[(&'static str, Value)]) {}
@@ -110,6 +126,21 @@ impl Recorder for Tee<'_> {
         self.b.merge_histogram(name, other);
     }
 
+    fn observe_sketch(&mut self, name: &'static str, value: f64) {
+        self.a.observe_sketch(name, value);
+        self.b.observe_sketch(name, value);
+    }
+
+    fn register_sketch(&mut self, name: &'static str, relative_accuracy: f64) {
+        self.a.register_sketch(name, relative_accuracy);
+        self.b.register_sketch(name, relative_accuracy);
+    }
+
+    fn merge_sketch(&mut self, name: &'static str, other: &QuantileSketch) {
+        self.a.merge_sketch(name, other);
+        self.b.merge_sketch(name, other);
+    }
+
     fn emit(&mut self, name: &'static str, fields: &[(&'static str, Value)]) {
         self.a.emit(name, fields);
         self.b.emit(name, fields);
@@ -149,6 +180,24 @@ mod tests {
             assert_eq!(side.counter("hits"), 2);
             assert_eq!(side.histogram("lat").unwrap().count(), 1);
             assert_eq!(side.gauge_value("threads"), Some(4.0));
+        }
+    }
+
+    #[test]
+    fn tee_forwards_sketches_to_both_sinks() {
+        let mut left = MetricsRegistry::new();
+        let mut right = MetricsRegistry::new();
+        {
+            let mut tee = Tee::new(&mut left, &mut right);
+            tee.register_sketch("wait", 0.02);
+            tee.observe_sketch("wait", 3.0);
+            tee.observe_sketch("wait", 9.0);
+        }
+        for side in [&left, &right] {
+            let sketch = side.sketch("wait").unwrap();
+            assert_eq!(sketch.count(), 2);
+            assert_eq!(sketch.relative_accuracy(), 0.02);
+            assert_eq!(sketch.max(), 9.0);
         }
     }
 

@@ -1,0 +1,336 @@
+//! Mergeable quantile sketches with bounded *relative* rank error.
+//!
+//! The fixed-bucket [`Histogram`](crate::Histogram) keeps its resolution
+//! only inside the bounds chosen at registration time; a daemon that runs
+//! for hours accumulates latencies spanning many orders of magnitude and
+//! the p99 of a long session drowns in the overflow bucket. The
+//! [`QuantileSketch`] fixes that with the classic log-bucketed design
+//! (DDSketch-style): values land in geometrically spaced buckets keyed by
+//! `ceil(ln v / ln γ)` with `γ = (1 + α) / (1 − α)`, which guarantees every
+//! quantile estimate is within a *relative* error `α` of the true value —
+//! regardless of the value range — while merging two sketches is a plain
+//! keyed addition of bucket counts, so shard-local sketches fold into a
+//! session-wide one without losing resolution.
+//!
+//! Determinism contract: bucket state is a `BTreeMap`, so two sketches that
+//! observed the same multiset of values are `==` regardless of observation
+//! order, and `merge_from` is order-insensitive. The floating-point `sum`
+//! is the one order-sensitive field; [`QuantileSketch::distribution_eq`]
+//! compares everything except it.
+
+use std::collections::BTreeMap;
+
+/// Default relative accuracy used when a sketch is created implicitly by
+/// [`MetricsRegistry::observe_sketch`](crate::MetricsRegistry::observe_sketch).
+pub const DEFAULT_SKETCH_ACCURACY: f64 = 0.01;
+
+/// Tightest relative accuracy accepted by [`QuantileSketch::new`]. The
+/// bucket index is stored as an `i64` computed from `ln v / ln γ`; bounding
+/// α away from zero keeps indices comfortably inside integer range for
+/// every finite positive `f64`.
+pub const MIN_SKETCH_ACCURACY: f64 = 1e-4;
+
+/// Loosest relative accuracy accepted by [`QuantileSketch::new`].
+pub const MAX_SKETCH_ACCURACY: f64 = 0.5;
+
+/// A mergeable log-bucketed quantile sketch with bounded relative error.
+///
+/// Designed for non-negative measurements (latencies, sizes, waits):
+/// positive values are bucketed geometrically, while zeros and negative
+/// values are folded into a dedicated zero bucket whose estimate is `0.0`.
+/// `NaN` observations are ignored. Exact `count`, `sum`, `min` and `max`
+/// are tracked alongside the buckets so the extremes are always reported
+/// exactly and estimates are clamped into `[min, max]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantileSketch {
+    relative_accuracy: f64,
+    gamma: f64,
+    ln_gamma: f64,
+    buckets: BTreeMap<i64, u64>,
+    zeros: u64,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl QuantileSketch {
+    /// Create an empty sketch with the given relative accuracy `α`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `α` is not within
+    /// [`MIN_SKETCH_ACCURACY`]`..=`[`MAX_SKETCH_ACCURACY`].
+    pub fn new(relative_accuracy: f64) -> Self {
+        assert!(
+            relative_accuracy.is_finite()
+                && (MIN_SKETCH_ACCURACY..=MAX_SKETCH_ACCURACY).contains(&relative_accuracy),
+            "sketch accuracy must lie in [{MIN_SKETCH_ACCURACY}, {MAX_SKETCH_ACCURACY}]"
+        );
+        let gamma = (1.0 + relative_accuracy) / (1.0 - relative_accuracy);
+        Self {
+            relative_accuracy,
+            gamma,
+            ln_gamma: gamma.ln(),
+            buckets: BTreeMap::new(),
+            zeros: 0,
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The advertised relative accuracy `α`.
+    pub fn relative_accuracy(&self) -> f64 {
+        self.relative_accuracy
+    }
+
+    /// Number of observations recorded (excluding ignored `NaN`s).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all observations. Note this is the one field whose
+    /// value depends on observation order (floating-point addition is not
+    /// associative); see [`Self::distribution_eq`].
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Exact minimum observed value, or `0.0` when empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum observed value, or `0.0` when empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Number of non-empty geometric buckets (diagnostic; memory is
+    /// proportional to this, which grows with the log of the value range).
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len() + usize::from(self.zeros > 0)
+    }
+
+    /// Record one observation. `NaN` is ignored; zero and negative values
+    /// are folded into the zero bucket.
+    pub fn observe(&mut self, value: f64) {
+        if value.is_nan() {
+            return;
+        }
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        if value > 0.0 {
+            *self.buckets.entry(self.key(value)).or_insert(0) += 1;
+        } else {
+            self.zeros += 1;
+        }
+    }
+
+    fn key(&self, value: f64) -> i64 {
+        (value.ln() / self.ln_gamma).ceil() as i64
+    }
+
+    /// Estimate the `q`-quantile (`q` clamped into `[0, 1]`). Returns `0.0`
+    /// on an empty sketch. The estimate has relative error at most `α` for
+    /// positive values and is exact at the extremes (clamped to
+    /// `[min, max]`).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        // The extremes are tracked exactly; report them exactly.
+        if rank == 1 {
+            return self.min;
+        }
+        if rank >= self.count {
+            return self.max;
+        }
+        let mut seen = self.zeros;
+        let mut estimate = 0.0;
+        if rank > seen {
+            for (&key, &n) in &self.buckets {
+                seen += n;
+                if seen >= rank {
+                    // Bucket midpoint in the multiplicative sense:
+                    // 2γᵏ / (γ + 1) is within α of every value the bucket
+                    // can hold, since (γᵏ⁻¹, γᵏ] maps onto [1−α, 1+α)·mid.
+                    estimate = 2.0 / (self.gamma + 1.0) * (key as f64 * self.ln_gamma).exp();
+                    break;
+                }
+            }
+        }
+        estimate.clamp(self.min, self.max)
+    }
+
+    /// Merge another sketch into this one. Returns `false` (and leaves
+    /// `self` untouched) when the accuracies differ — mirroring
+    /// [`Histogram::merge_from`](crate::Histogram::merge_from)'s shape
+    /// check. Merging is commutative and associative on every field except
+    /// the floating-point `sum`.
+    #[must_use]
+    pub fn merge_from(&mut self, other: &QuantileSketch) -> bool {
+        if self.relative_accuracy.to_bits() != other.relative_accuracy.to_bits() {
+            return false;
+        }
+        for (&key, &n) in &other.buckets {
+            *self.buckets.entry(key).or_insert(0) += n;
+        }
+        self.zeros += other.zeros;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        true
+    }
+
+    /// Equality of everything that determines quantile estimates: accuracy,
+    /// buckets, zero count, total count, min and max — i.e. all state
+    /// *except* the order-sensitive floating-point `sum`. Two sketches with
+    /// `distribution_eq` return bit-identical answers from
+    /// [`Self::quantile`] for every `q`.
+    pub fn distribution_eq(&self, other: &QuantileSketch) -> bool {
+        self.relative_accuracy.to_bits() == other.relative_accuracy.to_bits()
+            && self.zeros == other.zeros
+            && self.count == other.count
+            && self.min.to_bits() == other.min.to_bits()
+            && self.max.to_bits() == other.max.to_bits()
+            && self.buckets == other.buckets
+    }
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        Self::new(DEFAULT_SKETCH_ACCURACY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sketch_reports_zeros() {
+        let s = QuantileSketch::default();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.quantile(0.5), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        let alpha = 0.01;
+        let mut s = QuantileSketch::new(alpha);
+        let mut values: Vec<f64> = (1..=2000).map(|i| (i as f64) * 0.37).collect();
+        for &v in &values {
+            s.observe(v);
+        }
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for q in [0.0, 0.01, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let rank = ((q * values.len() as f64).ceil() as usize).max(1);
+            let truth = values[rank - 1];
+            let est = s.quantile(q);
+            assert!(
+                (est - truth).abs() <= truth * (alpha * 1.0001),
+                "q={q}: estimate {est} vs truth {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn extremes_are_exact() {
+        let mut s = QuantileSketch::new(0.05);
+        for v in [3.5, 120.0, 0.002, 77.7] {
+            s.observe(v);
+        }
+        assert_eq!(s.quantile(0.0), 0.002);
+        assert_eq!(s.quantile(1.0), 77.7f64.max(120.0));
+        assert_eq!(s.min(), 0.002);
+        assert_eq!(s.max(), 120.0);
+    }
+
+    #[test]
+    fn zero_and_negative_fold_into_zero_bucket() {
+        let mut s = QuantileSketch::default();
+        s.observe(0.0);
+        s.observe(-4.0);
+        s.observe(10.0);
+        assert_eq!(s.count(), 3);
+        // Rank 2 lands in the zero bucket: estimate 0, inside [min, max].
+        assert_eq!(s.quantile(0.34), 0.0);
+        assert!(s.quantile(1.0) <= 10.0 * 1.011);
+    }
+
+    #[test]
+    fn nan_is_ignored() {
+        let mut s = QuantileSketch::default();
+        s.observe(f64::NAN);
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn merge_matches_single_stream_distribution() {
+        let all: Vec<f64> = (1..=500).map(|i| (i as f64).sqrt()).collect();
+        let mut single = QuantileSketch::default();
+        for &v in &all {
+            single.observe(v);
+        }
+        let (left, right) = all.split_at(123);
+        let mut a = QuantileSketch::default();
+        let mut b = QuantileSketch::default();
+        for &v in left {
+            a.observe(v);
+        }
+        for &v in right {
+            b.observe(v);
+        }
+        assert!(a.merge_from(&b));
+        assert!(a.distribution_eq(&single));
+        assert!((a.sum() - single.sum()).abs() <= 1e-9 * single.sum());
+        for q in [0.1, 0.5, 0.99] {
+            assert_eq!(a.quantile(q).to_bits(), single.quantile(q).to_bits());
+        }
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_accuracy() {
+        let mut a = QuantileSketch::new(0.01);
+        let b = QuantileSketch::new(0.02);
+        assert!(!a.merge_from(&b));
+    }
+
+    #[test]
+    fn observation_order_is_irrelevant_to_equality() {
+        let mut fwd = QuantileSketch::default();
+        let mut rev = QuantileSketch::default();
+        let vals: Vec<f64> = (1..=64).map(|i| i as f64 * 1.5).collect();
+        for &v in &vals {
+            fwd.observe(v);
+        }
+        for &v in vals.iter().rev() {
+            rev.observe(v);
+        }
+        assert!(fwd.distribution_eq(&rev));
+    }
+
+    #[test]
+    #[should_panic(expected = "sketch accuracy")]
+    fn rejects_out_of_range_accuracy() {
+        let _ = QuantileSketch::new(0.9);
+    }
+}

@@ -24,6 +24,7 @@ use crate::event::{EventRecord, Value};
 use crate::jsonl;
 use crate::metrics::{Histogram, MetricsRegistry};
 use crate::recorder::Recorder;
+use crate::sketch::QuantileSketch;
 
 /// A [`Recorder`] that streams events to an [`io::Write`] as JSONL,
 /// flushing every `flush_every` events, while metrics accumulate in an
@@ -145,6 +146,18 @@ impl<W: Write> Recorder for JsonlSink<W> {
 
     fn merge_histogram(&mut self, name: &'static str, other: &Histogram) {
         self.registry.merge_histogram(name, other);
+    }
+
+    fn observe_sketch(&mut self, name: &'static str, value: f64) {
+        self.registry.observe_sketch(name, value);
+    }
+
+    fn register_sketch(&mut self, name: &'static str, relative_accuracy: f64) {
+        self.registry.register_sketch(name, relative_accuracy);
+    }
+
+    fn merge_sketch(&mut self, name: &'static str, other: &QuantileSketch) {
+        self.registry.merge_sketch(name, other);
     }
 
     fn emit(&mut self, name: &'static str, fields: &[(&'static str, Value)]) {

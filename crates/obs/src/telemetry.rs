@@ -5,6 +5,7 @@ use crate::event::{EventRecord, Value};
 use crate::jsonl;
 use crate::metrics::{Histogram, MetricsRegistry};
 use crate::recorder::Recorder;
+use crate::sketch::QuantileSketch;
 
 /// Where event timestamps come from.
 #[derive(Debug, Clone)]
@@ -143,6 +144,18 @@ impl Recorder for Telemetry {
 
     fn merge_histogram(&mut self, name: &'static str, other: &Histogram) {
         self.registry.merge_histogram(name, other);
+    }
+
+    fn observe_sketch(&mut self, name: &'static str, value: f64) {
+        self.registry.observe_sketch(name, value);
+    }
+
+    fn register_sketch(&mut self, name: &'static str, relative_accuracy: f64) {
+        self.registry.register_sketch(name, relative_accuracy);
+    }
+
+    fn merge_sketch(&mut self, name: &'static str, other: &QuantileSketch) {
+        self.registry.merge_sketch(name, other);
     }
 
     fn emit(&mut self, name: &'static str, fields: &[(&'static str, Value)]) {

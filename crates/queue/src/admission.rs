@@ -1,0 +1,244 @@
+//! M/M/c admission control from *measured* rates.
+//!
+//! The paper's §4 queueing analysis models a storage node as a queue fed
+//! by a known arrival stream. The `fap served` daemon turns that analysis
+//! on itself: it measures its own request inter-arrival times and service
+//! durations online, fits an M/M/c model (`c` = the daemon's worker
+//! slots), and predicts the mean queueing wait `W_q = C(c, λ/μ)/(cμ − λ)`
+//! an incoming request would see. When the prediction exceeds a
+//! configured bound the daemon sheds the request with a 429-style
+//! response instead of letting the backlog grow — the microeconomic
+//! answer to overload: don't buy service whose price (wait) exceeds its
+//! worth.
+//!
+//! Everything here is plain arithmetic on running sums, so predictions
+//! are deterministic functions of the observation sequence — on the
+//! daemon's virtual clock the whole admission path is replayable
+//! bit-for-bit, which is how the validation suite compares predicted
+//! against measured waits.
+
+use crate::error::QueueError;
+use crate::mmc::MmcDelay;
+
+/// Default number of arrival *and* service samples required before
+/// [`AdmissionController::predicted_wait`] starts predicting.
+pub const DEFAULT_ADMISSION_WARMUP: u64 = 4;
+
+/// An online M/M/c admission model: feed it arrival ticks and service
+/// durations, ask it for the predicted mean queueing wait.
+///
+/// # Example
+///
+/// ```
+/// use fap_queue::AdmissionController;
+///
+/// let mut adm = AdmissionController::new(2)?.with_warmup(2);
+/// // Arrivals every 4 ticks, services of 6 ticks: λ = 0.25, μ = 1/6,
+/// // offered load λ/μ = 1.5 over c = 2 servers — stable but queueing.
+/// for k in 0..4u64 {
+///     adm.record_arrival(4 * k);
+///     adm.record_service(6.0);
+/// }
+/// let wq = adm.predicted_wait().expect("warmed up");
+/// assert!(wq.is_finite() && wq > 0.0);
+/// # Ok::<(), fap_queue::QueueError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdmissionController {
+    servers: u32,
+    warmup: u64,
+    last_arrival: Option<u64>,
+    interarrival_sum: f64,
+    interarrival_count: u64,
+    service_sum: f64,
+    service_count: u64,
+}
+
+impl AdmissionController {
+    /// A controller modelling `servers ≥ 1` parallel service slots, with
+    /// the default warmup.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueError::InvalidParameter`] for zero servers.
+    pub fn new(servers: u32) -> Result<Self, QueueError> {
+        if servers == 0 {
+            return Err(QueueError::InvalidParameter("at least one server required".into()));
+        }
+        Ok(AdmissionController {
+            servers,
+            warmup: DEFAULT_ADMISSION_WARMUP,
+            last_arrival: None,
+            interarrival_sum: 0.0,
+            interarrival_count: 0,
+            service_sum: 0.0,
+            service_count: 0,
+        })
+    }
+
+    /// Requires `samples` inter-arrival gaps *and* `samples` service
+    /// durations before predicting (0 ⇒ predict from the first gap).
+    #[must_use]
+    pub fn with_warmup(mut self, samples: u64) -> Self {
+        self.warmup = samples;
+        self
+    }
+
+    /// Number of modelled service slots `c`.
+    pub fn servers(&self) -> u32 {
+        self.servers
+    }
+
+    /// Records a request arriving at `tick` (monotone; an out-of-order
+    /// tick is treated as simultaneous with the latest one). Shed requests
+    /// count too — λ̂ estimates *offered* load, not admitted load.
+    pub fn record_arrival(&mut self, tick: u64) {
+        if let Some(last) = self.last_arrival {
+            let gap = tick.saturating_sub(last) as f64;
+            self.interarrival_sum += gap;
+            self.interarrival_count += 1;
+            self.last_arrival = Some(tick.max(last));
+        } else {
+            self.last_arrival = Some(tick);
+        }
+    }
+
+    /// Records a completed service of `duration` ticks. Non-finite or
+    /// negative durations are ignored; zero-tick services count as one
+    /// tick (the daemon's minimum service grain).
+    pub fn record_service(&mut self, duration: f64) {
+        if !duration.is_finite() || duration < 0.0 {
+            return;
+        }
+        self.service_sum += duration.max(1.0);
+        self.service_count += 1;
+    }
+
+    /// The measured arrival rate λ̂ (arrivals per tick), or `None` before
+    /// two arrivals. All arrivals at the same tick ⇒ `+∞`.
+    pub fn arrival_rate(&self) -> Option<f64> {
+        if self.interarrival_count == 0 {
+            return None;
+        }
+        if self.interarrival_sum <= 0.0 {
+            return Some(f64::INFINITY);
+        }
+        Some(self.interarrival_count as f64 / self.interarrival_sum)
+    }
+
+    /// The measured per-slot service rate μ̂ (services per tick), or
+    /// `None` before the first completed service.
+    pub fn service_rate(&self) -> Option<f64> {
+        if self.service_count == 0 || self.service_sum <= 0.0 {
+            return None;
+        }
+        Some(self.service_count as f64 / self.service_sum)
+    }
+
+    /// Whether both estimators have at least the warmup sample count.
+    pub fn warmed_up(&self) -> bool {
+        let needed = self.warmup.max(1);
+        self.interarrival_count >= needed && self.service_count >= needed
+    }
+
+    /// The fitted model, once μ̂ is available.
+    pub fn model(&self) -> Option<MmcDelay> {
+        let mu = self.service_rate()?;
+        MmcDelay::new(self.servers, mu).ok()
+    }
+
+    /// The M/M/c predicted mean queueing wait (in ticks) for the measured
+    /// rates: `W_q = C(c, λ̂/μ̂)/(cμ̂ − λ̂)`. Returns `None` until warmed
+    /// up, and `+∞` when the measured load is at or beyond capacity
+    /// (λ̂ ≥ cμ̂) — an unconditional shed signal for any finite bound.
+    pub fn predicted_wait(&self) -> Option<f64> {
+        if !self.warmed_up() {
+            return None;
+        }
+        let lambda = self.arrival_rate()?;
+        let model = self.model()?;
+        match model.mean_wait(lambda) {
+            Ok(wq) => Some(wq),
+            // At or over capacity: the steady-state wait diverges.
+            Err(_) => Some(f64::INFINITY),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_zero_servers() {
+        assert!(AdmissionController::new(0).is_err());
+    }
+
+    #[test]
+    fn no_prediction_before_warmup() {
+        let mut adm = AdmissionController::new(2).unwrap().with_warmup(3);
+        adm.record_arrival(0);
+        adm.record_arrival(5);
+        adm.record_service(2.0);
+        assert!(adm.predicted_wait().is_none());
+        assert!(!adm.warmed_up());
+    }
+
+    #[test]
+    fn deterministic_rates_match_the_closed_form() {
+        // Arrivals every 4 ticks, services of 6: λ = 1/4, μ = 1/6, c = 2.
+        let mut adm = AdmissionController::new(2).unwrap().with_warmup(3);
+        for k in 0..5u64 {
+            adm.record_arrival(4 * k);
+            adm.record_service(6.0);
+        }
+        assert_eq!(adm.arrival_rate(), Some(0.25));
+        assert!((adm.service_rate().unwrap() - 1.0 / 6.0).abs() < 1e-15);
+        let expected = MmcDelay::new(2, 1.0 / 6.0).unwrap().mean_wait(0.25).unwrap();
+        assert_eq!(adm.predicted_wait(), Some(expected));
+    }
+
+    #[test]
+    fn overload_predicts_infinite_wait() {
+        // Arrivals every tick, services of 10 ticks on 2 slots: λ = 1,
+        // cμ = 0.2 — far past capacity.
+        let mut adm = AdmissionController::new(2).unwrap().with_warmup(2);
+        for k in 0..4u64 {
+            adm.record_arrival(k);
+            adm.record_service(10.0);
+        }
+        assert_eq!(adm.predicted_wait(), Some(f64::INFINITY));
+    }
+
+    #[test]
+    fn simultaneous_arrivals_mean_infinite_rate() {
+        let mut adm = AdmissionController::new(1).unwrap().with_warmup(1);
+        adm.record_arrival(3);
+        adm.record_arrival(3);
+        adm.record_service(1.0);
+        assert_eq!(adm.arrival_rate(), Some(f64::INFINITY));
+        assert_eq!(adm.predicted_wait(), Some(f64::INFINITY));
+    }
+
+    #[test]
+    fn bad_service_samples_are_ignored_and_zero_clamped() {
+        let mut adm = AdmissionController::new(1).unwrap();
+        adm.record_service(f64::NAN);
+        adm.record_service(-2.0);
+        assert!(adm.service_rate().is_none());
+        adm.record_service(0.0); // clamps to the 1-tick grain
+        assert_eq!(adm.service_rate(), Some(1.0));
+    }
+
+    #[test]
+    fn idle_system_predicts_near_zero_wait() {
+        // Arrivals every 100 ticks, services of 1 tick: essentially idle.
+        let mut adm = AdmissionController::new(1).unwrap().with_warmup(2);
+        for k in 0..4u64 {
+            adm.record_arrival(100 * k);
+            adm.record_service(1.0);
+        }
+        let wq = adm.predicted_wait().unwrap();
+        assert!(wq < 0.02, "idle wait {wq}");
+    }
+}

@@ -18,7 +18,10 @@
 //!   and to evaluate file allocations *empirically* rather than through the
 //!   formula;
 //! * [`stats`] — numerically stable online statistics (Welford) with
-//!   confidence intervals.
+//!   confidence intervals;
+//! * [`admission`] — an online M/M/c admission controller fitting measured
+//!   arrival/service rates, used by the `fap served` daemon to predict
+//!   queueing waits and shed load.
 //!
 //! # Example
 //!
@@ -37,12 +40,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod admission;
 pub mod analytic;
 pub mod des;
 pub mod error;
 pub mod mmc;
 pub mod stats;
 
+pub use admission::{AdmissionController, DEFAULT_ADMISSION_WARMUP};
 pub use analytic::{DelayModel, Mg1Delay, Mm1Delay};
 pub use mmc::MmcDelay;
 pub use des::distribution::ServiceDistribution;

@@ -93,6 +93,24 @@ impl MmcDelay {
         Ok(self.erlang_c(a))
     }
 
+    /// The mean *queueing* wait `W_q(a) = C(c, a/μ) / (cμ − a)` — time
+    /// spent waiting for a server, excluding service itself. This is the
+    /// quantity the `fap served` admission controller bounds: arrivals
+    /// whose predicted wait exceeds the load-shedding threshold are
+    /// rejected with a 429-style response.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueError::Unstable`] at or above capacity and
+    /// [`QueueError::InvalidParameter`] for a negative or non-finite rate.
+    pub fn mean_wait(&self, a: f64) -> Result<f64, QueueError> {
+        self.check_rate(a)?;
+        if a <= 0.0 {
+            return Ok(0.0);
+        }
+        Ok(self.erlang_c(a) / (self.capacity() - a))
+    }
+
     /// `C(c, a/μ)` without bounds checks; 0 for `a ≤ 0`.
     fn erlang_c(&self, a: f64) -> f64 {
         if a <= 0.0 {
@@ -194,6 +212,14 @@ mod tests {
         assert!((m.wait_probability(1.0).unwrap() - 1.0 / 3.0).abs() < 1e-12);
         // And T = 1 + (1/3)/(2−1) = 4/3.
         assert!((m.mean_response_time(1.0).unwrap() - 4.0 / 3.0).abs() < 1e-12);
+        // W_q = C/(cμ − a) = 1/3, and T = 1/μ + W_q exactly.
+        assert!((m.mean_wait(1.0).unwrap() - 1.0 / 3.0).abs() < 1e-12);
+        assert!(
+            (m.mean_response_time(1.0).unwrap() - (1.0 + m.mean_wait(1.0).unwrap())).abs()
+                < 1e-12
+        );
+        assert_eq!(m.mean_wait(0.0).unwrap(), 0.0);
+        assert!(matches!(m.mean_wait(2.0), Err(QueueError::Unstable { .. })));
     }
 
     #[test]

@@ -28,7 +28,11 @@
 //! * [`sim`] — a seeded discrete-event simulator running the protocol over
 //!   an unreliable channel (drops, delays, duplication, crash/rejoin) with
 //!   stale-marginal reuse and bounded retransmission, bit-identical to
-//!   [`round`] under a zero-fault [`ChaosPlan`].
+//!   [`round`] under a zero-fault [`ChaosPlan`]. [`SimRun::run`] executes
+//!   on the event-driven engine; the lock-step reference survives as
+//!   [`SimRun::run_round_synchronous`];
+//! * [`Reactor`] — the deterministic virtual-clock event loop those
+//!   engines run on, shared with the `fap served` daemon.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,6 +42,7 @@ pub mod error;
 pub mod failure;
 pub mod local;
 pub mod message;
+pub mod reactor;
 pub mod round;
 pub mod scheme;
 pub mod sim;
@@ -48,6 +53,7 @@ pub use error::RuntimeError;
 pub use failure::{FailurePlan, FailureReport};
 pub use local::LocalObjective;
 pub use message::{Message, MessageStats};
+pub use reactor::Reactor;
 pub use round::{DistributedRun, RunReport};
 pub use scheme::{ExchangeScheme, MessageCounting};
 pub use sim::{ChaosPlan, FaultCounters, LinkDelay, SimReport, SimRun};

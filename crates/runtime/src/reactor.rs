@@ -1,0 +1,162 @@
+//! The event-driven engine: a virtual-clock reactor over the
+//! deterministic [`EventQueue`].
+//!
+//! A [`Reactor`] owns a monotone virtual clock (`now`, in ticks) and a
+//! queue of `(tick, event)` pairs. Callers schedule events at absolute or
+//! relative ticks and drain them with [`Reactor::pop_next`], which
+//! advances the clock to each event's tick. Ordering is `(tick, push
+//! order)` — inherited from [`EventQueue`] — so a reactor-driven loop is
+//! a pure function of its schedule: no iteration-order or wall-clock
+//! nondeterminism can leak in.
+//!
+//! Two engines run on this reactor: the event-driven chaos executor
+//! ([`SimRun`](crate::SimRun), where agents react to message arrivals on
+//! the virtual round clock) and the `fap served` daemon loop (where
+//! service completions of an M/M/c-modelled admission queue fire on the
+//! virtual tick clock). One engine, two clients — which is what keeps the
+//! daemon testable with the same determinism contract as the simulator.
+
+use crate::sim::EventQueue;
+
+/// A deterministic virtual-clock event loop.
+///
+/// ```
+/// use fap_runtime::Reactor;
+///
+/// let mut r: Reactor<&str> = Reactor::new();
+/// r.schedule(2, "b");
+/// r.schedule(0, "a");
+/// r.schedule_in(2, "c"); // relative to now = 0
+/// assert_eq!(r.pop_next(), Some("a"));
+/// assert_eq!(r.now(), 0);
+/// assert_eq!(r.pop_next(), Some("b"));
+/// assert_eq!(r.now(), 2);
+/// assert_eq!(r.pop_next(), Some("c"));
+/// assert_eq!(r.pop_next(), None);
+/// ```
+#[derive(Debug)]
+pub struct Reactor<T> {
+    queue: EventQueue<T>,
+    now: usize,
+}
+
+impl<T> Default for Reactor<T> {
+    fn default() -> Self {
+        Reactor { queue: EventQueue::new(), now: 0 }
+    }
+}
+
+impl<T> Reactor<T> {
+    /// An idle reactor at tick 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current virtual time: the tick of the last popped event (0
+    /// before the first pop). Never moves backwards.
+    pub fn now(&self) -> usize {
+        self.now
+    }
+
+    /// Schedules `event` at absolute tick `at`. Scheduling into the past
+    /// is clamped to `now` (the event fires immediately, after everything
+    /// already queued for `now`) — the clock stays monotone by
+    /// construction.
+    pub fn schedule(&mut self, at: usize, event: T) {
+        self.queue.push(at.max(self.now), event);
+    }
+
+    /// Schedules `event` `delay` ticks after `now`.
+    pub fn schedule_in(&mut self, delay: usize, event: T) {
+        self.queue.push(self.now + delay, event);
+    }
+
+    /// Removes and returns the earliest pending event, advancing `now` to
+    /// its tick. Events at the same tick come out in schedule (FIFO)
+    /// order.
+    pub fn pop_next(&mut self) -> Option<T> {
+        let (tick, event) = self.queue.pop_next()?;
+        self.now = self.now.max(tick);
+        Some(event)
+    }
+
+    /// The tick of the earliest pending event, if any.
+    pub fn next_tick(&self) -> Option<usize> {
+        self.queue.next_round()
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_tick_then_fifo_order_and_advances_the_clock() {
+        let mut r = Reactor::new();
+        r.schedule(5, "late");
+        r.schedule(1, "first");
+        r.schedule(1, "second");
+        assert_eq!(r.now(), 0);
+        assert_eq!(r.pop_next(), Some("first"));
+        assert_eq!(r.now(), 1);
+        assert_eq!(r.pop_next(), Some("second"));
+        assert_eq!(r.now(), 1);
+        assert_eq!(r.next_tick(), Some(5));
+        assert_eq!(r.pop_next(), Some("late"));
+        assert_eq!(r.now(), 5);
+        assert!(r.is_idle());
+    }
+
+    #[test]
+    fn scheduling_into_the_past_is_clamped_to_now() {
+        let mut r = Reactor::new();
+        r.schedule(10, "a");
+        assert_eq!(r.pop_next(), Some("a"));
+        r.schedule(3, "too-late");
+        r.schedule_in(0, "also-now");
+        assert_eq!(r.next_tick(), Some(10));
+        assert_eq!(r.pop_next(), Some("too-late"));
+        assert_eq!(r.now(), 10, "clamped events must not rewind the clock");
+        assert_eq!(r.pop_next(), Some("also-now"));
+    }
+
+    #[test]
+    fn interleaved_scheduling_keeps_deterministic_order() {
+        let mut r = Reactor::new();
+        r.schedule(0, 0u32);
+        let mut seen = Vec::new();
+        while let Some(i) = r.pop_next() {
+            seen.push((r.now(), i));
+            if i < 5 {
+                r.schedule_in(2, i + 1); // future work
+                r.schedule_in(0, 100 + i); // same-tick follow-up
+            }
+        }
+        assert_eq!(
+            seen,
+            vec![
+                (0, 0),
+                (0, 100),
+                (2, 1),
+                (2, 101),
+                (4, 2),
+                (4, 102),
+                (6, 3),
+                (6, 103),
+                (8, 4),
+                (8, 104),
+                (10, 5)
+            ]
+        );
+    }
+}

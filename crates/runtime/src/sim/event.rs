@@ -76,6 +76,18 @@ impl<T> EventQueue<T> {
         due
     }
 
+    /// Removes and returns the earliest event as `(round, payload)`, or
+    /// `None` when the queue is empty. Among events of the same round,
+    /// push order (FIFO) is preserved.
+    pub fn pop_next(&mut self) -> Option<(usize, T)> {
+        self.heap.pop().map(|e| (e.round, e.payload))
+    }
+
+    /// The round of the earliest pending event, if any.
+    pub fn next_round(&self) -> Option<usize> {
+        self.heap.peek().map(|e| e.round)
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.heap.len()
@@ -103,6 +115,20 @@ mod tests {
         assert_eq!(q.len(), 1);
         assert_eq!(q.pop_due(10), vec!["late"]);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_next_advances_one_event_at_a_time() {
+        let mut q = EventQueue::new();
+        q.push(2, "b");
+        q.push(1, "a");
+        q.push(2, "c");
+        assert_eq!(q.next_round(), Some(1));
+        assert_eq!(q.pop_next(), Some((1, "a")));
+        assert_eq!(q.pop_next(), Some((2, "b")));
+        assert_eq!(q.pop_next(), Some((2, "c")));
+        assert_eq!(q.pop_next(), None);
+        assert_eq!(q.next_round(), None);
     }
 
     #[test]

@@ -29,6 +29,15 @@
 //! Under a zero-fault plan the executor performs bit-for-bit the arithmetic
 //! of the round executor: same marginal evaluation order, same step, same
 //! trace, same message accounting.
+//!
+//! Two engines execute this protocol. [`SimRun::run`] drives the
+//! *event-driven* engine (`event_driven.rs`): agents react to
+//! `BeginRound`/`Arrival`/`Wake`/`Deadline` events on a virtual-clock
+//! [`Reactor`](crate::Reactor) — the same reactor that runs the `fap
+//! served` daemon loop. [`SimRun::run_round_synchronous`] keeps the
+//! original lock-step `loop` as the executable specification. Channel
+//! fates are stateless per-coordinate draws, so the two engines are
+//! bit-identical under every chaos plan, which the equivalence suite pins.
 
 use fap_econ::projection::{compute_step, BoundaryRule, StepOutcome};
 use fap_econ::trace::IterationRecord;
@@ -46,13 +55,13 @@ use crate::scheme::{ExchangeScheme, MessageCounting};
 
 /// Marker marginal for crashed agents, matching the failure executor: bad
 /// enough that no step computation will ever allocate toward them.
-const DEAD_MARGINAL: f64 = -1e30;
+pub(super) const DEAD_MARGINAL: f64 = -1e30;
 
 /// One entry of the stale-report table.
 #[derive(Debug, Clone, Copy)]
-struct StaleEntry {
-    round: usize,
-    marginal: f64,
+pub(super) struct StaleEntry {
+    pub(super) round: usize,
+    pub(super) marginal: f64,
 }
 
 /// A configurable fault-injected run of the protocol.
@@ -82,15 +91,15 @@ struct StaleEntry {
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRun<'a, O> {
-    objective: &'a O,
-    scheme: ExchangeScheme,
-    counting: MessageCounting,
-    alpha: f64,
-    epsilon: f64,
-    boundary: BoundaryRule,
-    max_rounds: usize,
-    total_resource: f64,
-    plan: ChaosPlan,
+    pub(super) objective: &'a O,
+    pub(super) scheme: ExchangeScheme,
+    pub(super) counting: MessageCounting,
+    pub(super) alpha: f64,
+    pub(super) epsilon: f64,
+    pub(super) boundary: BoundaryRule,
+    pub(super) max_rounds: usize,
+    pub(super) total_resource: f64,
+    pub(super) plan: ChaosPlan,
 }
 
 impl<'a, O: LocalObjective> SimRun<'a, O> {
@@ -158,6 +167,44 @@ impl<'a, O: LocalObjective> SimRun<'a, O> {
         self.run_observed(initial, &mut NoopRecorder)
     }
 
+    /// Runs the protocol on the *round-synchronous* reference engine: one
+    /// lock-step `loop` iteration per round, exactly as §5.2 writes it.
+    ///
+    /// [`SimRun::run`] executes the event-driven engine instead (agents
+    /// react to `BeginRound`/`Arrival`/`Wake`/`Deadline` events on a
+    /// virtual-clock [`Reactor`](crate::Reactor)); because channel fates
+    /// are stateless per-coordinate draws, both engines are bit-identical
+    /// under *every* chaos plan — a property the equivalence suite pins by
+    /// comparing this method's output with [`SimRun::run`]'s. The lock-step
+    /// engine is kept as the executable specification.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SimRun::run`].
+    pub fn run_round_synchronous(&self, initial: &[f64]) -> Result<SimReport, RuntimeError> {
+        self.run_round_synchronous_observed(initial, &mut NoopRecorder)
+    }
+
+    /// Like [`SimRun::run_round_synchronous`], recording into `recorder`
+    /// exactly as [`SimRun::run_observed`] does.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SimRun::run`].
+    pub fn run_round_synchronous_observed(
+        &self,
+        initial: &[f64],
+        recorder: &mut dyn Recorder,
+    ) -> Result<SimReport, RuntimeError> {
+        let mut local = MetricsRegistry::new();
+        let mut report = {
+            let mut tee = Tee::new(&mut local, recorder);
+            self.run_loop(initial, &mut tee)?
+        };
+        report.faults = FaultCounters::from_registry(&local);
+        Ok(report)
+    }
+
     /// Like [`SimRun::run`], additionally recording the run into
     /// `recorder`: the `sim.*` fault counters, the
     /// `sim.report_latency_rounds` histogram on virtual (round) time, one
@@ -182,7 +229,7 @@ impl<'a, O: LocalObjective> SimRun<'a, O> {
         let mut local = MetricsRegistry::new();
         let mut report = {
             let mut tee = Tee::new(&mut local, recorder);
-            self.run_loop(initial, &mut tee)?
+            self.run_event_driven(initial, &mut tee)?
         };
         report.faults = FaultCounters::from_registry(&local);
         Ok(report)
@@ -434,7 +481,7 @@ impl<'a, O: LocalObjective> SimRun<'a, O> {
 
     /// Who needs agent `i`'s report: everyone live (broadcast) or the
     /// coordinator (central).
-    fn report_targets(&self, i: usize, alive: &[bool]) -> Vec<usize> {
+    pub(super) fn report_targets(&self, i: usize, alive: &[bool]) -> Vec<usize> {
         match self.scheme {
             ExchangeScheme::Broadcast => {
                 (0..alive.len()).filter(|&j| j != i && alive[j]).collect()
@@ -453,7 +500,7 @@ impl<'a, O: LocalObjective> SimRun<'a, O> {
     /// non-coordinator gets its Δx over the same lossy channel, retried
     /// until delivered (the control plane is made reliable by ARQ; only the
     /// transmission bill varies with the fault plan).
-    fn account_assignments(
+    pub(super) fn account_assignments(
         &self,
         round: usize,
         coordinator: usize,
@@ -509,7 +556,7 @@ impl<'a, O: LocalObjective> SimRun<'a, O> {
         }
     }
 
-    fn validate(&self, initial: &[f64], n: usize) -> Result<(), RuntimeError> {
+    pub(super) fn validate(&self, initial: &[f64], n: usize) -> Result<(), RuntimeError> {
         if !self.alpha.is_finite() || self.alpha <= 0.0 {
             return Err(RuntimeError::InvalidParameter(format!("alpha {}", self.alpha)));
         }

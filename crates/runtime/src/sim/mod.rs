@@ -26,6 +26,7 @@
 mod channel;
 mod chaos;
 mod event;
+mod event_driven;
 mod executor;
 mod report;
 

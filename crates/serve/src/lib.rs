@@ -27,6 +27,12 @@
 //!   warm responses are bit-identical to a warm sequential run. Savings
 //!   are visible as `serve.warm_starts` and `econ.warm_start_iters_saved`
 //!   (iterations below the chain's cold baseline).
+//! * **Session seeds.** [`BatchServer::serve_session_observed`] extends
+//!   warm-start chains *across batches*: a [`SessionSeeds`] store keeps
+//!   each chain's last converged allocation and arms the matching chain
+//!   head in the next batch — the warm state the `fap served` daemon keeps
+//!   alive between requests. An empty store is bit-identical to the plain
+//!   warm path.
 //! * **Allocation-free steady state.** Each worker owns one
 //!   [`OptimizerScratch`] and one [`MultiFileScratch`] reused across every
 //!   task it executes, the same scratch discipline the batch engine
@@ -174,6 +180,62 @@ pub struct ServeOutput {
     pub aggregate: MetricsRegistry,
 }
 
+/// A converged allocation retained across batches to seed the next solve
+/// of the same warm-start chain — the unit of the `fap served` daemon's
+/// cross-batch warm state.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionSeed {
+    /// A §4 single-file allocation (`Σ x_i = 1`).
+    SingleFile(Vec<f64>),
+    /// Per-file §5.2 multi-file allocations.
+    MultiFile(Vec<Vec<f64>>),
+}
+
+/// Warm-start seeds that outlive a single batch, keyed by the same
+/// structural chain key [`BatchServer::serve_session_observed`] groups
+/// requests by. An empty seed store makes a session batch behave exactly
+/// like a plain warm batch; afterwards the store holds each chain's last
+/// converged allocation, so the *next* batch's chain heads start seeded
+/// (visible as `serve.warm_starts` counted for chain heads, which a
+/// single-batch run never does).
+///
+/// Seeds only ever alter a starting iterate — never a problem — so stale
+/// or mismatched seeds cost iterations, not correctness.
+#[derive(Debug, Clone, Default)]
+pub struct SessionSeeds {
+    seeds: HashMap<u64, SessionSeed, FnvBuildHasher>,
+}
+
+impl SessionSeeds {
+    /// An empty seed store.
+    pub fn new() -> Self {
+        SessionSeeds::default()
+    }
+
+    /// Number of chains currently holding a seed.
+    pub fn len(&self) -> usize {
+        self.seeds.len()
+    }
+
+    /// Whether no chain has converged yet.
+    pub fn is_empty(&self) -> bool {
+        self.seeds.is_empty()
+    }
+
+    /// Forgets every seed (the daemon's `warm=batch` mode between batches).
+    pub fn clear(&mut self) {
+        self.seeds.clear();
+    }
+
+    fn get(&self, key: u64) -> Option<&SessionSeed> {
+        self.seeds.get(&key)
+    }
+
+    fn insert(&mut self, key: u64, seed: SessionSeed) {
+        self.seeds.insert(key, seed);
+    }
+}
+
 impl ServeOutput {
     /// Number of requests that solved successfully.
     pub fn ok_count(&self) -> usize {
@@ -276,8 +338,55 @@ impl BatchServer {
         requests: &[ServeRequest],
         recorder: &mut dyn Recorder,
     ) -> ServeOutput {
+        self.serve_inner(requests, None, recorder)
+    }
+
+    /// Like [`BatchServer::serve_observed`], but with warm state that
+    /// *persists across batches*: chain heads are seeded from `seeds` (the
+    /// previous batches' converged allocations) and each chain's last
+    /// converged answer is written back after the join. Requires warm-start
+    /// chaining to be enabled; with it disabled the seeds are ignored and
+    /// this is exactly `serve_observed`.
+    ///
+    /// Responses are bit-identical across shard counts for a fixed seed
+    /// store, and a run with an empty store is bit-identical to
+    /// [`BatchServer::serve_observed`] — the daemon's `warm=batch` mode
+    /// relies on that.
+    pub fn serve_session_observed(
+        &self,
+        requests: &[ServeRequest],
+        seeds: &mut SessionSeeds,
+        recorder: &mut dyn Recorder,
+    ) -> ServeOutput {
+        self.serve_inner(requests, Some(seeds), recorder)
+    }
+
+    /// [`BatchServer::serve_session_observed`] with a [`NoopRecorder`].
+    pub fn serve_session(
+        &self,
+        requests: &[ServeRequest],
+        seeds: &mut SessionSeeds,
+    ) -> ServeOutput {
+        self.serve_session_observed(requests, seeds, &mut NoopRecorder)
+    }
+
+    fn serve_inner(
+        &self,
+        requests: &[ServeRequest],
+        seeds: Option<&mut SessionSeeds>,
+        recorder: &mut dyn Recorder,
+    ) -> ServeOutput {
         let shards = self.shards_for(requests.len());
-        let (order, tasks) = self.plan_tasks(requests);
+        let (order, tasks, keys) = self.plan_tasks(requests);
+        // Chain-head seeds are snapshotted per task before any worker
+        // spawns; workers read the snapshot immutably, so scheduling can
+        // never race the seed store.
+        let task_seeds: Vec<Option<SessionSeed>> = match &seeds {
+            Some(store) if self.warm_start => {
+                keys.iter().map(|k| k.and_then(|k| store.get(k).cloned())).collect()
+            }
+            _ => vec![None; tasks.len()],
+        };
         let mut responses: Vec<Option<Result<ServeResponse, ServeError>>> =
             vec![None; requests.len()];
         let mut shard_metrics: Vec<MetricsRegistry> = Vec::new();
@@ -286,11 +395,12 @@ impl BatchServer {
             let mut registry = MetricsRegistry::new();
             let mut worker = ShardWorker::new();
             let mut out = Vec::with_capacity(requests.len());
-            for &(start, end) in &tasks {
+            for (task, &(start, end)) in tasks.iter().enumerate() {
                 worker.run_task(
                     requests,
                     &order[start..end],
                     self.warm_start,
+                    task_seeds[task].as_ref(),
                     &mut registry,
                     &mut out,
                 );
@@ -314,8 +424,8 @@ impl BatchServer {
                 })
                 .collect();
             let warm = self.warm_start;
-            let (requests_ref, order_ref, tasks_ref, queues_ref) =
-                (requests, &order, &tasks, &queues);
+            let (requests_ref, order_ref, tasks_ref, queues_ref, seeds_ref) =
+                (requests, &order, &tasks, &queues, &task_seeds);
             let worker_outputs: Vec<(MetricsRegistry, TaskOutput)> =
                 std::thread::scope(|scope| {
                     let handles: Vec<_> = (0..shards)
@@ -332,6 +442,7 @@ impl BatchServer {
                                         requests_ref,
                                         &order_ref[start..end],
                                         warm,
+                                        seeds_ref[task].as_ref(),
                                         &mut registry,
                                         &mut out,
                                     );
@@ -363,49 +474,86 @@ impl BatchServer {
         aggregate.gauge("serve.shards", shard_metrics.len() as f64);
         recorder.gauge("serve.shards", shard_metrics.len() as f64);
 
-        let responses = responses
+        let responses: Vec<Result<ServeResponse, ServeError>> = responses
             .into_iter()
             .map(|slot| slot.expect("every request is assigned to exactly one task"))
             .collect();
+
+        // Seed write-back happens after the join, from the submission-order
+        // responses: each keyed chain stores its *last* converged answer.
+        // Chain keys are disjoint across tasks, so the write order is
+        // immaterial and the stored seeds are shard-count-independent.
+        if let Some(store) = seeds {
+            if self.warm_start {
+                for (task, &(start, end)) in tasks.iter().enumerate() {
+                    let Some(key) = keys[task] else { continue };
+                    for &index in order[start..end].iter().rev() {
+                        let Ok(response) = &responses[index] else { continue };
+                        if !response.converged() {
+                            continue;
+                        }
+                        let seed = match response {
+                            ServeResponse::SingleFile(s) => {
+                                SessionSeed::SingleFile(s.allocation.clone())
+                            }
+                            ServeResponse::MultiFile(s) => {
+                                SessionSeed::MultiFile(s.allocations.clone())
+                            }
+                            ServeResponse::Ring(_) => continue,
+                        };
+                        store.insert(key, seed);
+                        break;
+                    }
+                }
+            }
+        }
         ServeOutput { responses, shard_metrics, aggregate }
     }
 
-    /// Plans the batch into scheduling tasks. Returns `(order, tasks)`:
-    /// `order` is a permutation of the request indices and each task is a
-    /// `(start, end)` range into it. Cold mode emits one singleton task per
-    /// request in submission order (so execution matches the historical
-    /// chunked scheduler exactly); warm mode groups same-key requests into
-    /// chains in first-appearance order, keyless (ring) requests staying
-    /// singletons.
-    fn plan_tasks(&self, requests: &[ServeRequest]) -> (Vec<usize>, Vec<(usize, usize)>) {
+    /// Plans the batch into scheduling tasks. Returns `(order, tasks,
+    /// keys)`: `order` is a permutation of the request indices, each task
+    /// is a `(start, end)` range into it, and `keys[t]` is task `t`'s
+    /// warm-start chain key (`None` for keyless singletons). Cold mode
+    /// emits one singleton task per request in submission order (so
+    /// execution matches the historical chunked scheduler exactly); warm
+    /// mode groups same-key requests into chains in first-appearance order,
+    /// keyless (ring) requests staying singletons.
+    #[allow(clippy::type_complexity)]
+    fn plan_tasks(
+        &self,
+        requests: &[ServeRequest],
+    ) -> (Vec<usize>, Vec<(usize, usize)>, Vec<Option<u64>>) {
         if !self.warm_start {
             let order: Vec<usize> = (0..requests.len()).collect();
             let tasks = (0..requests.len()).map(|i| (i, i + 1)).collect();
-            return (order, tasks);
+            let keys = vec![None; requests.len()];
+            return (order, tasks, keys);
         }
-        let mut chains: Vec<Vec<usize>> = Vec::new();
+        let mut chains: Vec<(Option<u64>, Vec<usize>)> = Vec::new();
         let mut chain_of_key: HashMap<u64, usize, FnvBuildHasher> =
             HashMap::with_hasher(FnvBuildHasher);
         for (i, request) in requests.iter().enumerate() {
             match warm_key(request) {
                 Some(key) => match chain_of_key.get(&key) {
-                    Some(&c) => chains[c].push(i),
+                    Some(&c) => chains[c].1.push(i),
                     None => {
                         chain_of_key.insert(key, chains.len());
-                        chains.push(vec![i]);
+                        chains.push((Some(key), vec![i]));
                     }
                 },
-                None => chains.push(vec![i]),
+                None => chains.push((None, vec![i])),
             }
         }
         let mut order = Vec::with_capacity(requests.len());
         let mut tasks = Vec::with_capacity(chains.len());
-        for chain in chains {
+        let mut keys = Vec::with_capacity(chains.len());
+        for (key, chain) in chains {
             let start = order.len();
             order.extend(chain);
             tasks.push((start, order.len()));
+            keys.push(key);
         }
-        (order, tasks)
+        (order, tasks, keys)
     }
 }
 
@@ -485,19 +633,35 @@ impl ShardWorker {
     /// Executes one scheduling task — a single request, or a warm-start
     /// chain of same-key requests solved in submission order, each
     /// converged answer seeding the next solve. Seeds never cross a task
-    /// boundary: both scratches are disarmed on entry and exit, so a
-    /// task's outputs depend only on its own contents (the property the
-    /// work-stealing scheduler's determinism rests on).
+    /// boundary *within a batch*: both scratches are disarmed on entry and
+    /// exit, so a task's outputs depend only on its own contents — and on
+    /// the optional cross-batch `seed`, which is part of those contents
+    /// (snapshotted per task before scheduling). That is the property the
+    /// work-stealing scheduler's determinism rests on.
+    ///
+    /// A session `seed` arms the matching scratch before the chain head, so
+    /// the head itself runs seeded (counted by `serve.warm_starts`); the
+    /// cold-baseline bookkeeping stays unset for such chains, so
+    /// `econ.warm_start_iters_saved` never compares against a baseline from
+    /// a different batch.
     fn run_task(
         &mut self,
         requests: &[ServeRequest],
         chain: &[usize],
         warm: bool,
+        seed: Option<&SessionSeed>,
         registry: &mut MetricsRegistry,
         out: &mut TaskOutput,
     ) {
         self.econ_scratch.clear_warm_start();
         self.multi_scratch.clear_warm_start();
+        if warm {
+            match seed {
+                Some(SessionSeed::SingleFile(x)) => self.econ_scratch.start_from(x),
+                Some(SessionSeed::MultiFile(xs)) => self.multi_scratch.start_from(xs),
+                None => {}
+            }
+        }
         let mut baseline: Option<usize> = None;
         for (pos, &index) in chain.iter().enumerate() {
             let request = &requests[index];
@@ -762,20 +926,24 @@ mod tests {
     #[test]
     fn cold_planning_is_one_singleton_task_per_request() {
         let requests = mixed_batch();
-        let (order, tasks) = BatchServer::new(Parallelism::Auto).plan_tasks(&requests);
+        let (order, tasks, keys) = BatchServer::new(Parallelism::Auto).plan_tasks(&requests);
         assert_eq!(order, (0..requests.len()).collect::<Vec<_>>());
         assert_eq!(tasks, (0..requests.len()).map(|i| (i, i + 1)).collect::<Vec<_>>());
+        assert!(keys.iter().all(Option::is_none), "cold tasks are keyless");
     }
 
     #[test]
     fn warm_planning_chains_same_key_requests_in_first_appearance_order() {
         let requests = mixed_batch();
         let server = BatchServer::new(Parallelism::Auto).with_warm_start(true);
-        let (order, tasks) = server.plan_tasks(&requests);
+        let (order, tasks, keys) = server.plan_tasks(&requests);
         // Submission order: single, multi, ring, repeated three times.
         // Singles chain, multis chain, each ring stays a singleton.
         assert_eq!(order, vec![0, 3, 6, 1, 4, 7, 2, 5, 8]);
         assert_eq!(tasks, vec![(0, 3), (3, 6), (6, 7), (7, 8), (8, 9)]);
+        assert_eq!(keys[0], warm_key(&requests[0]));
+        assert_eq!(keys[1], warm_key(&requests[1]));
+        assert_eq!(&keys[2..], &[None, None, None], "ring singletons stay keyless");
     }
 
     #[test]
@@ -883,6 +1051,106 @@ mod tests {
         // And a singleton chain matches the cold server bit for bit.
         let cold = BatchServer::new(Parallelism::Sequential).serve(&requests);
         assert_eq!(warm.responses, cold.responses);
+    }
+
+    /// A perturbed-workload stream split into two batches — the daemon's
+    /// steady state.
+    fn perturbed_stream(batch: usize) -> Vec<ServeRequest> {
+        let graph = topology::ring(5, 1.0).unwrap();
+        (0..4)
+            .map(|i| {
+                let k = (batch * 4 + i) as f64;
+                let rates: Vec<f64> =
+                    (0..5).map(|n| 0.2 + 0.08 * n as f64 + 0.002 * k * (n as f64 + 1.0)).collect();
+                let pattern = AccessPattern::new(rates).unwrap();
+                let problem = SingleFileProblem::mm1(&graph, &pattern, 4.0, 1.0).unwrap();
+                ServeRequest::SingleFile {
+                    problem,
+                    initial: vec![0.2; 5],
+                    alpha: 0.1,
+                    epsilon: 1e-6,
+                    max_iterations: 100_000,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn an_empty_seed_store_matches_the_plain_warm_path_and_fills_up() {
+        let requests = perturbed_stream(0);
+        let server = BatchServer::new(Parallelism::Sequential).with_warm_start(true);
+        let plain = server.serve(&requests);
+        let mut seeds = SessionSeeds::new();
+        let session = server.serve_session(&requests, &mut seeds);
+        assert_eq!(plain.responses, session.responses);
+        assert_eq!(seeds.len(), 1, "one single-file chain converged into one seed");
+    }
+
+    #[test]
+    fn session_seeds_warm_the_next_batch_including_its_chain_head() {
+        let server = BatchServer::new(Parallelism::Sequential).with_warm_start(true);
+        let mut seeds = SessionSeeds::new();
+        let first = server.serve_session(&perturbed_stream(0), &mut seeds);
+        // Batch 1: the chain head is cold, the other three are seeded.
+        assert_eq!(first.aggregate.counter("serve.warm_starts"), 3);
+        let second_requests = perturbed_stream(1);
+        let second = server.serve_session(&second_requests, &mut seeds);
+        // Batch 2: even the head starts from batch 1's converged tail.
+        assert_eq!(second.aggregate.counter("serve.warm_starts"), 4);
+        // Seeding changed iterates, never optima: compare against cold.
+        let cold = BatchServer::new(Parallelism::Sequential).serve(&second_requests);
+        assert!(
+            second.aggregate.counter("econ.iterations")
+                < cold.aggregate.counter("econ.iterations"),
+            "cross-batch seeds must save iterations"
+        );
+        for (s, c) in second.responses.iter().zip(&cold.responses) {
+            let (ServeResponse::SingleFile(s), ServeResponse::SingleFile(c)) =
+                (s.as_ref().unwrap(), c.as_ref().unwrap())
+            else {
+                panic!("expected single-file responses");
+            };
+            assert!(s.converged && c.converged);
+            assert!((s.final_utility - c.final_utility).abs() <= 1e-9);
+        }
+    }
+
+    #[test]
+    fn session_responses_are_bit_identical_across_shard_counts() {
+        let batches = [perturbed_stream(0), mixed_batch(), perturbed_stream(1)];
+        let mut reference_seeds = SessionSeeds::new();
+        let reference: Vec<_> = batches
+            .iter()
+            .map(|batch| {
+                BatchServer::new(Parallelism::Sequential)
+                    .with_warm_start(true)
+                    .serve_session(batch, &mut reference_seeds)
+                    .responses
+            })
+            .collect();
+        for shards in [2, 4, 8] {
+            let server = BatchServer::new(Parallelism::Fixed(shards)).with_warm_start(true);
+            let mut seeds = SessionSeeds::new();
+            for (batch, expected) in batches.iter().zip(&reference) {
+                let output = server.serve_session(batch, &mut seeds);
+                assert_eq!(
+                    expected, &output.responses,
+                    "{shards}-shard session must match the sequential session"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn seeds_are_inert_without_warm_start() {
+        let requests = perturbed_stream(0);
+        let server = BatchServer::new(Parallelism::Sequential); // cold
+        let mut seeds = SessionSeeds::new();
+        let session = server.serve_session(&requests, &mut seeds);
+        let plain = server.serve(&requests);
+        assert_eq!(plain.responses, session.responses);
+        assert!(seeds.is_empty(), "a cold server must never write seeds");
+        assert_eq!(session.aggregate.counter("serve.warm_starts"), 0);
     }
 
     #[test]

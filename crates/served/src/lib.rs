@@ -1,0 +1,894 @@
+//! # fap-served — the persistent serving daemon
+//!
+//! `fap serve` is one-shot: it builds a cost-matrix cache, serves one
+//! batch, and exits — every batch pays the warm-up again. This crate is
+//! the long-lived counterpart: a [`Daemon`] that accepts newline-delimited
+//! JSON envelopes on any line source, keeps the expensive state alive
+//! *between* batches, and streams one JSON line per outcome:
+//!
+//! * the [`CostMatrixCache`] persists, so a topology seen in batch 1 is a
+//!   `cache.hit` in every later batch (bounded by an optional byte budget
+//!   with FIFO eviction);
+//! * warm-start state persists per [`WarmMode`]: `batch` (the default)
+//!   chains within each batch exactly like one-shot
+//!   `fap serve --warm-start`, `session` additionally carries each chain's
+//!   converged allocation across batches through
+//!   [`SessionSeeds`](fap_serve::SessionSeeds), and `off` serves cold;
+//! * the work-stealing [`BatchServer`] is constructed once and reused.
+//!
+//! ## The virtual clock and admission control
+//!
+//! The daemon runs on the same deterministic virtual clock as the chaos
+//! simulator — a [`Reactor`] over integer ticks. Every envelope carries an
+//! `at` tick (monotone; the reactor clamps the past); batches occupy one
+//! of `c` virtual servers for `max(1, total solver iterations)` ticks, and
+//! scripted `work` items for exactly their requested ticks. Arrivals drain
+//! due completions first, so the whole session — responses, metrics,
+//! shedding decisions — is a pure function of the input lines.
+//!
+//! On top of that clock sits the paper's own §4 queueing theory, turned on
+//! the daemon itself: an [`AdmissionController`] fits an M/M/c model to
+//! the *measured* inter-arrival and service ticks and predicts the mean
+//! queueing wait `W_q = C(c, λ/μ)/(cμ − λ)` an arrival would see. When a
+//! configured bound is exceeded the daemon sheds the request with a
+//! 429-style line instead of queueing it — the microeconomic answer to
+//! overload: refuse service whose price (wait) exceeds its worth.
+//!
+//! ## Protocol
+//!
+//! Input, one JSON object per line:
+//!
+//! ```text
+//! {"at": 0, "batch": [ ...serve specs... ]}   submit a batch at tick 0
+//! {"at": 7, "work": 12}                        occupy a server for 12 ticks
+//! {"cmd": "status"}                            emit a status line
+//! {"cmd": "shutdown"}                          drain and exit
+//! ```
+//!
+//! Output, one JSON object per line (`kind` discriminates):
+//!
+//! ```text
+//! {"id":0,"kind":"batch","arrived":0,"started":0,"completed":412,"wait":0,
+//!  "ok":2,"err":0,"responses":[...]}
+//! {"id":1,"kind":"work","arrived":7,"started":7,"completed":19,"wait":0}
+//! {"id":2,"kind":"shed","status":429,"arrived":9,"predicted_wait":31.5,"bound":8.0}
+//! {"kind":"status","now":19,...}
+//! {"kind":"error","message":"..."}
+//! ```
+//!
+//! The *content* of a batch line's `responses` is bit-identical to the
+//! one-shot `fap serve` path with the same warm flag: a cached cost matrix
+//! is the same bits Dijkstra would recompute, and `batch` warm mode arms
+//! no cross-batch seeds.
+//!
+//! Batch syntax is pluggable through [`BatchParser`], so this crate stays
+//! independent of the CLI's scenario format (the CLI supplies a parser
+//! that understands its `ServeSpec` list; tests supply their own).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::io::{self, BufRead, Write};
+use std::time::Instant;
+
+use serde::{Serialize, Value};
+
+use fap_batch::Parallelism;
+use fap_cache::CostMatrixCache;
+use fap_obs::Recorder;
+use fap_queue::{AdmissionController, QueueError, DEFAULT_ADMISSION_WARMUP};
+use fap_runtime::Reactor;
+use fap_serve::{BatchServer, ServeRequest, SessionSeeds};
+
+/// How warm-start state behaves across the daemon's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WarmMode {
+    /// Serve every batch cold (no chaining at all).
+    Off,
+    /// Chain within each batch only — bit-identical to one-shot
+    /// `fap serve --warm-start` per batch. The default.
+    #[default]
+    Batch,
+    /// Chain within batches *and* seed each chain's head from the previous
+    /// batch's converged tail ([`SessionSeeds`]).
+    Session,
+}
+
+impl WarmMode {
+    /// Parses `off` / `batch` / `session`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending string for anything else.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        match text {
+            "off" => Ok(WarmMode::Off),
+            "batch" => Ok(WarmMode::Batch),
+            "session" => Ok(WarmMode::Session),
+            other => Err(format!("unknown warm mode '{other}' (expected off|batch|session)")),
+        }
+    }
+}
+
+/// Turns one envelope's `batch` value into solver-level requests. The
+/// daemon resolves batch *syntax* through this trait so the wire format
+/// stays a caller decision; the cache handed in is the daemon's persistent
+/// [`CostMatrixCache`], and hits/misses are recorded into `recorder`.
+pub trait BatchParser {
+    /// Parses `batch` (the envelope's `batch` field) into requests.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message; the daemon reports it on an
+    /// `error` line and drops the envelope without occupying a server.
+    fn parse(
+        &mut self,
+        batch: &Value,
+        cache: &mut CostMatrixCache,
+        recorder: &mut dyn Recorder,
+    ) -> Result<Vec<ServeRequest>, String>;
+}
+
+impl<F> BatchParser for F
+where
+    F: FnMut(&Value, &mut CostMatrixCache, &mut dyn Recorder) -> Result<Vec<ServeRequest>, String>,
+{
+    fn parse(
+        &mut self,
+        batch: &Value,
+        cache: &mut CostMatrixCache,
+        recorder: &mut dyn Recorder,
+    ) -> Result<Vec<ServeRequest>, String> {
+        self(batch, cache, recorder)
+    }
+}
+
+/// Static configuration of a [`Daemon`].
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Shard pool handed to the [`BatchServer`].
+    pub shards: Parallelism,
+    /// Virtual service slots `c` for queueing and the M/M/c model.
+    pub servers: u32,
+    /// Warm-start behavior across batches.
+    pub warm: WarmMode,
+    /// Shed arrivals whose predicted mean wait exceeds this bound (ticks).
+    /// `None` disables shedding.
+    pub admission_bound: Option<f64>,
+    /// Samples required before the admission model predicts.
+    pub admission_warmup: u64,
+    /// Byte budget for the persistent cost-matrix cache (`None` =
+    /// unbounded).
+    pub cache_bytes: Option<u64>,
+    /// Use wall-clock milliseconds instead of scripted `at` ticks.
+    pub wall_clock: bool,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            shards: Parallelism::Auto,
+            servers: 1,
+            warm: WarmMode::Batch,
+            admission_bound: None,
+            admission_warmup: DEFAULT_ADMISSION_WARMUP,
+            cache_bytes: None,
+            wall_clock: false,
+        }
+    }
+}
+
+/// What [`Daemon::handle_line`] tells the caller to do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DaemonStatus {
+    /// Keep feeding lines.
+    Continue,
+    /// A `shutdown` command was processed (the daemon already drained);
+    /// stop feeding lines.
+    Shutdown,
+}
+
+/// A job waiting for a free virtual server.
+#[derive(Debug)]
+struct Pending {
+    id: u64,
+    arrived: usize,
+    kind: PendingKind,
+}
+
+#[derive(Debug)]
+enum PendingKind {
+    Batch(Vec<ServeRequest>),
+    Work(usize),
+}
+
+/// A scheduled service completion: the fully rendered output line (the
+/// completion tick is known at start time) plus the bookkeeping the
+/// completion handler feeds back into the admission model.
+#[derive(Debug)]
+struct Completion {
+    line: String,
+    duration: usize,
+    wait: usize,
+}
+
+/// The persistent serving daemon. See the crate docs for the protocol.
+#[derive(Debug)]
+pub struct Daemon<P> {
+    parser: P,
+    server: BatchServer,
+    warm: WarmMode,
+    cache: CostMatrixCache,
+    seeds: SessionSeeds,
+    admission: AdmissionController,
+    bound: Option<f64>,
+    reactor: Reactor<Completion>,
+    /// The input clock: the latest arrival tick seen. The reactor's own
+    /// clock only advances when completions pop, so arrivals clamp against
+    /// this instead (monotone input, no time travel).
+    clock: usize,
+    backlog: VecDeque<Pending>,
+    busy: u32,
+    servers: u32,
+    next_id: u64,
+    completed: u64,
+    shed: u64,
+    epoch: Option<Instant>,
+}
+
+impl<P: BatchParser> Daemon<P> {
+    /// Builds a daemon around `parser` with `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueError::InvalidParameter`] for zero servers.
+    pub fn new(parser: P, config: &DaemonConfig) -> Result<Self, QueueError> {
+        let admission =
+            AdmissionController::new(config.servers)?.with_warmup(config.admission_warmup);
+        let mut cache = CostMatrixCache::new();
+        cache.set_byte_limit(config.cache_bytes);
+        Ok(Daemon {
+            parser,
+            server: BatchServer::new(config.shards)
+                .with_warm_start(config.warm != WarmMode::Off),
+            warm: config.warm,
+            cache,
+            seeds: SessionSeeds::new(),
+            admission,
+            bound: config.admission_bound,
+            reactor: Reactor::new(),
+            clock: 0,
+            backlog: VecDeque::new(),
+            busy: 0,
+            servers: config.servers,
+            next_id: 0,
+            completed: 0,
+            shed: 0,
+            epoch: config.wall_clock.then(Instant::now),
+        })
+    }
+
+    /// The current virtual tick (the later of the input clock and the
+    /// last completion).
+    pub fn now(&self) -> usize {
+        self.clock.max(self.reactor.now())
+    }
+
+    /// Jobs completed so far (batches and work items, not shed lines).
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Arrivals shed by the admission controller so far.
+    pub fn shed(&self) -> u64 {
+        self.shed
+    }
+
+    /// The persistent cost-matrix cache (for inspection).
+    pub fn cache(&self) -> &CostMatrixCache {
+        &self.cache
+    }
+
+    /// Feeds the daemon one input line and writes any output lines due at
+    /// or before the line's tick. Blank lines are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Only I/O errors from `out` propagate; malformed input is reported
+    /// on an `error` output line and the daemon continues.
+    pub fn handle_line(
+        &mut self,
+        line: &str,
+        out: &mut dyn Write,
+        recorder: &mut dyn Recorder,
+    ) -> io::Result<DaemonStatus> {
+        let line = line.trim();
+        if line.is_empty() {
+            return Ok(DaemonStatus::Continue);
+        }
+        recorder.incr("served.lines", 1);
+        let value = match serde_json::parse_value(line) {
+            Ok(v) => v,
+            Err(e) => return self.error_line(out, recorder, None, &format!("bad JSON: {e}")),
+        };
+        if let Some(cmd) = value.get("cmd") {
+            return match cmd {
+                Value::Str(c) if c == "shutdown" => {
+                    self.finish(out, recorder)?;
+                    Ok(DaemonStatus::Shutdown)
+                }
+                Value::Str(c) if c == "status" => {
+                    let line = self.status_line();
+                    writeln!(out, "{line}")?;
+                    Ok(DaemonStatus::Continue)
+                }
+                other => {
+                    let msg = format!("unknown cmd {}", serde_json::to_string(other).unwrap_or_default());
+                    self.error_line(out, recorder, None, &msg)
+                }
+            };
+        }
+        let at = match self.arrival_tick(&value) {
+            Ok(at) => at,
+            Err(msg) => return self.error_line(out, recorder, None, &msg),
+        };
+        self.clock = at;
+        self.advance_to(at, out, recorder)?;
+
+        let id = self.next_id;
+        self.next_id += 1;
+        self.admission.record_arrival(at as u64);
+        let predicted = self.admission.predicted_wait();
+        if let Some(w) = predicted {
+            recorder.gauge("served.predicted_wait", w);
+        }
+        if let (Some(bound), Some(w)) = (self.bound, predicted) {
+            if w > bound {
+                self.shed += 1;
+                recorder.incr("served.shed", 1);
+                let line = render(&[
+                    ("id", Value::UInt(id)),
+                    ("kind", Value::Str("shed".into())),
+                    ("status", Value::Int(429)),
+                    ("arrived", uint(at)),
+                    ("predicted_wait", finite_or_inf(w)),
+                    ("bound", Value::Float(bound)),
+                ]);
+                writeln!(out, "{line}")?;
+                return Ok(DaemonStatus::Continue);
+            }
+        }
+
+        let kind = if let Some(batch) = value.get("batch") {
+            match self.parser.parse(batch, &mut self.cache, recorder) {
+                Ok(requests) => PendingKind::Batch(requests),
+                Err(msg) => return self.error_line(out, recorder, Some(id), &msg),
+            }
+        } else if let Some(work) = value.get("work") {
+            match as_tick(work) {
+                Some(t) => PendingKind::Work(t.max(1)),
+                None => {
+                    return self.error_line(
+                        out,
+                        recorder,
+                        Some(id),
+                        "'work' must be a non-negative integer tick count",
+                    )
+                }
+            }
+        } else {
+            return self.error_line(
+                out,
+                recorder,
+                Some(id),
+                "envelope needs 'batch', 'work' or 'cmd'",
+            );
+        };
+
+        self.dispatch(Pending { id, arrived: at, kind }, recorder);
+        Ok(DaemonStatus::Continue)
+    }
+
+    /// Runs the daemon over a whole line source: every line through
+    /// [`Daemon::handle_line`], then a drain at EOF (an explicit
+    /// `shutdown` line drains too and stops early).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `input` and `out`.
+    pub fn run<R: BufRead>(
+        &mut self,
+        input: R,
+        out: &mut dyn Write,
+        recorder: &mut dyn Recorder,
+    ) -> io::Result<()> {
+        for line in input.lines() {
+            if self.handle_line(&line?, out, recorder)? == DaemonStatus::Shutdown {
+                return Ok(());
+            }
+        }
+        self.finish(out, recorder)
+    }
+
+    /// Drains every queued and in-flight job, emitting their lines, then a
+    /// final `status` line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `out`.
+    pub fn finish(
+        &mut self,
+        out: &mut dyn Write,
+        recorder: &mut dyn Recorder,
+    ) -> io::Result<()> {
+        while let Some(completion) = self.reactor.pop_next() {
+            let tick = self.reactor.now();
+            self.complete(tick, completion, out, recorder)?;
+        }
+        debug_assert!(self.backlog.is_empty(), "backlog drains as servers free");
+        let line = self.status_line();
+        writeln!(out, "{line}")?;
+        Ok(())
+    }
+
+    /// The arrival tick of an envelope: scripted `at` in virtual mode,
+    /// elapsed milliseconds in wall mode. Always clamped monotone.
+    fn arrival_tick(&self, value: &Value) -> Result<usize, String> {
+        let at = match &self.epoch {
+            Some(epoch) => epoch.elapsed().as_millis() as usize,
+            None => match value.get("at") {
+                Some(v) => as_tick(v)
+                    .ok_or_else(|| "'at' must be a non-negative integer tick".to_string())?,
+                None => return Err("envelope needs an 'at' tick (virtual clock)".into()),
+            },
+        };
+        Ok(at.max(self.clock))
+    }
+
+    /// Pops and handles every completion due at or before `at`.
+    fn advance_to(
+        &mut self,
+        at: usize,
+        out: &mut dyn Write,
+        recorder: &mut dyn Recorder,
+    ) -> io::Result<()> {
+        while self.reactor.next_tick().is_some_and(|t| t <= at) {
+            let completion = self.reactor.pop_next().expect("next_tick promised an event");
+            let tick = self.reactor.now();
+            self.complete(tick, completion, out, recorder)?;
+        }
+        Ok(())
+    }
+
+    /// Starts `pending` at its arrival tick if a server is free, else
+    /// queues it FIFO. (All completions at or before the arrival were
+    /// drained first, so a free server means a zero-wait start.)
+    fn dispatch(&mut self, pending: Pending, recorder: &mut dyn Recorder) {
+        if self.busy < self.servers {
+            let started = pending.arrived;
+            self.start(pending, started, recorder);
+        } else {
+            self.backlog.push_back(pending);
+        }
+    }
+
+    /// Occupies a server: solves the job, renders its output line (the
+    /// completion tick is `started + duration`, known now), and schedules
+    /// the completion on the reactor.
+    fn start(&mut self, pending: Pending, started: usize, recorder: &mut dyn Recorder) {
+        self.busy += 1;
+        let Pending { id, arrived, kind } = pending;
+        let wait = started - arrived;
+        let (duration, line) = match kind {
+            PendingKind::Work(ticks) => {
+                recorder.incr("served.work", 1);
+                let completed = started + ticks;
+                let line = render(&[
+                    ("id", Value::UInt(id)),
+                    ("kind", Value::Str("work".into())),
+                    ("arrived", uint(arrived)),
+                    ("started", uint(started)),
+                    ("completed", uint(completed)),
+                    ("wait", uint(wait)),
+                ]);
+                (ticks, line)
+            }
+            PendingKind::Batch(requests) => {
+                recorder.incr("served.batches", 1);
+                let output = match self.warm {
+                    WarmMode::Session => {
+                        self.server.serve_session_observed(&requests, &mut self.seeds, recorder)
+                    }
+                    _ => self.server.serve_observed(&requests, recorder),
+                };
+                let iterations: usize = output
+                    .responses
+                    .iter()
+                    .filter_map(|r| r.as_ref().ok().map(|x| x.iterations()))
+                    .sum();
+                let duration = iterations.max(1);
+                let completed = started + duration;
+                let responses: Vec<Value> = output
+                    .responses
+                    .iter()
+                    .map(|r| match r {
+                        Ok(response) => response.serialize_value(),
+                        Err(e) => Value::Map(vec![(
+                            "error".into(),
+                            Value::Str(e.message().into()),
+                        )]),
+                    })
+                    .collect();
+                let line = render(&[
+                    ("id", Value::UInt(id)),
+                    ("kind", Value::Str("batch".into())),
+                    ("arrived", uint(arrived)),
+                    ("started", uint(started)),
+                    ("completed", uint(completed)),
+                    ("wait", uint(wait)),
+                    ("ok", Value::UInt(output.ok_count() as u64)),
+                    ("err", Value::UInt(output.err_count() as u64)),
+                    ("responses", Value::Array(responses)),
+                ]);
+                (duration, line)
+            }
+        };
+        self.reactor.schedule(started + duration, Completion { line, duration, wait });
+    }
+
+    /// Handles one service completion: frees the server, feeds the
+    /// admission model, emits the job's line, and starts the next queued
+    /// job (at the completion tick) if any.
+    fn complete(
+        &mut self,
+        tick: usize,
+        completion: Completion,
+        out: &mut dyn Write,
+        recorder: &mut dyn Recorder,
+    ) -> io::Result<()> {
+        self.busy -= 1;
+        self.completed += 1;
+        self.admission.record_service(completion.duration as f64);
+        recorder.observe("served.wait", completion.wait as f64);
+        recorder.observe_sketch("served.wait", completion.wait as f64);
+        writeln!(out, "{}", completion.line)?;
+        if self.busy < self.servers {
+            if let Some(pending) = self.backlog.pop_front() {
+                self.start(pending, tick, recorder);
+            }
+        }
+        Ok(())
+    }
+
+    fn status_line(&self) -> String {
+        let predicted = match self.admission.predicted_wait() {
+            Some(w) => finite_or_inf(w),
+            None => Value::Null,
+        };
+        render(&[
+            ("kind", Value::Str("status".into())),
+            ("now", uint(self.now())),
+            ("busy", Value::UInt(u64::from(self.busy))),
+            ("backlog", uint(self.backlog.len())),
+            ("completed", Value::UInt(self.completed)),
+            ("shed", Value::UInt(self.shed)),
+            ("seeds", uint(self.seeds.len())),
+            ("cache_entries", uint(self.cache.len())),
+            ("cache_hits", Value::UInt(self.cache.hits())),
+            ("cache_misses", Value::UInt(self.cache.misses())),
+            ("predicted_wait", predicted),
+        ])
+    }
+
+    fn error_line(
+        &mut self,
+        out: &mut dyn Write,
+        recorder: &mut dyn Recorder,
+        id: Option<u64>,
+        message: &str,
+    ) -> io::Result<DaemonStatus> {
+        recorder.incr("served.errors", 1);
+        let mut fields = vec![("kind", Value::Str("error".into()))];
+        if let Some(id) = id {
+            fields.push(("id", Value::UInt(id)));
+        }
+        fields.push(("message", Value::Str(message.into())));
+        let line = render(&fields);
+        writeln!(out, "{line}")?;
+        Ok(DaemonStatus::Continue)
+    }
+}
+
+fn uint(n: usize) -> Value {
+    Value::UInt(n as u64)
+}
+
+/// JSON has no infinity literal: an unbounded predicted wait renders as
+/// the string `"inf"`.
+fn finite_or_inf(w: f64) -> Value {
+    if w.is_finite() {
+        Value::Float(w)
+    } else {
+        Value::Str("inf".into())
+    }
+}
+
+/// Reads a non-negative integer tick out of a JSON value.
+fn as_tick(value: &Value) -> Option<usize> {
+    match value {
+        Value::Int(i) if *i >= 0 => Some(*i as usize),
+        Value::UInt(u) => Some(*u as usize),
+        _ => None,
+    }
+}
+
+/// Renders an insertion-ordered field list as one JSON object line.
+fn render(fields: &[(&str, Value)]) -> String {
+    let map = Value::Map(
+        fields.iter().map(|(k, v)| ((*k).to_string(), v.clone())).collect(),
+    );
+    serde_json::to_string(&map).expect("value trees always serialize")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fap_core::SingleFileProblem;
+    use fap_net::{topology, AccessPattern};
+    use fap_obs::MetricsRegistry;
+
+    /// A test parser: `batch` is an array of seeds, each becoming one
+    /// single-file request over a shared 5-ring (every batch after the
+    /// first hits the daemon's cache).
+    fn seed_parser(
+    ) -> impl FnMut(&Value, &mut CostMatrixCache, &mut dyn Recorder) -> Result<Vec<ServeRequest>, String>
+    {
+        |batch, cache, recorder| {
+            let Value::Array(items) = batch else {
+                return Err("batch must be an array".into());
+            };
+            let graph = topology::ring(5, 1.0).map_err(|e| e.to_string())?;
+            let costs = cache
+                .get_or_compute_observed(&graph, Parallelism::Sequential, recorder)
+                .map_err(|e| e.to_string())?;
+            items
+                .iter()
+                .map(|item| {
+                    let seed = as_tick(item).ok_or("seeds must be integers")? as u64;
+                    let pattern =
+                        AccessPattern::random(5, 0.2..0.6, seed).map_err(|e| e.to_string())?;
+                    let problem = SingleFileProblem::mm1_with_costs(costs, &pattern, 4.0, 1.0)
+                        .map_err(|e| e.to_string())?;
+                    Ok(ServeRequest::SingleFile {
+                        problem,
+                        initial: vec![0.2; 5],
+                        alpha: 0.1,
+                        epsilon: 1e-6,
+                        max_iterations: 100_000,
+                    })
+                })
+                .collect()
+        }
+    }
+
+    fn daemon(config: &DaemonConfig) -> Daemon<impl BatchParser> {
+        Daemon::new(seed_parser(), config).unwrap()
+    }
+
+    fn drive(daemon: &mut Daemon<impl BatchParser>, lines: &[&str]) -> (String, MetricsRegistry) {
+        let mut out = Vec::new();
+        let mut registry = MetricsRegistry::new();
+        let input = lines.join("\n");
+        daemon.run(input.as_bytes(), &mut out, &mut registry).unwrap();
+        (String::from_utf8(out).unwrap(), registry)
+    }
+
+    #[test]
+    fn a_session_is_deterministic_byte_for_byte() {
+        let lines =
+            ["{\"at\":0,\"batch\":[1,2]}", "{\"at\":5,\"batch\":[3]}", "{\"cmd\":\"shutdown\"}"];
+        let config = DaemonConfig::default();
+        let (a, _) = drive(&mut daemon(&config), &lines);
+        let (b, _) = drive(&mut daemon(&config), &lines);
+        assert_eq!(a, b);
+        assert!(a.lines().count() >= 3, "two batch lines and a status line");
+    }
+
+    #[test]
+    fn cache_hits_rise_after_the_first_batch() {
+        let config = DaemonConfig::default();
+        let mut d = daemon(&config);
+        let (_, registry) = drive(
+            &mut d,
+            &["{\"at\":0,\"batch\":[1]}", "{\"at\":1000,\"batch\":[2]}", "{\"at\":2000,\"batch\":[3]}"],
+        );
+        assert_eq!(registry.counter("cache.miss"), 1, "one distinct topology");
+        assert_eq!(registry.counter("cache.hit"), 2, "later batches reuse it");
+        assert_eq!(registry.counter("served.batches"), 3);
+    }
+
+    #[test]
+    fn work_items_queue_fifo_on_one_server_and_waits_are_recorded() {
+        let mut d = daemon(&DaemonConfig::default());
+        let (out, registry) = drive(
+            &mut d,
+            &[
+                "{\"at\":0,\"work\":10}",
+                "{\"at\":2,\"work\":5}",
+                "{\"cmd\":\"shutdown\"}",
+            ],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        // First job: 0..10; second arrives at 2, waits 8, runs 10..15.
+        assert!(lines[0].contains("\"id\":0") && lines[0].contains("\"completed\":10"));
+        assert!(
+            lines[1].contains("\"started\":10")
+                && lines[1].contains("\"completed\":15")
+                && lines[1].contains("\"wait\":8"),
+            "{}",
+            lines[1]
+        );
+        let wait = registry.histogram("served.wait").unwrap();
+        assert_eq!(wait.count(), 2);
+        let sketch = registry.sketch("served.wait").unwrap();
+        assert_eq!(sketch.count(), 2);
+        assert_eq!(sketch.max(), 8.0);
+    }
+
+    #[test]
+    fn two_servers_run_work_concurrently() {
+        let config = DaemonConfig { servers: 2, ..DaemonConfig::default() };
+        let mut d = daemon(&config);
+        let (out, _) = drive(
+            &mut d,
+            &["{\"at\":0,\"work\":10}", "{\"at\":2,\"work\":5}", "{\"cmd\":\"shutdown\"}"],
+        );
+        // Second job starts immediately on server 2 and finishes first.
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].contains("\"id\":1") && lines[0].contains("\"completed\":7"), "{}", lines[0]);
+        assert!(lines[1].contains("\"id\":0") && lines[1].contains("\"completed\":10"));
+    }
+
+    #[test]
+    fn overload_sheds_with_a_429_line_once_warmed_up() {
+        let config = DaemonConfig {
+            admission_bound: Some(2.0),
+            admission_warmup: 2,
+            ..DaemonConfig::default()
+        };
+        let mut d = daemon(&config);
+        // Work of 10 ticks arriving every 4 ticks on one server: λ̂ = 0.25,
+        // μ̂ = 0.1 — over capacity once two services have completed (at
+        // tick 20, i.e. from the sixth arrival on).
+        let lines: Vec<String> =
+            (0..8u64).map(|k| format!("{{\"at\":{},\"work\":10}}", 4 * k)).collect();
+        let mut refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+        refs.push("{\"cmd\":\"shutdown\"}");
+        let (out, registry) = drive(&mut d, &refs);
+        assert!(d.shed() > 0, "the admission bound must engage");
+        assert_eq!(registry.counter("served.shed"), d.shed());
+        assert!(out.contains("\"status\":429"));
+        assert!(out.contains("\"predicted_wait\""));
+        // Warmup: the first two arrivals can never shed.
+        assert!(!out.lines().next().unwrap().contains("shed"));
+    }
+
+    #[test]
+    fn malformed_lines_produce_error_lines_and_the_daemon_survives() {
+        let mut d = daemon(&DaemonConfig::default());
+        let (out, registry) = drive(
+            &mut d,
+            &[
+                "not json",
+                "{\"at\":0}",
+                "{\"batch\":[1]}",
+                "{\"at\":0,\"work\":-3}",
+                "{\"at\":0,\"batch\":7}",
+                "{\"cmd\":\"reboot\"}",
+                "{\"at\":3,\"batch\":[1]}",
+                "{\"cmd\":\"shutdown\"}",
+            ],
+        );
+        assert_eq!(registry.counter("served.errors"), 6);
+        assert_eq!(out.matches("\"kind\":\"error\"").count(), 6);
+        // The good batch still served.
+        assert_eq!(registry.counter("served.batches"), 1);
+        assert!(out.contains("\"kind\":\"batch\""));
+    }
+
+    #[test]
+    fn status_lines_report_live_state() {
+        let mut d = daemon(&DaemonConfig::default());
+        let (out, _) = drive(
+            &mut d,
+            &[
+                "{\"at\":0,\"work\":10}",
+                "{\"at\":1,\"work\":3}",
+                "{\"cmd\":\"status\"}",
+                "{\"cmd\":\"shutdown\"}",
+            ],
+        );
+        let status = out.lines().find(|l| l.contains("\"kind\":\"status\"")).unwrap();
+        assert!(status.contains("\"busy\":1") && status.contains("\"backlog\":1"), "{status}");
+        // The final (post-drain) status shows everything completed.
+        let last = out.lines().last().unwrap();
+        assert!(last.contains("\"completed\":2") && last.contains("\"backlog\":0"), "{last}");
+    }
+
+    #[test]
+    fn session_warm_mode_counts_warm_starts_for_later_batch_heads() {
+        // The same workload arriving over and over — once seeded, each
+        // later batch re-solves from its own converged optimum.
+        let lines = [
+            "{\"at\":0,\"batch\":[1]}",
+            "{\"at\":100000,\"batch\":[1]}",
+            "{\"at\":200000,\"batch\":[1]}",
+        ];
+        let batch_cfg = DaemonConfig::default();
+        let (_, batch_reg) = drive(&mut daemon(&batch_cfg), &lines);
+        // Batch mode: three singleton chains, no seeding at all.
+        assert_eq!(batch_reg.counter("serve.warm_starts"), 0);
+        let session_cfg = DaemonConfig { warm: WarmMode::Session, ..DaemonConfig::default() };
+        let (_, session_reg) = drive(&mut daemon(&session_cfg), &lines);
+        // Session mode: batches 2 and 3 start from the previous tail.
+        assert_eq!(session_reg.counter("serve.warm_starts"), 2);
+        assert!(
+            session_reg.counter("econ.iterations") < batch_reg.counter("econ.iterations"),
+            "session seeding must save iterations"
+        );
+    }
+
+    #[test]
+    fn batch_mode_responses_match_a_one_shot_warm_server() {
+        // The daemon's batch line must embed exactly the responses a
+        // one-shot warm BatchServer produces for the same requests.
+        let mut cache = CostMatrixCache::new();
+        let requests =
+            seed_parser()(&Value::Array(vec![Value::Int(1), Value::Int(2)]), &mut cache, &mut fap_obs::NoopRecorder)
+                .unwrap();
+        let oneshot = BatchServer::new(Parallelism::Auto)
+            .with_warm_start(true)
+            .serve(&requests);
+        let expected: Vec<Value> =
+            oneshot.responses.iter().map(|r| r.as_ref().unwrap().serialize_value()).collect();
+        let expected_json =
+            serde_json::to_string(&Value::Array(expected)).unwrap();
+
+        let mut d = daemon(&DaemonConfig::default());
+        let (out, _) = drive(&mut d, &["{\"at\":0,\"batch\":[1,2]}", "{\"cmd\":\"shutdown\"}"]);
+        let batch_line = out.lines().find(|l| l.contains("\"kind\":\"batch\"")).unwrap();
+        let embedded = format!("\"responses\":{expected_json}");
+        assert!(
+            batch_line.contains(&embedded),
+            "daemon responses must be bit-identical to the one-shot warm serve path"
+        );
+    }
+
+    #[test]
+    fn out_of_order_ticks_clamp_monotone() {
+        let mut d = daemon(&DaemonConfig::default());
+        let (out, _) = drive(
+            &mut d,
+            &["{\"at\":10,\"work\":2}", "{\"at\":3,\"work\":2}", "{\"cmd\":\"shutdown\"}"],
+        );
+        // The second arrival's tick clamps to the input clock (10): no
+        // time travel, and it starts as soon as job 0's server frees.
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(
+            lines[1].contains("\"arrived\":10")
+                && lines[1].contains("\"started\":12")
+                && lines[1].contains("\"wait\":2"),
+            "{}",
+            lines[1]
+        );
+    }
+
+    #[test]
+    fn warm_mode_parses() {
+        assert_eq!(WarmMode::parse("off").unwrap(), WarmMode::Off);
+        assert_eq!(WarmMode::parse("batch").unwrap(), WarmMode::Batch);
+        assert_eq!(WarmMode::parse("session").unwrap(), WarmMode::Session);
+        assert!(WarmMode::parse("warmish").is_err());
+    }
+}

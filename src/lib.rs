@@ -42,7 +42,11 @@
 //!   per-worker scratch reuse, optional warm-started solves seeded from the
 //!   previous same-shape request, submission-order results bit-identical to
 //!   sequential solves, and per-shard metric registries fanned into one
-//!   aggregate snapshot.
+//!   aggregate snapshot;
+//! * [`served`] — the persistent serving daemon: a newline-delimited JSON
+//!   protocol over a deterministic virtual clock, M/M/c admission control
+//!   fitted from measured rates with 429-style load shedding, and warm
+//!   state (cost-matrix cache, session seeds) kept alive across batches.
 //!
 //! # Quickstart
 //!
@@ -77,6 +81,7 @@ pub use fap_queue as queue;
 pub use fap_ring as ring;
 pub use fap_runtime as runtime;
 pub use fap_serve as serve;
+pub use fap_served as served;
 
 /// The most commonly used items, for glob import.
 pub mod prelude {
@@ -99,5 +104,8 @@ pub mod prelude {
         ChaosPlan, DistributedRun, ExchangeScheme, FailurePlan, MessageCounting, SimReport,
         SimRun,
     };
-    pub use fap_serve::{BatchServer, ServeOutput, ServeRequest, ServeResponse};
+    pub use fap_serve::{
+        BatchServer, ServeOutput, ServeRequest, ServeResponse, SessionSeeds,
+    };
+    pub use fap_served::{Daemon, DaemonConfig, DaemonStatus, WarmMode};
 }

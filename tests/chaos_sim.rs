@@ -105,6 +105,61 @@ fn executors_agree_without_faults() {
     assert_eq!(sim.faults.sent, sim.faults.delivered);
 }
 
+/// The event-driven engine ([`SimRun::run`]) is bit-identical to the
+/// round-synchronous reference ([`SimRun::run_round_synchronous`]) on
+/// zero-fault plans, across many seeds and both exchange schemes — and on
+/// zero faults both also match the plain lock-step [`DistributedRun`].
+#[test]
+fn event_driven_engine_matches_round_synchronous_without_faults() {
+    let p = paper_problem();
+    let schemes = [ExchangeScheme::Broadcast, ExchangeScheme::Central { coordinator: 0 }];
+    for scheme in schemes {
+        let reference = DistributedRun::new(&p, scheme, FIG3_ALPHA)
+            .with_epsilon(FIG3_EPSILON)
+            .with_max_rounds(10_000)
+            .run(&FIG3_START)
+            .unwrap();
+        for seed in 0..10u64 {
+            let sim = SimRun::new(&p, scheme, FIG3_ALPHA)
+                .with_epsilon(FIG3_EPSILON)
+                .with_max_rounds(10_000)
+                .with_chaos(ChaosPlan::new(seed)); // zero-fault, any seed
+            let event_driven = sim.run(&FIG3_START).unwrap();
+            let lock_step = sim.run_round_synchronous(&FIG3_START).unwrap();
+            assert_eq!(
+                event_driven, lock_step,
+                "engines disagree (scheme {scheme:?}, seed {seed})"
+            );
+            assert_eq!(event_driven.allocation, reference.allocation);
+            assert_eq!(event_driven.rounds, reference.rounds);
+            assert_eq!(event_driven.trace, reference.trace);
+        }
+    }
+}
+
+/// The two engines stay bit-identical even under hostile fault plans:
+/// channel fates are stateless per-coordinate draws, so execution order
+/// cannot leak into the outcome.
+#[test]
+fn event_driven_engine_matches_round_synchronous_under_chaos() {
+    let p = paper_problem();
+    let schemes = [ExchangeScheme::Broadcast, ExchangeScheme::Central { coordinator: 3 }];
+    for scheme in schemes {
+        for seed in 0..8u64 {
+            let sim = SimRun::new(&p, scheme, FIG3_ALPHA)
+                .with_epsilon(FIG3_EPSILON)
+                .with_max_rounds(10_000)
+                .with_chaos(hostile_plan(seed));
+            let event_driven = sim.run(&FIG3_START).unwrap();
+            let lock_step = sim.run_round_synchronous(&FIG3_START).unwrap();
+            assert_eq!(
+                event_driven, lock_step,
+                "engines disagree under chaos (scheme {scheme:?}, seed {seed})"
+            );
+        }
+    }
+}
+
 /// The canonical Figure-3 trace (α = 0.19, ε = 10⁻³, start 0.8/0.1/0.1/0)
 /// is pinned byte-exactly in `tests/golden/fig3_trace.json`. Regenerate
 /// with `UPDATE_GOLDEN=1 cargo test --test chaos_sim` after an intentional

@@ -1,0 +1,111 @@
+//! Property suite for the mergeable quantile sketch (`fap-obs`).
+//!
+//! Three contracts matter for daemon telemetry: merging is insensitive to
+//! how observations were partitioned across shards, every quantile
+//! estimate stays within the advertised relative rank error `α`, and a
+//! merge of partitioned streams answers bit-identically to one sketch that
+//! saw the whole stream.
+
+use fap::obs::QuantileSketch;
+use proptest::prelude::*;
+
+/// Exact quantile of a sorted sample, with the same rank convention the
+/// sketch uses (`rank = max(1, ceil(q·n))`, 1-indexed).
+fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Rank error: every estimate is within `α` (relative) of the true
+    /// order statistic for positive values, and exact at the extremes.
+    #[test]
+    fn quantile_estimates_respect_the_relative_error_bound(
+        values in proptest::collection::vec(0.001f64..1.0e6, 1..400),
+        q in 0.0f64..1.0,
+    ) {
+        let alpha = 0.01;
+        let mut sketch = QuantileSketch::new(alpha);
+        for &v in &values {
+            sketch.observe(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for q in [0.0, q, 1.0] {
+            let truth = exact_quantile(&sorted, q);
+            let estimate = sketch.quantile(q);
+            // The bucket midpoint is within α of every value the bucket
+            // holds; a hair of slack covers the floating-point transcendentals.
+            prop_assert!(
+                (estimate - truth).abs() <= truth * (alpha * 1.001),
+                "q={q}: estimate {estimate} vs truth {truth}"
+            );
+        }
+        prop_assert_eq!(sketch.quantile(0.0).to_bits(), sorted[0].to_bits());
+        prop_assert_eq!(sketch.quantile(1.0).to_bits(), sorted[sorted.len() - 1].to_bits());
+    }
+
+    /// Merge is order-insensitive: the same observations split into three
+    /// shards and merged in either order yield the same distribution and
+    /// bit-identical quantiles.
+    #[test]
+    fn merge_is_order_insensitive(
+        values in proptest::collection::vec(0.0f64..1000.0, 3..300),
+        cut_raw in proptest::collection::vec(0u32..u32::MAX, 2),
+    ) {
+        let n = values.len();
+        let mut cuts: Vec<usize> =
+            cut_raw.iter().map(|&c| (c as usize) % (n + 1)).collect();
+        cuts.sort_unstable();
+        let (a, b, c) = (&values[..cuts[0]], &values[cuts[0]..cuts[1]], &values[cuts[1]..]);
+        let fill = |part: &[f64]| {
+            let mut s = QuantileSketch::default();
+            for &v in part {
+                s.observe(v);
+            }
+            s
+        };
+        let mut forward = fill(a);
+        prop_assert!(forward.merge_from(&fill(b)));
+        prop_assert!(forward.merge_from(&fill(c)));
+        let mut backward = fill(c);
+        prop_assert!(backward.merge_from(&fill(b)));
+        prop_assert!(backward.merge_from(&fill(a)));
+        prop_assert!(forward.distribution_eq(&backward));
+        prop_assert_eq!(forward.count(), n as u64);
+        for q in [0.01, 0.25, 0.5, 0.75, 0.99] {
+            prop_assert_eq!(forward.quantile(q).to_bits(), backward.quantile(q).to_bits());
+        }
+    }
+
+    /// Partitioned merge equals a single stream: shard-local sketches
+    /// folded together answer exactly like one sketch that saw everything.
+    #[test]
+    fn merged_partitions_match_a_single_stream(
+        values in proptest::collection::vec(0.0f64..5000.0, 1..300),
+        cut_raw in 0u32..u32::MAX,
+    ) {
+        let cut = (cut_raw as usize) % (values.len() + 1);
+        let mut single = QuantileSketch::default();
+        for &v in &values {
+            single.observe(v);
+        }
+        let mut merged = QuantileSketch::default();
+        for &v in &values[..cut] {
+            merged.observe(v);
+        }
+        let mut right = QuantileSketch::default();
+        for &v in &values[cut..] {
+            right.observe(v);
+        }
+        prop_assert!(merged.merge_from(&right));
+        prop_assert!(merged.distribution_eq(&single));
+        prop_assert_eq!(merged.min().to_bits(), single.min().to_bits());
+        prop_assert_eq!(merged.max().to_bits(), single.max().to_bits());
+        for q in [0.0, 0.1, 0.5, 0.9, 0.999, 1.0] {
+            prop_assert_eq!(merged.quantile(q).to_bits(), single.quantile(q).to_bits());
+        }
+    }
+}
