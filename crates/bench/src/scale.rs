@@ -1,19 +1,55 @@
 //! The `scale` benchmark: sequential-vs-parallel wall clock for the two
 //! batch kernels (all-pairs shortest paths and the multi-file solver) over a
-//! grid of network sizes `N` and file counts `M`.
+//! grid of network sizes `N` and file counts `M`, plus the sparse
+//! cost-substrate sweep (landmark oracle + hierarchical solver) that
+//! carries the node count past where the dense matrix fits.
 //!
 //! The parallel paths are bit-identical to the sequential ones by
 //! construction (disjoint contiguous chunks, deterministic reductions), and
 //! [`bench_scale`] asserts that on every point before reporting a timing.
-//! Results serialize to the `BENCH_scale.json` schema committed at the repo
-//! root; regenerate with `fap bench-scale` (prefer `--release`).
+//! The sparse points are gated differently: the hierarchical allocation is
+//! approximate by design, so at `N ≤` [`SPARSE_GAP_LIMIT`] its utility gap
+//! against the exact dense optimum is measured and must stay within
+//! [`SPARSE_GAP_BOUND`]; beyond that the dense reference no longer fits and
+//! the gates are completion plus a [`SPARSE_BYTE_LIMIT`] ceiling on the
+//! oracle's resident memory. Results serialize to the `BENCH_scale.json`
+//! schema committed at the repo root; regenerate with `fap bench-scale`
+//! (prefer `--release`).
 
 use std::time::Instant;
 
 use fap_batch::Parallelism;
-use fap_core::{MultiFileProblem, MultiFileScratch, MultiFileSolution};
-use fap_net::{topology, AccessPattern, CostMatrix, Graph};
+use fap_core::{
+    hierarchical::{solve_hierarchical, HierarchicalConfig},
+    reference, MultiFileProblem, MultiFileScratch, MultiFileSolution, SingleFileProblem,
+};
+use fap_net::{topology, AccessPattern, CostMatrix, CostProvider, Graph, LandmarkOracle};
 use serde::{Deserialize, Serialize};
+
+/// Largest `N` at which the sparse sweep still builds the dense reference
+/// to measure the true utility gap.
+pub const SPARSE_GAP_LIMIT: usize = 4096;
+/// Hard ceiling on the measured utility gap of the sparse pipeline
+/// (sparse allocation evaluated on the exact dense objective).
+pub const SPARSE_GAP_BOUND: f64 = 0.05;
+/// Hard ceiling on the cost substrate's resident bytes at any sparse point.
+pub const SPARSE_BYTE_LIMIT: usize = 1 << 30;
+/// Landmark-selection seed of the sparse sweep.
+pub const SPARSE_SEED: u64 = 7;
+
+/// Landmark count of the sparse sweep at size `n`:
+/// `clamp(n / 128, 64, 512)` further capped at `n`. Small graphs make
+/// every node a landmark (the hub estimator is then exact and the gap
+/// measures pure solver quality). Past the gap limit the count grows with
+/// `n` to hold per-cluster subproblems near 128–256 nodes — the
+/// hierarchical solver's wall clock is dominated by the inner solves,
+/// whose convergence degrades sharply with cluster size, so more (cheap,
+/// `O(N + E)` each) Dijkstra runs buy back far more solve time than they
+/// cost. The 512 ceiling keeps the `O(K·N)` distance table at 512 MiB for
+/// `N = 131072`, inside the 1 GiB substrate budget.
+pub fn sparse_landmarks(n: usize) -> usize {
+    (n / 128).clamp(64, 512).min(n)
+}
 
 /// One measured grid point.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -34,19 +70,65 @@ pub struct ScalePoint {
     pub checksum: f64,
 }
 
+/// One measured sparse-substrate point: landmark oracle build plus a
+/// hierarchical cluster-solve-refine run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SparsePoint {
+    /// Network size `N`.
+    pub n: usize,
+    /// Landmark count `K` ([`sparse_landmarks`]).
+    pub landmarks: usize,
+    /// Oracle build wall clock (K Dijkstra runs), milliseconds.
+    pub build_ms: f64,
+    /// Hierarchical solve wall clock, milliseconds.
+    pub solve_ms: f64,
+    /// Resident bytes of the cost substrate after the solve.
+    pub provider_bytes: usize,
+    /// Cross-cluster refinement rounds the solve spent.
+    pub refine_rounds: usize,
+    /// Position-weighted allocation checksum:
+    /// `Σ x_i·((i mod 64) + 1)` plus the estimated cost.
+    pub checksum: f64,
+    /// Relative utility gap of the sparse allocation on the exact dense
+    /// objective; measured only at `N ≤` [`SPARSE_GAP_LIMIT`].
+    pub gap: Option<f64>,
+}
+
 /// The full benchmark report.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScaleReport {
+    /// Logical CPUs of the recording host
+    /// (`std::thread::available_parallelism()`).
+    #[serde(default)]
+    pub host_threads: usize,
     /// Worker threads the parallel path used.
     pub threads: usize,
     /// The `N` grid.
     pub ns: Vec<usize>,
     /// The `M` grid.
     pub ms: Vec<usize>,
+    /// The sparse-substrate `N` grid.
+    #[serde(default)]
+    pub sparse_ns: Vec<usize>,
+    /// Utility-gap ceiling the sparse points were gated on.
+    #[serde(default = "default_gap_bound")]
+    pub gap_bound: f64,
     /// Solver iterations per multi-file point.
     pub iterations: usize,
-    /// All measured points.
+    /// All measured dense points.
     pub points: Vec<ScalePoint>,
+    /// All measured sparse points.
+    #[serde(default)]
+    pub sparse_points: Vec<SparsePoint>,
+}
+
+fn default_gap_bound() -> f64 {
+    SPARSE_GAP_BOUND
+}
+
+/// Logical CPUs of this host, `1` when undeterminable.
+pub fn host_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
 /// The benchmark network on `n` nodes: a torus as close to square as the
@@ -86,6 +168,105 @@ pub fn scale_problem(graph: &Graph, m: usize) -> MultiFileProblem {
     MultiFileProblem::mm1(graph, &patterns, mu, 1.0).expect("valid problem")
 }
 
+/// The sparse-sweep workload at size `n`: the same seeded random access
+/// pattern family as [`scale_problem`], uniform node capacity 10× the
+/// even-split load.
+///
+/// # Panics
+///
+/// Panics only on programming errors (the generated pattern is valid).
+pub fn sparse_workload(n: usize) -> (AccessPattern, f64) {
+    let pattern = AccessPattern::random(n, 0.05..0.2, 1_000).expect("valid pattern");
+    let mu = 10.0 * pattern.total_rate() / n as f64;
+    (pattern, mu)
+}
+
+/// The hierarchical tuning the sparse sweep (and the pinned gap test)
+/// runs with. The stock [`HierarchicalConfig`] keeps its absolute
+/// `epsilon = 1e-6` marginal-spread threshold, but the solver's marginals
+/// carry cost×rate units: at `N = 131072` the seeded workload offers
+/// `λ ≈ 1.6·10⁴`, so an absolute `1e-6` demands ~10 significant digits of
+/// convergence and slams every aggregate/inner solve into its iteration
+/// cap — hours of wall clock for digits the ≤5% gap gate cannot see.
+/// Scaling the threshold by the offered load makes the stopping rule
+/// scale-invariant, and the tighter per-solve iteration budget bounds the
+/// damage of a mis-tuned point to seconds instead of a stalled sweep.
+pub fn sparse_hierarchical_config(pattern: &AccessPattern) -> HierarchicalConfig {
+    let n = pattern.node_count();
+    HierarchicalConfig {
+        epsilon: 1e-6 * pattern.total_rate().max(1.0),
+        max_inner_iterations: 20_000,
+        // Quality-gated sizes refine to convergence-or-8; past the gap
+        // limit the points measure throughput and memory, and each round
+        // costs seconds, so three rounds bound the sweep's wall clock.
+        max_refine_rounds: if n <= SPARSE_GAP_LIMIT { 8 } else { 3 },
+        ..HierarchicalConfig::default()
+    }
+}
+
+fn checksum_sparse(allocation: &[f64], cost: f64) -> f64 {
+    allocation
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| x * ((i % 64) + 1) as f64)
+        .sum::<f64>()
+        + cost
+}
+
+/// Runs the sparse sweep: for each `n` a landmark-oracle build and a
+/// hierarchical solve, with the dense-reference gap measured while the
+/// dense matrix still fits (`n ≤` [`SPARSE_GAP_LIMIT`]).
+///
+/// # Panics
+///
+/// Panics when a gate fails: a measured gap above [`SPARSE_GAP_BOUND`] or
+/// a substrate footprint at or above [`SPARSE_BYTE_LIMIT`].
+pub fn bench_sparse(ns: &[usize]) -> Vec<SparsePoint> {
+    let mut points = Vec::new();
+    for &n in ns {
+        let graph = scale_graph(n);
+        let landmarks = sparse_landmarks(n);
+        let (pattern, mu) = sparse_workload(n);
+        let mus = vec![mu; n];
+        let (build_ms, oracle) = time_ms(|| {
+            LandmarkOracle::build(&graph, landmarks, SPARSE_SEED).expect("connected")
+        });
+        let config = sparse_hierarchical_config(&pattern);
+        let (solve_ms, solution) = time_ms(|| {
+            solve_hierarchical(&oracle, &pattern, &mus, 1.0, &config).expect("stable solve")
+        });
+        let provider_bytes = oracle.substrate_bytes();
+        assert!(
+            provider_bytes < SPARSE_BYTE_LIMIT,
+            "substrate at N = {n} holds {provider_bytes} bytes, over the 1 GiB ceiling"
+        );
+        let gap = (n <= SPARSE_GAP_LIMIT).then(|| {
+            let dense =
+                SingleFileProblem::mm1(&graph, &pattern, mu, 1.0).expect("valid problem");
+            let exact = reference::solve(&dense).expect("solvable");
+            let sparse_cost =
+                dense.cost_of(&solution.allocation).expect("feasible allocation");
+            let gap = (sparse_cost - exact.cost) / exact.cost;
+            assert!(
+                gap <= SPARSE_GAP_BOUND,
+                "sparse utility gap {gap:.4} at N = {n} exceeds the {SPARSE_GAP_BOUND} bound"
+            );
+            gap
+        });
+        points.push(SparsePoint {
+            n,
+            landmarks,
+            build_ms,
+            solve_ms,
+            provider_bytes,
+            refine_rounds: solution.refine_rounds,
+            checksum: checksum_sparse(&solution.allocation, solution.estimated_cost),
+            gap,
+        });
+    }
+    points
+}
+
 fn checksum_matrix(matrix: &CostMatrix) -> f64 {
     matrix.as_matrix().as_slice().iter().sum()
 }
@@ -101,17 +282,20 @@ fn time_ms<T>(f: impl FnOnce() -> T) -> (f64, T) {
     (start.elapsed().as_secs_f64() * 1e3, value)
 }
 
-/// Runs the sweep: for each `n` an all-pairs point, and for each `(n, m)` a
+/// Runs the sweep: for each `n` an all-pairs point, for each `(n, m)` a
 /// multi-file point of exactly `iterations` solver steps (ε is set far below
-/// attainability so every run pays the same iteration count).
+/// attainability so every run pays the same iteration count), and for each
+/// `sparse_ns` entry a [`bench_sparse`] point.
 ///
 /// # Panics
 ///
 /// Panics if any parallel result differs bitwise from its sequential
-/// counterpart — the determinism contract this PR's tests pin down.
+/// counterpart — the determinism contract this PR's tests pin down — or if
+/// a sparse point violates its gap or memory gate.
 pub fn bench_scale(
     ns: &[usize],
     ms: &[usize],
+    sparse_ns: &[usize],
     iterations: usize,
     parallelism: Parallelism,
 ) -> ScaleReport {
@@ -176,11 +360,15 @@ pub fn bench_scale(
         }
     }
     ScaleReport {
+        host_threads: host_threads(),
         threads: parallelism.thread_count(),
         ns: ns.to_vec(),
         ms: ms.to_vec(),
+        sparse_ns: sparse_ns.to_vec(),
+        gap_bound: SPARSE_GAP_BOUND,
         iterations,
         points,
+        sparse_points: bench_sparse(sparse_ns),
     }
 }
 
@@ -208,12 +396,15 @@ impl CheckOutcome {
 
 /// Compares a `fresh` run against the `committed` report.
 ///
-/// Grid shape (`ns`, `ms`, `iterations`), point identity (`kind`, `n`, `m`)
-/// and result checksums (compared bit-for-bit via [`f64::to_bits`]) are hard
-/// gates. Thread count and wall-clock timings only produce advisories: a
-/// fresh timing more than `timing_tolerance` times the committed one is
-/// flagged, since the committed numbers came from a different (possibly
-/// slower or faster) machine.
+/// Grid shape (`ns`, `ms`, `sparse_ns`, `iterations`), point identity
+/// (`kind`, `n`, `m`) and dense result checksums (compared bit-for-bit via
+/// [`f64::to_bits`]) are hard gates, as is every fresh sparse gap staying
+/// within the committed `gap_bound`. The sparse path is approximate by
+/// contract, so its checksums only produce advisories when they drift.
+/// Thread counts and wall-clock timings are likewise advisories: a fresh
+/// timing more than `timing_tolerance` times the committed one is flagged,
+/// since the committed numbers came from a different (possibly slower or
+/// faster) machine.
 pub fn check_against(
     committed: &ScaleReport,
     fresh: &ScaleReport,
@@ -224,6 +415,18 @@ pub fn check_against(
         outcome.hard_failures.push(format!(
             "grid mismatch: committed N×M grid {:?}×{:?}, fresh {:?}×{:?}",
             committed.ns, committed.ms, fresh.ns, fresh.ms
+        ));
+    }
+    if committed.sparse_ns != fresh.sparse_ns {
+        outcome.hard_failures.push(format!(
+            "sparse grid mismatch: committed {:?}, fresh {:?}",
+            committed.sparse_ns, fresh.sparse_ns
+        ));
+    }
+    if committed.gap_bound.to_bits() != fresh.gap_bound.to_bits() {
+        outcome.hard_failures.push(format!(
+            "gap bound mismatch: committed {}, fresh {}",
+            committed.gap_bound, fresh.gap_bound
         ));
     }
     if committed.iterations != fresh.iterations {
@@ -240,11 +443,65 @@ pub fn check_against(
         ));
         return outcome;
     }
+    if committed.sparse_points.len() != fresh.sparse_points.len() {
+        outcome.hard_failures.push(format!(
+            "sparse point count mismatch: committed {}, fresh {}",
+            committed.sparse_points.len(),
+            fresh.sparse_points.len()
+        ));
+        return outcome;
+    }
     if committed.threads != fresh.threads {
         outcome.advisories.push(format!(
             "thread count differs: committed {}, fresh {} (machine-dependent)",
             committed.threads, fresh.threads
         ));
+    }
+    if committed.host_threads != fresh.host_threads {
+        outcome.advisories.push(format!(
+            "host CPU count differs: committed {}, fresh {} (machine-dependent)",
+            committed.host_threads, fresh.host_threads
+        ));
+    }
+    for (old, new) in committed.sparse_points.iter().zip(&fresh.sparse_points) {
+        let label = format!("sparse N={} K={}", old.n, old.landmarks);
+        if old.n != new.n || old.landmarks != new.landmarks {
+            outcome.hard_failures.push(format!(
+                "sparse point identity mismatch: committed {label}, fresh N={} K={}",
+                new.n, new.landmarks
+            ));
+            continue;
+        }
+        match (old.gap, new.gap) {
+            (Some(_), Some(gap)) if gap > committed.gap_bound => {
+                outcome.hard_failures.push(format!(
+                    "sparse utility gap at {label} is {gap:.4}, over the committed {} bound",
+                    committed.gap_bound
+                ));
+            }
+            (Some(_), Some(_)) | (None, None) => {}
+            (old_gap, new_gap) => {
+                outcome.hard_failures.push(format!(
+                    "gap coverage changed at {label}: committed {old_gap:?}, fresh {new_gap:?}"
+                ));
+            }
+        }
+        if old.checksum.to_bits() != new.checksum.to_bits() {
+            outcome.advisories.push(format!(
+                "sparse checksum drifted at {label}: committed {:?}, fresh {:?} \
+                 (approximate path; the gap gate governs)",
+                old.checksum, new.checksum
+            ));
+        }
+        for (stage, was, now) in
+            [("build", old.build_ms, new.build_ms), ("solve", old.solve_ms, new.solve_ms)]
+        {
+            if now > was * timing_tolerance {
+                outcome.advisories.push(format!(
+                    "{label}: {stage} timing {now:.2} ms exceeds {timing_tolerance}× committed {was:.2} ms"
+                ));
+            }
+        }
     }
     for (old, new) in committed.points.iter().zip(&fresh.points) {
         let label = format!("{} N={} M={}", old.kind, old.n, old.m);
@@ -291,7 +548,7 @@ mod tests {
 
     #[test]
     fn bench_scale_produces_consistent_points() {
-        let report = bench_scale(&[16], &[1, 2], 3, Parallelism::Fixed(2));
+        let report = bench_scale(&[16], &[1, 2], &[], 3, Parallelism::Fixed(2));
         assert_eq!(report.points.len(), 3);
         assert_eq!(report.threads, 2);
         for p in &report.points {
@@ -302,8 +559,8 @@ mod tests {
 
     #[test]
     fn check_passes_on_a_rerun_of_the_same_grid() {
-        let committed = bench_scale(&[12], &[1], 2, Parallelism::Fixed(2));
-        let fresh = bench_scale(&[12], &[1], 2, Parallelism::Fixed(3));
+        let committed = bench_scale(&[12], &[1], &[], 2, Parallelism::Fixed(2));
+        let fresh = bench_scale(&[12], &[1], &[], 2, Parallelism::Fixed(3));
         // Timings differ run to run; with an infinite tolerance the only
         // gates left are the deterministic ones, which must all hold.
         let outcome = check_against(&committed, &fresh, f64::INFINITY);
@@ -314,7 +571,7 @@ mod tests {
 
     #[test]
     fn check_flags_checksum_and_grid_divergence_as_hard() {
-        let committed = bench_scale(&[12], &[1], 2, Parallelism::Fixed(2));
+        let committed = bench_scale(&[12], &[1], &[], 2, Parallelism::Fixed(2));
         let mut fresh = committed.clone();
         fresh.points[0].checksum += 1.0;
         let outcome = check_against(&committed, &fresh, f64::INFINITY);
@@ -329,7 +586,7 @@ mod tests {
 
     #[test]
     fn check_reports_slow_timings_as_advisory() {
-        let committed = bench_scale(&[12], &[1], 2, Parallelism::Fixed(2));
+        let committed = bench_scale(&[12], &[1], &[], 2, Parallelism::Fixed(2));
         let mut fresh = committed.clone();
         fresh.points[0].sequential_ms = committed.points[0].sequential_ms * 100.0 + 1.0;
         let outcome = check_against(&committed, &fresh, 1.5);

@@ -89,6 +89,10 @@ pub struct WarmPoint {
 /// The full benchmark report.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServeReport {
+    /// Logical CPUs of the recording host
+    /// (`std::thread::available_parallelism()`).
+    #[serde(default)]
+    pub host_threads: usize,
     /// Worker threads `Parallelism::Auto` would use on the machine that
     /// produced the report (informational; the grid pins explicit counts).
     pub threads: usize,
@@ -353,6 +357,7 @@ pub fn bench_serve(batch_sizes: &[usize], shard_counts: &[usize]) -> ServeReport
     let warm_points =
         batch_sizes.iter().map(|&count| bench_warm(count, shard_counts)).collect();
     ServeReport {
+        host_threads: crate::scale::host_threads(),
         threads: Parallelism::Auto.thread_count(),
         batch_sizes: batch_sizes.to_vec(),
         shard_counts: shard_counts.to_vec(),
@@ -394,6 +399,12 @@ pub fn check_against(
         outcome.advisories.push(format!(
             "thread count differs: committed {}, fresh {} (machine-dependent)",
             committed.threads, fresh.threads
+        ));
+    }
+    if committed.host_threads != fresh.host_threads {
+        outcome.advisories.push(format!(
+            "host CPU count differs: committed {}, fresh {} (machine-dependent)",
+            committed.host_threads, fresh.host_threads
         ));
     }
     for (old, new) in committed.points.iter().zip(&fresh.points) {

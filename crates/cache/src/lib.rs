@@ -60,8 +60,12 @@ use fap_net::{CostMatrix, Graph, NetError};
 use fap_obs::{NoopRecorder, Recorder};
 
 pub mod fnv;
+pub mod substrate;
 
 pub use fnv::{Fnv64, FnvBuildHasher};
+pub use substrate::{
+    CostBackend, LandmarkOracleCache, SubstrateCache, DEFAULT_LANDMARKS, DEFAULT_LANDMARK_SEED,
+};
 
 /// Computes the canonical 64-bit FNV-1a fingerprint of a graph's structure.
 ///

@@ -1,0 +1,389 @@
+//! Cost-substrate selection and caching.
+//!
+//! PR 7 makes every solver generic over [`CostProvider`], which leaves the
+//! serving layer with a choice per request: the exact dense [`CostMatrix`]
+//! (`n²` floats, all-pairs Dijkstra) or the sparse [`LandmarkOracle`]
+//! (`K·n` floats, `K` Dijkstra runs). [`CostBackend`] names that choice in a
+//! serializable form the CLI and `ServeSpec` share, and [`SubstrateCache`]
+//! memoizes both kinds behind the same content-addressed fingerprints as
+//! [`CostMatrixCache`](crate::CostMatrixCache):
+//!
+//! * dense entries are keyed by [`topology_fingerprint`] alone;
+//! * landmark entries are keyed by `(fingerprint, k, seed)` — the oracle is
+//!   deterministic in those three inputs, so a cached oracle is bit-identical
+//!   to a rebuilt one.
+//!
+//! The landmark side is deliberately unbounded: a table is `K·n` floats
+//! (megabytes where the dense matrix would be gigabytes), so the byte budget
+//! machinery of the dense cache would be dead weight here.
+
+use std::collections::HashMap;
+
+use fap_batch::Parallelism;
+use fap_net::{CostProvider, Graph, LandmarkOracle, NetError};
+use fap_obs::{NoopRecorder, Recorder};
+use serde::{Deserialize, Serialize};
+
+use crate::{topology_fingerprint, CostMatrixCache, FnvBuildHasher};
+
+/// Default landmark count for [`CostBackend::Landmark`] when the caller does
+/// not specify one — small enough to build in milliseconds, large enough
+/// that the ALT upper bound is tight on the bench topologies.
+pub const DEFAULT_LANDMARKS: usize = 16;
+
+/// Default farthest-point seed for [`CostBackend::Landmark`].
+pub const DEFAULT_LANDMARK_SEED: u64 = 42;
+
+fn default_landmarks() -> usize {
+    DEFAULT_LANDMARKS
+}
+
+fn default_landmark_seed() -> u64 {
+    DEFAULT_LANDMARK_SEED
+}
+
+/// Which cost substrate to build for a topology.
+///
+/// Serializes with a `kind` tag so serve specs read naturally:
+/// `{"kind": "dense"}` or `{"kind": "landmark", "landmarks": 32, "seed": 7}`
+/// (both fields optional). The default is [`CostBackend::Dense`] — exact
+/// costs, bit-identical to every pre-PR-7 run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum CostBackend {
+    /// The exact dense all-pairs matrix (`n²` floats).
+    #[default]
+    Dense,
+    /// The sparse landmark oracle: `landmarks` single-source Dijkstra runs
+    /// from farthest-point seeds drawn deterministically from `seed`.
+    Landmark {
+        /// Number of landmarks `K` (clamped to `1..=n` at build time).
+        #[serde(default = "default_landmarks")]
+        landmarks: usize,
+        /// Farthest-point selection seed.
+        #[serde(default = "default_landmark_seed")]
+        seed: u64,
+    },
+}
+
+impl CostBackend {
+    /// The landmark backend with default `K` and seed.
+    #[must_use]
+    pub fn landmark() -> Self {
+        CostBackend::Landmark { landmarks: DEFAULT_LANDMARKS, seed: DEFAULT_LANDMARK_SEED }
+    }
+
+    /// Whether this backend is exact (dense) rather than approximate.
+    #[must_use]
+    pub fn is_exact(&self) -> bool {
+        matches!(self, CostBackend::Dense)
+    }
+}
+
+/// One cached oracle: the source graph (debug-mode collision guard) and the
+/// built landmark table.
+#[derive(Debug)]
+struct OracleEntry {
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
+    graph: Graph,
+    oracle: LandmarkOracle,
+}
+
+/// A content-addressed cache of [`LandmarkOracle`]s keyed by
+/// `(topology_fingerprint, landmark count, seed)`.
+///
+/// [`LandmarkOracle::build`] is deterministic in exactly those three inputs,
+/// so a hit returns a table bit-identical to a fresh build. Hits and misses
+/// are counted (`cache.landmark_hit` / `cache.landmark_miss` when observed)
+/// and the resident table bytes are published as the `cache.landmark_bytes`
+/// gauge.
+#[derive(Debug, Default)]
+pub struct LandmarkOracleCache {
+    entries: HashMap<(u64, usize, u64), OracleEntry, FnvBuildHasher>,
+    hits: u64,
+    misses: u64,
+    bytes: u64,
+}
+
+impl LandmarkOracleCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        LandmarkOracleCache::default()
+    }
+
+    /// Number of distinct `(topology, k, seed)` oracles currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lifetime count of lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime count of lookups that had to build an oracle.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Total landmark-table bytes currently resident (`Σ K·n·8`, excluding
+    /// each oracle's internal row LRU, which is bounded separately).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Drops every entry (lifetime counters survive, matching
+    /// [`CostMatrixCache::clear`]).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.bytes = 0;
+    }
+
+    /// Returns the cached oracle for `(graph, k, seed)`, building it on
+    /// first sight. See [`LandmarkOracleCache::get_or_build_observed`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetError`] from [`LandmarkOracle::build`]; a failed
+    /// build is not cached.
+    pub fn get_or_build(
+        &mut self,
+        graph: &Graph,
+        k: usize,
+        seed: u64,
+    ) -> Result<&LandmarkOracle, NetError> {
+        self.get_or_build_observed(graph, k, seed, &mut NoopRecorder)
+    }
+
+    /// Returns the cached oracle for `(graph, k, seed)`, building it on
+    /// first sight and recording `cache.landmark_hit` /
+    /// `cache.landmark_miss` counters and the `cache.landmark_bytes` gauge.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetError`] from [`LandmarkOracle::build`] (empty graph,
+    /// disconnected topology); a failed build is not cached.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic if two structurally different graphs ever share a
+    /// fingerprint, rather than serving a wrong oracle.
+    pub fn get_or_build_observed(
+        &mut self,
+        graph: &Graph,
+        k: usize,
+        seed: u64,
+        recorder: &mut dyn Recorder,
+    ) -> Result<&LandmarkOracle, NetError> {
+        let key = (topology_fingerprint(graph), k, seed);
+        if self.entries.contains_key(&key) {
+            let entry = &self.entries[&key];
+            #[cfg(debug_assertions)]
+            assert!(
+                entry.graph == *graph,
+                "topology fingerprint collision: two distinct graphs hash to {:#018x}",
+                key.0
+            );
+            self.hits += 1;
+            recorder.incr("cache.landmark_hit", 1);
+            recorder.gauge("cache.landmark_bytes", self.bytes as f64);
+            return Ok(&entry.oracle);
+        }
+        self.misses += 1;
+        recorder.incr("cache.landmark_miss", 1);
+        let oracle = LandmarkOracle::build(graph, k, seed)?;
+        self.bytes +=
+            (oracle.landmark_count() as u64) * (graph.node_count() as u64) * 8;
+        self.entries.insert(key, OracleEntry { graph: graph.clone(), oracle });
+        recorder.gauge("cache.landmark_bytes", self.bytes as f64);
+        Ok(&self.entries[&key].oracle)
+    }
+}
+
+/// The union cache the serving layer holds: dense matrices and landmark
+/// oracles side by side, dispatched by [`CostBackend`] and returned as a
+/// `&dyn CostProvider` so downstream solvers never branch on the kind.
+#[derive(Debug, Default)]
+pub struct SubstrateCache {
+    dense: CostMatrixCache,
+    landmarks: LandmarkOracleCache,
+}
+
+impl SubstrateCache {
+    /// Creates an empty substrate cache (dense side unbounded; use
+    /// [`SubstrateCache::dense_mut`] to set a byte budget).
+    pub fn new() -> Self {
+        SubstrateCache::default()
+    }
+
+    /// The dense cost-matrix side.
+    pub fn dense(&self) -> &CostMatrixCache {
+        &self.dense
+    }
+
+    /// Mutable access to the dense side (e.g. to set a byte budget).
+    pub fn dense_mut(&mut self) -> &mut CostMatrixCache {
+        &mut self.dense
+    }
+
+    /// The landmark-oracle side.
+    pub fn landmarks(&self) -> &LandmarkOracleCache {
+        &self.landmarks
+    }
+
+    /// Returns the provider for `(graph, backend)`, computing it on first
+    /// sight. See [`SubstrateCache::get_or_build_observed`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetError`] from the underlying build, including
+    /// [`NetError::TooLarge`] when a dense build exceeds the element budget.
+    pub fn get_or_build(
+        &mut self,
+        graph: &Graph,
+        backend: CostBackend,
+        parallelism: Parallelism,
+    ) -> Result<&dyn CostProvider, NetError> {
+        self.get_or_build_observed(graph, backend, parallelism, &mut NoopRecorder)
+    }
+
+    /// Returns the provider for `(graph, backend)`, computing it on first
+    /// sight and recording the respective cache counters.
+    ///
+    /// Dense requests hit the all-pairs matrix cache (budget-guarded, so an
+    /// oversized topology fails with [`NetError::TooLarge`] before any
+    /// `n²` allocation); landmark requests hit the oracle cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetError`] from the underlying build.
+    pub fn get_or_build_observed(
+        &mut self,
+        graph: &Graph,
+        backend: CostBackend,
+        parallelism: Parallelism,
+        recorder: &mut dyn Recorder,
+    ) -> Result<&dyn CostProvider, NetError> {
+        match backend {
+            CostBackend::Dense => self
+                .dense
+                .get_or_compute_observed(graph, parallelism, recorder)
+                .map(|m| m as &dyn CostProvider),
+            CostBackend::Landmark { landmarks, seed } => self
+                .landmarks
+                .get_or_build_observed(graph, landmarks, seed, recorder)
+                .map(|o| o as &dyn CostProvider),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fap_net::{topology, AccessPattern, NodeId};
+
+    #[test]
+    fn backend_default_is_dense_and_roundtrips() {
+        assert_eq!(CostBackend::default(), CostBackend::Dense);
+        assert!(CostBackend::Dense.is_exact());
+        assert!(!CostBackend::landmark().is_exact());
+        let json = serde_json::to_string(&CostBackend::landmark()).unwrap();
+        let back: CostBackend = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, CostBackend::landmark());
+    }
+
+    #[test]
+    fn landmark_fields_default_when_omitted() {
+        let back: CostBackend = serde_json::from_str(r#"{"kind": "landmark"}"#).unwrap();
+        assert_eq!(
+            back,
+            CostBackend::Landmark { landmarks: DEFAULT_LANDMARKS, seed: DEFAULT_LANDMARK_SEED }
+        );
+        let dense: CostBackend = serde_json::from_str(r#"{"kind": "dense"}"#).unwrap();
+        assert_eq!(dense, CostBackend::Dense);
+    }
+
+    #[test]
+    fn oracle_cache_hits_on_the_same_key_only() {
+        let g = topology::ring(12, 1.0).unwrap();
+        let mut cache = LandmarkOracleCache::new();
+        let first = cache.get_or_build(&g, 3, 7).unwrap().landmarks().to_vec();
+        let again = cache.get_or_build(&g, 3, 7).unwrap().landmarks().to_vec();
+        assert_eq!(first, again);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        // A different seed or k is a distinct oracle.
+        cache.get_or_build(&g, 3, 8).unwrap();
+        cache.get_or_build(&g, 4, 7).unwrap();
+        assert_eq!((cache.hits(), cache.misses(), cache.len()), (1, 3, 3));
+        assert_eq!(cache.bytes(), (3 + 3 + 4) * 12 * 8);
+    }
+
+    #[test]
+    fn cached_oracle_is_bit_identical_to_a_fresh_build() {
+        let g = topology::random_connected(40, 0.2, 1.0..3.0, 5).unwrap();
+        let fresh = LandmarkOracle::build(&g, 6, 11).unwrap();
+        let mut cache = LandmarkOracleCache::new();
+        cache.get_or_build(&g, 6, 11).unwrap();
+        let cached = cache.get_or_build(&g, 6, 11).unwrap();
+        assert_eq!(fresh.landmarks(), cached.landmarks());
+        for u in 0..40 {
+            for v in 0..40 {
+                let (u, v) = (NodeId::new(u), NodeId::new(v));
+                assert_eq!(fresh.cost(u, v).to_bits(), cached.cost(u, v).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn failed_build_is_not_cached() {
+        let disconnected = Graph::new(3);
+        let mut cache = LandmarkOracleCache::new();
+        assert!(cache.get_or_build(&disconnected, 2, 0).is_err());
+        assert!(cache.is_empty());
+        assert_eq!(cache.bytes(), 0);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn observed_lookups_record_landmark_counters() {
+        let g = topology::ring(10, 1.0).unwrap();
+        let mut reg = fap_obs::MetricsRegistry::new();
+        let mut cache = LandmarkOracleCache::new();
+        cache.get_or_build_observed(&g, 4, 1, &mut reg).unwrap();
+        cache.get_or_build_observed(&g, 4, 1, &mut reg).unwrap();
+        assert_eq!(reg.counter("cache.landmark_miss"), 1);
+        assert_eq!(reg.counter("cache.landmark_hit"), 1);
+        assert_eq!(reg.gauge_value("cache.landmark_bytes"), Some(4.0 * 10.0 * 8.0));
+    }
+
+    #[test]
+    fn substrate_cache_dispatches_by_backend() {
+        let g = topology::ring(9, 1.0).unwrap();
+        let pattern = AccessPattern::uniform(9, 1.0).unwrap();
+        let exact = g.shortest_path_matrix().unwrap();
+        let mut cache = SubstrateCache::new();
+        let dense =
+            cache.get_or_build(&g, CostBackend::Dense, Parallelism::Sequential).unwrap();
+        // The dense provider is the exact matrix, bit for bit.
+        let via_cache = dense.systemwide_access_costs(&pattern);
+        let direct = exact.systemwide_access_costs(&pattern);
+        assert_eq!(via_cache.len(), direct.len());
+        for (a, b) in via_cache.iter().zip(&direct) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let sparse = cache
+            .get_or_build(&g, CostBackend::Landmark { landmarks: 3, seed: 1 }, Parallelism::Sequential)
+            .unwrap();
+        assert_eq!(sparse.node_count(), 9);
+        assert_eq!(cache.dense().misses(), 1);
+        assert_eq!(cache.landmarks().misses(), 1);
+        // Each side hits independently.
+        cache.get_or_build(&g, CostBackend::Dense, Parallelism::Sequential).unwrap();
+        assert_eq!(cache.dense().hits(), 1);
+    }
+}

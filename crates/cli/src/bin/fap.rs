@@ -73,7 +73,14 @@ const USAGE: &str = "usage:
   fap chaos-example
 
 metrics flags also accept --metrics-flush-every <n> to stream the export
-(requires --metrics-out; flushes every n events instead of buffering)";
+(requires --metrics-out; flushes every n events instead of buffering)
+
+solve, run, sim and serve also accept cost-substrate flags:
+  --cost-backend dense|landmark   exact n^2 matrix (default) or the sparse
+                                  landmark oracle (scales past the dense
+                                  element budget)
+  --landmarks <k>                 landmark count K (implies landmark backend)
+  --landmark-seed <s>             farthest-point selection seed";
 
 /// Telemetry flags shared by `solve`/`run`/`sim`/`serve`.
 #[derive(Debug, Default)]
@@ -148,6 +155,61 @@ impl MetricsOptions {
     }
 }
 
+/// Splits `--cost-backend` / `--landmarks` / `--landmark-seed` out of the
+/// raw argument list. `--landmarks`/`--landmark-seed` imply the landmark
+/// backend; combining them with an explicit `--cost-backend dense` is an
+/// error.
+fn extract_backend_flags(
+    args: &[String],
+) -> Result<(Vec<String>, Option<fap_cache::CostBackend>), String> {
+    let mut positional = Vec::new();
+    let mut kind: Option<String> = None;
+    let mut landmarks: Option<usize> = None;
+    let mut seed: Option<u64> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--cost-backend" => {
+                let k = iter.next().ok_or("--cost-backend requires dense|landmark")?;
+                kind = Some(k.clone());
+            }
+            "--landmarks" => {
+                let k = iter.next().ok_or("--landmarks requires a count")?;
+                let k: usize =
+                    k.parse().map_err(|e| format!("bad landmark count '{k}': {e}"))?;
+                if k == 0 {
+                    return Err("--landmarks must be at least 1".into());
+                }
+                landmarks = Some(k);
+            }
+            "--landmark-seed" => {
+                let s = iter.next().ok_or("--landmark-seed requires a seed")?;
+                seed = Some(s.parse().map_err(|e| format!("bad landmark seed '{s}': {e}"))?);
+            }
+            _ => positional.push(arg.clone()),
+        }
+    }
+    let sparse = || fap_cache::CostBackend::Landmark {
+        landmarks: landmarks.unwrap_or(fap_cache::DEFAULT_LANDMARKS),
+        seed: seed.unwrap_or(fap_cache::DEFAULT_LANDMARK_SEED),
+    };
+    let backend = match kind.as_deref() {
+        None if landmarks.is_some() || seed.is_some() => Some(sparse()),
+        None => None,
+        Some("landmark") => Some(sparse()),
+        Some("dense") => {
+            if landmarks.is_some() || seed.is_some() {
+                return Err("--landmarks/--landmark-seed require the landmark backend".into());
+            }
+            Some(fap_cache::CostBackend::Dense)
+        }
+        Some(other) => {
+            return Err(format!("unknown cost backend '{other}' (expected dense|landmark)"))
+        }
+    };
+    Ok((positional, backend))
+}
+
 /// Splits `--metrics-out <path>` / `--metrics-summary` /
 /// `--metrics-flush-every <n>` out of the raw argument list, leaving the
 /// positional arguments.
@@ -188,6 +250,18 @@ fn run(args: &[String]) -> Result<(), String> {
                 .into(),
         );
     }
+    let (args, backend) = extract_backend_flags(&args)?;
+    if backend.is_some()
+        && !matches!(
+            args.first().map(String::as_str),
+            Some("solve" | "run" | "sim" | "serve")
+        )
+    {
+        return Err(
+            "--cost-backend/--landmarks/--landmark-seed only apply to solve, run, sim and serve"
+                .into(),
+        );
+    }
     match &args[..] {
         [] => Err("no command given".into()),
         [cmd, rest @ ..] => match (cmd.as_str(), rest) {
@@ -196,7 +270,10 @@ fn run(args: &[String]) -> Result<(), String> {
                 Ok(())
             }
             ("solve" | "run", [path]) => {
-                let scenario = Scenario::load(Path::new(path)).map_err(|e| e.to_string())?;
+                let mut scenario = Scenario::load(Path::new(path)).map_err(|e| e.to_string())?;
+                if let Some(backend) = backend {
+                    scenario.cost_backend = backend;
+                }
                 let mut sink = metrics.sink()?;
                 let output =
                     solve_observed(&scenario, sink.recorder()).map_err(|e| e.to_string())?;
@@ -243,7 +320,10 @@ fn run(args: &[String]) -> Result<(), String> {
                 Ok(())
             }
             ("sim", [path, rest @ ..]) if rest.len() <= 1 => {
-                let scenario = Scenario::load(Path::new(path)).map_err(|e| e.to_string())?;
+                let mut scenario = Scenario::load(Path::new(path)).map_err(|e| e.to_string())?;
+                if let Some(backend) = backend {
+                    scenario.cost_backend = backend;
+                }
                 let plan = match rest {
                     [chaos_path] => {
                         let text = std::fs::read_to_string(chaos_path)
@@ -285,8 +365,13 @@ fn run(args: &[String]) -> Result<(), String> {
                     }
                 }
                 let path = path.ok_or("serve requires a request-list file")?;
-                let specs =
+                let mut specs =
                     fap_cli::load_specs(Path::new(path)).map_err(|e| e.to_string())?;
+                if let Some(backend) = backend {
+                    for spec in &mut specs {
+                        spec.set_cost_backend(backend);
+                    }
+                }
                 let mut sink = metrics.sink()?;
                 let output =
                     fap_cli::serve_specs_with(&specs, shards, warm_start, sink.recorder())
@@ -417,6 +502,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 let fresh = fap_bench::scale::bench_scale(
                     &committed.ns,
                     &committed.ms,
+                    &committed.sparse_ns,
                     committed.iterations,
                     fap_batch::Parallelism::Auto,
                 );
@@ -442,6 +528,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 let report = fap_bench::scale::bench_scale(
                     &[64, 256, 1024],
                     &[1, 16, 128],
+                    &[64, 256, 1024, 4096, 16384, 65536, 131072],
                     25,
                     fap_batch::Parallelism::Auto,
                 );
@@ -449,11 +536,25 @@ fn run(args: &[String]) -> Result<(), String> {
                     serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
                 std::fs::write(out, format!("{json}\n"))
                     .map_err(|e| format!("writing {out}: {e}"))?;
-                println!("{} threads; wrote {} points to {out}", report.threads, report.points.len());
+                println!(
+                    "{} host CPUs, {} workers; wrote {} dense + {} sparse points to {out}",
+                    report.host_threads,
+                    report.threads,
+                    report.points.len(),
+                    report.sparse_points.len()
+                );
                 for p in &report.points {
                     println!(
                         "  {:<10} N={:<5} M={:<4} seq {:>9.2} ms  par {:>9.2} ms  speedup {:>5.2}x",
                         p.kind, p.n, p.m, p.sequential_ms, p.parallel_ms, p.speedup
+                    );
+                }
+                for p in &report.sparse_points {
+                    let gap = p.gap.map_or("      n/a".into(), |g| format!("{:>8.4}%", g * 100.0));
+                    println!(
+                        "  sparse     N={:<6} K={:<3} build {:>9.2} ms  solve {:>9.2} ms  gap {gap}  {:>6.1} MiB",
+                        p.n, p.landmarks, p.build_ms, p.solve_ms,
+                        p.provider_bytes as f64 / (1 << 20) as f64
                     );
                 }
                 Ok(())

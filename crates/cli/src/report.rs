@@ -147,6 +147,25 @@ pub fn render(summary: &ReportSummary) -> String {
             let _ = writeln!(out, "  {name:<width$}  {value}");
         }
     }
+    // The cost-substrate counters: landmark-oracle row traffic
+    // (`net.landmark_*`), hierarchical refinement (`hier.*`) and substrate
+    // cache activity (`cache.*`).
+    let substrate: Vec<&(String, u64)> = summary
+        .counters
+        .iter()
+        .filter(|(name, _)| {
+            name.starts_with("net.landmark_")
+                || name.starts_with("hier.")
+                || name.starts_with("cache.")
+        })
+        .collect();
+    if !substrate.is_empty() {
+        let _ = writeln!(out, "substrate:");
+        let width = substrate.iter().map(|(name, _)| name.len()).max().unwrap_or(0);
+        for (name, value) in substrate {
+            let _ = writeln!(out, "  {name:<width$}  {value}");
+        }
+    }
     match (summary.latency_p50, summary.latency_p99) {
         (Some(p50), Some(p99)) if summary.deliveries > 0 => {
             let _ = writeln!(

@@ -4,6 +4,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use fap_cache::CostBackend;
 use fap_net::{topology, AccessPattern, Graph, NodeId};
 
 /// Errors while loading or validating a scenario.
@@ -145,6 +146,13 @@ pub struct Scenario {
     /// Simulation seed (default 0).
     #[serde(default)]
     pub sim_seed: u64,
+    /// Cost substrate: the exact dense matrix (default) or the sparse
+    /// landmark oracle (`{"kind": "landmark", "landmarks": K, "seed": S}`).
+    /// The default is not serialized, so pre-PR-7 scenario files stay
+    /// byte-identical through a parse/serialize round trip (the daemon's
+    /// golden sessions pin this).
+    #[serde(default, skip_serializing_if = "CostBackend::is_exact")]
+    pub cost_backend: CostBackend,
 }
 
 fn default_alpha() -> f64 {
@@ -199,6 +207,7 @@ impl Scenario {
             initial: Some(vec![0.8, 0.1, 0.1, 0.0]),
             sim_duration: 100_000.0,
             sim_seed: 0,
+            cost_backend: CostBackend::Dense,
         }
     }
 

@@ -10,7 +10,7 @@
 use serde::{Deserialize, Serialize};
 
 use fap_batch::Parallelism;
-use fap_cache::CostMatrixCache;
+use fap_cache::{CostBackend, SubstrateCache};
 use fap_core::MultiFileProblem;
 use fap_net::AccessPattern;
 use fap_obs::Recorder;
@@ -50,6 +50,10 @@ pub enum ServeSpec {
     MultiFile {
         /// The network.
         topology: Topology,
+        /// Cost substrate (default: exact dense matrix, not serialized
+        /// at its default so pre-PR-7 spec files round-trip bytewise).
+        #[serde(default, skip_serializing_if = "CostBackend::is_exact")]
+        cost_backend: CostBackend,
         /// `lambdas[j][i]` = file `j`'s access rate at node `i`.
         lambdas: Vec<Vec<f64>>,
         /// Per-node service rates (a single entry is broadcast to all).
@@ -103,6 +107,25 @@ impl ServeSpec {
         }
     }
 
+    /// The spec's cost backend (`None` for specs that need no substrate).
+    pub fn cost_backend(&self) -> Option<CostBackend> {
+        match self {
+            ServeSpec::SingleFile { scenario } => Some(scenario.cost_backend),
+            ServeSpec::MultiFile { cost_backend, .. } => Some(*cost_backend),
+            ServeSpec::Ring { .. } => None,
+        }
+    }
+
+    /// Overrides the spec's cost backend (`fap serve --cost-backend`); a
+    /// no-op for specs that need no substrate.
+    pub fn set_cost_backend(&mut self, backend: CostBackend) {
+        match self {
+            ServeSpec::SingleFile { scenario } => scenario.cost_backend = backend,
+            ServeSpec::MultiFile { cost_backend, .. } => *cost_backend = backend,
+            ServeSpec::Ring { .. } => {}
+        }
+    }
+
     /// Builds the solver-level request this spec describes.
     ///
     /// # Errors
@@ -124,42 +147,50 @@ impl ServeSpec {
                     max_iterations: 1_000_000,
                 })
             }
-            ServeSpec::MultiFile { topology, .. } => {
+            ServeSpec::MultiFile { topology, cost_backend, .. } => {
                 let graph = topology.build()?;
-                let costs = graph
-                    .shortest_path_matrix()
-                    .map_err(|e| ScenarioError::Invalid(e.to_string()))?;
-                self.multi_file_request(&costs)
+                match cost_backend {
+                    CostBackend::Dense => {
+                        let costs =
+                            graph.shortest_path_matrix().map_err(crate::run::net_error)?;
+                        self.multi_file_request(&costs)
+                    }
+                    CostBackend::Landmark { landmarks, seed } => {
+                        let oracle = fap_net::LandmarkOracle::build(&graph, *landmarks, *seed)
+                            .map_err(crate::run::net_error)?;
+                        self.multi_file_request(&oracle)
+                    }
+                }
             }
             ServeSpec::Ring { .. } => self.ring_request(),
         }
     }
 
     /// Like [`to_request`](Self::to_request), but resolving each spec's
-    /// cost matrix through `cache`: specs sharing a topology fingerprint
-    /// run all-pairs Dijkstra once per distinct graph per batch (hits and
-    /// misses are recorded as `cache.*` metrics in `recorder`). The
-    /// requests — and therefore the responses — are bit-identical to the
-    /// uncached path, because a cached matrix is the same bits Dijkstra
-    /// would recompute.
+    /// cost substrate through `cache`: specs sharing a topology fingerprint
+    /// (and, for landmark backends, a `(K, seed)` pair) build their
+    /// substrate once per distinct key per batch (hits and misses are
+    /// recorded as `cache.*` metrics in `recorder`). The requests — and
+    /// therefore the responses — are bit-identical to the uncached path,
+    /// because a cached substrate is the same bits a rebuild would produce.
     ///
     /// # Errors
     ///
     /// Same conditions as [`to_request`](Self::to_request).
     pub fn to_request_cached(
         &self,
-        cache: &mut CostMatrixCache,
+        cache: &mut SubstrateCache,
         recorder: &mut dyn Recorder,
     ) -> Result<ServeRequest, ScenarioError> {
-        let topology = match self {
-            ServeSpec::SingleFile { scenario } => &scenario.topology,
-            ServeSpec::MultiFile { topology, .. } => topology,
+        let (topology, backend) = match self {
+            ServeSpec::SingleFile { scenario } => (&scenario.topology, scenario.cost_backend),
+            ServeSpec::MultiFile { topology, cost_backend, .. } => (topology, *cost_backend),
             ServeSpec::Ring { .. } => return self.ring_request(),
         };
         let graph = topology.build()?;
         let costs = cache
-            .get_or_compute_observed(&graph, Parallelism::Sequential, recorder)
-            .map_err(|e| ScenarioError::Invalid(e.to_string()))?;
+            .get_or_build_observed(&graph, backend, Parallelism::Sequential, recorder)
+            .map_err(crate::run::net_error)?;
         match self {
             ServeSpec::SingleFile { scenario } => {
                 let problem = problem_of_with_costs(scenario, costs)?;
@@ -179,9 +210,13 @@ impl ServeSpec {
         }
     }
 
-    fn multi_file_request(&self, costs: &fap_net::CostMatrix) -> Result<ServeRequest, ScenarioError> {
-        let ServeSpec::MultiFile { topology, lambdas, mus, k, alpha, epsilon, max_iterations } =
-            self
+    fn multi_file_request(
+        &self,
+        costs: &(impl fap_net::CostProvider + ?Sized),
+    ) -> Result<ServeRequest, ScenarioError> {
+        let ServeSpec::MultiFile {
+            topology, lambdas, mus, k, alpha, epsilon, max_iterations, ..
+        } = self
         else {
             unreachable!("multi_file_request called on a non-multi-file spec");
         };
@@ -192,8 +227,9 @@ impl ServeSpec {
             .collect::<Result<_, _>>()
             .map_err(|e| ScenarioError::Invalid(e.to_string()))?;
         let rates = if mus.len() == 1 { vec![mus[0]; n] } else { mus.clone() };
-        let problem = MultiFileProblem::mm1_heterogeneous_with_costs(costs, &patterns, &rates, *k)
-            .map_err(|e| ScenarioError::Invalid(e.to_string()))?;
+        let problem =
+            MultiFileProblem::mm1_heterogeneous_with_provider(costs, &patterns, &rates, *k)
+                .map_err(|e| ScenarioError::Invalid(e.to_string()))?;
         let initial = vec![vec![1.0 / n as f64; n]; lambdas.len()];
         Ok(ServeRequest::MultiFile {
             problem,
@@ -266,6 +302,7 @@ pub fn example_specs() -> Vec<ServeSpec> {
         ServeSpec::SingleFile { scenario: Scenario::example() },
         ServeSpec::MultiFile {
             topology: Topology::Ring { n: 4, link_cost: 1.0 },
+            cost_backend: CostBackend::Dense,
             lambdas: vec![vec![0.25; 4], vec![0.1, 0.2, 0.3, 0.4]],
             mus: vec![2.5],
             k: 1.0,
@@ -294,10 +331,11 @@ pub fn example_specs_json() -> String {
 
 /// Converts every spec and serves the batch across `shards` workers,
 /// fanning per-shard metrics into the output's aggregate registry and
-/// `recorder`. Cost matrices are resolved through a per-batch
-/// [`CostMatrixCache`], so specs sharing a topology run all-pairs Dijkstra
-/// once (visible as `cache.hit`/`cache.miss`/`cache.bytes` in `recorder`);
-/// the responses are bit-identical to building every matrix from scratch.
+/// `recorder`. Cost substrates are resolved through a per-batch
+/// [`SubstrateCache`], so specs sharing a topology (and backend key) build
+/// their substrate once (visible as `cache.hit`/`cache.miss`/`cache.bytes`
+/// — or `cache.landmark_*` for sparse backends — in `recorder`); the
+/// responses are bit-identical to building every substrate from scratch.
 ///
 /// # Errors
 ///
@@ -327,7 +365,7 @@ pub fn serve_specs_with(
     warm_start: bool,
     recorder: &mut dyn Recorder,
 ) -> Result<ServeOutput, ScenarioError> {
-    let mut cache = CostMatrixCache::new();
+    let mut cache = SubstrateCache::new();
     let requests: Vec<ServeRequest> = specs
         .iter()
         .enumerate()
@@ -465,6 +503,39 @@ mod tests {
         let cached =
             serve_specs(&specs, Parallelism::Sequential, &mut fap_obs::NoopRecorder).unwrap();
         assert_eq!(uncached.responses, cached.responses);
+    }
+
+    #[test]
+    fn landmark_specs_serve_through_the_oracle_cache() {
+        let mut sparse_scenario = Scenario::example();
+        sparse_scenario.cost_backend = CostBackend::Landmark { landmarks: 2, seed: 1 };
+        let specs = vec![
+            ServeSpec::SingleFile { scenario: sparse_scenario.clone() },
+            ServeSpec::SingleFile { scenario: sparse_scenario },
+            ServeSpec::SingleFile { scenario: Scenario::example() },
+        ];
+        let mut telemetry = fap_obs::Telemetry::manual();
+        let output = serve_specs(&specs, Parallelism::Sequential, &mut telemetry).unwrap();
+        assert_eq!(output.err_count(), 0);
+        let registry = telemetry.registry();
+        assert_eq!(registry.counter("cache.landmark_miss"), 1, "one oracle build");
+        assert_eq!(registry.counter("cache.landmark_hit"), 1, "repeat spec hits");
+        assert_eq!(registry.counter("cache.miss"), 1, "dense spec uses the dense side");
+        // A round-trip through JSON preserves the backend choice.
+        let json = serde_json::to_string(&specs).unwrap();
+        assert_eq!(specs_from_json(&json).unwrap(), specs);
+    }
+
+    #[test]
+    fn backend_override_rewrites_every_spec() {
+        let mut specs = example_specs();
+        let backend = CostBackend::Landmark { landmarks: 3, seed: 9 };
+        for spec in &mut specs {
+            spec.set_cost_backend(backend);
+        }
+        assert_eq!(specs[0].cost_backend(), Some(backend));
+        assert_eq!(specs[1].cost_backend(), Some(backend));
+        assert_eq!(specs[2].cost_backend(), None, "ring specs need no substrate");
     }
 
     #[test]

@@ -17,7 +17,7 @@ use std::io::{BufRead, Write};
 
 use serde::{Deserialize, Value};
 
-use fap_cache::CostMatrixCache;
+use fap_cache::SubstrateCache;
 use fap_obs::Recorder;
 use fap_serve::ServeRequest;
 use fap_served::{BatchParser, Daemon, DaemonConfig};
@@ -25,10 +25,10 @@ use fap_served::{BatchParser, Daemon, DaemonConfig};
 use crate::serve::ServeSpec;
 
 /// The CLI's batch parser: an envelope's `batch` field is a JSON array of
-/// [`ServeSpec`]s, resolved through the daemon's persistent cost-matrix
+/// [`ServeSpec`]s, resolved through the daemon's persistent substrate
 /// cache (hits and misses land in the session's `cache.*` metrics).
 pub fn spec_parser() -> impl BatchParser {
-    |batch: &Value, cache: &mut CostMatrixCache, recorder: &mut dyn Recorder| {
+    |batch: &Value, cache: &mut SubstrateCache, recorder: &mut dyn Recorder| {
         let specs = Vec::<ServeSpec>::deserialize_value(batch)
             .map_err(|e| format!("bad batch: {e}"))?;
         if specs.is_empty() {

@@ -1,0 +1,479 @@
+//! Hierarchical cluster-solve-refine: the file-allocation problem at node
+//! counts where the exact solver no longer fits.
+//!
+//! The dense pipeline solves one `N`-dimensional problem over exact costs.
+//! At `N = 10⁵` the cost matrix alone is a dead end, so this module solves
+//! the problem in three stages on top of a [`LandmarkOracle`]:
+//!
+//! 1. **Aggregate** — collapse the network to its `K` landmark clusters:
+//!    pooled service capacity `μ_a = Σ_{i∈a} μ_i`, hub-estimated access
+//!    cost of each cluster's landmark, and solve the `K`-dimensional FAP
+//!    for cluster shares `y_a` (`Σ_a y_a = 1`).
+//! 2. **Per-cluster** — split each share among its members. Substituting
+//!    `x_i = y_a·z_i` turns the restriction of equation 1 to cluster `a`
+//!    into another [`SingleFileProblem`] with total rate `λ·y_a`, so the
+//!    existing solver applies unchanged.
+//! 3. **Refine** — resource-directed rounds *across* cluster boundaries:
+//!    compute member marginals of the full estimated problem, step the
+//!    cluster shares toward the high-marginal clusters, project back onto
+//!    the simplex (capacity-capped), and re-solve the inner problems
+//!    **warm-started** from their previous optima via
+//!    [`OptimizerScratch::start_from`] — the PR-5 warm-path engine as the
+//!    refinement engine. Rounds stop when the cluster-marginal spread
+//!    falls below ε; each round increments the `hier.refine_rounds`
+//!    counter.
+//!
+//! Everything is sequential and deterministic: the same oracle, workload
+//! and config produce a bit-identical allocation, which is what lets the
+//! scale bench pin checksums on the hierarchical path.
+
+use serde::{Deserialize, Serialize};
+
+use fap_econ::{
+    project_onto_simplex, AllocationProblem, OptimizerScratch, ResourceDirectedOptimizer,
+    StepSize,
+};
+use fap_net::{AccessPattern, CostProvider, LandmarkOracle, NodeId};
+use fap_obs::{NoopRecorder, Recorder};
+use fap_queue::Mm1Delay;
+
+use crate::error::CoreError;
+use crate::single::SingleFileProblem;
+
+/// Tuning knobs for [`solve_hierarchical`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HierarchicalConfig {
+    /// Upper clamp on the dynamic step of the aggregate and per-cluster
+    /// solves (they use [`StepSize::Dynamic`], whose utility backtracking
+    /// keeps heavily-loaded inner subproblems clear of their capacity
+    /// poles).
+    pub alpha: f64,
+    /// Marginal-spread convergence threshold, shared by every stage.
+    pub epsilon: f64,
+    /// Iteration cap per aggregate/inner solve.
+    pub max_inner_iterations: usize,
+    /// Cap on cross-cluster refinement rounds.
+    pub max_refine_rounds: usize,
+    /// Step size of the refinement updates on the cluster shares.
+    pub refine_step: f64,
+}
+
+impl Default for HierarchicalConfig {
+    fn default() -> Self {
+        HierarchicalConfig {
+            alpha: 1.0,
+            epsilon: 1e-6,
+            max_inner_iterations: 200_000,
+            max_refine_rounds: 8,
+            refine_step: 0.05,
+        }
+    }
+}
+
+/// The result of a hierarchical solve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HierarchicalSolution {
+    /// The global allocation `x` over all `N` nodes (`Σ x_i = 1`).
+    pub allocation: Vec<f64>,
+    /// Final cluster shares `y_a`.
+    pub cluster_shares: Vec<f64>,
+    /// Number of clusters `K`.
+    pub clusters: usize,
+    /// Iterations spent by the aggregate solve.
+    pub aggregate_iterations: usize,
+    /// Iterations spent by all per-cluster solves, over all rounds.
+    pub inner_iterations: usize,
+    /// Cross-cluster refinement rounds executed.
+    pub refine_rounds: usize,
+    /// Whether refinement converged (cluster-marginal spread below ε).
+    pub converged: bool,
+    /// Cost of the returned allocation under the oracle's estimated
+    /// access costs (equation 1 with estimated `C_i`).
+    pub estimated_cost: f64,
+}
+
+/// Solves the single-file problem hierarchically on `oracle`.
+///
+/// Equivalent to [`solve_hierarchical_observed`] with a [`NoopRecorder`].
+///
+/// # Errors
+///
+/// Same conditions as [`solve_hierarchical_observed`].
+pub fn solve_hierarchical(
+    oracle: &LandmarkOracle,
+    pattern: &AccessPattern,
+    mus: &[f64],
+    k: f64,
+    config: &HierarchicalConfig,
+) -> Result<HierarchicalSolution, CoreError> {
+    solve_hierarchical_observed(oracle, pattern, mus, k, config, &mut NoopRecorder)
+}
+
+/// Solves the single-file problem hierarchically, recording the
+/// `hier.refine_rounds` counter (one increment per refinement round) and
+/// the oracle's row-cache counters into `recorder`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] for mismatched dimensions or
+/// invalid config values, [`CoreError::InsufficientCapacity`] when
+/// `Σ μ_i ≤ λ`, and any solver error from the aggregate or per-cluster
+/// stages.
+pub fn solve_hierarchical_observed(
+    oracle: &LandmarkOracle,
+    pattern: &AccessPattern,
+    mus: &[f64],
+    k: f64,
+    config: &HierarchicalConfig,
+    recorder: &mut dyn Recorder,
+) -> Result<HierarchicalSolution, CoreError> {
+    let n = oracle.node_count();
+    if pattern.node_count() != n || mus.len() != n {
+        return Err(CoreError::InvalidParameter(format!(
+            "oracle covers {n} nodes, pattern {} and mus {}",
+            pattern.node_count(),
+            mus.len()
+        )));
+    }
+    if !(config.alpha.is_finite()
+        && config.alpha > 0.0
+        && config.refine_step.is_finite()
+        && config.refine_step > 0.0
+        && config.epsilon.is_finite()
+        && config.epsilon > 0.0)
+    {
+        return Err(CoreError::InvalidParameter(format!(
+            "hierarchical config: alpha {}, refine_step {}, epsilon {}",
+            config.alpha, config.refine_step, config.epsilon
+        )));
+    }
+    let lambda = pattern.total_rate();
+
+    // The full problem under the oracle's estimated access costs: the
+    // refinement marginals and the reported cost are evaluated on it.
+    let est_costs = oracle.systemwide_access_costs(pattern);
+    let full = SingleFileProblem::from_parts(
+        est_costs.clone(),
+        lambda,
+        mus.iter().map(|&mu| Mm1Delay::new(mu)).collect::<Result<Vec<_>, _>>()?,
+        k,
+    )?;
+
+    let clusters = oracle.cluster_members();
+    let kk = clusters.len();
+    let pooled_mu: Vec<f64> = clusters
+        .iter()
+        .map(|members| members.iter().map(|&i| mus[i.index()]).sum())
+        .collect();
+    // Share ceiling per cluster: the margin keeps every inner subproblem
+    // strictly inside its pooled capacity (Σ caps > 1 whenever Σ μ > λ).
+    let rho = lambda / pooled_mu.iter().sum::<f64>();
+    let margin = (0.5 * (1.0 - rho)).min(1e-3);
+    let caps: Vec<f64> = pooled_mu.iter().map(|&mu_a| mu_a / lambda * (1.0 - margin)).collect();
+
+    let solver = ResourceDirectedOptimizer::new(StepSize::Dynamic {
+        safety: 0.9,
+        max: config.alpha,
+    })
+        .with_epsilon(config.epsilon)
+        .with_max_iterations(config.max_inner_iterations);
+    let mut scratch = OptimizerScratch::new();
+
+    // Stage 1: aggregate K-cluster solve from a capacity-proportional
+    // (hence feasible) start.
+    let aggregate = SingleFileProblem::from_parts(
+        (0..kk).map(|a| est_costs[oracle.landmarks()[a].index()]).collect(),
+        lambda,
+        pooled_mu.iter().map(|&mu_a| Mm1Delay::new(mu_a)).collect::<Result<Vec<_>, _>>()?,
+        k,
+    )?;
+    let total_mu: f64 = pooled_mu.iter().sum();
+    let y0: Vec<f64> = pooled_mu.iter().map(|&mu_a| mu_a / total_mu).collect();
+    let agg_solution = solver.run_with_scratch(&aggregate, &y0, &mut scratch)?;
+    let aggregate_iterations = agg_solution.iterations;
+    let mut shares = agg_solution.allocation;
+    clamp_to_caps(&mut shares, &caps);
+
+    // Stage 2 state: per-cluster member splits z (x_i = y_a · z_i).
+    let mut splits: Vec<Vec<f64>> = clusters
+        .iter()
+        .enumerate()
+        .map(|(a, members)| {
+            members.iter().map(|&i| mus[i.index()] / pooled_mu[a]).collect()
+        })
+        .collect();
+    let mut inner_iterations = 0usize;
+    solve_clusters(
+        &clusters, &shares, &est_costs, mus, lambda, k, margin, &solver, &mut scratch,
+        &mut splits, &mut inner_iterations, false,
+    )?;
+
+    let mut x = compose(n, &clusters, &shares, &splits);
+    let mut best_x = x.clone();
+    let mut best_cost = full.cost_of(&best_x)?;
+    let mut best_shares = shares.clone();
+
+    // Stage 3: cross-cluster refinement with warm-started inner re-solves.
+    let mut marginals = vec![0.0; n];
+    let mut refine_rounds = 0usize;
+    let mut converged = false;
+    for _ in 0..config.max_refine_rounds {
+        full.marginal_utilities(&x, &mut marginals)?;
+        // Cluster marginal: allocation-weighted member marginal for active
+        // clusters, best entrant marginal for empty ones.
+        let cluster_marginals: Vec<f64> = clusters
+            .iter()
+            .enumerate()
+            .map(|(a, members)| {
+                if shares[a] > 0.0 {
+                    members
+                        .iter()
+                        .zip(&splits[a])
+                        .map(|(&i, &z)| z * marginals[i.index()])
+                        .sum()
+                } else {
+                    members
+                        .iter()
+                        .map(|&i| marginals[i.index()])
+                        .fold(f64::NEG_INFINITY, f64::max)
+                }
+            })
+            .collect();
+        let spread = cluster_marginals.iter().fold(f64::NEG_INFINITY, |m, &g| m.max(g))
+            - cluster_marginals.iter().fold(f64::INFINITY, |m, &g| m.min(g));
+        if spread < config.epsilon {
+            converged = true;
+            break;
+        }
+        refine_rounds += 1;
+        recorder.incr("hier.refine_rounds", 1);
+
+        // Resource-directed step on the shares: move resource toward the
+        // clusters whose members report higher marginal utility.
+        let mean: f64 = shares.iter().zip(&cluster_marginals).map(|(&y, &g)| y * g).sum();
+        for (y, &g) in shares.iter_mut().zip(&cluster_marginals) {
+            *y += config.refine_step * (g - mean);
+        }
+        project_onto_simplex(&mut shares, 1.0);
+        clamp_to_caps(&mut shares, &caps);
+
+        solve_clusters(
+            &clusters, &shares, &est_costs, mus, lambda, k, margin, &solver, &mut scratch,
+            &mut splits, &mut inner_iterations, true,
+        )?;
+        x = compose(n, &clusters, &shares, &splits);
+        let cost = full.cost_of(&x)?;
+        if cost < best_cost {
+            best_cost = cost;
+            best_x.copy_from_slice(&x);
+            best_shares.copy_from_slice(&shares);
+        }
+    }
+    oracle.publish_metrics(recorder);
+
+    Ok(HierarchicalSolution {
+        allocation: best_x,
+        cluster_shares: best_shares,
+        clusters: kk,
+        aggregate_iterations,
+        inner_iterations,
+        refine_rounds,
+        converged,
+        estimated_cost: best_cost,
+    })
+}
+
+/// Solves every active cluster's inner problem, updating `splits` in place
+/// and adding iteration counts to `inner_iterations`. With `warm` set, each
+/// solve is seeded from the cluster's previous split.
+#[allow(clippy::too_many_arguments)]
+fn solve_clusters(
+    clusters: &[Vec<NodeId>],
+    shares: &[f64],
+    est_costs: &[f64],
+    mus: &[f64],
+    lambda: f64,
+    k: f64,
+    margin: f64,
+    solver: &ResourceDirectedOptimizer,
+    scratch: &mut OptimizerScratch,
+    splits: &mut [Vec<f64>],
+    inner_iterations: &mut usize,
+    warm: bool,
+) -> Result<(), CoreError> {
+    for (a, members) in clusters.iter().enumerate() {
+        if shares[a] <= 0.0 || members.len() < 2 {
+            // A zero-share or singleton cluster needs no inner solve; its
+            // split stays at the previous (or capacity-proportional) value.
+            continue;
+        }
+        let inner_rate = lambda * shares[a];
+        let inner = SingleFileProblem::from_parts(
+            members.iter().map(|&i| est_costs[i.index()]).collect(),
+            inner_rate,
+            members
+                .iter()
+                .map(|&i| Mm1Delay::new(mus[i.index()]))
+                .collect::<Result<Vec<_>, _>>()?,
+            k,
+        )?;
+        // A seed carried over from a smaller share can overload a member
+        // once the share grows; clamp it back inside the member capacities
+        // (the half-margin leaves the caps summing above one, so the clamp
+        // always lands feasible).
+        let member_caps: Vec<f64> = members
+            .iter()
+            .map(|&i| mus[i.index()] * (1.0 - 0.5 * margin) / inner_rate)
+            .collect();
+        clamp_to_caps(&mut splits[a], &member_caps);
+        if warm {
+            scratch.start_from(&splits[a]);
+        }
+        let solution = solver.run_with_scratch(&inner, &splits[a].clone(), scratch)?;
+        *inner_iterations += solution.iterations;
+        splits[a] = solution.allocation;
+    }
+    Ok(())
+}
+
+/// Assembles the global allocation `x_i = y_{home(i)} · z_i`.
+fn compose(n: usize, clusters: &[Vec<NodeId>], shares: &[f64], splits: &[Vec<f64>]) -> Vec<f64> {
+    let mut x = vec![0.0; n];
+    for (a, members) in clusters.iter().enumerate() {
+        if shares[a] <= 0.0 {
+            continue;
+        }
+        for (&i, &z) in members.iter().zip(&splits[a]) {
+            x[i.index()] = shares[a] * z;
+        }
+    }
+    x
+}
+
+/// Caps each share at its cluster's capacity ceiling, redistributing the
+/// excess to clusters with remaining headroom (preserves `Σ y = 1`;
+/// `Σ caps > 1` guarantees termination with every cap respected).
+fn clamp_to_caps(shares: &mut [f64], caps: &[f64]) {
+    for _ in 0..shares.len() {
+        let mut excess = 0.0;
+        for (y, &cap) in shares.iter_mut().zip(caps) {
+            if *y > cap {
+                excess += *y - cap;
+                *y = cap;
+            }
+        }
+        if excess <= 0.0 {
+            return;
+        }
+        let slack: f64 =
+            shares.iter().zip(caps).map(|(&y, &cap)| (cap - y).max(0.0)).sum();
+        if slack <= 0.0 {
+            return;
+        }
+        for (y, &cap) in shares.iter_mut().zip(caps) {
+            let head = cap - *y;
+            if head > 0.0 {
+                *y += excess * head / slack;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use fap_net::{topology, LandmarkOracle};
+
+    fn mesh_setup(n: usize, seed: u64) -> (LandmarkOracle, AccessPattern, Vec<f64>) {
+        let g = topology::random_connected(n, 0.15, 1.0..4.0, seed).unwrap();
+        let oracle = LandmarkOracle::build(&g, (n / 6).max(2), 11).unwrap();
+        let pattern = AccessPattern::random(n, 0.2..2.0, seed + 1).unwrap();
+        let mu = 4.0 * pattern.total_rate() / n as f64;
+        (oracle, pattern, vec![mu; n])
+    }
+
+    #[test]
+    fn allocation_is_feasible_and_deterministic() {
+        let (oracle, pattern, mus) = mesh_setup(36, 5);
+        let cfg = HierarchicalConfig::default();
+        let a = solve_hierarchical(&oracle, &pattern, &mus, 1.0, &cfg).unwrap();
+        let total: f64 = a.allocation.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "sums to {total}");
+        assert!(a.allocation.iter().all(|&x| x >= 0.0));
+        let b = solve_hierarchical(&oracle, &pattern, &mus, 1.0, &cfg).unwrap();
+        for (p, q) in a.allocation.iter().zip(&b.allocation) {
+            assert_eq!(p.to_bits(), q.to_bits());
+        }
+    }
+
+    #[test]
+    fn refinement_never_worsens_the_estimated_cost() {
+        let (oracle, pattern, mus) = mesh_setup(30, 9);
+        let no_refine =
+            HierarchicalConfig { max_refine_rounds: 0, ..HierarchicalConfig::default() };
+        let base = solve_hierarchical(&oracle, &pattern, &mus, 1.0, &no_refine).unwrap();
+        let refined =
+            solve_hierarchical(&oracle, &pattern, &mus, 1.0, &HierarchicalConfig::default())
+                .unwrap();
+        assert!(refined.estimated_cost <= base.estimated_cost + 1e-12);
+    }
+
+    #[test]
+    fn close_to_exact_on_a_small_mesh() {
+        let (oracle, pattern, mus) = mesh_setup(24, 3);
+        let refined =
+            solve_hierarchical(&oracle, &pattern, &mus, 1.0, &HierarchicalConfig::default())
+                .unwrap();
+        // Exact optimum of the *estimated* problem bounds what the
+        // hierarchical pipeline can achieve on it.
+        let est = SingleFileProblem::from_parts(
+            oracle.systemwide_access_costs(&pattern),
+            pattern.total_rate(),
+            mus.iter().map(|&m| Mm1Delay::new(m).unwrap()).collect(),
+            1.0,
+        )
+        .unwrap();
+        let exact = reference::solve(&est).unwrap();
+        let exact_cost = est.cost_of(&exact.allocation).unwrap();
+        assert!(
+            refined.estimated_cost <= exact_cost * 1.05 + 1e-9,
+            "hierarchical {} vs exact {exact_cost}",
+            refined.estimated_cost
+        );
+    }
+
+    #[test]
+    fn records_refine_rounds() {
+        let (oracle, pattern, mus) = mesh_setup(30, 7);
+        let mut registry = fap_obs::MetricsRegistry::new();
+        let cfg = HierarchicalConfig { epsilon: 1e-12, ..HierarchicalConfig::default() };
+        let sol = solve_hierarchical_observed(
+            &oracle, &pattern, &mus, 1.0, &cfg, &mut registry,
+        )
+        .unwrap();
+        assert_eq!(registry.counter("hier.refine_rounds"), sol.refine_rounds as u64);
+        assert!(sol.refine_rounds > 0, "tight epsilon should force refinement");
+    }
+
+    #[test]
+    fn rejects_mismatched_dimensions() {
+        let (oracle, _pattern, mus) = mesh_setup(20, 2);
+        let short = AccessPattern::uniform(10, 1.0).unwrap();
+        assert!(matches!(
+            solve_hierarchical(&oracle, &short, &mus, 1.0, &HierarchicalConfig::default()),
+            Err(CoreError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn clamp_preserves_total_and_caps() {
+        let mut y = vec![0.7, 0.2, 0.1];
+        let caps = vec![0.4, 0.5, 0.6];
+        clamp_to_caps(&mut y, &caps);
+        assert!((y.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        for (v, c) in y.iter().zip(&caps) {
+            assert!(v <= &(c + 1e-12));
+        }
+    }
+}

@@ -63,6 +63,7 @@ pub mod adaptive;
 pub mod baseline;
 pub mod bound;
 pub mod error;
+pub mod hierarchical;
 pub mod market;
 pub mod multi_file;
 pub mod query_update;
@@ -74,6 +75,9 @@ pub mod tuning;
 
 pub use adaptive::AdaptiveAllocator;
 pub use error::CoreError;
+pub use hierarchical::{
+    solve_hierarchical, solve_hierarchical_observed, HierarchicalConfig, HierarchicalSolution,
+};
 pub use market::HostingMarket;
 pub use multi_file::{MultiFileProblem, MultiFileScratch, MultiFileSolution};
 pub use reference::ReferenceSolution;

@@ -205,6 +205,23 @@ impl MultiFileProblem {
         mus: &[f64],
         k: f64,
     ) -> Result<Self, CoreError> {
+        Self::mm1_heterogeneous_with_provider(costs, patterns, mus, k)
+    }
+
+    /// [`MultiFileProblem::mm1_heterogeneous_with_costs`] over any
+    /// [`fap_net::CostProvider`] — bit-identical for the dense matrix,
+    /// estimated access costs for sparse providers like the landmark
+    /// oracle.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MultiFileProblem::mm1_heterogeneous`].
+    pub fn mm1_heterogeneous_with_provider(
+        costs: &(impl fap_net::CostProvider + ?Sized),
+        patterns: &[AccessPattern],
+        mus: &[f64],
+        k: f64,
+    ) -> Result<Self, CoreError> {
         if patterns.is_empty() {
             return Err(CoreError::InvalidParameter("no files".into()));
         }

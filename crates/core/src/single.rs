@@ -19,7 +19,7 @@ use serde::{Deserialize, Serialize};
 
 use fap_econ::problem::check_dimension;
 use fap_econ::{AllocationProblem, EconError};
-use fap_net::{AccessPattern, CostMatrix, Graph};
+use fap_net::{AccessPattern, CostMatrix, CostProvider, Graph};
 use fap_queue::{DelayModel, Mg1Delay, Mm1Delay};
 
 use crate::error::CoreError;
@@ -75,9 +75,32 @@ impl SingleFileProblem<Mm1Delay> {
         mu: f64,
         k: f64,
     ) -> Result<Self, CoreError> {
-        let n = costs.node_count();
+        Self::mm1_with_provider(costs, pattern, mu, k)
+    }
+
+    /// Builds the paper's model from any [`CostProvider`] — the dense
+    /// matrix, the landmark oracle, or anything else implementing the
+    /// sparse cost substrate. For a dense [`CostMatrix`] this is
+    /// bit-identical to [`SingleFileProblem::mm1_with_costs`]; for a sparse
+    /// provider the access costs `C_i` are the provider's estimates.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SingleFileProblem::mm1`].
+    pub fn mm1_with_provider(
+        provider: &(impl CostProvider + ?Sized),
+        pattern: &AccessPattern,
+        mu: f64,
+        k: f64,
+    ) -> Result<Self, CoreError> {
+        let n = provider.node_count();
         let delay = Mm1Delay::new(mu)?;
-        Self::from_parts(costs.systemwide_access_costs(pattern), pattern.total_rate(), vec![delay; n], k)
+        Self::from_parts(
+            provider.systemwide_access_costs(pattern),
+            pattern.total_rate(),
+            vec![delay; n],
+            k,
+        )
     }
 
     /// Builds the model with heterogeneous M/M/1 service rates `mus`
@@ -114,8 +137,28 @@ impl SingleFileProblem<Mm1Delay> {
         mus: &[f64],
         k: f64,
     ) -> Result<Self, CoreError> {
+        Self::mm1_heterogeneous_with_provider(costs, pattern, mus, k)
+    }
+
+    /// [`SingleFileProblem::mm1_heterogeneous_with_costs`] over any
+    /// [`CostProvider`] (bit-identical for the dense matrix).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SingleFileProblem::mm1_heterogeneous`].
+    pub fn mm1_heterogeneous_with_provider(
+        provider: &(impl CostProvider + ?Sized),
+        pattern: &AccessPattern,
+        mus: &[f64],
+        k: f64,
+    ) -> Result<Self, CoreError> {
         let delays = mus.iter().map(|&mu| Mm1Delay::new(mu)).collect::<Result<Vec<_>, _>>()?;
-        Self::from_parts(costs.systemwide_access_costs(pattern), pattern.total_rate(), delays, k)
+        Self::from_parts(
+            provider.systemwide_access_costs(pattern),
+            pattern.total_rate(),
+            delays,
+            k,
+        )
     }
 }
 

@@ -18,7 +18,9 @@
 
 use serde::{Deserialize, Serialize};
 
-use fap_net::{AccessPattern, CostMatrix};
+use fap_net::{AccessPattern, CostProvider};
+#[cfg(test)]
+use fap_net::CostMatrix;
 use fap_queue::{DelayModel, Mm1Delay};
 
 use crate::error::CoreError;
@@ -49,7 +51,7 @@ pub struct KSweepPoint {
 /// Returns [`CoreError::InvalidParameter`] for an empty or non-positive
 /// candidate list, plus any model-construction error.
 pub fn k_sweep(
-    costs: &CostMatrix,
+    costs: &(impl CostProvider + ?Sized),
     pattern: &AccessPattern,
     mu: f64,
     candidates: &[f64],
@@ -63,7 +65,7 @@ pub fn k_sweep(
     candidates
         .iter()
         .map(|&k| {
-            let problem = SingleFileProblem::mm1_with_costs(costs, pattern, mu, k)?;
+            let problem = SingleFileProblem::mm1_with_provider(costs, pattern, mu, k)?;
             let solution = reference::solve(&problem)?;
             Ok(decompose(&problem, k, solution.allocation))
         })
@@ -80,7 +82,7 @@ pub fn k_sweep(
 /// (delay at the optimum decreases in `k` toward the balanced-allocation
 /// floor; a budget below that floor cannot be met by tuning `k`).
 pub fn k_for_delay_budget(
-    costs: &CostMatrix,
+    costs: &(impl CostProvider + ?Sized),
     pattern: &AccessPattern,
     mu: f64,
     delay_budget: f64,
@@ -98,7 +100,7 @@ pub fn k_for_delay_budget(
         return Err(CoreError::InvalidParameter(format!("tolerance {tolerance}")));
     }
     let delay_at = |k: f64| -> Result<KSweepPoint, CoreError> {
-        let problem = SingleFileProblem::mm1_with_costs(costs, pattern, mu, k)?;
+        let problem = SingleFileProblem::mm1_with_provider(costs, pattern, mu, k)?;
         let solution = reference::solve(&problem)?;
         Ok(decompose(&problem, k, solution.allocation))
     };

@@ -46,6 +46,19 @@ pub enum NetError {
     },
     /// A probability parameter was outside `[0, 1]`.
     InvalidProbability(f64),
+    /// A dense all-pairs computation would exceed the element budget.
+    ///
+    /// Returned instead of attempting an `O(N²)` allocation that would
+    /// dwarf memory at production node counts; callers wanting to scale
+    /// past the budget should switch to the sparse landmark substrate.
+    TooLarge {
+        /// Number of nodes requested.
+        nodes: usize,
+        /// The `n·n` element count that was rejected.
+        elements: u128,
+        /// The configured element budget.
+        budget: u64,
+    },
 }
 
 impl fmt::Display for NetError {
@@ -67,6 +80,13 @@ impl fmt::Display for NetError {
             NetError::SelfLoop { node } => write!(f, "self-loop at node {node}"),
             NetError::InvalidProbability(p) => {
                 write!(f, "probability {p} outside the unit interval")
+            }
+            NetError::TooLarge { nodes, elements, budget } => {
+                write!(
+                    f,
+                    "dense {nodes}x{nodes} cost matrix needs {elements} elements, over the \
+                     budget of {budget}; use a sparse backend (landmark oracle) instead"
+                )
             }
         }
     }

@@ -40,6 +40,8 @@ pub mod cost;
 pub mod error;
 pub mod estimate;
 pub mod graph;
+pub mod landmark;
+pub mod provider;
 pub mod routing;
 pub mod shortest_path;
 pub mod topology;
@@ -49,5 +51,7 @@ pub use cost::CostMatrix;
 pub use error::NetError;
 pub use fap_batch::Parallelism;
 pub use graph::{Graph, Link, NodeId};
+pub use landmark::LandmarkOracle;
+pub use provider::CostProvider;
 pub use routing::RoutingTable;
 pub use workload::AccessPattern;

@@ -27,7 +27,7 @@ use crate::graph::{Graph, NodeId};
 
 /// A heap entry ordered by *minimum* cost (reversed for `BinaryHeap`).
 #[derive(Debug, PartialEq)]
-struct HeapEntry {
+pub(crate) struct HeapEntry {
     cost: f64,
     node: NodeId,
 }
@@ -51,10 +51,27 @@ impl PartialOrd for HeapEntry {
     }
 }
 
+/// Default element budget for dense all-pairs computations: `n·n` beyond
+/// this (64 Mi elements ≈ 512 MiB of `f64`, i.e. N > 8192) returns
+/// [`NetError::TooLarge`] instead of attempting the allocation. The
+/// landmark oracle ([`crate::landmark::LandmarkOracle`]) has no such
+/// ceiling.
+pub const DEFAULT_DENSE_ELEMENT_BUDGET: u64 = 1 << 26;
+
+/// Rejects a dense `n × n` computation whose element count exceeds
+/// `budget`.
+fn check_dense_budget(n: usize, budget: u64) -> Result<(), NetError> {
+    let elements = (n as u128) * (n as u128);
+    if elements > u128::from(budget) {
+        return Err(NetError::TooLarge { nodes: n, elements, budget });
+    }
+    Ok(())
+}
+
 /// The one Dijkstra inner loop shared by every public entry point: writes
 /// distances into `dist` (and, when given, predecessors into `pred`),
 /// reusing the caller's heap so batch sweeps allocate nothing per source.
-fn dijkstra_into(
+pub(crate) fn dijkstra_into(
     graph: &Graph,
     source: NodeId,
     dist: &mut [f64],
@@ -146,9 +163,27 @@ fn dijkstra_rows(graph: &Graph, first: usize, chunk: &mut [f64]) -> Result<(), N
 ///
 /// Returns [`NetError::Disconnected`] if any ordered pair of distinct nodes
 /// has no connecting path — the paper's model assumes the network is
-/// logically fully connected.
+/// logically fully connected — and [`NetError::TooLarge`] if `n·n` exceeds
+/// [`DEFAULT_DENSE_ELEMENT_BUDGET`].
 pub fn all_pairs_dijkstra(graph: &Graph) -> Result<CostMatrix, NetError> {
     all_pairs_dijkstra_parallel(graph, Parallelism::Sequential)
+}
+
+/// Like [`all_pairs_dijkstra_parallel`] with an explicit element budget in
+/// place of [`DEFAULT_DENSE_ELEMENT_BUDGET`] — benches that deliberately
+/// run oversized dense baselines raise it; admission layers lower it.
+///
+/// # Errors
+///
+/// Same conditions as [`all_pairs_dijkstra`], with `budget` as the
+/// [`NetError::TooLarge`] threshold.
+pub fn all_pairs_dijkstra_budgeted(
+    graph: &Graph,
+    parallelism: Parallelism,
+    budget: u64,
+) -> Result<CostMatrix, NetError> {
+    check_dense_budget(graph.node_count(), budget)?;
+    all_pairs_dijkstra_unbudgeted(graph, parallelism, &mut NoopRecorder)
 }
 
 /// Computes the all-pairs cheapest-path [`CostMatrix`], fanning the
@@ -181,6 +216,16 @@ pub fn all_pairs_dijkstra_parallel(
 ///
 /// Same conditions as [`all_pairs_dijkstra`].
 pub fn all_pairs_dijkstra_observed(
+    graph: &Graph,
+    parallelism: Parallelism,
+    recorder: &mut dyn Recorder,
+) -> Result<CostMatrix, NetError> {
+    check_dense_budget(graph.node_count(), DEFAULT_DENSE_ELEMENT_BUDGET)?;
+    all_pairs_dijkstra_unbudgeted(graph, parallelism, recorder)
+}
+
+/// The shared fan-out body, past the budget gate.
+fn all_pairs_dijkstra_unbudgeted(
     graph: &Graph,
     parallelism: Parallelism,
     recorder: &mut dyn Recorder,
@@ -240,8 +285,20 @@ pub fn all_pairs_dijkstra_observed(
 /// # Errors
 ///
 /// Returns [`NetError::Disconnected`] if any pair of nodes has no connecting
-/// path.
+/// path, and [`NetError::TooLarge`] if `n·n` exceeds
+/// [`DEFAULT_DENSE_ELEMENT_BUDGET`].
 pub fn floyd_warshall(graph: &Graph) -> Result<CostMatrix, NetError> {
+    floyd_warshall_budgeted(graph, DEFAULT_DENSE_ELEMENT_BUDGET)
+}
+
+/// [`floyd_warshall`] with an explicit element budget.
+///
+/// # Errors
+///
+/// Same conditions as [`floyd_warshall`], with `budget` as the
+/// [`NetError::TooLarge`] threshold.
+pub fn floyd_warshall_budgeted(graph: &Graph, budget: u64) -> Result<CostMatrix, NetError> {
+    check_dense_budget(graph.node_count(), budget)?;
     let n = graph.node_count();
     let mut dist = Matrix::filled(n, n, f64::INFINITY);
     for i in 0..n {
@@ -387,6 +444,34 @@ mod tests {
         assert_eq!(registry.gauge_value("net.fanout_threads"), Some(4.0));
         // 24 sources over 4 threads: one timing observation per chunk.
         assert_eq!(registry.histogram("net.dijkstra_chunk_ns").unwrap().count(), 4);
+    }
+
+    #[test]
+    fn too_large_is_reported_before_any_allocation() {
+        let g = topology::ring(64, 1.0).unwrap();
+        let err =
+            all_pairs_dijkstra_budgeted(&g, Parallelism::Sequential, 100).unwrap_err();
+        assert!(matches!(err, NetError::TooLarge { nodes: 64, elements: 4096, budget: 100 }));
+        let err = floyd_warshall_budgeted(&g, 100).unwrap_err();
+        assert!(matches!(err, NetError::TooLarge { .. }));
+        assert!(err.to_string().contains("landmark"));
+        // Under the budget both still run.
+        assert!(all_pairs_dijkstra_budgeted(&g, Parallelism::Sequential, 4096).is_ok());
+        assert!(floyd_warshall_budgeted(&g, 4096).is_ok());
+    }
+
+    #[test]
+    fn default_budget_admits_the_bench_grid() {
+        // The committed bench grid tops out at N = 4096 on the dense path;
+        // the default budget must admit it (and the element math must not
+        // overflow for huge hypothetical n).
+        assert!(4096u128 * 4096 <= u128::from(DEFAULT_DENSE_ELEMENT_BUDGET));
+        let err = NetError::TooLarge {
+            nodes: usize::MAX,
+            elements: (usize::MAX as u128) * (usize::MAX as u128),
+            budget: DEFAULT_DENSE_ELEMENT_BUDGET,
+        };
+        assert!(err.to_string().contains("budget"));
     }
 
     #[test]

@@ -6,9 +6,10 @@
 //! JSON envelopes on any line source, keeps the expensive state alive
 //! *between* batches, and streams one JSON line per outcome:
 //!
-//! * the [`CostMatrixCache`] persists, so a topology seen in batch 1 is a
-//!   `cache.hit` in every later batch (bounded by an optional byte budget
-//!   with FIFO eviction);
+//! * the [`SubstrateCache`] persists, so a topology seen in batch 1 is a
+//!   `cache.hit` (dense matrix) or `cache.landmark_hit` (landmark oracle)
+//!   in every later batch (the dense side bounded by an optional byte
+//!   budget with FIFO eviction);
 //! * warm-start state persists per [`WarmMode`]: `batch` (the default)
 //!   chains within each batch exactly like one-shot
 //!   `fap serve --warm-start`, `session` additionally carries each chain's
@@ -75,7 +76,7 @@ use std::time::Instant;
 use serde::{Serialize, Value};
 
 use fap_batch::Parallelism;
-use fap_cache::CostMatrixCache;
+use fap_cache::SubstrateCache;
 use fap_obs::Recorder;
 use fap_queue::{AdmissionController, QueueError, DEFAULT_ADMISSION_WARMUP};
 use fap_runtime::Reactor;
@@ -114,7 +115,8 @@ impl WarmMode {
 /// Turns one envelope's `batch` value into solver-level requests. The
 /// daemon resolves batch *syntax* through this trait so the wire format
 /// stays a caller decision; the cache handed in is the daemon's persistent
-/// [`CostMatrixCache`], and hits/misses are recorded into `recorder`.
+/// [`SubstrateCache`] (dense cost matrices and landmark oracles side by
+/// side), and hits/misses are recorded into `recorder`.
 pub trait BatchParser {
     /// Parses `batch` (the envelope's `batch` field) into requests.
     ///
@@ -125,19 +127,19 @@ pub trait BatchParser {
     fn parse(
         &mut self,
         batch: &Value,
-        cache: &mut CostMatrixCache,
+        cache: &mut SubstrateCache,
         recorder: &mut dyn Recorder,
     ) -> Result<Vec<ServeRequest>, String>;
 }
 
 impl<F> BatchParser for F
 where
-    F: FnMut(&Value, &mut CostMatrixCache, &mut dyn Recorder) -> Result<Vec<ServeRequest>, String>,
+    F: FnMut(&Value, &mut SubstrateCache, &mut dyn Recorder) -> Result<Vec<ServeRequest>, String>,
 {
     fn parse(
         &mut self,
         batch: &Value,
-        cache: &mut CostMatrixCache,
+        cache: &mut SubstrateCache,
         recorder: &mut dyn Recorder,
     ) -> Result<Vec<ServeRequest>, String> {
         self(batch, cache, recorder)
@@ -219,7 +221,7 @@ pub struct Daemon<P> {
     parser: P,
     server: BatchServer,
     warm: WarmMode,
-    cache: CostMatrixCache,
+    cache: SubstrateCache,
     seeds: SessionSeeds,
     admission: AdmissionController,
     bound: Option<f64>,
@@ -246,8 +248,8 @@ impl<P: BatchParser> Daemon<P> {
     pub fn new(parser: P, config: &DaemonConfig) -> Result<Self, QueueError> {
         let admission =
             AdmissionController::new(config.servers)?.with_warmup(config.admission_warmup);
-        let mut cache = CostMatrixCache::new();
-        cache.set_byte_limit(config.cache_bytes);
+        let mut cache = SubstrateCache::new();
+        cache.dense_mut().set_byte_limit(config.cache_bytes);
         Ok(Daemon {
             parser,
             server: BatchServer::new(config.shards)
@@ -285,8 +287,8 @@ impl<P: BatchParser> Daemon<P> {
         self.shed
     }
 
-    /// The persistent cost-matrix cache (for inspection).
-    pub fn cache(&self) -> &CostMatrixCache {
+    /// The persistent cost-substrate cache (for inspection).
+    pub fn cache(&self) -> &SubstrateCache {
         &self.cache
     }
 
@@ -574,9 +576,9 @@ impl<P: BatchParser> Daemon<P> {
             ("completed", Value::UInt(self.completed)),
             ("shed", Value::UInt(self.shed)),
             ("seeds", uint(self.seeds.len())),
-            ("cache_entries", uint(self.cache.len())),
-            ("cache_hits", Value::UInt(self.cache.hits())),
-            ("cache_misses", Value::UInt(self.cache.misses())),
+            ("cache_entries", uint(self.cache.dense().len() + self.cache.landmarks().len())),
+            ("cache_hits", Value::UInt(self.cache.dense().hits() + self.cache.landmarks().hits())),
+            ("cache_misses", Value::UInt(self.cache.dense().misses() + self.cache.landmarks().misses())),
             ("predicted_wait", predicted),
         ])
     }
@@ -642,7 +644,7 @@ mod tests {
     /// single-file request over a shared 5-ring (every batch after the
     /// first hits the daemon's cache).
     fn seed_parser(
-    ) -> impl FnMut(&Value, &mut CostMatrixCache, &mut dyn Recorder) -> Result<Vec<ServeRequest>, String>
+    ) -> impl FnMut(&Value, &mut SubstrateCache, &mut dyn Recorder) -> Result<Vec<ServeRequest>, String>
     {
         |batch, cache, recorder| {
             let Value::Array(items) = batch else {
@@ -650,6 +652,7 @@ mod tests {
             };
             let graph = topology::ring(5, 1.0).map_err(|e| e.to_string())?;
             let costs = cache
+                .dense_mut()
                 .get_or_compute_observed(&graph, Parallelism::Sequential, recorder)
                 .map_err(|e| e.to_string())?;
             items
@@ -843,7 +846,7 @@ mod tests {
     fn batch_mode_responses_match_a_one_shot_warm_server() {
         // The daemon's batch line must embed exactly the responses a
         // one-shot warm BatchServer produces for the same requests.
-        let mut cache = CostMatrixCache::new();
+        let mut cache = SubstrateCache::new();
         let requests =
             seed_parser()(&Value::Array(vec![Value::Int(1), Value::Int(2)]), &mut cache, &mut fap_obs::NoopRecorder)
                 .unwrap();

@@ -12,10 +12,15 @@
 //!   and the [`Parallelism`](fap_batch::Parallelism) setting shared by the
 //!   batch solver engine;
 //! * [`net`] — network graphs, topologies, shortest-path routing, access
-//!   workloads;
+//!   workloads, and the [`CostProvider`](fap_net::CostProvider) substrate:
+//!   the exact dense matrix or the sparse
+//!   [`LandmarkOracle`](fap_net::LandmarkOracle);
 //! * [`cache`] — content-addressed warm-path caches: FNV-1a topology
-//!   fingerprints and a [`CostMatrixCache`](fap_cache::CostMatrixCache)
-//!   that runs all-pairs Dijkstra once per distinct graph;
+//!   fingerprints, a [`CostMatrixCache`](fap_cache::CostMatrixCache) that
+//!   runs all-pairs Dijkstra once per distinct graph, and the
+//!   [`SubstrateCache`](fap_cache::SubstrateCache) that keys dense
+//!   matrices and landmark oracles by
+//!   [`CostBackend`](fap_cache::CostBackend);
 //! * [`queue`] — analytic M/M/1 and M/G/1 delay models and a discrete-event
 //!   simulator for empirical validation;
 //! * [`econ`] — the resource-directed (Heal) optimizer with the paper's
@@ -23,7 +28,10 @@
 //!   price-directed tâtonnement baseline;
 //! * [`core`] — the file-allocation problem itself: single-file and
 //!   multi-file models, closed-form reference solver, integer baselines,
-//!   record rounding, adaptive reallocation;
+//!   record rounding, adaptive reallocation, and the hierarchical
+//!   cluster-solve-refine pipeline
+//!   ([`solve_hierarchical`](fap_core::hierarchical::solve_hierarchical))
+//!   that rides the landmark oracle past dense-matrix scale;
 //! * [`ring`] — the §7 multi-copy virtual-ring extension with its
 //!   oscillation-aware solver;
 //! * [`runtime`] — the protocol as a message-passing (and multi-threaded)
@@ -86,17 +94,17 @@ pub use fap_served as served;
 /// The most commonly used items, for glob import.
 pub mod prelude {
     pub use fap_batch::{Matrix, Parallelism};
-    pub use fap_cache::{topology_fingerprint, CostMatrixCache};
+    pub use fap_cache::{topology_fingerprint, CostBackend, CostMatrixCache, SubstrateCache};
     pub use fap_core::{
-        baseline, reference, AdaptiveAllocator, HostingMarket, MultiFileProblem,
-        MultiFileScratch, SingleFileProblem,
+        baseline, reference, AdaptiveAllocator, HierarchicalConfig, HierarchicalSolution,
+        HostingMarket, MultiFileProblem, MultiFileScratch, SingleFileProblem,
     };
     pub use fap_econ::{
         AllocationProblem, BoundaryRule, GossipOptimizer, Neighborhood,
         PriceDirectedOptimizer, ResourceDirectedOptimizer, SecondOrderOptimizer, Solution,
         StepSize,
     };
-    pub use fap_net::{topology, AccessPattern, Graph, NodeId};
+    pub use fap_net::{topology, AccessPattern, CostProvider, Graph, LandmarkOracle, NodeId};
     pub use fap_obs::{JsonlSink, MetricsRegistry, NoopRecorder, Recorder, Telemetry};
     pub use fap_queue::{DelayModel, Mg1Delay, Mm1Delay, NetworkSimulation, ServiceDistribution};
     pub use fap_ring::{RingSolver, VirtualRing};

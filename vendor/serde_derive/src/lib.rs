@@ -12,7 +12,9 @@
 //! * enums with unit, tuple and struct variants, externally tagged by
 //!   default or internally tagged via `#[serde(tag = "...")]`;
 //! * `#[serde(rename_all = "snake_case")]` on enums;
-//! * `#[serde(default)]` and `#[serde(default = "path")]` on fields.
+//! * `#[serde(default)]` and `#[serde(default = "path")]` on fields;
+//! * `#[serde(skip_serializing_if = "path")]` on named fields (struct or
+//!   enum-variant): the field is omitted when `path(&field)` holds.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -44,6 +46,10 @@ struct FieldAttrs {
     /// `#[serde(default = "path")]`.
     default: Option<Option<String>>,
     rename: Option<String>,
+    /// `#[serde(skip_serializing_if = "path")]`: the field is omitted from
+    /// the serialized map when `path(&field)` is true. Deserialization is
+    /// unaffected (pair with `default` so the omitted field reads back).
+    skip_serializing_if: Option<String>,
 }
 
 struct Field {
@@ -194,6 +200,9 @@ fn parse_field_attrs(items: &[Vec<TokenTree>]) -> FieldAttrs {
             match key.to_string().as_str() {
                 "default" => attrs.default = Some(item.get(2).and_then(literal_string)),
                 "rename" => attrs.rename = item.get(2).and_then(literal_string),
+                "skip_serializing_if" => {
+                    attrs.skip_serializing_if = item.get(2).and_then(literal_string);
+                }
                 _ => {}
             }
         }
@@ -426,10 +435,17 @@ impl Input {
                 let mut s = String::from("let mut entries: Vec<(String, serde::Value)> = Vec::new();\n");
                 for f in fields {
                     let key = f.attrs.rename.as_deref().unwrap_or(&f.name);
-                    s.push_str(&format!(
+                    let push = format!(
                         "entries.push((\"{key}\".to_string(), serde::Serialize::serialize_value(&self.{})));\n",
                         f.name
-                    ));
+                    );
+                    match &f.attrs.skip_serializing_if {
+                        Some(pred) => s.push_str(&format!(
+                            "if !{pred}(&self.{}) {{\n{push}}}\n",
+                            f.name
+                        )),
+                        None => s.push_str(&push),
+                    }
                 }
                 s.push_str("serde::Value::Map(entries)");
                 s
@@ -468,10 +484,17 @@ impl Input {
                     let mut pushes = String::new();
                     for f in fields {
                         let key = f.attrs.rename.as_deref().unwrap_or(&f.name);
-                        pushes.push_str(&format!(
+                        let push = format!(
                             "entries.push((\"{key}\".to_string(), serde::Serialize::serialize_value({})));\n",
                             f.name
-                        ));
+                        );
+                        match &f.attrs.skip_serializing_if {
+                            Some(pred) => pushes.push_str(&format!(
+                                "if !{pred}({}) {{\n{push}}}\n",
+                                f.name
+                            )),
+                            None => pushes.push_str(&push),
+                        }
                     }
                     arms.push_str(&format!(
                         "{name}::{vname} {{ {} }} => {{\n\
@@ -510,10 +533,17 @@ impl Input {
                     let mut pushes = String::new();
                     for f in fields {
                         let key = f.attrs.rename.as_deref().unwrap_or(&f.name);
-                        pushes.push_str(&format!(
+                        let push = format!(
                             "inner.push((\"{key}\".to_string(), serde::Serialize::serialize_value({})));\n",
                             f.name
-                        ));
+                        );
+                        match &f.attrs.skip_serializing_if {
+                            Some(pred) => pushes.push_str(&format!(
+                                "if !{pred}({}) {{\n{push}}}\n",
+                                f.name
+                            )),
+                            None => pushes.push_str(&push),
+                        }
                     }
                     arms.push_str(&format!(
                         "{name}::{vname} {{ {} }} => {{\n\
