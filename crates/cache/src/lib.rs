@@ -242,12 +242,14 @@ impl CostMatrixCache {
             self.hits += 1;
             recorder.incr("cache.hit", 1);
             recorder.gauge("cache.bytes", self.bytes as f64);
+            fap_obs::emit_marker_span(recorder, "cache.hit");
             return Ok(&entry.matrix);
         }
         // A miss is an *attempt*, so failed computations stay visible in the
         // telemetry even though they are never cached.
         self.misses += 1;
         recorder.incr("cache.miss", 1);
+        fap_obs::emit_marker_span(recorder, "cache.miss");
         let matrix = graph.shortest_path_matrix_parallel(parallelism)?;
         let n = matrix.node_count() as u64;
         self.bytes += n * n * 8;

@@ -192,10 +192,12 @@ impl LandmarkOracleCache {
             self.hits += 1;
             recorder.incr("cache.landmark_hit", 1);
             recorder.gauge("cache.landmark_bytes", self.bytes as f64);
+            fap_obs::emit_marker_span(recorder, "cache.landmark_hit");
             return Ok(&entry.oracle);
         }
         self.misses += 1;
         recorder.incr("cache.landmark_miss", 1);
+        fap_obs::emit_marker_span(recorder, "cache.landmark_miss");
         let oracle = LandmarkOracle::build(graph, k, seed)?;
         self.bytes +=
             (oracle.landmark_count() as u64) * (graph.node_count() as u64) * 8;

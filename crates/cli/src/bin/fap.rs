@@ -12,7 +12,11 @@
 //!                                        or --socket <path> on Unix)
 //! fap serve-example                      print a template request list
 //! fap report <metrics.jsonl>             summarize an exported metrics file
+//! fap report --json <metrics.jsonl>      the summary as one JSON object
 //! fap report --diff <a.jsonl> <b.jsonl>  compare two metrics files
+//! fap trace <metrics.jsonl> [--top k]    span trees, critical paths, self time
+//! fap trace --folded <metrics.jsonl>     folded stacks for flamegraph.pl
+//! fap trace --diff <a.jsonl> <b.jsonl>   per-layer self-time deltas
 //! fap sweep-k <scenario.json> <k,k,...>  the §8.2 k trade-off
 //! fap bench-scale [out.json]             seq-vs-parallel scaling sweep
 //! fap bench-scale --check [committed]    re-run and verify determinism
@@ -63,7 +67,11 @@ const USAGE: &str = "usage:
              [--wall-clock] [--socket <path>] [metrics flags]
   fap serve-example
   fap report <metrics.jsonl>
+  fap report --json <metrics.jsonl>
   fap report --diff <a.jsonl> <b.jsonl>
+  fap trace <metrics.jsonl> [--top <k>]
+  fap trace --folded <metrics.jsonl>
+  fap trace --diff <a.jsonl> <b.jsonl>
   fap sweep-k <scenario.json> <k1,k2,...>
   fap bench-scale [out.json]
   fap bench-scale --check [committed.json]
@@ -483,6 +491,13 @@ fn run(args: &[String]) -> Result<(), String> {
                 print!("{}", fap_cli::render(&summary));
                 Ok(())
             }
+            ("report", [flag, path]) if flag == "--json" => {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("reading {path}: {e}"))?;
+                let summary = summarize(&text).map_err(|e| format!("{path}: {e}"))?;
+                print!("{}", fap_cli::render_json(&summary));
+                Ok(())
+            }
             ("report", [flag, path_a, path_b]) if flag == "--diff" => {
                 let load = |path: &String| -> Result<fap_cli::ReportSummary, String> {
                     let text = std::fs::read_to_string(path)
@@ -491,6 +506,51 @@ fn run(args: &[String]) -> Result<(), String> {
                 };
                 let (a, b) = (load(path_a)?, load(path_b)?);
                 print!("{}", fap_cli::render_diff(path_a, &a, path_b, &b));
+                Ok(())
+            }
+            ("trace", rest) if !rest.is_empty() => {
+                let mut paths: Vec<&String> = Vec::new();
+                let mut folded = false;
+                let mut diff = false;
+                let mut top = 3usize;
+                let mut iter = rest.iter();
+                while let Some(arg) = iter.next() {
+                    match arg.as_str() {
+                        "--folded" => folded = true,
+                        "--diff" => diff = true,
+                        "--top" => {
+                            let n = iter.next().ok_or("--top requires a count")?;
+                            top = n.parse().map_err(|e| format!("bad top count '{n}': {e}"))?;
+                            if top == 0 {
+                                return Err("--top must be at least 1".into());
+                            }
+                        }
+                        other if other.starts_with("--") => {
+                            return Err(format!("unexpected argument '{other}'"))
+                        }
+                        _ => paths.push(arg),
+                    }
+                }
+                let load = |path: &String| -> Result<fap_cli::TraceReport, String> {
+                    let text = std::fs::read_to_string(path)
+                        .map_err(|e| format!("reading {path}: {e}"))?;
+                    fap_cli::trace::analyze(&text).map_err(|e| format!("{path}: {e}"))
+                };
+                match (diff, folded, &paths[..]) {
+                    (true, false, [a, b]) => {
+                        print!("{}", fap_cli::trace::render_diff(a, &load(a)?, b, &load(b)?));
+                    }
+                    (true, _, _) => {
+                        return Err("trace --diff takes exactly two metrics files".into())
+                    }
+                    (false, true, [path]) => {
+                        print!("{}", fap_cli::trace::render_folded(&load(path)?));
+                    }
+                    (false, false, [path]) => {
+                        print!("{}", fap_cli::trace::render(&load(path)?, top));
+                    }
+                    _ => return Err("trace takes exactly one metrics file".into()),
+                }
                 Ok(())
             }
             ("bench-scale", [first, rest @ ..]) if first == "--check" && rest.len() <= 1 => {

@@ -14,6 +14,7 @@
 //! fap served                         # persistent daemon (JSONL on stdin)
 //! fap serve-example                  # print a template scenario list
 //! fap report metrics.jsonl          # summarize an exported telemetry file
+//! fap trace metrics.jsonl           # reconstruct span trees + self time
 //! fap sweep-k scenario.json 0.1,1,10  # the §8.2 k trade-off
 //! fap example                        # print a template scenario
 //! fap chaos-example                  # print a template fault plan
@@ -35,9 +36,11 @@ pub mod run;
 pub mod scenario;
 pub mod serve;
 pub mod served;
+pub mod trace;
 
-pub use report::{render, render_diff, summarize, ReportSummary};
+pub use report::{render, render_diff, render_json, summarize, ReportSummary};
 pub use run::{chaos_sim, chaos_sim_observed, simulate, solve, solve_observed, sweep_k, SolveOutput};
 pub use scenario::{Scenario, ScenarioError, Topology};
 pub use serve::{load_specs, serve_specs, serve_specs_with, ServeSpec};
 pub use served::{run_daemon, spec_daemon, spec_parser};
+pub use trace::{analyze as analyze_trace, TraceReport, TraceTree};

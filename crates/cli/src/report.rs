@@ -254,6 +254,87 @@ pub fn render_diff(label_a: &str, a: &ReportSummary, label_b: &str, b: &ReportSu
     out
 }
 
+/// Renders a summary as one machine-readable JSON object
+/// (`fap report --json`): the run outcome, every counter, the `sim.*`
+/// fault counts, the substrate section and the latency quantiles. Field
+/// order is fixed and numbers use the same formatting as the JSONL
+/// writer, so the output is byte-deterministic and scripts can diff it.
+pub fn render_json(summary: &ReportSummary) -> String {
+    use fap_obs::jsonl::{push_json_f64, push_json_str};
+
+    fn push_counters(out: &mut String, key: &str, entries: &[(&String, &u64)]) {
+        use fap_obs::jsonl::push_json_str;
+        out.push(',');
+        push_json_str(out, key);
+        out.push_str(":{");
+        for (i, (name, value)) in entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_str(out, name);
+            let _ = write!(out, ":{value}");
+        }
+        out.push('}');
+    }
+
+    let mut out = String::new();
+    let _ = write!(out, "{{\"lines\":{},\"events\":{}", summary.lines, summary.events);
+    out.push_str(",\"run\":{\"iterations\":");
+    match summary.iterations {
+        Some(n) => {
+            let _ = write!(out, "{n}");
+        }
+        None => out.push_str("null"),
+    }
+    out.push_str(",\"converged\":");
+    match summary.converged {
+        Some(b) => {
+            let _ = write!(out, "{b}");
+        }
+        None => out.push_str("null"),
+    }
+    out.push('}');
+    push_counters(
+        &mut out,
+        "counters",
+        &summary.counters.iter().map(|(n, v)| (n, v)).collect::<Vec<_>>(),
+    );
+    push_counters(
+        &mut out,
+        "faults",
+        &summary.fault_counts.iter().map(|(n, v)| (n, v)).collect::<Vec<_>>(),
+    );
+    // The same substrate slice `render` prints as its own section.
+    let substrate: Vec<(&String, &u64)> = summary
+        .counters
+        .iter()
+        .filter(|(name, _)| {
+            name.starts_with("net.landmark_")
+                || name.starts_with("hier.")
+                || name.starts_with("cache.")
+        })
+        .map(|(n, v)| (n, v))
+        .collect();
+    push_counters(&mut out, "substrate", &substrate);
+    out.push_str(",\"latency\":{");
+    for (i, (key, value)) in
+        [("p50", summary.latency_p50), ("p99", summary.latency_p99)].iter().enumerate()
+    {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_str(&mut out, key);
+        out.push(':');
+        match value {
+            Some(v) => push_json_f64(&mut out, *v),
+            None => out.push_str("null"),
+        }
+    }
+    let _ = write!(out, ",\"deliveries\":{}}}", summary.deliveries);
+    out.push_str("}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -428,6 +509,30 @@ mod tests {
         // Same file diffed against itself: every delta is +0.
         let same = render_diff("a", &a, "a", &a);
         assert!(!same.lines().any(|l| l.contains("+1") || l.contains("-1")), "{same}");
+    }
+
+    #[test]
+    fn json_output_is_machine_readable_and_deterministic() {
+        let jsonl = sim_jsonl(11);
+        let summary = summarize(&jsonl).unwrap();
+        let json = render_json(&summary);
+        // One flat-enough object the JSONL parser itself cannot read (it
+        // nests), but whose shape scripts can rely on byte-for-byte.
+        assert!(json.starts_with("{\"lines\":"));
+        assert!(json.ends_with("}\n"));
+        assert!(json.contains("\"run\":{\"iterations\":"));
+        assert!(json.contains("\"converged\":true"));
+        assert!(json.contains("\"counters\":{"));
+        assert!(json.contains("\"sim.dropped\":"));
+        assert!(json.contains("\"substrate\":{"));
+        assert!(json.contains("\"latency\":{\"p50\":"));
+        assert_eq!(json, render_json(&summarize(&jsonl).unwrap()));
+
+        // Absent fields render as null, not as made-up numbers.
+        let empty = render_json(&ReportSummary::default());
+        assert!(empty.contains("\"iterations\":null"));
+        assert!(empty.contains("\"p50\":null"));
+        assert!(empty.contains("\"deliveries\":0"));
     }
 
     #[test]

@@ -34,7 +34,9 @@ use fap_econ::{
     StepSize,
 };
 use fap_net::{AccessPattern, CostProvider, LandmarkOracle, NodeId};
-use fap_obs::{NoopRecorder, Recorder};
+use fap_obs::{
+    emit_span, emit_span_end, emit_span_start, NoopRecorder, Recorder, TraceContext,
+};
 use fap_queue::Mm1Delay;
 
 use crate::error::CoreError;
@@ -149,9 +151,39 @@ pub fn solve_hierarchical_observed(
     }
     let lambda = pattern.total_rate();
 
+    // Tracing: the solve's phases land on a virtual iteration timeline —
+    // each stage's width is the iterations it ran — nested under one
+    // `hier.solve` span (a child of whatever context the caller installed).
+    // The timeline is derived from solved iteration counts only, so a
+    // traced run records the same spans every time.
+    let mut tick = recorder.now();
+    let base = tick;
+    let prev_trace = recorder.current_trace();
+    let root_ctx = if recorder.trace_enabled() {
+        let id = recorder.reserve_span_ids(1);
+        let ctx = match prev_trace {
+            Some(parent) => parent.child(id),
+            None => TraceContext::root(id),
+        };
+        emit_span_start(recorder, "hier.solve", ctx, base);
+        // Install the solve as the current context so substrate markers
+        // (cache hits, landmark-row drains) parent under it rather than
+        // starting traces of their own.
+        recorder.set_current_trace(Some(ctx));
+        Some(ctx)
+    } else {
+        None
+    };
+
     // The full problem under the oracle's estimated access costs: the
     // refinement marginals and the reported cost are evaluated on it.
     let est_costs = oracle.systemwide_access_costs(pattern);
+    if let Some(root) = root_ctx {
+        // The substrate pass takes no solver iterations: a zero-width span
+        // marks where the hub-decomposed access costs were materialized.
+        let id = recorder.reserve_span_ids(1);
+        emit_span(recorder, "net.access_costs", root.child(id), tick, tick);
+    }
     let full = SingleFileProblem::from_parts(
         est_costs.clone(),
         lambda,
@@ -191,6 +223,12 @@ pub fn solve_hierarchical_observed(
     let y0: Vec<f64> = pooled_mu.iter().map(|&mu_a| mu_a / total_mu).collect();
     let agg_solution = solver.run_with_scratch(&aggregate, &y0, &mut scratch)?;
     let aggregate_iterations = agg_solution.iterations;
+    if let Some(root) = root_ctx {
+        let id = recorder.reserve_span_ids(1);
+        let end = tick + aggregate_iterations as u64;
+        emit_span(recorder, "hier.aggregate", root.child(id), tick, end);
+    }
+    tick += aggregate_iterations as u64;
     let mut shares = agg_solution.allocation;
     clamp_to_caps(&mut shares, &caps);
 
@@ -205,7 +243,7 @@ pub fn solve_hierarchical_observed(
     let mut inner_iterations = 0usize;
     solve_clusters(
         &clusters, &shares, &est_costs, mus, lambda, k, margin, &solver, &mut scratch,
-        &mut splits, &mut inner_iterations, false,
+        &mut splits, &mut inner_iterations, false, recorder, &mut tick, root_ctx,
     )?;
 
     let mut x = compose(n, &clusters, &shares, &splits);
@@ -247,6 +285,13 @@ pub fn solve_hierarchical_observed(
         }
         refine_rounds += 1;
         recorder.incr("hier.refine_rounds", 1);
+        let round_ctx = root_ctx.map(|root| {
+            let id = recorder.reserve_span_ids(1);
+            let ctx = root.child(id);
+            emit_span_start(recorder, "hier.refine", ctx, tick);
+            ctx
+        });
+        let round_start = tick;
 
         // Resource-directed step on the shares: move resource toward the
         // clusters whose members report higher marginal utility.
@@ -259,8 +304,11 @@ pub fn solve_hierarchical_observed(
 
         solve_clusters(
             &clusters, &shares, &est_costs, mus, lambda, k, margin, &solver, &mut scratch,
-            &mut splits, &mut inner_iterations, true,
+            &mut splits, &mut inner_iterations, true, recorder, &mut tick, round_ctx,
         )?;
+        if let Some(ctx) = round_ctx {
+            emit_span_end(recorder, "hier.refine", ctx, tick, tick - round_start);
+        }
         x = compose(n, &clusters, &shares, &splits);
         let cost = full.cost_of(&x)?;
         if cost < best_cost {
@@ -270,6 +318,10 @@ pub fn solve_hierarchical_observed(
         }
     }
     oracle.publish_metrics(recorder);
+    if let Some(ctx) = root_ctx {
+        emit_span_end(recorder, "hier.solve", ctx, tick, tick - base);
+        recorder.set_current_trace(prev_trace);
+    }
 
     Ok(HierarchicalSolution {
         allocation: best_x,
@@ -285,7 +337,9 @@ pub fn solve_hierarchical_observed(
 
 /// Solves every active cluster's inner problem, updating `splits` in place
 /// and adding iteration counts to `inner_iterations`. With `warm` set, each
-/// solve is seeded from the cluster's previous split.
+/// solve is seeded from the cluster's previous split. When `parent` is set
+/// (tracing), each inner solve emits a `hier.cluster_solve` child span of
+/// its iteration width, advancing `tick` so the pass tiles the timeline.
 #[allow(clippy::too_many_arguments)]
 fn solve_clusters(
     clusters: &[Vec<NodeId>],
@@ -300,6 +354,9 @@ fn solve_clusters(
     splits: &mut [Vec<f64>],
     inner_iterations: &mut usize,
     warm: bool,
+    recorder: &mut dyn Recorder,
+    tick: &mut u64,
+    parent: Option<TraceContext>,
 ) -> Result<(), CoreError> {
     for (a, members) in clusters.iter().enumerate() {
         if shares[a] <= 0.0 || members.len() < 2 {
@@ -331,6 +388,12 @@ fn solve_clusters(
         }
         let solution = solver.run_with_scratch(&inner, &splits[a].clone(), scratch)?;
         *inner_iterations += solution.iterations;
+        if let Some(ctx) = parent {
+            let id = recorder.reserve_span_ids(1);
+            let end = *tick + solution.iterations as u64;
+            emit_span(recorder, "hier.cluster_solve", ctx.child(id), *tick, end);
+        }
+        *tick += solution.iterations as u64;
         splits[a] = solution.allocation;
     }
     Ok(())
@@ -454,6 +517,35 @@ mod tests {
         .unwrap();
         assert_eq!(registry.counter("hier.refine_rounds"), sol.refine_rounds as u64);
         assert!(sol.refine_rounds > 0, "tight epsilon should force refinement");
+    }
+
+    #[test]
+    fn traced_solve_attributes_every_iteration_to_a_phase() {
+        let (oracle, pattern, mus) = mesh_setup(30, 7);
+        let cfg = HierarchicalConfig { epsilon: 1e-12, ..HierarchicalConfig::default() };
+        let mut fr = fap_obs::FlightRecorder::default();
+        let sol =
+            solve_hierarchical_observed(&oracle, &pattern, &mus, 1.0, &cfg, &mut fr)
+                .unwrap();
+        assert_eq!(fr.completed_traces(), 1);
+        let root = *fr.recent().next().unwrap();
+        assert_eq!(root.name, "hier.solve");
+        assert_eq!(
+            root.dur,
+            (sol.aggregate_iterations + sol.inner_iterations) as u64,
+            "the root span covers exactly the iterations the stages ran"
+        );
+        // Self time partitions the root: leaves (aggregate + cluster
+        // solves) own every tick, containers (refine rounds, the root) own
+        // none — so `hier` holds it all and the partition is exact.
+        let self_total: u64 = fr.layer_self_times().map(|(_, v)| v).sum();
+        assert_eq!(self_total, root.dur);
+        assert_eq!(fr.layer_self_time("hier"), root.dur);
+        assert_eq!(fr.layer_self_time("net"), 0, "access costs are zero-width");
+        assert_eq!(fr.dropped_spans(), 0);
+        // Tracing never perturbs the solution.
+        let untraced = solve_hierarchical(&oracle, &pattern, &mus, 1.0, &cfg).unwrap();
+        assert_eq!(sol, untraced);
     }
 
     #[test]

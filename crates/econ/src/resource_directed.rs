@@ -218,7 +218,28 @@ impl Engine {
         self.run_recorded(problem, initial, scratch, &mut NoopRecorder)
     }
 
+    /// Runs the engine, wrapping the whole solve in an `econ.solve` span
+    /// when the sink traces — the iteration loop's `set_time` calls drive
+    /// the virtual clock, so the span's duration is the iteration count.
+    /// With tracing off (every registry-backed serving path, and every
+    /// `NoopRecorder` caller) this adds one boolean check.
     pub(crate) fn run_recorded<P: AllocationProblem + ?Sized>(
+        &self,
+        problem: &P,
+        initial: &[f64],
+        scratch: &mut OptimizerScratch,
+        recorder: &mut dyn Recorder,
+    ) -> Result<Solution, EconError> {
+        if !recorder.trace_enabled() {
+            return self.run_recorded_inner(problem, initial, scratch, recorder);
+        }
+        let span = fap_obs::SpanGuard::begin("econ.solve", recorder);
+        let result = self.run_recorded_inner(problem, initial, scratch, recorder);
+        span.end(recorder);
+        result
+    }
+
+    fn run_recorded_inner<P: AllocationProblem + ?Sized>(
         &self,
         problem: &P,
         initial: &[f64],

@@ -381,12 +381,16 @@ impl LandmarkOracle {
     /// Drains the oracle's row-cache counters into `recorder` as the
     /// `net.landmark_rows_materialized` / `net.landmark_row_cache_hits`
     /// counters. Draining (rather than reading) keeps repeated publishes
-    /// from double-counting.
+    /// from double-counting. With tracing enabled, a drain that saw any
+    /// materialized rows also drops a zero-width `net.landmark_rows`
+    /// marker span under the current trace, tying row materialization to
+    /// the request that triggered it.
     pub fn publish_metrics(&self, recorder: &mut dyn Recorder) {
         let rows = self.rows_materialized.swap(0, Ordering::Relaxed);
         let hits = self.row_cache_hits.swap(0, Ordering::Relaxed);
         if rows > 0 {
             recorder.incr("net.landmark_rows_materialized", rows);
+            fap_obs::emit_marker_span(recorder, "net.landmark_rows");
         }
         if hits > 0 {
             recorder.incr("net.landmark_row_cache_hits", hits);

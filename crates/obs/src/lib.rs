@@ -31,6 +31,15 @@
 //!   streaming counterpart for long runs: events flush to any
 //!   `io::Write` every N events with bounded memory, byte-identical to
 //!   the buffered export.
+//! * [`TraceContext`] / [`SpanGuard`] / [`FlightRecorder`] — the causal
+//!   tracing plane: deterministic
+//!   `trace/span/parent` id triples from a per-sink counter, span
+//!   guards that emit `span_start`/`span_end` events through any
+//!   recorder (disarmed to nothing when
+//!   [`Recorder::trace_enabled`] is off), and an always-on bounded
+//!   flight recorder with slowest-k tail sampling and per-layer
+//!   self-time accounting for long-lived daemons. `fap trace` parses
+//!   the span stream back out of the same JSONL exports.
 //!
 //! Determinism contract: with a [`VirtualClock`] (or [`Telemetry::manual`])
 //! and a seeded run, two identical runs produce byte-identical JSONL.
@@ -61,6 +70,7 @@ mod recorder;
 mod sketch;
 mod stream;
 mod telemetry;
+mod trace;
 
 pub use clock::{Clock, Span, Timer, VirtualClock, WallClock};
 pub use event::{EventRecord, Value, MAX_EVENT_FIELDS};
@@ -71,3 +81,7 @@ pub use sketch::{
 };
 pub use stream::JsonlSink;
 pub use telemetry::Telemetry;
+pub use trace::{
+    emit_marker_span, emit_span, emit_span_end, emit_span_start, layer_of, FlightRecorder,
+    SpanGuard, TraceContext, TraceSummary, KEPT_WINDOWS, SPAN_END, SPAN_START,
+};

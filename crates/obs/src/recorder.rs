@@ -3,6 +3,7 @@
 use crate::event::Value;
 use crate::metrics::Histogram;
 use crate::sketch::QuantileSketch;
+use crate::trace::TraceContext;
 
 /// The sink interface threaded through the solver, simulator and parallel
 /// kernels as `&mut dyn Recorder`.
@@ -61,6 +62,50 @@ pub trait Recorder {
 
     /// Emits a structured event.
     fn emit(&mut self, _name: &'static str, _fields: &[(&'static str, Value)]) {}
+
+    /// Emits a structured event stamped with the explicit tick `t`,
+    /// bypassing the monotone current-time clamp. Span synthesis uses this
+    /// to write a reconstructed timeline whose events need not be in
+    /// chronological file order. The default forwards through
+    /// [`Recorder::set_time`] + [`Recorder::emit`], which is correct for
+    /// metric-only sinks.
+    fn emit_at(&mut self, t: u64, name: &'static str, fields: &[(&'static str, Value)]) {
+        self.set_time(t);
+        self.emit(name, fields);
+    }
+
+    /// Whether this sink wants span events. Tracing instrumentation —
+    /// [`SpanGuard`](crate::SpanGuard), span synthesis — checks this
+    /// before reserving ids or emitting anything, so sinks that leave the
+    /// default `false` pay nothing.
+    fn trace_enabled(&self) -> bool {
+        false
+    }
+
+    /// Reserves `count` consecutive span ids and returns the first.
+    /// Tracing sinks hand out ids from a deterministic per-sink counter
+    /// starting at 1; the default returns 0 (the "no span" sentinel).
+    fn reserve_span_ids(&mut self, _count: u64) -> u64 {
+        0
+    }
+
+    /// The sink's current tick (virtual sinks) or elapsed nanoseconds
+    /// (wall sinks). Span guards read this for start/end stamps; the
+    /// default of 0 is fine for sinks that never trace.
+    fn now(&self) -> u64 {
+        0
+    }
+
+    /// The span context new spans should treat as their parent, if any.
+    /// This is how causality propagates *through* the recorder: callers
+    /// install a context, deeper layers inherit it without any signature
+    /// changes.
+    fn current_trace(&self) -> Option<TraceContext> {
+        None
+    }
+
+    /// Installs (or clears) the current span context.
+    fn set_current_trace(&mut self, _ctx: Option<TraceContext>) {}
 }
 
 /// The do-nothing sink: every method is the empty default and
@@ -145,6 +190,35 @@ impl Recorder for Tee<'_> {
         self.a.emit(name, fields);
         self.b.emit(name, fields);
     }
+
+    fn emit_at(&mut self, t: u64, name: &'static str, fields: &[(&'static str, Value)]) {
+        self.a.emit_at(t, name, fields);
+        self.b.emit_at(t, name, fields);
+    }
+
+    fn trace_enabled(&self) -> bool {
+        self.a.trace_enabled() || self.b.trace_enabled()
+    }
+
+    fn reserve_span_ids(&mut self, count: u64) -> u64 {
+        // Both counters advance; the larger block start wins so an id is
+        // never reused on the side that is further along. Sides that only
+        // ever reserve through this tee stay in lockstep and agree.
+        self.a.reserve_span_ids(count).max(self.b.reserve_span_ids(count))
+    }
+
+    fn now(&self) -> u64 {
+        self.a.now().max(self.b.now())
+    }
+
+    fn current_trace(&self) -> Option<TraceContext> {
+        self.a.current_trace().or_else(|| self.b.current_trace())
+    }
+
+    fn set_current_trace(&mut self, ctx: Option<TraceContext>) {
+        self.a.set_current_trace(ctx);
+        self.b.set_current_trace(ctx);
+    }
 }
 
 #[cfg(test)]
@@ -207,5 +281,23 @@ mod tests {
         let mut b = NoopRecorder;
         let tee = Tee::new(&mut a, &mut b);
         assert!(!tee.is_enabled());
+        assert!(!tee.trace_enabled());
+    }
+
+    #[test]
+    fn tee_trace_state_spans_both_sides() {
+        use crate::telemetry::Telemetry;
+        let mut traced = Telemetry::manual().with_tracing(true);
+        let mut registry = MetricsRegistry::new();
+        let mut tee = Tee::new(&mut traced, &mut registry);
+        assert!(tee.trace_enabled());
+        // The registry side returns 0; the traced side's counter wins.
+        assert_eq!(tee.reserve_span_ids(3), 1);
+        assert_eq!(tee.reserve_span_ids(1), 4);
+        let ctx = crate::trace::TraceContext::root(1);
+        tee.set_current_trace(Some(ctx));
+        assert_eq!(tee.current_trace(), Some(ctx));
+        tee.set_current_trace(None);
+        assert_eq!(tee.current_trace(), None);
     }
 }

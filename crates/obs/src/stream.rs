@@ -25,6 +25,7 @@ use crate::jsonl;
 use crate::metrics::{Histogram, MetricsRegistry};
 use crate::recorder::Recorder;
 use crate::sketch::QuantileSketch;
+use crate::trace::TraceContext;
 
 /// A [`Recorder`] that streams events to an [`io::Write`] as JSONL,
 /// flushing every `flush_every` events, while metrics accumulate in an
@@ -44,6 +45,9 @@ pub struct JsonlSink<W: Write> {
     tick: u64,
     events: u64,
     error: Option<io::Error>,
+    tracing: bool,
+    next_span_id: u64,
+    current: Option<TraceContext>,
 }
 
 impl<W: Write> JsonlSink<W> {
@@ -59,7 +63,18 @@ impl<W: Write> JsonlSink<W> {
             tick: 0,
             events: 0,
             error: None,
+            tracing: false,
+            next_span_id: 1,
+            current: None,
         }
+    }
+
+    /// Enables (or disables) tracing, mirroring
+    /// [`Telemetry::with_tracing`](crate::Telemetry::with_tracing): span
+    /// instrumentation only records through sinks that opt in.
+    pub fn with_tracing(mut self, on: bool) -> Self {
+        self.tracing = on;
+        self
     }
 
     /// The metrics collected so far.
@@ -161,13 +176,41 @@ impl<W: Write> Recorder for JsonlSink<W> {
     }
 
     fn emit(&mut self, name: &'static str, fields: &[(&'static str, Value)]) {
-        let record = EventRecord::new(self.tick, name, fields);
+        let t = self.tick;
+        self.emit_at(t, name, fields);
+    }
+
+    fn emit_at(&mut self, t: u64, name: &'static str, fields: &[(&'static str, Value)]) {
+        self.set_time(t);
+        let record = EventRecord::new(t, name, fields);
         jsonl::write_event(&mut self.buffer, &record);
         self.events += 1;
         self.buffered_events += 1;
         if self.buffered_events >= self.flush_every {
             self.write_out();
         }
+    }
+
+    fn trace_enabled(&self) -> bool {
+        self.tracing
+    }
+
+    fn reserve_span_ids(&mut self, count: u64) -> u64 {
+        let first = self.next_span_id;
+        self.next_span_id += count;
+        first
+    }
+
+    fn now(&self) -> u64 {
+        self.tick
+    }
+
+    fn current_trace(&self) -> Option<TraceContext> {
+        self.current
+    }
+
+    fn set_current_trace(&mut self, ctx: Option<TraceContext>) {
+        self.current = ctx;
     }
 }
 

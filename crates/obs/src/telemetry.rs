@@ -6,6 +6,7 @@ use crate::jsonl;
 use crate::metrics::{Histogram, MetricsRegistry};
 use crate::recorder::Recorder;
 use crate::sketch::QuantileSketch;
+use crate::trace::TraceContext;
 
 /// Where event timestamps come from.
 #[derive(Debug, Clone)]
@@ -32,6 +33,9 @@ pub struct Telemetry {
     registry: MetricsRegistry,
     events: Vec<EventRecord>,
     time: TimeSource,
+    tracing: bool,
+    next_span_id: u64,
+    current: Option<TraceContext>,
 }
 
 impl Telemetry {
@@ -41,6 +45,9 @@ impl Telemetry {
             registry: MetricsRegistry::new(),
             events: Vec::new(),
             time: TimeSource::Manual(0),
+            tracing: false,
+            next_span_id: 1,
+            current: None,
         }
     }
 
@@ -51,6 +58,9 @@ impl Telemetry {
             registry: MetricsRegistry::new(),
             events: Vec::new(),
             time: TimeSource::Wall(WallClock::new()),
+            tracing: false,
+            next_span_id: 1,
+            current: None,
         }
     }
 
@@ -58,6 +68,14 @@ impl Telemetry {
     /// that many allocates nothing beyond the initial reservation.
     pub fn with_event_capacity(mut self, capacity: usize) -> Self {
         self.events.reserve(capacity);
+        self
+    }
+
+    /// Enables (or disables) tracing: span guards and span synthesis check
+    /// [`Recorder::trace_enabled`] and only record through sinks that opt
+    /// in, so existing metric-only exports are byte-unchanged by default.
+    pub fn with_tracing(mut self, on: bool) -> Self {
+        self.tracing = on;
         self
     }
 
@@ -159,8 +177,37 @@ impl Recorder for Telemetry {
     }
 
     fn emit(&mut self, name: &'static str, fields: &[(&'static str, Value)]) {
-        let t = self.now();
+        let t = Telemetry::now(self);
         self.events.push(EventRecord::new(t, name, fields));
+    }
+
+    fn emit_at(&mut self, t: u64, name: &'static str, fields: &[(&'static str, Value)]) {
+        // The event keeps the explicit stamp even when it lies before the
+        // current tick — synthesized timelines are written after the fact.
+        self.set_time(t);
+        self.events.push(EventRecord::new(t, name, fields));
+    }
+
+    fn trace_enabled(&self) -> bool {
+        self.tracing
+    }
+
+    fn reserve_span_ids(&mut self, count: u64) -> u64 {
+        let first = self.next_span_id;
+        self.next_span_id += count;
+        first
+    }
+
+    fn now(&self) -> u64 {
+        Telemetry::now(self)
+    }
+
+    fn current_trace(&self) -> Option<TraceContext> {
+        self.current
+    }
+
+    fn set_current_trace(&mut self, ctx: Option<TraceContext>) {
+        self.current = ctx;
     }
 }
 

@@ -62,7 +62,10 @@ use fap_core::{MultiFileProblem, MultiFileScratch, MultiFileSolution, SingleFile
 use fap_econ::{
     AllocationProblem, OptimizerScratch, ResourceDirectedOptimizer, Solution, StepSize,
 };
-use fap_obs::{MetricsRegistry, NoopRecorder, Recorder, Tee};
+use fap_obs::{
+    emit_span, emit_span_end, emit_span_start, MetricsRegistry, NoopRecorder, Recorder,
+    Tee, TraceContext,
+};
 use fap_ring::{RingSolver, RingSolution, VirtualRing};
 
 /// One independent scenario submitted to the batcher.
@@ -479,6 +482,16 @@ impl BatchServer {
             .map(|slot| slot.expect("every request is assigned to exactly one task"))
             .collect();
 
+        // Tracing: the span timeline is *synthesized* here, after the
+        // join, from the plan and the solved responses — never from worker
+        // timing — so the span stream is bit-identical for every shard
+        // count and steal pattern. A stolen task keeps its parent by
+        // construction: parentage comes from the plan, not from which
+        // worker ran the task.
+        if recorder.trace_enabled() {
+            emit_batch_spans(recorder, &order, &tasks, &responses);
+        }
+
         // Seed write-back happens after the join, from the submission-order
         // responses: each keyed chain stores its *last* converged answer.
         // Chain keys are disjoint across tasks, so the write order is
@@ -555,6 +568,53 @@ impl BatchServer {
         }
         (order, tasks, keys)
     }
+}
+
+/// Synthesizes the batch's span tree on the recorder's virtual timeline:
+/// one `serve.batch` span (a child of the recorder's current context, or a
+/// new root), one `serve.task` child per scheduling task, one `serve.solve`
+/// leaf per request. Durations are virtual — a request's width is its
+/// solved iteration count (errors are zero-width) — and the tasks tile the
+/// batch contiguously in task order, so per-layer self time telescopes
+/// exactly to the batch span's duration. Ids come from one
+/// [`Recorder::reserve_span_ids`] block; every end is emitted before its
+/// parent's end, the order the flight recorder's bookkeeping relies on.
+fn emit_batch_spans(
+    recorder: &mut dyn Recorder,
+    order: &[usize],
+    tasks: &[(usize, usize)],
+    responses: &[Result<ServeResponse, ServeError>],
+) {
+    let dur_of = |i: usize| -> u64 {
+        responses[i].as_ref().map(|r| r.iterations() as u64).unwrap_or(0)
+    };
+    let base = recorder.now();
+    let total: u64 = order.iter().map(|&i| dur_of(i)).sum();
+    let first = recorder.reserve_span_ids(1 + tasks.len() as u64 + order.len() as u64);
+    let batch = match recorder.current_trace() {
+        Some(parent) => parent.child(first),
+        None => TraceContext::root(first),
+    };
+    let mut next_id = first + 1;
+    emit_span_start(recorder, "serve.batch", batch, base);
+    let mut t = base;
+    for &(start, end) in tasks {
+        let task_ctx = batch.child(next_id);
+        next_id += 1;
+        let task_dur: u64 = order[start..end].iter().map(|&i| dur_of(i)).sum();
+        emit_span_start(recorder, "serve.task", task_ctx, t);
+        let mut rt = t;
+        for &i in &order[start..end] {
+            let ctx = task_ctx.child(next_id);
+            next_id += 1;
+            let d = dur_of(i);
+            emit_span(recorder, "serve.solve", ctx, rt, rt + d);
+            rt += d;
+        }
+        emit_span_end(recorder, "serve.task", task_ctx, t + task_dur, task_dur);
+        t += task_dur;
+    }
+    emit_span_end(recorder, "serve.batch", batch, base + total, total);
 }
 
 /// A worker's collected `(request index, result)` pairs, scattered back to
@@ -755,6 +815,7 @@ impl ShardWorker {
 mod tests {
     use super::*;
     use fap_net::{topology, AccessPattern};
+    use fap_obs::{Value, SPAN_START};
 
     fn single_file_request(seed: u64) -> ServeRequest {
         let graph = topology::ring(5, 1.0).unwrap();
@@ -1151,6 +1212,101 @@ mod tests {
         assert_eq!(plain.responses, session.responses);
         assert!(seeds.is_empty(), "a cold server must never write seeds");
         assert_eq!(session.aggregate.counter("serve.warm_starts"), 0);
+    }
+
+    /// Renders only the event stream (no registry trailer), which is the
+    /// part of a traced export that must be shard-count independent.
+    fn events_jsonl(tele: &fap_obs::Telemetry) -> String {
+        let mut out = String::new();
+        for event in tele.events() {
+            fap_obs::jsonl::write_event(&mut out, event);
+        }
+        out
+    }
+
+    #[test]
+    fn tracing_changes_no_response_bits_at_any_shard_count() {
+        let requests = mixed_batch();
+        let plain = BatchServer::new(Parallelism::Sequential).serve(&requests);
+        let mut reference_spans: Option<String> = None;
+        for shards in [1, 2, 3, 4, 8, 64] {
+            let mut traced = fap_obs::Telemetry::manual().with_tracing(true);
+            let output = BatchServer::new(Parallelism::Fixed(shards))
+                .serve_observed(&requests, &mut traced);
+            assert_eq!(
+                plain.responses, output.responses,
+                "tracing at {shards} shards must not change the solved bits"
+            );
+            let spans = events_jsonl(&traced);
+            assert!(spans.contains("serve.batch") && spans.contains("serve.solve"));
+            match &reference_spans {
+                None => reference_spans = Some(spans),
+                Some(reference) => assert_eq!(
+                    reference, &spans,
+                    "the span stream must be identical at {shards} shards"
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn warm_chain_spans_are_steal_invariant_and_tile_the_batch() {
+        // Warm chains are the indivisible task units the stealer moves
+        // around; their spans must come out identical whatever the shard
+        // count, and the task spans must tile the batch span exactly.
+        let requests = mixed_batch();
+        let mut reference: Option<String> = None;
+        for shards in [1, 2, 4, 8] {
+            let mut traced = fap_obs::Telemetry::manual().with_tracing(true);
+            BatchServer::new(Parallelism::Fixed(shards))
+                .with_warm_start(true)
+                .serve_observed(&requests, &mut traced);
+            let spans = events_jsonl(&traced);
+            match &reference {
+                None => reference = Some(spans),
+                Some(r) => assert_eq!(r, &spans, "{shards} shards"),
+            }
+        }
+        let traced = reference.unwrap();
+        // The batch span's duration equals the sum of its task durations:
+        // replay into a flight recorder and check the self-time partition.
+        let mut fr = fap_obs::FlightRecorder::default();
+        let mut tele = fap_obs::Telemetry::manual().with_tracing(true);
+        BatchServer::new(Parallelism::Sequential)
+            .with_warm_start(true)
+            .serve_observed(&requests, &mut Tee::new(&mut tele, &mut fr));
+        assert_eq!(fr.completed_traces(), 1, "one batch, one root trace");
+        let root = fr.recent().next().unwrap();
+        assert_eq!(root.name, "serve.batch");
+        let self_total: u64 = fr.layer_self_times().map(|(_, v)| v).sum();
+        assert_eq!(
+            self_total, root.dur,
+            "self time must partition the batch's virtual duration"
+        );
+        // Leaves own every tick: tasks and the batch are pure containers.
+        assert_eq!(fr.layer_self_time("serve"), root.dur);
+        assert!(traced.contains("serve.task"));
+    }
+
+    #[test]
+    fn batch_spans_nest_under_an_installed_context() {
+        let requests = vec![ring_request()];
+        let mut tele = fap_obs::Telemetry::manual().with_tracing(true);
+        let root_id = tele.reserve_span_ids(1);
+        let root = TraceContext::root(root_id);
+        tele.set_current_trace(Some(root));
+        BatchServer::new(Parallelism::Sequential).serve_observed(&requests, &mut tele);
+        let batch_start = tele
+            .events()
+            .iter()
+            .find(|e| {
+                e.name() == SPAN_START && e.field("name") == Some(Value::Str("serve.batch"))
+            })
+            .expect("the batch span must be emitted");
+        assert_eq!(batch_start.field("parent"), Some(Value::U64(root_id)));
+        assert_eq!(batch_start.field("trace"), Some(Value::U64(root.trace_id)));
+        // The installed context is untouched afterwards.
+        assert_eq!(tele.current_trace(), Some(root));
     }
 
     #[test]

@@ -43,6 +43,7 @@
 //! {"at": 0, "batch": [ ...serve specs... ]}   submit a batch at tick 0
 //! {"at": 7, "work": 12}                        occupy a server for 12 ticks
 //! {"cmd": "status"}                            emit a status line
+//! {"cmd": "metrics"}                           emit wait quantiles + layer self time
 //! {"cmd": "shutdown"}                          drain and exit
 //! ```
 //!
@@ -65,6 +66,23 @@
 //! Batch syntax is pluggable through [`BatchParser`], so this crate stays
 //! independent of the CLI's scenario format (the CLI supplies a parser
 //! that understands its `ServeSpec` list; tests supply their own).
+//!
+//! ## Tracing
+//!
+//! Tracing is always on and always bounded: every accepted arrival mints a
+//! `served.request` root span at ingestion (so cache hit/miss marker spans
+//! attach to the request that caused them), gets a `served.queue` child
+//! covering its wait, and either a `served.work` child or the serve
+//! layer's synthesized `serve.batch` span tree for the solve. Shed
+//! arrivals complete as zero-duration traces with a `served.shed` marker.
+//! Span events are teed both to the caller's recorder (so a JSONL metrics
+//! export replays offline under `fap trace`) and to an internal
+//! [`FlightRecorder`] whose ring buffer and slowest-k tail sampling keep
+//! memory bounded forever; `{"cmd":"metrics"}` reports its per-layer self
+//! time alongside wait quantiles. Because all span timestamps are virtual
+//! ticks derived from solver iteration counts, traced output — including
+//! the span stream itself — is bit-identical run to run and identical at
+//! every shard count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -77,7 +95,10 @@ use serde::{Serialize, Value};
 
 use fap_batch::Parallelism;
 use fap_cache::SubstrateCache;
-use fap_obs::Recorder;
+use fap_obs::{
+    emit_span, emit_span_end, emit_span_start, FlightRecorder, MetricsRegistry, Recorder,
+    Tee, TraceContext,
+};
 use fap_queue::{AdmissionController, QueueError, DEFAULT_ADMISSION_WARMUP};
 use fap_runtime::Reactor;
 use fap_serve::{BatchServer, ServeRequest, SessionSeeds};
@@ -197,6 +218,10 @@ struct Pending {
     id: u64,
     arrived: usize,
     kind: PendingKind,
+    /// The request's trace root, minted at ingestion (`span_start` already
+    /// emitted); [`Daemon::start`] attaches the queue/solve children and
+    /// the root's `span_end` at the completion tick.
+    trace: TraceContext,
 }
 
 #[derive(Debug)]
@@ -237,6 +262,14 @@ pub struct Daemon<P> {
     completed: u64,
     shed: u64,
     epoch: Option<Instant>,
+    /// The daemon's own session metrics: every line's instrumentation is
+    /// teed here as well as to the caller's recorder, so `status` and
+    /// `metrics` lines can report steal counts and wait quantiles without
+    /// owning the caller's sink.
+    obs: MetricsRegistry,
+    /// Always-on bounded tracing: every request becomes a `served.request`
+    /// trace here (and, via the tee, in the caller's event stream).
+    flight: FlightRecorder,
 }
 
 impl<P: BatchParser> Daemon<P> {
@@ -268,6 +301,8 @@ impl<P: BatchParser> Daemon<P> {
             completed: 0,
             shed: 0,
             epoch: config.wall_clock.then(Instant::now),
+            obs: MetricsRegistry::new(),
+            flight: FlightRecorder::default(),
         })
     }
 
@@ -292,6 +327,18 @@ impl<P: BatchParser> Daemon<P> {
         &self.cache
     }
 
+    /// The daemon's always-on flight recorder: recently completed request
+    /// traces, the tail-sampled slowest traces, and per-layer self time.
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// The daemon's own session metrics registry (every line's
+    /// instrumentation lands here as well as in the caller's recorder).
+    pub fn session_metrics(&self) -> &MetricsRegistry {
+        &self.obs
+    }
+
     /// Feeds the daemon one input line and writes any output lines due at
     /// or before the line's tick. Blank lines are ignored.
     ///
@@ -305,32 +352,76 @@ impl<P: BatchParser> Daemon<P> {
         out: &mut dyn Write,
         recorder: &mut dyn Recorder,
     ) -> io::Result<DaemonStatus> {
+        // The daemon's own sinks are moved out for the line so they can sit
+        // on one side of a `Tee` while `self` methods run on the other —
+        // the borrow checker cannot split fields across a `&mut self` call.
+        let mut obs = std::mem::take(&mut self.obs);
+        let mut flight = std::mem::take(&mut self.flight);
+        let result = self.handle_line_inner(line, out, &mut obs, &mut flight, recorder);
+        self.obs = obs;
+        self.flight = flight;
+        result
+    }
+
+    fn handle_line_inner(
+        &mut self,
+        line: &str,
+        out: &mut dyn Write,
+        obs: &mut MetricsRegistry,
+        flight: &mut FlightRecorder,
+        recorder: &mut dyn Recorder,
+    ) -> io::Result<DaemonStatus> {
         let line = line.trim();
         if line.is_empty() {
             return Ok(DaemonStatus::Continue);
         }
-        recorder.incr("served.lines", 1);
+        {
+            let mut ext = Tee::new(&mut *obs, &mut *recorder);
+            let mut tee = Tee::new(&mut *flight, &mut ext);
+            tee.incr("served.lines", 1);
+        }
         let value = match serde_json::parse_value(line) {
             Ok(v) => v,
-            Err(e) => return self.error_line(out, recorder, None, &format!("bad JSON: {e}")),
+            Err(e) => {
+                let mut ext = Tee::new(&mut *obs, &mut *recorder);
+                let mut tee = Tee::new(&mut *flight, &mut ext);
+                return self.error_line(out, &mut tee, None, &format!("bad JSON: {e}"));
+            }
         };
         if let Some(cmd) = value.get("cmd") {
             return match cmd {
                 Value::Str(c) if c == "shutdown" => {
-                    self.finish(out, recorder)?;
+                    {
+                        let mut ext = Tee::new(&mut *obs, &mut *recorder);
+                        let mut tee = Tee::new(&mut *flight, &mut ext);
+                        self.drain_completions(out, &mut tee)?;
+                    }
+                    debug_assert!(self.backlog.is_empty(), "backlog drains as servers free");
+                    let line = self.status_line(obs);
+                    writeln!(out, "{line}")?;
                     Ok(DaemonStatus::Shutdown)
                 }
                 Value::Str(c) if c == "status" => {
-                    let line = self.status_line();
+                    let line = self.status_line(obs);
+                    writeln!(out, "{line}")?;
+                    Ok(DaemonStatus::Continue)
+                }
+                Value::Str(c) if c == "metrics" => {
+                    let line = self.metrics_line(obs, flight);
                     writeln!(out, "{line}")?;
                     Ok(DaemonStatus::Continue)
                 }
                 other => {
                     let msg = format!("unknown cmd {}", serde_json::to_string(other).unwrap_or_default());
-                    self.error_line(out, recorder, None, &msg)
+                    let mut ext = Tee::new(&mut *obs, &mut *recorder);
+                    let mut tee = Tee::new(&mut *flight, &mut ext);
+                    self.error_line(out, &mut tee, None, &msg)
                 }
             };
         }
+        let mut ext = Tee::new(&mut *obs, &mut *recorder);
+        let mut tee = Tee::new(&mut *flight, &mut ext);
+        let recorder: &mut dyn Recorder = &mut tee;
         let at = match self.arrival_tick(&value) {
             Ok(at) => at,
             Err(msg) => return self.error_line(out, recorder, None, &msg),
@@ -349,6 +440,14 @@ impl<P: BatchParser> Daemon<P> {
             if w > bound {
                 self.shed += 1;
                 recorder.incr("served.shed", 1);
+                // A shed request is still a (zero-duration) trace: the
+                // flight recorder and any export see the refusal.
+                recorder.set_time(at as u64);
+                let first = recorder.reserve_span_ids(2);
+                let root = TraceContext::root(first);
+                emit_span_start(recorder, "served.request", root, at as u64);
+                emit_span(recorder, "served.shed", root.child(first + 1), at as u64, at as u64);
+                emit_span_end(recorder, "served.request", root, at as u64, 0);
                 let line = render(&[
                     ("id", Value::UInt(id)),
                     ("kind", Value::Str("shed".into())),
@@ -362,33 +461,33 @@ impl<P: BatchParser> Daemon<P> {
             }
         }
 
+        // Mint the request's trace at ingestion and install it as the
+        // current context for the parse, so substrate spans (cache hits
+        // and misses) attach as children at the arrival tick.
+        recorder.set_time(at as u64);
+        let trace = TraceContext::root(recorder.reserve_span_ids(1));
+        emit_span_start(recorder, "served.request", trace, at as u64);
+        recorder.set_current_trace(Some(trace));
         let kind = if let Some(batch) = value.get("batch") {
-            match self.parser.parse(batch, &mut self.cache, recorder) {
-                Ok(requests) => PendingKind::Batch(requests),
-                Err(msg) => return self.error_line(out, recorder, Some(id), &msg),
-            }
+            self.parser.parse(batch, &mut self.cache, recorder).map(PendingKind::Batch)
         } else if let Some(work) = value.get("work") {
-            match as_tick(work) {
-                Some(t) => PendingKind::Work(t.max(1)),
-                None => {
-                    return self.error_line(
-                        out,
-                        recorder,
-                        Some(id),
-                        "'work' must be a non-negative integer tick count",
-                    )
-                }
-            }
+            as_tick(work)
+                .map(|t| PendingKind::Work(t.max(1)))
+                .ok_or_else(|| "'work' must be a non-negative integer tick count".to_string())
         } else {
-            return self.error_line(
-                out,
-                recorder,
-                Some(id),
-                "envelope needs 'batch', 'work' or 'cmd'",
-            );
+            Err("envelope needs 'batch', 'work' or 'cmd'".to_string())
+        };
+        recorder.set_current_trace(None);
+        let kind = match kind {
+            Ok(kind) => kind,
+            Err(msg) => {
+                // Close the trace zero-width so every minted root completes.
+                emit_span_end(recorder, "served.request", trace, at as u64, 0);
+                return self.error_line(out, recorder, Some(id), &msg);
+            }
         };
 
-        self.dispatch(Pending { id, arrived: at, kind }, recorder);
+        self.dispatch(Pending { id, arrived: at, kind, trace }, recorder);
         Ok(DaemonStatus::Continue)
     }
 
@@ -424,13 +523,32 @@ impl<P: BatchParser> Daemon<P> {
         out: &mut dyn Write,
         recorder: &mut dyn Recorder,
     ) -> io::Result<()> {
+        let mut obs = std::mem::take(&mut self.obs);
+        let mut flight = std::mem::take(&mut self.flight);
+        let drained = {
+            let mut ext = Tee::new(&mut obs, recorder);
+            let mut tee = Tee::new(&mut flight, &mut ext);
+            self.drain_completions(out, &mut tee)
+        };
+        self.obs = obs;
+        self.flight = flight;
+        drained?;
+        debug_assert!(self.backlog.is_empty(), "backlog drains as servers free");
+        let line = self.status_line(&self.obs);
+        writeln!(out, "{line}")?;
+        Ok(())
+    }
+
+    /// Pops every remaining completion, emitting its line.
+    fn drain_completions(
+        &mut self,
+        out: &mut dyn Write,
+        recorder: &mut dyn Recorder,
+    ) -> io::Result<()> {
         while let Some(completion) = self.reactor.pop_next() {
             let tick = self.reactor.now();
             self.complete(tick, completion, out, recorder)?;
         }
-        debug_assert!(self.backlog.is_empty(), "backlog drains as servers free");
-        let line = self.status_line();
-        writeln!(out, "{line}")?;
         Ok(())
     }
 
@@ -480,12 +598,24 @@ impl<P: BatchParser> Daemon<P> {
     /// the completion on the reactor.
     fn start(&mut self, pending: Pending, started: usize, recorder: &mut dyn Recorder) {
         self.busy += 1;
-        let Pending { id, arrived, kind } = pending;
+        let Pending { id, arrived, kind, trace } = pending;
         let wait = started - arrived;
+        // The queue child spans [arrived, started] — zero width on an
+        // immediate start, the observed wait otherwise.
+        let qid = recorder.reserve_span_ids(1);
+        emit_span(recorder, "served.queue", trace.child(qid), arrived as u64, started as u64);
         let (duration, line) = match kind {
             PendingKind::Work(ticks) => {
                 recorder.incr("served.work", 1);
                 let completed = started + ticks;
+                let wid = recorder.reserve_span_ids(1);
+                emit_span(
+                    recorder,
+                    "served.work",
+                    trace.child(wid),
+                    started as u64,
+                    completed as u64,
+                );
                 let line = render(&[
                     ("id", Value::UInt(id)),
                     ("kind", Value::Str("work".into())),
@@ -498,12 +628,18 @@ impl<P: BatchParser> Daemon<P> {
             }
             PendingKind::Batch(requests) => {
                 recorder.incr("served.batches", 1);
+                // The serve layer synthesizes its `serve.batch` span tree
+                // as a child of the installed request context, starting at
+                // the recorder's current tick.
+                recorder.set_time(started as u64);
+                recorder.set_current_trace(Some(trace));
                 let output = match self.warm {
                     WarmMode::Session => {
                         self.server.serve_session_observed(&requests, &mut self.seeds, recorder)
                     }
                     _ => self.server.serve_observed(&requests, recorder),
                 };
+                recorder.set_current_trace(None);
                 let iterations: usize = output
                     .responses
                     .iter()
@@ -536,7 +672,15 @@ impl<P: BatchParser> Daemon<P> {
                 (duration, line)
             }
         };
-        self.reactor.schedule(started + duration, Completion { line, duration, wait });
+        let completed = started + duration;
+        emit_span_end(
+            recorder,
+            "served.request",
+            trace,
+            completed as u64,
+            (completed - arrived) as u64,
+        );
+        self.reactor.schedule(completed, Completion { line, duration, wait });
     }
 
     /// Handles one service completion: frees the server, feeds the
@@ -563,7 +707,7 @@ impl<P: BatchParser> Daemon<P> {
         Ok(())
     }
 
-    fn status_line(&self) -> String {
+    fn status_line(&self, obs: &MetricsRegistry) -> String {
         let predicted = match self.admission.predicted_wait() {
             Some(w) => finite_or_inf(w),
             None => Value::Null,
@@ -579,7 +723,38 @@ impl<P: BatchParser> Daemon<P> {
             ("cache_entries", uint(self.cache.dense().len() + self.cache.landmarks().len())),
             ("cache_hits", Value::UInt(self.cache.dense().hits() + self.cache.landmarks().hits())),
             ("cache_misses", Value::UInt(self.cache.dense().misses() + self.cache.landmarks().misses())),
+            ("cache_bytes", Value::UInt(self.cache.dense().bytes() + self.cache.landmarks().bytes())),
+            ("steals", Value::UInt(obs.counter("serve.steals"))),
             ("predicted_wait", predicted),
+        ])
+    }
+
+    /// The `{"cmd":"metrics"}` line: session wait quantiles from the
+    /// daemon's own [`QuantileSketch`](fap_obs::QuantileSketch), per-layer
+    /// self-time from the flight recorder, and trace totals.
+    fn metrics_line(&self, obs: &MetricsRegistry, flight: &FlightRecorder) -> String {
+        let (p50, p90, p99) = match obs.sketch("served.wait") {
+            Some(s) if s.count() > 0 => {
+                (s.quantile(0.5), s.quantile(0.9), s.quantile(0.99))
+            }
+            _ => (0.0, 0.0, 0.0),
+        };
+        let layers: Vec<(String, Value)> = flight
+            .layer_self_times()
+            .map(|(layer, ticks)| (layer.to_string(), Value::UInt(ticks)))
+            .collect();
+        render(&[
+            ("kind", Value::Str("metrics".into())),
+            ("now", uint(self.now())),
+            ("completed", Value::UInt(self.completed)),
+            ("shed", Value::UInt(self.shed)),
+            ("steals", Value::UInt(obs.counter("serve.steals"))),
+            ("wait_p50", Value::Float(p50)),
+            ("wait_p90", Value::Float(p90)),
+            ("wait_p99", Value::Float(p99)),
+            ("self_ticks", Value::Map(layers)),
+            ("traces", Value::UInt(flight.completed_traces())),
+            ("spans_dropped", Value::UInt(flight.dropped_spans())),
         ])
     }
 
@@ -885,6 +1060,113 @@ mod tests {
             "{}",
             lines[1]
         );
+    }
+
+    #[test]
+    fn every_request_completes_a_trace_in_the_flight_recorder() {
+        let mut d = daemon(&DaemonConfig::default());
+        let (out, _) = drive(
+            &mut d,
+            &[
+                "{\"at\":0,\"batch\":[1,2]}",
+                "{\"at\":1,\"work\":5}",
+                "{\"cmd\":\"shutdown\"}",
+            ],
+        );
+        let fr = d.flight();
+        assert_eq!(fr.completed_traces(), 2, "one trace per accepted arrival");
+        assert_eq!(fr.dropped_spans(), 0);
+        for summary in fr.recent() {
+            assert_eq!(summary.name, "served.request");
+        }
+        // Self time partitions each trace's wall ticks: summed over layers
+        // it equals the summed (completed - arrived) of the output lines.
+        let total_wall: u64 = out
+            .lines()
+            .filter(|l| l.contains("\"kind\":\"batch\"") || l.contains("\"kind\":\"work\""))
+            .map(|l| {
+                let field = |k: &str| {
+                    let tail = &l[l.find(k).unwrap() + k.len()..];
+                    tail[..tail.find([',', '}']).unwrap()].parse::<u64>().unwrap()
+                };
+                field("\"completed\":") - field("\"arrived\":")
+            })
+            .sum();
+        let self_total: u64 = fr.layer_self_times().map(|(_, v)| v).sum();
+        assert_eq!(self_total, total_wall);
+        // The work item's ticks land on the served layer; the batch's
+        // solver iterations land on the serve layer's leaves.
+        assert!(fr.layer_self_time("serve") > 0);
+        assert!(fr.layer_self_time("served") > 0);
+    }
+
+    #[test]
+    fn shed_arrivals_complete_as_zero_duration_traces() {
+        let config = DaemonConfig {
+            admission_bound: Some(2.0),
+            admission_warmup: 2,
+            ..DaemonConfig::default()
+        };
+        let mut d = daemon(&config);
+        let lines: Vec<String> =
+            (0..8u64).map(|k| format!("{{\"at\":{},\"work\":10}}", 4 * k)).collect();
+        let mut refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+        refs.push("{\"cmd\":\"shutdown\"}");
+        drive(&mut d, &refs);
+        assert!(d.shed() > 0);
+        let fr = d.flight();
+        assert_eq!(fr.completed_traces(), 8, "accepted and shed alike");
+        let zero_width = fr.recent().filter(|s| s.dur == 0).count() as u64;
+        assert_eq!(zero_width, d.shed());
+    }
+
+    #[test]
+    fn metrics_cmd_reports_quantiles_layers_and_trace_totals() {
+        let mut d = daemon(&DaemonConfig::default());
+        let (out, _) = drive(
+            &mut d,
+            &[
+                "{\"at\":0,\"work\":10}",
+                "{\"at\":2,\"work\":5}",
+                "{\"at\":50,\"cmd_pad\":0,\"work\":1}",
+                "{\"cmd\":\"metrics\"}",
+                "{\"cmd\":\"shutdown\"}",
+            ],
+        );
+        let metrics = out.lines().find(|l| l.contains("\"kind\":\"metrics\"")).unwrap();
+        // Two completions by tick 50 with waits {0, 8}: the p90 sees 8.
+        assert!(metrics.contains("\"wait_p50\""), "{metrics}");
+        assert!(metrics.contains("\"wait_p90\""), "{metrics}");
+        assert!(metrics.contains("\"self_ticks\":{\"served\":"), "{metrics}");
+        // All three work traces are complete: spans are synthesized at
+        // start time, when the completion tick is already known.
+        assert!(metrics.contains("\"traces\":3"), "{metrics}");
+        assert!(metrics.contains("\"spans_dropped\":0"), "{metrics}");
+        // And the session is still deterministic with a metrics probe.
+        let mut again = daemon(&DaemonConfig::default());
+        let (out2, _) = drive(
+            &mut again,
+            &[
+                "{\"at\":0,\"work\":10}",
+                "{\"at\":2,\"work\":5}",
+                "{\"at\":50,\"cmd_pad\":0,\"work\":1}",
+                "{\"cmd\":\"metrics\"}",
+                "{\"cmd\":\"shutdown\"}",
+            ],
+        );
+        assert_eq!(out, out2);
+    }
+
+    #[test]
+    fn status_lines_carry_cache_bytes_and_steals() {
+        let mut d = daemon(&DaemonConfig::default());
+        let (out, _) =
+            drive(&mut d, &["{\"at\":0,\"batch\":[1]}", "{\"cmd\":\"shutdown\"}"]);
+        let status = out.lines().find(|l| l.contains("\"kind\":\"status\"")).unwrap();
+        // One 5-node dense matrix resident: 5·5·8 bytes.
+        assert!(status.contains("\"cache_bytes\":200"), "{status}");
+        assert!(status.contains("\"steals\":"), "{status}");
+        assert!(status.contains("\"shed\":0"), "{status}");
     }
 
     #[test]

@@ -169,6 +169,32 @@ fn cache_hits_are_allocation_free() {
 }
 
 #[test]
+fn disabled_tracing_span_path_allocates_nothing() {
+    // The tracing plane's zero-cost contract: with tracing off —
+    // `NoopRecorder`, or a `Telemetry` without `.with_tracing(true)` —
+    // the whole span surface (guards, synthesized spans, markers) must
+    // never touch the allocator. This is what lets the solvers keep
+    // their spans compiled in unconditionally.
+    use fap::obs::{emit_marker_span, NoopRecorder, SpanGuard, Telemetry};
+
+    let mut noop = NoopRecorder;
+    let mut silent = Telemetry::manual(); // tracing off by default
+    let (allocs, ()) = counted(|| {
+        for recorder in [&mut noop as &mut dyn fap::obs::Recorder, &mut silent] {
+            for _ in 0..10_000 {
+                let outer = SpanGuard::begin("serve.task", &mut *recorder);
+                let inner = SpanGuard::begin("econ.solve", &mut *recorder);
+                assert!(emit_marker_span(&mut *recorder, "cache.hit").is_none());
+                inner.end(&mut *recorder);
+                outer.end(&mut *recorder);
+            }
+        }
+    });
+    assert_eq!(allocs, 0, "disabled span path allocated {allocs} times");
+    assert!(silent.events().is_empty(), "disabled tracing must emit nothing");
+}
+
+#[test]
 fn recording_solve_only_grows_preallocated_buffers() {
     // The observed solve with a live recording sink must also be
     // allocation-free per iteration: every event lands in the telemetry's

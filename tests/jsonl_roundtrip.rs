@@ -121,6 +121,40 @@ proptest! {
         prop_assert_eq!(get("label"), Scalar::Str("x\"y\\z".into()));
     }
 
+    /// Span-event lines round-trip byte-exactly, whatever the span name:
+    /// control characters, non-ASCII, and names far longer than anything
+    /// the workspace emits. `fap trace` reads exports back through
+    /// `parse_line`, so the name a producer wrote must be the name the
+    /// reconstructor sees.
+    #[test]
+    fn span_names_round_trip(name_raw in proptest::collection::vec(0u32..u32::MAX, 1..2048),
+                             t in 0u64..u64::MAX / 2,
+                             ids in proptest::collection::vec(1u64..u64::MAX / 2, 3),
+                             dur in 0u64..u64::MAX / 2) {
+        let name = string_from_codepoints(&name_raw);
+        let mut line = String::new();
+        let _ = std::fmt::Write::write_fmt(&mut line, format_args!("{{\"t\":{t},\"event\":\"span_end\",\"name\":"));
+        push_json_str(&mut line, &name);
+        let _ = std::fmt::Write::write_fmt(
+            &mut line,
+            format_args!(",\"trace\":{},\"span\":{},\"parent\":{},\"dur\":{dur}}}", ids[0], ids[1], ids[2]),
+        );
+        let pairs = parse_line(&line).expect("span event line must parse");
+        let get = |key: &str| pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone());
+        prop_assert_eq!(get("name"), Some(Scalar::Str(name.clone())));
+        prop_assert_eq!(get("trace").unwrap().as_i64(), Some(ids[0] as i64));
+        prop_assert_eq!(get("span").unwrap().as_i64(), Some(ids[1] as i64));
+        prop_assert_eq!(get("parent").unwrap().as_i64(), Some(ids[2] as i64));
+        prop_assert_eq!(get("dur").unwrap().as_i64(), Some(dur as i64));
+        // Re-escaping the parsed name reproduces the original bytes: the
+        // write → parse → write cycle is byte-exact, not just value-equal.
+        let mut escaped_original = String::new();
+        push_json_str(&mut escaped_original, &name);
+        let mut escaped_reparsed = String::new();
+        push_json_str(&mut escaped_reparsed, get("name").unwrap().as_str().unwrap());
+        prop_assert_eq!(escaped_reparsed, escaped_original);
+    }
+
     /// Registry snapshots round-trip: every counter/gauge/histogram line
     /// the writer produces parses back with the recorded values.
     #[test]
