@@ -134,6 +134,7 @@ pub fn serve_workload(count: usize) -> Vec<ServeRequest> {
                         alpha: 0.05,
                         epsilon: 1e-7,
                         max_iterations: 100_000,
+                        topology: None,
                     }
                 }
                 1 => {
@@ -152,6 +153,7 @@ pub fn serve_workload(count: usize) -> Vec<ServeRequest> {
                         alpha: 0.05,
                         epsilon: 1e-7,
                         max_iterations: 50_000,
+                        topology: None,
                     }
                 }
                 _ => {
@@ -215,6 +217,7 @@ pub fn perturbed_workload(count: usize) -> Vec<ServeRequest> {
                 alpha: 0.05,
                 epsilon: 1e-7,
                 max_iterations: 100_000,
+                topology: None,
             }
         })
         .collect()

@@ -13,9 +13,12 @@
 //!   deterministic in those three inputs, so a cached oracle is bit-identical
 //!   to a rebuilt one.
 //!
-//! The landmark side is deliberately unbounded: a table is `K·n` floats
-//! (megabytes where the dense matrix would be gigabytes), so the byte budget
-//! machinery of the dense cache would be dead weight here.
+//! Both sides honor one byte budget ([`SubstrateCache::set_byte_limit`]):
+//! the dense side evicts whole matrices FIFO, and the landmark side
+//! re-polls each oracle's **live** resident bytes — its row LRU
+//! materializes rows after insert time, so an insert-time figure would
+//! undercount — evicting oldest-first and capping the accessed oracle's
+//! row LRU against the remaining headroom.
 
 use std::collections::HashMap;
 
@@ -80,14 +83,18 @@ impl CostBackend {
     }
 }
 
-/// One cached oracle: the source graph (debug-mode collision guard) and the
-/// built landmark table.
+/// One cached oracle: the source graph (debug-mode collision guard), the
+/// built landmark table, and the row-LRU byte cap last applied to it
+/// (`None` until a budget first touches it).
 #[derive(Debug)]
 struct OracleEntry {
     #[cfg_attr(not(debug_assertions), allow(dead_code))]
     graph: Graph,
     oracle: LandmarkOracle,
+    row_cap: Option<usize>,
 }
+
+type OracleKey = (u64, usize, u64);
 
 /// A content-addressed cache of [`LandmarkOracle`]s keyed by
 /// `(topology_fingerprint, landmark count, seed)`.
@@ -95,14 +102,26 @@ struct OracleEntry {
 /// [`LandmarkOracle::build`] is deterministic in exactly those three inputs,
 /// so a hit returns a table bit-identical to a fresh build. Hits and misses
 /// are counted (`cache.landmark_hit` / `cache.landmark_miss` when observed)
-/// and the resident table bytes are published as the `cache.landmark_bytes`
+/// and the resident bytes are published as the `cache.landmark_bytes`
 /// gauge.
+///
+/// Byte accounting is **live**: an oracle's row LRU materializes rows
+/// *after* the entry is inserted, so [`LandmarkOracleCache::bytes`]
+/// re-polls every entry's [`CostProvider::substrate_bytes`] (table +
+/// assignment + resident LRU rows) instead of freezing an insert-time
+/// figure. Under a [`byte limit`](LandmarkOracleCache::set_byte_limit) the
+/// cache evicts oldest-first on every access and caps the accessed
+/// oracle's row LRU against the budget headroom, so the published gauge
+/// stays within the budget even after rows materialize (subject to the
+/// LRU's one-row floor and the keep-one-entry rule below).
 #[derive(Debug, Default)]
 pub struct LandmarkOracleCache {
-    entries: HashMap<(u64, usize, u64), OracleEntry, FnvBuildHasher>,
+    entries: HashMap<OracleKey, OracleEntry, FnvBuildHasher>,
+    /// Insertion order, oldest first, for budget eviction.
+    order: Vec<OracleKey>,
     hits: u64,
     misses: u64,
-    bytes: u64,
+    byte_limit: Option<u64>,
 }
 
 impl LandmarkOracleCache {
@@ -131,17 +150,34 @@ impl LandmarkOracleCache {
         self.misses
     }
 
-    /// Total landmark-table bytes currently resident (`Σ K·n·8`, excluding
-    /// each oracle's internal row LRU, which is bounded separately).
+    /// Total bytes currently resident, re-polled live from every entry's
+    /// [`CostProvider::substrate_bytes`]: landmark tables, home
+    /// assignments, *and* each oracle's materialized LRU rows.
     pub fn bytes(&self) -> u64 {
-        self.bytes
+        self.entries.values().map(|e| e.oracle.substrate_bytes() as u64).sum()
+    }
+
+    /// Caps the cache at `bytes` live bytes (`None` = unbounded). On every
+    /// subsequent access the oldest entries are evicted while the live
+    /// total exceeds the budget (the accessed entry always survives, like
+    /// the dense cache's keep-newest rule), and the accessed oracle's row
+    /// LRU is capped to the remaining headroom. The LRU keeps at least one
+    /// row, so a budget smaller than one entry's table + one row is held
+    /// as closely as that floor allows.
+    pub fn set_byte_limit(&mut self, bytes: Option<u64>) {
+        self.byte_limit = bytes;
+    }
+
+    /// The configured byte budget, if any.
+    pub fn byte_limit(&self) -> Option<u64> {
+        self.byte_limit
     }
 
     /// Drops every entry (lifetime counters survive, matching
     /// [`CostMatrixCache::clear`]).
     pub fn clear(&mut self) {
         self.entries.clear();
-        self.bytes = 0;
+        self.order.clear();
     }
 
     /// Returns the cached oracle for `(graph, k, seed)`, building it on
@@ -162,7 +198,9 @@ impl LandmarkOracleCache {
 
     /// Returns the cached oracle for `(graph, k, seed)`, building it on
     /// first sight and recording `cache.landmark_hit` /
-    /// `cache.landmark_miss` counters and the `cache.landmark_bytes` gauge.
+    /// `cache.landmark_miss` counters and the live `cache.landmark_bytes`
+    /// gauge (enforcing the byte budget first, so the published figure is
+    /// post-eviction).
     ///
     /// # Errors
     ///
@@ -182,28 +220,56 @@ impl LandmarkOracleCache {
     ) -> Result<&LandmarkOracle, NetError> {
         let key = (topology_fingerprint(graph), k, seed);
         if self.entries.contains_key(&key) {
-            let entry = &self.entries[&key];
             #[cfg(debug_assertions)]
             assert!(
-                entry.graph == *graph,
+                self.entries[&key].graph == *graph,
                 "topology fingerprint collision: two distinct graphs hash to {:#018x}",
                 key.0
             );
             self.hits += 1;
             recorder.incr("cache.landmark_hit", 1);
-            recorder.gauge("cache.landmark_bytes", self.bytes as f64);
             fap_obs::emit_marker_span(recorder, "cache.landmark_hit");
-            return Ok(&entry.oracle);
+        } else {
+            self.misses += 1;
+            recorder.incr("cache.landmark_miss", 1);
+            fap_obs::emit_marker_span(recorder, "cache.landmark_miss");
+            let oracle = LandmarkOracle::build(graph, k, seed)?;
+            self.entries
+                .insert(key, OracleEntry { graph: graph.clone(), oracle, row_cap: None });
+            self.order.push(key);
         }
-        self.misses += 1;
-        recorder.incr("cache.landmark_miss", 1);
-        fap_obs::emit_marker_span(recorder, "cache.landmark_miss");
-        let oracle = LandmarkOracle::build(graph, k, seed)?;
-        self.bytes +=
-            (oracle.landmark_count() as u64) * (graph.node_count() as u64) * 8;
-        self.entries.insert(key, OracleEntry { graph: graph.clone(), oracle });
-        recorder.gauge("cache.landmark_bytes", self.bytes as f64);
+        self.enforce_budget(&key);
+        recorder.gauge("cache.landmark_bytes", self.bytes() as f64);
         Ok(&self.entries[&key].oracle)
+    }
+
+    /// Evicts oldest-first while over budget (sparing `keep`), then caps
+    /// `keep`'s row LRU to the budget headroom left by the other entries.
+    /// Re-capping clears that oracle's cached rows, so the cap is only
+    /// reapplied when the headroom actually changed.
+    fn enforce_budget(&mut self, keep: &OracleKey) {
+        let Some(limit) = self.byte_limit else { return };
+        while self.bytes() > limit && self.order.len() > 1 {
+            let Some(pos) = self.order.iter().position(|k| k != keep) else { break };
+            let victim = self.order.remove(pos);
+            self.entries.remove(&victim);
+        }
+        let others: u64 = self
+            .entries
+            .iter()
+            .filter(|(k, _)| *k != keep)
+            .map(|(_, e)| e.oracle.substrate_bytes() as u64)
+            .sum();
+        let entry = self.entries.get_mut(keep).expect("kept entry present");
+        let f = std::mem::size_of::<f64>() as u64;
+        let n = entry.oracle.node_count() as u64;
+        let fixed = entry.oracle.landmark_count() as u64 * n * f
+            + n * (std::mem::size_of::<u32>() as u64 + f);
+        let cap = limit.saturating_sub(others.saturating_add(fixed)) as usize;
+        if entry.row_cap != Some(cap) {
+            entry.oracle.set_row_cache_bytes(cap);
+            entry.row_cap = Some(cap);
+        }
     }
 }
 
@@ -236,6 +302,20 @@ impl SubstrateCache {
     /// The landmark-oracle side.
     pub fn landmarks(&self) -> &LandmarkOracleCache {
         &self.landmarks
+    }
+
+    /// Mutable access to the landmark-oracle side (e.g. to set a byte
+    /// budget).
+    pub fn landmarks_mut(&mut self) -> &mut LandmarkOracleCache {
+        &mut self.landmarks
+    }
+
+    /// Applies one byte budget to *both* sides: the dense matrix cache's
+    /// FIFO eviction and the landmark cache's live-byte enforcement
+    /// (including row-LRU materialization) each observe `bytes`.
+    pub fn set_byte_limit(&mut self, bytes: Option<u64>) {
+        self.dense.set_byte_limit(bytes);
+        self.landmarks.set_byte_limit(bytes);
     }
 
     /// Returns the provider for `(graph, backend)`, computing it on first
@@ -322,7 +402,10 @@ mod tests {
         cache.get_or_build(&g, 3, 8).unwrap();
         cache.get_or_build(&g, 4, 7).unwrap();
         assert_eq!((cache.hits(), cache.misses(), cache.len()), (1, 3, 3));
-        assert_eq!(cache.bytes(), (3 + 3 + 4) * 12 * 8);
+        // Live accounting: per entry, the K·n table plus the per-node home
+        // assignment (u32 index + f64 distance); no LRU rows materialized.
+        let assignment = 12 * (4 + 8);
+        assert_eq!(cache.bytes(), (3 + 3 + 4) * 12 * 8 + 3 * assignment);
     }
 
     #[test]
@@ -360,7 +443,59 @@ mod tests {
         cache.get_or_build_observed(&g, 4, 1, &mut reg).unwrap();
         assert_eq!(reg.counter("cache.landmark_miss"), 1);
         assert_eq!(reg.counter("cache.landmark_hit"), 1);
-        assert_eq!(reg.gauge_value("cache.landmark_bytes"), Some(4.0 * 10.0 * 8.0));
+        let assignment = 10.0 * (4.0 + 8.0);
+        assert_eq!(
+            reg.gauge_value("cache.landmark_bytes"),
+            Some(4.0 * 10.0 * 8.0 + assignment)
+        );
+    }
+
+    #[test]
+    fn byte_budget_holds_after_row_materialization() {
+        // The drift-correctness contract: rows the oracle materializes
+        // *after* insert time must not push the live bytes past the
+        // budget. ring(32) with K=4: table 4·32·8 = 1024, assignment
+        // 32·12 = 384, so a 2000-byte budget leaves 592 bytes of row
+        // headroom — room for two 256-byte rows.
+        let g = topology::ring(32, 1.0).unwrap();
+        let limit = 2000u64;
+        let mut reg = fap_obs::MetricsRegistry::new();
+        let mut cache = LandmarkOracleCache::new();
+        cache.set_byte_limit(Some(limit));
+        let oracle = cache.get_or_build_observed(&g, 4, 1, &mut reg).unwrap();
+        // Materialize every row: without the cap the LRU would hold all 32
+        // (8 KiB, 4× the whole budget).
+        let mut row = vec![0.0; 32];
+        for v in 0..32 {
+            oracle.row_into(NodeId::new(v), &mut row);
+        }
+        assert!(
+            cache.bytes() <= limit,
+            "live bytes {} exceed the {limit}-byte budget after row \
+             materialization",
+            cache.bytes()
+        );
+        // The re-polled gauge on the next access reflects the capped total.
+        cache.get_or_build_observed(&g, 4, 1, &mut reg).unwrap();
+        let gauge = reg.gauge_value("cache.landmark_bytes").unwrap();
+        assert!(gauge <= limit as f64, "gauge {gauge} over budget");
+        assert!(gauge > 0.0);
+    }
+
+    #[test]
+    fn byte_budget_evicts_oldest_oracle_first() {
+        let g = topology::ring(32, 1.0).unwrap();
+        // Each entry is 1408 fixed bytes: a 2000-byte budget fits one.
+        let mut cache = LandmarkOracleCache::new();
+        cache.set_byte_limit(Some(2000));
+        cache.get_or_build(&g, 4, 1).unwrap();
+        cache.get_or_build(&g, 4, 2).unwrap();
+        assert_eq!(cache.len(), 1, "the older oracle must be evicted");
+        assert!(cache.bytes() <= 2000);
+        // The survivor is the newest key: re-requesting it is a hit.
+        cache.get_or_build(&g, 4, 2).unwrap();
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 2);
     }
 
     #[test]

@@ -9,7 +9,12 @@
 //!                                        batch-solve a request list, sharded
 //! fap served [--servers C] [--warm MODE] [--admission-bound W] ...
 //!                                        persistent daemon (JSONL on stdin,
-//!                                        or --socket <path> on Unix)
+//!                                        or --socket <path> on Unix; a
+//!                                        {"cmd":"drift"} line runs the
+//!                                        tracking loop in-session)
+//! fap track [--drift-scenario S] ...     online reallocation under drift:
+//!                                        per-epoch regret vs clairvoyant
+//!                                        and static baselines
 //! fap serve-example                      print a template request list
 //! fap report <metrics.jsonl>             summarize an exported metrics file
 //! fap report --json <metrics.jsonl>      the summary as one JSON object
@@ -22,11 +27,14 @@
 //! fap bench-scale --check [committed]    re-run and verify determinism
 //! fap bench-serve [out.json]             sequential-vs-sharded serving sweep
 //! fap bench-serve --check [committed]    re-run and verify determinism
+//! fap bench-drift [out.json]             drift-tracking regret/determinism sweep
+//! fap bench-drift --check [committed]    re-run and verify the regret gate
 //! fap example                            print a template scenario
 //! fap chaos-example                      print a template fault plan
 //! ```
 //!
-//! `solve`, `run`, `sim` and `serve` accept `--metrics-out <path.jsonl>`
+//! `solve`, `run`, `sim`, `serve`, `served` and `track` accept
+//! `--metrics-out <path.jsonl>`
 //! to export the run's telemetry and `--metrics-summary` to print the
 //! metrics table. By default the export is buffered in memory and written
 //! at the end; `--metrics-flush-every <N>` streams it instead, flushing to
@@ -63,8 +71,11 @@ const USAGE: &str = "usage:
   fap sim <scenario.json> [chaos.json] [--metrics-out <path.jsonl>] [--metrics-summary]
   fap serve <requests.json> [--shards <n>] [--warm-start] [--metrics-out <path.jsonl>] [--metrics-summary]
   fap served [--shards <n>] [--servers <c>] [--warm off|batch|session]
-             [--admission-bound <ticks>] [--warmup <n>] [--cache-bytes <n>]
-             [--wall-clock] [--socket <path>] [metrics flags]
+             [--admission-bound <ticks>] [--warmup <n>] [--admission-window <n>]
+             [--cache-bytes <n>] [--wall-clock] [--socket <path>] [metrics flags]
+  fap track [--drift-scenario diurnal|flash-crowd|step|node-churn] [--nodes <n>]
+            [--epochs <n>] [--seed <s>] [--hysteresis <eta>] [--smoothing <mu>]
+            [--migration-bandwidth <b>] [--threads <n>] [--json] [metrics flags]
   fap serve-example
   fap report <metrics.jsonl>
   fap report --json <metrics.jsonl>
@@ -77,6 +88,8 @@ const USAGE: &str = "usage:
   fap bench-scale --check [committed.json]
   fap bench-serve [out.json]
   fap bench-serve --check [committed.json]
+  fap bench-drift [out.json]
+  fap bench-drift --check [committed.json]
   fap example
   fap chaos-example
 
@@ -250,11 +263,11 @@ fn run(args: &[String]) -> Result<(), String> {
     if metrics.requested()
         && !matches!(
             args.first().map(String::as_str),
-            Some("solve" | "run" | "sim" | "serve" | "served")
+            Some("solve" | "run" | "sim" | "serve" | "served" | "track")
         )
     {
         return Err(
-            "--metrics-out/--metrics-summary/--metrics-flush-every only apply to solve, run, sim, serve and served"
+            "--metrics-out/--metrics-summary/--metrics-flush-every only apply to solve, run, sim, serve, served and track"
                 .into(),
         );
     }
@@ -431,6 +444,17 @@ fn run(args: &[String]) -> Result<(), String> {
                                 .parse()
                                 .map_err(|e| format!("bad warmup '{n}': {e}"))?;
                         }
+                        "--admission-window" => {
+                            let n =
+                                iter.next().ok_or("--admission-window requires a sample count")?;
+                            let n: usize = n
+                                .parse()
+                                .map_err(|e| format!("bad admission window '{n}': {e}"))?;
+                            if n == 0 {
+                                return Err("--admission-window must be at least 1".into());
+                            }
+                            config.admission_window = n;
+                        }
                         "--cache-bytes" => {
                             let n = iter.next().ok_or("--cache-bytes requires a byte count")?;
                             let n: u64 = n
@@ -476,6 +500,20 @@ fn run(args: &[String]) -> Result<(), String> {
                         use std::io::Write as _;
                         out.flush().map_err(|e| e.to_string())?;
                     }
+                }
+                metrics.finish(sink)?;
+                Ok(())
+            }
+            ("track", rest) => {
+                let options = fap_cli::parse_track_args(rest)?;
+                let mut sink = metrics.sink()?;
+                let report = fap_cli::run_track(&options, sink.recorder())?;
+                if options.json {
+                    let json =
+                        serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+                    println!("{json}");
+                } else {
+                    print!("{}", fap_cli::render_track(&options, &report));
                 }
                 metrics.finish(sink)?;
                 Ok(())
@@ -676,6 +714,73 @@ fn run(args: &[String]) -> Result<(), String> {
                     println!(
                         "  requests={:<5} cold {:>8} iters  warm {:>8} iters  {} seeded, {} iters saved",
                         w.requests, w.cold_iterations, w.warm_iterations, w.warm_starts, w.iters_saved
+                    );
+                }
+                Ok(())
+            }
+            ("bench-drift", [first, rest @ ..]) if first == "--check" && rest.len() <= 1 => {
+                let path = rest.first().map_or("BENCH_drift.json", String::as_str);
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("reading {path}: {e}"))?;
+                let committed: fap_bench::drift::DriftBenchReport =
+                    serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+                let fresh = fap_bench::drift::bench_drift(
+                    &committed.scenarios,
+                    committed.nodes,
+                    committed.epochs,
+                    committed.seed,
+                    &committed.thread_grid,
+                );
+                let outcome = fap_bench::drift::check_against(&committed, &fresh, 1.5);
+                for advisory in &outcome.advisories {
+                    println!("advisory: {advisory}");
+                }
+                if outcome.is_pass() {
+                    println!(
+                        "bench-drift check passed: {} scenarios bit-identical to {path}, \
+                         diurnal regret gate held",
+                        committed.points.len()
+                    );
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "bench-drift check failed:\n  {}",
+                        outcome.hard_failures.join("\n  ")
+                    ))
+                }
+            }
+            ("bench-drift", rest) if rest.len() <= 1 => {
+                let out = rest.first().map_or("BENCH_drift.json", String::as_str);
+                let report = fap_bench::drift::bench_drift(
+                    &fap_bench::drift::default_scenarios(),
+                    8,
+                    24,
+                    7,
+                    &[2, 4],
+                );
+                let json =
+                    serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+                std::fs::write(out, format!("{json}\n"))
+                    .map_err(|e| format!("writing {out}: {e}"))?;
+                println!(
+                    "{} host CPUs; wrote {} scenario points ({} nodes, {} epochs) to {out}",
+                    report.host_threads,
+                    report.points.len(),
+                    report.nodes,
+                    report.epochs
+                );
+                for p in &report.points {
+                    println!(
+                        "  {:<12} regret {:>10.6} vs static {:>10.6} (ratio {:>7.4})  \
+                         moved {:>7.4} in {:>3} copies / {:>3} rounds  {:>8.2} ms",
+                        p.scenario,
+                        p.tracked_regret,
+                        p.static_regret,
+                        p.regret_ratio,
+                        p.total_movement,
+                        p.total_copies,
+                        p.total_rounds,
+                        p.run_ms
                     );
                 }
                 Ok(())

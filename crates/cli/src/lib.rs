@@ -12,6 +12,8 @@
 //! fap sim scenario.json chaos.json  # run the protocol under injected faults
 //! fap serve requests.json --shards 4 # batch-solve a scenario list, sharded
 //! fap served                         # persistent daemon (JSONL on stdin)
+//! fap track --drift-scenario diurnal # online reallocation under drift
+//! fap bench-drift                    # the regret/determinism benchmark
 //! fap serve-example                  # print a template scenario list
 //! fap report metrics.jsonl          # summarize an exported telemetry file
 //! fap trace metrics.jsonl           # reconstruct span trees + self time
@@ -37,6 +39,7 @@ pub mod scenario;
 pub mod serve;
 pub mod served;
 pub mod trace;
+pub mod track;
 
 pub use report::{render, render_diff, render_json, summarize, ReportSummary};
 pub use run::{chaos_sim, chaos_sim_observed, simulate, solve, solve_observed, sweep_k, SolveOutput};
@@ -44,3 +47,4 @@ pub use scenario::{Scenario, ScenarioError, Topology};
 pub use serve::{load_specs, serve_specs, serve_specs_with, ServeSpec};
 pub use served::{run_daemon, spec_daemon, spec_parser};
 pub use trace::{analyze as analyze_trace, TraceReport, TraceTree};
+pub use track::{parse_track_args, render_track, run_track, TrackOptions};

@@ -27,6 +27,9 @@ pub struct ReportSummary {
     /// Every counter in file order, whatever its namespace (`econ.*`,
     /// `serve.*`, `cache.*`, `sim.*`, …) — the basis of `fap report --diff`.
     pub counters: Vec<(String, u64)>,
+    /// Every gauge in file order — the tracking section's regret and
+    /// utility readings live here.
+    pub gauges: Vec<(String, f64)>,
     /// Exact median report latency in rounds, over `delivery` events.
     pub latency_p50: Option<f64>,
     /// Exact 99th-percentile report latency in rounds.
@@ -95,6 +98,10 @@ pub fn summarize(text: &str) -> Result<ReportSummary, String> {
                 summary.fault_counts.push((name.clone(), value));
             }
             summary.counters.push((name.clone(), value));
+        } else if let Some(Scalar::Str(name)) = field(&fields, "gauge") {
+            if let Some(value) = field(&fields, "value").and_then(Scalar::as_f64) {
+                summary.gauges.push((name.clone(), value));
+            }
         } else if let Some(Scalar::Str(name)) = field(&fields, "hist") {
             if name == "sim.report_latency_rounds" {
                 let p50 = field(&fields, "p50").and_then(Scalar::as_f64);
@@ -163,6 +170,32 @@ pub fn render(summary: &ReportSummary) -> String {
         let _ = writeln!(out, "substrate:");
         let width = substrate.iter().map(|(name, _)| name.len()).max().unwrap_or(0);
         for (name, value) in substrate {
+            let _ = writeln!(out, "  {name:<width$}  {value}");
+        }
+    }
+    // The drift-tracking plane: `track.*` counters (epochs, copies,
+    // rounds) and gauges (the final regret and utility readings).
+    let track_counters: Vec<(&str, String)> = summary
+        .counters
+        .iter()
+        .filter(|(name, _)| name.starts_with("track."))
+        .map(|(name, value)| (name.as_str(), value.to_string()))
+        .collect();
+    let track_gauges: Vec<(&str, String)> = summary
+        .gauges
+        .iter()
+        .filter(|(name, _)| name.starts_with("track."))
+        .map(|(name, value)| (name.as_str(), format!("{value}")))
+        .collect();
+    if !track_counters.is_empty() || !track_gauges.is_empty() {
+        let _ = writeln!(out, "tracking:");
+        let width = track_counters
+            .iter()
+            .chain(&track_gauges)
+            .map(|(name, _)| name.len())
+            .max()
+            .unwrap_or(0);
+        for (name, value) in track_counters.iter().chain(&track_gauges) {
             let _ = writeln!(out, "  {name:<width$}  {value}");
         }
     }
@@ -316,6 +349,28 @@ pub fn render_json(summary: &ReportSummary) -> String {
         .map(|(n, v)| (n, v))
         .collect();
     push_counters(&mut out, "substrate", &substrate);
+    // The tracking section: `track.*` counters as integers, then the
+    // `track.*` gauges as floats, both in file order.
+    out.push_str(",\"tracking\":{");
+    let mut first = true;
+    for (name, value) in summary.counters.iter().filter(|(n, _)| n.starts_with("track.")) {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        push_json_str(&mut out, name);
+        let _ = write!(out, ":{value}");
+    }
+    for (name, value) in summary.gauges.iter().filter(|(n, _)| n.starts_with("track.")) {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        push_json_str(&mut out, name);
+        out.push(':');
+        push_json_f64(&mut out, *value);
+    }
+    out.push('}');
     out.push_str(",\"latency\":{");
     for (i, (key, value)) in
         [("p50", summary.latency_p50), ("p99", summary.latency_p99)].iter().enumerate()
@@ -453,6 +508,39 @@ mod tests {
         assert_eq!(summary.iterations, Some(solution.iterations as u64));
         assert_eq!(summary.converged, Some(solution.converged));
         assert!(render(&summary).contains(&format!("after {} iterations", solution.iterations)));
+    }
+
+    #[test]
+    fn tracking_runs_render_their_own_section() {
+        let graph = fap_net::topology::ring(5, 1.0).unwrap();
+        let config = fap_runtime::DriftConfig {
+            epochs: 6,
+            max_iterations: 60_000,
+            ..fap_runtime::DriftConfig::default()
+        };
+        let run = fap_runtime::DriftRun::new(&graph, config).unwrap();
+        let mut telemetry = Telemetry::manual();
+        let report =
+            run.run_observed(fap_batch::Parallelism::Sequential, &mut telemetry).unwrap();
+        let summary = summarize(&telemetry.to_jsonl()).unwrap();
+        assert!(summary
+            .counters
+            .iter()
+            .any(|(n, v)| n == "track.epochs" && *v == report.epochs.len() as u64));
+        assert!(summary.gauges.iter().any(|(n, _)| n == "track.regret"));
+
+        let rendered = render(&summary);
+        assert!(rendered.contains("tracking:"), "{rendered}");
+        assert!(rendered.contains("track.epochs"), "{rendered}");
+        assert!(rendered.contains("track.regret"), "{rendered}");
+
+        let json = render_json(&summary);
+        assert!(json.contains("\"tracking\":{"), "{json}");
+        assert!(json.contains("\"track.epochs\":6"), "{json}");
+        assert!(json.contains("\"track.regret\":"), "{json}");
+        // Non-tracking files keep an empty section, not a missing key.
+        let empty = render_json(&ReportSummary::default());
+        assert!(empty.contains("\"tracking\":{}"));
     }
 
     #[test]

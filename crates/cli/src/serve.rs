@@ -36,6 +36,15 @@ fn default_max_iterations() -> usize {
     1_000_000
 }
 
+/// The canonical fingerprint of a spec topology, computed off the built
+/// graph so structurally identical topologies written differently (e.g. a
+/// `ring` shape vs the same ring as an explicit link list) still share
+/// warm-start chains — and a changed topology rotates the requests' warm
+/// keys, invalidating session seeds from the old network.
+fn fingerprint_of(topology: &Topology) -> Result<u64, ScenarioError> {
+    Ok(fap_cache::topology_fingerprint(&topology.build()?))
+}
+
 /// One request in a `fap serve` scenario list.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[serde(tag = "type", rename_all = "snake_case")]
@@ -145,6 +154,7 @@ impl ServeSpec {
                     alpha: scenario.alpha,
                     epsilon: scenario.epsilon,
                     max_iterations: 1_000_000,
+                    topology: Some(fingerprint_of(&scenario.topology)?),
                 })
             }
             ServeSpec::MultiFile { topology, cost_backend, .. } => {
@@ -203,6 +213,7 @@ impl ServeSpec {
                     alpha: scenario.alpha,
                     epsilon: scenario.epsilon,
                     max_iterations: 1_000_000,
+                    topology: Some(fap_cache::topology_fingerprint(&graph)),
                 })
             }
             ServeSpec::MultiFile { .. } => self.multi_file_request(costs),
@@ -237,6 +248,7 @@ impl ServeSpec {
             alpha: *alpha,
             epsilon: *epsilon,
             max_iterations: *max_iterations,
+            topology: Some(fingerprint_of(topology)?),
         })
     }
 

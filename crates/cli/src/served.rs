@@ -12,6 +12,13 @@
 //! on Unix a socket (`--socket <path>`), where sequential client
 //! connections share one daemon — state persists across connects until a
 //! `shutdown` command arrives.
+//!
+//! One command is handled at this layer rather than inside the wire
+//! daemon: `{"cmd":"drift", ...}` runs the online-reallocation tracking
+//! loop (see [`crate::track`]) and answers with a one-line regret
+//! summary. Keeping it here preserves `fap-served`'s independence from
+//! the runtime crate, the same layering that makes its batch syntax
+//! pluggable.
 
 use std::io::{BufRead, Write};
 
@@ -20,9 +27,10 @@ use serde::{Deserialize, Value};
 use fap_cache::SubstrateCache;
 use fap_obs::Recorder;
 use fap_serve::ServeRequest;
-use fap_served::{BatchParser, Daemon, DaemonConfig};
+use fap_served::{BatchParser, Daemon, DaemonConfig, DaemonStatus};
 
 use crate::serve::ServeSpec;
+use crate::track::drift_command_line;
 
 /// The CLI's batch parser: an envelope's `batch` field is a JSON array of
 /// [`ServeSpec`]s, resolved through the daemon's persistent substrate
@@ -68,7 +76,19 @@ pub fn run_daemon<R: BufRead>(
     recorder: &mut dyn Recorder,
 ) -> Result<(), String> {
     let mut daemon = spec_daemon(config)?;
-    daemon.run(input, out, recorder).map_err(|e| e.to_string())
+    for line in input.lines() {
+        let line = line.map_err(|e| e.to_string())?;
+        if let Some(response) = drift_command_line(&line, recorder) {
+            writeln!(out, "{response}").map_err(|e| e.to_string())?;
+            continue;
+        }
+        match daemon.handle_line(&line, out, recorder) {
+            Ok(DaemonStatus::Shutdown) => return Ok(()),
+            Ok(DaemonStatus::Continue) => {}
+            Err(e) => return Err(e.to_string()),
+        }
+    }
+    daemon.finish(out, recorder).map_err(|e| e.to_string())
 }
 
 /// Serves sequential connections on a Unix socket with ONE persistent
@@ -90,8 +110,6 @@ pub fn run_socket(
     use std::io::BufReader;
     use std::os::unix::net::UnixListener;
 
-    use fap_served::DaemonStatus;
-
     // A stale socket file from a previous run would make bind fail.
     let _ = std::fs::remove_file(path);
     let listener =
@@ -112,6 +130,12 @@ pub fn run_socket(
         let mut writer = stream;
         for line in reader.lines() {
             let Ok(line) = line else { break };
+            if let Some(response) = drift_command_line(&line, recorder) {
+                if writeln!(writer, "{response}").is_err() {
+                    break; // client hung up mid-write; daemon state survives
+                }
+                continue;
+            }
             match daemon.handle_line(&line, &mut writer, recorder) {
                 Ok(DaemonStatus::Shutdown) => break 'sessions,
                 Ok(DaemonStatus::Continue) => {}
@@ -203,6 +227,26 @@ mod tests {
             registry.counter("serve.warm_starts") > 0,
             "later batch heads must start from the previous batch's tails"
         );
+    }
+
+    #[test]
+    fn drift_commands_run_inside_a_spec_session() {
+        let lines = vec![
+            batch_line(0),
+            "{\"cmd\":\"drift\",\"scenario\":\"diurnal\",\"nodes\":5,\"epochs\":8,\"threads\":1}"
+                .to_string(),
+            "{\"cmd\":\"drift\",\"scenario\":\"teleport\"}".to_string(),
+            "{\"cmd\":\"shutdown\"}".to_string(),
+        ];
+        let (out, registry) = session(&DaemonConfig::default(), &lines);
+        // The drift line answers inline; ordinary batches still serve.
+        assert_eq!(out.matches("\"kind\":\"batch\"").count(), 1);
+        let drift = out.lines().find(|l| l.contains("\"kind\":\"drift\"")).unwrap();
+        assert!(drift.contains("\"regret_ratio\":"), "{drift}");
+        assert_eq!(registry.counter("track.epochs"), 8);
+        // A bad drift envelope errors inline without killing the session.
+        assert!(out.contains("unknown scenario"), "{out}");
+        assert_eq!(registry.counter("served.batches"), 1);
     }
 
     #[test]

@@ -63,6 +63,7 @@ pub mod resource_directed;
 pub mod second_order;
 pub mod step_size;
 pub mod trace;
+pub mod tracking;
 
 pub use convergence::{marginal_spread, OscillationDetector};
 pub use error::EconError;
@@ -75,3 +76,7 @@ pub use resource_directed::{OptimizerScratch, ResourceDirectedOptimizer, Solutio
 pub use second_order::SecondOrderOptimizer;
 pub use step_size::StepSize;
 pub use trace::{IterationRecord, Trace};
+pub use tracking::{
+    HysteresisProblem, MigrationPlan, MigrationPlanner, MigrationStep, TrackedEpoch,
+    TrackingOptimizer,
+};

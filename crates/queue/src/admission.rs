@@ -11,11 +11,18 @@
 //! answer to overload: don't buy service whose price (wait) exceeds its
 //! worth.
 //!
-//! Everything here is plain arithmetic on running sums, so predictions
-//! are deterministic functions of the observation sequence — on the
-//! daemon's virtual clock the whole admission path is replayable
-//! bit-for-bit, which is how the validation suite compares predicted
-//! against measured waits.
+//! The rate estimators are **sliding windows** over the most recent
+//! [`DEFAULT_ADMISSION_WINDOW`] samples (tunable with
+//! [`AdmissionController::with_window`]). A cumulative fit would average
+//! the entire history, so after a λ step-change the prediction would crawl
+//! toward the new rate at `O(history/window)` speed — unboundedly slowly
+//! in a long-lived daemon. With a window, the estimate forgets the old
+//! regime after exactly `window` samples. Each rate is recomputed from the
+//! resident samples on every query (no incremental running sum, so no
+//! floating-point drift), and predictions stay deterministic functions of
+//! the observation sequence — on the daemon's virtual clock the whole
+//! admission path is replayable bit-for-bit, which is how the validation
+//! suite compares predicted against measured waits.
 
 use crate::error::QueueError;
 use crate::mmc::MmcDelay;
@@ -24,8 +31,58 @@ use crate::mmc::MmcDelay;
 /// [`AdmissionController::predicted_wait`] starts predicting.
 pub const DEFAULT_ADMISSION_WARMUP: u64 = 4;
 
+/// Default sliding-window length (most recent samples kept) of the rate
+/// estimators. Relative error of a windowed exponential-rate estimate is
+/// ≈ `1/√window` ≈ 2% here; the window is what bounds how long a λ
+/// step-change takes to be fully reflected in `predicted_wait`.
+pub const DEFAULT_ADMISSION_WINDOW: usize = 2048;
+
+/// A fixed-capacity ring of the most recent samples.
+#[derive(Debug, Clone)]
+struct SampleWindow {
+    samples: Vec<f64>,
+    /// Next overwrite position once the ring is full.
+    next: usize,
+    /// Total samples ever pushed (the warmup gate counts these, not the
+    /// resident ones, so shrinking the window cannot un-warm a controller).
+    seen: u64,
+    capacity: usize,
+}
+
+impl SampleWindow {
+    fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        SampleWindow { samples: Vec::with_capacity(capacity), next: 0, seen: 0, capacity }
+    }
+
+    fn push(&mut self, value: f64) {
+        if self.samples.len() < self.capacity {
+            self.samples.push(value);
+        } else {
+            self.samples[self.next] = value;
+            self.next = (self.next + 1) % self.capacity;
+        }
+        self.seen += 1;
+    }
+
+    /// Resident sample count (≤ capacity).
+    fn len(&self) -> u64 {
+        self.samples.len() as u64
+    }
+
+    /// Sum over the resident samples, recomputed on demand. The ring
+    /// rotation permutes the addends, but every resident multiset of
+    /// samples is summed in a fixed (slot) order, so replaying the same
+    /// observation sequence reproduces the same bits.
+    fn sum(&self) -> f64 {
+        self.samples.iter().sum()
+    }
+}
+
 /// An online M/M/c admission model: feed it arrival ticks and service
-/// durations, ask it for the predicted mean queueing wait.
+/// durations, ask it for the predicted mean queueing wait. Rates are
+/// fitted over a sliding window of recent samples, so the prediction
+/// tracks workload drift instead of averaging over all history.
 ///
 /// # Example
 ///
@@ -48,15 +105,13 @@ pub struct AdmissionController {
     servers: u32,
     warmup: u64,
     last_arrival: Option<u64>,
-    interarrival_sum: f64,
-    interarrival_count: u64,
-    service_sum: f64,
-    service_count: u64,
+    interarrivals: SampleWindow,
+    services: SampleWindow,
 }
 
 impl AdmissionController {
     /// A controller modelling `servers ≥ 1` parallel service slots, with
-    /// the default warmup.
+    /// the default warmup and window.
     ///
     /// # Errors
     ///
@@ -69,10 +124,8 @@ impl AdmissionController {
             servers,
             warmup: DEFAULT_ADMISSION_WARMUP,
             last_arrival: None,
-            interarrival_sum: 0.0,
-            interarrival_count: 0,
-            service_sum: 0.0,
-            service_count: 0,
+            interarrivals: SampleWindow::new(DEFAULT_ADMISSION_WINDOW),
+            services: SampleWindow::new(DEFAULT_ADMISSION_WINDOW),
         })
     }
 
@@ -84,9 +137,24 @@ impl AdmissionController {
         self
     }
 
+    /// Fits rates over the most recent `samples` observations instead of
+    /// the default window (0 is clamped to 1). Discards already-recorded
+    /// samples, so call this at construction time.
+    #[must_use]
+    pub fn with_window(mut self, samples: usize) -> Self {
+        self.interarrivals = SampleWindow::new(samples);
+        self.services = SampleWindow::new(samples);
+        self
+    }
+
     /// Number of modelled service slots `c`.
     pub fn servers(&self) -> u32 {
         self.servers
+    }
+
+    /// The sliding-window length of both rate estimators.
+    pub fn window(&self) -> usize {
+        self.interarrivals.capacity
     }
 
     /// Records a request arriving at `tick` (monotone; an out-of-order
@@ -95,8 +163,7 @@ impl AdmissionController {
     pub fn record_arrival(&mut self, tick: u64) {
         if let Some(last) = self.last_arrival {
             let gap = tick.saturating_sub(last) as f64;
-            self.interarrival_sum += gap;
-            self.interarrival_count += 1;
+            self.interarrivals.push(gap);
             self.last_arrival = Some(tick.max(last));
         } else {
             self.last_arrival = Some(tick);
@@ -110,35 +177,42 @@ impl AdmissionController {
         if !duration.is_finite() || duration < 0.0 {
             return;
         }
-        self.service_sum += duration.max(1.0);
-        self.service_count += 1;
+        self.services.push(duration.max(1.0));
     }
 
-    /// The measured arrival rate λ̂ (arrivals per tick), or `None` before
-    /// two arrivals. All arrivals at the same tick ⇒ `+∞`.
+    /// The measured arrival rate λ̂ (arrivals per tick) over the window,
+    /// or `None` before two arrivals. All windowed arrivals at the same
+    /// tick ⇒ `+∞`.
     pub fn arrival_rate(&self) -> Option<f64> {
-        if self.interarrival_count == 0 {
+        if self.interarrivals.len() == 0 {
             return None;
         }
-        if self.interarrival_sum <= 0.0 {
+        let sum = self.interarrivals.sum();
+        if sum <= 0.0 {
             return Some(f64::INFINITY);
         }
-        Some(self.interarrival_count as f64 / self.interarrival_sum)
+        Some(self.interarrivals.len() as f64 / sum)
     }
 
-    /// The measured per-slot service rate μ̂ (services per tick), or
-    /// `None` before the first completed service.
+    /// The measured per-slot service rate μ̂ (services per tick) over the
+    /// window, or `None` before the first completed service.
     pub fn service_rate(&self) -> Option<f64> {
-        if self.service_count == 0 || self.service_sum <= 0.0 {
+        if self.services.len() == 0 {
             return None;
         }
-        Some(self.service_count as f64 / self.service_sum)
+        let sum = self.services.sum();
+        if sum <= 0.0 {
+            return None;
+        }
+        Some(self.services.len() as f64 / sum)
     }
 
-    /// Whether both estimators have at least the warmup sample count.
+    /// Whether both estimators have seen at least the warmup sample count
+    /// (lifetime totals — samples that have since slid out of the window
+    /// still count toward warmup).
     pub fn warmed_up(&self) -> bool {
         let needed = self.warmup.max(1);
-        self.interarrival_count >= needed && self.service_count >= needed
+        self.interarrivals.seen >= needed && self.services.seen >= needed
     }
 
     /// The fitted model, once μ̂ is available.
@@ -240,5 +314,64 @@ mod tests {
         }
         let wq = adm.predicted_wait().unwrap();
         assert!(wq < 0.02, "idle wait {wq}");
+    }
+
+    #[test]
+    fn window_forgets_the_old_regime_exactly() {
+        // 8 samples of gap 10, then a window-sized run of gap 2: once the
+        // new regime fills the 4-sample window, λ̂ is exactly the new rate
+        // with no residue of the old one.
+        let mut adm = AdmissionController::new(1).unwrap().with_window(4);
+        let mut tick = 0u64;
+        for _ in 0..9 {
+            adm.record_arrival(tick);
+            tick += 10;
+        }
+        // 5 new-regime arrivals: the first gap straddles the regime
+        // boundary, the next 4 fill the window with pure gap-2 samples.
+        for _ in 0..5 {
+            tick += 2;
+            adm.record_arrival(tick);
+        }
+        assert_eq!(adm.arrival_rate(), Some(0.5));
+    }
+
+    #[test]
+    fn step_change_reconverges_within_one_window() {
+        // The drift-correctness contract: after a 4× λ step, the predicted
+        // wait reaches the new regime's closed-form M/M/1 wait within one
+        // estimator window — a cumulative fit would still be dominated by
+        // the long pre-step history.
+        let window = 32usize;
+        let mut adm =
+            AdmissionController::new(1).unwrap().with_warmup(4).with_window(window);
+        // Long history at λ = 1/40, services of 5 ticks (ρ = 0.125).
+        let mut tick = 0u64;
+        for _ in 0..20 * window {
+            adm.record_arrival(tick);
+            adm.record_service(5.0);
+            tick += 40;
+        }
+        let before = adm.predicted_wait().unwrap();
+        // λ steps 4× (gaps of 10): the new offered load is ρ = 0.5. One
+        // extra arrival beyond the window evicts the boundary-straddling
+        // first gap, so the fit sees only new-regime samples.
+        for _ in 0..=window {
+            tick += 10;
+            adm.record_arrival(tick);
+            adm.record_service(5.0);
+        }
+        let after = adm.predicted_wait().unwrap();
+        let model = MmcDelay::new(1, 1.0 / 5.0).unwrap();
+        let new_wait = model.mean_wait(1.0 / 10.0).unwrap();
+        let old_wait = model.mean_wait(1.0 / 40.0).unwrap();
+        assert!((before - old_wait).abs() <= 0.01 * old_wait, "pre-step fit {before}");
+        assert!(
+            (after - new_wait).abs() <= 0.2 * new_wait,
+            "one window after a 4x step the prediction must match the new \
+             regime: predicted {after}, closed form {new_wait}"
+        );
+        // In fact the window has fully turned over, so the fit is exact.
+        assert!((after - new_wait).abs() <= 1e-12, "window fully forgot: {after}");
     }
 }

@@ -47,7 +47,7 @@ pub mod error;
 pub mod mmc;
 pub mod stats;
 
-pub use admission::{AdmissionController, DEFAULT_ADMISSION_WARMUP};
+pub use admission::{AdmissionController, DEFAULT_ADMISSION_WARMUP, DEFAULT_ADMISSION_WINDOW};
 pub use analytic::{DelayModel, Mg1Delay, Mm1Delay};
 pub use mmc::MmcDelay;
 pub use des::distribution::ServiceDistribution;

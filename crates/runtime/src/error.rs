@@ -28,6 +28,13 @@ pub enum RuntimeError {
         /// What went wrong.
         reason: String,
     },
+    /// A drift-tracking epoch could not be built or solved.
+    Drift {
+        /// The epoch that failed.
+        epoch: usize,
+        /// What went wrong.
+        reason: String,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -42,6 +49,9 @@ impl fmt::Display for RuntimeError {
             }
             RuntimeError::Chaos { round, reason } => {
                 write!(f, "chaos simulation stuck at round {round}: {reason}")
+            }
+            RuntimeError::Drift { epoch, reason } => {
+                write!(f, "drift tracking failed at epoch {epoch}: {reason}")
             }
         }
     }

@@ -32,12 +32,19 @@
 //!   on the event-driven engine; the lock-step reference survives as
 //!   [`SimRun::run_round_synchronous`];
 //! * [`Reactor`] — the deterministic virtual-clock event loop those
-//!   engines run on, shared with the `fap served` daemon.
+//!   engines run on, shared with the `fap served` daemon;
+//! * [`drift`] — seeded λ-trajectories (diurnal, flash crowd, step, node
+//!   churn) and the online reallocation control loop: a
+//!   [`fap_econ::TrackingOptimizer`] re-solves each epoch incrementally,
+//!   migrations are planned under a bandwidth bound, and regret is scored
+//!   against the per-epoch clairvoyant optimum and the static epoch-0
+//!   allocation.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod drift;
 pub mod error;
 pub mod failure;
 pub mod local;
@@ -49,6 +56,7 @@ pub mod sim;
 pub mod threaded;
 pub mod timing;
 
+pub use drift::{DriftConfig, DriftReport, DriftRun, DriftScenario, EpochRecord};
 pub use error::RuntimeError;
 pub use failure::{FailurePlan, FailureReport};
 pub use local::LocalObjective;

@@ -84,6 +84,13 @@ pub enum ServeRequest {
         epsilon: f64,
         /// Iteration cap.
         max_iterations: usize,
+        /// Topology fingerprint of the network the problem was built on
+        /// (`fap_cache::topology_fingerprint`). When set, it becomes part
+        /// of the warm key, so requests on *different* topologies never
+        /// share a warm chain or a session seed — λ-only drift reuses
+        /// seeds, a topology change invalidates them. `None` (the
+        /// pre-existing wire shape) keeps the purely structural key.
+        topology: Option<u64>,
     },
     /// A §5.2 multi-file allocation (solved sequentially inside its
     /// worker — the shards are the parallelism).
@@ -98,6 +105,9 @@ pub enum ServeRequest {
         epsilon: f64,
         /// Iteration cap.
         max_iterations: usize,
+        /// Topology fingerprint, as for
+        /// [`ServeRequest::SingleFile::topology`].
+        topology: Option<u64>,
     },
     /// A §7 multi-copy ring allocation, solved by the oscillation-aware
     /// solver.
@@ -651,26 +661,36 @@ fn next_task(
 
 /// The warm-start chain key of a request: requests with the same key are
 /// seeded from each other's converged answers. The key covers the family
-/// tag, the problem dimensions and the solver parameters (α, ε) — a
-/// deliberately *structural* fingerprint: perturbed-workload streams over
-/// one topology share it (that is the whole point of warm starts), and a
-/// false merge only changes a starting iterate, never a solution's fixed
-/// point. Ring requests have no warm path and return `None`.
+/// tag, the problem dimensions, the solver parameters (α, ε) and — when
+/// the caller provides one — the topology fingerprint, a deliberately
+/// *structural* fingerprint: perturbed-workload (λ-only) streams over one
+/// topology share it (that is the whole point of warm starts), while a
+/// topology change rotates the key so stale seeds from the old network
+/// are never consulted. A false merge only changes a starting iterate,
+/// never a solution's fixed point, but an un-rotated key would warm a new
+/// topology's solve from an allocation optimized for the old one — legal,
+/// just slow. Ring requests have no warm path and return `None`.
 fn warm_key(request: &ServeRequest) -> Option<u64> {
     let mut h = Fnv64::new();
     match request {
-        ServeRequest::SingleFile { problem, alpha, epsilon, .. } => {
+        ServeRequest::SingleFile { problem, alpha, epsilon, topology, .. } => {
             h.write_u64(1);
             h.write_usize(problem.dimension());
             h.write_u64(alpha.to_bits());
             h.write_u64(epsilon.to_bits());
+            if let Some(fingerprint) = topology {
+                h.write_u64(*fingerprint);
+            }
         }
-        ServeRequest::MultiFile { problem, alpha, epsilon, .. } => {
+        ServeRequest::MultiFile { problem, alpha, epsilon, topology, .. } => {
             h.write_u64(2);
             h.write_usize(problem.file_count());
             h.write_usize(problem.node_count());
             h.write_u64(alpha.to_bits());
             h.write_u64(epsilon.to_bits());
+            if let Some(fingerprint) = topology {
+                h.write_u64(*fingerprint);
+            }
         }
         ServeRequest::Ring { .. } => return None,
     }
@@ -772,7 +792,7 @@ impl ShardWorker {
     ) -> Result<ServeResponse, ServeError> {
         registry.incr("serve.requests", 1);
         let result = match request {
-            ServeRequest::SingleFile { problem, initial, alpha, epsilon, max_iterations } => {
+            ServeRequest::SingleFile { problem, initial, alpha, epsilon, max_iterations, .. } => {
                 ResourceDirectedOptimizer::new(StepSize::Fixed(*alpha))
                     .with_epsilon(*epsilon)
                     .with_max_iterations(*max_iterations)
@@ -780,7 +800,8 @@ impl ShardWorker {
                     .map(ServeResponse::SingleFile)
                     .map_err(|e| ServeError { message: e.to_string() })
             }
-            ServeRequest::MultiFile { problem, initial, alpha, epsilon, max_iterations } => problem
+            ServeRequest::MultiFile { problem, initial, alpha, epsilon, max_iterations, .. } => {
+                problem
                 .solve_observed(
                     initial,
                     *alpha,
@@ -791,7 +812,8 @@ impl ShardWorker {
                     registry,
                 )
                 .map(ServeResponse::MultiFile)
-                .map_err(|e| ServeError { message: e.to_string() }),
+                .map_err(|e| ServeError { message: e.to_string() })
+            }
             ServeRequest::Ring { ring, initial, alpha, cost_delta_tolerance, max_iterations } => {
                 RingSolver::new(*alpha)
                     .with_cost_delta_tolerance(*cost_delta_tolerance)
@@ -827,6 +849,7 @@ mod tests {
             alpha: 0.1,
             epsilon: 1e-6,
             max_iterations: 100_000,
+            topology: None,
         }
     }
 
@@ -841,6 +864,7 @@ mod tests {
             alpha: 0.1,
             epsilon: 1e-6,
             max_iterations: 50_000,
+            topology: None,
         }
     }
 
@@ -1063,6 +1087,7 @@ mod tests {
                     alpha: 0.1,
                     epsilon: 1e-6,
                     max_iterations: 100_000,
+                    topology: None,
                 }
             })
             .collect();
@@ -1131,6 +1156,7 @@ mod tests {
                     alpha: 0.1,
                     epsilon: 1e-6,
                     max_iterations: 100_000,
+                    topology: None,
                 }
             })
             .collect()
@@ -1174,6 +1200,97 @@ mod tests {
             assert!(s.converged && c.converged);
             assert!((s.final_utility - c.final_utility).abs() <= 1e-9);
         }
+    }
+
+    /// [`perturbed_stream`] on an explicit graph with a topology
+    /// fingerprint attached — the shape the CLI spec layer produces.
+    fn fingerprinted_stream(
+        batch: usize,
+        graph: &fap_net::Graph,
+        fingerprint: u64,
+    ) -> Vec<ServeRequest> {
+        let n = graph.node_count();
+        (0..4)
+            .map(|i| {
+                let k = (batch * 4 + i) as f64;
+                let rates: Vec<f64> = (0..n)
+                    .map(|v| 0.2 + 0.08 * v as f64 + 0.002 * k * (v as f64 + 1.0))
+                    .collect();
+                let pattern = AccessPattern::new(rates).unwrap();
+                let problem = SingleFileProblem::mm1(graph, &pattern, 4.0, 1.0).unwrap();
+                ServeRequest::SingleFile {
+                    problem,
+                    initial: vec![1.0 / n as f64; n],
+                    alpha: 0.1,
+                    epsilon: 1e-6,
+                    max_iterations: 100_000,
+                    topology: Some(fingerprint),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn topology_fingerprints_partition_warm_keys() {
+        let with_fp = |seed: u64, fp: Option<u64>| {
+            let mut request = single_file_request(seed);
+            if let ServeRequest::SingleFile { topology, .. } = &mut request {
+                *topology = fp;
+            }
+            request
+        };
+        // λ-only perturbations on one fingerprinted topology still chain.
+        assert_eq!(
+            warm_key(&with_fp(100, Some(11))),
+            warm_key(&with_fp(777, Some(11))),
+            "same topology, different workload: one chain"
+        );
+        // A different topology — same dimension, α, ε — rotates the key.
+        assert_ne!(
+            warm_key(&with_fp(100, Some(11))),
+            warm_key(&with_fp(100, Some(22))),
+            "a topology change must invalidate the chain"
+        );
+        // Fingerprinted and unfingerprinted requests never share a chain
+        // (an unfingerprinted peer could be on any topology).
+        assert_ne!(warm_key(&with_fp(100, Some(11))), warm_key(&with_fp(100, None)));
+    }
+
+    #[test]
+    fn session_seeds_survive_lambda_drift_but_not_topology_changes() {
+        let server = BatchServer::new(Parallelism::Sequential).with_warm_start(true);
+        let ring = topology::ring(5, 1.0).unwrap();
+        let mesh = topology::full_mesh(5, 1.0).unwrap();
+        // Distinct stand-in fingerprints (the spec layer derives real ones
+        // from the graph; the serving layer only compares them).
+        let (ring_fp, mesh_fp) = (1, 2);
+
+        let mut seeds = SessionSeeds::new();
+        let first = server.serve_session(&fingerprinted_stream(0, &ring, ring_fp), &mut seeds);
+        assert_eq!(first.aggregate.counter("serve.warm_starts"), 3, "cold head");
+        // λ-only drift on the same topology: the next batch's head is
+        // seeded from the previous batch's tail.
+        let second = server.serve_session(&fingerprinted_stream(1, &ring, ring_fp), &mut seeds);
+        assert_eq!(
+            second.aggregate.counter("serve.warm_starts"),
+            4,
+            "a mid-session λ-only change must reuse session seeds"
+        );
+        // A topology change — same dimension and solver parameters, so
+        // the old structural key would have collided — must run its head
+        // cold instead of starting from the ring's optimum.
+        let third = server.serve_session(&fingerprinted_stream(2, &mesh, mesh_fp), &mut seeds);
+        assert_eq!(
+            third.aggregate.counter("serve.warm_starts"),
+            3,
+            "a mid-session topology change must invalidate session seeds"
+        );
+        // And the mesh responses equal a fresh no-seed serve: the ring
+        // seeds were never consulted.
+        let mut fresh = SessionSeeds::new();
+        let fresh_third =
+            server.serve_session(&fingerprinted_stream(2, &mesh, mesh_fp), &mut fresh);
+        assert_eq!(third.responses, fresh_third.responses);
     }
 
     #[test]

@@ -99,7 +99,9 @@ use fap_obs::{
     emit_span, emit_span_end, emit_span_start, FlightRecorder, MetricsRegistry, Recorder,
     Tee, TraceContext,
 };
-use fap_queue::{AdmissionController, QueueError, DEFAULT_ADMISSION_WARMUP};
+use fap_queue::{
+    AdmissionController, QueueError, DEFAULT_ADMISSION_WARMUP, DEFAULT_ADMISSION_WINDOW,
+};
 use fap_runtime::Reactor;
 use fap_serve::{BatchServer, ServeRequest, SessionSeeds};
 
@@ -181,6 +183,10 @@ pub struct DaemonConfig {
     pub admission_bound: Option<f64>,
     /// Samples required before the admission model predicts.
     pub admission_warmup: u64,
+    /// Sliding-window length of the admission rate estimators (most
+    /// recent samples kept; the model forgets a workload shift after this
+    /// many observations).
+    pub admission_window: usize,
     /// Byte budget for the persistent cost-matrix cache (`None` =
     /// unbounded).
     pub cache_bytes: Option<u64>,
@@ -196,6 +202,7 @@ impl Default for DaemonConfig {
             warm: WarmMode::Batch,
             admission_bound: None,
             admission_warmup: DEFAULT_ADMISSION_WARMUP,
+            admission_window: DEFAULT_ADMISSION_WINDOW,
             cache_bytes: None,
             wall_clock: false,
         }
@@ -279,10 +286,11 @@ impl<P: BatchParser> Daemon<P> {
     ///
     /// Returns [`QueueError::InvalidParameter`] for zero servers.
     pub fn new(parser: P, config: &DaemonConfig) -> Result<Self, QueueError> {
-        let admission =
-            AdmissionController::new(config.servers)?.with_warmup(config.admission_warmup);
+        let admission = AdmissionController::new(config.servers)?
+            .with_warmup(config.admission_warmup)
+            .with_window(config.admission_window);
         let mut cache = SubstrateCache::new();
-        cache.dense_mut().set_byte_limit(config.cache_bytes);
+        cache.set_byte_limit(config.cache_bytes);
         Ok(Daemon {
             parser,
             server: BatchServer::new(config.shards)
@@ -844,6 +852,7 @@ mod tests {
                         alpha: 0.1,
                         epsilon: 1e-6,
                         max_iterations: 100_000,
+                        topology: None,
                     })
                 })
                 .collect()

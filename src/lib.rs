@@ -35,9 +35,11 @@
 //! * [`ring`] — the §7 multi-copy virtual-ring extension with its
 //!   oscillation-aware solver;
 //! * [`runtime`] — the protocol as a message-passing (and multi-threaded)
-//!   distributed system with message accounting, failure injection, and a
+//!   distributed system with message accounting, failure injection, a
 //!   seeded chaos simulator running the exchange schemes over an
-//!   unreliable network;
+//!   unreliable network, and the online-reallocation control loop
+//!   ([`DriftRun`](fap_runtime::DriftRun)) tracking seeded workload-drift
+//!   trajectories with hysteresis and bounded-bandwidth migration;
 //! * [`obs`] — zero-dependency structured telemetry: a metrics registry
 //!   (counters, gauges, histograms), span timing on wall or virtual
 //!   clocks, and buffered ([`Telemetry`](fap_obs::Telemetry)) or streaming
@@ -100,17 +102,17 @@ pub mod prelude {
         HostingMarket, MultiFileProblem, MultiFileScratch, SingleFileProblem,
     };
     pub use fap_econ::{
-        AllocationProblem, BoundaryRule, GossipOptimizer, Neighborhood,
+        AllocationProblem, BoundaryRule, GossipOptimizer, MigrationPlanner, Neighborhood,
         PriceDirectedOptimizer, ResourceDirectedOptimizer, SecondOrderOptimizer, Solution,
-        StepSize,
+        StepSize, TrackingOptimizer,
     };
     pub use fap_net::{topology, AccessPattern, CostProvider, Graph, LandmarkOracle, NodeId};
     pub use fap_obs::{JsonlSink, MetricsRegistry, NoopRecorder, Recorder, Telemetry};
     pub use fap_queue::{DelayModel, Mg1Delay, Mm1Delay, NetworkSimulation, ServiceDistribution};
     pub use fap_ring::{RingSolver, VirtualRing};
     pub use fap_runtime::{
-        ChaosPlan, DistributedRun, ExchangeScheme, FailurePlan, MessageCounting, SimReport,
-        SimRun,
+        ChaosPlan, DistributedRun, DriftConfig, DriftReport, DriftRun, DriftScenario,
+        ExchangeScheme, FailurePlan, MessageCounting, SimReport, SimRun,
     };
     pub use fap_serve::{
         BatchServer, ServeOutput, ServeRequest, ServeResponse, SessionSeeds,

@@ -23,6 +23,7 @@ fn mixed_batch(requests: usize) -> Vec<ServeRequest> {
                         alpha: 0.08,
                         epsilon: 1e-6,
                         max_iterations: 100_000,
+                        topology: None,
                     }
                 }
                 1 => {
@@ -37,6 +38,7 @@ fn mixed_batch(requests: usize) -> Vec<ServeRequest> {
                         alpha: 0.08,
                         epsilon: 1e-6,
                         max_iterations: 50_000,
+                        topology: None,
                     }
                 }
                 _ => {

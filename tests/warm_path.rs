@@ -112,6 +112,7 @@ fn cached_warm_sharded_serving_matches_sequential() {
                 alpha: 0.05,
                 epsilon: 1e-8,
                 max_iterations: 200_000,
+                topology: None,
             }
         })
         .collect();
