@@ -20,10 +20,12 @@ use std::time::Instant;
 
 use fap_batch::Parallelism;
 use fap_core::{
-    hierarchical::{solve_hierarchical, HierarchicalConfig},
+    hierarchical::{solve_hierarchical_multilevel, HierarchicalConfig},
     reference, MultiFileProblem, MultiFileScratch, MultiFileSolution, SingleFileProblem,
 };
-use fap_net::{topology, AccessPattern, CostMatrix, CostProvider, Graph, LandmarkOracle};
+use fap_net::{
+    topology, AccessPattern, CostMatrix, CostProvider, Graph, GraphDelta, LandmarkOracle,
+};
 use serde::{Deserialize, Serialize};
 
 /// Largest `N` at which the sparse sweep still builds the dense reference
@@ -36,19 +38,47 @@ pub const SPARSE_GAP_BOUND: f64 = 0.05;
 pub const SPARSE_BYTE_LIMIT: usize = 1 << 30;
 /// Landmark-selection seed of the sparse sweep.
 pub const SPARSE_SEED: u64 = 7;
+/// Farthest-point selection batch of the sparse sweep's oracle build
+/// ([`LandmarkOracle::build_parallel`]): each round selects up to this
+/// many landmarks from one `min_dist` sweep and computes their rows
+/// concurrently, cutting the selection cost from `K` full scans to
+/// `K / 16` and exposing 16-way parallelism inside the otherwise serial
+/// chain.
+pub const SPARSE_BATCH: usize = 16;
 
 /// Landmark count of the sparse sweep at size `n`:
-/// `clamp(n / 128, 64, 512)` further capped at `n`. Small graphs make
-/// every node a landmark (the hub estimator is then exact and the gap
-/// measures pure solver quality). Past the gap limit the count grows with
-/// `n` to hold per-cluster subproblems near 128–256 nodes — the
-/// hierarchical solver's wall clock is dominated by the inner solves,
-/// whose convergence degrades sharply with cluster size, so more (cheap,
-/// `O(N + E)` each) Dijkstra runs buy back far more solve time than they
-/// cost. The 512 ceiling keeps the `O(K·N)` distance table at 512 MiB for
-/// `N = 131072`, inside the 1 GiB substrate budget.
+/// `clamp(n / 128, 64, 512)` further capped by the node count and by the
+/// memory budget. Small graphs make every node a landmark (the hub
+/// estimator is then exact and the gap measures pure solver quality).
+/// Past the gap limit the count grows with `n` to hold per-cluster
+/// subproblems near 128–256 nodes — the hierarchical solver's wall clock
+/// is dominated by the inner solves, whose convergence degrades sharply
+/// with cluster size, so more (cheap, `O(N + E)` each) Dijkstra runs buy
+/// back far more solve time than they cost. The memory cap holds the
+/// `O(K·N)` f64 distance table at or under ¾ of [`SPARSE_BYTE_LIMIT`]
+/// (the remaining quarter absorbs landmark lists, home assignments and
+/// the row LRU): `K = 512` through `N = 131072`, then 384, 192 and 96 at
+/// the quarter-, half- and full-million-node points. Shrinking `K` while
+/// `N` grows is what trades hub precision for feasibility — the
+/// multi-level cluster tree ([`sparse_levels`]) absorbs the resulting
+/// `N / K` cluster growth.
 pub fn sparse_landmarks(n: usize) -> usize {
-    (n / 128).clamp(64, 512).min(n)
+    let grow = (n / 128).clamp(64, 512);
+    let mem_cap = (3 * (SPARSE_BYTE_LIMIT / 4)) / (8 * n.max(1));
+    grow.min(mem_cap.max(1)).min(n)
+}
+
+/// Hierarchy depth of the sparse sweep at size `n`: flat (`1`) while the
+/// expected cluster size `N / K` fits a single inner solve (≤ 256
+/// members, the multi-level leaf bound), one extra tree level once it
+/// does not. Depth 2 carries clusters of up to `256²` members, far past
+/// the million-node sweep's worst case (`N / K ≈ 10923` at `N = 2²⁰`).
+pub fn sparse_levels(n: usize) -> usize {
+    if n / sparse_landmarks(n) <= 256 {
+        1
+    } else {
+        2
+    }
 }
 
 /// One measured grid point.
@@ -78,6 +108,10 @@ pub struct SparsePoint {
     pub n: usize,
     /// Landmark count `K` ([`sparse_landmarks`]).
     pub landmarks: usize,
+    /// Cluster-tree depth the solve ran at ([`sparse_levels`] unless
+    /// overridden with `--hier-levels`).
+    #[serde(default = "default_one")]
+    pub levels: usize,
     /// Oracle build wall clock (K Dijkstra runs), milliseconds.
     pub build_ms: f64,
     /// Hierarchical solve wall clock, milliseconds.
@@ -92,6 +126,22 @@ pub struct SparsePoint {
     /// Relative utility gap of the sparse allocation on the exact dense
     /// objective; measured only at `N ≤` [`SPARSE_GAP_LIMIT`].
     pub gap: Option<f64>,
+    /// Wall clock of the single-edge incremental oracle repair,
+    /// milliseconds.
+    #[serde(default)]
+    pub update_ms: f64,
+    /// Virtual work (heap pops + frontier visits) the single-edge repair
+    /// spent; hard-gated at ≤ 10% of `rebuild_work`.
+    #[serde(default)]
+    pub update_work: u64,
+    /// Virtual work of a from-scratch rebuild (`K·N` row entries) on the
+    /// same topology.
+    #[serde(default)]
+    pub rebuild_work: u64,
+}
+
+fn default_one() -> usize {
+    1
 }
 
 /// The full benchmark report.
@@ -213,27 +263,66 @@ fn checksum_sparse(allocation: &[f64], cost: f64) -> f64 {
         + cost
 }
 
-/// Runs the sparse sweep: for each `n` a landmark-oracle build and a
-/// hierarchical solve, with the dense-reference gap measured while the
-/// dense matrix still fits (`n ≤` [`SPARSE_GAP_LIMIT`]).
+/// Runs the sparse sweep with the default hierarchy depth policy
+/// ([`sparse_levels`]); see [`bench_sparse_with`].
 ///
 /// # Panics
 ///
-/// Panics when a gate fails: a measured gap above [`SPARSE_GAP_BOUND`] or
-/// a substrate footprint at or above [`SPARSE_BYTE_LIMIT`].
+/// Same conditions as [`bench_sparse_with`].
 pub fn bench_sparse(ns: &[usize]) -> Vec<SparsePoint> {
+    bench_sparse_with(ns, None)
+}
+
+/// Runs the sparse sweep: for each `n` a batched landmark-oracle build
+/// ([`LandmarkOracle::build_parallel`] with [`SPARSE_BATCH`]), a
+/// hierarchical solve at `levels_override.unwrap_or(sparse_levels(n))`
+/// tree levels, and a single-edge incremental oracle repair. The
+/// dense-reference gap is measured while the dense matrix still fits
+/// (`n ≤` [`SPARSE_GAP_LIMIT`]); at those sizes the build is also re-run
+/// at one and two worker threads and must match the timed build bit for
+/// bit (the parallel reduction's determinism contract).
+///
+/// # Panics
+///
+/// Panics when a gate fails: a measured gap above [`SPARSE_GAP_BOUND`],
+/// a substrate footprint at or above [`SPARSE_BYTE_LIMIT`], a
+/// thread-count-dependent build, or a single-edge repair costing more
+/// than 10% of a full rebuild in virtual work.
+pub fn bench_sparse_with(ns: &[usize], levels_override: Option<usize>) -> Vec<SparsePoint> {
     let mut points = Vec::new();
     for &n in ns {
-        let graph = scale_graph(n);
+        let mut graph = scale_graph(n);
         let landmarks = sparse_landmarks(n);
+        let levels = levels_override.unwrap_or_else(|| sparse_levels(n)).max(1);
         let (pattern, mu) = sparse_workload(n);
         let mus = vec![mu; n];
-        let (build_ms, oracle) = time_ms(|| {
-            LandmarkOracle::build(&graph, landmarks, SPARSE_SEED).expect("connected")
+        let (build_ms, mut oracle) = time_ms(|| {
+            LandmarkOracle::build_parallel(
+                &graph,
+                landmarks,
+                SPARSE_SEED,
+                SPARSE_BATCH,
+                Parallelism::Auto,
+            )
+            .expect("connected")
         });
+        if n <= SPARSE_GAP_LIMIT {
+            for threads in [1, 2] {
+                let again = LandmarkOracle::build_parallel(
+                    &graph,
+                    landmarks,
+                    SPARSE_SEED,
+                    SPARSE_BATCH,
+                    Parallelism::Fixed(threads),
+                )
+                .expect("connected");
+                assert_identical_oracles(&oracle, &again, n, threads);
+            }
+        }
         let config = sparse_hierarchical_config(&pattern);
         let (solve_ms, solution) = time_ms(|| {
-            solve_hierarchical(&oracle, &pattern, &mus, 1.0, &config).expect("stable solve")
+            solve_hierarchical_multilevel(&oracle, &pattern, &mus, 1.0, &config, levels)
+                .expect("stable solve")
         });
         let provider_bytes = oracle.substrate_bytes();
         assert!(
@@ -253,18 +342,61 @@ pub fn bench_sparse(ns: &[usize]) -> Vec<SparsePoint> {
             );
             gap
         });
+        // The point's results are captured; re-price one edge and repair
+        // the oracle in place to measure the incremental path. A 10%
+        // bump on one torus link barely perturbs the shortest-path
+        // structure, which is exactly the regime topology drift hands
+        // the daemon — the repair must cost ≤ 10% of a K·N rebuild.
+        let from = fap_net::NodeId::new(0);
+        let (to, old_cost) = graph.neighbors(from)[0];
+        let delta = GraphDelta::EdgeWeight { from, to, cost: old_cost * 1.1 };
+        let (update_ms, stats) = time_ms(|| {
+            oracle.apply_deltas(&mut graph, &[delta]).expect("repairable delta")
+        });
+        let (update_work, rebuild_work) = (stats.virtual_work(), oracle.full_rebuild_work());
+        assert!(
+            update_work * 10 <= rebuild_work,
+            "single-edge repair at N = {n} cost {update_work} virtual work, \
+             over 10% of the {rebuild_work} full rebuild"
+        );
         points.push(SparsePoint {
             n,
             landmarks,
+            levels,
             build_ms,
             solve_ms,
             provider_bytes,
             refine_rounds: solution.refine_rounds,
             checksum: checksum_sparse(&solution.allocation, solution.estimated_cost),
             gap,
+            update_ms,
+            update_work,
+            rebuild_work,
         });
     }
     points
+}
+
+/// Panics unless two oracle builds agree bit for bit (landmark chain and
+/// full `K×N` distance table) — the thread-count determinism contract of
+/// [`LandmarkOracle::build_parallel`].
+fn assert_identical_oracles(a: &LandmarkOracle, b: &LandmarkOracle, n: usize, threads: usize) {
+    assert_eq!(
+        a.landmarks(),
+        b.landmarks(),
+        "landmark chain diverged at N = {n} with {threads} worker thread(s)"
+    );
+    for k in 0..a.landmark_count() {
+        for v in 0..n {
+            let (da, db) =
+                (a.landmark_distance(k, fap_net::NodeId::new(v)), b.landmark_distance(k, fap_net::NodeId::new(v)));
+            assert!(
+                da.to_bits() == db.to_bits(),
+                "distance table diverged at N = {n}, landmark {k}, node {v} \
+                 with {threads} worker thread(s): {da:?} vs {db:?}"
+            );
+        }
+    }
 }
 
 fn checksum_matrix(matrix: &CostMatrix) -> f64 {
@@ -298,6 +430,24 @@ pub fn bench_scale(
     sparse_ns: &[usize],
     iterations: usize,
     parallelism: Parallelism,
+) -> ScaleReport {
+    bench_scale_configured(ns, ms, sparse_ns, iterations, parallelism, None)
+}
+
+/// [`bench_scale`] with the sparse sweep's hierarchy depth overridable
+/// (`fap bench-scale --hier-levels <L>`); `None` applies the per-size
+/// default policy ([`sparse_levels`]).
+///
+/// # Panics
+///
+/// Same conditions as [`bench_scale`].
+pub fn bench_scale_configured(
+    ns: &[usize],
+    ms: &[usize],
+    sparse_ns: &[usize],
+    iterations: usize,
+    parallelism: Parallelism,
+    levels_override: Option<usize>,
 ) -> ScaleReport {
     let mut points = Vec::new();
     for &n in ns {
@@ -368,7 +518,7 @@ pub fn bench_scale(
         gap_bound: SPARSE_GAP_BOUND,
         iterations,
         points,
-        sparse_points: bench_sparse(sparse_ns),
+        sparse_points: bench_sparse_with(sparse_ns, levels_override),
     }
 }
 
@@ -465,12 +615,30 @@ pub fn check_against(
     }
     for (old, new) in committed.sparse_points.iter().zip(&fresh.sparse_points) {
         let label = format!("sparse N={} K={}", old.n, old.landmarks);
-        if old.n != new.n || old.landmarks != new.landmarks {
+        if old.n != new.n || old.landmarks != new.landmarks || old.levels != new.levels {
             outcome.hard_failures.push(format!(
-                "sparse point identity mismatch: committed {label}, fresh N={} K={}",
-                new.n, new.landmarks
+                "sparse point identity mismatch: committed {label} levels={}, \
+                 fresh N={} K={} levels={}",
+                old.levels, new.n, new.landmarks, new.levels
             ));
             continue;
+        }
+        // The incremental-repair budget is a hard gate wherever the fresh
+        // run measured it (virtual work is machine-independent).
+        if new.rebuild_work > 0 && new.update_work * 10 > new.rebuild_work {
+            outcome.hard_failures.push(format!(
+                "incremental repair at {label} cost {} virtual work, \
+                 over 10% of the {} full rebuild",
+                new.update_work, new.rebuild_work
+            ));
+        }
+        if old.rebuild_work > 0
+            && (old.update_work != new.update_work || old.rebuild_work != new.rebuild_work)
+        {
+            outcome.hard_failures.push(format!(
+                "incremental repair work diverged at {label}: committed {}/{}, fresh {}/{}",
+                old.update_work, old.rebuild_work, new.update_work, new.rebuild_work
+            ));
         }
         match (old.gap, new.gap) {
             (Some(_), Some(gap)) if gap > committed.gap_bound => {
@@ -493,10 +661,12 @@ pub fn check_against(
                 old.checksum, new.checksum
             ));
         }
-        for (stage, was, now) in
-            [("build", old.build_ms, new.build_ms), ("solve", old.solve_ms, new.solve_ms)]
-        {
-            if now > was * timing_tolerance {
+        for (stage, was, now) in [
+            ("build", old.build_ms, new.build_ms),
+            ("solve", old.solve_ms, new.solve_ms),
+            ("update", old.update_ms, new.update_ms),
+        ] {
+            if was > 0.0 && now > was * timing_tolerance {
                 outcome.advisories.push(format!(
                     "{label}: {stage} timing {now:.2} ms exceeds {timing_tolerance}× committed {was:.2} ms"
                 ));
@@ -555,6 +725,49 @@ mod tests {
             assert!(p.sequential_ms >= 0.0 && p.parallel_ms >= 0.0);
             assert!(p.checksum.is_finite());
         }
+    }
+
+    #[test]
+    fn sparse_grid_policies_scale_with_n() {
+        // The memory cap leaves the committed grid untouched through
+        // 131072, then shrinks K to hold the table under ¾ GiB.
+        assert_eq!(sparse_landmarks(4096), 64);
+        assert_eq!(sparse_landmarks(131072), 512);
+        assert_eq!(sparse_landmarks(262144), 384);
+        assert_eq!(sparse_landmarks(524288), 192);
+        assert_eq!(sparse_landmarks(1048576), 96);
+        // Depth stays flat while N/K fits one inner solve, then grows.
+        assert_eq!(sparse_levels(4096), 1);
+        assert_eq!(sparse_levels(131072), 1);
+        assert_eq!(sparse_levels(262144), 2);
+        assert_eq!(sparse_levels(1048576), 2);
+    }
+
+    #[test]
+    fn sparse_points_measure_and_gate_the_incremental_repair() {
+        let p = &bench_sparse_with(&[64], None)[0];
+        assert_eq!((p.levels, p.landmarks), (1, 64));
+        assert_eq!(p.rebuild_work, 64 * 64);
+        assert!(p.update_work > 0, "the repair visits at least the dirty frontier");
+        assert!(p.update_work * 10 <= p.rebuild_work);
+        // A depth override is recorded on the point.
+        assert_eq!(bench_sparse_with(&[64], Some(2))[0].levels, 2);
+    }
+
+    #[test]
+    fn check_gates_the_incremental_repair_budget() {
+        let committed =
+            bench_scale_configured(&[], &[], &[64], 2, Parallelism::Fixed(2), None);
+        let mut fresh = committed.clone();
+        fresh.sparse_points[0].update_work = fresh.sparse_points[0].rebuild_work;
+        let outcome = check_against(&committed, &fresh, f64::INFINITY);
+        assert!(outcome
+            .hard_failures
+            .iter()
+            .any(|f| f.contains("incremental repair")));
+        // An unchanged rerun passes the work gates.
+        let outcome = check_against(&committed, &committed.clone(), f64::INFINITY);
+        assert!(outcome.is_pass(), "failures: {:?}", outcome.hard_failures);
     }
 
     #[test]

@@ -23,7 +23,7 @@
 use std::collections::HashMap;
 
 use fap_batch::Parallelism;
-use fap_net::{CostProvider, Graph, LandmarkOracle, NetError};
+use fap_net::{CostProvider, Graph, GraphDelta, LandmarkOracle, NetError, NodeId};
 use fap_obs::{NoopRecorder, Recorder};
 use serde::{Deserialize, Serialize};
 
@@ -121,6 +121,7 @@ pub struct LandmarkOracleCache {
     order: Vec<OracleKey>,
     hits: u64,
     misses: u64,
+    incremental: u64,
     byte_limit: Option<u64>,
 }
 
@@ -148,6 +149,14 @@ impl LandmarkOracleCache {
     /// Lifetime count of lookups that had to build an oracle.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Lifetime count of lookups answered by incrementally repairing a
+    /// cached oracle onto a slightly edited topology (a subset of
+    /// [`LandmarkOracleCache::misses`] would otherwise have been full
+    /// rebuilds).
+    pub fn incremental_updates(&self) -> u64 {
+        self.incremental
     }
 
     /// Total bytes currently resident, re-polled live from every entry's
@@ -243,6 +252,110 @@ impl LandmarkOracleCache {
         Ok(&self.entries[&key].oracle)
     }
 
+    /// Like [`LandmarkOracleCache::get_or_build`], but tries to repair a
+    /// cached same-`(k, seed)` oracle across a small topology edit before
+    /// falling back to a full rebuild. See
+    /// [`LandmarkOracleCache::get_or_update_observed`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetError`] from the fallback build.
+    pub fn get_or_update(
+        &mut self,
+        graph: &Graph,
+        k: usize,
+        seed: u64,
+    ) -> Result<&LandmarkOracle, NetError> {
+        self.get_or_update_observed(graph, k, seed, &mut NoopRecorder)
+    }
+
+    /// Returns the oracle for `(graph, k, seed)`, preferring an
+    /// incremental repair over a rebuild when the topology drifted.
+    ///
+    /// On a fingerprint miss the cache looks for its newest entry with
+    /// the same `(k, seed)` and diffs that entry's stored graph against
+    /// `graph`. When the difference is a recognizable small delta — a
+    /// bounded set of edge re-pricings, one node join, or one node
+    /// leave — the cached oracle is repaired in place with
+    /// [`LandmarkOracle::apply_deltas`] and re-keyed under the new
+    /// fingerprint, which costs a dirty-frontier sliver of the `K·n`
+    /// rebuild (and, under `WarmMode::Session`-style serving, keeps
+    /// the substrate warm across topology edits). The repaired oracle is
+    /// bit-identical to [`LandmarkOracle::with_landmarks`] on the edited
+    /// topology with the cached landmark chain — the distance table has
+    /// one fixed point per landmark set, so the repair path cannot drift
+    /// from a rebuild *on the same landmarks*. (A cold
+    /// [`LandmarkOracle::build`] may pick a different farthest-point
+    /// chain on the edited graph; keeping the chain stable across edits
+    /// is exactly what makes the update warm.) Unrecognizable or
+    /// oversized diffs, and repairs the oracle refuses (a departing
+    /// landmark, a disconnecting edit), fall back to the ordinary
+    /// build-on-miss path.
+    ///
+    /// Counters: a repair records `cache.landmark_incremental` (and
+    /// counts as neither hit nor miss); hits and full builds record the
+    /// same counters as [`LandmarkOracleCache::get_or_build_observed`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetError`] from the fallback build; a failed repair
+    /// evicts the stale entry but never poisons the cache.
+    pub fn get_or_update_observed(
+        &mut self,
+        graph: &Graph,
+        k: usize,
+        seed: u64,
+        recorder: &mut dyn Recorder,
+    ) -> Result<&LandmarkOracle, NetError> {
+        let key = (topology_fingerprint(graph), k, seed);
+        if !self.entries.contains_key(&key) {
+            if let Some(donor) = self.repair_candidate(graph, k, seed, key.0) {
+                let mut entry = self.entries.remove(&donor).expect("candidate present");
+                self.order.retain(|o| *o != donor);
+                let deltas = diff_graphs(&entry.graph, graph, max_repair_deltas(graph))
+                    .expect("candidate implies a recognized diff");
+                let mut patched = entry.graph.clone();
+                if entry.oracle.apply_deltas(&mut patched, &deltas).is_ok() && patched == *graph
+                {
+                    entry.graph = patched;
+                    self.incremental += 1;
+                    recorder.incr("cache.landmark_incremental", 1);
+                    fap_obs::emit_marker_span(recorder, "cache.landmark_incremental");
+                    self.entries.insert(key, entry);
+                    self.order.push(key);
+                    self.enforce_budget(&key);
+                    recorder.gauge("cache.landmark_bytes", self.bytes() as f64);
+                    return Ok(&self.entries[&key].oracle);
+                }
+                // A refused or diverging repair leaves the entry stale:
+                // drop it (already detached) and rebuild below.
+            }
+        }
+        self.get_or_build_observed(graph, k, seed, recorder)
+    }
+
+    /// The newest same-`(k, seed)` entry whose stored graph diffs against
+    /// `graph` as a recognized small delta, if any.
+    fn repair_candidate(
+        &self,
+        graph: &Graph,
+        k: usize,
+        seed: u64,
+        fingerprint: u64,
+    ) -> Option<OracleKey> {
+        let cap = max_repair_deltas(graph);
+        self.order
+            .iter()
+            .rev()
+            .find(|(f, kk, ss)| {
+                *kk == k
+                    && *ss == seed
+                    && *f != fingerprint
+                    && diff_graphs(&self.entries[&(*f, *kk, *ss)].graph, graph, cap).is_some()
+            })
+            .copied()
+    }
+
     /// Evicts oldest-first while over budget (sparing `keep`), then caps
     /// `keep`'s row LRU to the budget headroom left by the other entries.
     /// Re-capping clears that oracle's cached rows, so the cap is only
@@ -271,6 +384,122 @@ impl LandmarkOracleCache {
             entry.row_cap = Some(cap);
         }
     }
+}
+
+/// Edge-repricing budget for the incremental path: repairs are a win
+/// while the dirty frontier stays a sliver of the graph, so cap the
+/// recognized diff at a small, size-relative edit set.
+fn max_repair_deltas(graph: &Graph) -> usize {
+    (graph.node_count() / 64).max(4)
+}
+
+/// Diffs `old` against `new` as a sequence of [`GraphDelta`]s the oracle
+/// can replay, or `None` when the edit is not a recognized small delta.
+///
+/// Recognized shapes (checked in order):
+///
+/// * **edge re-pricings** — identical node count and adjacency
+///   structure, at most `cap` undirected pairs re-priced, every parallel
+///   link and both directions of a changed pair landing on one cost
+///   (that is what [`GraphDelta::EdgeWeight`] replays);
+/// * **one node join** — `new` is `old` plus one trailing node whose
+///   links were appended (`add_link` order), nothing else changed;
+/// * **one node leave** — `new` is `old` minus its last node, the
+///   remaining adjacency filtered in place (`pop_node` order).
+///
+/// The caller still verifies the replayed graph equals `new` bit for bit
+/// before trusting the repair, so recognition here only needs to be
+/// precise enough to avoid wasted replays.
+fn diff_graphs(old: &Graph, new: &Graph, cap: usize) -> Option<Vec<GraphDelta>> {
+    let (n_old, n_new) = (old.node_count(), new.node_count());
+    if n_old == n_new {
+        return diff_edge_weights(old, new, cap);
+    }
+    if n_new == n_old + 1 {
+        return diff_node_join(old, new);
+    }
+    if n_old == n_new + 1 {
+        return diff_node_leave(old, new);
+    }
+    None
+}
+
+fn diff_edge_weights(old: &Graph, new: &Graph, cap: usize) -> Option<Vec<GraphDelta>> {
+    let mut changed: Vec<(NodeId, NodeId)> = Vec::new();
+    for u in old.nodes() {
+        let (a, b) = (old.neighbors(u), new.neighbors(u));
+        if a.len() != b.len() {
+            return None;
+        }
+        for (&(va, ca), &(vb, cb)) in a.iter().zip(b) {
+            if va != vb {
+                return None;
+            }
+            if ca.to_bits() != cb.to_bits() {
+                let pair = (u.min(va), u.max(va));
+                if !changed.contains(&pair) {
+                    changed.push(pair);
+                    if changed.len() > cap {
+                        return None;
+                    }
+                }
+            }
+        }
+    }
+    let mut deltas = Vec::with_capacity(changed.len());
+    for (u, v) in changed {
+        // EdgeWeight replays as "every link between u and v, both
+        // directions, now costs this": the diff is only faithful when
+        // the new graph agrees with itself on that.
+        let cost = new.direct_cost(u, v)?;
+        let uniform = |from: NodeId, to: NodeId| {
+            new.neighbors(from)
+                .iter()
+                .filter(|(t, _)| *t == to)
+                .all(|(_, c)| c.to_bits() == cost.to_bits())
+        };
+        if !(uniform(u, v) && uniform(v, u)) {
+            return None;
+        }
+        deltas.push(GraphDelta::EdgeWeight { from: u, to: v, cost });
+    }
+    Some(deltas)
+}
+
+fn diff_node_join(old: &Graph, new: &Graph) -> Option<Vec<GraphDelta>> {
+    let joined = NodeId::new(old.node_count());
+    for u in old.nodes() {
+        let (a, b) = (old.neighbors(u), new.neighbors(u));
+        if b.len() < a.len()
+            || a.iter().zip(b).any(|(&(va, ca), &(vb, cb))| va != vb || ca.to_bits() != cb.to_bits())
+            || b[a.len()..].iter().any(|(v, _)| *v != joined)
+        {
+            return None;
+        }
+    }
+    Some(vec![GraphDelta::NodeJoin { edges: new.neighbors(joined).to_vec() }])
+}
+
+fn diff_node_leave(old: &Graph, new: &Graph) -> Option<Vec<GraphDelta>> {
+    let departing = NodeId::new(new.node_count());
+    for u in new.nodes() {
+        let filtered: Vec<(NodeId, f64)> = old
+            .neighbors(u)
+            .iter()
+            .filter(|(v, _)| *v != departing)
+            .copied()
+            .collect();
+        let b = new.neighbors(u);
+        if filtered.len() != b.len()
+            || filtered
+                .iter()
+                .zip(b)
+                .any(|(&(va, ca), &(vb, cb))| va != vb || ca.to_bits() != cb.to_bits())
+        {
+            return None;
+        }
+    }
+    Some(vec![GraphDelta::NodeLeave])
 }
 
 /// The union cache the serving layer holds: dense matrices and landmark
@@ -359,6 +588,35 @@ impl SubstrateCache {
             CostBackend::Landmark { landmarks, seed } => self
                 .landmarks
                 .get_or_build_observed(graph, landmarks, seed, recorder)
+                .map(|o| o as &dyn CostProvider),
+        }
+    }
+
+    /// Like [`SubstrateCache::get_or_build_observed`], but landmark
+    /// requests go through [`LandmarkOracleCache::get_or_update_observed`]:
+    /// a cached oracle survives a small topology edit as an incremental
+    /// repair instead of a cold rebuild. Dense requests are unaffected
+    /// (the exact matrix has no incremental path — every cost can move
+    /// under a single edge edit).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetError`] from the underlying build.
+    pub fn get_or_update_observed(
+        &mut self,
+        graph: &Graph,
+        backend: CostBackend,
+        parallelism: Parallelism,
+        recorder: &mut dyn Recorder,
+    ) -> Result<&dyn CostProvider, NetError> {
+        match backend {
+            CostBackend::Dense => self
+                .dense
+                .get_or_compute_observed(graph, parallelism, recorder)
+                .map(|m| m as &dyn CostProvider),
+            CostBackend::Landmark { landmarks, seed } => self
+                .landmarks
+                .get_or_update_observed(graph, landmarks, seed, recorder)
                 .map(|o| o as &dyn CostProvider),
         }
     }
@@ -496,6 +754,95 @@ mod tests {
         cache.get_or_build(&g, 4, 2).unwrap();
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn update_path_repairs_across_an_edge_reprice() {
+        let g = topology::random_connected(40, 0.2, 1.0..3.0, 5).unwrap();
+        let mut cache = LandmarkOracleCache::new();
+        cache.get_or_build(&g, 6, 11).unwrap();
+
+        let mut edited = g.clone();
+        let (u, v, old_cost) = {
+            let u = NodeId::new(3);
+            let (v, c) = edited.neighbors(u)[0];
+            (u, v, c)
+        };
+        edited.set_link_cost(u, v, old_cost * 3.0).unwrap();
+
+        let mut reg = fap_obs::MetricsRegistry::new();
+        cache.get_or_update_observed(&edited, 6, 11, &mut reg).unwrap();
+        assert_eq!(cache.incremental_updates(), 1);
+        assert_eq!(reg.counter("cache.landmark_incremental"), 1);
+        assert_eq!((cache.hits(), cache.misses()), (0, 1), "no rebuild, no hit");
+        assert_eq!(cache.len(), 1, "the entry was re-keyed, not duplicated");
+
+        // The repaired oracle is bit-identical to a rebuild on the edited
+        // topology over the same landmark chain (a cold `build` may pick
+        // different landmarks — the stable chain is the point of warmth).
+        let chain = cache.get_or_update(&edited, 6, 11).unwrap().landmarks().to_vec();
+        let fresh =
+            LandmarkOracle::with_landmarks(&edited, &chain, Parallelism::Sequential).unwrap();
+        let repaired = cache.get_or_update(&edited, 6, 11).unwrap();
+        for a in 0..40 {
+            for b in 0..40 {
+                let (a, b) = (NodeId::new(a), NodeId::new(b));
+                assert_eq!(fresh.cost(a, b).to_bits(), repaired.cost(a, b).to_bits());
+            }
+        }
+        assert_eq!((cache.hits(), cache.misses()), (2, 1), "re-requests are plain hits");
+    }
+
+    #[test]
+    fn update_path_repairs_across_a_node_join_and_leave() {
+        let g = topology::ring(16, 1.0).unwrap();
+        let mut cache = LandmarkOracleCache::new();
+        cache.get_or_build(&g, 4, 2).unwrap();
+
+        // Join: one new node hanging off nodes 0 and 8.
+        let mut joined = g.clone();
+        let newcomer = joined.push_node();
+        joined.add_link(NodeId::new(0), newcomer, 0.5).unwrap();
+        joined.add_link(NodeId::new(8), newcomer, 1.5).unwrap();
+        cache.get_or_update(&joined, 4, 2).unwrap();
+        assert_eq!(cache.incremental_updates(), 1);
+        let chain = cache.get_or_update(&joined, 4, 2).unwrap().landmarks().to_vec();
+        let fresh =
+            LandmarkOracle::with_landmarks(&joined, &chain, Parallelism::Sequential).unwrap();
+        let repaired = cache.get_or_update(&joined, 4, 2).unwrap();
+        for a in 0..17 {
+            for b in 0..17 {
+                let (a, b) = (NodeId::new(a), NodeId::new(b));
+                assert_eq!(fresh.cost(a, b).to_bits(), repaired.cost(a, b).to_bits());
+            }
+        }
+
+        // Leave: the newcomer departs again — back to the original ring.
+        cache.get_or_update(&g, 4, 2).unwrap();
+        assert_eq!(cache.incremental_updates(), 2);
+        let chain = cache.get_or_update(&g, 4, 2).unwrap().landmarks().to_vec();
+        let fresh =
+            LandmarkOracle::with_landmarks(&g, &chain, Parallelism::Sequential).unwrap();
+        let repaired = cache.get_or_update(&g, 4, 2).unwrap();
+        for a in 0..16 {
+            for b in 0..16 {
+                let (a, b) = (NodeId::new(a), NodeId::new(b));
+                assert_eq!(fresh.cost(a, b).to_bits(), repaired.cost(a, b).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn update_path_falls_back_to_rebuild_on_a_large_edit() {
+        let g = topology::ring(16, 1.0).unwrap();
+        let mut cache = LandmarkOracleCache::new();
+        cache.get_or_build(&g, 4, 2).unwrap();
+        // A structurally different topology: no recognizable small delta.
+        let other = topology::random_connected(16, 0.4, 1.0..3.0, 9).unwrap();
+        cache.get_or_update(&other, 4, 2).unwrap();
+        assert_eq!(cache.incremental_updates(), 0);
+        assert_eq!(cache.misses(), 2, "fell back to a full build");
+        assert_eq!(cache.len(), 2, "both topologies stay cached");
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! fap run <scenario.json>                alias for solve
 //! fap simulate <scenario.json>           solve, then measure with the DES
 //! fap sim <scenario.json> [chaos.json]   run the protocol under faults
-//! fap serve <requests.json> [--shards N] [--warm-start]
+//! fap serve <requests.json> [--shards N] [--warm-start] [--oracle-update]
 //!                                        batch-solve a request list, sharded
 //! fap served [--servers C] [--warm MODE] [--admission-bound W] ...
 //!                                        persistent daemon (JSONL on stdin,
@@ -69,10 +69,11 @@ const USAGE: &str = "usage:
   fap run   <scenario.json> [--metrics-out <path.jsonl>] [--metrics-summary]
   fap simulate <scenario.json>
   fap sim <scenario.json> [chaos.json] [--metrics-out <path.jsonl>] [--metrics-summary]
-  fap serve <requests.json> [--shards <n>] [--warm-start] [--metrics-out <path.jsonl>] [--metrics-summary]
+  fap serve <requests.json> [--shards <n>] [--warm-start] [--oracle-update] [--metrics-out <path.jsonl>] [--metrics-summary]
   fap served [--shards <n>] [--servers <c>] [--warm off|batch|session]
              [--admission-bound <ticks>] [--warmup <n>] [--admission-window <n>]
-             [--cache-bytes <n>] [--wall-clock] [--socket <path>] [metrics flags]
+             [--cache-bytes <n>] [--wall-clock] [--oracle-update]
+             [--socket <path>] [metrics flags]
   fap track [--drift-scenario diurnal|flash-crowd|step|node-churn] [--nodes <n>]
             [--epochs <n>] [--seed <s>] [--hysteresis <eta>] [--smoothing <mu>]
             [--migration-bandwidth <b>] [--threads <n>] [--json] [metrics flags]
@@ -84,8 +85,8 @@ const USAGE: &str = "usage:
   fap trace --folded <metrics.jsonl>
   fap trace --diff <a.jsonl> <b.jsonl>
   fap sweep-k <scenario.json> <k1,k2,...>
-  fap bench-scale [out.json]
-  fap bench-scale --check [committed.json]
+  fap bench-scale [out.json] [--hier-levels <l>] [--sparse-max-n <n>]
+  fap bench-scale --check [committed.json] [--sparse-max-n <n>]
   fap bench-serve [out.json]
   fap bench-serve --check [committed.json]
   fap bench-drift [out.json]
@@ -101,7 +102,11 @@ solve, run, sim and serve also accept cost-substrate flags:
                                   landmark oracle (scales past the dense
                                   element budget)
   --landmarks <k>                 landmark count K (implies landmark backend)
-  --landmark-seed <s>             farthest-point selection seed";
+  --landmark-seed <s>             farthest-point selection seed
+
+serve and served also accept --oracle-update: repair cached landmark
+oracles across small topology edits (edge re-price, node join/leave)
+instead of rebuilding them";
 
 /// Telemetry flags shared by `solve`/`run`/`sim`/`serve`.
 #[derive(Debug, Default)]
@@ -367,6 +372,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 let mut path: Option<&String> = None;
                 let mut shards = fap_batch::Parallelism::Auto;
                 let mut warm_start = false;
+                let mut oracle_update = false;
                 let mut iter = rest.iter();
                 while let Some(arg) = iter.next() {
                     match arg.as_str() {
@@ -381,6 +387,7 @@ fn run(args: &[String]) -> Result<(), String> {
                             shards = fap_batch::Parallelism::Fixed(n);
                         }
                         "--warm-start" => warm_start = true,
+                        "--oracle-update" => oracle_update = true,
                         _ if path.is_none() => path = Some(arg),
                         other => return Err(format!("unexpected argument '{other}'")),
                     }
@@ -394,9 +401,14 @@ fn run(args: &[String]) -> Result<(), String> {
                     }
                 }
                 let mut sink = metrics.sink()?;
-                let output =
-                    fap_cli::serve_specs_with(&specs, shards, warm_start, sink.recorder())
-                        .map_err(|e| e.to_string())?;
+                let output = fap_cli::serve::serve_specs_configured(
+                    &specs,
+                    shards,
+                    warm_start,
+                    oracle_update,
+                    sink.recorder(),
+                )
+                .map_err(|e| e.to_string())?;
                 print!("{}", fap_cli::serve::render_output(&specs, &output));
                 metrics.finish(sink)?;
                 Ok(())
@@ -463,6 +475,7 @@ fn run(args: &[String]) -> Result<(), String> {
                             config.cache_bytes = Some(n);
                         }
                         "--wall-clock" => config.wall_clock = true,
+                        "--oracle-update" => config.oracle_update = true,
                         "--socket" => {
                             let path = iter.next().ok_or("--socket requires a path")?;
                             socket = Some(path.clone());
@@ -591,44 +604,89 @@ fn run(args: &[String]) -> Result<(), String> {
                 }
                 Ok(())
             }
-            ("bench-scale", [first, rest @ ..]) if first == "--check" && rest.len() <= 1 => {
-                let path = rest.first().map_or("BENCH_scale.json", String::as_str);
-                let text = std::fs::read_to_string(path)
-                    .map_err(|e| format!("reading {path}: {e}"))?;
-                let committed: fap_bench::scale::ScaleReport =
-                    serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))?;
-                let fresh = fap_bench::scale::bench_scale(
-                    &committed.ns,
-                    &committed.ms,
-                    &committed.sparse_ns,
-                    committed.iterations,
-                    fap_batch::Parallelism::Auto,
-                );
-                let outcome = fap_bench::scale::check_against(&committed, &fresh, 1.5);
-                for advisory in &outcome.advisories {
-                    println!("advisory: {advisory}");
+            ("bench-scale", rest) => {
+                let mut check = false;
+                let mut hier_levels: Option<usize> = None;
+                let mut sparse_max_n: Option<usize> = None;
+                let mut path: Option<&String> = None;
+                let mut iter = rest.iter();
+                while let Some(arg) = iter.next() {
+                    match arg.as_str() {
+                        "--check" => check = true,
+                        "--hier-levels" => {
+                            let l = iter.next().ok_or("--hier-levels requires a depth")?;
+                            let l: usize =
+                                l.parse().map_err(|e| format!("bad depth '{l}': {e}"))?;
+                            if l == 0 {
+                                return Err("--hier-levels must be at least 1".into());
+                            }
+                            hier_levels = Some(l);
+                        }
+                        "--sparse-max-n" => {
+                            let n =
+                                iter.next().ok_or("--sparse-max-n requires a node count")?;
+                            sparse_max_n = Some(
+                                n.parse().map_err(|e| format!("bad node count '{n}': {e}"))?,
+                            );
+                        }
+                        _ if path.is_none() && !arg.starts_with("--") => path = Some(arg),
+                        other => return Err(format!("unexpected argument '{other}'")),
+                    }
                 }
-                if outcome.is_pass() {
-                    println!(
-                        "bench-scale check passed: {} points bit-identical to {path}",
-                        committed.points.len()
+                if check {
+                    let path = path.map_or("BENCH_scale.json", String::as_str);
+                    let text = std::fs::read_to_string(path)
+                        .map_err(|e| format!("reading {path}: {e}"))?;
+                    let mut committed: fap_bench::scale::ScaleReport = serde_json::from_str(
+                        &text,
+                    )
+                    .map_err(|e| format!("parsing {path}: {e}"))?;
+                    // A smoke check bounds the rerun's wall clock by
+                    // truncating the sparse sweep; the compared prefix
+                    // keeps its full hard gates.
+                    if let Some(cap) = sparse_max_n {
+                        committed.sparse_ns.retain(|&n| n <= cap);
+                        committed.sparse_points.retain(|p| p.n <= cap);
+                    }
+                    let fresh = fap_bench::scale::bench_scale_configured(
+                        &committed.ns,
+                        &committed.ms,
+                        &committed.sparse_ns,
+                        committed.iterations,
+                        fap_batch::Parallelism::Auto,
+                        hier_levels,
                     );
-                    Ok(())
-                } else {
-                    Err(format!(
-                        "bench-scale check failed:\n  {}",
-                        outcome.hard_failures.join("\n  ")
-                    ))
+                    let outcome = fap_bench::scale::check_against(&committed, &fresh, 1.5);
+                    for advisory in &outcome.advisories {
+                        println!("advisory: {advisory}");
+                    }
+                    return if outcome.is_pass() {
+                        println!(
+                            "bench-scale check passed: {} dense + {} sparse points verified against {path}",
+                            committed.points.len(),
+                            committed.sparse_points.len()
+                        );
+                        Ok(())
+                    } else {
+                        Err(format!(
+                            "bench-scale check failed:\n  {}",
+                            outcome.hard_failures.join("\n  ")
+                        ))
+                    };
                 }
-            }
-            ("bench-scale", rest) if rest.len() <= 1 => {
-                let out = rest.first().map_or("BENCH_scale.json", String::as_str);
-                let report = fap_bench::scale::bench_scale(
+                let out = path.map_or("BENCH_scale.json", String::as_str);
+                let mut sparse_ns: Vec<usize> =
+                    vec![64, 256, 1024, 4096, 16384, 65536, 131072, 262144, 524288, 1048576];
+                if let Some(cap) = sparse_max_n {
+                    sparse_ns.retain(|&n| n <= cap);
+                }
+                let report = fap_bench::scale::bench_scale_configured(
                     &[64, 256, 1024],
                     &[1, 16, 128],
-                    &[64, 256, 1024, 4096, 16384, 65536, 131072],
+                    &sparse_ns,
                     25,
                     fap_batch::Parallelism::Auto,
+                    hier_levels,
                 );
                 let json =
                     serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
@@ -649,10 +707,11 @@ fn run(args: &[String]) -> Result<(), String> {
                 }
                 for p in &report.sparse_points {
                     let gap = p.gap.map_or("      n/a".into(), |g| format!("{:>8.4}%", g * 100.0));
+                    let update = 100.0 * p.update_work as f64 / p.rebuild_work.max(1) as f64;
                     println!(
-                        "  sparse     N={:<6} K={:<3} build {:>9.2} ms  solve {:>9.2} ms  gap {gap}  {:>6.1} MiB",
-                        p.n, p.landmarks, p.build_ms, p.solve_ms,
-                        p.provider_bytes as f64 / (1 << 20) as f64
+                        "  sparse     N={:<7} K={:<3} L={} build {:>9.2} ms  solve {:>9.2} ms  gap {gap}  {:>6.1} MiB  upd {:>6.3}% of rebuild",
+                        p.n, p.landmarks, p.levels, p.build_ms, p.solve_ms,
+                        p.provider_bytes as f64 / (1 << 20) as f64, update
                     );
                 }
                 Ok(())

@@ -81,8 +81,22 @@ pub enum ServeSpec {
     },
     /// A §7 multi-copy virtual-ring problem.
     Ring {
-        /// Per-link communication costs (ring order, ≥ 3 links).
+        /// Per-link communication costs (ring order, ≥ 3 links). Leave
+        /// empty when `topology` is set.
+        #[serde(default)]
         link_costs: Vec<f64>,
+        /// Derive the ring from a network's cost substrate instead of
+        /// explicit link costs — §7.2's imposed-ordering construction:
+        /// virtual link `i → i+1 (mod N)` is priced at the substrate's
+        /// cheapest-path cost between those nodes. Lets ring specs run
+        /// on the sparse landmark backend at node counts where listing
+        /// links (or the dense matrix) is impractical.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        topology: Option<Topology>,
+        /// Cost substrate for a `topology`-derived ring (ignored for
+        /// explicit link costs; default: exact dense matrix).
+        #[serde(default, skip_serializing_if = "CostBackend::is_exact")]
+        cost_backend: CostBackend,
         /// Per-node access rates.
         lambdas: Vec<f64>,
         /// Per-node service rates.
@@ -116,11 +130,13 @@ impl ServeSpec {
         }
     }
 
-    /// The spec's cost backend (`None` for specs that need no substrate).
+    /// The spec's cost backend (`None` for specs that need no substrate —
+    /// explicit-link ring specs; topology-derived rings report theirs).
     pub fn cost_backend(&self) -> Option<CostBackend> {
         match self {
             ServeSpec::SingleFile { scenario } => Some(scenario.cost_backend),
             ServeSpec::MultiFile { cost_backend, .. } => Some(*cost_backend),
+            ServeSpec::Ring { topology: Some(_), cost_backend, .. } => Some(*cost_backend),
             ServeSpec::Ring { .. } => None,
         }
     }
@@ -131,6 +147,7 @@ impl ServeSpec {
         match self {
             ServeSpec::SingleFile { scenario } => scenario.cost_backend = backend,
             ServeSpec::MultiFile { cost_backend, .. } => *cost_backend = backend,
+            ServeSpec::Ring { topology: Some(_), cost_backend, .. } => *cost_backend = backend,
             ServeSpec::Ring { .. } => {}
         }
     }
@@ -172,6 +189,21 @@ impl ServeSpec {
                     }
                 }
             }
+            ServeSpec::Ring { topology: Some(topology), cost_backend, .. } => {
+                let graph = topology.build()?;
+                match cost_backend {
+                    CostBackend::Dense => {
+                        let costs =
+                            graph.shortest_path_matrix().map_err(crate::run::net_error)?;
+                        self.ring_request_from(&costs)
+                    }
+                    CostBackend::Landmark { landmarks, seed } => {
+                        let oracle = fap_net::LandmarkOracle::build(&graph, *landmarks, *seed)
+                            .map_err(crate::run::net_error)?;
+                        self.ring_request_from(&oracle)
+                    }
+                }
+            }
             ServeSpec::Ring { .. } => self.ring_request(),
         }
     }
@@ -192,15 +224,41 @@ impl ServeSpec {
         cache: &mut SubstrateCache,
         recorder: &mut dyn Recorder,
     ) -> Result<ServeRequest, ScenarioError> {
+        self.to_request_cached_with(cache, false, recorder)
+    }
+
+    /// [`to_request_cached`](Self::to_request_cached) with the cache's
+    /// incremental oracle path switchable (`--oracle-update`): when on,
+    /// landmark substrates go through
+    /// [`SubstrateCache::get_or_update_observed`], so a cached oracle
+    /// survives a small topology edit (edge re-price, node join/leave)
+    /// as a dirty-frontier repair instead of a cold rebuild — which is
+    /// what keeps a `WarmMode::Session` daemon warm across drift.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`to_request`](Self::to_request).
+    pub fn to_request_cached_with(
+        &self,
+        cache: &mut SubstrateCache,
+        oracle_update: bool,
+        recorder: &mut dyn Recorder,
+    ) -> Result<ServeRequest, ScenarioError> {
         let (topology, backend) = match self {
             ServeSpec::SingleFile { scenario } => (&scenario.topology, scenario.cost_backend),
             ServeSpec::MultiFile { topology, cost_backend, .. } => (topology, *cost_backend),
+            ServeSpec::Ring { topology: Some(topology), cost_backend, .. } => {
+                (topology, *cost_backend)
+            }
             ServeSpec::Ring { .. } => return self.ring_request(),
         };
         let graph = topology.build()?;
-        let costs = cache
-            .get_or_build_observed(&graph, backend, Parallelism::Sequential, recorder)
-            .map_err(crate::run::net_error)?;
+        let costs = if oracle_update {
+            cache.get_or_update_observed(&graph, backend, Parallelism::Sequential, recorder)
+        } else {
+            cache.get_or_build_observed(&graph, backend, Parallelism::Sequential, recorder)
+        }
+        .map_err(crate::run::net_error)?;
         match self {
             ServeSpec::SingleFile { scenario } => {
                 let problem = problem_of_with_costs(scenario, costs)?;
@@ -217,7 +275,7 @@ impl ServeSpec {
                 })
             }
             ServeSpec::MultiFile { .. } => self.multi_file_request(costs),
-            ServeSpec::Ring { .. } => unreachable!("handled above"),
+            ServeSpec::Ring { .. } => self.ring_request_from(costs),
         }
     }
 
@@ -253,34 +311,52 @@ impl ServeSpec {
     }
 
     fn ring_request(&self) -> Result<ServeRequest, ScenarioError> {
-        match self {
-            ServeSpec::Ring {
-                link_costs,
-                lambdas,
-                mus,
-                copies,
-                k,
-                alpha,
-                cost_delta_tolerance,
-                max_iterations,
-                initial,
-            } => {
-                let ring =
-                    VirtualRing::new(link_costs.clone(), lambdas.clone(), mus.clone(), *copies, *k)
-                        .map_err(|e| ScenarioError::Invalid(e.to_string()))?;
-                let n = lambdas.len();
-                let initial =
-                    initial.clone().unwrap_or_else(|| vec![copies / n as f64; n]);
-                Ok(ServeRequest::Ring {
-                    ring,
-                    initial,
-                    alpha: *alpha,
-                    cost_delta_tolerance: *cost_delta_tolerance,
-                    max_iterations: *max_iterations,
-                })
-            }
-            _ => unreachable!("ring_request called on a non-ring spec"),
+        let ServeSpec::Ring { link_costs, lambdas, mus, copies, k, .. } = self else {
+            unreachable!("ring_request called on a non-ring spec");
+        };
+        let ring =
+            VirtualRing::new(link_costs.clone(), lambdas.clone(), mus.clone(), *copies, *k)
+                .map_err(|e| ScenarioError::Invalid(e.to_string()))?;
+        self.ring_request_of(ring)
+    }
+
+    /// A topology-derived ring: virtual link costs come from the cost
+    /// substrate (`VirtualRing::from_provider`), so the spec runs on
+    /// whichever backend — dense or landmark — resolved `costs`.
+    fn ring_request_from(
+        &self,
+        costs: &(impl fap_net::CostProvider + ?Sized),
+    ) -> Result<ServeRequest, ScenarioError> {
+        let ServeSpec::Ring { link_costs, lambdas, mus, copies, k, .. } = self else {
+            unreachable!("ring_request_from called on a non-ring spec");
+        };
+        if !link_costs.is_empty() {
+            return Err(ScenarioError::Invalid(
+                "ring spec sets both explicit link_costs and a topology; pick one".into(),
+            ));
         }
+        let ring =
+            VirtualRing::from_provider(costs, lambdas.clone(), mus.clone(), *copies, *k)
+                .map_err(|e| ScenarioError::Invalid(e.to_string()))?;
+        self.ring_request_of(ring)
+    }
+
+    fn ring_request_of(&self, ring: VirtualRing) -> Result<ServeRequest, ScenarioError> {
+        let ServeSpec::Ring {
+            lambdas, copies, alpha, cost_delta_tolerance, max_iterations, initial, ..
+        } = self
+        else {
+            unreachable!("ring_request_of called on a non-ring spec");
+        };
+        let n = lambdas.len();
+        let initial = initial.clone().unwrap_or_else(|| vec![copies / n as f64; n]);
+        Ok(ServeRequest::Ring {
+            ring,
+            initial,
+            alpha: *alpha,
+            cost_delta_tolerance: *cost_delta_tolerance,
+            max_iterations: *max_iterations,
+        })
     }
 }
 
@@ -324,6 +400,8 @@ pub fn example_specs() -> Vec<ServeSpec> {
         },
         ServeSpec::Ring {
             link_costs: vec![4.0, 1.0, 1.0, 1.0],
+            topology: None,
+            cost_backend: CostBackend::Dense,
             lambdas: vec![0.25; 4],
             mus: vec![1.5; 4],
             copies: 2.0,
@@ -377,12 +455,31 @@ pub fn serve_specs_with(
     warm_start: bool,
     recorder: &mut dyn Recorder,
 ) -> Result<ServeOutput, ScenarioError> {
+    serve_specs_configured(specs, shards, warm_start, false, recorder)
+}
+
+/// [`serve_specs_with`] plus the cache's incremental oracle path
+/// (`fap serve --oracle-update`): successive specs whose topologies
+/// differ by a small edit (edge re-price, node join/leave) repair the
+/// cached landmark oracle in place instead of rebuilding it, visible as
+/// `cache.landmark_incremental` in `recorder`.
+///
+/// # Errors
+///
+/// Same conditions as [`serve_specs`].
+pub fn serve_specs_configured(
+    specs: &[ServeSpec],
+    shards: Parallelism,
+    warm_start: bool,
+    oracle_update: bool,
+    recorder: &mut dyn Recorder,
+) -> Result<ServeOutput, ScenarioError> {
     let mut cache = SubstrateCache::new();
     let requests: Vec<ServeRequest> = specs
         .iter()
         .enumerate()
         .map(|(index, spec)| {
-            spec.to_request_cached(&mut cache, recorder)
+            spec.to_request_cached_with(&mut cache, oracle_update, recorder)
                 .map_err(|e| ScenarioError::Invalid(format!("request {index}: {e}")))
         })
         .collect::<Result<_, _>>()?;
@@ -536,6 +633,59 @@ mod tests {
         // A round-trip through JSON preserves the backend choice.
         let json = serde_json::to_string(&specs).unwrap();
         assert_eq!(specs_from_json(&json).unwrap(), specs);
+    }
+
+    #[test]
+    fn topology_derived_ring_specs_run_on_either_backend() {
+        let base = ServeSpec::Ring {
+            link_costs: vec![],
+            topology: Some(Topology::Ring { n: 6, link_cost: 2.0 }),
+            cost_backend: CostBackend::Dense,
+            lambdas: vec![0.25; 6],
+            mus: vec![1.5; 6],
+            copies: 2.0,
+            k: 1.0,
+            alpha: 0.1,
+            cost_delta_tolerance: 1e-7,
+            max_iterations: 3_000,
+            initial: None,
+        };
+        let mut sparse = base.clone();
+        sparse.set_cost_backend(CostBackend::Landmark { landmarks: 3, seed: 1 });
+        assert_eq!(
+            sparse.cost_backend(),
+            Some(CostBackend::Landmark { landmarks: 3, seed: 1 }),
+            "topology-derived rings expose and accept a backend"
+        );
+        let specs = vec![base.clone(), sparse];
+        let mut telemetry = fap_obs::Telemetry::manual();
+        let output = serve_specs(&specs, Parallelism::Sequential, &mut telemetry).unwrap();
+        assert_eq!(output.err_count(), 0);
+        assert_eq!(telemetry.registry().counter("cache.miss"), 1, "dense ring substrate");
+        assert_eq!(telemetry.registry().counter("cache.landmark_miss"), 1, "sparse one");
+        // The cached path and the direct path agree bit for bit.
+        let direct = base.to_request().unwrap();
+        let mut cache = SubstrateCache::new();
+        let cached =
+            base.to_request_cached(&mut cache, &mut fap_obs::NoopRecorder).unwrap();
+        match (&direct, &cached) {
+            (ServeRequest::Ring { ring: a, .. }, ServeRequest::Ring { ring: b, .. }) => {
+                assert_eq!(a, b);
+                // A physical 6-ring with cost-2 links prices every
+                // virtual forward link at exactly one hop.
+                assert_eq!(a.link_costs(), &[2.0; 6]);
+            }
+            other => panic!("expected ring requests, got {other:?}"),
+        }
+        // JSON round-trip keeps the topology form; explicit specs that
+        // also name a topology are rejected.
+        let json = serde_json::to_string(&specs).unwrap();
+        assert_eq!(specs_from_json(&json).unwrap(), specs);
+        let mut both = base;
+        if let ServeSpec::Ring { link_costs, .. } = &mut both {
+            *link_costs = vec![1.0; 6];
+        }
+        assert!(both.to_request().unwrap_err().to_string().contains("pick one"));
     }
 
     #[test]

@@ -36,7 +36,16 @@ use crate::track::drift_command_line;
 /// [`ServeSpec`]s, resolved through the daemon's persistent substrate
 /// cache (hits and misses land in the session's `cache.*` metrics).
 pub fn spec_parser() -> impl BatchParser {
-    |batch: &Value, cache: &mut SubstrateCache, recorder: &mut dyn Recorder| {
+    spec_parser_with(false)
+}
+
+/// [`spec_parser`] with the incremental oracle path switchable
+/// (`--oracle-update`): when on, landmark substrates resolve through
+/// [`SubstrateCache::get_or_update_observed`], so a cached oracle
+/// survives a small topology edit between batches as a dirty-frontier
+/// repair instead of a cold rebuild.
+pub fn spec_parser_with(oracle_update: bool) -> impl BatchParser {
+    move |batch: &Value, cache: &mut SubstrateCache, recorder: &mut dyn Recorder| {
         let specs = Vec::<ServeSpec>::deserialize_value(batch)
             .map_err(|e| format!("bad batch: {e}"))?;
         if specs.is_empty() {
@@ -46,7 +55,7 @@ pub fn spec_parser() -> impl BatchParser {
             .iter()
             .enumerate()
             .map(|(index, spec)| {
-                spec.to_request_cached(cache, recorder)
+                spec.to_request_cached_with(cache, oracle_update, recorder)
                     .map_err(|e| format!("request {index}: {e}"))
             })
             .collect::<Result<Vec<ServeRequest>, String>>()
@@ -59,7 +68,7 @@ pub fn spec_parser() -> impl BatchParser {
 ///
 /// Returns a message for an invalid configuration (zero servers).
 pub fn spec_daemon(config: &DaemonConfig) -> Result<Daemon<impl BatchParser>, String> {
-    Daemon::new(spec_parser(), config).map_err(|e| e.to_string())
+    Daemon::new(spec_parser_with(config.oracle_update), config).map_err(|e| e.to_string())
 }
 
 /// Runs a whole daemon session over any line source and sink (`fap served`
@@ -227,6 +236,60 @@ mod tests {
             registry.counter("serve.warm_starts") > 0,
             "later batch heads must start from the previous batch's tails"
         );
+    }
+
+    #[test]
+    fn oracle_update_repairs_the_session_cache_across_a_topology_edit() {
+        use crate::scenario::Topology;
+        use fap_cache::CostBackend;
+
+        // One landmark-backed ring spec per batch; the second batch
+        // re-prices a single physical link. With --oracle-update the
+        // session cache repairs its oracle in place instead of paying a
+        // second cold build — the point of tentpole (3): WarmMode::Session
+        // survives small topology edits.
+        let ring_batch = |at: usize, bump: f64| {
+            let mut links: Vec<(usize, usize, f64)> =
+                (0..8).map(|i| (i, (i + 1) % 8, 1.0)).collect();
+            links[3].2 += bump;
+            let specs = vec![ServeSpec::Ring {
+                link_costs: vec![],
+                topology: Some(Topology::Links { n: 8, links }),
+                cost_backend: CostBackend::Landmark { landmarks: 3, seed: 1 },
+                lambdas: vec![0.25; 8],
+                mus: vec![1.5; 8],
+                copies: 2.0,
+                k: 1.0,
+                alpha: 0.1,
+                cost_delta_tolerance: 1e-7,
+                max_iterations: 3_000,
+                initial: None,
+            }];
+            format!(
+                "{{\"at\":{at},\"batch\":{}}}",
+                serde_json::to_string(&specs).expect("spec serialization cannot fail")
+            )
+        };
+        let lines = vec![
+            ring_batch(0, 0.0),
+            ring_batch(100_000, 0.5),
+            "{\"cmd\":\"shutdown\"}".to_string(),
+        ];
+        let config = DaemonConfig {
+            warm: WarmMode::Session,
+            oracle_update: true,
+            ..DaemonConfig::default()
+        };
+        let (out, registry) = session(&config, &lines);
+        assert_eq!(out.matches("\"kind\":\"batch\"").count(), 2);
+        assert_eq!(registry.counter("cache.landmark_miss"), 1, "one cold build only");
+        assert_eq!(registry.counter("cache.landmark_incremental"), 1, "edit repaired");
+        // Without the flag the same session pays a second cold build.
+        let cold =
+            DaemonConfig { warm: WarmMode::Session, ..DaemonConfig::default() };
+        let (_, registry) = session(&cold, &lines);
+        assert_eq!(registry.counter("cache.landmark_incremental"), 0);
+        assert_eq!(registry.counter("cache.landmark_miss"), 2);
     }
 
     #[test]

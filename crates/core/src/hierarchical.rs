@@ -26,6 +26,20 @@
 //! Everything is sequential and deterministic: the same oracle, workload
 //! and config produce a bit-identical allocation, which is what lets the
 //! scale bench pin checksums on the hierarchical path.
+//!
+//! # Multi-level trees
+//!
+//! At `N = 10⁶` under the substrate byte ceiling, `K` is forced down to
+//! ~10² and a "cluster" grows to ~10⁴ members — too large for one flat
+//! inner solve. [`solve_hierarchical_multilevel`] therefore splits any
+//! oversized cluster into a deterministic **cluster-of-clusters tree**:
+//! members sort by `(home distance, index)`, split into near-even
+//! contiguous chunks with the branching factor chosen so leaves stay
+//! around 128–256 nodes, and each internal node repeats the
+//! aggregate-solve / per-chunk-solve / share-refine pass of the flat
+//! pipeline on its own members — warm-started from the shares and splits
+//! of the previous visit. Depth 1 *is* the flat pipeline (delegated
+//! verbatim, bit for bit — pinned by `tests/hier_multilevel.rs`).
 
 use serde::{Deserialize, Serialize};
 
@@ -41,6 +55,11 @@ use fap_queue::Mm1Delay;
 
 use crate::error::CoreError;
 use crate::single::SingleFileProblem;
+
+/// Leaf ceiling of the multi-level member tree: a cluster (or chunk) at
+/// most this large is solved flat; anything larger is partitioned when
+/// the solve has levels to spend.
+const LEAF_MAX: usize = 256;
 
 /// Tuning knobs for [`solve_hierarchical`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -92,6 +111,14 @@ pub struct HierarchicalSolution {
     /// Cost of the returned allocation under the oracle's estimated
     /// access costs (equation 1 with estimated `C_i`).
     pub estimated_cost: f64,
+    /// Depth of the cluster tree the solve used (1 = flat
+    /// cluster-solve-refine, the pre-multilevel pipeline).
+    #[serde(default = "default_levels")]
+    pub levels: usize,
+}
+
+fn default_levels() -> usize {
+    1
 }
 
 /// Solves the single-file problem hierarchically on `oracle`.
@@ -127,6 +154,69 @@ pub fn solve_hierarchical_observed(
     mus: &[f64],
     k: f64,
     config: &HierarchicalConfig,
+    recorder: &mut dyn Recorder,
+) -> Result<HierarchicalSolution, CoreError> {
+    solve_hierarchical_impl(oracle, pattern, mus, k, config, 1, recorder)
+}
+
+/// Solves the single-file problem on a multi-level cluster tree.
+///
+/// `levels` bounds the depth of the tree: `1` is exactly the flat
+/// [`solve_hierarchical`] pipeline (bit-identical output), while deeper
+/// settings let any cluster larger than ~256 members split recursively
+/// into near-even chunks of its `(home distance, index)`-sorted members,
+/// each chunk solved through the same aggregate/inner/refine pass. Use
+/// more levels when the substrate byte ceiling forces `K` far below
+/// `N / 256` — at `N = 10⁶` with `K ≈ 10²`, `levels = 3` keeps every
+/// inner solve a few hundred variables wide.
+///
+/// Equivalent to [`solve_hierarchical_multilevel_observed`] with a
+/// [`NoopRecorder`].
+///
+/// # Errors
+///
+/// Same conditions as [`solve_hierarchical_observed`], plus
+/// [`CoreError::InvalidParameter`] when `levels` is zero.
+pub fn solve_hierarchical_multilevel(
+    oracle: &LandmarkOracle,
+    pattern: &AccessPattern,
+    mus: &[f64],
+    k: f64,
+    config: &HierarchicalConfig,
+    levels: usize,
+) -> Result<HierarchicalSolution, CoreError> {
+    solve_hierarchical_multilevel_observed(oracle, pattern, mus, k, config, levels, &mut NoopRecorder)
+}
+
+/// Observed variant of [`solve_hierarchical_multilevel`].
+///
+/// # Errors
+///
+/// Same conditions as [`solve_hierarchical_multilevel`].
+pub fn solve_hierarchical_multilevel_observed(
+    oracle: &LandmarkOracle,
+    pattern: &AccessPattern,
+    mus: &[f64],
+    k: f64,
+    config: &HierarchicalConfig,
+    levels: usize,
+    recorder: &mut dyn Recorder,
+) -> Result<HierarchicalSolution, CoreError> {
+    if levels == 0 {
+        return Err(CoreError::InvalidParameter(
+            "hierarchy depth must be at least 1 level".into(),
+        ));
+    }
+    solve_hierarchical_impl(oracle, pattern, mus, k, config, levels, recorder)
+}
+
+fn solve_hierarchical_impl(
+    oracle: &LandmarkOracle,
+    pattern: &AccessPattern,
+    mus: &[f64],
+    k: f64,
+    config: &HierarchicalConfig,
+    levels: usize,
     recorder: &mut dyn Recorder,
 ) -> Result<HierarchicalSolution, CoreError> {
     let n = oracle.node_count();
@@ -242,8 +332,9 @@ pub fn solve_hierarchical_observed(
         .collect();
     let mut inner_iterations = 0usize;
     solve_clusters(
-        &clusters, &shares, &est_costs, mus, lambda, k, margin, &solver, &mut scratch,
-        &mut splits, &mut inner_iterations, false, recorder, &mut tick, root_ctx,
+        oracle, config, levels, &clusters, &shares, &est_costs, mus, lambda, k, margin,
+        &solver, &mut scratch, &mut splits, &mut inner_iterations, false, recorder,
+        &mut tick, root_ctx,
     )?;
 
     let mut x = compose(n, &clusters, &shares, &splits);
@@ -303,8 +394,9 @@ pub fn solve_hierarchical_observed(
         clamp_to_caps(&mut shares, &caps);
 
         solve_clusters(
-            &clusters, &shares, &est_costs, mus, lambda, k, margin, &solver, &mut scratch,
-            &mut splits, &mut inner_iterations, true, recorder, &mut tick, round_ctx,
+            oracle, config, levels, &clusters, &shares, &est_costs, mus, lambda, k, margin,
+            &solver, &mut scratch, &mut splits, &mut inner_iterations, true, recorder,
+            &mut tick, round_ctx,
         )?;
         if let Some(ctx) = round_ctx {
             emit_span_end(recorder, "hier.refine", ctx, tick, tick - round_start);
@@ -332,6 +424,7 @@ pub fn solve_hierarchical_observed(
         refine_rounds,
         converged,
         estimated_cost: best_cost,
+        levels,
     })
 }
 
@@ -342,6 +435,9 @@ pub fn solve_hierarchical_observed(
 /// its iteration width, advancing `tick` so the pass tiles the timeline.
 #[allow(clippy::too_many_arguments)]
 fn solve_clusters(
+    oracle: &LandmarkOracle,
+    config: &HierarchicalConfig,
+    levels: usize,
     clusters: &[Vec<NodeId>],
     shares: &[f64],
     est_costs: &[f64],
@@ -362,6 +458,17 @@ fn solve_clusters(
         if shares[a] <= 0.0 || members.len() < 2 {
             // A zero-share or singleton cluster needs no inner solve; its
             // split stays at the previous (or capacity-proportional) value.
+            continue;
+        }
+        if levels > 1 && members.len() > LEAF_MAX {
+            // Oversized cluster with levels to spend: recurse into the
+            // member tree instead of one huge flat inner solve.
+            let mut z = std::mem::take(&mut splits[a]);
+            solve_member_tree(
+                oracle, members, est_costs, mus, lambda * shares[a], k, config, solver,
+                scratch, levels - 1, &mut z, warm, inner_iterations, recorder, tick, parent,
+            )?;
+            splits[a] = z;
             continue;
         }
         let inner_rate = lambda * shares[a];
@@ -397,6 +504,290 @@ fn solve_clusters(
         splits[a] = solution.allocation;
     }
     Ok(())
+}
+
+/// Solves one node of the multi-level member tree: the split `z` of
+/// `rate` units of traffic over `members` (`Σ z = 1`).
+///
+/// A leaf (`members` within [`LEAF_MAX`], no levels left, or too small to
+/// split) runs one flat inner solve. An internal node partitions the
+/// `(home distance, index)`-sorted members into near-even contiguous
+/// chunks, solves chunk shares on a pooled sub-aggregate, recurses into
+/// each chunk, and runs a bounded share-refinement pass — the flat
+/// three-stage pipeline replayed at every level, warm-started from the
+/// incoming `z`. Every solver run lands a `hier.cluster_solve` span and
+/// adds to `inner_iterations`, so the traced timeline partition stays
+/// exact at any depth.
+#[allow(clippy::too_many_arguments)]
+fn solve_member_tree(
+    oracle: &LandmarkOracle,
+    members: &[NodeId],
+    est_costs: &[f64],
+    mus: &[f64],
+    rate: f64,
+    k: f64,
+    config: &HierarchicalConfig,
+    solver: &ResourceDirectedOptimizer,
+    scratch: &mut OptimizerScratch,
+    levels_below: usize,
+    z: &mut Vec<f64>,
+    warm: bool,
+    inner_iterations: &mut usize,
+    recorder: &mut dyn Recorder,
+    tick: &mut u64,
+    parent: Option<TraceContext>,
+) -> Result<(), CoreError> {
+    let m = members.len();
+    if m < 2 {
+        return Ok(());
+    }
+    let pooled: f64 = members.iter().map(|&i| mus[i.index()]).sum();
+    let rho = rate / pooled;
+    let margin = (0.5 * (1.0 - rho)).min(1e-3);
+
+    if levels_below == 0 || m <= LEAF_MAX {
+        // Leaf: one flat inner solve over the members, mirroring the
+        // flat path's per-cluster stage.
+        let inner = SingleFileProblem::from_parts(
+            members.iter().map(|&i| est_costs[i.index()]).collect(),
+            rate,
+            members
+                .iter()
+                .map(|&i| Mm1Delay::new(mus[i.index()]))
+                .collect::<Result<Vec<_>, _>>()?,
+            k,
+        )?;
+        let member_caps: Vec<f64> = members
+            .iter()
+            .map(|&i| mus[i.index()] * (1.0 - 0.5 * margin) / rate)
+            .collect();
+        clamp_to_caps(z, &member_caps);
+        if warm {
+            scratch.start_from(z);
+        }
+        let solution = solver.run_with_scratch(&inner, &z.clone(), scratch)?;
+        *inner_iterations += solution.iterations;
+        if let Some(ctx) = parent {
+            let id = recorder.reserve_span_ids(1);
+            let end = *tick + solution.iterations as u64;
+            emit_span(recorder, "hier.cluster_solve", ctx.child(id), *tick, end);
+        }
+        *tick += solution.iterations as u64;
+        *z = solution.allocation;
+        return Ok(());
+    }
+
+    // Internal node: deterministic partition into near-even contiguous
+    // chunks of the sorted member list. Sorting by distance to the home
+    // landmark groups members of similar network position, so a chunk's
+    // closest member is a fair access-cost representative for the chunk.
+    let order = sorted_by_home_distance(oracle, members);
+    let b = branching_factor(m, levels_below);
+    let bounds: Vec<(usize, usize)> = (0..b).map(|c| (c * m / b, (c + 1) * m / b)).collect();
+    let chunk_mu: Vec<f64> = bounds
+        .iter()
+        .map(|&(lo, hi)| order[lo..hi].iter().map(|&p| mus[members[p].index()]).sum())
+        .collect();
+    let chunk_cost: Vec<f64> = bounds
+        .iter()
+        .map(|&(lo, _)| est_costs[members[order[lo]].index()])
+        .collect();
+    let caps: Vec<f64> = chunk_mu.iter().map(|&mu_c| mu_c / rate * (1.0 - margin)).collect();
+
+    // Chunk shares seeded from the incoming split's chunk sums (they sum
+    // to 1 whenever z does), then solved on the pooled sub-aggregate.
+    let aggregate = SingleFileProblem::from_parts(
+        chunk_cost,
+        rate,
+        chunk_mu.iter().map(|&mu_c| Mm1Delay::new(mu_c)).collect::<Result<Vec<_>, _>>()?,
+        k,
+    )?;
+    let mut shares: Vec<f64> = bounds
+        .iter()
+        .map(|&(lo, hi)| order[lo..hi].iter().map(|&p| z[p]).sum())
+        .collect();
+    if shares.iter().sum::<f64>() <= 0.5 {
+        // Unusable incoming split (e.g. a cluster that held zero share
+        // all along): fall back to the capacity-proportional start.
+        for (y, &mu_c) in shares.iter_mut().zip(&chunk_mu) {
+            *y = mu_c / pooled;
+        }
+    }
+    clamp_to_caps(&mut shares, &caps);
+    if warm {
+        scratch.start_from(&shares);
+    }
+    let agg = solver.run_with_scratch(&aggregate, &shares.clone(), scratch)?;
+    *inner_iterations += agg.iterations;
+    if let Some(ctx) = parent {
+        let id = recorder.reserve_span_ids(1);
+        let end = *tick + agg.iterations as u64;
+        emit_span(recorder, "hier.cluster_solve", ctx.child(id), *tick, end);
+    }
+    *tick += agg.iterations as u64;
+    shares = agg.allocation;
+    clamp_to_caps(&mut shares, &caps);
+
+    // Per-chunk sub-splits w (z_p = share_c · w_p), seeded from the
+    // incoming z where it carries mass, capacity-proportional otherwise.
+    let chunk_members: Vec<Vec<NodeId>> = bounds
+        .iter()
+        .map(|&(lo, hi)| order[lo..hi].iter().map(|&p| members[p]).collect())
+        .collect();
+    let mut subsplits: Vec<Vec<f64>> = bounds
+        .iter()
+        .enumerate()
+        .map(|(c, &(lo, hi))| {
+            let total: f64 = order[lo..hi].iter().map(|&p| z[p]).sum();
+            if total > 0.0 {
+                order[lo..hi].iter().map(|&p| z[p] / total).collect()
+            } else {
+                order[lo..hi]
+                    .iter()
+                    .map(|&p| mus[members[p].index()] / chunk_mu[c])
+                    .collect()
+            }
+        })
+        .collect();
+    for (c, chunk) in chunk_members.iter().enumerate() {
+        if shares[c] <= 0.0 || chunk.len() < 2 {
+            continue;
+        }
+        solve_member_tree(
+            oracle, chunk, est_costs, mus, rate * shares[c], k, config, solver, scratch,
+            levels_below - 1, &mut subsplits[c], warm, inner_iterations, recorder, tick,
+            parent,
+        )?;
+    }
+
+    // Bounded share refinement across the chunks. The root's refine loop
+    // already re-visits this whole subtree warm each round, so a couple
+    // of local rounds are enough to even out chunk marginals.
+    let member_problem = SingleFileProblem::from_parts(
+        members.iter().map(|&i| est_costs[i.index()]).collect(),
+        rate,
+        members
+            .iter()
+            .map(|&i| Mm1Delay::new(mus[i.index()]))
+            .collect::<Result<Vec<_>, _>>()?,
+        k,
+    )?;
+    let mut zc = compose_members(m, &bounds, &order, &shares, &subsplits);
+    let mut best_z = zc.clone();
+    let mut best_cost = member_problem.cost_of(&zc)?;
+    let mut marginals = vec![0.0; m];
+    for _ in 0..config.max_refine_rounds.min(2) {
+        member_problem.marginal_utilities(&zc, &mut marginals)?;
+        let chunk_marginals: Vec<f64> = bounds
+            .iter()
+            .enumerate()
+            .map(|(c, &(lo, hi))| {
+                if shares[c] > 0.0 {
+                    order[lo..hi]
+                        .iter()
+                        .zip(&subsplits[c])
+                        .map(|(&p, &w)| w * marginals[p])
+                        .sum()
+                } else {
+                    order[lo..hi]
+                        .iter()
+                        .map(|&p| marginals[p])
+                        .fold(f64::NEG_INFINITY, f64::max)
+                }
+            })
+            .collect();
+        let spread = chunk_marginals.iter().fold(f64::NEG_INFINITY, |s, &g| s.max(g))
+            - chunk_marginals.iter().fold(f64::INFINITY, |s, &g| s.min(g));
+        if spread < config.epsilon {
+            break;
+        }
+        let mean: f64 = shares.iter().zip(&chunk_marginals).map(|(&y, &g)| y * g).sum();
+        for (y, &g) in shares.iter_mut().zip(&chunk_marginals) {
+            *y += config.refine_step * (g - mean);
+        }
+        project_onto_simplex(&mut shares, 1.0);
+        clamp_to_caps(&mut shares, &caps);
+        for (c, chunk) in chunk_members.iter().enumerate() {
+            if shares[c] <= 0.0 || chunk.len() < 2 {
+                continue;
+            }
+            solve_member_tree(
+                oracle, chunk, est_costs, mus, rate * shares[c], k, config, solver,
+                scratch, levels_below - 1, &mut subsplits[c], true, inner_iterations,
+                recorder, tick, parent,
+            )?;
+        }
+        zc = compose_members(m, &bounds, &order, &shares, &subsplits);
+        let cost = member_problem.cost_of(&zc)?;
+        if cost < best_cost {
+            best_cost = cost;
+            best_z.copy_from_slice(&zc);
+        }
+    }
+    *z = best_z;
+    Ok(())
+}
+
+/// Indices into `members` sorted by `(distance to home landmark, node
+/// index)` — a deterministic, machine-independent order (`total_cmp`
+/// breaks no ties differently across platforms, and the node index
+/// settles exact-distance ties).
+fn sorted_by_home_distance(oracle: &LandmarkOracle, members: &[NodeId]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..members.len()).collect();
+    order.sort_by(|&p, &q| {
+        oracle
+            .home_distance(members[p])
+            .total_cmp(&oracle.home_distance(members[q]))
+            .then(members[p].cmp(&members[q]))
+    });
+    order
+}
+
+/// Smallest branching factor `B ≥ 2` whose `levels_below`-deep tree of
+/// [`LEAF_MAX`]-sized leaves covers `m` members (`B^levels_below ·
+/// LEAF_MAX ≥ m`), capped at `m` so no chunk is empty. Integer
+/// arithmetic only: the result feeds committed checksums, so it must not
+/// depend on platform `powf` rounding.
+fn branching_factor(m: usize, levels_below: usize) -> usize {
+    let mut b = 2usize;
+    loop {
+        let mut capacity = LEAF_MAX;
+        let mut saturated = false;
+        for _ in 0..levels_below {
+            match capacity.checked_mul(b) {
+                Some(c) => capacity = c,
+                None => {
+                    saturated = true;
+                    break;
+                }
+            }
+        }
+        if saturated || capacity >= m {
+            return b.min(m);
+        }
+        b += 1;
+    }
+}
+
+/// Assembles a member split `z_p = share_c · w_p` from chunk shares and
+/// per-chunk sub-splits, back in the original `members` order.
+fn compose_members(
+    m: usize,
+    bounds: &[(usize, usize)],
+    order: &[usize],
+    shares: &[f64],
+    subsplits: &[Vec<f64>],
+) -> Vec<f64> {
+    let mut z = vec![0.0; m];
+    for (c, &(lo, hi)) in bounds.iter().enumerate() {
+        if shares[c] <= 0.0 {
+            continue;
+        }
+        for (&p, &w) in order[lo..hi].iter().zip(&subsplits[c]) {
+            z[p] = shares[c] * w;
+        }
+    }
+    z
 }
 
 /// Assembles the global allocation `x_i = y_{home(i)} · z_i`.
@@ -546,6 +937,103 @@ mod tests {
         // Tracing never perturbs the solution.
         let untraced = solve_hierarchical(&oracle, &pattern, &mus, 1.0, &cfg).unwrap();
         assert_eq!(sol, untraced);
+    }
+
+    #[test]
+    fn multilevel_depth_one_is_bit_identical_to_flat() {
+        let (oracle, pattern, mus) = mesh_setup(40, 13);
+        let cfg = HierarchicalConfig::default();
+        let flat = solve_hierarchical(&oracle, &pattern, &mus, 1.0, &cfg).unwrap();
+        let deep =
+            solve_hierarchical_multilevel(&oracle, &pattern, &mus, 1.0, &cfg, 1).unwrap();
+        assert_eq!(flat, deep);
+        for (p, q) in flat.allocation.iter().zip(&deep.allocation) {
+            assert_eq!(p.to_bits(), q.to_bits());
+        }
+    }
+
+    #[test]
+    fn multilevel_rejects_zero_levels() {
+        let (oracle, pattern, mus) = mesh_setup(20, 2);
+        assert!(matches!(
+            solve_hierarchical_multilevel(
+                &oracle, &pattern, &mus, 1.0, &HierarchicalConfig::default(), 0,
+            ),
+            Err(CoreError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn multilevel_tree_is_feasible_deterministic_and_competitive() {
+        // Two landmarks over 600 nodes force ~300-member clusters, past
+        // the 256-node leaf ceiling, so a 3-level solve actually splits.
+        let n = 600;
+        let g = topology::random_connected(n, 0.02, 1.0..4.0, 17).unwrap();
+        let oracle = LandmarkOracle::build(&g, 2, 11).unwrap();
+        let pattern = AccessPattern::random(n, 0.2..2.0, 18).unwrap();
+        let mu = 4.0 * pattern.total_rate() / n as f64;
+        let mus = vec![mu; n];
+        // Scale-relative epsilon and a modest iteration cap: the default
+        // absolute 1e-6 is needlessly tight at a 600-node problem scale
+        // and would make this a minutes-long test.
+        let cfg = HierarchicalConfig {
+            epsilon: 1e-4 * pattern.total_rate(),
+            max_inner_iterations: 20_000,
+            max_refine_rounds: 2,
+            ..HierarchicalConfig::default()
+        };
+        let deep =
+            solve_hierarchical_multilevel(&oracle, &pattern, &mus, 1.0, &cfg, 3).unwrap();
+        assert_eq!(deep.levels, 3);
+        let total: f64 = deep.allocation.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "sums to {total}");
+        assert!(deep.allocation.iter().all(|&x| x >= 0.0));
+        let again =
+            solve_hierarchical_multilevel(&oracle, &pattern, &mus, 1.0, &cfg, 3).unwrap();
+        for (p, q) in deep.allocation.iter().zip(&again.allocation) {
+            assert_eq!(p.to_bits(), q.to_bits());
+        }
+        // The tree is an approximation of the flat solve, not a free
+        // lunch — but it must stay in the same cost neighbourhood.
+        let flat = solve_hierarchical(&oracle, &pattern, &mus, 1.0, &cfg).unwrap();
+        assert!(
+            deep.estimated_cost <= flat.estimated_cost * 1.25 + 1e-9,
+            "tree {} vs flat {}",
+            deep.estimated_cost,
+            flat.estimated_cost
+        );
+    }
+
+    #[test]
+    fn branching_factor_is_minimal_and_covers() {
+        for &(m, levels) in
+            &[(300usize, 1usize), (300, 2), (1024, 1), (5000, 2), (1_000_000, 3), (513, 1)]
+        {
+            let b = branching_factor(m, levels);
+            assert!(b >= 2);
+            assert!(b.pow(levels as u32) * LEAF_MAX >= m, "b={b} m={m} t={levels}");
+            if b > 2 {
+                let smaller = b - 1;
+                assert!(
+                    smaller.pow(levels as u32) * LEAF_MAX < m,
+                    "b={b} not minimal for m={m} t={levels}"
+                );
+            }
+        }
+        // Tiny member lists never get more chunks than members.
+        assert!(branching_factor(3, 5) <= 3);
+    }
+
+    #[test]
+    fn member_sort_orders_by_home_distance_then_index() {
+        let (oracle, _pattern, _mus) = mesh_setup(30, 4);
+        let members: Vec<NodeId> = (0..30).map(NodeId::new).collect();
+        let order = sorted_by_home_distance(&oracle, &members);
+        for w in order.windows(2) {
+            let (p, q) = (members[w[0]], members[w[1]]);
+            let (dp, dq) = (oracle.home_distance(p), oracle.home_distance(q));
+            assert!(dp < dq || (dp == dq && p < q));
+        }
     }
 
     #[test]

@@ -76,7 +76,8 @@ pub mod tuning;
 pub use adaptive::AdaptiveAllocator;
 pub use error::CoreError;
 pub use hierarchical::{
-    solve_hierarchical, solve_hierarchical_observed, HierarchicalConfig, HierarchicalSolution,
+    solve_hierarchical, solve_hierarchical_multilevel, solve_hierarchical_multilevel_observed,
+    solve_hierarchical_observed, HierarchicalConfig, HierarchicalSolution,
 };
 pub use market::HostingMarket;
 pub use multi_file::{MultiFileProblem, MultiFileScratch, MultiFileSolution};

@@ -262,7 +262,7 @@ impl GossipOptimizer {
         if !self.epsilon.is_finite() || self.epsilon <= 0.0 {
             return Err(EconError::InvalidParameter(format!("epsilon {}", self.epsilon)));
         }
-        problem.check_feasible(initial, 1e-9, true)?;
+        problem.check_feasible(initial, crate::problem::feasibility_tolerance(n), true)?;
 
         let mut x = initial.to_vec();
         let mut g = vec![0.0; n];

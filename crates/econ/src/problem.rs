@@ -112,6 +112,17 @@ pub trait AllocationProblem {
     }
 }
 
+/// Entry-feasibility tolerance for an `n`-dimensional simplex: a sum of
+/// `n` rounded terms accumulates `O(√n · ε)` of error under random
+/// rounding, so a fixed `1e-9` that is generous at `n = 64` starts
+/// rejecting honestly-constructed warm starts (e.g. `μ_i / Σμ`) once `n`
+/// reaches the hundreds of thousands. Scaling by `√n` keeps the guard
+/// tight on small problems and tolerant of nothing but float noise on
+/// million-node ones.
+pub fn feasibility_tolerance(n: usize) -> f64 {
+    1e-9 * (n as f64).sqrt().max(1.0)
+}
+
 /// Checks that a slice has the problem's dimension.
 ///
 /// # Errors
@@ -181,6 +192,19 @@ mod tests {
             p.check_feasible(&[f64::NAN, 1.0], 1e-9, false),
             Err(EconError::Infeasible(_))
         ));
+    }
+
+    #[test]
+    fn feasibility_tolerance_scales_with_dimension() {
+        // Tight (the classic 1e-9) at small n, √n-scaled beyond: a
+        // million-node warm start built as μ_i/Σμ carries ~1e-9 of
+        // accumulated rounding and must pass the entry check.
+        assert_eq!(feasibility_tolerance(1), 1e-9);
+        assert_eq!(feasibility_tolerance(0), 1e-9);
+        assert!(feasibility_tolerance(1_048_576) >= 1e-6);
+        let p = SeparableQuadratic::new(vec![1.0, 1.0], vec![0.5, 0.5], 1.0).unwrap();
+        let nearly = 0.999_999_999; // off by 1e-9 — accepted at any n ≥ 1
+        assert!(p.check_feasible(&[nearly / 2.0, nearly / 2.0], feasibility_tolerance(2), true).is_ok());
     }
 
     #[test]

@@ -254,7 +254,11 @@ impl Engine {
             )));
         }
         let require_nonneg = self.boundary != BoundaryRule::Unconstrained;
-        problem.check_feasible(initial, 1e-9, require_nonneg)?;
+        problem.check_feasible(
+            initial,
+            crate::problem::feasibility_tolerance(problem.dimension()),
+            require_nonneg,
+        )?;
 
         let n = problem.dimension();
         scratch.ensure(n);

@@ -82,10 +82,15 @@ impl fmt::Display for NetError {
                 write!(f, "probability {p} outside the unit interval")
             }
             NetError::TooLarge { nodes, elements, budget } => {
+                let f64_bytes = std::mem::size_of::<f64>() as u128;
+                let need = elements.saturating_mul(f64_bytes);
+                let have = u128::from(*budget).saturating_mul(f64_bytes);
                 write!(
                     f,
-                    "dense {nodes}x{nodes} cost matrix needs {elements} elements, over the \
-                     budget of {budget}; use a sparse backend (landmark oracle) instead"
+                    "dense {nodes}x{nodes} cost matrix needs {elements} elements \
+                     (~{need} bytes vs the {have}-byte budget of {budget} elements); \
+                     use a sparse backend (landmark oracle, with --hier-levels for a \
+                     multi-level cluster hierarchy) instead"
                 )
             }
         }
@@ -106,6 +111,16 @@ mod tests {
         assert!(e.to_string().contains("negative cost"));
         let e = NetError::Disconnected { from: 1, to: 2 };
         assert!(e.to_string().contains("no path"));
+    }
+
+    #[test]
+    fn too_large_reports_bytes_and_the_multilevel_flag() {
+        let e = NetError::TooLarge { nodes: 3, elements: 9, budget: 4 };
+        let msg = e.to_string();
+        assert!(msg.contains("~72 bytes"), "{msg}");
+        assert!(msg.contains("32-byte budget"), "{msg}");
+        assert!(msg.contains("landmark"), "{msg}");
+        assert!(msg.contains("--hier-levels"), "{msg}");
     }
 
     #[test]

@@ -180,6 +180,69 @@ impl Graph {
         Ok(())
     }
 
+    /// Re-prices every existing link between `a` and `b` (both directions,
+    /// parallel links included) to `cost`, returning the previous cheapest
+    /// direct cost `a -> b`.
+    ///
+    /// This is the topology-delta primitive behind incremental oracle
+    /// updates ([`crate::incremental::GraphDelta::EdgeWeight`]): the link
+    /// set is unchanged, only the price moves.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::NodeOutOfRange`] / [`NetError::NegativeCost`] /
+    /// [`NetError::SelfLoop`] for invalid arguments, and
+    /// [`NetError::InvalidWorkload`] if no link `a -> b` exists.
+    pub fn set_link_cost(&mut self, a: NodeId, b: NodeId, cost: f64) -> Result<f64, NetError> {
+        self.check_node(a)?;
+        self.check_node(b)?;
+        let link = Link::new(a, b, cost)?;
+        let old = self.direct_cost(a, b).ok_or_else(|| {
+            NetError::InvalidWorkload(format!("no link {} -> {} to re-price", a.index(), b.index()))
+        })?;
+        for (n, c) in self.adjacency[a.index()].iter_mut() {
+            if *n == b {
+                *c = link.cost;
+            }
+        }
+        for (n, c) in self.adjacency[b.index()].iter_mut() {
+            if *n == a {
+                *c = link.cost;
+            }
+        }
+        Ok(old)
+    }
+
+    /// Appends a new, initially isolated node and returns its identifier
+    /// (always the highest index). Link it with [`Graph::add_link`].
+    pub fn push_node(&mut self) -> NodeId {
+        self.adjacency.push(Vec::new());
+        self.node_count += 1;
+        NodeId::new(self.node_count - 1)
+    }
+
+    /// Removes the highest-index node along with every link touching it.
+    ///
+    /// Only the last node is removable so that the identifiers of all
+    /// remaining nodes stay valid — node departure in the delta model is
+    /// therefore "swap to the end, then pop" at the caller's layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::TooFewNodes`] on an empty graph.
+    pub fn pop_node(&mut self) -> Result<(), NetError> {
+        if self.node_count == 0 {
+            return Err(NetError::TooFewNodes { requested: 0, minimum: 1 });
+        }
+        let departing = NodeId::new(self.node_count - 1);
+        self.adjacency.pop();
+        self.node_count -= 1;
+        for list in self.adjacency.iter_mut() {
+            list.retain(|(n, _)| *n != departing);
+        }
+        Ok(())
+    }
+
     /// Returns the `(neighbor, cost)` pairs reachable from `node` in one hop.
     ///
     /// # Panics
@@ -318,6 +381,39 @@ mod tests {
         g.add_directed_link(NodeId::new(0), NodeId::new(1), 5.0).unwrap();
         g.add_directed_link(NodeId::new(0), NodeId::new(1), 2.0).unwrap();
         assert_eq!(g.direct_cost(NodeId::new(0), NodeId::new(1)), Some(2.0));
+    }
+
+    #[test]
+    fn set_link_cost_reprices_both_directions_and_parallel_links() {
+        let mut g = Graph::new(3);
+        g.add_link(NodeId::new(0), NodeId::new(1), 5.0).unwrap();
+        g.add_directed_link(NodeId::new(0), NodeId::new(1), 2.0).unwrap();
+        let old = g.set_link_cost(NodeId::new(0), NodeId::new(1), 7.0).unwrap();
+        assert_eq!(old, 2.0, "returns the previous cheapest direct cost");
+        assert_eq!(g.direct_cost(NodeId::new(0), NodeId::new(1)), Some(7.0));
+        assert_eq!(g.direct_cost(NodeId::new(1), NodeId::new(0)), Some(7.0));
+        // Missing links and invalid costs are rejected without mutation.
+        let err = g.set_link_cost(NodeId::new(0), NodeId::new(2), 1.0).unwrap_err();
+        assert!(matches!(err, NetError::InvalidWorkload(_)));
+        let err = g.set_link_cost(NodeId::new(0), NodeId::new(1), -1.0).unwrap_err();
+        assert!(matches!(err, NetError::NegativeCost { .. }));
+        assert_eq!(g.direct_cost(NodeId::new(0), NodeId::new(1)), Some(7.0));
+    }
+
+    #[test]
+    fn push_and_pop_node_round_trip() {
+        let mut g = Graph::new(2);
+        g.add_link(NodeId::new(0), NodeId::new(1), 1.0).unwrap();
+        let snapshot = g.clone();
+        let joined = g.push_node();
+        assert_eq!(joined, NodeId::new(2));
+        assert_eq!(g.node_count(), 3);
+        g.add_link(NodeId::new(0), joined, 4.0).unwrap();
+        assert_eq!(g.link_count(), 4);
+        g.pop_node().unwrap();
+        assert_eq!(g, snapshot, "pop removes the node and every incident link");
+        let mut empty = Graph::new(0);
+        assert!(matches!(empty.pop_node(), Err(NetError::TooFewNodes { .. })));
     }
 
     #[test]

@@ -98,17 +98,22 @@ impl RowLru {
 /// system-wide access costs.
 #[derive(Debug)]
 pub struct LandmarkOracle {
-    n: usize,
-    landmarks: Vec<NodeId>,
+    pub(crate) n: usize,
+    pub(crate) landmarks: Vec<NodeId>,
     /// `dist.row(k)[v] = d(L_k, v)`.
-    dist: Matrix,
+    pub(crate) dist: Matrix,
     /// Index into `landmarks` of each node's nearest landmark.
-    home: Vec<u32>,
+    pub(crate) home: Vec<u32>,
     /// Distance from each node to its home landmark.
-    home_dist: Vec<f64>,
+    pub(crate) home_dist: Vec<f64>,
     row_lru: Mutex<RowLru>,
     rows_materialized: AtomicU64,
     row_cache_hits: AtomicU64,
+    /// Snapshots of the lifetime counters at the last publish, so
+    /// [`LandmarkOracle::publish_metrics`] emits only the delta while the
+    /// counters themselves stay monotonic.
+    published_rows: AtomicU64,
+    published_hits: AtomicU64,
 }
 
 impl LandmarkOracle {
@@ -167,6 +172,94 @@ impl LandmarkOracle {
                 break; // every node already coincides with a landmark
             }
             next = NodeId::new(farthest);
+        }
+        if landmarks.len() < k {
+            dist = resize_rows(&dist, landmarks.len(), n);
+        }
+        Ok(Self::from_table(n, landmarks, dist))
+    }
+
+    /// Builds the oracle with the farthest-point chain batched into rounds
+    /// of up to `batch` landmarks, fanning each round's single-source
+    /// Dijkstra runs out over scoped threads.
+    ///
+    /// Each round snapshots the current `min_dist` (the distance from every
+    /// node to its nearest chosen landmark), selects the `batch` farthest
+    /// nodes in one heap-bounded sweep (ordered by descending distance,
+    /// ties to the lowest index), and computes their rows in parallel —
+    /// dropping the selection cost from `K` full scans to `K/batch`, and
+    /// exposing `batch`-way parallelism inside the otherwise serial chain.
+    /// Rows are folded into `min_dist` in ascending landmark order after
+    /// the join, so the result is **deterministic per `(graph, k, seed,
+    /// batch)`** at every [`Parallelism`] setting, and `batch = 1` is
+    /// bit-identical to [`LandmarkOracle::build`].
+    ///
+    /// Larger batches trade a little selection quality (the nodes of one
+    /// round are mutually blind) for build speed; the optimality-gap
+    /// harness measures that end to end.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`LandmarkOracle::build`].
+    pub fn build_parallel(
+        graph: &Graph,
+        k: usize,
+        seed: u64,
+        batch: usize,
+        parallelism: Parallelism,
+    ) -> Result<Self, NetError> {
+        let n = graph.node_count();
+        if n == 0 {
+            return Err(NetError::TooFewNodes { requested: 0, minimum: 1 });
+        }
+        let k = k.clamp(1, n);
+        let batch = batch.max(1);
+        let first = ((seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize) % n;
+
+        let mut dist = Matrix::zeros(k, n);
+        let mut landmarks: Vec<NodeId> = Vec::with_capacity(k);
+        let mut min_dist = vec![f64::INFINITY; n];
+        let mut round_sources = vec![NodeId::new(first)];
+        while !round_sources.is_empty() {
+            let start = landmarks.len();
+            let width = round_sources.len();
+            landmarks.extend_from_slice(&round_sources);
+            let block = &mut dist.as_mut_slice()[start * n..(start + width) * n];
+            let threads = parallelism.threads_for(width);
+            if threads <= 1 {
+                let mut heap = BinaryHeap::new();
+                for (row, &source) in block.chunks_mut(n).zip(&round_sources) {
+                    dijkstra_into(graph, source, row, None, &mut heap);
+                }
+            } else {
+                let rows_per_chunk = width.div_ceil(threads);
+                std::thread::scope(|scope| {
+                    for (index, chunk) in block.chunks_mut(rows_per_chunk * n).enumerate() {
+                        let sources = &round_sources[index * rows_per_chunk..];
+                        scope.spawn(move || {
+                            let mut heap = BinaryHeap::new();
+                            for (row, &source) in chunk.chunks_mut(n).zip(sources) {
+                                dijkstra_into(graph, source, row, None, &mut heap);
+                            }
+                        });
+                    }
+                });
+            }
+            // Disconnection checks and the min_dist fold run in ascending
+            // landmark order after the join — bit-identical at every
+            // thread count.
+            for (round, &source) in round_sources.iter().enumerate() {
+                let row = dist.row(start + round);
+                if let Some(bad) = row.iter().position(|d| d.is_infinite()) {
+                    return Err(NetError::Disconnected { from: source.index(), to: bad });
+                }
+                for (m, &d) in min_dist.iter_mut().zip(row.iter()) {
+                    if d < *m {
+                        *m = d;
+                    }
+                }
+            }
+            round_sources = select_farthest(&min_dist, batch.min(k - landmarks.len()));
         }
         if landmarks.len() < k {
             dist = resize_rows(&dist, landmarks.len(), n);
@@ -265,6 +358,8 @@ impl LandmarkOracle {
             row_lru: Mutex::new(RowLru::new(capacity_rows)),
             rows_materialized: AtomicU64::new(0),
             row_cache_hits: AtomicU64::new(0),
+            published_rows: AtomicU64::new(0),
+            published_hits: AtomicU64::new(0),
         }
     }
 
@@ -378,16 +473,20 @@ impl LandmarkOracle {
         *lru = RowLru::new(capacity_rows);
     }
 
-    /// Drains the oracle's row-cache counters into `recorder` as the
+    /// Publishes the oracle's row-cache counters into `recorder` as the
     /// `net.landmark_rows_materialized` / `net.landmark_row_cache_hits`
-    /// counters. Draining (rather than reading) keeps repeated publishes
-    /// from double-counting. With tracing enabled, a drain that saw any
-    /// materialized rows also drops a zero-width `net.landmark_rows`
-    /// marker span under the current trace, tying row materialization to
-    /// the request that triggered it.
+    /// counters. The lifetime counters stay **monotonic** — a publish
+    /// emits only the delta since the previous publish, so repeated
+    /// publishes never double-count and `fap report --diff` sees plain
+    /// monotonic counters on both sides. With tracing enabled, a publish
+    /// that saw newly materialized rows also drops a zero-width
+    /// `net.landmark_rows` marker span under the current trace, tying row
+    /// materialization to the request that triggered it.
     pub fn publish_metrics(&self, recorder: &mut dyn Recorder) {
-        let rows = self.rows_materialized.swap(0, Ordering::Relaxed);
-        let hits = self.row_cache_hits.swap(0, Ordering::Relaxed);
+        let rows_total = self.rows_materialized.load(Ordering::Relaxed);
+        let rows = rows_total - self.published_rows.swap(rows_total, Ordering::Relaxed);
+        let hits_total = self.row_cache_hits.load(Ordering::Relaxed);
+        let hits = hits_total - self.published_hits.swap(hits_total, Ordering::Relaxed);
         if rows > 0 {
             recorder.incr("net.landmark_rows_materialized", rows);
             fap_obs::emit_marker_span(recorder, "net.landmark_rows");
@@ -425,12 +524,143 @@ impl LandmarkOracle {
         row[from.index()] = 0.0;
         row
     }
+
+    /// Repairs the row LRU after an incremental oracle update: rows whose
+    /// source node is dirty (some landmark distance changed) are evicted,
+    /// clean rows are re-minimized at the dirty columns only, with the
+    /// same ascending-`k` formula as [`LandmarkOracle::materialize_row`].
+    /// Returns `(evicted, patched)` row counts.
+    pub(crate) fn repair_row_cache(&self, dirty: &[bool]) -> (usize, usize) {
+        let mut lru = self.row_lru.lock().expect("row LRU poisoned");
+        let victims: Vec<usize> =
+            lru.rows.keys().copied().filter(|&s| dirty[s]).collect();
+        for s in &victims {
+            lru.rows.remove(s);
+        }
+        let k = self.landmarks.len();
+        let mut patched = 0;
+        for (&s, (_, row)) in lru.rows.iter_mut() {
+            for (v, slot) in row.iter_mut().enumerate() {
+                if !dirty[v] || v == s {
+                    continue;
+                }
+                let mut best = f64::INFINITY;
+                for b in 0..k {
+                    let through = self.dist.get(b, s) + self.dist.get(b, v);
+                    if through < best {
+                        best = through;
+                    }
+                }
+                *slot = best;
+            }
+            patched += 1;
+        }
+        (victims.len(), patched)
+    }
+
+    /// Drops every cached row (used when the node count itself changes, so
+    /// resident rows have the wrong length).
+    pub(crate) fn clear_row_cache(&self) {
+        let mut lru = self.row_lru.lock().expect("row LRU poisoned");
+        lru.rows.clear();
+    }
+
+    /// Recomputes the home assignment at the dirty columns only —
+    /// bit-identical to the full [`LandmarkOracle::from_table`] pass, which
+    /// keeps the lowest landmark index on ties.
+    pub(crate) fn recompute_homes_at(&mut self, dirty: &[bool]) {
+        let k = self.landmarks.len();
+        for (v, is_dirty) in dirty.iter().enumerate().take(self.n) {
+            if !is_dirty {
+                continue;
+            }
+            let mut best = f64::INFINITY;
+            let mut best_k = 0u32;
+            for b in 0..k {
+                let d = self.dist.get(b, v);
+                if d < best {
+                    best = d;
+                    best_k = b as u32;
+                }
+            }
+            self.home[v] = best_k;
+            self.home_dist[v] = best;
+        }
+    }
+
+    /// Grows or shrinks every structure to a new node count (node join /
+    /// leave): the distance table gains or loses its last column, the home
+    /// assignment follows, and the row LRU is cleared (resident rows have
+    /// the wrong length). New columns are initialized to `INFINITY` and
+    /// must be repaired by the caller.
+    pub(crate) fn resize_nodes(&mut self, new_n: usize) {
+        let k = self.landmarks.len();
+        let mut table = Matrix::filled(k, new_n, f64::INFINITY);
+        let copy = self.n.min(new_n);
+        for b in 0..k {
+            table.row_mut(b)[..copy].copy_from_slice(&self.dist.row(b)[..copy]);
+        }
+        self.dist = table;
+        self.home.resize(new_n, 0);
+        self.home_dist.resize(new_n, f64::INFINITY);
+        self.n = new_n;
+        self.clear_row_cache();
+    }
 }
 
 /// Truncates a `rows × n` matrix to its first `keep` rows (farthest-point
 /// selection can stop early when every node is already a landmark).
 fn resize_rows(dist: &Matrix, keep: usize, n: usize) -> Matrix {
     Matrix::from_vec(keep, n, dist.as_slice()[..keep * n].to_vec())
+}
+
+/// The `want` nodes farthest from every chosen landmark (positive
+/// `min_dist` only), ordered by descending distance with ties to the
+/// lowest index — one heap-bounded `O(N log want)` sweep instead of `want`
+/// full scans.
+fn select_farthest(min_dist: &[f64], want: usize) -> Vec<NodeId> {
+    struct Worst {
+        d: f64,
+        i: usize,
+    }
+    impl PartialEq for Worst {
+        fn eq(&self, other: &Self) -> bool {
+            self.cmp(other) == std::cmp::Ordering::Equal
+        }
+    }
+    impl Eq for Worst {}
+    impl Ord for Worst {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            // The heap's maximum is the *worst* kept candidate: nearer to
+            // the landmarks, or equally near with a higher index.
+            other.d.total_cmp(&self.d).then(self.i.cmp(&other.i))
+        }
+    }
+    impl PartialOrd for Worst {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    if want == 0 {
+        return Vec::new();
+    }
+    let mut heap: BinaryHeap<Worst> = BinaryHeap::with_capacity(want + 1);
+    for (i, &d) in min_dist.iter().enumerate() {
+        if d <= 0.0 {
+            continue; // already coincides with a landmark
+        }
+        if heap.len() < want {
+            heap.push(Worst { d, i });
+        } else if let Some(worst) = heap.peek() {
+            if d > worst.d {
+                heap.pop();
+                heap.push(Worst { d, i });
+            }
+        }
+    }
+    let mut picked = heap.into_vec();
+    picked.sort_by(|a, b| b.d.total_cmp(&a.d).then(a.i.cmp(&b.i)));
+    picked.into_iter().map(|w| NodeId::new(w.i)).collect()
 }
 
 impl CostProvider for LandmarkOracle {
@@ -590,7 +820,7 @@ mod tests {
     }
 
     #[test]
-    fn publish_metrics_drains_counters() {
+    fn publish_metrics_is_monotonic_and_emits_only_deltas() {
         let g = topology::ring(8, 1.0).unwrap();
         let oracle = LandmarkOracle::build(&g, 2, 1).unwrap();
         let mut row = vec![0.0; 8];
@@ -600,8 +830,18 @@ mod tests {
         oracle.publish_metrics(&mut registry);
         assert_eq!(registry.counter("net.landmark_rows_materialized"), 1);
         assert_eq!(registry.counter("net.landmark_row_cache_hits"), 1);
+        // A quiet re-publish adds nothing; the lifetime counters survive.
         oracle.publish_metrics(&mut registry);
         assert_eq!(registry.counter("net.landmark_rows_materialized"), 1);
+        assert_eq!(oracle.rows_materialized(), 1, "lifetime counter is not drained");
+        assert_eq!(oracle.row_cache_hits(), 1);
+        // Further activity publishes only the delta since the last publish.
+        oracle.row_into(NodeId::new(0), &mut row);
+        oracle.row_into(NodeId::new(1), &mut row);
+        oracle.publish_metrics(&mut registry);
+        assert_eq!(registry.counter("net.landmark_rows_materialized"), 2);
+        assert_eq!(registry.counter("net.landmark_row_cache_hits"), 2);
+        assert_eq!(oracle.rows_materialized(), 2);
     }
 
     #[test]
@@ -619,6 +859,71 @@ mod tests {
         let clusters = oracle.cluster_members();
         let total: usize = clusters.iter().map(Vec::len).sum();
         assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn batched_build_with_batch_one_is_bit_identical_to_the_chain() {
+        for (n, seed) in [(40, 3), (33, 11), (12, 0)] {
+            let g = topology::random_connected(n, 0.2, 1.0..5.0, seed).unwrap();
+            let a = LandmarkOracle::build(&g, 7, seed).unwrap();
+            for threads in [1, 3] {
+                let b =
+                    LandmarkOracle::build_parallel(&g, 7, seed, 1, Parallelism::Fixed(threads))
+                        .unwrap();
+                assert_eq!(a.landmarks(), b.landmarks(), "threads={threads}");
+                for (x, y) in a.dist.as_slice().iter().zip(b.dist.as_slice()) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "threads={threads}");
+                }
+                assert_eq!(a.home, b.home);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_build_is_deterministic_at_every_thread_count() {
+        let g = topology::random_connected(50, 0.15, 1.0..5.0, 9).unwrap();
+        let reference =
+            LandmarkOracle::build_parallel(&g, 12, 4, 4, Parallelism::Sequential).unwrap();
+        // Batched rows are still exact single-source distances.
+        for (k, &l) in reference.landmarks().iter().enumerate() {
+            let truth = dijkstra(&g, l).unwrap();
+            for v in g.nodes() {
+                assert_eq!(
+                    reference.landmark_distance(k, v).to_bits(),
+                    truth[v.index()].to_bits()
+                );
+            }
+        }
+        for threads in [2, 3, 8] {
+            let par =
+                LandmarkOracle::build_parallel(&g, 12, 4, 4, Parallelism::Fixed(threads))
+                    .unwrap();
+            assert_eq!(reference.landmarks(), par.landmarks(), "threads={threads}");
+            for (a, b) in reference.dist.as_slice().iter().zip(par.dist.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_build_stops_early_when_every_node_is_a_landmark() {
+        let g = topology::ring(6, 1.0).unwrap();
+        let oracle = LandmarkOracle::build_parallel(&g, 64, 2, 4, Parallelism::Sequential).unwrap();
+        assert_eq!(oracle.landmark_count(), 6);
+        let mut sorted: Vec<usize> = oracle.landmarks().iter().map(|l| l.index()).collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 6, "landmarks are distinct");
+    }
+
+    #[test]
+    fn batched_build_rejects_disconnected_graphs() {
+        let mut g = Graph::new(4);
+        g.add_link(NodeId::new(0), NodeId::new(1), 1.0).unwrap();
+        g.add_link(NodeId::new(2), NodeId::new(3), 1.0).unwrap();
+        let err =
+            LandmarkOracle::build_parallel(&g, 2, 0, 2, Parallelism::Sequential).unwrap_err();
+        assert!(matches!(err, NetError::Disconnected { .. }));
     }
 
     #[test]

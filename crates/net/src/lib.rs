@@ -40,6 +40,7 @@ pub mod cost;
 pub mod error;
 pub mod estimate;
 pub mod graph;
+pub mod incremental;
 pub mod landmark;
 pub mod provider;
 pub mod routing;
@@ -51,6 +52,7 @@ pub use cost::CostMatrix;
 pub use error::NetError;
 pub use fap_batch::Parallelism;
 pub use graph::{Graph, Link, NodeId};
+pub use incremental::{GraphDelta, UpdateStats};
 pub use landmark::LandmarkOracle;
 pub use provider::CostProvider;
 pub use routing::RoutingTable;

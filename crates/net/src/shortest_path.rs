@@ -28,8 +28,8 @@ use crate::graph::{Graph, NodeId};
 /// A heap entry ordered by *minimum* cost (reversed for `BinaryHeap`).
 #[derive(Debug, PartialEq)]
 pub(crate) struct HeapEntry {
-    cost: f64,
-    node: NodeId,
+    pub(crate) cost: f64,
+    pub(crate) node: NodeId,
 }
 
 impl Eq for HeapEntry {}

@@ -76,6 +76,37 @@ impl VirtualRing {
         Ok(VirtualRing { link_costs, lambdas, mus, copies, k })
     }
 
+    /// Builds the ring over an arbitrary network's cost substrate: the
+    /// §7.2 construction "imposes an ordering on the nodes" — here the
+    /// provider's node order — and prices each virtual link `i → i+1
+    /// (mod N)` at the substrate's cheapest-path cost between those
+    /// nodes. Runs on any [`fap_net::CostProvider`]: exact with the
+    /// dense matrix, hub-estimated with the landmark oracle — which is
+    /// what lets ring problems ride the sparse substrate at node counts
+    /// where the dense matrix no longer fits.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`VirtualRing::new`] (the derived link costs
+    /// are finite and non-negative by the provider contract, but the
+    /// ring still needs ≥ 3 nodes, matching vectors, and valid
+    /// `copies`/`k`).
+    pub fn from_provider(
+        costs: &(impl fap_net::CostProvider + ?Sized),
+        lambdas: Vec<f64>,
+        mus: Vec<f64>,
+        copies: f64,
+        k: f64,
+    ) -> Result<Self, RingError> {
+        let n = costs.node_count();
+        let link_costs: Vec<f64> = (0..n)
+            .map(|i| {
+                costs.cost(fap_net::NodeId::new(i), fap_net::NodeId::new((i + 1) % n))
+            })
+            .collect();
+        VirtualRing::new(link_costs, lambdas, mus, copies, k)
+    }
+
     /// Number of nodes `N`.
     pub fn node_count(&self) -> usize {
         self.link_costs.len()
@@ -179,6 +210,28 @@ mod tests {
         // Wrapping: 3 → 0 uses only the last link; 1 → 0 wraps 3+4+5.
         assert_eq!(ring.forward_cost(3, 0), 5.0);
         assert_eq!(ring.forward_cost(1, 0), 12.0);
+    }
+
+    #[test]
+    fn from_provider_prices_links_at_substrate_costs() {
+        // A physical 5-ring with unit links: the dense substrate prices
+        // every virtual forward link at the direct-hop cost.
+        let g = fap_net::topology::ring(5, 2.0).unwrap();
+        let costs = g.shortest_path_matrix().unwrap();
+        let ring =
+            VirtualRing::from_provider(&costs, vec![1.0; 5], vec![2.0; 5], 1.0, 1.0).unwrap();
+        assert_eq!(ring.link_costs(), &[2.0; 5]);
+        // The sparse oracle serves the same construction; its ALT bound
+        // never undercuts the true cheapest path.
+        let oracle = fap_net::LandmarkOracle::build(&g, 2, 1).unwrap();
+        let sparse =
+            VirtualRing::from_provider(&oracle, vec![1.0; 5], vec![2.0; 5], 1.0, 1.0).unwrap();
+        for (s, d) in sparse.link_costs().iter().zip(ring.link_costs()) {
+            assert!(s >= d);
+        }
+        // Too few nodes still fails ring validation.
+        let tiny = fap_net::topology::full_mesh(2, 1.0).unwrap().shortest_path_matrix().unwrap();
+        assert!(VirtualRing::from_provider(&tiny, vec![1.0; 2], vec![2.0; 2], 1.0, 1.0).is_err());
     }
 
     #[test]

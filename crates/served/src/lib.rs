@@ -192,6 +192,12 @@ pub struct DaemonConfig {
     pub cache_bytes: Option<u64>,
     /// Use wall-clock milliseconds instead of scripted `at` ticks.
     pub wall_clock: bool,
+    /// Let the substrate cache repair cached landmark oracles across
+    /// small topology edits (incremental dirty-frontier update) instead
+    /// of rebuilding from scratch. This is what keeps a
+    /// [`WarmMode::Session`] cache warm when the served topology drifts
+    /// by an edge re-price or a node join/leave between batches.
+    pub oracle_update: bool,
 }
 
 impl Default for DaemonConfig {
@@ -205,6 +211,7 @@ impl Default for DaemonConfig {
             admission_window: DEFAULT_ADMISSION_WINDOW,
             cache_bytes: None,
             wall_clock: false,
+            oracle_update: false,
         }
     }
 }

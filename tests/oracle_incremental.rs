@@ -1,0 +1,155 @@
+//! Incremental oracle repair vs. fresh rebuild: after an arbitrary
+//! sequence of topology deltas, the repaired landmark oracle must be
+//! **bit-identical** to an oracle rebuilt from scratch on the final
+//! topology *with the same landmark chain* — repair keeps the cached
+//! farthest-point chain by design (that stability is what makes the
+//! update warm; a cold `build` may select a different chain on the
+//! edited graph). The fixed point of the per-landmark min-plus relaxation
+//! is unique, so "repaired" and "rebuilt" are the same f64 bits, at
+//! every worker thread count.
+
+use fap::prelude::*;
+use fap_net::GraphDelta;
+use proptest::prelude::*;
+
+/// Deterministic splitmix64 step for seed-derived choices.
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Every undirected edge `(u, v)` with `u < v`, in deterministic order.
+fn undirected_edges(graph: &Graph) -> Vec<(NodeId, NodeId)> {
+    let mut edges = Vec::new();
+    for u in graph.nodes() {
+        for &(v, _) in graph.neighbors(u) {
+            if u < v {
+                edges.push((u, v));
+            }
+        }
+    }
+    edges
+}
+
+/// Asserts two oracles agree bit for bit: chain, full distance table,
+/// home assignment and home distances.
+fn assert_bit_identical(repaired: &LandmarkOracle, fresh: &LandmarkOracle, n: usize) {
+    assert_eq!(repaired.landmarks(), fresh.landmarks());
+    for k in 0..repaired.landmark_count() {
+        for v in 0..n {
+            let (a, b) = (
+                repaired.landmark_distance(k, NodeId::new(v)),
+                fresh.landmark_distance(k, NodeId::new(v)),
+            );
+            assert!(
+                a.to_bits() == b.to_bits(),
+                "distance table diverged at landmark {k}, node {v}: {a:?} vs {b:?}"
+            );
+        }
+    }
+    for v in 0..n {
+        let v = NodeId::new(v);
+        assert_eq!(repaired.home(v), fresh.home(v), "home diverged at {v:?}");
+        assert_eq!(
+            repaired.home_distance(v).to_bits(),
+            fresh.home_distance(v).to_bits(),
+            "home distance diverged at {v:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random edge-reprice sequences: the repair path equals a fresh
+    /// `with_landmarks` build on the final topology, per seed and per
+    /// thread count.
+    #[test]
+    fn repaired_oracle_matches_fresh_rebuild_after_edge_deltas(
+        seed in 0u64..200,
+        n in 12usize..40,
+        k in 2usize..6,
+        rounds in 1usize..8,
+    ) {
+        let mut graph = topology::random_connected(n, 0.2, 1.0..4.0, seed).unwrap();
+        let mut oracle = LandmarkOracle::build(&graph, k, seed ^ 0x5DEE_CE66).unwrap();
+        let chain = oracle.landmarks().to_vec();
+        let edges = undirected_edges(&graph);
+        let mut state = seed.wrapping_mul(0x2545_F491_4F6C_DD1D) + 1;
+        for _ in 0..rounds {
+            // One to three deltas per apply call, hitting random edges
+            // with random new costs (raises and cuts both).
+            let count = 1 + (mix(&mut state) as usize) % 3;
+            let deltas: Vec<GraphDelta> = (0..count)
+                .map(|_| {
+                    let (from, to) = edges[(mix(&mut state) as usize) % edges.len()];
+                    let cost = 0.5 + (mix(&mut state) % 1_000) as f64 * 0.004;
+                    GraphDelta::EdgeWeight { from, to, cost }
+                })
+                .collect();
+            let stats = oracle.apply_deltas(&mut graph, &deltas).unwrap();
+            prop_assert_eq!(stats.deltas_applied, deltas.len());
+        }
+        for threads in [1usize, 2, 4] {
+            let fresh =
+                LandmarkOracle::with_landmarks(&graph, &chain, Parallelism::Fixed(threads))
+                    .unwrap();
+            assert_bit_identical(&oracle, &fresh, graph.node_count());
+        }
+    }
+}
+
+#[test]
+fn repaired_oracle_matches_fresh_rebuild_across_join_and_leave() {
+    let mut graph = topology::ring(24, 1.5).unwrap();
+    let mut oracle = LandmarkOracle::build(&graph, 4, 9).unwrap();
+    let chain = oracle.landmarks().to_vec();
+
+    // A newcomer bridges two far-apart nodes, an edge re-price follows,
+    // then the newcomer leaves again — three delta kinds in one session.
+    let join = GraphDelta::NodeJoin {
+        edges: vec![(NodeId::new(0), 0.75), (NodeId::new(12), 2.0)],
+    };
+    oracle.apply_deltas(&mut graph, &[join]).unwrap();
+    let fresh =
+        LandmarkOracle::with_landmarks(&graph, &chain, Parallelism::Sequential).unwrap();
+    assert_bit_identical(&oracle, &fresh, graph.node_count());
+
+    let reprice =
+        GraphDelta::EdgeWeight { from: NodeId::new(3), to: NodeId::new(4), cost: 4.0 };
+    oracle.apply_deltas(&mut graph, &[reprice]).unwrap();
+    oracle.apply_deltas(&mut graph, &[GraphDelta::NodeLeave]).unwrap();
+
+    let fresh =
+        LandmarkOracle::with_landmarks(&graph, &chain, Parallelism::Sequential).unwrap();
+    assert_bit_identical(&oracle, &fresh, graph.node_count());
+    assert_eq!(graph.node_count(), 24, "the ring is back to its original size");
+}
+
+#[test]
+fn single_edge_repair_is_a_small_fraction_of_a_rebuild() {
+    // The bench hard-gates this at 10% on the torus family; pin the same
+    // contract here on a mid-size instance so a frontier-explosion
+    // regression fails fast in the test suite, not only in the bench.
+    let n = 4096;
+    let mut graph = fap_bench::scale::scale_graph(n);
+    let mut oracle = LandmarkOracle::build(
+        &graph,
+        fap_bench::scale::sparse_landmarks(n),
+        fap_bench::scale::SPARSE_SEED,
+    )
+    .unwrap();
+    let from = NodeId::new(0);
+    let (to, old_cost) = graph.neighbors(from)[0];
+    let delta = GraphDelta::EdgeWeight { from, to, cost: old_cost * 1.1 };
+    let stats = oracle.apply_deltas(&mut graph, &[delta]).unwrap();
+    let (update, rebuild) = (stats.virtual_work(), oracle.full_rebuild_work());
+    assert!(update > 0);
+    assert!(
+        update * 10 <= rebuild,
+        "single-edge repair cost {update} virtual work, over 10% of {rebuild}"
+    );
+}
